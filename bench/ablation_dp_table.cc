@@ -1,0 +1,54 @@
+// Ablation: DESIGN.md's sparse Pareto-frontier DP vs the paper-literal
+// dense Omega(i, T) table inside DeDPO.  Identical plannings; the point is
+// the time/memory difference, which grows with the budget magnitude (the
+// dense table has one column per budget unit).
+
+#include "algo/dedpo.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "ablation_dp_table");
+  FigureBench bench(
+      "ablation_dp_table", "grid_extent",
+      "identical utilities; the dense table costs more time and memory, "
+      "increasingly so as budgets (via the grid extent) grow");
+
+  const std::vector<int64_t> extents =
+      GetBenchScale() == BenchScale::kPaper
+          ? std::vector<int64_t>{200, 1000, 5000}
+          : std::vector<int64_t>{100, 400, 1600};
+  for (const int64_t extent : extents) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.num_users = static_cast<int>(config.num_users / 5);
+    config.grid_extent = extent;
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    const std::string label = StrFormat("%lld", (long long)extent);
+
+    DeDpoPlanner::Options sparse;
+    MeasuredRun sparse_run = MeasurePlanner(DeDpoPlanner(sparse), *instance);
+    sparse_run.algorithm = "DeDPO/sparse-dp";
+    bench.AddRun(label, sparse_run);
+
+    DeDpoPlanner::Options dense;
+    dense.dp.use_dense_table = true;
+    MeasuredRun dense_run = MeasurePlanner(DeDpoPlanner(dense), *instance);
+    dense_run.algorithm = "DeDPO/dense-dp";
+    bench.AddRun(label, dense_run);
+
+    USEP_CHECK_EQ(sparse_run.utility, dense_run.utility)
+        << "dense and sparse DP must agree";
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -1,0 +1,50 @@
+// Ablation: Lemma 1's round-trip pruning (the V'_r filter) on/off inside
+// DeDPO.  Results are provably identical — the DP's budget checks subsume
+// the filter — so this measures pure wasted work, which grows as budgets
+// tighten (more events fail the round-trip test).
+
+#include "algo/dedpo.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "ablation_lemma1");
+  FigureBench bench(
+      "ablation_lemma1", "f_b",
+      "identical utilities; pruning saves more time at tighter budgets "
+      "(smaller f_b)");
+
+  for (const double fb : {0.5, 1.0, 2.0, 5.0}) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.budget_factor = fb;
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    const std::string label = StrFormat("%.1f", fb);
+
+    DeDpoPlanner::Options pruned;
+    MeasuredRun pruned_run = MeasurePlanner(DeDpoPlanner(pruned), *instance);
+    pruned_run.algorithm = "DeDPO/lemma1-on";
+    bench.AddRun(label, pruned_run);
+
+    DeDpoPlanner::Options unpruned;
+    unpruned.dp.apply_lemma1 = false;
+    MeasuredRun unpruned_run =
+        MeasurePlanner(DeDpoPlanner(unpruned), *instance);
+    unpruned_run.algorithm = "DeDPO/lemma1-off";
+    bench.AddRun(label, unpruned_run);
+
+    USEP_CHECK_EQ(pruned_run.utility, unpruned_run.utility)
+        << "Lemma 1 pruning must not change the planning";
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

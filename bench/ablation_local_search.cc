@@ -1,0 +1,43 @@
+// Extension bench: how much the local-search post-pass (add / transfer /
+// swap moves) adds on top of each planner, and what it costs.  The weaker
+// the base planner, the larger the gain; on DeDPO+RG there is usually
+// little left to find.
+
+#include "algo/local_search.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "ablation_local_search");
+  FigureBench bench(
+      "ablation_local_search", "base",
+      "+LS never lowers utility; biggest lift on RatioGreedy, negligible on "
+      "DeDPO+RG; swap/transfer rounds cost noticeable time");
+
+  GeneratorConfig config = ScaledDefaultConfig();
+  config.capacity_mean = std::max(2.0, config.capacity_mean / 2.0);
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  USEP_CHECK(instance.ok()) << instance.status();
+
+  // RatioGreedy has no registry +LS variant; decorate it directly.
+  bench.RunPoint("RatioGreedy", *instance, {PlannerKind::kRatioGreedy});
+  {
+    const LocalSearchPlanner decorated(MakePlanner(PlannerKind::kRatioGreedy));
+    bench.AddRun("RatioGreedy", MeasurePlanner(decorated, *instance));
+  }
+  bench.RunPoint("DeGreedy+RG", *instance,
+                 {PlannerKind::kDeGreedyRg, PlannerKind::kDeGreedyRgLs});
+  bench.RunPoint("DeDPO+RG", *instance,
+                 {PlannerKind::kDeDpoRg, PlannerKind::kDeDpoRgLs});
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

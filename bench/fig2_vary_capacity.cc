@@ -1,0 +1,38 @@
+// Figure 2, column 3: effect of the mean of c_v (Uniform capacities).
+// Paper sweep: mean c_v in {10, 20, 50, 100, 200} with |V|=100, |U|=5000,
+// f_b=2, cr=0.25.
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig2_vary_capacity");
+  FigureBench bench(
+      "fig2_vary_capacity", "mean_cv",
+      "utility and running time rise with capacity; DeGreedy+RG closes more "
+      "of the gap to DeDPO than DeDPO+RG adds; DeDP memory grows linearly");
+
+  const std::vector<int64_t> values =
+      GetBenchScale() == BenchScale::kPaper
+          ? std::vector<int64_t>{10, 20, 50, 100, 200}
+          : std::vector<int64_t>{2, 5, 10, 20, 40};
+  for (const int64_t capacity : values) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.capacity_mean = static_cast<double>(capacity);
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%lld", (long long)capacity), *instance,
+                   PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -1,0 +1,33 @@
+// Figure 2, column 4: effect of the conflict ratio cr.
+// Paper sweep: cr in {0, 0.25, 0.5, 0.75, 1} with |V|=100, |U|=5000, mean
+// c_v=50, f_b=2.
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig2_vary_conflict_ratio");
+  FigureBench bench(
+      "fig2_vary_conflict_ratio", "cr",
+      "utility falls as cr rises; DeDP-family advantage over DeGreedy "
+      "widens with cr; running time of all algorithms falls with cr");
+
+  for (const double cr : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.conflict_ratio = cr;
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%.2f", cr), *instance, PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

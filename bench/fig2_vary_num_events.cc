@@ -1,0 +1,38 @@
+// Figure 2, column 1: effect of the cardinality of V.
+// Paper sweep: |V| in {20, 50, 100, 200, 500} with |U|=5000, mean c_v=50,
+// f_b=2, cr=0.25, mu ~ Uniform.
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig2_vary_num_events");
+  FigureBench bench(
+      "fig2_vary_num_events", "|V|",
+      "utility rises with |V|; DeDP(O) family best on utility, RatioGreedy "
+      "worst; DeDP slowest and far above everyone on memory");
+
+  const std::vector<int64_t> values =
+      GetBenchScale() == BenchScale::kPaper
+          ? std::vector<int64_t>{20, 50, 100, 200, 500}
+          : std::vector<int64_t>{10, 25, 50, 100, 150};
+  for (const int64_t num_events : values) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.num_events = static_cast<int>(num_events);
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%lld", (long long)num_events), *instance,
+                   PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -1,0 +1,38 @@
+// Figure 2, column 2: effect of the cardinality of U.
+// Paper sweep: |U| in {100, 200, 500, 1000, 5000} with |V|=100, mean
+// c_v=50, f_b=2, cr=0.25.
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig2_vary_num_users");
+  FigureBench bench(
+      "fig2_vary_num_users", "|U|",
+      "DeDP family best on utility but DeGreedy catches up at large |U|; "
+      "DeGreedy fastest, DeDP slowest and most memory-hungry");
+
+  const std::vector<int64_t> values =
+      GetBenchScale() == BenchScale::kPaper
+          ? std::vector<int64_t>{100, 200, 500, 1000, 5000}
+          : std::vector<int64_t>{50, 100, 250, 500, 1000};
+  for (const int64_t num_users : values) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.num_users = static_cast<int>(num_users);
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%lld", (long long)num_users), *instance,
+                   PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

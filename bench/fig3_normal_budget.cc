@@ -1,0 +1,33 @@
+// Figure 3, column 4: budgets from Normal(2 min_v cost(u,v) + mid * f_b,
+// 0.25 * mean), swept over f_b — same trends as the Uniform-budget column.
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig3_normal_budget");
+  FigureBench bench(
+      "fig3_normal_budget", "f_b",
+      "same trends as the uniform-budget sweep: utility saturates past "
+      "f_b ~ 2; DeGreedy fastest, DeDP most memory-hungry");
+
+  for (const double fb : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.budget_factor = fb;
+    config.budget_distribution = "normal";
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%.1f", fb), *instance, PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -1,0 +1,38 @@
+// Figure 3, column 3: capacities from Normal(mean, 0.25 * mean), swept over
+// the mean — same trends as the Uniform-capacity column (Figure 2 col 3).
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig3_normal_capacity");
+  FigureBench bench(
+      "fig3_normal_capacity", "mean_cv",
+      "same trends as the uniform-capacity sweep: utility and time rise "
+      "with capacity, DeDP memory grows linearly");
+
+  const std::vector<int64_t> values =
+      GetBenchScale() == BenchScale::kPaper
+          ? std::vector<int64_t>{10, 20, 50, 100, 200}
+          : std::vector<int64_t>{2, 5, 10, 20, 40};
+  for (const int64_t capacity : values) {
+    GeneratorConfig config = ScaledDefaultConfig();
+    config.capacity_mean = static_cast<double>(capacity);
+    config.capacity_distribution = "normal";
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    USEP_CHECK(instance.ok()) << instance.status();
+    bench.RunPoint(StrFormat("%lld", (long long)capacity), *instance,
+                   PaperPlannerKinds());
+  }
+  return bench.Finish();
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

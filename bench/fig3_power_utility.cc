@@ -1,0 +1,43 @@
+// Figure 3, column 2: mu generated from a power distribution (exponent
+// 0.5), plotted against f_b — the paper reports the same trends as the
+// uniform-mu column.  The harness also covers the "similar results omitted
+// for brevity" settings: Normal(0.5, 0.25) and Power(4).
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "fig3_power_utility");
+  int exit_code = 0;
+  for (const char* mu_distribution : {"power:0.5", "normal", "power:4"}) {
+    std::string id = std::string("fig3_mu_") +
+                     (std::string(mu_distribution) == "power:0.5"  ? "power05"
+                      : std::string(mu_distribution) == "power:4" ? "power4"
+                                                                  : "normal");
+    FigureBench bench(
+        id, "f_b",
+        StrFormat("same trends as the uniform-mu Figure 3 column, with mu ~ "
+                  "%s",
+                  mu_distribution));
+    for (const double fb : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+      GeneratorConfig config = ScaledDefaultConfig();
+      config.utility_distribution = mu_distribution;
+      config.budget_factor = fb;
+      const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+      USEP_CHECK(instance.ok()) << instance.status();
+      bench.RunPoint(StrFormat("%.1f", fb), *instance, PaperPlannerKinds());
+    }
+    exit_code |= bench.Finish();
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

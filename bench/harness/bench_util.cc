@@ -1,0 +1,178 @@
+#include "harness/bench_util.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "common/csv.h"
+#include "common/memhook.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/validation.h"
+
+namespace usep::bench {
+namespace {
+
+std::optional<BenchScale> g_scale_override;
+
+}  // namespace
+
+BenchScale GetBenchScale() {
+  if (g_scale_override.has_value()) return *g_scale_override;
+  const char* env = std::getenv("USEP_BENCH_SCALE");
+  if (env != nullptr && AsciiToLower(env) == "paper") {
+    return BenchScale::kPaper;
+  }
+  return BenchScale::kSmall;
+}
+
+const char* BenchScaleName(BenchScale scale) {
+  return scale == BenchScale::kPaper ? "paper" : "small";
+}
+
+GeneratorConfig ScaledDefaultConfig() {
+  GeneratorConfig config;  // Defaults are already the paper's bold values.
+  if (GetBenchScale() == BenchScale::kSmall) {
+    config.num_events = 50;
+    config.num_users = 500;
+    config.capacity_mean = 10.0;
+  }
+  return config;
+}
+
+MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance) {
+  MeasuredRun run;
+  run.algorithm = std::string(planner.name());
+
+  const size_t heap_before = memhook::CurrentBytes();
+  memhook::ResetPeak();
+  Stopwatch stopwatch;
+  const PlannerResult result = planner.Plan(instance);
+  run.time_ms = stopwatch.ElapsedMillis();
+
+  if (memhook::IsActive()) {
+    const size_t peak = memhook::PeakBytes();
+    run.peak_bytes = peak > heap_before ? peak - heap_before : 0;
+  } else {
+    run.peak_bytes = result.stats.logical_peak_bytes;
+  }
+
+  run.utility = result.planning.total_utility();
+  run.assignments = result.planning.total_assignments();
+  run.validated = ValidatePlanning(instance, result.planning).ok();
+  return run;
+}
+
+FigureBench::FigureBench(std::string figure_id, std::string parameter_name,
+                         std::string expected_shape)
+    : figure_id_(std::move(figure_id)),
+      parameter_name_(std::move(parameter_name)),
+      expected_shape_(std::move(expected_shape)) {
+  std::fprintf(stderr, "[%s] scale=%s\n", figure_id_.c_str(),
+               BenchScaleName(GetBenchScale()));
+}
+
+void FigureBench::RunPoint(const std::string& parameter_value,
+                           const Instance& instance,
+                           const std::vector<PlannerKind>& kinds) {
+  std::fprintf(stderr, "[%s] %s = %s: %s\n", figure_id_.c_str(),
+               parameter_name_.c_str(), parameter_value.c_str(),
+               instance.DebugSummary().c_str());
+  for (const PlannerKind kind : kinds) {
+    const std::unique_ptr<Planner> planner = MakePlanner(kind);
+    MeasuredRun run = MeasurePlanner(*planner, instance);
+    std::fprintf(stderr, "[%s]   %-16s utility=%.1f time=%.1fms peak=%s%s\n",
+                 figure_id_.c_str(), run.algorithm.c_str(), run.utility,
+                 run.time_ms, HumanBytes(run.peak_bytes).c_str(),
+                 run.validated ? "" : "  ** INVALID PLANNING **");
+    rows_.push_back(Row{parameter_value, std::move(run)});
+  }
+}
+
+void FigureBench::AddRun(const std::string& parameter_value,
+                         const MeasuredRun& run) {
+  rows_.push_back(Row{parameter_value, run});
+}
+
+int FigureBench::Finish() {
+  std::printf("\n=== %s ===\n", figure_id_.c_str());
+  std::printf("Expected shape: %s\n", expected_shape_.c_str());
+  std::printf("Scale: %s (set USEP_BENCH_SCALE=paper for Table 7 sizes)\n\n",
+              BenchScaleName(GetBenchScale()));
+
+  TablePrinter table({parameter_name_, "algorithm", "utility", "time_ms",
+                      "peak_mem", "assignments", "valid"});
+  for (const Row& row : rows_) {
+    table.AddRow({row.parameter_value, row.run.algorithm,
+                  StrFormat("%.2f", row.run.utility),
+                  StrFormat("%.2f", row.run.time_ms),
+                  HumanBytes(row.run.peak_bytes),
+                  StrFormat("%d", row.run.assignments),
+                  row.run.validated ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  ::mkdir("bench_results", 0755);
+  const std::string csv_path = "bench_results/" + figure_id_ + ".csv";
+  std::ofstream csv_file(csv_path);
+  if (csv_file) {
+    CsvWriter csv(&csv_file);
+    csv.WriteRow({"figure", "scale", parameter_name_, "algorithm", "utility",
+                  "time_ms", "peak_bytes", "assignments", "valid"});
+    for (const Row& row : rows_) {
+      csv.WriteRow({figure_id_, BenchScaleName(GetBenchScale()),
+                    row.parameter_value, row.run.algorithm,
+                    StrFormat("%.6f", row.run.utility),
+                    StrFormat("%.3f", row.run.time_ms),
+                    StrFormat("%zu", row.run.peak_bytes),
+                    StrFormat("%d", row.run.assignments),
+                    row.run.validated ? "yes" : "no"});
+    }
+    std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+
+  bool all_valid = true;
+  for (const Row& row : rows_) all_valid &= row.run.validated;
+  if (!all_valid) {
+    std::fprintf(stderr, "[%s] ERROR: some planner produced an invalid "
+                         "planning\n",
+                 figure_id_.c_str());
+  }
+  return all_valid ? 0 : 1;
+}
+
+void InitBenchmark(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "Usage: %s [--scale=small|paper]\n"
+          "Reproduces one column of the paper's evaluation figures; see\n"
+          "DESIGN.md for the experiment index.  Results also land in\n"
+          "bench_results/%s.csv.\n",
+          name.c_str(), name.c_str());
+      std::exit(0);
+    }
+    if (StartsWith(arg, "--scale=")) {
+      const std::string value = AsciiToLower(arg.substr(8));
+      if (value == "paper") {
+        g_scale_override = BenchScale::kPaper;
+      } else if (value == "small") {
+        g_scale_override = BenchScale::kSmall;
+      } else {
+        std::fprintf(stderr, "unknown scale '%s'\n", value.c_str());
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace usep::bench

@@ -1,0 +1,97 @@
+#ifndef USEP_BENCH_HARNESS_BENCH_UTIL_H_
+#define USEP_BENCH_HARNESS_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/planner_registry.h"
+#include "core/instance.h"
+#include "gen/generator_config.h"
+
+namespace usep::bench {
+
+// Every figure benchmark supports two scales:
+//  - kSmall (default): reduced |V|/|U| so the whole bench suite finishes in
+//    minutes; preserves the figures' *shapes* (who wins, how curves trend).
+//  - kPaper: the full Table 7 parameters (expect long runtimes and, for
+//    DeDP, hundreds of MB to GBs of memory).
+// Selected via the USEP_BENCH_SCALE environment variable ("small"/"paper").
+enum class BenchScale { kSmall, kPaper };
+
+BenchScale GetBenchScale();
+const char* BenchScaleName(BenchScale scale);
+
+// Convenience: value for the current scale.
+inline int64_t Pick(int64_t small, int64_t paper) {
+  return GetBenchScale() == BenchScale::kPaper ? paper : small;
+}
+inline double PickDouble(double small, double paper) {
+  return GetBenchScale() == BenchScale::kPaper ? paper : small;
+}
+
+// The Table 7 bold defaults at the current scale: |V|=100, |U|=5000,
+// mean c_v=50, f_b=2, cr=0.25 at kPaper; |V|=50, |U|=500, mean c_v=10 at
+// kSmall (same ratios, minutes instead of hours of runtime).
+GeneratorConfig ScaledDefaultConfig();
+
+// One measured planner execution.
+struct MeasuredRun {
+  std::string algorithm;
+  double utility = 0.0;
+  double time_ms = 0.0;
+  size_t peak_bytes = 0;  // Allocation-hook peak delta (or logical fallback).
+  int assignments = 0;
+  bool validated = false;
+};
+
+// Runs `planner` on `instance`, re-validates the planning, and measures
+// wall time plus the peak heap growth during the run (the global allocation
+// hook from usep_memhook must be linked in; falls back to the planner's
+// logical estimate otherwise).
+MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance);
+
+// Collects the (parameter value, algorithm) -> series rows of one paper
+// figure column and renders them as the three panels (utility, running
+// time, memory) plus a machine-readable CSV under bench_results/.
+//
+//   FigureBench bench("fig2_vary_num_events", "|V|",
+//                     "utility up with |V|; DeDP slow & memory-hungry");
+//   for (...) bench.RunPoint(value_label, instance, PaperPlannerKinds());
+//   return bench.Finish();
+class FigureBench {
+ public:
+  FigureBench(std::string figure_id, std::string parameter_name,
+              std::string expected_shape);
+
+  // Runs every planner kind on the instance at this parameter point.
+  void RunPoint(const std::string& parameter_value, const Instance& instance,
+                const std::vector<PlannerKind>& kinds);
+
+  // Adds an externally measured run (used by the ablation benches).
+  void AddRun(const std::string& parameter_value, const MeasuredRun& run);
+
+  // Prints the tables and writes bench_results/<figure_id>.csv.
+  // Returns a process exit code (0 on success, 1 if any run failed
+  // validation).
+  int Finish();
+
+ private:
+  struct Row {
+    std::string parameter_value;
+    MeasuredRun run;
+  };
+
+  std::string figure_id_;
+  std::string parameter_name_;
+  std::string expected_shape_;
+  std::vector<Row> rows_;
+};
+
+// Standard flag handling for figure benches: supports --help and
+// --scale=small|paper (overriding the environment variable).  Exits the
+// process on --help.  Call first in main().
+void InitBenchmark(int argc, char** argv, const std::string& name);
+
+}  // namespace usep::bench
+
+#endif  // USEP_BENCH_HARNESS_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+// Google-benchmark micro-benchmarks of the hot inner operations every
+// planner leans on: Equation (3) insertion search, single-user DP and
+// greedy, ratio comparison, instance generation and conflict precomputes.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/dp_single.h"
+#include "algo/greedy_single.h"
+#include "algo/planner_registry.h"
+#include "algo/ratio.h"
+#include "common/logging.h"
+#include "core/schedule.h"
+#include "gen/synthetic_generator.h"
+
+namespace usep {
+namespace {
+
+GeneratorConfig MicroConfig(int num_events, int num_users) {
+  GeneratorConfig config;
+  config.num_events = num_events;
+  config.num_users = num_users;
+  config.capacity_mean = 10.0;
+  config.seed = 99;
+  return config;
+}
+
+std::vector<UserCandidate> CandidatesFor(const Instance& instance, UserId u) {
+  std::vector<UserCandidate> candidates;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (instance.utility(v, u) > 0.0) {
+      candidates.push_back(UserCandidate{v, instance.utility(v, u)});
+    }
+  }
+  return candidates;
+}
+
+void BM_FindInsertion(benchmark::State& state) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MicroConfig(static_cast<int>(state.range(0)),
+                                            4));
+  USEP_CHECK(instance.ok());
+  Schedule schedule(0);
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    if (schedule.size() >= 5) break;
+    schedule.TryInsert(*instance, v);
+  }
+  EventId probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.FindInsertion(*instance, probe));
+    probe = (probe + 1) % instance->num_events();
+  }
+}
+BENCHMARK(BM_FindInsertion)->Arg(50)->Arg(200);
+
+void BM_DpSingle(benchmark::State& state) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MicroConfig(static_cast<int>(state.range(0)),
+                                            4));
+  USEP_CHECK(instance.ok());
+  const std::vector<UserCandidate> candidates = CandidatesFor(*instance, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpSingle(*instance, 0, candidates));
+  }
+}
+BENCHMARK(BM_DpSingle)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_DpSingleDense(benchmark::State& state) {
+  GeneratorConfig config = MicroConfig(static_cast<int>(state.range(0)), 4);
+  config.grid_extent = 200;  // Keep budgets (table width) moderate.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  USEP_CHECK(instance.ok());
+  const std::vector<UserCandidate> candidates = CandidatesFor(*instance, 0);
+  SingleUserOptions options;
+  options.use_dense_table = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpSingle(*instance, 0, candidates, options));
+  }
+}
+BENCHMARK(BM_DpSingleDense)->Arg(25)->Arg(50);
+
+void BM_GreedySingle(benchmark::State& state) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MicroConfig(static_cast<int>(state.range(0)),
+                                            4));
+  USEP_CHECK(instance.ok());
+  const std::vector<UserCandidate> candidates = CandidatesFor(*instance, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedySingle(*instance, 0, candidates));
+  }
+}
+BENCHMARK(BM_GreedySingle)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_CompareRatio(benchmark::State& state) {
+  const RatioKey a{0.37, 113};
+  const RatioKey b{0.41, 127};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareRatio(a, b));
+  }
+}
+BENCHMARK(BM_CompareRatio);
+
+void BM_GenerateInstance(benchmark::State& state) {
+  GeneratorConfig config = MicroConfig(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    config.seed += 1;  // Different instance every iteration.
+    benchmark::DoNotOptimize(GenerateSyntheticInstance(config));
+  }
+}
+BENCHMARK(BM_GenerateInstance)->Args({50, 500})->Args({100, 1000});
+
+// End-to-end planner timings on a default-shaped instance, |V| = range(0),
+// |U| = 10 * |V|.
+template <PlannerKind kKind>
+void BM_Planner(benchmark::State& state) {
+  GeneratorConfig config = MicroConfig(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(0)) * 10);
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  USEP_CHECK(instance.ok());
+  const std::unique_ptr<Planner> planner = MakePlanner(kKind);
+  double utility = 0.0;
+  for (auto _ : state) {
+    utility = planner->Plan(*instance).planning.total_utility();
+    benchmark::DoNotOptimize(utility);
+  }
+  state.counters["utility"] = utility;
+}
+BENCHMARK(BM_Planner<PlannerKind::kRatioGreedy>)->Arg(20)->Arg(50);
+BENCHMARK(BM_Planner<PlannerKind::kDeDpo>)->Arg(20)->Arg(50);
+BENCHMARK(BM_Planner<PlannerKind::kDeGreedy>)->Arg(20)->Arg(50);
+BENCHMARK(BM_Planner<PlannerKind::kOnlineDp>)->Arg(20)->Arg(50);
+
+void BM_MeasuredConflictRatio(benchmark::State& state) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MicroConfig(static_cast<int>(state.range(0)),
+                                            4));
+  USEP_CHECK(instance.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance->MeasuredConflictRatio());
+  }
+}
+BENCHMARK(BM_MeasuredConflictRatio)->Arg(100)->Arg(300);
+
+}  // namespace
+}  // namespace usep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Tables 1 & 3-5 / Examples 1-4: the paper's running example, replayed.
+// Prints the instance (Table 1), then each algorithm's final planning and
+// total utility, mirroring the narrative of Examples 2 (RatioGreedy),
+// 3 (DeDP) and 4 (DeGreedy), plus the exact optimum for reference.
+// Geometry note: Figure 1a's coordinates are only published as a picture;
+// ours separates the algorithms the same way (RatioGreedy lands on the
+// paper's 3.6).
+
+#include <cstdio>
+#include <iostream>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/validation.h"
+#include "gen/paper_example.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+std::string MinutesToClock(TimePoint minutes) {
+  return StrFormat("%lld:%02lld", (long long)(minutes / 60),
+                   (long long)(minutes % 60));
+}
+
+int Main(int argc, char** argv) {
+  InitBenchmark(argc, argv, "table1_running_example");
+  const Instance instance = MakePaperExampleInstance();
+
+  std::printf("=== Table 1: utility between events and users, times ===\n");
+  TablePrinter table1({"", "u1 (59)", "u2 (29)", "u3 (51)", "u4 (9)",
+                       "u5 (33)", "time"});
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    std::vector<std::string> row;
+    row.push_back(StrFormat("%s (%d)", instance.event(v).name.c_str(),
+                            instance.event(v).capacity));
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      row.push_back(StrFormat("%.1f", instance.utility(v, u)));
+    }
+    row.push_back(MinutesToClock(instance.event(v).interval.start) + "-" +
+                  MinutesToClock(instance.event(v).interval.end));
+    table1.AddRow(row);
+  }
+  table1.Print(std::cout);
+
+  std::printf("\n=== Examples 2-4: final plannings ===\n");
+  TablePrinter plannings({"algorithm", "planning", "Omega", "valid"});
+  bool all_valid = true;
+  const auto run = [&](const Planner& planner) {
+    const PlannerResult result = planner.Plan(instance);
+    std::string schedules;
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      const Schedule& schedule = result.planning.schedule(u);
+      if (schedule.empty()) continue;
+      if (!schedules.empty()) schedules += "  ";
+      schedules += StrFormat("S_u%d={", u + 1);
+      for (size_t i = 0; i < schedule.events().size(); ++i) {
+        if (i > 0) schedules += ",";
+        schedules += instance.event(schedule.events()[i]).name;
+      }
+      schedules += "}";
+    }
+    const bool valid = ValidatePlanning(instance, result.planning).ok();
+    all_valid &= valid;
+    plannings.AddRow({std::string(planner.name()), schedules,
+                      StrFormat("%.2f", result.planning.total_utility()),
+                      valid ? "yes" : "NO"});
+  };
+
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    run(*MakePlanner(kind));
+  }
+  run(ExactPlanner());
+  plannings.Print(std::cout);
+
+  std::printf(
+      "\nPaper reference (its Figure 1a geometry): RatioGreedy 3.6, DeDP "
+      "4.6, DeGreedy 4.5.\nOur geometry reproduces the same separation "
+      "(RatioGreedy < DeGreedy < DeDP <= Exact).\n");
+  return all_valid ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -1,0 +1,81 @@
+// Explores the budget-factor trade-off the paper's Figure 3 documents:
+// utility rises with f_b but saturates once event capacities (not budgets)
+// become the binding constraint.  Useful for an EBSN operator asking "how
+// far do users need to be willing to travel before the catalogue is the
+// bottleneck?".
+//
+//   ./build/examples/budget_explorer [--num_events=N] [--num_users=N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "algo/planner_registry.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gen/synthetic_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace usep;
+
+  FlagSet flags("budget_explorer");
+  int64_t* num_events = flags.AddInt64("num_events", 40, "catalogue size");
+  int64_t* num_users = flags.AddInt64("num_users", 400, "community size");
+  int64_t* capacity = flags.AddInt64("capacity_mean", 8, "mean event capacity");
+  int64_t* seed = flags.AddInt64("seed", 7, "generator seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+
+  TablePrinter table({"f_b", "Omega(A)", "assignments", "seat_fill_%",
+                      "avg_budget_used_%"});
+  for (const double fb : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    GeneratorConfig config;
+    config.num_events = static_cast<int>(*num_events);
+    config.num_users = static_cast<int>(*num_users);
+    config.capacity_mean = static_cast<double>(*capacity);
+    config.budget_factor = fb;
+    config.seed = static_cast<uint64_t>(*seed);
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+      return 1;
+    }
+
+    const PlannerResult result =
+        MakePlanner(PlannerKind::kDeDpoRg)->Plan(*instance);
+
+    int64_t seats = 0;
+    for (EventId v = 0; v < instance->num_events(); ++v) {
+      seats += std::min(instance->event(v).capacity, instance->num_users());
+    }
+    double budget_used = 0.0;
+    int planned_users = 0;
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      const Schedule& schedule = result.planning.schedule(u);
+      if (schedule.empty()) continue;
+      ++planned_users;
+      budget_used += static_cast<double>(schedule.route_cost()) /
+                     static_cast<double>(instance->user(u).budget);
+    }
+
+    table.AddRow(
+        {StrFormat("%.2f", fb),
+         StrFormat("%.1f", result.planning.total_utility()),
+         StrFormat("%d", result.planning.total_assignments()),
+         StrFormat("%.1f",
+                   100.0 * result.planning.total_assignments() / seats),
+         StrFormat("%.1f", planned_users > 0
+                               ? 100.0 * budget_used / planned_users
+                               : 0.0)});
+  }
+
+  std::printf("DeDPO+RG on |V|=%lld, |U|=%lld, mean c_v=%lld\n",
+              (long long)*num_events, (long long)*num_users,
+              (long long)*capacity);
+  table.Print(std::cout);
+  std::printf("\nReading: Omega climbs with f_b, then flattens once "
+              "seat_fill saturates — the paper's Figure 3 shape.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Workload-generator CLI: produce a Table 7 synthetic instance (or a
+// simulated Meetup city) from command-line knobs, report its statistics,
+// and write it as a USEP-INSTANCE file that usep_solve (or any downstream
+// tool) can consume.
+//
+//   ./build/examples/usep_generate --num_events=50 --num_users=500
+//       --conflict_ratio=0.5 --output=/tmp/synthetic.instance
+//   ./build/examples/usep_generate --city=vancouver --output=/tmp/van.instance
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "ebsn/meetup_simulator.h"
+#include "gen/synthetic_generator.h"
+#include "gen/workload_report.h"
+#include "io/instance_io.h"
+
+int main(int argc, char** argv) {
+  using namespace usep;
+
+  FlagSet flags("usep_generate");
+  std::string* output = flags.AddString("output", "", "instance file to write");
+  std::string* city =
+      flags.AddString("city", "", "vancouver|auckland|singapore (overrides "
+                                  "the synthetic knobs below)");
+  int64_t* num_events = flags.AddInt64("num_events", 100, "|V|");
+  int64_t* num_users = flags.AddInt64("num_users", 5000, "|U|");
+  std::string* utility_distribution = flags.AddString(
+      "utility_distribution", "uniform", "uniform | normal | power:<a>");
+  double* capacity_mean = flags.AddDouble("capacity_mean", 50.0, "mean c_v");
+  std::string* capacity_distribution =
+      flags.AddString("capacity_distribution", "uniform", "uniform | normal");
+  double* budget_factor = flags.AddDouble("budget_factor", 2.0, "f_b");
+  std::string* budget_distribution =
+      flags.AddString("budget_distribution", "uniform", "uniform | normal");
+  double* conflict_ratio = flags.AddDouble("conflict_ratio", 0.25, "cr");
+  std::string* conflict_strategy = flags.AddString(
+      "conflict_strategy", "random_windows", "random_windows | clique");
+  bool* travel_aware = flags.AddBool(
+      "travel_aware", false, "use the travel-time-aware conflict policy");
+  int64_t* seed = flags.AddInt64("seed", 20150531, "generator seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+  if (output->empty()) {
+    std::fprintf(stderr, "--output is required\n%s",
+                 flags.UsageString().c_str());
+    return 2;
+  }
+
+  StatusOr<Instance> instance = Status::Internal("unreachable");
+  if (!city->empty()) {
+    CityConfig config;
+    const std::string lower = AsciiToLower(*city);
+    if (lower == "vancouver") {
+      config = VancouverConfig();
+    } else if (lower == "auckland") {
+      config = AucklandConfig();
+    } else if (lower == "singapore") {
+      config = SingaporeConfig();
+    } else {
+      std::fprintf(stderr, "unknown city '%s'\n", city->c_str());
+      return 2;
+    }
+    MeetupSimOptions options;
+    options.budget_factor = *budget_factor;
+    options.budget_distribution = *budget_distribution;
+    options.capacity_distribution = *capacity_distribution;
+    options.seed = static_cast<uint64_t>(*seed);
+    if (*travel_aware) {
+      options.conflict_policy = ConflictPolicy::kTravelTimeAware;
+    }
+    instance = SimulateCity(config, options);
+  } else {
+    GeneratorConfig config;
+    config.num_events = static_cast<int>(*num_events);
+    config.num_users = static_cast<int>(*num_users);
+    config.utility_distribution = *utility_distribution;
+    config.capacity_mean = *capacity_mean;
+    config.capacity_distribution = *capacity_distribution;
+    config.budget_factor = *budget_factor;
+    config.budget_distribution = *budget_distribution;
+    config.conflict_ratio = *conflict_ratio;
+    config.seed = static_cast<uint64_t>(*seed);
+    if (AsciiToLower(*conflict_strategy) == "clique") {
+      config.conflict_strategy = ConflictStrategy::kClique;
+    } else if (AsciiToLower(*conflict_strategy) != "random_windows") {
+      std::fprintf(stderr, "unknown conflict strategy '%s'\n",
+                   conflict_strategy->c_str());
+      return 2;
+    }
+    if (*travel_aware) {
+      config.conflict_policy = ConflictPolicy::kTravelTimeAware;
+    }
+    std::printf("%s\n", config.ToString().c_str());
+    instance = GenerateSyntheticInstance(config);
+  }
+
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", AnalyzeInstance(*instance).ToString().c_str());
+
+  const Status wrote = WriteInstanceFile(*instance, *output);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output->c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Generic command-line solver: read a USEP instance file, run one or more
+// planners, report statistics, optionally write the best planning back out.
+// The io counterpart of the library — what a downstream user scripts
+// against.
+//
+//   # Generate an instance first (or write one by hand; see io/instance_io.h):
+//   ./build/examples/city_event_planner --city=auckland --save_prefix=/tmp/akl
+//   # Solve it:
+//   ./build/examples/usep_solve --instance=/tmp/akl.instance
+//       --planners=DeDPO+RG,DeGreedy+RG --output=/tmp/akl.best
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "algo/planner_registry.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/planning_stats.h"
+#include "core/validation.h"
+#include "io/instance_io.h"
+#include "io/planning_io.h"
+
+int main(int argc, char** argv) {
+  using namespace usep;
+
+  FlagSet flags("usep_solve");
+  std::string* instance_path =
+      flags.AddString("instance", "", "path to a USEP-INSTANCE file");
+  std::string* planners_flag = flags.AddString(
+      "planners", "DeDPO+RG,DeGreedy+RG,RatioGreedy",
+      "comma-separated planner names (see algo/planner_registry.h)");
+  std::string* output_path = flags.AddString(
+      "output", "", "write the best planning to this path (optional)");
+  bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+  if (instance_path->empty()) {
+    std::fprintf(stderr, "--instance is required\n%s",
+                 flags.UsageString().c_str());
+    return 2;
+  }
+
+  const StatusOr<Instance> instance = ReadInstanceFile(*instance_path);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", instance->DebugSummary().c_str());
+
+  TablePrinter table({"planner", "Omega", "time_ms", "planned_users",
+                      "seat_fill_%", "gini"});
+  std::optional<PlannerResult> best;
+  std::string best_name;
+  for (const std::string& raw_name : Split(*planners_flag, ',')) {
+    const StatusOr<std::unique_ptr<Planner>> planner =
+        MakePlannerByName(raw_name);
+    if (!planner.ok()) {
+      std::fprintf(stderr, "%s\n", planner.status().ToString().c_str());
+      return 2;
+    }
+    PlannerResult result = (*planner)->Plan(*instance);
+    const Status feasible = CheckPlanningFeasible(*instance, result.planning);
+    if (!feasible.ok()) {
+      std::fprintf(stderr, "planner %s produced an invalid planning:\n%s\n",
+                   raw_name.c_str(), feasible.ToString().c_str());
+      return 1;
+    }
+    const PlanningStats stats =
+        ComputePlanningStats(*instance, result.planning);
+    table.AddRow({std::string((*planner)->name()),
+                  StrFormat("%.3f", stats.total_utility),
+                  StrFormat("%.1f", result.stats.wall_seconds * 1e3),
+                  StrFormat("%d/%d", stats.users_with_plans, stats.num_users),
+                  StrFormat("%.1f", 100.0 * stats.seat_fill_rate),
+                  StrFormat("%.3f", stats.utility_gini)});
+    if (*verbose) {
+      std::printf("%s\n", result.planning.ToString().c_str());
+    }
+    if (!best.has_value() ||
+        result.planning.total_utility() > best->planning.total_utility()) {
+      best_name = std::string((*planner)->name());
+      best = std::move(result);
+    }
+  }
+  table.Print(std::cout);
+
+  if (best.has_value()) {
+    std::printf("\nbest: %s (Omega = %.3f)\n", best_name.c_str(),
+                best->planning.total_utility());
+    if (!output_path->empty()) {
+      const Status wrote = WritePlanningFile(best->planning, *output_path);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", output_path->c_str());
+    }
+  }
+  return 0;
+}

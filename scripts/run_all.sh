@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, every figure/ablation
+# benchmark, the micro-benchmarks and the examples, mirroring what CI does.
+# Pass "paper" to run the benchmarks at the paper's Table 7 sizes (slow).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+export USEP_BENCH_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" --output-on-failure \
+  2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "== $b (scale: $SCALE)"
+    "$b"
+  fi
+done) 2>&1 | tee bench_output.txt
+
+echo "== examples"
+./build/examples/quickstart
+./build/examples/weekend_planner
+./build/examples/budget_explorer
+./build/examples/usep_generate --num_events=30 --num_users=200 \
+  --output=/tmp/usep_demo.instance
+./build/examples/usep_solve --instance=/tmp/usep_demo.instance
+./build/examples/city_event_planner --city=auckland
+
+echo "All green.  Figure series: bench_results/*.csv"

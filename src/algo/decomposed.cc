@@ -1,0 +1,148 @@
+#include "algo/decomposed.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/ratio_greedy.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace usep {
+
+SelectArray MakeSelectArray(const Instance& instance) {
+  SelectArray select(instance.num_events());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    // Algorithm 3/4 line 1: capacities are clamped to |U| — more copies than
+    // users can never be claimed.
+    const int copies =
+        std::min(instance.event(v).capacity, instance.num_users());
+    select[v].assign(static_cast<size_t>(copies), -1);
+  }
+  return select;
+}
+
+CopyChoice ChooseCopy(const Instance& instance, const SelectArray& select,
+                      EventId v, UserId u) {
+  const double mu = instance.utility(v, u);
+  const std::vector<int>& copies = select[v];
+
+  // An unclaimed copy keeps the full mu(v, u); any claimed copy's value is
+  // mu(v, u) - mu(v, claimant) with mu(v, claimant) > 0, strictly worse.
+  // So prefer the first unclaimed copy, else the copy whose last claimant
+  // values the event least.
+  CopyChoice choice;
+  double smallest_claimant_mu = 0.0;
+  for (int k = 0; k < static_cast<int>(copies.size()); ++k) {
+    if (copies[k] < 0) {
+      return CopyChoice{k, mu};
+    }
+    const double claimant_mu = instance.utility(v, copies[k]);
+    if (choice.copy < 0 || claimant_mu < smallest_claimant_mu) {
+      choice.copy = k;
+      smallest_claimant_mu = claimant_mu;
+    }
+  }
+  choice.mu_prime = mu - smallest_claimant_mu;
+  return choice;
+}
+
+std::vector<UserCandidate> BuildCandidates(const Instance& instance,
+                                           const SelectArray& select, UserId u,
+                                           std::vector<int>* chosen_copy) {
+  std::vector<UserCandidate> candidates;
+  candidates.reserve(instance.num_events());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const CopyChoice choice = ChooseCopy(instance, select, v, u);
+    if (choice.copy < 0 || !(choice.mu_prime > 0.0)) continue;
+    candidates.push_back(UserCandidate{v, choice.mu_prime});
+    (*chosen_copy)[v] = choice.copy;
+  }
+  return candidates;
+}
+
+Planning AssemblePlanning(const Instance& instance,
+                          const SelectArray& select) {
+  // Gather each user's surviving events, then insert them in time order so
+  // every intermediate state is a prefix-subset of the (feasible) first-step
+  // schedule.
+  std::vector<std::vector<EventId>> events_of_user(instance.num_users());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (const int claimant : select[v]) {
+      if (claimant >= 0) events_of_user[claimant].push_back(v);
+    }
+  }
+
+  Planning planning(instance);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    std::vector<EventId>& events = events_of_user[u];
+    std::sort(events.begin(), events.end(), [&](EventId a, EventId b) {
+      return instance.SortedRank(a) < instance.SortedRank(b);
+    });
+    for (const EventId v : events) {
+      const bool assigned = planning.TryAssign(v, u);
+      USEP_CHECK(assigned) << "second-step schedule became infeasible for "
+                              "user "
+                           << u << ", event " << v
+                           << " — decomposition invariant broken";
+    }
+  }
+  return planning;
+}
+
+const char* UserOrderName(UserOrder order) {
+  switch (order) {
+    case UserOrder::kInstanceOrder:
+      return "instance";
+    case UserOrder::kShuffled:
+      return "shuffled";
+    case UserOrder::kBudgetAscending:
+      return "budget-asc";
+    case UserOrder::kBudgetDescending:
+      return "budget-desc";
+  }
+  return "unknown";
+}
+
+std::vector<UserId> MakeUserOrder(const Instance& instance, UserOrder order,
+                                  uint64_t seed) {
+  std::vector<UserId> users(instance.num_users());
+  std::iota(users.begin(), users.end(), 0);
+  switch (order) {
+    case UserOrder::kInstanceOrder:
+      break;
+    case UserOrder::kShuffled: {
+      Rng rng(seed);
+      for (int i = instance.num_users() - 1; i > 0; --i) {
+        std::swap(users[i], users[rng.UniformInt(0, i)]);
+      }
+      break;
+    }
+    case UserOrder::kBudgetAscending:
+      std::stable_sort(users.begin(), users.end(),
+                       [&instance](UserId a, UserId b) {
+                         return instance.user(a).budget <
+                                instance.user(b).budget;
+                       });
+      break;
+    case UserOrder::kBudgetDescending:
+      std::stable_sort(users.begin(), users.end(),
+                       [&instance](UserId a, UserId b) {
+                         return instance.user(a).budget >
+                                instance.user(b).budget;
+                       });
+      break;
+  }
+  return users;
+}
+
+void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
+                            PlannerStats* stats) {
+  std::vector<EventId> spare;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (!planning->EventFull(v)) spare.push_back(v);
+  }
+  if (spare.empty()) return;
+  RatioGreedyPlanner::Augment(instance, spare, planning, stats);
+}
+
+}  // namespace usep

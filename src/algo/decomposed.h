@@ -1,0 +1,86 @@
+#ifndef USEP_ALGO_DECOMPOSED_H_
+#define USEP_ALGO_DECOMPOSED_H_
+
+#include <vector>
+
+#include "algo/dp_single.h"
+#include "algo/planner.h"
+
+namespace usep {
+
+// Shared machinery of the two-step approximation framework (Section 4):
+// pseudo-event bookkeeping, the per-iteration champion-copy selection, and
+// the final planning assembly.
+//
+// The framework decomposes USEP into |U| single-user subproblems processed
+// in user order.  Each event v_i is expanded into min(c_{v_i}, |U|)
+// unit-capacity pseudo-events v_{i,k}.  In iteration r the solver sees, for
+// each event, the pseudo-copy with the largest decomposed utility
+// mu^r(v_{i,k}, u_r); chosen copies are stamped with the user.  The second
+// step keeps each copy only for the *last* user who claimed it, which is
+// exactly the paper's reverse-order removal.
+//
+// DeDPO and DeGreedy use the Lemma 2 `select` representation below; DeDP
+// materializes the full mu^r array instead (see dedp.cc) but must produce an
+// identical planning — a property the tests enforce.
+
+// select(v_i, k): the last user (so far) to have claimed pseudo-event
+// v_{i,k}, or -1.  Outer index: event; inner: copy.
+using SelectArray = std::vector<std::vector<int>>;
+
+// Builds the select array with min(c_v, |U|) unclaimed copies per event.
+SelectArray MakeSelectArray(const Instance& instance);
+
+// The champion pseudo-copy of one event for the current user, per Algorithm
+// 4 lines 5-7.
+struct CopyChoice {
+  int copy = -1;         // Index k of the chosen pseudo-copy.
+  double mu_prime = 0.0; // mu^r(v_{i,k}, u_r) = mu(v_i,u_r) [- mu(v_i, last)]
+};
+
+// Picks the copy with the largest decomposed utility: an unclaimed copy
+// yields mu(v_i, u); when every copy is claimed the best is the one whose
+// last claimant had the smallest original utility.  Deterministic ties:
+// smallest copy index.
+CopyChoice ChooseCopy(const Instance& instance, const SelectArray& select,
+                      EventId v, UserId u);
+
+// The V_r candidate set for user `u`: one champion copy per event, keeping
+// only mu' > 0.  `chosen_copy[v]` receives the champion index for each
+// candidate event (untouched otherwise).
+std::vector<UserCandidate> BuildCandidates(const Instance& instance,
+                                           const SelectArray& select, UserId u,
+                                           std::vector<int>* chosen_copy);
+
+// Second step: turns the final select array into a Planning by assigning
+// each claimed copy to its last claimant.  Every assignment must succeed —
+// schedules are subsets of the feasible first-step schedules — and the
+// function checks that it does.
+Planning AssemblePlanning(const Instance& instance, const SelectArray& select);
+
+// Post-pass of Section 4.3.2: runs RatioGreedy restricted to events with
+// spare capacity to top up `planning` (the +RG in DeDPO+RG / DeGreedy+RG).
+// Never lowers the utility, and preserves the 1/2-approximation.
+void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
+                            PlannerStats* stats);
+
+// In which order the framework processes users.  The paper fixes instance
+// order; Theorem 3's induction is order-agnostic, so any order keeps the
+// 1/2 guarantee — but the achieved utility shifts, because later users can
+// steal pseudo-copies from earlier ones only by out-valuing them
+// (bench/ablation_user_order quantifies this).
+enum class UserOrder {
+  kInstanceOrder,      // u_1, u_2, ... as given (the paper's choice).
+  kShuffled,           // Deterministic shuffle from `seed`.
+  kBudgetAscending,    // Tightest budgets first.
+  kBudgetDescending,   // Richest budgets first.
+};
+
+const char* UserOrderName(UserOrder order);
+
+std::vector<UserId> MakeUserOrder(const Instance& instance, UserOrder order,
+                                  uint64_t seed);
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_DECOMPOSED_H_

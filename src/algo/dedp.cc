@@ -1,0 +1,103 @@
+#include "algo/dedp.h"
+
+#include <algorithm>
+
+#include "algo/decomposed.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+
+PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  PlannerStats stats;
+
+  const int num_users = instance.num_users();
+  const int num_events = instance.num_events();
+
+  // Pseudo-event layout: copies of event v live at rows
+  // [copy_offset[v], copy_offset[v] + copies(v)), each row holding one
+  // mu^r value per user.
+  std::vector<size_t> copy_offset(num_events + 1, 0);
+  for (EventId v = 0; v < num_events; ++v) {
+    const int copies = std::min(instance.event(v).capacity, num_users);
+    copy_offset[v + 1] = copy_offset[v] + static_cast<size_t>(copies);
+  }
+  const size_t total_copies = copy_offset[num_events];
+
+  // The full mu^r array Algorithm 3 carries around — the memory hog.
+  std::vector<double> mu(total_copies * static_cast<size_t>(num_users));
+  for (EventId v = 0; v < num_events; ++v) {
+    for (size_t row = copy_offset[v]; row < copy_offset[v + 1]; ++row) {
+      for (UserId j = 0; j < num_users; ++j) {
+        mu[row * num_users + j] = instance.utility(v, j);
+      }
+    }
+  }
+  stats.logical_peak_bytes = mu.size() * sizeof(double);
+
+  // Last claimant per pseudo-copy; the paper's second step (reverse-order
+  // removal) reduces to keeping exactly these.
+  std::vector<int> last_claimant(total_copies, -1);
+
+  std::vector<int> chosen_row(num_events, -1);
+  for (UserId r = 0; r < num_users; ++r) {
+    // Champion copy per event: argmax_k mu^r(v_{i,k}, u_r), ties to the
+    // smallest k (matching DeDPO's ChooseCopy).
+    std::vector<UserCandidate> candidates;
+    for (EventId v = 0; v < num_events; ++v) {
+      double best_value = 0.0;
+      int best_row = -1;
+      for (size_t row = copy_offset[v]; row < copy_offset[v + 1]; ++row) {
+        const double value = mu[row * num_users + r];
+        if (best_row < 0 || value > best_value) {
+          best_value = value;
+          best_row = static_cast<int>(row);
+        }
+      }
+      if (best_row >= 0 && best_value > 0.0) {
+        candidates.push_back(UserCandidate{v, best_value});
+        chosen_row[v] = best_row;
+      }
+    }
+    if (candidates.empty()) continue;
+
+    const SingleResult single = DpSingle(instance, r, candidates, options_.dp);
+    stats.dp_cells += single.cells;
+    ++stats.iterations;
+
+    // mu^{r+1} update.  The paper subtracts the claimed decomposed value
+    // (mu^{r+1}(copy, j) -= mu^r(copy, r)); by Lemma 2 the result is
+    // mu(v, j) - mu(v, r), which we store directly — algebraically
+    // identical, but numerically canonical: repeated floating-point
+    // subtraction ((x-a)-(b-a)) drifts from (x-b) by ulps, which is enough
+    // to flip tie-ish DP decisions and break the planning-level equality
+    // with DeDPO that Lemma 2 promises (observed on tag-similarity
+    // utilities, which collide exactly).  (mu^{r+1}(., u_r) = 0 stays
+    // implicit — column r is never read again.)
+    for (const EventId v : single.schedule) {
+      const size_t row = static_cast<size_t>(chosen_row[v]);
+      for (UserId j = r + 1; j < num_users; ++j) {
+        mu[row * num_users + j] =
+            instance.utility(v, j) - instance.utility(v, r);
+      }
+      last_claimant[row] = r;
+    }
+  }
+
+  // Second step via the select representation shared with DeDPO.
+  SelectArray select(num_events);
+  for (EventId v = 0; v < num_events; ++v) {
+    const size_t copies = copy_offset[v + 1] - copy_offset[v];
+    select[v].assign(copies, -1);
+    for (size_t k = 0; k < copies; ++k) {
+      select[v][k] = last_claimant[copy_offset[v] + k];
+    }
+  }
+  Planning planning = AssemblePlanning(instance, select);
+
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return PlannerResult{std::move(planning), stats};
+}
+
+}  // namespace usep

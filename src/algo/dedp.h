@@ -1,0 +1,39 @@
+#ifndef USEP_ALGO_DEDP_H_
+#define USEP_ALGO_DEDP_H_
+
+#include "algo/dp_single.h"
+#include "algo/planner.h"
+
+namespace usep {
+
+// Algorithm 3 (DeDP): the unoptimized two-step approximation.
+//
+// Exactly as the paper describes it, DeDP materializes the decomposed
+// utilities mu^r(v_{i,k}, u_j) for every pseudo-event and user —
+// O(|V| * max c_v * |U|) doubles — and updates them after every iteration.
+// This is deliberately memory-hungry and slower than DeDPO: it exists to
+// reproduce the paper's memory/time comparison (Figures 2-3, where DeDP
+// towers over every other algorithm in the memory panels) and to
+// cross-validate DeDPO, which must produce an identical planning (Lemma 2).
+//
+// Same 1/2-approximation guarantee as DeDPO (Theorem 3).
+class DeDpPlanner : public Planner {
+ public:
+  struct Options {
+    SingleUserOptions dp;
+  };
+
+  DeDpPlanner() = default;
+  explicit DeDpPlanner(const Options& options) : options_(options) {}
+
+  std::string_view name() const override { return "DeDP"; }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_DEDP_H_

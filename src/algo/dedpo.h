@@ -1,0 +1,41 @@
+#ifndef USEP_ALGO_DEDPO_H_
+#define USEP_ALGO_DEDPO_H_
+
+#include "algo/decomposed.h"
+#include "algo/dp_single.h"
+#include "algo/planner.h"
+
+namespace usep {
+
+// Algorithm 4 (DeDPO) and its +RG extension: the space/time-optimized
+// two-step approximation with the Lemma 2 `select` array instead of DeDP's
+// full mu^r storage.  Guarantees a 1/2-approximation (Theorem 3); with
+// `augment_with_rg` the RatioGreedy post-pass of Section 4.3.2 tops up the
+// planning without losing the guarantee.
+class DeDpoPlanner : public Planner {
+ public:
+  struct Options {
+    bool augment_with_rg = false;  // DeDPO+RG when true.
+    SingleUserOptions dp;          // Passed to DPSingle (ablation knobs).
+    // Processing order of the decomposed subproblems; any choice keeps the
+    // 1/2 guarantee (see decomposed.h).
+    UserOrder user_order = UserOrder::kInstanceOrder;
+    uint64_t order_seed = 1;
+  };
+
+  DeDpoPlanner() = default;
+  explicit DeDpoPlanner(const Options& options) : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.augment_with_rg ? "DeDPO+RG" : "DeDPO";
+  }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_DEDPO_H_

@@ -1,0 +1,46 @@
+#include "algo/degreedy.h"
+
+#include <algorithm>
+
+#include "algo/decomposed.h"
+#include "algo/greedy_single.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+
+PlannerResult DeGreedyPlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  PlannerStats stats;
+
+  SelectArray select = MakeSelectArray(instance);
+  std::vector<int> chosen_copy(instance.num_events(), -1);
+  size_t select_bytes = 0;
+  for (const auto& copies : select) select_bytes += copies.size() * sizeof(int);
+
+  const std::vector<UserId> order =
+      MakeUserOrder(instance, options_.user_order, options_.order_seed);
+  for (const UserId u : order) {
+    const std::vector<UserCandidate> candidates =
+        BuildCandidates(instance, select, u, &chosen_copy);
+    if (candidates.empty()) continue;
+    const SingleResult single = GreedySingle(instance, u, candidates);
+    stats.heap_pushes += single.cells;
+    stats.logical_peak_bytes =
+        std::max(stats.logical_peak_bytes, single.peak_bytes + select_bytes);
+    for (const EventId v : single.schedule) {
+      select[v][chosen_copy[v]] = u;
+    }
+    ++stats.iterations;
+  }
+
+  Planning planning = AssemblePlanning(instance, select);
+
+  if (options_.augment_with_rg) {
+    AugmentWithRatioGreedy(instance, &planning, &stats);
+  }
+
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return PlannerResult{std::move(planning), stats};
+}
+
+}  // namespace usep

@@ -1,0 +1,40 @@
+#ifndef USEP_ALGO_DEGREEDY_H_
+#define USEP_ALGO_DEGREEDY_H_
+
+#include "algo/decomposed.h"
+#include "algo/planner.h"
+
+namespace usep {
+
+// Section 4.4 (DeGreedy) and its +RG extension: the two-step framework with
+// GreedySingle (Algorithm 5) instead of the per-user dynamic program.  Runs
+// much faster than the DeDP family — each subproblem costs O(|V|^2) rather
+// than O(|V|^2 max b_u) — at the price of suboptimal per-user schedules and
+// no approximation guarantee.  Uses DeDPO's select-array framework, as the
+// paper prescribes ("the framework of DeGreedy is the same as that of
+// DeDPO").
+class DeGreedyPlanner : public Planner {
+ public:
+  struct Options {
+    bool augment_with_rg = false;  // DeGreedy+RG when true.
+    // Processing order of the decomposed subproblems (see decomposed.h).
+    UserOrder user_order = UserOrder::kInstanceOrder;
+    uint64_t order_seed = 1;
+  };
+
+  DeGreedyPlanner() = default;
+  explicit DeGreedyPlanner(const Options& options) : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.augment_with_rg ? "DeGreedy+RG" : "DeGreedy";
+  }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_DEGREEDY_H_

@@ -1,0 +1,337 @@
+#include "algo/dp_single.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// One reachable (T, Omega) state for "schedule ends at this rank with total
+// outbound travel cost T".
+struct Cell {
+  Cost t = 0;
+  double omega = 0.0;
+  int prev_rank = -1;  // -1: this event is the first in the schedule.
+  int prev_cell = -1;  // Index into the previous rank's frontier.
+};
+
+// Maps each sorted rank to its candidate index, or -1.
+std::vector<int> CandidateByRank(const Instance& instance,
+                                 const std::vector<UserCandidate>& candidates) {
+  std::vector<int> by_rank(instance.num_events(), -1);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const int rank = instance.SortedRank(candidates[c].event);
+    USEP_CHECK_EQ(by_rank[rank], -1) << "duplicate candidate event";
+    USEP_CHECK_GT(candidates[c].utility, 0.0);
+    by_rank[rank] = static_cast<int>(c);
+  }
+  return by_rank;
+}
+
+// Keeps of `cells` only the Pareto frontier: T strictly increasing, Omega
+// strictly increasing.  Preserves, among ties, the earliest-generated cell
+// (stable sort) for deterministic reconstruction.
+void ParetoPrune(std::vector<Cell>* cells) {
+  std::stable_sort(cells->begin(), cells->end(),
+                   [](const Cell& a, const Cell& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.omega > b.omega;
+                   });
+  std::vector<Cell> frontier;
+  frontier.reserve(cells->size());
+  double best_omega = 0.0;
+  for (const Cell& cell : *cells) {
+    if (frontier.empty() || cell.omega > best_omega) {
+      frontier.push_back(cell);
+      best_omega = cell.omega;
+    }
+  }
+  *cells = std::move(frontier);
+}
+
+SingleResult DpSingleSparse(const Instance& instance, UserId u,
+                            const std::vector<UserCandidate>& candidates,
+                            const SingleUserOptions& options) {
+  SingleResult result;
+  const Cost budget = instance.user(u).budget;
+  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  const std::vector<EventId>& sorted = instance.events_by_end_time();
+  const int num_ranks = instance.num_events();
+
+  std::vector<std::vector<Cell>> frontiers(num_ranks);
+  int best_rank = -1;
+  int best_cell = -1;
+  double best_omega = 0.0;
+  Cost best_t = 0;
+  size_t live_cells = 0;
+
+  for (int i = 0; i < num_ranks; ++i) {
+    if (by_rank[i] < 0) continue;
+    const EventId vi = sorted[i];
+    const double utility = candidates[by_rank[i]].utility;
+    const Cost outbound = instance.UserToEventCost(u, vi);
+    const Cost inbound = instance.EventToUserCost(vi, u);
+
+    // Lemma 1: an event whose bare round trip exceeds the budget can never
+    // appear in a feasible schedule.  (Without the pruning the budget checks
+    // below reject every cell anyway — see SingleUserOptions.)
+    if (options.apply_lemma1 && AddCost(outbound, inbound) > budget) continue;
+
+    std::vector<Cell>& cells = frontiers[i];
+    // First line of Equation (4): v_i opens the schedule.
+    if (AddCost(outbound, inbound) <= budget) {
+      cells.push_back(Cell{outbound, utility, -1, -1});
+    }
+    // Second line: v_i extends a schedule ending at some chainable rank l.
+    const int last = instance.LastChainableRank(i);
+    for (int l = 0; l <= last; ++l) {
+      if (frontiers[l].empty()) continue;
+      const Cost hop = instance.TransitionCost(sorted[l], vi);
+      if (IsInfiniteCost(hop)) continue;
+      for (int c = 0; c < static_cast<int>(frontiers[l].size()); ++c) {
+        const Cell& from = frontiers[l][c];
+        const Cost t = AddCost(from.t, hop);
+        if (AddCost(t, inbound) > budget) break;  // Cells sorted by t.
+        cells.push_back(Cell{t, from.omega + utility, l, c});
+      }
+    }
+    ParetoPrune(&cells);
+    result.cells += static_cast<int64_t>(cells.size());
+    live_cells += cells.size();
+
+    for (int c = 0; c < static_cast<int>(cells.size()); ++c) {
+      const Cell& cell = cells[c];
+      if (cell.omega > best_omega ||
+          (cell.omega == best_omega && best_rank >= 0 && cell.t < best_t)) {
+        best_omega = cell.omega;
+        best_t = cell.t;
+        best_rank = i;
+        best_cell = c;
+      }
+    }
+  }
+
+  result.peak_bytes = live_cells * sizeof(Cell);
+  if (best_rank < 0) return result;  // Empty schedule.
+
+  // Reconstruct along the prev pointers; ranks come out in reverse order.
+  std::vector<EventId> schedule;
+  int rank = best_rank;
+  int cell = best_cell;
+  while (rank >= 0) {
+    schedule.push_back(sorted[rank]);
+    const Cell& current = frontiers[rank][cell];
+    const int prev_rank = current.prev_rank;
+    cell = current.prev_cell;
+    rank = prev_rank;
+  }
+  std::reverse(schedule.begin(), schedule.end());
+
+  result.schedule = std::move(schedule);
+  result.utility = best_omega;
+  result.route_cost =
+      AddCost(best_t, instance.EventToUserCost(sorted[best_rank], u));
+  return result;
+}
+
+SingleResult DpSingleDense(const Instance& instance, UserId u,
+                           const std::vector<UserCandidate>& candidates,
+                           const SingleUserOptions& options) {
+  SingleResult result;
+  const Cost budget = instance.user(u).budget;
+  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  const std::vector<EventId>& sorted = instance.events_by_end_time();
+  const int num_ranks = instance.num_events();
+
+  USEP_CHECK_LE(budget, Cost{1} << 31)
+      << "dense DP table would be enormous; use the sparse solver";
+  const size_t width = static_cast<size_t>(budget) + 1;
+  USEP_CHECK_LE(static_cast<double>(width) * candidates.size(), 4e8)
+      << "dense DP table would be enormous; use the sparse solver";
+
+  // Omega(i, T) tables, allocated only for ranks that host a candidate.
+  // omega < 0 marks an unreachable state.
+  std::vector<std::vector<double>> omega(num_ranks);
+  std::vector<std::vector<int>> path(num_ranks);  // prev rank; -1 = first.
+
+  int best_rank = -1;
+  Cost best_t = 0;
+  double best_omega = 0.0;
+
+  for (int i = 0; i < num_ranks; ++i) {
+    if (by_rank[i] < 0) continue;
+    const EventId vi = sorted[i];
+    const double utility = candidates[by_rank[i]].utility;
+    const Cost outbound = instance.UserToEventCost(u, vi);
+    const Cost inbound = instance.EventToUserCost(vi, u);
+    if (options.apply_lemma1 && AddCost(outbound, inbound) > budget) continue;
+
+    omega[i].assign(width, -1.0);
+    path[i].assign(width, -2);
+    result.cells += static_cast<int64_t>(width);
+
+    if (AddCost(outbound, inbound) <= budget) {
+      omega[i][outbound] = utility;
+      path[i][outbound] = -1;
+    }
+    const int last = instance.LastChainableRank(i);
+    for (int l = 0; l <= last; ++l) {
+      if (omega[l].empty()) continue;
+      const Cost hop = instance.TransitionCost(sorted[l], vi);
+      if (IsInfiniteCost(hop)) continue;
+      for (Cost t = 0; t < static_cast<Cost>(width); ++t) {
+        if (omega[l][t] <= 0.0) continue;
+        const Cost nt = AddCost(t, hop);
+        if (AddCost(nt, inbound) > budget) break;
+        const double candidate_omega = omega[l][t] + utility;
+        if (candidate_omega > omega[i][nt]) {
+          omega[i][nt] = candidate_omega;
+          path[i][nt] = l;
+        }
+      }
+    }
+    for (Cost t = 0; t < static_cast<Cost>(width); ++t) {
+      if (omega[i][t] > best_omega ||
+          (omega[i][t] == best_omega && best_rank >= 0 && t < best_t)) {
+        best_omega = omega[i][t];
+        best_t = t;
+        best_rank = i;
+      }
+    }
+  }
+
+  size_t table_bytes = 0;
+  for (int i = 0; i < num_ranks; ++i) {
+    table_bytes += omega[i].size() * sizeof(double);
+    table_bytes += path[i].size() * sizeof(int);
+  }
+  result.peak_bytes = table_bytes;
+  if (best_rank < 0) return result;
+
+  std::vector<EventId> schedule;
+  int rank = best_rank;
+  Cost t = best_t;
+  while (rank >= 0) {
+    schedule.push_back(sorted[rank]);
+    const int prev = path[rank][t];
+    if (prev >= 0) t -= instance.EventTravelCost(sorted[prev], sorted[rank]);
+    rank = prev;
+  }
+  std::reverse(schedule.begin(), schedule.end());
+
+  result.schedule = std::move(schedule);
+  result.utility = best_omega;
+  result.route_cost =
+      AddCost(best_t, instance.EventToUserCost(sorted[best_rank], u));
+  return result;
+}
+
+}  // namespace
+
+SingleResult DpSingle(const Instance& instance, UserId u,
+                      const std::vector<UserCandidate>& candidates,
+                      const SingleUserOptions& options) {
+  return options.use_dense_table
+             ? DpSingleDense(instance, u, candidates, options)
+             : DpSingleSparse(instance, u, candidates, options);
+}
+
+namespace {
+
+struct BruteState {
+  const Instance* instance;
+  UserId u;
+  const std::vector<UserCandidate>* candidates;
+  const std::vector<int>* by_rank;
+  const std::vector<EventId>* sorted;
+  Cost budget;
+
+  std::vector<int> current;  // Ranks chosen so far, increasing.
+  std::vector<int> best;
+  double current_omega = 0.0;
+  double best_omega = 0.0;
+  Cost best_route = 0;
+};
+
+// Round-trip cost of a rank sequence; kInfiniteCost when any hop is
+// inadmissible.
+Cost RouteOfRanks(const BruteState& state, const std::vector<int>& ranks) {
+  if (ranks.empty()) return 0;
+  const Instance& instance = *state.instance;
+  Cost total =
+      instance.UserToEventCost(state.u, (*state.sorted)[ranks.front()]);
+  for (size_t i = 1; i < ranks.size(); ++i) {
+    total = AddCost(total,
+                    instance.TransitionCost((*state.sorted)[ranks[i - 1]],
+                                            (*state.sorted)[ranks[i]]));
+  }
+  return AddCost(total, instance.EventToUserCost(
+                            (*state.sorted)[ranks.back()], state.u));
+}
+
+void BruteRecurse(BruteState* state, int next_rank, Cost t_so_far) {
+  const Instance& instance = *state->instance;
+  // Evaluate the current subset.
+  const Cost route =
+      state->current.empty()
+          ? 0
+          : AddCost(t_so_far, instance.EventToUserCost(
+                                  (*state->sorted)[state->current.back()],
+                                  state->u));
+  if (route <= state->budget &&
+      (state->current_omega > state->best_omega ||
+       (state->current_omega == state->best_omega &&
+        route < state->best_route))) {
+    state->best = state->current;
+    state->best_omega = state->current_omega;
+    state->best_route = route;
+  }
+
+  for (int rank = next_rank; rank < instance.num_events(); ++rank) {
+    const int c = (*state->by_rank)[rank];
+    if (c < 0) continue;
+    const EventId v = (*state->sorted)[rank];
+    Cost hop;
+    if (state->current.empty()) {
+      hop = instance.UserToEventCost(state->u, v);
+    } else {
+      hop = instance.TransitionCost((*state->sorted)[state->current.back()], v);
+    }
+    if (IsInfiniteCost(hop)) continue;
+    const Cost t = AddCost(t_so_far, hop);
+    if (AddCost(t, instance.EventToUserCost(v, state->u)) > state->budget) {
+      continue;
+    }
+    state->current.push_back(rank);
+    state->current_omega += (*state->candidates)[c].utility;
+    BruteRecurse(state, rank + 1, t);
+    state->current_omega -= (*state->candidates)[c].utility;
+    state->current.pop_back();
+  }
+}
+
+}  // namespace
+
+SingleResult BruteForceSingle(const Instance& instance, UserId u,
+                              const std::vector<UserCandidate>& candidates) {
+  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  BruteState state;
+  state.instance = &instance;
+  state.u = u;
+  state.candidates = &candidates;
+  state.by_rank = &by_rank;
+  state.sorted = &instance.events_by_end_time();
+  state.budget = instance.user(u).budget;
+  BruteRecurse(&state, 0, 0);
+
+  SingleResult result;
+  result.utility = state.best_omega;
+  result.route_cost = RouteOfRanks(state, state.best);
+  for (const int rank : state.best) {
+    result.schedule.push_back((*state.sorted)[rank]);
+  }
+  return result;
+}
+
+}  // namespace usep

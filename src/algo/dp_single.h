@@ -1,0 +1,62 @@
+#ifndef USEP_ALGO_DP_SINGLE_H_
+#define USEP_ALGO_DP_SINGLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace usep {
+
+// A pseudo-event offered to a single-user optimizer during the decomposed
+// framework's r-th iteration: a real event id plus its decomposed utility
+// mu^r(v_hat_i, u_r) (the paper guarantees > 0 for members of V_r).
+struct UserCandidate {
+  EventId event = -1;
+  double utility = 0.0;
+};
+
+struct SingleUserOptions {
+  // Ablation: materialize the paper-literal dense Omega(i, T) table with one
+  // column per budget unit instead of the sparse Pareto frontier.  Identical
+  // results, very different cost profile (see bench/ablation_dp_table).
+  bool use_dense_table = false;
+  // Ablation: disable the Lemma 1 round-trip pruning that builds V'_r.
+  // Results are identical (the DP's budget checks subsume it); only the
+  // amount of work changes.
+  bool apply_lemma1 = true;
+};
+
+// The outcome of one single-user subproblem.
+struct SingleResult {
+  std::vector<EventId> schedule;  // Real event ids in increasing time order.
+  double utility = 0.0;           // Sum of candidate utilities (w.r.t. mu^r).
+  Cost route_cost = 0;            // Round-trip cost of the schedule.
+  int64_t cells = 0;              // DP cells / heap pushes materialized.
+  size_t peak_bytes = 0;          // Dominant working-set estimate.
+};
+
+// Algorithm 2 (DPSingle): an optimal feasible schedule for user `u` drawn
+// from `candidates`, maximizing total (decomposed) utility subject to the
+// budget and feasibility constraints.
+//
+// The recurrence is Equation (4) over (sorted event rank, total travel cost
+// T so far).  Rather than a dense |V| x b_u table, each rank keeps a Pareto
+// frontier of (T, Omega) cells — T strictly increasing, Omega strictly
+// increasing — because a cell with higher cost and no more utility can never
+// lead to a better completion (costs only accumulate).  This realizes the
+// paper's "foreach T s.t. Omega(l, T) > 0" sparsity.
+//
+// `candidates` must reference distinct events with utility > 0.
+SingleResult DpSingle(const Instance& instance, UserId u,
+                      const std::vector<UserCandidate>& candidates,
+                      const SingleUserOptions& options = {});
+
+// Exponential-time reference: enumerates every feasible subset (in time
+// order) and returns the best.  For tests; intended for <= ~20 candidates.
+SingleResult BruteForceSingle(const Instance& instance, UserId u,
+                              const std::vector<UserCandidate>& candidates);
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_DP_SINGLE_H_

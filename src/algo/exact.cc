@@ -1,0 +1,190 @@
+#include "algo/exact.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+namespace {
+
+// A feasible single-user schedule with its utility.
+struct CandidateSchedule {
+  std::vector<EventId> events;  // Time-ordered.
+  double utility = 0.0;
+};
+
+// Depth-first enumeration of every feasible schedule of user `u` (including
+// the empty one, emitted first).
+class ScheduleEnumerator {
+ public:
+  ScheduleEnumerator(const Instance& instance, UserId u, int64_t max_schedules)
+      : instance_(instance),
+        u_(u),
+        budget_(instance.user(u).budget),
+        sorted_(instance.events_by_end_time()),
+        max_schedules_(max_schedules) {}
+
+  std::vector<CandidateSchedule> Enumerate() {
+    schedules_.push_back(CandidateSchedule{});  // The empty schedule.
+    Recurse(0, 0, 0.0);
+    return std::move(schedules_);
+  }
+
+ private:
+  void Recurse(int next_rank, Cost t_so_far, double utility) {
+    for (int rank = next_rank; rank < instance_.num_events(); ++rank) {
+      const EventId v = sorted_[rank];
+      const double mu = instance_.utility(v, u_);
+      if (!(mu > 0.0)) continue;
+      Cost hop;
+      if (current_.empty()) {
+        hop = instance_.UserToEventCost(u_, v);
+      } else {
+        hop = instance_.TransitionCost(sorted_[current_.back()], v);
+      }
+      if (IsInfiniteCost(hop)) continue;
+      const Cost t = AddCost(t_so_far, hop);
+      if (AddCost(t, instance_.EventToUserCost(v, u_)) > budget_) continue;
+
+      current_.push_back(rank);
+      CandidateSchedule schedule;
+      schedule.events.reserve(current_.size());
+      for (const int r : current_) schedule.events.push_back(sorted_[r]);
+      schedule.utility = utility + mu;
+      schedules_.push_back(std::move(schedule));
+      USEP_CHECK_LE(static_cast<int64_t>(schedules_.size()), max_schedules_)
+          << "instance too large for the exact solver (user " << u_ << ")";
+      Recurse(rank + 1, t, utility + mu);
+      current_.pop_back();
+    }
+  }
+
+  const Instance& instance_;
+  const UserId u_;
+  const Cost budget_;
+  const std::vector<EventId>& sorted_;
+  const int64_t max_schedules_;
+  std::vector<int> current_;  // Ranks on the DFS path.
+  std::vector<CandidateSchedule> schedules_;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Instance& instance, const ExactPlanner::Options& options)
+      : instance_(instance), options_(options) {}
+
+  PlannerResult Solve() {
+    Stopwatch stopwatch;
+    const int num_users = instance_.num_users();
+
+    per_user_.reserve(num_users);
+    size_t schedule_bytes = 0;
+    for (UserId u = 0; u < num_users; ++u) {
+      std::vector<CandidateSchedule> schedules =
+          ScheduleEnumerator(instance_, u, options_.max_schedules_per_user)
+              .Enumerate();
+      // Try high-utility schedules first so good incumbents appear early.
+      std::sort(schedules.begin(), schedules.end(),
+                [](const CandidateSchedule& a, const CandidateSchedule& b) {
+                  if (a.utility != b.utility) return a.utility > b.utility;
+                  return a.events < b.events;
+                });
+      for (const CandidateSchedule& schedule : schedules) {
+        schedule_bytes += schedule.events.size() * sizeof(EventId) +
+                          sizeof(CandidateSchedule);
+      }
+      per_user_.push_back(std::move(schedules));
+    }
+
+    // Capacity-ignoring optimum of each suffix of users: the pruning bound.
+    suffix_best_.assign(num_users + 1, 0.0);
+    for (UserId u = num_users - 1; u >= 0; --u) {
+      const double best_here =
+          per_user_[u].empty() ? 0.0 : per_user_[u].front().utility;
+      suffix_best_[u] = suffix_best_[u + 1] + best_here;
+    }
+
+    capacity_left_.resize(instance_.num_events());
+    for (EventId v = 0; v < instance_.num_events(); ++v) {
+      capacity_left_[v] = instance_.event(v).capacity;
+    }
+    chosen_.assign(num_users, 0);
+    best_chosen_.assign(num_users, 0);
+
+    Recurse(0, 0.0);
+
+    // Materialize the incumbent as a Planning.
+    Planning planning(instance_);
+    for (UserId u = 0; u < num_users; ++u) {
+      const CandidateSchedule& schedule = per_user_[u][best_chosen_[u]];
+      for (const EventId v : schedule.events) {
+        const bool assigned = planning.TryAssign(v, u);
+        USEP_CHECK(assigned) << "exact incumbent became infeasible";
+      }
+    }
+
+    PlannerStats stats;
+    stats.wall_seconds = stopwatch.ElapsedSeconds();
+    stats.iterations = nodes_;
+    stats.logical_peak_bytes = schedule_bytes;
+    return PlannerResult{std::move(planning), stats};
+  }
+
+ private:
+  void Recurse(UserId u, double utility) {
+    ++nodes_;
+    USEP_CHECK_LE(nodes_, options_.max_nodes)
+        << "exact solver node budget exhausted";
+    if (u == instance_.num_users()) {
+      if (utility > best_utility_) {
+        best_utility_ = utility;
+        best_chosen_ = chosen_;
+      }
+      return;
+    }
+    if (utility + suffix_best_[u] <= best_utility_) return;  // Bound.
+
+    for (size_t s = 0; s < per_user_[u].size(); ++s) {
+      const CandidateSchedule& schedule = per_user_[u][s];
+      if (utility + schedule.utility + suffix_best_[u + 1] <= best_utility_) {
+        // Schedules are utility-sorted; nothing below can improve either —
+        // except the guaranteed-feasible empty schedule handled by the
+        // bound at the next level, so keep scanning only while a strictly
+        // better completion is possible.
+        break;
+      }
+      bool fits = true;
+      for (const EventId v : schedule.events) {
+        if (capacity_left_[v] == 0) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (const EventId v : schedule.events) --capacity_left_[v];
+      chosen_[u] = static_cast<int>(s);
+      Recurse(u + 1, utility + schedule.utility);
+      for (const EventId v : schedule.events) ++capacity_left_[v];
+    }
+    chosen_[u] = 0;
+  }
+
+  const Instance& instance_;
+  const ExactPlanner::Options options_;
+  std::vector<std::vector<CandidateSchedule>> per_user_;
+  std::vector<double> suffix_best_;
+  std::vector<int> capacity_left_;
+  std::vector<int> chosen_;
+  std::vector<int> best_chosen_;
+  double best_utility_ = -1.0;
+  int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+PlannerResult ExactPlanner::Plan(const Instance& instance) const {
+  return BranchAndBound(instance, options_).Solve();
+}
+
+}  // namespace usep

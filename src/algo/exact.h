@@ -1,0 +1,46 @@
+#ifndef USEP_ALGO_EXACT_H_
+#define USEP_ALGO_EXACT_H_
+
+#include <cstdint>
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// Exact USEP solver by branch-and-bound over users, for small instances.
+//
+// USEP is NP-hard (Theorem 1; Knapsack reduces to the single-user case), so
+// this planner is exponential and exists to (a) verify the empirical
+// approximation ratios of the other planners in tests and benchmarks, and
+// (b) solve toy instances in the examples.
+//
+// Method: per user, every feasible schedule (time-ordered, within budget,
+// only mu > 0 events) is enumerated; users are then processed in order,
+// trying schedules in decreasing utility under the remaining event
+// capacities.  The bound "current utility + sum of later users'
+// capacity-ignoring best schedules" prunes the search.
+class ExactPlanner : public Planner {
+ public:
+  struct Options {
+    // Aborts (via USEP_CHECK) when a user has more feasible schedules than
+    // this — a guard against accidentally feeding a large instance.
+    int64_t max_schedules_per_user = 2'000'000;
+    // Search-node budget; the planner aborts when exceeded rather than
+    // silently returning a non-optimal planning.
+    int64_t max_nodes = 200'000'000;
+  };
+
+  ExactPlanner() = default;
+  explicit ExactPlanner(const Options& options) : options_(options) {}
+
+  std::string_view name() const override { return "Exact"; }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_EXACT_H_

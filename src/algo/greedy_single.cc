@@ -1,0 +1,162 @@
+#include "algo/greedy_single.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "algo/ratio.h"
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// A gap candidate: insert the event at sorted position `rank` between the
+// schedule neighbors identified by `left_rank` (-1 = the user's home) and
+// the next arranged event after it.
+struct GapCandidate {
+  RatioKey key;
+  int rank = -1;
+  int left_rank = -1;
+};
+
+struct CandidateWorse {
+  bool operator()(const GapCandidate& a, const GapCandidate& b) const {
+    const int cmp = CompareRatio(a.key, b.key);
+    if (cmp != 0) return cmp > 0;
+    return a.rank > b.rank;
+  }
+};
+
+class GreedySingleRun {
+ public:
+  GreedySingleRun(const Instance& instance, UserId u,
+                  const std::vector<UserCandidate>& candidates)
+      : instance_(instance),
+        u_(u),
+        budget_(instance.user(u).budget),
+        sorted_(instance.events_by_end_time()),
+        num_ranks_(instance.num_events()),
+        utility_by_rank_(num_ranks_, -1.0) {
+    // V'_r: candidates surviving the Lemma 1 round-trip filter.
+    for (const UserCandidate& candidate : candidates) {
+      USEP_CHECK_GT(candidate.utility, 0.0);
+      if (instance.RoundTripCost(u, candidate.event) > budget_) continue;
+      utility_by_rank_[instance.SortedRank(candidate.event)] =
+          candidate.utility;
+    }
+  }
+
+  SingleResult Run() {
+    SingleResult result;
+    PushBestInGap(-1, num_ranks_);
+
+    while (!heap_.empty()) {
+      const GapCandidate top = heap_.top();
+      heap_.pop();
+
+      // The gap this entry belongs to, from the current schedule.
+      const auto it = std::upper_bound(schedule_.begin(), schedule_.end(),
+                                       top.rank);
+      const int right = it == schedule_.end() ? num_ranks_ : *it;
+      const int left = it == schedule_.begin() ? -1 : *(it - 1);
+      USEP_DCHECK(left == top.left_rank) << "gap entry outlived its gap";
+
+      const std::optional<Cost> inc = IncCost(top.rank, left, right);
+      if (!inc.has_value() || AddCost(route_cost_, *inc) > budget_) {
+        // Stale: an insertion elsewhere consumed budget since the push.
+        // The gap itself is unchanged, so rescan it for its next-best
+        // still-affordable candidate.
+        PushBestInGap(left, right);
+        continue;
+      }
+
+      // Insert, then rescan the two newly created gaps (Alg. 5 lines 8-17).
+      schedule_.insert(it, top.rank);
+      route_cost_ += *inc;
+      omega_ += utility_by_rank_[top.rank];
+      PushBestInGap(left, top.rank);
+      PushBestInGap(top.rank, right);
+    }
+
+    for (const int rank : schedule_) result.schedule.push_back(sorted_[rank]);
+    result.utility = omega_;
+    result.route_cost = route_cost_;
+    result.cells = pushes_;
+    result.peak_bytes =
+        static_cast<size_t>(pushes_) * sizeof(GapCandidate) +
+        utility_by_rank_.size() * sizeof(double);
+    return result;
+  }
+
+ private:
+  // Equation (3) against the (left, right) neighbors; nullopt when the event
+  // cannot be chained with them.  `right == num_ranks_` means "no successor".
+  std::optional<Cost> IncCost(int rank, int left, int right) const {
+    const EventId v = sorted_[rank];
+    const bool has_left = left >= 0;
+    const bool has_right = right < num_ranks_;
+    if (has_left && !instance_.CanFollow(sorted_[left], v)) return std::nullopt;
+    if (has_right && !instance_.CanFollow(v, sorted_[right])) {
+      return std::nullopt;
+    }
+    if (!has_left && !has_right) return instance_.RoundTripCost(u_, v);
+    if (!has_left) {
+      const EventId first = sorted_[right];
+      return instance_.UserToEventCost(u_, v) +
+             instance_.EventTravelCost(v, first) -
+             instance_.UserToEventCost(u_, first);
+    }
+    if (!has_right) {
+      const EventId last = sorted_[left];
+      return instance_.EventTravelCost(last, v) +
+             instance_.EventToUserCost(v, u_) -
+             instance_.EventToUserCost(last, u_);
+    }
+    return instance_.EventTravelCost(sorted_[left], v) +
+           instance_.EventTravelCost(v, sorted_[right]) -
+           instance_.EventTravelCost(sorted_[left], sorted_[right]);
+  }
+
+  // Scans the open interval (left, right) of sorted positions and pushes the
+  // valid candidate with the best ratio, if any.
+  void PushBestInGap(int left, int right) {
+    std::optional<GapCandidate> best;
+    for (int rank = left + 1; rank < right; ++rank) {
+      if (utility_by_rank_[rank] < 0.0) continue;
+      const std::optional<Cost> inc = IncCost(rank, left, right);
+      if (!inc.has_value() || AddCost(route_cost_, *inc) > budget_) continue;
+      const RatioKey key{utility_by_rank_[rank], *inc};
+      if (!best.has_value() || RatioBetter(key, best->key)) {
+        best = GapCandidate{key, rank, left};
+      }
+    }
+    if (best.has_value()) {
+      heap_.push(*best);
+      ++pushes_;
+    }
+  }
+
+  const Instance& instance_;
+  const UserId u_;
+  const Cost budget_;
+  const std::vector<EventId>& sorted_;
+  const int num_ranks_;
+
+  // Candidate utility indexed by sorted rank; -1 marks "not a candidate".
+  std::vector<double> utility_by_rank_;
+  std::vector<int> schedule_;  // Arranged sorted-ranks, increasing.
+  Cost route_cost_ = 0;
+  double omega_ = 0.0;
+  int64_t pushes_ = 0;
+  std::priority_queue<GapCandidate, std::vector<GapCandidate>, CandidateWorse>
+      heap_;
+};
+
+}  // namespace
+
+SingleResult GreedySingle(const Instance& instance, UserId u,
+                          const std::vector<UserCandidate>& candidates) {
+  return GreedySingleRun(instance, u, candidates).Run();
+}
+
+}  // namespace usep

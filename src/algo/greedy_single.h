@@ -1,0 +1,27 @@
+#ifndef USEP_ALGO_GREEDY_SINGLE_H_
+#define USEP_ALGO_GREEDY_SINGLE_H_
+
+#include <vector>
+
+#include "algo/dp_single.h"
+
+namespace usep {
+
+// Algorithm 5 (GreedySingle): a fast suboptimal replacement for DPSingle.
+//
+// The schedule is grown one event at a time by Equation (2)'s utility-cost
+// ratio.  A heap holds at most one candidate per schedule "gap" (the span
+// between two consecutive arranged events, or before the first / after the
+// last).  Popping a candidate inserts it and rescans the two new gaps it
+// creates, exactly the {v_{p_i+1}..v_{i-1}} / {v_{i+1}..v_{s_i-1}} window
+// scans of the paper; Lemma 3 guarantees the popped candidate always has the
+// best ratio among all currently valid candidates.  Because an insertion
+// consumes budget, a previously pushed candidate can go stale; it is
+// re-validated on pop and its gap rescanned if so (the stored candidate is
+// otherwise still the gap's best: the valid set only shrinks).
+SingleResult GreedySingle(const Instance& instance, UserId u,
+                          const std::vector<UserCandidate>& candidates);
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_GREEDY_SINGLE_H_

@@ -1,0 +1,152 @@
+#include "algo/local_search.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+namespace {
+
+constexpr double kMinGain = 1e-12;
+
+// One pass of "add" moves; returns how many were applied.
+int TryAdds(const Instance& instance, Planning* planning) {
+  int applied = 0;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (planning->EventFull(v)) continue;
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (planning->TryAssign(v, u)) ++applied;
+      if (planning->EventFull(v)) break;
+    }
+  }
+  return applied;
+}
+
+// One pass of "transfer" moves: hand an arranged event to a user who values
+// it strictly more.
+int TryTransfers(const Instance& instance, Planning* planning) {
+  int applied = 0;
+  for (UserId from = 0; from < instance.num_users(); ++from) {
+    // Snapshot: the schedule mutates as transfers happen.
+    const std::vector<EventId> events = planning->schedule(from).events();
+    for (const EventId v : events) {
+      const double current = instance.utility(v, from);
+      // Find the best strictly-better recipient.
+      UserId best = -1;
+      double best_mu = current;
+      const bool assigned = planning->Unassign(v, from);
+      USEP_DCHECK(assigned);
+      for (UserId to = 0; to < instance.num_users(); ++to) {
+        if (to == from) continue;
+        if (instance.utility(v, to) <= best_mu + kMinGain) continue;
+        if (planning->CheckAssign(v, to).has_value()) {
+          best = to;
+          best_mu = instance.utility(v, to);
+        }
+      }
+      if (best >= 0) {
+        const bool moved = planning->TryAssign(v, best);
+        USEP_CHECK(moved) << "transfer target vanished";
+        ++applied;
+      } else {
+        // Roll back: re-inserting into the original schedule is always
+        // feasible (it is a subset of a state that contained v).
+        const bool restored = planning->TryAssign(v, from);
+        USEP_CHECK(restored) << "transfer rollback failed";
+      }
+    }
+  }
+  return applied;
+}
+
+// One pass of "swap" moves: exchange two arranged events between two users.
+int TrySwaps(const Instance& instance, Planning* planning) {
+  int applied = 0;
+  for (UserId a = 0; a < instance.num_users(); ++a) {
+    for (UserId b = a + 1; b < instance.num_users(); ++b) {
+      bool swapped = true;
+      while (swapped) {
+        swapped = false;
+        const std::vector<EventId> events_a = planning->schedule(a).events();
+        const std::vector<EventId> events_b = planning->schedule(b).events();
+        for (const EventId va : events_a) {
+          for (const EventId vb : events_b) {
+            if (va == vb) continue;
+            const double before = instance.utility(va, a) +
+                                  instance.utility(vb, b);
+            const double after = instance.utility(vb, a) +
+                                 instance.utility(va, b);
+            if (after <= before + kMinGain) continue;
+            // Tentatively apply; roll back on infeasibility.  Note a user
+            // may already hold the other's event (capacity > 1), in which
+            // case the tentative assign fails on the duplicate and must
+            // NOT be "undone" — only undo assigns that actually happened.
+            planning->Unassign(va, a);
+            planning->Unassign(vb, b);
+            const bool assigned_vb_to_a = planning->TryAssign(vb, a);
+            if (assigned_vb_to_a && planning->TryAssign(va, b)) {
+              ++applied;
+              swapped = true;
+              break;
+            }
+            if (assigned_vb_to_a) planning->Unassign(vb, a);
+            const bool restore_a = planning->TryAssign(va, a);
+            const bool restore_b = planning->TryAssign(vb, b);
+            USEP_CHECK(restore_a && restore_b) << "swap rollback failed";
+          }
+          if (swapped) break;
+        }
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace
+
+LocalSearchReport ImprovePlanning(const Instance& instance,
+                                  const LocalSearchOptions& options,
+                                  Planning* planning) {
+  LocalSearchReport report;
+  const double initial_utility = planning->total_utility();
+  for (int round = 0; round < options.max_rounds; ++round) {
+    int moves = 0;
+    if (options.enable_add) {
+      const int adds = TryAdds(instance, planning);
+      report.adds += adds;
+      moves += adds;
+    }
+    if (options.enable_transfer) {
+      const int transfers = TryTransfers(instance, planning);
+      report.transfers += transfers;
+      moves += transfers;
+    }
+    if (options.enable_swap) {
+      const int swaps = TrySwaps(instance, planning);
+      report.swaps += swaps;
+      moves += swaps;
+    }
+    ++report.rounds;
+    if (moves == 0) break;
+  }
+  report.utility_gain = planning->total_utility() - initial_utility;
+  return report;
+}
+
+LocalSearchPlanner::LocalSearchPlanner(std::unique_ptr<Planner> base,
+                                       const LocalSearchOptions& options)
+    : base_(std::move(base)), options_(options) {
+  USEP_CHECK(base_ != nullptr);
+  name_ = std::string(base_->name()) + "+LS";
+}
+
+PlannerResult LocalSearchPlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  PlannerResult result = base_->Plan(instance);
+  const LocalSearchReport report =
+      ImprovePlanning(instance, options_, &result.planning);
+  result.stats.iterations += report.total_moves();
+  result.stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace usep

@@ -1,0 +1,63 @@
+#ifndef USEP_ALGO_LOCAL_SEARCH_H_
+#define USEP_ALGO_LOCAL_SEARCH_H_
+
+#include <memory>
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// Post-optimization local search (this library's extension; the paper
+// stops at the +RG augmentation).  Starting from any feasible planning it
+// applies first-improvement moves until a fixed point:
+//
+//  - add:      arrange a currently valid (event, user) pair;
+//  - transfer: move an arranged event to a different user who values it
+//              strictly more (and can fit it);
+//  - swap:     exchange two arranged events between two users when the
+//              total utility strictly rises and both stay feasible.
+//
+// Every accepted move strictly increases Omega(A), and the planning space
+// is finite, so the search terminates; `max_rounds` bounds it anyway.
+// Feasibility is preserved move-by-move through the Planning API.
+struct LocalSearchOptions {
+  bool enable_add = true;
+  bool enable_transfer = true;
+  bool enable_swap = true;
+  int max_rounds = 50;
+};
+
+struct LocalSearchReport {
+  int rounds = 0;
+  int adds = 0;
+  int transfers = 0;
+  int swaps = 0;
+  double utility_gain = 0.0;
+
+  int total_moves() const { return adds + transfers + swaps; }
+};
+
+// Improves `planning` in place; returns what happened.
+LocalSearchReport ImprovePlanning(const Instance& instance,
+                                  const LocalSearchOptions& options,
+                                  Planning* planning);
+
+// A planner decorator: runs `base`, then local search on its planning.
+// Named "<base>+LS".
+class LocalSearchPlanner : public Planner {
+ public:
+  LocalSearchPlanner(std::unique_ptr<Planner> base,
+                     const LocalSearchOptions& options = {});
+
+  std::string_view name() const override { return name_; }
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  std::unique_ptr<Planner> base_;
+  LocalSearchOptions options_;
+  std::string name_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_LOCAL_SEARCH_H_

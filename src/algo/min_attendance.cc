@@ -1,0 +1,85 @@
+#include "algo/min_attendance.h"
+
+#include "algo/ratio_greedy.h"
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// The event most in violation of its minimum: fewest attendees relative to
+// the required count.  Returns -1 when every event is viable.
+EventId WorstViolator(const Instance& instance,
+                      const std::vector<int>& min_attendance,
+                      const Planning& planning,
+                      const std::vector<bool>& cancelled) {
+  EventId worst = -1;
+  double worst_fill = 2.0;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (cancelled[v]) continue;
+    const int attending = planning.assigned_count(v);
+    if (attending == 0 || attending >= min_attendance[v]) continue;
+    const double fill =
+        static_cast<double>(attending) / static_cast<double>(min_attendance[v]);
+    if (fill < worst_fill) {
+      worst_fill = fill;
+      worst = v;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+MinAttendanceReport EnforceMinimumAttendance(
+    const Instance& instance, const std::vector<int>& min_attendance,
+    const MinAttendanceOptions& options, Planning* planning) {
+  USEP_CHECK_EQ(static_cast<int>(min_attendance.size()),
+                instance.num_events());
+  MinAttendanceReport report;
+  report.utility_before = planning->total_utility();
+
+  std::vector<bool> cancelled(instance.num_events(), false);
+  while (true) {
+    const EventId victim =
+        WorstViolator(instance, min_attendance, *planning, cancelled);
+    if (victim < 0) break;
+    cancelled[victim] = true;
+    report.cancelled.push_back(victim);
+    // Unassign every attendee.  Dropping events never breaks feasibility.
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (planning->Unassign(victim, u)) ++report.assignments_removed;
+    }
+  }
+
+  if (options.reaugment_with_rg && !report.cancelled.empty()) {
+    std::vector<EventId> survivors;
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      if (!cancelled[v] && !planning->EventFull(v)) survivors.push_back(v);
+    }
+    if (!survivors.empty()) {
+      const int before = planning->total_assignments();
+      PlannerStats stats;
+      RatioGreedyPlanner::Augment(instance, survivors, planning, &stats);
+      report.assignments_readded = planning->total_assignments() - before;
+      // Augmenting only adds attendees, so viable events stay viable and
+      // cancelled ones (excluded from the candidate set) stay empty — but
+      // an *empty* survivor can be refilled to below its minimum, so
+      // cancellation must run again until stable.
+      while (true) {
+        const EventId victim =
+            WorstViolator(instance, min_attendance, *planning, cancelled);
+        if (victim < 0) break;
+        cancelled[victim] = true;
+        report.cancelled.push_back(victim);
+        for (UserId u = 0; u < instance.num_users(); ++u) {
+          if (planning->Unassign(victim, u)) ++report.assignments_removed;
+        }
+      }
+    }
+  }
+
+  report.utility_after = planning->total_utility();
+  return report;
+}
+
+}  // namespace usep

@@ -1,0 +1,46 @@
+#ifndef USEP_ALGO_MIN_ATTENDANCE_H_
+#define USEP_ALGO_MIN_ATTENDANCE_H_
+
+#include <vector>
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// Minimum-attendance repair (this library's extension).
+//
+// USEP only upper-bounds attendance (capacity), but real organizers cancel
+// events that attract too few people — the related SEO formulation [19] the
+// paper discusses carries an explicit lower bound.  This post-pass enforces
+// per-event minimums on an existing planning:
+//
+//   1. repeatedly cancel the event furthest (relatively) below its minimum,
+//      unassigning all its attendees — cancellations can cascade, since
+//      freed users do not automatically refill other events;
+//   2. optionally re-augment the planning with RatioGreedy over the
+//      *surviving* events (never re-admitting cancelled ones), since freed
+//      budget/time can often be reinvested.
+//
+// The result satisfies: every event has 0 or >= min_attendance[v]
+// attendees, and all Definition 2 constraints still hold.
+struct MinAttendanceOptions {
+  bool reaugment_with_rg = true;
+};
+
+struct MinAttendanceReport {
+  std::vector<EventId> cancelled;  // In cancellation order.
+  int assignments_removed = 0;
+  int assignments_readded = 0;
+  double utility_before = 0.0;
+  double utility_after = 0.0;
+};
+
+// `min_attendance` has one entry per event (0 or 1 mean "no minimum").
+// Modifies `planning` in place.
+MinAttendanceReport EnforceMinimumAttendance(
+    const Instance& instance, const std::vector<int>& min_attendance,
+    const MinAttendanceOptions& options, Planning* planning);
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_MIN_ATTENDANCE_H_

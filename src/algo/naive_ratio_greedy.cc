@@ -1,0 +1,46 @@
+#include "algo/naive_ratio_greedy.h"
+
+#include <optional>
+
+#include "algo/ratio.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+
+PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  Planning planning(instance);
+  PlannerStats stats;
+
+  while (true) {
+    std::optional<RatioKey> best_key;
+    EventId best_v = -1;
+    UserId best_u = -1;
+    Schedule::Insertion best_insertion;
+
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      if (planning.EventFull(v)) continue;
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        const std::optional<Schedule::Insertion> insertion =
+            planning.CheckAssign(v, u);
+        if (!insertion.has_value()) continue;
+        const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+        if (!best_key.has_value() || RatioBetter(key, *best_key)) {
+          best_key = key;
+          best_v = v;
+          best_u = u;
+          best_insertion = *insertion;
+        }
+      }
+    }
+
+    if (!best_key.has_value()) break;
+    planning.Assign(best_v, best_u, best_insertion);
+    ++stats.iterations;
+  }
+
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return PlannerResult{std::move(planning), stats};
+}
+
+}  // namespace usep

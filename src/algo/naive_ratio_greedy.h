@@ -1,0 +1,29 @@
+#ifndef USEP_ALGO_NAIVE_RATIO_GREEDY_H_
+#define USEP_ALGO_NAIVE_RATIO_GREEDY_H_
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// Reference implementation of the ratio-greedy idea: every round rescans
+// *all* (event, user) pairs, arranges the valid pair with the best
+// Equation (2) ratio (ties: least inc_cost, then smallest event id, then
+// smallest user id), and repeats until nothing fits.
+//
+// This is the idealized O(|V|^2 |U|^2)-ish version of Algorithm 1.  It can
+// differ from the heap-based RatioGreedyPlanner in rare corner cases: the
+// paper's heap only re-elects an event's champion when that champion's own
+// inc_cost changes, so another user whose schedule change *improved* their
+// ratio for the event is not reconsidered until the stored champion is
+// consumed.  The ablation benchmark quantifies both the utility gap (usually
+// none) and the speed gap (large).
+class NaiveRatioGreedyPlanner : public Planner {
+ public:
+  std::string_view name() const override { return "NaiveRatioGreedy"; }
+
+  PlannerResult Plan(const Instance& instance) const override;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_NAIVE_RATIO_GREEDY_H_

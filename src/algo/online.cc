@@ -1,0 +1,57 @@
+#include "algo/online.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/dp_single.h"
+#include "algo/greedy_single.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+
+PlannerResult OnlinePlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  PlannerStats stats;
+  Planning planning(instance);
+
+  std::vector<UserId> arrival_order(instance.num_users());
+  std::iota(arrival_order.begin(), arrival_order.end(), 0);
+  if (options_.arrival_shuffle_seed != 0) {
+    Rng rng(options_.arrival_shuffle_seed);
+    for (int i = instance.num_users() - 1; i > 0; --i) {
+      std::swap(arrival_order[i],
+                arrival_order[rng.UniformInt(0, i)]);
+    }
+  }
+
+  for (const UserId u : arrival_order) {
+    // The arriving user sees only events with seats left, at full utility.
+    std::vector<UserCandidate> candidates;
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      if (planning.EventFull(v)) continue;
+      const double mu = instance.utility(v, u);
+      if (mu > 0.0) candidates.push_back(UserCandidate{v, mu});
+    }
+    if (candidates.empty()) continue;
+
+    const SingleResult single =
+        options_.solver == Solver::kDp
+            ? DpSingle(instance, u, candidates)
+            : GreedySingle(instance, u, candidates);
+    stats.dp_cells += single.cells;
+
+    for (const EventId v : single.schedule) {
+      const bool assigned = planning.TryAssign(v, u);
+      USEP_CHECK(assigned)
+          << "online schedule infeasible for user " << u << ", event " << v;
+    }
+    ++stats.iterations;
+  }
+
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return PlannerResult{std::move(planning), stats};
+}
+
+}  // namespace usep

@@ -1,0 +1,49 @@
+#ifndef USEP_ALGO_ONLINE_H_
+#define USEP_ALGO_ONLINE_H_
+
+#include <cstdint>
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// First-come-first-served planning (this library's extension): users arrive
+// one at a time and are immediately given the schedule that is best *for
+// them* under whatever capacity is left — exactly how today's EBSN
+// platforms behave ("existing EBSNs focus on pushing recommendation ...
+// capacities of events are out of consideration", Section 1), and the
+// natural baseline quantifying what the paper's global planning buys.
+//
+// Unlike the decomposed framework there is no utility decomposition and no
+// second-step reassignment: claimed seats stay claimed.  No approximation
+// guarantee; always feasible.
+class OnlinePlanner : public Planner {
+ public:
+  enum class Solver {
+    kDp,      // Each arrival gets their selfish-optimal schedule (DPSingle).
+    kGreedy,  // Each arrival uses the fast GreedySingle heuristic.
+  };
+
+  struct Options {
+    Solver solver = Solver::kDp;
+    // 0: users arrive in instance order; otherwise a deterministic shuffle
+    // with this seed.
+    uint64_t arrival_shuffle_seed = 0;
+  };
+
+  OnlinePlanner() = default;
+  explicit OnlinePlanner(const Options& options) : options_(options) {}
+
+  std::string_view name() const override {
+    return options_.solver == Solver::kDp ? "Online-DP" : "Online-Greedy";
+  }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_ONLINE_H_

@@ -1,0 +1,4 @@
+#include "algo/planner.h"
+
+// Planner is an interface; concrete planners live in their own translation
+// units.  See planner_registry.cc for name-based construction.

@@ -1,0 +1,37 @@
+#ifndef USEP_ALGO_PLANNER_H_
+#define USEP_ALGO_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "algo/stats.h"
+#include "core/planning.h"
+
+namespace usep {
+
+// The outcome of a planner run.  The planning is feasible by construction;
+// validation.h can re-verify it independently.
+struct PlannerResult {
+  Planning planning;
+  PlannerStats stats;
+};
+
+// Common interface of all USEP planners (RatioGreedy, DeDP, DeDPO, DeDPO+RG,
+// DeGreedy, DeGreedy+RG, Exact).  Planners are stateless with respect to the
+// instance: Plan() may be called repeatedly and concurrently from different
+// threads on different instances.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  // Short stable identifier, e.g. "DeDPO+RG" (used by the registry and the
+  // benchmark tables).
+  virtual std::string_view name() const = 0;
+
+  virtual PlannerResult Plan(const Instance& instance) const = 0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_PLANNER_H_

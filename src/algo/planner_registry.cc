@@ -1,0 +1,115 @@
+#include "algo/planner_registry.h"
+
+#include "algo/dedp.h"
+#include "algo/dedpo.h"
+#include "algo/degreedy.h"
+#include "algo/exact.h"
+#include "algo/local_search.h"
+#include "algo/naive_ratio_greedy.h"
+#include "algo/online.h"
+#include "algo/ratio_greedy.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kRatioGreedy:
+      return "RatioGreedy";
+    case PlannerKind::kDeDp:
+      return "DeDP";
+    case PlannerKind::kDeDpo:
+      return "DeDPO";
+    case PlannerKind::kDeDpoRg:
+      return "DeDPO+RG";
+    case PlannerKind::kDeGreedy:
+      return "DeGreedy";
+    case PlannerKind::kDeGreedyRg:
+      return "DeGreedy+RG";
+    case PlannerKind::kNaiveRatioGreedy:
+      return "NaiveRatioGreedy";
+    case PlannerKind::kExact:
+      return "Exact";
+    case PlannerKind::kOnlineDp:
+      return "Online-DP";
+    case PlannerKind::kOnlineGreedy:
+      return "Online-Greedy";
+    case PlannerKind::kDeDpoRgLs:
+      return "DeDPO+RG+LS";
+    case PlannerKind::kDeGreedyRgLs:
+      return "DeGreedy+RG+LS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Planner> MakePlanner(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kRatioGreedy:
+      return std::make_unique<RatioGreedyPlanner>();
+    case PlannerKind::kDeDp:
+      return std::make_unique<DeDpPlanner>();
+    case PlannerKind::kDeDpo:
+      return std::make_unique<DeDpoPlanner>();
+    case PlannerKind::kDeDpoRg: {
+      DeDpoPlanner::Options options;
+      options.augment_with_rg = true;
+      return std::make_unique<DeDpoPlanner>(options);
+    }
+    case PlannerKind::kDeGreedy:
+      return std::make_unique<DeGreedyPlanner>();
+    case PlannerKind::kDeGreedyRg: {
+      DeGreedyPlanner::Options options;
+      options.augment_with_rg = true;
+      return std::make_unique<DeGreedyPlanner>(options);
+    }
+    case PlannerKind::kNaiveRatioGreedy:
+      return std::make_unique<NaiveRatioGreedyPlanner>();
+    case PlannerKind::kExact:
+      return std::make_unique<ExactPlanner>();
+    case PlannerKind::kOnlineDp:
+      return std::make_unique<OnlinePlanner>();
+    case PlannerKind::kOnlineGreedy: {
+      OnlinePlanner::Options options;
+      options.solver = OnlinePlanner::Solver::kGreedy;
+      return std::make_unique<OnlinePlanner>(options);
+    }
+    case PlannerKind::kDeDpoRgLs:
+      return std::make_unique<LocalSearchPlanner>(
+          MakePlanner(PlannerKind::kDeDpoRg));
+    case PlannerKind::kDeGreedyRgLs:
+      return std::make_unique<LocalSearchPlanner>(
+          MakePlanner(PlannerKind::kDeGreedyRg));
+  }
+  return nullptr;
+}
+
+StatusOr<std::unique_ptr<Planner>> MakePlannerByName(const std::string& name) {
+  const std::string lower = AsciiToLower(Trim(name));
+  static constexpr PlannerKind kAll[] = {
+      PlannerKind::kRatioGreedy,      PlannerKind::kDeDp,
+      PlannerKind::kDeDpo,            PlannerKind::kDeDpoRg,
+      PlannerKind::kDeGreedy,         PlannerKind::kDeGreedyRg,
+      PlannerKind::kNaiveRatioGreedy, PlannerKind::kExact,
+      PlannerKind::kOnlineDp,         PlannerKind::kOnlineGreedy,
+      PlannerKind::kDeDpoRgLs,        PlannerKind::kDeGreedyRgLs};
+  for (const PlannerKind kind : kAll) {
+    if (AsciiToLower(PlannerKindName(kind)) == lower) {
+      return MakePlanner(kind);
+    }
+  }
+  return Status::NotFound("no planner named '" + name + "'");
+}
+
+std::vector<PlannerKind> PaperPlannerKinds() {
+  return {PlannerKind::kRatioGreedy, PlannerKind::kDeDp,
+          PlannerKind::kDeDpo,       PlannerKind::kDeDpoRg,
+          PlannerKind::kDeGreedy,    PlannerKind::kDeGreedyRg};
+}
+
+std::vector<PlannerKind> ScalablePlannerKinds() {
+  return {PlannerKind::kRatioGreedy, PlannerKind::kDeDpo,
+          PlannerKind::kDeDpoRg, PlannerKind::kDeGreedy,
+          PlannerKind::kDeGreedyRg};
+}
+
+}  // namespace usep

@@ -1,0 +1,46 @@
+#ifndef USEP_ALGO_PLANNER_REGISTRY_H_
+#define USEP_ALGO_PLANNER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/planner.h"
+#include "common/status.h"
+
+namespace usep {
+
+// The six planners the paper evaluates, plus this library's extras.
+enum class PlannerKind {
+  kRatioGreedy,
+  kDeDp,
+  kDeDpo,
+  kDeDpoRg,
+  kDeGreedy,
+  kDeGreedyRg,
+  kNaiveRatioGreedy,  // Reference implementation (ablation).
+  kExact,             // Small instances only.
+  // Extensions beyond the paper (see the respective headers):
+  kOnlineDp,          // First-come-first-served, selfish-optimal arrivals.
+  kOnlineGreedy,      // First-come-first-served, greedy arrivals.
+  kDeDpoRgLs,         // DeDPO+RG followed by local search.
+  kDeGreedyRgLs,      // DeGreedy+RG followed by local search.
+};
+
+const char* PlannerKindName(PlannerKind kind);
+
+// Constructs a planner with default options.
+std::unique_ptr<Planner> MakePlanner(PlannerKind kind);
+
+// Name-based lookup (case-insensitive; accepts e.g. "dedpo+rg").
+StatusOr<std::unique_ptr<Planner>> MakePlannerByName(const std::string& name);
+
+// The paper's six evaluated planners, in the order its legends list them.
+std::vector<PlannerKind> PaperPlannerKinds();
+
+// The scalable subset used in the Figure 4 scalability sweep (no DeDP).
+std::vector<PlannerKind> ScalablePlannerKinds();
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_PLANNER_REGISTRY_H_

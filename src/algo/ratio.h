@@ -1,0 +1,45 @@
+#ifndef USEP_ALGO_RATIO_H_
+#define USEP_ALGO_RATIO_H_
+
+#include "geo/metric.h"
+
+namespace usep {
+
+// Equation (2)'s utility-cost ratio, compared exactly.
+//
+// ratio(v, u) = mu(v, u) / inc_cost(v, u) with inc_cost >= 0.  An inc_cost
+// of 0 (collocated venues) makes the ratio +infinity.  To avoid division we
+// compare cross-products: a.mu / a.inc > b.mu / b.inc  <=>
+// a.mu * b.inc > b.mu * a.inc, which stays exact for the magnitudes involved
+// (mu <= 1, costs bounded integers).
+//
+// Ordering (most attractive first), matching the paper's tie-break "pick the
+// one with the least inc_cost":
+//   1. larger ratio;
+//   2. smaller inc_cost;
+//   3. larger mu (only reachable when both inc_costs are 0 and equal).
+// Callers append their own id-based tie-breaks for full determinism.
+struct RatioKey {
+  double mu = 0.0;
+  Cost inc_cost = 0;
+};
+
+// Returns <0 when `a` is more attractive than `b`, >0 when less, 0 on a full
+// tie.
+inline int CompareRatio(const RatioKey& a, const RatioKey& b) {
+  const double lhs = a.mu * static_cast<double>(b.inc_cost);
+  const double rhs = b.mu * static_cast<double>(a.inc_cost);
+  if (lhs > rhs) return -1;
+  if (lhs < rhs) return 1;
+  if (a.inc_cost != b.inc_cost) return a.inc_cost < b.inc_cost ? -1 : 1;
+  if (a.mu != b.mu) return a.mu > b.mu ? -1 : 1;
+  return 0;
+}
+
+inline bool RatioBetter(const RatioKey& a, const RatioKey& b) {
+  return CompareRatio(a, b) < 0;
+}
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_RATIO_H_

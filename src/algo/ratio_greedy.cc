@@ -1,0 +1,180 @@
+#include "algo/ratio_greedy.h"
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+
+#include "algo/ratio.h"
+#include "common/stopwatch.h"
+
+namespace usep {
+namespace {
+
+// Whether a heap entry is the champion pair of an event (best user for it)
+// or of a user (best event for them).
+enum class ChampionKind : uint8_t { kForEvent = 0, kForUser = 1 };
+
+struct HeapEntry {
+  RatioKey key;
+  EventId v;
+  UserId u;
+  ChampionKind kind;
+  uint64_t generation;
+};
+
+// Max-heap order: most attractive ratio first, then the deterministic
+// id-based tie-break shared with NaiveRatioGreedyPlanner.
+struct EntryWorse {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    const int cmp = CompareRatio(a.key, b.key);
+    if (cmp != 0) return cmp > 0;
+    if (a.v != b.v) return a.v > b.v;
+    if (a.u != b.u) return a.u > b.u;
+    return a.kind > b.kind;
+  }
+};
+
+struct Champion {
+  RatioKey key;
+  int id = -1;  // UserId or EventId depending on direction.
+};
+
+// arg max_{u | {v} + S_u valid} ratio(v, u); ties by least inc_cost then
+// smallest user id.
+std::optional<Champion> BestUserForEvent(const Instance& instance,
+                                         const Planning& planning, EventId v) {
+  std::optional<Champion> best;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const std::optional<Schedule::Insertion> insertion =
+        planning.CheckAssign(v, u);
+    if (!insertion.has_value()) continue;
+    const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+    if (!best.has_value() || RatioBetter(key, best->key)) {
+      best = Champion{key, u};
+    }
+  }
+  return best;
+}
+
+// arg max_{v in candidates | {v} + S_u valid} ratio(v, u).
+std::optional<Champion> BestEventForUser(
+    const Instance& instance, const Planning& planning,
+    const std::vector<EventId>& candidate_events, UserId u) {
+  std::optional<Champion> best;
+  for (const EventId v : candidate_events) {
+    const std::optional<Schedule::Insertion> insertion =
+        planning.CheckAssign(v, u);
+    if (!insertion.has_value()) continue;
+    const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+    if (!best.has_value() || RatioBetter(key, best->key)) {
+      best = Champion{key, v};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RatioGreedyPlanner::Augment(const Instance& instance,
+                                 const std::vector<EventId>& candidate_events,
+                                 Planning* planning, PlannerStats* stats) {
+  const int num_users = instance.num_users();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse> heap;
+  // Generation counters invalidate superseded heap entries lazily.
+  std::vector<uint64_t> event_generation(instance.num_events(), 0);
+  std::vector<uint64_t> user_generation(num_users, 0);
+  // Current champion user of each event, for the lines 15-18 incident
+  // update (-1: none).
+  std::vector<int> champion_user_of_event(instance.num_events(), -1);
+
+  const auto refresh_event_champion = [&](EventId v) {
+    ++event_generation[v];
+    champion_user_of_event[v] = -1;
+    if (planning->EventFull(v)) return;
+    const std::optional<Champion> best =
+        BestUserForEvent(instance, *planning, v);
+    if (!best.has_value()) return;
+    champion_user_of_event[v] = best->id;
+    heap.push(HeapEntry{best->key, v, best->id, ChampionKind::kForEvent,
+                        event_generation[v]});
+    ++stats->heap_pushes;
+  };
+  const auto refresh_user_champion = [&](UserId u) {
+    ++user_generation[u];
+    const std::optional<Champion> best =
+        BestEventForUser(instance, *planning, candidate_events, u);
+    if (!best.has_value()) return;
+    heap.push(HeapEntry{best->key, best->id, u, ChampionKind::kForUser,
+                        user_generation[u]});
+    ++stats->heap_pushes;
+  };
+
+  // Lines 2-8: initial champions for every event and every user.
+  for (const EventId v : candidate_events) refresh_event_champion(v);
+  for (UserId u = 0; u < num_users; ++u) refresh_user_champion(u);
+
+  // Lines 9-20.
+  while (!heap.empty()) {
+    const HeapEntry entry = heap.top();
+    heap.pop();
+    // Discard entries superseded by a champion re-election.
+    const uint64_t current = entry.kind == ChampionKind::kForEvent
+                                 ? event_generation[entry.v]
+                                 : user_generation[entry.u];
+    if (entry.generation != current) continue;
+
+    ++stats->iterations;
+    const std::optional<Schedule::Insertion> insertion =
+        planning->CheckAssign(entry.v, entry.u);
+    if (!insertion.has_value()) {
+      // The pair went stale (capacity consumed elsewhere, or the duplicate
+      // of a pair arranged through the other champion slot).  Re-elect this
+      // slot's champion and move on.
+      if (entry.kind == ChampionKind::kForEvent) {
+        refresh_event_champion(entry.v);
+      } else {
+        refresh_user_champion(entry.u);
+      }
+      continue;
+    }
+
+    planning->Assign(entry.v, entry.u, *insertion);
+
+    // Lines 12-14: next champion user for the event.
+    refresh_event_champion(entry.v);
+    // Lines 19-20: next champion event for the user.
+    refresh_user_champion(entry.u);
+    // Lines 15-18: the user's schedule changed, so inc_cost against them
+    // changed; re-elect every event whose champion was this user.
+    for (const EventId other : candidate_events) {
+      if (other != entry.v && champion_user_of_event[other] == entry.u) {
+        refresh_event_champion(other);
+      }
+    }
+  }
+
+  const size_t heap_bytes =
+      static_cast<size_t>(stats->heap_pushes) * sizeof(HeapEntry);
+  const size_t state_bytes =
+      event_generation.size() * (sizeof(uint64_t) + sizeof(int)) +
+      user_generation.size() * sizeof(uint64_t);
+  if (heap_bytes + state_bytes > stats->logical_peak_bytes) {
+    stats->logical_peak_bytes = heap_bytes + state_bytes;
+  }
+}
+
+PlannerResult RatioGreedyPlanner::Plan(const Instance& instance) const {
+  Stopwatch stopwatch;
+  Planning planning(instance);
+  PlannerStats stats;
+
+  std::vector<EventId> all_events(instance.num_events());
+  for (EventId v = 0; v < instance.num_events(); ++v) all_events[v] = v;
+  Augment(instance, all_events, &planning, &stats);
+
+  stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return PlannerResult{std::move(planning), stats};
+}
+
+}  // namespace usep

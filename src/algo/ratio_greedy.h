@@ -1,0 +1,42 @@
+#ifndef USEP_ALGO_RATIO_GREEDY_H_
+#define USEP_ALGO_RATIO_GREEDY_H_
+
+#include <vector>
+
+#include "algo/planner.h"
+
+namespace usep {
+
+// Algorithm 1: the heap-based RatioGreedy heuristic.
+//
+// The heap H holds at most one "champion" pair per event (its best valid
+// user by Equation (2)'s ratio) and one per user (its best valid event).
+// Each iteration pops the most attractive pair, arranges it if it is still
+// valid, and refreshes the affected champions exactly as lines 12-20 of the
+// paper prescribe: a new champion user for the popped event, a new champion
+// event for the popped user, and — because the popped user's schedule
+// changed, altering inc_cost — a re-election for every event whose current
+// champion is that user.  Superseded heap entries are discarded lazily via
+// generation counters.
+//
+// No approximation guarantee (Section 3); fast on loosely-constrained
+// instances, and the weakest utility-wise of the six planners.
+class RatioGreedyPlanner : public Planner {
+ public:
+  std::string_view name() const override { return "RatioGreedy"; }
+
+  PlannerResult Plan(const Instance& instance) const override;
+
+  // The reusable core: greedily adds valid (event, user) pairs drawn from
+  // `candidate_events` to an existing `planning` until no pair fits.  Used
+  // both by Plan() (empty planning, all events) and by the +RG augmentation
+  // step of DeDPO+RG / DeGreedy+RG (partially filled planning, events with
+  // spare capacity).  Updates `stats` counters in place.
+  static void Augment(const Instance& instance,
+                      const std::vector<EventId>& candidate_events,
+                      Planning* planning, PlannerStats* stats);
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_RATIO_GREEDY_H_

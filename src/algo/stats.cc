@@ -1,0 +1,15 @@
+#include "algo/stats.h"
+
+#include "common/string_util.h"
+
+namespace usep {
+
+std::string PlannerStats::ToString() const {
+  return StrFormat(
+      "PlannerStats{%.3f ms, iterations=%lld, heap_pushes=%lld, "
+      "dp_cells=%lld, logical_peak=%s}",
+      wall_seconds * 1e3, (long long)iterations, (long long)heap_pushes,
+      (long long)dp_cells, HumanBytes(logical_peak_bytes).c_str());
+}
+
+}  // namespace usep

@@ -1,0 +1,26 @@
+#ifndef USEP_ALGO_STATS_H_
+#define USEP_ALGO_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace usep {
+
+// Per-run accounting reported by every planner.  `logical_peak_bytes` is the
+// planner's own estimate of its dominant working-set size (e.g. DeDP's mu^r
+// array), useful when the global allocation hook is not linked in; the
+// benchmark harness prefers the hook's measurement when available.
+struct PlannerStats {
+  double wall_seconds = 0.0;
+  int64_t iterations = 0;       // Algorithm-specific main-loop count.
+  int64_t heap_pushes = 0;      // For the heap-based algorithms.
+  int64_t dp_cells = 0;         // Total DP cells materialized (DP planners).
+  size_t logical_peak_bytes = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_STATS_H_

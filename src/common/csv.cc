@@ -1,0 +1,102 @@
+#include "common/csv.h"
+
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+bool NeedsQuoting(const std::string& field, char separator) {
+  for (const char c : field) {
+    if (c == separator || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream* out, char separator)
+    : out_(out), separator_(separator) {
+  USEP_CHECK(out != nullptr);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << separator_;
+    if (NeedsQuoting(fields[i], separator_)) {
+      *out_ << QuoteField(fields[i]);
+    } else {
+      *out_ << fields[i];
+    }
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char separator) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&]() {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == separator) {
+      end_field();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // Swallow; \r\n and bare \r both terminate via the \n branch or EOF.
+      if (i + 1 < text.size() && text[i + 1] == '\n') continue;
+      end_row();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace usep

@@ -1,0 +1,38 @@
+#ifndef USEP_COMMON_CSV_H_
+#define USEP_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace usep {
+
+// Minimal CSV writer: quotes fields containing separators, quotes or
+// newlines.  Used by the benchmark harness to dump machine-readable series
+// next to the human-readable tables.
+class CsvWriter {
+ public:
+  // Does not take ownership of `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream* out, char separator = ',');
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  int rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream* out_;
+  char separator_;
+  int rows_written_ = 0;
+};
+
+// Parses CSV text into rows of fields.  Handles quoted fields with embedded
+// separators, doubled quotes and newlines.  Returns InvalidArgument on
+// unterminated quotes.
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char separator = ',');
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_CSV_H_

@@ -1,0 +1,99 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* DistributionKindName(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kNormal:
+      return "normal";
+    case DistributionKind::kPower:
+      return "power";
+  }
+  return "unknown";
+}
+
+ScalarDistribution ScalarDistribution::Uniform(double lo, double hi) {
+  USEP_CHECK_LE(lo, hi);
+  return ScalarDistribution(DistributionKind::kUniform, lo, hi);
+}
+
+ScalarDistribution ScalarDistribution::Normal(double mean, double stddev,
+                                              double lo, double hi) {
+  USEP_CHECK_LE(lo, hi);
+  USEP_CHECK_GE(stddev, 0.0);
+  ScalarDistribution dist(DistributionKind::kNormal, lo, hi);
+  dist.mean_ = mean;
+  dist.stddev_ = stddev;
+  return dist;
+}
+
+ScalarDistribution ScalarDistribution::Power(double exponent, double lo,
+                                             double hi) {
+  USEP_CHECK_LE(lo, hi);
+  USEP_CHECK_GT(exponent, 0.0);
+  ScalarDistribution dist(DistributionKind::kPower, lo, hi);
+  dist.exponent_ = exponent;
+  return dist;
+}
+
+StatusOr<ScalarDistribution> ScalarDistribution::Parse(const std::string& spec,
+                                                       double lo, double hi) {
+  const std::string lower = AsciiToLower(Trim(spec));
+  if (lower == "uniform") return Uniform(lo, hi);
+  if (lower == "normal") {
+    const double mean = 0.5 * (lo + hi);
+    return Normal(mean, 0.25 * mean, lo, hi);
+  }
+  if (lower.rfind("power:", 0) == 0) {
+    double exponent = 0.0;
+    if (!ParseDouble(lower.substr(6), &exponent) || exponent <= 0.0) {
+      return Status::InvalidArgument("bad power exponent in '" + spec + "'");
+    }
+    return Power(exponent, lo, hi);
+  }
+  return Status::InvalidArgument("unknown distribution spec '" + spec +
+                                 "' (want uniform|normal|power:<a>)");
+}
+
+double ScalarDistribution::Sample(Rng& rng) const {
+  switch (kind_) {
+    case DistributionKind::kUniform:
+      return rng.UniformDouble(lo_, hi_);
+    case DistributionKind::kNormal: {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const double value = rng.Gaussian(mean_, stddev_);
+        if (value >= lo_ && value <= hi_) return value;
+      }
+      return std::clamp(rng.Gaussian(mean_, stddev_), lo_, hi_);
+    }
+    case DistributionKind::kPower: {
+      // Inverse-CDF sampling for F(x) = ((x - lo) / (hi - lo))^a.
+      const double u = rng.NextDouble();
+      return lo_ + (hi_ - lo_) * std::pow(u, 1.0 / exponent_);
+    }
+  }
+  USEP_CHECK(false) << "unreachable distribution kind";
+  return lo_;
+}
+
+std::string ScalarDistribution::ToString() const {
+  switch (kind_) {
+    case DistributionKind::kUniform:
+      return StrFormat("Uniform[%g, %g]", lo_, hi_);
+    case DistributionKind::kNormal:
+      return StrFormat("Normal(%g, %g)[%g, %g]", mean_, stddev_, lo_, hi_);
+    case DistributionKind::kPower:
+      return StrFormat("Power(%g)[%g, %g]", exponent_, lo_, hi_);
+  }
+  return "Unknown";
+}
+
+}  // namespace usep

@@ -1,0 +1,61 @@
+#ifndef USEP_COMMON_DISTRIBUTIONS_H_
+#define USEP_COMMON_DISTRIBUTIONS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace usep {
+
+enum class DistributionKind { kUniform, kNormal, kPower };
+
+const char* DistributionKindName(DistributionKind kind);
+
+// A bounded scalar distribution over [lo, hi], covering the three families
+// the paper's experiments use (Table 7): Uniform, Normal and Power.
+//
+//  - Uniform(lo, hi): flat density.
+//  - Normal(mean, stddev): samples are redrawn while outside [lo, hi]
+//    (truncated normal); after 64 rejections the value is clamped.
+//  - Power(a): CDF F(x) = ((x-lo)/(hi-lo))^a.  a < 1 skews mass toward lo
+//    (the paper's "Power: 0.5"), a > 1 toward hi ("Power: 4").
+class ScalarDistribution {
+ public:
+  static ScalarDistribution Uniform(double lo, double hi);
+  static ScalarDistribution Normal(double mean, double stddev, double lo,
+                                   double hi);
+  static ScalarDistribution Power(double exponent, double lo, double hi);
+
+  // Parses "uniform", "normal" or "power:<a>" over [lo, hi].  Normal uses the
+  // paper's convention: mean = midpoint of [lo, hi] unless `normal_mean` is
+  // given, stddev = 0.25 * mean.
+  static StatusOr<ScalarDistribution> Parse(const std::string& spec, double lo,
+                                            double hi);
+
+  double Sample(Rng& rng) const;
+
+  DistributionKind kind() const { return kind_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double mean_param() const { return mean_; }
+  double stddev_param() const { return stddev_; }
+  double exponent() const { return exponent_; }
+
+  std::string ToString() const;
+
+ private:
+  ScalarDistribution(DistributionKind kind, double lo, double hi)
+      : kind_(kind), lo_(lo), hi_(hi) {}
+
+  DistributionKind kind_;
+  double lo_;
+  double hi_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  double exponent_ = 1.0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_DISTRIBUTIONS_H_

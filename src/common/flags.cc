@@ -1,0 +1,169 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+enum class FlagType { kInt64, kDouble, kBool, kString };
+
+struct FlagSet::Flag {
+  std::string name;
+  std::string help;
+  FlagType type;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string string_value;
+  std::string default_repr;
+};
+
+FlagSet::FlagSet(std::string program_name)
+    : program_name_(std::move(program_name)) {}
+
+FlagSet::~FlagSet() {
+  for (Flag* flag : flags_) delete flag;
+}
+
+int64_t* FlagSet::AddInt64(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  USEP_CHECK(by_name_.count(name) == 0) << "duplicate flag --" << name;
+  Flag* flag = new Flag;
+  flag->name = name;
+  flag->help = help;
+  flag->type = FlagType::kInt64;
+  flag->int_value = default_value;
+  flag->default_repr = StrFormat("%lld", (long long)default_value);
+  flags_.push_back(flag);
+  by_name_[name] = flag;
+  return &flag->int_value;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  USEP_CHECK(by_name_.count(name) == 0) << "duplicate flag --" << name;
+  Flag* flag = new Flag;
+  flag->name = name;
+  flag->help = help;
+  flag->type = FlagType::kDouble;
+  flag->double_value = default_value;
+  flag->default_repr = StrFormat("%g", default_value);
+  flags_.push_back(flag);
+  by_name_[name] = flag;
+  return &flag->double_value;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  USEP_CHECK(by_name_.count(name) == 0) << "duplicate flag --" << name;
+  Flag* flag = new Flag;
+  flag->name = name;
+  flag->help = help;
+  flag->type = FlagType::kBool;
+  flag->bool_value = default_value;
+  flag->default_repr = default_value ? "true" : "false";
+  flags_.push_back(flag);
+  by_name_[name] = flag;
+  return &flag->bool_value;
+}
+
+std::string* FlagSet::AddString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help) {
+  USEP_CHECK(by_name_.count(name) == 0) << "duplicate flag --" << name;
+  Flag* flag = new Flag;
+  flag->name = name;
+  flag->help = help;
+  flag->type = FlagType::kString;
+  flag->string_value = default_value;
+  flag->default_repr = default_value.empty() ? "\"\"" : default_value;
+  flags_.push_back(flag);
+  by_name_[name] = flag;
+  return &flag->string_value;
+}
+
+FlagSet::Flag* FlagSet::FindFlag(const std::string& name) {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Status FlagSet::SetFlag(Flag* flag, const std::string& value) {
+  switch (flag->type) {
+    case FlagType::kInt64:
+      if (!ParseInt64(value, &flag->int_value)) {
+        return Status::InvalidArgument("bad int value '" + value +
+                                       "' for --" + flag->name);
+      }
+      return Status::Ok();
+    case FlagType::kDouble:
+      if (!ParseDouble(value, &flag->double_value)) {
+        return Status::InvalidArgument("bad double value '" + value +
+                                       "' for --" + flag->name);
+      }
+      return Status::Ok();
+    case FlagType::kBool:
+      if (!ParseBool(value, &flag->bool_value)) {
+        return Status::InvalidArgument("bad bool value '" + value +
+                                       "' for --" + flag->name);
+      }
+      return Status::Ok();
+    case FlagType::kString:
+      flag->string_value = value;
+      return Status::Ok();
+  }
+  return Status::Internal("corrupt flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  positional_args_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(UsageString().c_str(), stdout);
+      return Status::FailedPrecondition("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_args_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const std::string::size_type eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = FindFlag(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (flag->type == FlagType::kBool) {
+        flag->bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    USEP_RETURN_IF_ERROR(SetFlag(flag, value));
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::UsageString() const {
+  std::string usage = "Usage: " + program_name_ + " [flags]\n";
+  for (const Flag* flag : flags_) {
+    usage += StrFormat("  --%-24s %s (default: %s)\n", flag->name.c_str(),
+                       flag->help.c_str(), flag->default_repr.c_str());
+  }
+  return usage;
+}
+
+}  // namespace usep

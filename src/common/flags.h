@@ -1,0 +1,64 @@
+#ifndef USEP_COMMON_FLAGS_H_
+#define USEP_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace usep {
+
+// Tiny command-line flag parser used by the examples and benchmark binaries.
+// Flags are written as --name=value or --name value; bare --name sets a bool
+// flag to true.  Unknown flags are an error; positional arguments are
+// collected separately.
+//
+//   FlagSet flags("quickstart");
+//   int64_t* num_events = flags.AddInt64("num_events", 100, "number of events");
+//   Status s = flags.Parse(argc, argv);
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+  ~FlagSet();
+
+  // Registration.  The returned pointer stays owned by the FlagSet and is
+  // valid for its lifetime; it initially holds the default value.
+  int64_t* AddInt64(const std::string& name, int64_t default_value,
+                    const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+
+  // Parses argv[1..).  On "--help" prints usage and returns a status with
+  // code kFailedPrecondition (callers typically exit 0 on that).
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional_args() const {
+    return positional_args_;
+  }
+
+  std::string UsageString() const;
+
+ private:
+  struct Flag;
+
+  Flag* FindFlag(const std::string& name);
+  Status SetFlag(Flag* flag, const std::string& value);
+
+  std::string program_name_;
+  std::vector<Flag*> flags_;              // Owned; declaration order.
+  std::map<std::string, Flag*> by_name_;  // Not owned.
+  std::vector<std::string> positional_args_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_FLAGS_H_

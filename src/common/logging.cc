@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace usep {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return g_min_severity.load(std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
+                 Basename(file_), line_, stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace usep

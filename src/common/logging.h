@@ -1,0 +1,86 @@
+#ifndef USEP_COMMON_LOGGING_H_
+#define USEP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace usep {
+
+enum class LogSeverity { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+// Minimum severity that is actually emitted; defaults to kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+// Stream-style log message collector.  Emits on destruction; aborts the
+// process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the severity is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define USEP_LOG(severity)                                               \
+  ::usep::internal_logging::LogMessage(::usep::LogSeverity::k##severity, \
+                                       __FILE__, __LINE__)
+
+// Aborts with a message when `condition` is false.  Active in all build
+// modes: these guard internal invariants whose violation would corrupt a
+// planning.
+#define USEP_CHECK(condition)                                         \
+  if (!(condition))                                                   \
+  ::usep::internal_logging::LogMessage(::usep::LogSeverity::kFatal,   \
+                                       __FILE__, __LINE__)            \
+      << "Check failed: " #condition " "
+
+#define USEP_CHECK_OP(name, op, a, b)                                 \
+  if (!((a)op(b)))                                                    \
+  ::usep::internal_logging::LogMessage(::usep::LogSeverity::kFatal,   \
+                                       __FILE__, __LINE__)            \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+      << ") "
+
+#define USEP_CHECK_EQ(a, b) USEP_CHECK_OP(EQ, ==, a, b)
+#define USEP_CHECK_NE(a, b) USEP_CHECK_OP(NE, !=, a, b)
+#define USEP_CHECK_LT(a, b) USEP_CHECK_OP(LT, <, a, b)
+#define USEP_CHECK_LE(a, b) USEP_CHECK_OP(LE, <=, a, b)
+#define USEP_CHECK_GT(a, b) USEP_CHECK_OP(GT, >, a, b)
+#define USEP_CHECK_GE(a, b) USEP_CHECK_OP(GE, >=, a, b)
+
+#ifdef NDEBUG
+#define USEP_DCHECK(condition) \
+  while (false) USEP_CHECK(condition)
+#else
+#define USEP_DCHECK(condition) USEP_CHECK(condition)
+#endif
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_LOGGING_H_

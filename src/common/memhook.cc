@@ -1,0 +1,118 @@
+// Counting replacements for the global allocation functions.  Linking this
+// translation unit (target `usep_memhook`) into a binary activates the
+// counters declared in common/memhook.h.  Each allocation is padded with a
+// small header that records its size so that the non-sized operator delete
+// can account correctly.
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/memhook.h"
+
+namespace {
+
+// Large enough for the size field while preserving max_align_t alignment for
+// the returned pointer.
+constexpr size_t kHeaderSize = alignof(std::max_align_t) > sizeof(uint64_t)
+                                   ? alignof(std::max_align_t)
+                                   : sizeof(uint64_t) * 2;
+
+struct ActiveMarker {
+  ActiveMarker() { usep::memhook::internal::MarkActive(); }
+};
+ActiveMarker g_marker;
+
+void* HookedAlloc(size_t size) {
+  void* raw = std::malloc(size + kHeaderSize);
+  if (raw == nullptr) return nullptr;
+  *static_cast<uint64_t*>(raw) = static_cast<uint64_t>(size);
+  usep::memhook::internal::RecordAlloc(size);
+  return static_cast<char*>(raw) + kHeaderSize;
+}
+
+void HookedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kHeaderSize;
+  usep::memhook::internal::RecordFree(*static_cast<uint64_t*>(raw));
+  std::free(raw);
+}
+
+void* HookedAllocAligned(size_t size, size_t alignment) {
+  // Over-allocate so we can store the original pointer and size just before
+  // the aligned block.
+  const size_t padding = alignment + kHeaderSize;
+  void* raw = std::malloc(size + padding);
+  if (raw == nullptr) return nullptr;
+  uintptr_t aligned = reinterpret_cast<uintptr_t>(raw) + kHeaderSize;
+  aligned = (aligned + alignment - 1) / alignment * alignment;
+  uint64_t* header = reinterpret_cast<uint64_t*>(aligned) - 2;
+  header[0] = static_cast<uint64_t>(size) | (1ULL << 63);  // Aligned marker.
+  header[1] = reinterpret_cast<uint64_t>(raw);
+  usep::memhook::internal::RecordAlloc(size);
+  return reinterpret_cast<void*>(aligned);
+}
+
+void HookedFreeAligned(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  uint64_t* header = static_cast<uint64_t*>(ptr) - 2;
+  usep::memhook::internal::RecordFree(header[0] & ~(1ULL << 63));
+  std::free(reinterpret_cast<void*>(header[1]));
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  void* ptr = HookedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](size_t size) {
+  void* ptr = HookedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return HookedAlloc(size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return HookedAlloc(size);
+}
+
+void* operator new(size_t size, std::align_val_t alignment) {
+  void* ptr = HookedAllocAligned(size, static_cast<size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](size_t size, std::align_val_t alignment) {
+  void* ptr = HookedAllocAligned(size, static_cast<size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { HookedFree(ptr); }
+void operator delete[](void* ptr) noexcept { HookedFree(ptr); }
+void operator delete(void* ptr, size_t) noexcept { HookedFree(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { HookedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  HookedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  HookedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  HookedFreeAligned(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  HookedFreeAligned(ptr);
+}
+void operator delete(void* ptr, size_t, std::align_val_t) noexcept {
+  HookedFreeAligned(ptr);
+}
+void operator delete[](void* ptr, size_t, std::align_val_t) noexcept {
+  HookedFreeAligned(ptr);
+}

@@ -1,0 +1,42 @@
+#ifndef USEP_COMMON_MEMHOOK_H_
+#define USEP_COMMON_MEMHOOK_H_
+
+#include <cstddef>
+
+namespace usep::memhook {
+
+// Heap-allocation accounting used by the benchmark harness to reproduce the
+// paper's "memory consumption" panels.
+//
+// The counters declared here always exist (they live in usep_common), but
+// they only move when the optional `usep_memhook` library — which replaces
+// the global operator new/delete with counting versions — is linked into the
+// binary.  Query IsActive() to know whether the numbers are meaningful.
+
+// True when the counting operator new/delete overrides are linked in.
+bool IsActive();
+
+// Bytes currently allocated through the hooked allocator.
+size_t CurrentBytes();
+
+// High-water mark since the last ResetPeak() (or process start).
+size_t PeakBytes();
+
+// Sets the peak back to the current level so a subsequent PeakBytes() call
+// reports the high-water mark of the enclosed region only.
+void ResetPeak();
+
+// Total number of allocations observed (never reset).
+size_t TotalAllocations();
+
+namespace internal {
+// Called by the operator new/delete overrides in memhook.cc.  Not for
+// application use.
+void RecordAlloc(size_t bytes);
+void RecordFree(size_t bytes);
+void MarkActive();
+}  // namespace internal
+
+}  // namespace usep::memhook
+
+#endif  // USEP_COMMON_MEMHOOK_H_

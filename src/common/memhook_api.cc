@@ -1,0 +1,49 @@
+#include "common/memhook.h"
+
+#include <atomic>
+
+namespace usep::memhook {
+namespace {
+
+std::atomic<size_t> g_current{0};
+std::atomic<size_t> g_peak{0};
+std::atomic<size_t> g_total_allocations{0};
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+bool IsActive() { return g_active.load(std::memory_order_relaxed); }
+
+size_t CurrentBytes() { return g_current.load(std::memory_order_relaxed); }
+
+size_t PeakBytes() { return g_peak.load(std::memory_order_relaxed); }
+
+void ResetPeak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+size_t TotalAllocations() {
+  return g_total_allocations.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void RecordAlloc(size_t bytes) {
+  g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+  const size_t now =
+      g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordFree(size_t bytes) {
+  g_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MarkActive() { g_active.store(true, std::memory_order_relaxed); }
+
+}  // namespace internal
+}  // namespace usep::memhook

@@ -1,0 +1,52 @@
+#ifndef USEP_COMMON_RNG_H_
+#define USEP_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace usep {
+
+// Deterministic pseudo-random number generator (xoshiro256++ seeded via
+// splitmix64).  Every randomized component of the library takes an explicit
+// Rng so that experiments are reproducible from a single seed.
+//
+// Not thread-safe; fork independent streams with Fork() for parallel use.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).  Requires lo <= hi.
+  double UniformDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // A statistically independent generator derived from this one; advancing
+  // either does not affect the other.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_RNG_H_

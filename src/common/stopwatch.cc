@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit exists so that the build
+// target has a stable archive member for the header.

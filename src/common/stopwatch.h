@@ -1,0 +1,35 @@
+#ifndef USEP_COMMON_STOPWATCH_H_
+#define USEP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace usep {
+
+// Wall-clock stopwatch used by the planner statistics and the benchmark
+// harness.  Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_STOPWATCH_H_

@@ -1,0 +1,137 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace usep {
+
+std::vector<std::string> Split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (true) {
+    const std::string::size_type pos = text.find(delimiter, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Trim(const std::string& text) {
+  std::string::size_type begin = 0;
+  std::string::size_type end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string AsciiToLower(const std::string& text) {
+  std::string result = text;
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ParseInt64(const std::string& text, int64_t* value) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseInt32(const std::string& text, int32_t* value) {
+  int64_t wide = 0;
+  if (!ParseInt64(text, &wide)) return false;
+  if (wide < std::numeric_limits<int32_t>::min() ||
+      wide > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *value = static_cast<int32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* value) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(trimmed.c_str(), &end);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* value) {
+  const std::string lower = AsciiToLower(Trim(text));
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    *value = true;
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    *value = false;
+    return true;
+  }
+  return false;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int suffix = 0;
+  while (value >= 1024.0 && suffix < 4) {
+    value /= 1024.0;
+    ++suffix;
+  }
+  if (suffix == 0) return StrFormat("%llu B", (unsigned long long)bytes);
+  return StrFormat("%.1f %s", value, kSuffixes[suffix]);
+}
+
+}  // namespace usep

@@ -1,0 +1,43 @@
+#ifndef USEP_COMMON_STRING_UTIL_H_
+#define USEP_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace usep {
+
+// Splits `text` at every occurrence of `delimiter`.  Consecutive delimiters
+// produce empty fields; an empty input produces a single empty field.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+// Lowercases ASCII letters.
+std::string AsciiToLower(const std::string& text);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+// Strict numeric parsers: the whole (trimmed) string must parse.  Return
+// false without modifying the output on failure.
+bool ParseInt64(const std::string& text, int64_t* value);
+bool ParseInt32(const std::string& text, int32_t* value);
+bool ParseDouble(const std::string& text, double* value);
+bool ParseBool(const std::string& text, bool* value);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+// Renders a byte count with a binary suffix, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,63 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace usep {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  USEP_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  USEP_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Append(const TablePrinter& other) {
+  USEP_CHECK(header_ == other.header_) << "appending mismatched tables";
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << ' ' << row[i];
+      out << std::string(widths[i] - row[i].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  const auto print_rule = [&]() {
+    out << "+";
+    for (const size_t width : widths) {
+      out << std::string(width + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+}  // namespace usep

@@ -1,0 +1,39 @@
+#ifndef USEP_COMMON_TABLE_PRINTER_H_
+#define USEP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace usep {
+
+// Renders aligned plain-text tables, used by the figure benchmarks to print
+// the utility / time / memory series the paper reports.
+//
+//   TablePrinter table({"algorithm", "|V|", "utility"});
+//   table.AddRow({"DeDPO", "100", "5012.3"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Number of fields must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Appends the rows of `other` (headers must match).
+  void Append(const TablePrinter& other);
+
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,25 @@
+#ifndef USEP_CORE_EVENT_H_
+#define USEP_CORE_EVENT_H_
+
+#include <string>
+
+#include "core/time_interval.h"
+
+namespace usep {
+
+// Index of an event within its Instance.
+using EventId = int;
+
+// A social event v: time interval [t1_v, t2_v] and capacity c_v (the maximum
+// number of attendees).  Its location lives in the instance's CostModel.
+// For capacity-free events (e.g. firework shows) use a capacity of at least
+// |U|; DeDP/DeDPO clamp capacities to |U| internally, as Algorithm 3 does.
+struct Event {
+  TimeInterval interval;
+  int capacity = 1;
+  std::string name;  // Optional, for examples and reports.
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_EVENT_H_

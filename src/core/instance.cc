@@ -1,0 +1,122 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* ConflictPolicyName(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kTimeOverlapOnly:
+      return "time_overlap_only";
+    case ConflictPolicy::kTravelTimeAware:
+      return "travel_time_aware";
+  }
+  return "unknown";
+}
+
+Instance::Instance(std::vector<Event> events, std::vector<User> users,
+                   std::vector<double> utilities,
+                   std::shared_ptr<const CostModel> cost_model,
+                   ConflictPolicy conflict_policy)
+    : events_(std::move(events)),
+      users_(std::move(users)),
+      utilities_(std::move(utilities)),
+      cost_model_(std::move(cost_model)),
+      conflict_policy_(conflict_policy) {
+  const size_t num_events = events_.size();
+
+  // Event-event travel costs.
+  event_costs_.resize(num_events * num_events);
+  for (size_t from = 0; from < num_events; ++from) {
+    for (size_t to = 0; to < num_events; ++to) {
+      const Cost cost = cost_model_->EventToEvent(static_cast<int>(from),
+                                                  static_cast<int>(to));
+      USEP_CHECK_GE(cost, 0);
+      event_costs_[from * num_events + to] = cost;
+    }
+  }
+
+  // Directional chainability bitset.
+  can_follow_.assign((num_events * num_events + 63) / 64, 0);
+  for (size_t from = 0; from < num_events; ++from) {
+    for (size_t to = 0; to < num_events; ++to) {
+      if (from == to) continue;
+      const TimeInterval& a = events_[from].interval;
+      const TimeInterval& b = events_[to].interval;
+      bool chainable = a.CanPrecede(b);
+      if (chainable && conflict_policy_ == ConflictPolicy::kTravelTimeAware) {
+        chainable = a.end + event_costs_[from * num_events + to] <= b.start;
+      }
+      if (chainable) {
+        const size_t bit = from * num_events + to;
+        can_follow_[bit >> 6] |= uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+
+  // t2-sorted order and the paper's l_i table.
+  sorted_by_end_.resize(num_events);
+  std::iota(sorted_by_end_.begin(), sorted_by_end_.end(), 0);
+  std::sort(sorted_by_end_.begin(), sorted_by_end_.end(),
+            [this](EventId a, EventId b) {
+              const TimeInterval& ia = events_[a].interval;
+              const TimeInterval& ib = events_[b].interval;
+              if (ia.end != ib.end) return ia.end < ib.end;
+              if (ia.start != ib.start) return ia.start < ib.start;
+              return a < b;
+            });
+  sorted_rank_.resize(num_events);
+  for (size_t rank = 0; rank < num_events; ++rank) {
+    sorted_rank_[sorted_by_end_[rank]] = static_cast<int>(rank);
+  }
+  // last_chainable_[i] = largest l with t2(sorted[l]) <= t1(sorted[i]).
+  // Binary search over the sorted end times.
+  std::vector<TimePoint> sorted_ends(num_events);
+  for (size_t rank = 0; rank < num_events; ++rank) {
+    sorted_ends[rank] = events_[sorted_by_end_[rank]].interval.end;
+  }
+  last_chainable_.resize(num_events);
+  for (size_t rank = 0; rank < num_events; ++rank) {
+    const TimePoint start = events_[sorted_by_end_[rank]].interval.start;
+    const auto it =
+        std::upper_bound(sorted_ends.begin(), sorted_ends.end(), start);
+    last_chainable_[rank] = static_cast<int>(it - sorted_ends.begin()) - 1;
+  }
+}
+
+double Instance::MeasuredConflictRatio() const {
+  const int num_events = this->num_events();
+  if (num_events < 2) return 0.0;
+  int64_t conflicting = 0;
+  for (EventId a = 0; a < num_events; ++a) {
+    for (EventId b = a + 1; b < num_events; ++b) {
+      if (ConflictingPair(a, b)) ++conflicting;
+    }
+  }
+  const double total =
+      0.5 * static_cast<double>(num_events) * (num_events - 1);
+  return static_cast<double>(conflicting) / total;
+}
+
+size_t Instance::ApproxInputBytes() const {
+  return events_.size() * sizeof(Event) + users_.size() * sizeof(User) +
+         utilities_.size() * sizeof(double) +
+         event_costs_.size() * sizeof(Cost) +
+         can_follow_.size() * sizeof(uint64_t) +
+         sorted_by_end_.size() * sizeof(EventId) +
+         sorted_rank_.size() * sizeof(int) +
+         last_chainable_.size() * sizeof(int);
+}
+
+std::string Instance::DebugSummary() const {
+  return StrFormat(
+      "Instance{|V|=%d, |U|=%d, policy=%s, measured_cr=%.3f, input~%s}",
+      num_events(), num_users(), ConflictPolicyName(conflict_policy_),
+      MeasuredConflictRatio(), HumanBytes(ApproxInputBytes()).c_str());
+}
+
+}  // namespace usep

@@ -1,0 +1,149 @@
+#ifndef USEP_CORE_INSTANCE_H_
+#define USEP_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/user.h"
+#include "geo/cost_model.h"
+#include "geo/metric.h"
+
+namespace usep {
+
+// Governs when an event can be attended directly after another (Section 2's
+// "users can attend v_j on time after attending v_i").
+enum class ConflictPolicy {
+  // v_j can follow v_i iff t2_i <= t1_j.  This is how the synthetic
+  // experiments control the conflict ratio directly.
+  kTimeOverlapOnly,
+  // Additionally requires the travel to fit in the gap:
+  // t2_i + cost(v_i, v_j) <= t1_j.  (Travel cost interpreted as time.)
+  kTravelTimeAware,
+};
+
+const char* ConflictPolicyName(ConflictPolicy policy);
+
+// An immutable USEP problem instance: the events V, users U, utilities
+// mu(v,u), travel costs, and everything Section 2 associates with them.
+// Construction (and validation) happens through InstanceBuilder; an Instance
+// in hand always satisfies the structural invariants (t1 < t2, capacity >=
+// 1, budget >= 0, 0 <= mu <= 1, matching cost-model dimensions).
+//
+// The constructor precomputes the event-event travel-cost matrix, the
+// directional "can follow" relation under the instance's ConflictPolicy, and
+// the t2-sorted event order with the paper's l_i indices, so the planners'
+// inner loops are array lookups.
+//
+// Copyable (the cost model is shared); planners take `const Instance&`.
+class Instance {
+ public:
+  int num_events() const { return static_cast<int>(events_.size()); }
+  int num_users() const { return static_cast<int>(users_.size()); }
+
+  const Event& event(EventId v) const { return events_[v]; }
+  const User& user(UserId u) const { return users_[u]; }
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<User>& users() const { return users_; }
+
+  // mu(v, u) in [0, 1].
+  double utility(EventId v, UserId u) const {
+    return utilities_[static_cast<size_t>(v) * users_.size() + u];
+  }
+
+  ConflictPolicy conflict_policy() const { return conflict_policy_; }
+  const CostModel& cost_model() const { return *cost_model_; }
+  // Shared handle for building derived instances (core/transforms.h).
+  std::shared_ptr<const CostModel> shared_cost_model() const {
+    return cost_model_;
+  }
+
+  // --- Travel costs -------------------------------------------------------
+
+  // Raw travel cost between two event venues (no temporal gating).
+  Cost EventTravelCost(EventId from, EventId to) const {
+    return event_costs_[static_cast<size_t>(from) * events_.size() + to];
+  }
+  Cost UserToEventCost(UserId u, EventId v) const {
+    return cost_model_->UserToEvent(u, v);
+  }
+  Cost EventToUserCost(EventId v, UserId u) const {
+    return cost_model_->EventToUser(v, u);
+  }
+  // cost(u, v) + cost(v, u): the Lemma 1 round-trip lower bound.
+  Cost RoundTripCost(UserId u, EventId v) const {
+    return AddCost(UserToEventCost(u, v), EventToUserCost(v, u));
+  }
+
+  // --- Temporal structure -------------------------------------------------
+
+  // True when `to` can be attended directly after `from` under the
+  // instance's conflict policy.
+  bool CanFollow(EventId from, EventId to) const {
+    const size_t bit =
+        static_cast<size_t>(from) * events_.size() + static_cast<size_t>(to);
+    return (can_follow_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  // The paper's cost(v_i, v_j): travel cost, or +inf when v_j cannot be
+  // attended after v_i.
+  Cost TransitionCost(EventId from, EventId to) const {
+    return CanFollow(from, to) ? EventTravelCost(from, to) : kInfiniteCost;
+  }
+
+  // True when the two events cannot both be attended in any order.
+  bool ConflictingPair(EventId a, EventId b) const {
+    return !CanFollow(a, b) && !CanFollow(b, a);
+  }
+
+  // Fraction of unordered event pairs that conflict (the paper's cr,
+  // measured on this instance).  0 when |V| < 2.
+  double MeasuredConflictRatio() const;
+
+  // --- Sorted order (non-descending t2; ties by t1 then id) ---------------
+
+  // Event ids in the DP processing order.
+  const std::vector<EventId>& events_by_end_time() const {
+    return sorted_by_end_;
+  }
+  // Position of event `v` in events_by_end_time().
+  int SortedRank(EventId v) const { return sorted_rank_[v]; }
+  // The paper's l_i: the largest sorted position l whose event ends no later
+  // than the start of the event at sorted position `rank`; -1 when none.
+  int LastChainableRank(int rank) const { return last_chainable_[rank]; }
+
+  // --- Misc ----------------------------------------------------------------
+
+  // Approximate size of the input data in bytes (events + users + utilities
+  // + precomputed matrices).  Benchmarks subtract this baseline so the
+  // memory panels show algorithm overhead, as the paper does.
+  size_t ApproxInputBytes() const;
+
+  std::string DebugSummary() const;
+
+ private:
+  friend class InstanceBuilder;
+
+  Instance(std::vector<Event> events, std::vector<User> users,
+           std::vector<double> utilities,
+           std::shared_ptr<const CostModel> cost_model,
+           ConflictPolicy conflict_policy);
+
+  std::vector<Event> events_;
+  std::vector<User> users_;
+  std::vector<double> utilities_;  // [v * num_users + u]
+  std::shared_ptr<const CostModel> cost_model_;
+  ConflictPolicy conflict_policy_;
+
+  std::vector<Cost> event_costs_;     // [from * num_events + to]
+  std::vector<uint64_t> can_follow_;  // bitset [from * num_events + to]
+  std::vector<EventId> sorted_by_end_;
+  std::vector<int> sorted_rank_;
+  std::vector<int> last_chainable_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_INSTANCE_H_

@@ -1,0 +1,123 @@
+#include "core/instance_builder.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace usep {
+
+EventId InstanceBuilder::AddEvent(TimeInterval interval, int capacity,
+                                  std::string name) {
+  events_.push_back(Event{interval, capacity, std::move(name)});
+  return static_cast<EventId>(events_.size()) - 1;
+}
+
+UserId InstanceBuilder::AddUser(Cost budget, std::string name) {
+  users_.push_back(User{budget, std::move(name)});
+  return static_cast<UserId>(users_.size()) - 1;
+}
+
+InstanceBuilder& InstanceBuilder::SetUtility(EventId v, UserId u, double mu) {
+  utility_entries_.push_back(UtilityEntry{v, u, mu});
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::SetAllUtilities(
+    std::vector<double> row_major_by_event) {
+  bulk_utilities_ = std::move(row_major_by_event);
+  has_bulk_utilities_ = true;
+  utility_entries_.clear();
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::SetCostModel(
+    std::shared_ptr<const CostModel> model) {
+  cost_model_ = std::move(model);
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::SetMetricLayout(
+    MetricKind metric, std::vector<Point> event_locations,
+    std::vector<Point> user_locations) {
+  cost_model_ = std::make_shared<MetricCostModel>(
+      metric, std::move(event_locations), std::move(user_locations));
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::SetConflictPolicy(ConflictPolicy policy) {
+  conflict_policy_ = policy;
+  return *this;
+}
+
+StatusOr<Instance> InstanceBuilder::Build() && {
+  const int num_events = this->num_events();
+  const int num_users = this->num_users();
+
+  for (EventId v = 0; v < num_events; ++v) {
+    const Event& event = events_[v];
+    if (event.interval.start >= event.interval.end) {
+      return Status::InvalidArgument(
+          StrFormat("event %d has empty or inverted interval %s", v,
+                    event.interval.ToString().c_str()));
+    }
+    if (event.capacity < 1) {
+      return Status::InvalidArgument(
+          StrFormat("event %d has non-positive capacity %d", v,
+                    event.capacity));
+    }
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    if (users_[u].budget < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "user %d has negative budget %lld", u, (long long)users_[u].budget));
+    }
+  }
+
+  if (cost_model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no cost model: call SetCostModel or SetMetricLayout");
+  }
+  if (cost_model_->num_events() != num_events ||
+      cost_model_->num_users() != num_users) {
+    return Status::InvalidArgument(StrFormat(
+        "cost model dimensions (%d events, %d users) do not match the "
+        "instance (%d events, %d users)",
+        cost_model_->num_events(), cost_model_->num_users(), num_events,
+        num_users));
+  }
+
+  std::vector<double> utilities;
+  if (has_bulk_utilities_) {
+    if (bulk_utilities_.size() !=
+        static_cast<size_t>(num_events) * num_users) {
+      return Status::InvalidArgument(StrFormat(
+          "bulk utility matrix has %zu entries, want %d*%d",
+          bulk_utilities_.size(), num_events, num_users));
+    }
+    utilities = std::move(bulk_utilities_);
+  } else {
+    utilities.assign(static_cast<size_t>(num_events) * num_users, 0.0);
+    for (const UtilityEntry& entry : utility_entries_) {
+      if (entry.event < 0 || entry.event >= num_events || entry.user < 0 ||
+          entry.user >= num_users) {
+        return Status::OutOfRange(
+            StrFormat("utility entry (%d, %d) out of range", entry.event,
+                      entry.user));
+      }
+      utilities[static_cast<size_t>(entry.event) * num_users + entry.user] =
+          entry.value;
+    }
+  }
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    if (!(utilities[i] >= 0.0 && utilities[i] <= 1.0)) {
+      return Status::InvalidArgument(StrFormat(
+          "utility mu(v=%zu, u=%zu) = %g outside [0, 1]", i / num_users,
+          i % num_users, utilities[i]));
+    }
+  }
+
+  return Instance(std::move(events_), std::move(users_), std::move(utilities),
+                  std::move(cost_model_), conflict_policy_);
+}
+
+}  // namespace usep

@@ -1,0 +1,73 @@
+#ifndef USEP_CORE_INSTANCE_BUILDER_H_
+#define USEP_CORE_INSTANCE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace usep {
+
+// Accumulates the pieces of a USEP instance and validates them in Build().
+//
+//   InstanceBuilder builder;
+//   EventId run = builder.AddEvent({540, 660}, /*capacity=*/30, "morning run");
+//   UserId alice = builder.AddUser(/*budget=*/40, "alice");
+//   builder.SetUtility(run, alice, 0.8);
+//   builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{3, 4}});
+//   StatusOr<Instance> instance = std::move(builder).Build();
+class InstanceBuilder {
+ public:
+  InstanceBuilder() = default;
+
+  // Returns the id of the new event (dense, starting at 0).
+  EventId AddEvent(TimeInterval interval, int capacity, std::string name = "");
+  // Returns the id of the new user (dense, starting at 0).
+  UserId AddUser(Cost budget, std::string name = "");
+
+  int num_events() const { return static_cast<int>(events_.size()); }
+  int num_users() const { return static_cast<int>(users_.size()); }
+
+  // Individual utility entries; unset entries default to 0 (meaning "u is
+  // not interested in v at all" — such pairs are never planned).
+  InstanceBuilder& SetUtility(EventId v, UserId u, double mu);
+  // Bulk form: `row_major_by_event` has num_events*num_users entries,
+  // mu(v,u) at [v*num_users + u].  Replaces any previous utilities.
+  InstanceBuilder& SetAllUtilities(std::vector<double> row_major_by_event);
+
+  // Exactly one cost source must be provided.
+  InstanceBuilder& SetCostModel(std::shared_ptr<const CostModel> model);
+  // Convenience: builds a MetricCostModel from per-event / per-user points.
+  InstanceBuilder& SetMetricLayout(MetricKind metric,
+                                   std::vector<Point> event_locations,
+                                   std::vector<Point> user_locations);
+
+  InstanceBuilder& SetConflictPolicy(ConflictPolicy policy);
+
+  // Validates and assembles the instance:
+  //  - t1 < t2 for every event; capacity >= 1; budget >= 0;
+  //  - 0 <= mu(v,u) <= 1;
+  //  - cost model present with matching dimensions and non-negative costs.
+  StatusOr<Instance> Build() &&;
+
+ private:
+  struct UtilityEntry {
+    EventId event;
+    UserId user;
+    double value;
+  };
+
+  std::vector<Event> events_;
+  std::vector<User> users_;
+  std::vector<UtilityEntry> utility_entries_;
+  std::vector<double> bulk_utilities_;
+  bool has_bulk_utilities_ = false;
+  std::shared_ptr<const CostModel> cost_model_;
+  ConflictPolicy conflict_policy_ = ConflictPolicy::kTimeOverlapOnly;
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_INSTANCE_BUILDER_H_

@@ -1,0 +1,20 @@
+#include "core/objective.h"
+
+namespace usep {
+
+double TotalUtility(const Instance& instance, const Planning& planning) {
+  double total = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    total += planning.schedule(u).TotalUtility(instance);
+  }
+  return total;
+}
+
+double ScheduleUtility(const Instance& instance, UserId u,
+                       const std::vector<EventId>& events) {
+  double total = 0.0;
+  for (const EventId v : events) total += instance.utility(v, u);
+  return total;
+}
+
+}  // namespace usep

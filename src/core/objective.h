@@ -1,0 +1,19 @@
+#ifndef USEP_CORE_OBJECTIVE_H_
+#define USEP_CORE_OBJECTIVE_H_
+
+#include "core/planning.h"
+
+namespace usep {
+
+// Omega(A) = sum_u sum_{v in S_u} mu(v, u), recomputed from scratch
+// (Equation (1)).  Planning::total_utility() maintains the same quantity
+// incrementally; tests assert they agree.
+double TotalUtility(const Instance& instance, const Planning& planning);
+
+// Omega(S_u) for a single user's schedule expressed as event ids.
+double ScheduleUtility(const Instance& instance, UserId u,
+                       const std::vector<EventId>& events);
+
+}  // namespace usep
+
+#endif  // USEP_CORE_OBJECTIVE_H_

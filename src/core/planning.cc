@@ -1,0 +1,68 @@
+#include "core/planning.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+Planning::Planning(const Instance& instance)
+    : instance_(&instance), assigned_counts_(instance.num_events(), 0) {
+  schedules_.reserve(instance.num_users());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    schedules_.emplace_back(u);
+  }
+}
+
+int Planning::remaining_capacity(EventId v) const {
+  const int remaining = instance_->event(v).capacity - assigned_counts_[v];
+  return remaining > 0 ? remaining : 0;
+}
+
+std::optional<Schedule::Insertion> Planning::CheckAssign(EventId v,
+                                                         UserId u) const {
+  if (EventFull(v)) return std::nullopt;                       // Capacity.
+  if (!(instance_->utility(v, u) > 0.0)) return std::nullopt;  // Utility.
+  const Schedule& schedule = schedules_[u];
+  if (schedule.Contains(v)) return std::nullopt;
+  const std::optional<Schedule::Insertion> insertion =
+      schedule.FindInsertion(*instance_, v);                   // Feasibility.
+  if (!insertion.has_value()) return std::nullopt;
+  const Cost new_cost = AddCost(schedule.route_cost(), insertion->inc_cost);
+  if (new_cost > instance_->user(u).budget) return std::nullopt;  // Budget.
+  return insertion;
+}
+
+void Planning::Assign(EventId v, UserId u,
+                      const Schedule::Insertion& insertion) {
+  schedules_[u].Insert(insertion, v);
+  ++assigned_counts_[v];
+  ++total_assignments_;
+  total_utility_ += instance_->utility(v, u);
+}
+
+bool Planning::TryAssign(EventId v, UserId u) {
+  const std::optional<Schedule::Insertion> insertion = CheckAssign(v, u);
+  if (!insertion.has_value()) return false;
+  Assign(v, u, *insertion);
+  return true;
+}
+
+bool Planning::Unassign(EventId v, UserId u) {
+  if (!schedules_[u].Remove(*instance_, v)) return false;
+  --assigned_counts_[v];
+  --total_assignments_;
+  total_utility_ -= instance_->utility(v, u);
+  return true;
+}
+
+std::string Planning::ToString() const {
+  std::string result = StrFormat("Planning{Omega=%.4f, assignments=%d}\n",
+                                 total_utility_, total_assignments_);
+  for (const Schedule& schedule : schedules_) {
+    if (schedule.empty()) continue;
+    result += "  " + schedule.ToString() + "\n";
+  }
+  return result;
+}
+
+}  // namespace usep

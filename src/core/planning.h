@@ -1,0 +1,67 @@
+#ifndef USEP_CORE_PLANNING_H_
+#define USEP_CORE_PLANNING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace usep {
+
+// A complete planning A = U_u {S_u}: one schedule per user, plus running
+// capacity usage and the total utility score Omega(A).
+//
+// All mutations go through CheckAssign/Assign (or Unassign), which maintain
+// every Definition 2 constraint, so a Planning built exclusively through
+// this interface is feasible by construction.  validation.h re-verifies from
+// scratch for tests and benchmarks.
+class Planning {
+ public:
+  explicit Planning(const Instance& instance);
+
+  int num_users() const { return static_cast<int>(schedules_.size()); }
+  const Schedule& schedule(UserId u) const { return schedules_[u]; }
+  const std::vector<Schedule>& schedules() const { return schedules_; }
+
+  // Number of users currently assigned to `v`.
+  int assigned_count(EventId v) const { return assigned_counts_[v]; }
+  // Remaining seats at `v`.
+  int remaining_capacity(EventId v) const;
+  bool EventFull(EventId v) const { return remaining_capacity(v) == 0; }
+
+  // Omega(A), maintained incrementally.
+  double total_utility() const { return total_utility_; }
+  // Total number of arranged (event, user) pairs.
+  int total_assignments() const { return total_assignments_; }
+
+  // Returns the insertion if arranging `v` for `u` keeps all four
+  // constraints (capacity, budget, feasibility, utility) satisfied.
+  std::optional<Schedule::Insertion> CheckAssign(EventId v, UserId u) const;
+
+  // Applies an insertion from CheckAssign computed on this exact state.
+  void Assign(EventId v, UserId u, const Schedule::Insertion& insertion);
+
+  // CheckAssign + Assign; returns whether the assignment happened.
+  bool TryAssign(EventId v, UserId u);
+
+  // Removes `v` from S_u (no-op returning false when absent).  Never breaks
+  // feasibility: dropping an event only relaxes every constraint.
+  bool Unassign(EventId v, UserId u);
+
+  std::string ToString() const;
+
+  const Instance& instance() const { return *instance_; }
+
+ private:
+  const Instance* instance_;  // Not owned; must outlive the planning.
+  std::vector<Schedule> schedules_;
+  std::vector<int> assigned_counts_;
+  double total_utility_ = 0.0;
+  int total_assignments_ = 0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_PLANNING_H_

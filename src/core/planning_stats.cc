@@ -1,0 +1,106 @@
+#include "core/planning_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace usep {
+namespace {
+
+// Gini coefficient of non-negative values via the sorted-rank formula.
+double Gini(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+PlanningStats ComputePlanningStats(const Instance& instance,
+                                   const Planning& planning) {
+  PlanningStats stats;
+  stats.num_users = instance.num_users();
+  stats.num_events = instance.num_events();
+
+  std::vector<double> per_user_utility(instance.num_users(), 0.0);
+  int64_t total_schedule_events = 0;
+  double budget_utilization = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const Schedule& schedule = planning.schedule(u);
+    per_user_utility[u] = schedule.TotalUtility(instance);
+    stats.total_utility += per_user_utility[u];
+    stats.max_user_utility =
+        std::max(stats.max_user_utility, per_user_utility[u]);
+    if (schedule.empty()) continue;
+    ++stats.users_with_plans;
+    total_schedule_events += schedule.size();
+    stats.max_schedule_size = std::max(stats.max_schedule_size,
+                                       schedule.size());
+    if (stats.users_with_plans == 1 ||
+        per_user_utility[u] < stats.min_planned_user_utility) {
+      stats.min_planned_user_utility = per_user_utility[u];
+    }
+    if (instance.user(u).budget > 0) {
+      budget_utilization +=
+          static_cast<double>(schedule.ComputeRouteCost(instance)) /
+          static_cast<double>(instance.user(u).budget);
+    }
+  }
+  stats.total_assignments = static_cast<int>(total_schedule_events);
+  if (stats.users_with_plans > 0) {
+    stats.mean_schedule_size =
+        static_cast<double>(total_schedule_events) / stats.users_with_plans;
+    stats.mean_budget_utilization =
+        budget_utilization / stats.users_with_plans;
+  }
+  if (stats.num_users > 0) {
+    stats.mean_user_utility = stats.total_utility / stats.num_users;
+  }
+  stats.utility_gini = Gini(per_user_utility);
+
+  int64_t seats = 0;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (planning.assigned_count(v) > 0) ++stats.events_with_attendees;
+    if (planning.EventFull(v)) ++stats.events_at_capacity;
+    seats += std::min(instance.event(v).capacity, instance.num_users());
+  }
+  if (seats > 0) {
+    stats.seat_fill_rate =
+        static_cast<double>(stats.total_assignments) /
+        static_cast<double>(seats);
+  }
+  return stats;
+}
+
+std::vector<int> ScheduleSizeHistogram(const Planning& planning) {
+  int max_size = 0;
+  for (UserId u = 0; u < planning.num_users(); ++u) {
+    max_size = std::max(max_size, planning.schedule(u).size());
+  }
+  std::vector<int> histogram(max_size + 1, 0);
+  for (UserId u = 0; u < planning.num_users(); ++u) {
+    ++histogram[planning.schedule(u).size()];
+  }
+  return histogram;
+}
+
+std::string PlanningStats::ToString() const {
+  return StrFormat(
+      "PlanningStats{Omega=%.2f, assignments=%d, planned_users=%d/%d, "
+      "mean_schedule=%.2f (max %d), seat_fill=%.1f%%, "
+      "budget_use=%.1f%%, gini=%.3f, full_events=%d/%d}",
+      total_utility, total_assignments, users_with_plans, num_users,
+      mean_schedule_size, max_schedule_size, 100.0 * seat_fill_rate,
+      100.0 * mean_budget_utilization, utility_gini, events_at_capacity,
+      num_events);
+}
+
+}  // namespace usep

@@ -1,0 +1,52 @@
+#ifndef USEP_CORE_PLANNING_STATS_H_
+#define USEP_CORE_PLANNING_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/planning.h"
+
+namespace usep {
+
+// Descriptive statistics of a planning, for operator-facing reports (the
+// examples) and experiment summaries (the benchmark harness).  All values
+// are recomputed from the schedules, not from the Planning's caches.
+struct PlanningStats {
+  // --- Users ---------------------------------------------------------------
+  int num_users = 0;
+  int users_with_plans = 0;        // |{u : S_u != {}}|
+  int max_schedule_size = 0;
+  double mean_schedule_size = 0.0;  // Over planned users; 0 if none.
+  double mean_user_utility = 0.0;   // Over all users.
+  double min_planned_user_utility = 0.0;  // Over planned users; 0 if none.
+  double max_user_utility = 0.0;
+  // Mean of route_cost / budget over planned users, in [0, 1].
+  double mean_budget_utilization = 0.0;
+  // Gini coefficient of per-user utilities (0 = perfectly even), a fairness
+  // lens on Equation (1)'s pure-sum objective.
+  double utility_gini = 0.0;
+
+  // --- Events --------------------------------------------------------------
+  int num_events = 0;
+  int events_with_attendees = 0;
+  int events_at_capacity = 0;
+  // sum of assigned counts / sum of min(c_v, |U|).
+  double seat_fill_rate = 0.0;
+
+  // --- Totals --------------------------------------------------------------
+  double total_utility = 0.0;
+  int total_assignments = 0;
+
+  std::string ToString() const;
+};
+
+PlanningStats ComputePlanningStats(const Instance& instance,
+                                   const Planning& planning);
+
+// Histogram of schedule sizes: result[k] = number of users attending
+// exactly k events (k from 0 to the max schedule size).
+std::vector<int> ScheduleSizeHistogram(const Planning& planning);
+
+}  // namespace usep
+
+#endif  // USEP_CORE_PLANNING_STATS_H_

@@ -1,0 +1,109 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+bool Schedule::Contains(EventId v) const {
+  return std::find(events_.begin(), events_.end(), v) != events_.end();
+}
+
+std::optional<Schedule::Insertion> Schedule::FindInsertion(
+    const Instance& instance, EventId v) const {
+  const TimeInterval& interval = instance.event(v).interval;
+
+  // The schedule is kept in increasing time order, so the only position `v`
+  // can occupy is after every event that ends no later than it starts.
+  int position = 0;
+  while (position < size() &&
+         instance.event(events_[position]).interval.CanPrecede(interval)) {
+    ++position;
+  }
+
+  // Neighbor transitions must be admissible under the conflict policy.  The
+  // successor check also rejects any time overlap with events_[position].
+  if (position > 0 && !instance.CanFollow(events_[position - 1], v)) {
+    return std::nullopt;
+  }
+  if (position < size() && !instance.CanFollow(v, events_[position])) {
+    return std::nullopt;
+  }
+
+  // Equation (3).
+  Cost inc_cost = 0;
+  const UserId u = user_;
+  if (empty()) {
+    inc_cost = instance.RoundTripCost(u, v);
+  } else if (position == 0) {
+    const EventId first = events_.front();
+    inc_cost = instance.UserToEventCost(u, v) +
+               instance.EventTravelCost(v, first) -
+               instance.UserToEventCost(u, first);
+  } else if (position == size()) {
+    const EventId last = events_.back();
+    inc_cost = instance.EventTravelCost(last, v) +
+               instance.EventToUserCost(v, u) -
+               instance.EventToUserCost(last, u);
+  } else {
+    const EventId prev = events_[position - 1];
+    const EventId next = events_[position];
+    inc_cost = instance.EventTravelCost(prev, v) +
+               instance.EventTravelCost(v, next) -
+               instance.EventTravelCost(prev, next);
+  }
+  return Insertion{position, inc_cost};
+}
+
+void Schedule::Insert(const Insertion& insertion, EventId v) {
+  USEP_DCHECK(insertion.position >= 0 && insertion.position <= size());
+  events_.insert(events_.begin() + insertion.position, v);
+  route_cost_ += insertion.inc_cost;
+}
+
+bool Schedule::TryInsert(const Instance& instance, EventId v) {
+  const std::optional<Insertion> insertion = FindInsertion(instance, v);
+  if (!insertion.has_value()) return false;
+  Insert(*insertion, v);
+  return true;
+}
+
+void Schedule::RemoveAt(const Instance& instance, int position) {
+  USEP_CHECK(position >= 0 && position < size());
+  events_.erase(events_.begin() + position);
+  route_cost_ = ComputeRouteCost(instance);
+}
+
+bool Schedule::Remove(const Instance& instance, EventId v) {
+  const auto it = std::find(events_.begin(), events_.end(), v);
+  if (it == events_.end()) return false;
+  RemoveAt(instance, static_cast<int>(it - events_.begin()));
+  return true;
+}
+
+Cost Schedule::ComputeRouteCost(const Instance& instance) const {
+  if (empty()) return 0;
+  Cost total = instance.UserToEventCost(user_, events_.front());
+  for (int i = 1; i < size(); ++i) {
+    total = AddCost(total, instance.EventTravelCost(events_[i - 1], events_[i]));
+  }
+  return AddCost(total, instance.EventToUserCost(events_.back(), user_));
+}
+
+double Schedule::TotalUtility(const Instance& instance) const {
+  double total = 0.0;
+  for (const EventId v : events_) total += instance.utility(v, user_);
+  return total;
+}
+
+std::string Schedule::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(events_.size());
+  for (const EventId v : events_) parts.push_back(StrFormat("v%d", v));
+  return StrFormat("S_u%d = {%s} (route cost %lld)", user_,
+                   Join(parts, ", ").c_str(), (long long)route_cost_);
+}
+
+}  // namespace usep

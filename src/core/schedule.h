@@ -1,0 +1,75 @@
+#ifndef USEP_CORE_SCHEDULE_H_
+#define USEP_CORE_SCHEDULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace usep {
+
+// A user's time-ordered schedule S_u, together with its cached round-trip
+// route cost (cost(u, v_1) + sum of neighbor transitions + cost(v_last, u);
+// 0 for an empty schedule — the user stays home).
+//
+// The insertion machinery implements Equation (3): inc_cost(v, u) is the
+// extra travel the user incurs when `v` is spliced into the unique
+// time-feasible position of the current schedule.
+class Schedule {
+ public:
+  explicit Schedule(UserId user) : user_(user) {}
+
+  UserId user() const { return user_; }
+  const std::vector<EventId>& events() const { return events_; }
+  int size() const { return static_cast<int>(events_.size()); }
+  bool empty() const { return events_.empty(); }
+  bool Contains(EventId v) const;
+
+  // Cached round-trip cost of the current schedule.
+  Cost route_cost() const { return route_cost_; }
+
+  // The position `v` would occupy and the Equation (3) incremental cost.
+  struct Insertion {
+    int position = 0;      // Index in events() after insertion.
+    Cost inc_cost = 0;     // >= 0 when costs satisfy the triangle inequality.
+  };
+
+  // Computes where `v` fits in time order and what it costs.  Returns
+  // nullopt when `v` overlaps an arranged event or the required transitions
+  // are incompatible under the instance's conflict policy.  Does NOT check
+  // the user's budget, capacity or utility — those are Planning's concern.
+  std::optional<Insertion> FindInsertion(const Instance& instance,
+                                         EventId v) const;
+
+  // Applies an Insertion previously computed for `v` on this exact schedule
+  // state.  Updates the cached route cost by inc_cost.
+  void Insert(const Insertion& insertion, EventId v);
+
+  // Convenience: FindInsertion + Insert.  Returns false when infeasible.
+  bool TryInsert(const Instance& instance, EventId v);
+
+  // Removes the event at `position` and re-derives the route cost.  Used by
+  // the decomposed algorithms' second step.
+  void RemoveAt(const Instance& instance, int position);
+  // Removes `v` if present; returns whether it was.
+  bool Remove(const Instance& instance, EventId v);
+
+  // Recomputes the route cost from scratch (also used by validation to
+  // cross-check the cache).
+  Cost ComputeRouteCost(const Instance& instance) const;
+
+  // Sum of mu(v, u) over the arranged events.
+  double TotalUtility(const Instance& instance) const;
+
+  std::string ToString() const;
+
+ private:
+  UserId user_;
+  std::vector<EventId> events_;
+  Cost route_cost_ = 0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_SCHEDULE_H_

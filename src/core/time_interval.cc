@@ -1,0 +1,15 @@
+#include "core/time_interval.h"
+
+#include "common/string_util.h"
+
+namespace usep {
+
+std::string TimeInterval::ToString() const {
+  return StrFormat("[%lld, %lld]", (long long)start, (long long)end);
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace usep

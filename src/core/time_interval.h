@@ -1,0 +1,45 @@
+#ifndef USEP_CORE_TIME_INTERVAL_H_
+#define USEP_CORE_TIME_INTERVAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace usep {
+
+// Event times.  The unit is opaque to the library (the generators use
+// minutes); only ordering and differences matter.
+using TimePoint = int64_t;
+
+// A half-open-in-spirit interval [start, end] with start < end.  Two events
+// can be chained when the first ends no later than the second starts
+// (Definition 1: t2 of the earlier <= t1 of the later).
+struct TimeInterval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  // True when this interval ends early enough for `next` to be attended
+  // afterwards: end <= next.start.
+  bool CanPrecede(const TimeInterval& next) const {
+    return end <= next.start;
+  }
+
+  // True when the two intervals cannot be attended in either order.
+  bool Overlaps(const TimeInterval& other) const {
+    return !CanPrecede(other) && !other.CanPrecede(*this);
+  }
+
+  TimePoint duration() const { return end - start; }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& interval);
+
+}  // namespace usep
+
+#endif  // USEP_CORE_TIME_INTERVAL_H_

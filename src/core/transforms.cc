@@ -1,0 +1,182 @@
+#include "core/transforms.h"
+
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/instance_builder.h"
+
+namespace usep {
+namespace {
+
+// Copies events, users and conflict policy of `instance` into a fresh
+// builder (utilities and cost model are up to the caller).
+InstanceBuilder CloneSkeleton(const Instance& instance) {
+  InstanceBuilder builder;
+  for (const Event& event : instance.events()) {
+    builder.AddEvent(event.interval, event.capacity, event.name);
+  }
+  for (const User& user : instance.users()) {
+    builder.AddUser(user.budget, user.name);
+  }
+  builder.SetConflictPolicy(instance.conflict_policy());
+  return builder;
+}
+
+std::vector<double> CopyUtilities(const Instance& instance) {
+  std::vector<double> utilities(static_cast<size_t>(instance.num_events()) *
+                                instance.num_users());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      utilities[static_cast<size_t>(v) * instance.num_users() + u] =
+          instance.utility(v, u);
+    }
+  }
+  return utilities;
+}
+
+Status CheckDense(const std::vector<int>& ids, int limit, const char* what) {
+  std::set<int> seen;
+  for (const int id : ids) {
+    if (id < 0 || id >= limit) {
+      return Status::OutOfRange(StrFormat("%s id %d out of range", what, id));
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument(StrFormat("duplicate %s id %d", what, id));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Instance> RestrictCandidates(
+    const Instance& instance,
+    const std::vector<std::vector<EventId>>& candidates) {
+  if (static_cast<int>(candidates.size()) != instance.num_users()) {
+    return Status::InvalidArgument(
+        StrFormat("candidate sets for %zu users, instance has %d",
+                  candidates.size(), instance.num_users()));
+  }
+
+  // mu'(v, u) = mu(v, u) if v in V_u else 0 (the Remark 1 reduction).
+  std::vector<double> utilities(static_cast<size_t>(instance.num_events()) *
+                                    instance.num_users(),
+                                0.0);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    USEP_RETURN_IF_ERROR(
+        CheckDense(candidates[u], instance.num_events(), "event"));
+    for (const EventId v : candidates[u]) {
+      utilities[static_cast<size_t>(v) * instance.num_users() + u] =
+          instance.utility(v, u);
+    }
+  }
+
+  InstanceBuilder builder = CloneSkeleton(instance);
+  builder.SetAllUtilities(std::move(utilities));
+  builder.SetCostModel(instance.shared_cost_model());
+  return std::move(builder).Build();
+}
+
+StatusOr<Instance> WithParticipationFees(const Instance& instance,
+                                         const std::vector<Cost>& fees) {
+  if (static_cast<int>(fees.size()) != instance.num_events()) {
+    return Status::InvalidArgument(
+        StrFormat("%zu fees for %d events", fees.size(),
+                  instance.num_events()));
+  }
+  for (const Cost fee : fees) {
+    if (fee < 0) return Status::InvalidArgument("negative participation fee");
+  }
+
+  InstanceBuilder builder = CloneSkeleton(instance);
+  builder.SetAllUtilities(CopyUtilities(instance));
+  builder.SetCostModel(
+      std::shared_ptr<const CostModel>(ApplyParticipationFees(
+          instance.cost_model(), fees)));
+  return std::move(builder).Build();
+}
+
+StatusOr<Instance> SelectUsers(const Instance& instance,
+                               const std::vector<UserId>& users) {
+  USEP_RETURN_IF_ERROR(CheckDense(users, instance.num_users(), "user"));
+
+  InstanceBuilder builder;
+  for (const Event& event : instance.events()) {
+    builder.AddEvent(event.interval, event.capacity, event.name);
+  }
+  for (const UserId u : users) {
+    builder.AddUser(instance.user(u).budget, instance.user(u).name);
+  }
+  builder.SetConflictPolicy(instance.conflict_policy());
+
+  std::vector<double> utilities(static_cast<size_t>(instance.num_events()) *
+                                users.size());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (size_t i = 0; i < users.size(); ++i) {
+      utilities[static_cast<size_t>(v) * users.size() + i] =
+          instance.utility(v, users[i]);
+    }
+  }
+  builder.SetAllUtilities(std::move(utilities));
+
+  auto model = std::make_shared<MatrixCostModel>(
+      instance.num_events(), static_cast<int>(users.size()));
+  for (EventId a = 0; a < instance.num_events(); ++a) {
+    for (EventId b = 0; b < instance.num_events(); ++b) {
+      model->SetEventToEvent(a, b, instance.EventTravelCost(a, b));
+    }
+    for (size_t i = 0; i < users.size(); ++i) {
+      model->SetUserToEvent(static_cast<int>(i), a,
+                            instance.UserToEventCost(users[i], a));
+      model->SetEventToUser(a, static_cast<int>(i),
+                            instance.EventToUserCost(a, users[i]));
+    }
+  }
+  builder.SetCostModel(std::move(model));
+  return std::move(builder).Build();
+}
+
+StatusOr<Instance> SelectEvents(const Instance& instance,
+                                const std::vector<EventId>& events) {
+  USEP_RETURN_IF_ERROR(CheckDense(events, instance.num_events(), "event"));
+
+  InstanceBuilder builder;
+  for (const EventId v : events) {
+    builder.AddEvent(instance.event(v).interval, instance.event(v).capacity,
+                     instance.event(v).name);
+  }
+  for (const User& user : instance.users()) {
+    builder.AddUser(user.budget, user.name);
+  }
+  builder.SetConflictPolicy(instance.conflict_policy());
+
+  std::vector<double> utilities(events.size() *
+                                static_cast<size_t>(instance.num_users()));
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      utilities[i * instance.num_users() + u] =
+          instance.utility(events[i], u);
+    }
+  }
+  builder.SetAllUtilities(std::move(utilities));
+
+  auto model = std::make_shared<MatrixCostModel>(
+      static_cast<int>(events.size()), instance.num_users());
+  for (size_t a = 0; a < events.size(); ++a) {
+    for (size_t b = 0; b < events.size(); ++b) {
+      model->SetEventToEvent(static_cast<int>(a), static_cast<int>(b),
+                             instance.EventTravelCost(events[a], events[b]));
+    }
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      model->SetUserToEvent(u, static_cast<int>(a),
+                            instance.UserToEventCost(u, events[a]));
+      model->SetEventToUser(static_cast<int>(a), u,
+                            instance.EventToUserCost(events[a], u));
+    }
+  }
+  builder.SetCostModel(std::move(model));
+  return std::move(builder).Build();
+}
+
+}  // namespace usep

@@ -1,0 +1,49 @@
+#ifndef USEP_CORE_TRANSFORMS_H_
+#define USEP_CORE_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace usep {
+
+// Instance-to-instance reductions.  Each returns a new Instance; the input
+// is untouched.  These implement the two problem variants Section 2 reduces
+// to the original USEP problem, plus slicing helpers for experimentation.
+
+// Remark 1: each user u provides a candidate set V_u and may only be
+// arranged events from it.  Reduced to plain USEP by zeroing mu(v, u) for
+// all v outside V_u.  `candidates[u]` lists the allowed event ids for user
+// u; `candidates` must have one entry per user and in-range event ids.
+StatusOr<Instance> RestrictCandidates(
+    const Instance& instance, const std::vector<std::vector<EventId>>& candidates);
+
+// Remark 2: event v charges a participation fee fee_v (same unit as travel
+// costs).  Reduced to plain USEP by folding the fee into every inbound leg:
+// cost'(u, v) = cost(u, v) + fee_v and cost'(v_i, v_j) = cost(v_i, v_j) +
+// fee_{v_j}; return-home legs are unchanged.  `fees` must have one
+// non-negative entry per event.
+//
+// Note the reduced instance uses an explicit MatrixCostModel even when the
+// input was metric-backed, and fees generally break the raw triangle
+// inequality on paper — but the reduction is exactly the paper's, and every
+// planner remains correct because inc_cost stays >= 0 (each inserted event
+// adds its own fee exactly once).
+StatusOr<Instance> WithParticipationFees(const Instance& instance,
+                                         const std::vector<Cost>& fees);
+
+// Keeps only the given users (all events survive).  Useful for building
+// per-cohort plannings and for shrinking instances in tests.  User ids are
+// renumbered densely in the order given; duplicates are rejected.
+StatusOr<Instance> SelectUsers(const Instance& instance,
+                               const std::vector<UserId>& users);
+
+// Keeps only the given events (all users survive).  Event ids are
+// renumbered densely in the order given; duplicates are rejected.
+StatusOr<Instance> SelectEvents(const Instance& instance,
+                                const std::vector<EventId>& events);
+
+}  // namespace usep
+
+#endif  // USEP_CORE_TRANSFORMS_H_

@@ -1,0 +1,3 @@
+#include "core/user.h"
+
+// User is a plain data carrier; see instance_builder.cc for its validation.

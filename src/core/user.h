@@ -1,0 +1,24 @@
+#ifndef USEP_CORE_USER_H_
+#define USEP_CORE_USER_H_
+
+#include <string>
+
+#include "geo/metric.h"
+
+namespace usep {
+
+// Index of a user within its Instance.
+using UserId = int;
+
+// A participant u: travel budget b_u (maximum total travel expenditure for
+// the round trip through the arranged schedule).  The user's home location —
+// both the origin before the first event and the destination after the last
+// — lives in the instance's CostModel.
+struct User {
+  Cost budget = 0;
+  std::string name;  // Optional, for examples and reports.
+};
+
+}  // namespace usep
+
+#endif  // USEP_CORE_USER_H_

@@ -1,0 +1,120 @@
+#include "core/validation.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* ConstraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kCapacity:
+      return "capacity";
+    case ConstraintKind::kBudget:
+      return "budget";
+    case ConstraintKind::kFeasibility:
+      return "feasibility";
+    case ConstraintKind::kUtility:
+      return "utility";
+    case ConstraintKind::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::ToString() const {
+  if (ok()) {
+    return StrFormat("valid planning (Omega=%.4f)", recomputed_utility);
+  }
+  std::string text =
+      StrFormat("%zu constraint violation(s):\n", violations.size());
+  for (const ConstraintViolation& violation : violations) {
+    text += StrFormat("  [%s] v=%d u=%d: %s\n",
+                      ConstraintKindName(violation.kind), violation.event,
+                      violation.user, violation.detail.c_str());
+  }
+  return text;
+}
+
+ValidationReport ValidatePlanning(const Instance& instance,
+                                  const Planning& planning) {
+  ValidationReport report;
+  const auto add = [&report](ConstraintKind kind, EventId v, UserId u,
+                             std::string detail) {
+    report.violations.push_back(
+        ConstraintViolation{kind, v, u, std::move(detail)});
+  };
+
+  std::vector<int> usage(instance.num_events(), 0);
+
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const Schedule& schedule = planning.schedule(u);
+    std::set<EventId> seen;
+    for (const EventId v : schedule.events()) {
+      if (v < 0 || v >= instance.num_events()) {
+        add(ConstraintKind::kInternal, v, u, "event id out of range");
+        continue;
+      }
+      ++usage[v];
+      if (!seen.insert(v).second) {
+        add(ConstraintKind::kInternal, v, u, "event appears twice");
+      }
+      // Utility constraint: mu(v, u) > 0.
+      if (!(instance.utility(v, u) > 0.0)) {
+        add(ConstraintKind::kUtility, v, u,
+            StrFormat("mu=%g not > 0", instance.utility(v, u)));
+      }
+      report.recomputed_utility += instance.utility(v, u);
+    }
+
+    // Feasibility constraint: neighbors chainable under the policy.
+    for (int i = 0; i + 1 < schedule.size(); ++i) {
+      const EventId a = schedule.events()[i];
+      const EventId b = schedule.events()[i + 1];
+      if (!instance.CanFollow(a, b)) {
+        add(ConstraintKind::kFeasibility, b, u,
+            StrFormat("v%d cannot follow v%d (%s after %s)", b, a,
+                      instance.event(b).interval.ToString().c_str(),
+                      instance.event(a).interval.ToString().c_str()));
+      }
+    }
+
+    // Budget constraint, from a fresh route-cost computation.
+    const Cost route = schedule.ComputeRouteCost(instance);
+    if (route > instance.user(u).budget) {
+      add(ConstraintKind::kBudget, -1, u,
+          StrFormat("route cost %lld exceeds budget %lld", (long long)route,
+                    (long long)instance.user(u).budget));
+    }
+    if (route != schedule.route_cost()) {
+      add(ConstraintKind::kInternal, -1, u,
+          StrFormat("cached route cost %lld != recomputed %lld",
+                    (long long)schedule.route_cost(), (long long)route));
+    }
+  }
+
+  // Capacity constraint.
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (usage[v] > instance.event(v).capacity) {
+      add(ConstraintKind::kCapacity, v, -1,
+          StrFormat("%d attendees > capacity %d", usage[v],
+                    instance.event(v).capacity));
+    }
+    if (usage[v] != planning.assigned_count(v)) {
+      add(ConstraintKind::kInternal, v, -1,
+          StrFormat("cached assigned count %d != recomputed %d",
+                    planning.assigned_count(v), usage[v]));
+    }
+  }
+
+  return report;
+}
+
+Status CheckPlanningFeasible(const Instance& instance,
+                             const Planning& planning) {
+  const ValidationReport report = ValidatePlanning(instance, planning);
+  if (report.ok()) return Status::Ok();
+  return Status::InvalidArgument(report.ToString());
+}
+
+}  // namespace usep

@@ -1,0 +1,52 @@
+#ifndef USEP_CORE_VALIDATION_H_
+#define USEP_CORE_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planning.h"
+
+namespace usep {
+
+// Which Definition 2 constraint a violation breaks.
+enum class ConstraintKind {
+  kCapacity,     // sum_u 1_{S_u}(v) <= c_v
+  kBudget,       // round-trip cost of S_u <= b_u
+  kFeasibility,  // schedule time-ordered, neighbors chainable
+  kUtility,      // mu(v, u) > 0 for every arranged pair
+  kInternal,     // duplicate event in a schedule / stale cached route cost
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+struct ConstraintViolation {
+  ConstraintKind kind;
+  EventId event = -1;  // -1 when not event-specific.
+  UserId user = -1;    // -1 when not user-specific.
+  std::string detail;
+};
+
+// The result of re-verifying a planning from first principles.
+struct ValidationReport {
+  std::vector<ConstraintViolation> violations;
+  double recomputed_utility = 0.0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Re-checks every constraint of Definition 2 against `planning` without
+// trusting any cached value (route costs and Omega are recomputed).  Also
+// flags internal inconsistencies such as duplicate events in a schedule or a
+// stale cached route cost.
+ValidationReport ValidatePlanning(const Instance& instance,
+                                  const Planning& planning);
+
+// Convenience wrapper: OK, or InvalidArgument with the report text.
+Status CheckPlanningFeasible(const Instance& instance,
+                             const Planning& planning);
+
+}  // namespace usep
+
+#endif  // USEP_CORE_VALIDATION_H_

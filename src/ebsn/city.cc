@@ -1,0 +1,45 @@
+#include "ebsn/city.h"
+
+namespace usep {
+
+CityConfig VancouverConfig() {
+  CityConfig config;
+  config.name = "Vancouver";
+  config.num_events = 225;
+  config.num_users = 2012;
+  config.num_hotspots = 10;
+  config.extent = 2400;
+  config.hotspot_stddev = 140;
+  config.num_groups = 45;
+  return config;
+}
+
+CityConfig AucklandConfig() {
+  CityConfig config;
+  config.name = "Auckland";
+  config.num_events = 37;
+  config.num_users = 569;
+  config.num_hotspots = 5;
+  config.extent = 1600;
+  config.hotspot_stddev = 110;
+  config.num_groups = 10;
+  return config;
+}
+
+CityConfig SingaporeConfig() {
+  CityConfig config;
+  config.name = "Singapore";
+  config.num_events = 87;
+  config.num_users = 1500;
+  config.num_hotspots = 8;
+  config.extent = 1800;
+  config.hotspot_stddev = 100;
+  config.num_groups = 22;
+  return config;
+}
+
+std::vector<CityConfig> PaperCities() {
+  return {VancouverConfig(), AucklandConfig(), SingaporeConfig()};
+}
+
+}  // namespace usep

@@ -1,0 +1,48 @@
+#ifndef USEP_EBSN_CITY_H_
+#define USEP_EBSN_CITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace usep {
+
+// Shape parameters of one simulated Meetup city.  The three presets carry
+// the Table 6 statistics of the paper's real datasets (|V|, |U|, mean c_v =
+// 50, cr = 0.25); hotspot counts and extents are our own modelling of each
+// city's footprint.
+struct CityConfig {
+  std::string name;
+  int num_events = 0;
+  int num_users = 0;
+  double capacity_mean = 50.0;
+  double conflict_ratio = 0.25;
+
+  // Spatial model: users and venues cluster around `num_hotspots` centers
+  // (Zipf-weighted sizes) with Gaussian spread `hotspot_stddev`, inside a
+  // grid of side `extent`.
+  int num_hotspots = 8;
+  int64_t extent = 2000;
+  int64_t hotspot_stddev = 120;
+
+  // Organizer structure: events are created by groups; an event inherits
+  // its group's tag profile and is held near the group's home hotspot
+  // (see ebsn/groups.h).
+  int num_groups = 20;
+  int tags_per_group = 5;
+
+  // Users' own interest profiles.
+  int tags_per_user = 8;
+};
+
+// Table 6 presets.
+CityConfig VancouverConfig();  // |V| = 225, |U| = 2012.
+CityConfig AucklandConfig();   // |V| = 37,  |U| = 569.
+CityConfig SingaporeConfig();  // |V| = 87,  |U| = 1500.
+
+// All three, in the order of Table 6.
+std::vector<CityConfig> PaperCities();
+
+}  // namespace usep
+
+#endif  // USEP_EBSN_CITY_H_

@@ -1,0 +1,44 @@
+#include "ebsn/groups.h"
+
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// Samples an index in [0, n) with weight 1/(i+1) (Zipf exponent 1).
+int SampleZipf(int n, Rng& rng) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += 1.0 / (i + 1);
+  double u = rng.NextDouble() * total;
+  for (int i = 0; i < n; ++i) {
+    u -= 1.0 / (i + 1);
+    if (u <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+std::vector<Group> GenerateGroups(const TagVocabulary& vocabulary,
+                                  int num_groups, int tags_per_group,
+                                  int num_hotspots, Rng& rng) {
+  USEP_CHECK_GE(num_groups, 0);
+  USEP_CHECK_GE(num_hotspots, 1);
+  std::vector<Group> groups(num_groups);
+  for (Group& group : groups) {
+    group.tags = vocabulary.SampleTagSet(tags_per_group, rng);
+    group.hotspot = SampleZipf(num_hotspots, rng);
+  }
+  return groups;
+}
+
+std::vector<int> AssignEventsToGroups(int num_events, int num_groups,
+                                      Rng& rng) {
+  USEP_CHECK_GE(num_events, 0);
+  USEP_CHECK_GT(num_groups, 0);
+  std::vector<int> assignment(num_events);
+  for (int& group : assignment) group = SampleZipf(num_groups, rng);
+  return assignment;
+}
+
+}  // namespace usep

@@ -1,0 +1,36 @@
+#ifndef USEP_EBSN_GROUPS_H_
+#define USEP_EBSN_GROUPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ebsn/tags.h"
+
+namespace usep {
+
+// Organizer groups, the unit of event creation in EBSNs.  In the Meetup
+// data of [21] events do not carry their own tags — "we use the tags of
+// the group who creates the event as the tags of the event itself" — so
+// events of one group share an interest profile, which is what gives real
+// EBSN utility matrices their block-ish correlation structure.
+struct Group {
+  std::vector<int> tags;  // Sorted, duplicate-free tag ids.
+  int hotspot = 0;        // Index of the group's home hotspot.
+};
+
+// Generates `num_groups` groups: tag profiles drawn from `vocabulary`
+// (popularity-weighted), home hotspots Zipf-weighted over
+// [0, num_hotspots).  Deterministic in `rng`.
+std::vector<Group> GenerateGroups(const TagVocabulary& vocabulary,
+                                  int num_groups, int tags_per_group,
+                                  int num_hotspots, Rng& rng);
+
+// Assigns each of `num_events` events to a group, with group popularity
+// Zipf-distributed (group 0 organizes the most events).  Returns the group
+// index per event.
+std::vector<int> AssignEventsToGroups(int num_events, int num_groups,
+                                      Rng& rng);
+
+}  // namespace usep
+
+#endif  // USEP_EBSN_GROUPS_H_

@@ -1,0 +1,163 @@
+#include "ebsn/meetup_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/instance_builder.h"
+#include "ebsn/groups.h"
+#include "ebsn/tags.h"
+#include "geo/grid_index.h"
+#include "gen/synthetic_generator.h"
+
+namespace usep {
+namespace {
+
+// Zipf-weighted hotspot index: hotspot h has weight 1/(h+1).
+int SampleHotspot(int num_hotspots, Rng& rng) {
+  double total = 0.0;
+  for (int h = 0; h < num_hotspots; ++h) total += 1.0 / (h + 1);
+  double u = rng.NextDouble() * total;
+  for (int h = 0; h < num_hotspots; ++h) {
+    u -= 1.0 / (h + 1);
+    if (u <= 0.0) return h;
+  }
+  return num_hotspots - 1;
+}
+
+Point ClampToGrid(double x, double y, int64_t extent) {
+  const auto clamp = [extent](double value) {
+    return std::clamp<int64_t>(static_cast<int64_t>(std::llround(value)), 0,
+                               extent - 1);
+  };
+  return Point{clamp(x), clamp(y)};
+}
+
+}  // namespace
+
+StatusOr<Instance> SimulateCity(const CityConfig& config,
+                                const MeetupSimOptions& options) {
+  if (config.num_events < 0 || config.num_users < 0) {
+    return Status::InvalidArgument("negative city dimensions");
+  }
+  if (config.num_hotspots < 1 || config.extent < 1) {
+    return Status::InvalidArgument("city needs at least one hotspot and a "
+                                   "positive extent");
+  }
+
+  Rng root(options.seed ^ std::hash<std::string>{}(config.name));
+  Rng geo_rng = root.Fork();
+  Rng tag_rng = root.Fork();
+  Rng time_rng = root.Fork();
+  Rng capacity_rng = root.Fork();
+  Rng budget_rng = root.Fork();
+
+  // Hotspot centers: uniform over the inner 80% of the grid so clusters do
+  // not spill over the edge too much.
+  std::vector<Point> hotspots(config.num_hotspots);
+  const int64_t margin = config.extent / 10;
+  for (Point& center : hotspots) {
+    center.x = geo_rng.UniformInt(margin, config.extent - 1 - margin);
+    center.y = geo_rng.UniformInt(margin, config.extent - 1 - margin);
+  }
+
+  const auto sample_location = [&](Rng& rng) {
+    const Point& center = hotspots[SampleHotspot(config.num_hotspots, rng)];
+    const double stddev = static_cast<double>(config.hotspot_stddev);
+    return ClampToGrid(center.x + rng.Gaussian(0.0, stddev),
+                       center.y + rng.Gaussian(0.0, stddev), config.extent);
+  };
+
+  // Organizer groups: each event belongs to a group, inherits its tag
+  // profile, and is held near the group's home hotspot (the [21] structure:
+  // events carry their creating group's tags).
+  const TagVocabulary& vocabulary = TagVocabulary::Default();
+  const int num_groups = std::max(1, config.num_groups);
+  const std::vector<Group> groups = GenerateGroups(
+      vocabulary, num_groups, config.tags_per_group, config.num_hotspots,
+      tag_rng);
+  const std::vector<int> event_group =
+      AssignEventsToGroups(config.num_events, num_groups, tag_rng);
+
+  std::vector<Point> event_points(config.num_events);
+  for (int v = 0; v < config.num_events; ++v) {
+    const Point& center = hotspots[groups[event_group[v]].hotspot];
+    const double stddev = static_cast<double>(config.hotspot_stddev);
+    event_points[v] =
+        ClampToGrid(center.x + geo_rng.Gaussian(0.0, stddev),
+                    center.y + geo_rng.Gaussian(0.0, stddev), config.extent);
+  }
+  std::vector<Point> user_points(config.num_users);
+  for (Point& p : user_points) p = sample_location(geo_rng);
+
+  std::vector<std::vector<int>> event_tags(config.num_events);
+  for (int v = 0; v < config.num_events; ++v) {
+    event_tags[v] = groups[event_group[v]].tags;
+  }
+  std::vector<std::vector<int>> user_tags(config.num_users);
+  for (auto& tags : user_tags) {
+    tags = vocabulary.SampleTagSet(config.tags_per_user, tag_rng);
+  }
+
+  const std::vector<TimeInterval> times = GenerateEventTimes(
+      config.num_events, options.event_duration, config.conflict_ratio,
+      options.conflict_strategy, time_rng);
+
+  InstanceBuilder builder;
+  for (int v = 0; v < config.num_events; ++v) {
+    StatusOr<int> capacity = GenerateCapacity(
+        config.capacity_mean, options.capacity_distribution, capacity_rng);
+    if (!capacity.ok()) return capacity.status();
+    // Name encodes the organizing group, e.g. "g03-e017".
+    builder.AddEvent(times[v], *capacity,
+                     StrFormat("g%02d-e%03d", event_group[v], v));
+  }
+
+  Cost min_pair = 0;
+  Cost max_pair = 0;
+  if (config.num_events >= 2) {
+    min_pair = kInfiniteCost;
+    for (int a = 0; a < config.num_events; ++a) {
+      for (int b = a + 1; b < config.num_events; ++b) {
+        const Cost c =
+            Distance(options.metric, event_points[a], event_points[b]);
+        min_pair = std::min(min_pair, c);
+        max_pair = std::max(max_pair, c);
+      }
+    }
+  }
+  const Cost mid = (min_pair + max_pair) / 2;
+
+  const GridIndex event_index(event_points);
+  for (int u = 0; u < config.num_users; ++u) {
+    Cost min_to_event = 0;
+    if (config.num_events > 0) {
+      min_to_event =
+          event_index.Nearest(options.metric, user_points[u]).distance;
+    }
+    StatusOr<Cost> budget =
+        GenerateBudget(min_to_event, mid, options.budget_factor,
+                       options.budget_distribution, budget_rng);
+    if (!budget.ok()) return budget.status();
+    builder.AddUser(*budget);
+  }
+
+  // mu(v, u) = tag-set similarity, as in [36].
+  std::vector<double> utilities(static_cast<size_t>(config.num_events) *
+                                config.num_users);
+  for (int v = 0; v < config.num_events; ++v) {
+    for (int u = 0; u < config.num_users; ++u) {
+      utilities[static_cast<size_t>(v) * config.num_users + u] =
+          TagSimilarity(options.similarity, event_tags[v], user_tags[u]);
+    }
+  }
+  builder.SetAllUtilities(std::move(utilities));
+
+  builder.SetMetricLayout(options.metric, std::move(event_points),
+                          std::move(user_points));
+  builder.SetConflictPolicy(options.conflict_policy);
+  return std::move(builder).Build();
+}
+
+}  // namespace usep

@@ -1,0 +1,42 @@
+#ifndef USEP_EBSN_MEETUP_SIMULATOR_H_
+#define USEP_EBSN_MEETUP_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "ebsn/city.h"
+#include "ebsn/similarity.h"
+#include "gen/generator_config.h"
+
+namespace usep {
+
+// Substitute for the (unavailable) Meetup crawl of [21]; see DESIGN.md.
+//
+// What the paper takes from the crawl — clustered venue/user locations in a
+// city and tag-similarity utilities — is modelled here: hotspot-clustered
+// geography and Zipf-popular interest tags, with mu(v, u) the tag-set
+// similarity.  What the paper generates synthetically even for the real
+// datasets (times/conflicts, capacities, budgets) is generated the same way
+// as in src/gen, with the Table 6 parameters.
+struct MeetupSimOptions {
+  double budget_factor = 2.0;
+  std::string budget_distribution = "uniform";
+  std::string capacity_distribution = "uniform";
+  SimilarityKind similarity = SimilarityKind::kJaccard;
+  ConflictStrategy conflict_strategy = ConflictStrategy::kRandomWindows;
+  ConflictPolicy conflict_policy = ConflictPolicy::kTimeOverlapOnly;
+  MetricKind metric = MetricKind::kManhattan;  // Paper: Manhattan distance.
+  int64_t event_duration = 120;
+  uint64_t seed = 20150531;
+};
+
+// Generates a USEP instance for the given city.  Deterministic in
+// (config, options.seed).
+StatusOr<Instance> SimulateCity(const CityConfig& config,
+                                const MeetupSimOptions& options);
+
+}  // namespace usep
+
+#endif  // USEP_EBSN_MEETUP_SIMULATOR_H_

@@ -1,0 +1,62 @@
+#include "ebsn/similarity.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* SimilarityKindName(SimilarityKind kind) {
+  switch (kind) {
+    case SimilarityKind::kJaccard:
+      return "jaccard";
+    case SimilarityKind::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+StatusOr<SimilarityKind> ParseSimilarityKind(const std::string& name) {
+  const std::string lower = AsciiToLower(Trim(name));
+  if (lower == "jaccard") return SimilarityKind::kJaccard;
+  if (lower == "cosine") return SimilarityKind::kCosine;
+  return Status::InvalidArgument("unknown similarity '" + name + "'");
+}
+
+int IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double TagSimilarity(SimilarityKind kind, const std::vector<int>& a,
+                     const std::vector<int>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const int common = IntersectionSize(a, b);
+  switch (kind) {
+    case SimilarityKind::kJaccard: {
+      const int total = static_cast<int>(a.size() + b.size()) - common;
+      return total == 0 ? 0.0
+                        : static_cast<double>(common) / total;
+    }
+    case SimilarityKind::kCosine:
+      return static_cast<double>(common) /
+             std::sqrt(static_cast<double>(a.size()) *
+                       static_cast<double>(b.size()));
+  }
+  return 0.0;
+}
+
+}  // namespace usep

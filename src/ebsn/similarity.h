@@ -1,0 +1,30 @@
+#ifndef USEP_EBSN_SIMILARITY_H_
+#define USEP_EBSN_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace usep {
+
+enum class SimilarityKind {
+  kJaccard,  // |A ∩ B| / |A ∪ B|.
+  kCosine,   // |A ∩ B| / sqrt(|A| |B|) (binary-vector cosine).
+};
+
+const char* SimilarityKindName(SimilarityKind kind);
+StatusOr<SimilarityKind> ParseSimilarityKind(const std::string& name);
+
+// Set similarity of two sorted, duplicate-free tag-id sets; in [0, 1].
+// Empty sets have similarity 0 (a user with no declared interests is not
+// matched to anything — consistent with the utility constraint mu > 0).
+double TagSimilarity(SimilarityKind kind, const std::vector<int>& a,
+                     const std::vector<int>& b);
+
+// |A ∩ B| for sorted duplicate-free sets.
+int IntersectionSize(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace usep
+
+#endif  // USEP_EBSN_SIMILARITY_H_

@@ -1,0 +1,81 @@
+#include "ebsn/tags.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace usep {
+
+namespace {
+
+std::vector<std::string> DefaultTagList() {
+  return {
+      "hiking",          "photography",   "technology",     "running",
+      "live-music",      "board-games",   "yoga",           "startups",
+      "book-club",       "cycling",       "cooking",        "language-exchange",
+      "soccer",          "film",          "meditation",     "data-science",
+      "tennis",          "jazz",          "volunteering",   "craft-beer",
+      "painting",        "salsa-dancing", "rock-climbing",  "investing",
+      "writing",         "basketball",    "wine-tasting",   "gardening",
+      "chess",           "karaoke",       "travel",         "parenting",
+      "web-development", "badminton",     "theatre",        "pottery",
+      "trivia",          "kayaking",      "stand-up-comedy", "networking",
+      "swing-dancing",   "astronomy",     "table-tennis",   "veganism",
+      "dogs",            "history",       "anime",          "crossfit",
+      "poetry",          "surfing",       "robotics",       "knitting",
+      "archery",         "public-speaking", "camping",      "blues",
+      "sailing",         "calligraphy",   "fencing",        "bird-watching",
+      "urban-sketching", "bouldering",    "improv",         "philosophy",
+  };
+}
+
+}  // namespace
+
+const TagVocabulary& TagVocabulary::Default() {
+  static const TagVocabulary* const kDefault =
+      new TagVocabulary(DefaultTagList(), 1.0);
+  return *kDefault;
+}
+
+TagVocabulary::TagVocabulary(std::vector<std::string> tags,
+                             double zipf_exponent)
+    : tags_(std::move(tags)) {
+  USEP_CHECK(!tags_.empty());
+  popularity_.resize(tags_.size());
+  double total = 0.0;
+  for (size_t rank = 0; rank < tags_.size(); ++rank) {
+    popularity_[rank] =
+        1.0 / std::pow(static_cast<double>(rank + 1), zipf_exponent);
+    total += popularity_[rank];
+  }
+  cumulative_.resize(tags_.size());
+  double prefix = 0.0;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    popularity_[i] /= total;
+    prefix += popularity_[i];
+    cumulative_[i] = prefix;
+  }
+  cumulative_.back() = 1.0;  // Guard against rounding.
+}
+
+std::vector<int> TagVocabulary::SampleTagSet(int k, Rng& rng) const {
+  k = std::min(k, size());
+  std::vector<int> chosen;
+  chosen.reserve(k);
+  std::vector<bool> used(tags_.size(), false);
+  while (static_cast<int>(chosen.size()) < k) {
+    const double u = rng.NextDouble();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const int id = static_cast<int>(it - cumulative_.begin());
+    if (!used[id]) {
+      used[id] = true;
+      chosen.push_back(id);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace usep

@@ -1,0 +1,44 @@
+#ifndef USEP_EBSN_TAGS_H_
+#define USEP_EBSN_TAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace usep {
+
+// The interest-tag vocabulary of the EBSN simulator.  In the Meetup dataset
+// of [21] users carry interest tags and events inherit the tags of their
+// organizing group; utilities are tag-set similarities [36].  Our vocabulary
+// has Zipf-distributed popularity (exponent ~1), matching the heavy-tailed
+// topic popularity of real EBSNs.
+class TagVocabulary {
+ public:
+  // The built-in vocabulary of 64 Meetup-style interest tags.
+  static const TagVocabulary& Default();
+
+  // A custom vocabulary with the given tags and Zipf exponent (tag 0 is the
+  // most popular).
+  TagVocabulary(std::vector<std::string> tags, double zipf_exponent);
+
+  int size() const { return static_cast<int>(tags_.size()); }
+  const std::string& tag(int id) const { return tags_[id]; }
+
+  // Normalized popularity of a tag (sums to 1 over the vocabulary).
+  double popularity(int id) const { return popularity_[id]; }
+
+  // Samples `k` distinct tag ids, each draw proportional to popularity
+  // (rejection for duplicates).  Result is sorted ascending.  k is clamped
+  // to the vocabulary size.
+  std::vector<int> SampleTagSet(int k, Rng& rng) const;
+
+ private:
+  std::vector<std::string> tags_;
+  std::vector<double> popularity_;  // Normalized Zipf weights.
+  std::vector<double> cumulative_;  // Prefix sums for inverse-CDF sampling.
+};
+
+}  // namespace usep
+
+#endif  // USEP_EBSN_TAGS_H_

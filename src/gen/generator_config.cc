@@ -1,0 +1,30 @@
+#include "gen/generator_config.h"
+
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* ConflictStrategyName(ConflictStrategy strategy) {
+  switch (strategy) {
+    case ConflictStrategy::kRandomWindows:
+      return "random_windows";
+    case ConflictStrategy::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+std::string GeneratorConfig::ToString() const {
+  return StrFormat(
+      "GeneratorConfig{|V|=%d, |U|=%d, mu=%s, c_mean=%g (%s), f_b=%g (%s), "
+      "cr=%g (%s), duration=%lld, grid=%lld, metric=%s, policy=%s, "
+      "seed=%llu}",
+      num_events, num_users, utility_distribution.c_str(), capacity_mean,
+      capacity_distribution.c_str(), budget_factor,
+      budget_distribution.c_str(), conflict_ratio,
+      ConflictStrategyName(conflict_strategy), (long long)event_duration,
+      (long long)grid_extent, MetricKindName(metric),
+      ConflictPolicyName(conflict_policy), (unsigned long long)seed);
+}
+
+}  // namespace usep

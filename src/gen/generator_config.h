@@ -1,0 +1,70 @@
+#ifndef USEP_GEN_GENERATOR_CONFIG_H_
+#define USEP_GEN_GENERATOR_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+
+namespace usep {
+
+// How the generator realizes a target conflict ratio cr ("the time and cost
+// values are generated based on the conflict ratio", Section 5.1).
+enum class ConflictStrategy {
+  // Events of fixed duration d start uniformly in a horizon H chosen so a
+  // random pair overlaps with probability cr:  H = d * (1 + sqrt(1-cr)) / cr
+  // (all-disjoint sequential slots when cr = 0).  Conflicts are spread
+  // evenly across the day — the default.
+  kRandomWindows,
+  // A clique of ~sqrt(cr)*|V| events shares one window and conflicts
+  // pairwise; everything else is pairwise disjoint.  Gives an exact, highly
+  // clustered conflict structure (stress shape for the planners).
+  kClique,
+};
+
+const char* ConflictStrategyName(ConflictStrategy strategy);
+
+// Knobs of the Table 7 synthetic workloads.  Defaults are the paper's bold
+// defaults: |V|=100, |U|=5000, mu ~ Uniform, mean c_v = 50 (Uniform),
+// f_b = 2 (Uniform), cr = 0.25.
+struct GeneratorConfig {
+  int num_events = 100;
+  int num_users = 5000;
+
+  // Distribution of mu(v, u) over [0, 1]: "uniform", "normal"
+  // (Normal(0.5, 0.25), truncated) or "power:<a>" (the paper uses 0.5 and 4).
+  std::string utility_distribution = "uniform";
+
+  // Capacity c_v: mean and family ("uniform" over [mean/2, 3*mean/2] or
+  // "normal" = Normal(mean, 0.25*mean)); always clamped to >= 1.
+  double capacity_mean = 50.0;
+  std::string capacity_distribution = "uniform";
+
+  // Budget factor f_b and family ("uniform": the paper's
+  // b_u ~ U[2*m_u, 2*m_u + 2*mid*f_b] with m_u = min_v cost(u,v) and
+  // mid = (max+min event-event cost)/2; "normal": mean 2*m_u + mid*f_b,
+  // stddev 0.25*mean).
+  double budget_factor = 2.0;
+  std::string budget_distribution = "uniform";
+
+  // Target conflict ratio and how to realize it.
+  double conflict_ratio = 0.25;
+  ConflictStrategy conflict_strategy = ConflictStrategy::kRandomWindows;
+
+  // Event duration in time units (minutes, by convention).
+  int64_t event_duration = 120;
+
+  // Spatial layout: locations uniform on [0, grid_extent)^2.
+  int64_t grid_extent = 1000;
+  MetricKind metric = MetricKind::kManhattan;
+
+  ConflictPolicy conflict_policy = ConflictPolicy::kTimeOverlapOnly;
+
+  uint64_t seed = 20150531;  // SIGMOD'15 started May 31, 2015.
+
+  std::string ToString() const;
+};
+
+}  // namespace usep
+
+#endif  // USEP_GEN_GENERATOR_CONFIG_H_

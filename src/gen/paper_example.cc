@@ -1,0 +1,51 @@
+#include "gen/paper_example.h"
+
+#include "common/logging.h"
+#include "core/instance_builder.h"
+
+namespace usep {
+
+Instance MakePaperExampleInstance() {
+  InstanceBuilder builder;
+  // Times in minutes-of-day; capacities from Table 1.
+  const EventId v1 = builder.AddEvent({780, 960}, 1, "v1");    // 1-4 p.m.
+  const EventId v2 = builder.AddEvent({900, 1080}, 3, "v2");   // 3-6 p.m.
+  const EventId v3 = builder.AddEvent({780, 840}, 4, "v3");    // 1-2 p.m.
+  const EventId v4 = builder.AddEvent({1080, 1140}, 2, "v4");  // 6-7 p.m.
+
+  const UserId u1 = builder.AddUser(59, "u1");
+  const UserId u2 = builder.AddUser(29, "u2");
+  const UserId u3 = builder.AddUser(51, "u3");
+  const UserId u4 = builder.AddUser(9, "u4");
+  const UserId u5 = builder.AddUser(33, "u5");
+
+  const double utilities[4][5] = {
+      {0.2, 0.6, 0.7, 0.3, 0.6},  // v1
+      {0.5, 0.1, 0.3, 0.9, 0.5},  // v2
+      {0.6, 0.2, 0.9, 0.4, 0.5},  // v3
+      {0.4, 0.7, 0.2, 0.5, 0.1},  // v4
+  };
+  const EventId events[] = {v1, v2, v3, v4};
+  const UserId users[] = {u1, u2, u3, u4, u5};
+  for (int v = 0; v < 4; ++v) {
+    for (int u = 0; u < 5; ++u) {
+      builder.SetUtility(events[v], users[u], utilities[v][u]);
+    }
+  }
+
+  builder.SetMetricLayout(MetricKind::kManhattan,
+                          /*event_locations=*/{{4, 11},  // v1
+                                               {8, 13},  // v2
+                                               {3, 7},   // v3
+                                               {8, 8}},  // v4
+                          /*user_locations=*/{{2, 13},   // u1
+                                              {10, 18},  // u2
+                                              {9, 7},    // u3
+                                              {2, 15},   // u4
+                                              {0, 10}}); // u5
+  StatusOr<Instance> instance = std::move(builder).Build();
+  USEP_CHECK(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+}  // namespace usep

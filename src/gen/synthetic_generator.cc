@@ -1,0 +1,221 @@
+#include "gen/synthetic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/distributions.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/instance_builder.h"
+#include "geo/grid_index.h"
+
+namespace usep {
+namespace {
+
+std::vector<Point> UniformPoints(int n, int64_t extent, Rng& rng) {
+  std::vector<Point> points(n);
+  for (Point& p : points) {
+    p.x = rng.UniformInt(0, extent - 1);
+    p.y = rng.UniformInt(0, extent - 1);
+  }
+  return points;
+}
+
+std::vector<TimeInterval> SequentialSlots(int n, int64_t duration,
+                                          TimePoint from) {
+  std::vector<TimeInterval> intervals(n);
+  const int64_t stride = duration + duration / 4 + 1;  // Positive gap.
+  for (int i = 0; i < n; ++i) {
+    const TimePoint start = from + i * stride;
+    intervals[i] = TimeInterval{start, start + duration};
+  }
+  return intervals;
+}
+
+}  // namespace
+
+std::vector<TimeInterval> GenerateEventTimes(int n, int64_t duration,
+                                             double cr,
+                                             ConflictStrategy strategy,
+                                             Rng& rng) {
+  USEP_CHECK_GT(duration, 0);
+  USEP_CHECK(cr >= 0.0 && cr <= 1.0) << "conflict ratio " << cr;
+  if (n <= 0) return {};
+
+  switch (strategy) {
+    case ConflictStrategy::kRandomWindows: {
+      if (cr <= 0.0) {
+        // Shuffle the disjoint slots so event id carries no time ordering.
+        std::vector<TimeInterval> slots = SequentialSlots(n, duration, 0);
+        for (int i = n - 1; i > 0; --i) {
+          std::swap(slots[i], slots[rng.UniformInt(0, i)]);
+        }
+        return slots;
+      }
+      // Two intervals of length d with starts uniform on [0, H] overlap with
+      // probability (2dH - d^2) / H^2; solving for the target cr gives
+      // H = d (1 + sqrt(1 - cr)) / cr.
+      const double d = static_cast<double>(duration);
+      const double horizon = d * (1.0 + std::sqrt(1.0 - cr)) / cr;
+      const int64_t max_start =
+          std::max<int64_t>(0, static_cast<int64_t>(std::llround(horizon)));
+      std::vector<TimeInterval> intervals(n);
+      for (TimeInterval& interval : intervals) {
+        const TimePoint start = rng.UniformInt(0, max_start);
+        interval = TimeInterval{start, start + duration};
+      }
+      return intervals;
+    }
+    case ConflictStrategy::kClique: {
+      // m mutually conflicting events with m(m-1) ~= cr * n(n-1).
+      const double pairs = cr * static_cast<double>(n) * (n - 1);
+      int clique = static_cast<int>(
+          std::llround(0.5 * (1.0 + std::sqrt(1.0 + 4.0 * pairs))));
+      clique = std::clamp(clique, cr > 0.0 ? 2 : 0, n);
+      if (cr <= 0.0) clique = 0;
+
+      std::vector<TimeInterval> intervals(n);
+      // The clique shares [0, duration); the rest are disjoint afterwards.
+      std::vector<int> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      for (int i = n - 1; i > 0; --i) {
+        std::swap(order[i], order[rng.UniformInt(0, i)]);
+      }
+      const std::vector<TimeInterval> tail =
+          SequentialSlots(n - clique, duration, duration + 1);
+      for (int i = 0; i < n; ++i) {
+        intervals[order[i]] =
+            i < clique ? TimeInterval{0, duration} : tail[i - clique];
+      }
+      return intervals;
+    }
+  }
+  USEP_CHECK(false) << "unreachable conflict strategy";
+  return {};
+}
+
+StatusOr<Cost> GenerateBudget(Cost min_cost_to_event, Cost mid,
+                              double budget_factor,
+                              const std::string& distribution, Rng& rng) {
+  if (budget_factor < 0.0) {
+    return Status::InvalidArgument("negative budget factor");
+  }
+  const std::string family = AsciiToLower(Trim(distribution));
+  const double lo = 2.0 * static_cast<double>(min_cost_to_event);
+  const double span = 2.0 * static_cast<double>(mid) * budget_factor;
+  if (family == "uniform") {
+    // b_u ~ U[2 min_v cost(u,v), 2 min_v cost(u,v) + 2 mid f_b].
+    const double value = rng.UniformDouble(lo, lo + span);
+    return static_cast<Cost>(std::llround(value));
+  }
+  if (family == "normal") {
+    // Mean 2 min + mid f_b, stddev 0.25 * mean (Figure 3, last column).
+    const double mean = lo + 0.5 * span;
+    const double value = rng.Gaussian(mean, 0.25 * mean);
+    return static_cast<Cost>(std::llround(std::max(0.0, value)));
+  }
+  return Status::InvalidArgument("unknown budget distribution '" +
+                                 distribution + "'");
+}
+
+StatusOr<int> GenerateCapacity(double mean, const std::string& distribution,
+                               Rng& rng) {
+  if (mean < 1.0) {
+    return Status::InvalidArgument("capacity mean must be >= 1");
+  }
+  const std::string family = AsciiToLower(Trim(distribution));
+  double value = 0.0;
+  if (family == "uniform") {
+    value = rng.UniformDouble(0.5 * mean, 1.5 * mean);
+  } else if (family == "normal") {
+    value = rng.Gaussian(mean, 0.25 * mean);
+  } else {
+    return Status::InvalidArgument("unknown capacity distribution '" +
+                                   distribution + "'");
+  }
+  return std::max(1, static_cast<int>(std::llround(value)));
+}
+
+StatusOr<Instance> GenerateSyntheticInstance(const GeneratorConfig& config) {
+  if (config.num_events < 0 || config.num_users < 0) {
+    return Status::InvalidArgument("negative instance dimensions");
+  }
+  if (config.grid_extent < 1) {
+    return Status::InvalidArgument("grid extent must be >= 1");
+  }
+  if (config.conflict_ratio < 0.0 || config.conflict_ratio > 1.0) {
+    return Status::InvalidArgument("conflict ratio outside [0, 1]");
+  }
+
+  Rng root(config.seed);
+  Rng location_rng = root.Fork();
+  Rng time_rng = root.Fork();
+  Rng utility_rng = root.Fork();
+  Rng capacity_rng = root.Fork();
+  Rng budget_rng = root.Fork();
+
+  const int n = config.num_events;
+  const int m = config.num_users;
+
+  const std::vector<Point> event_points =
+      UniformPoints(n, config.grid_extent, location_rng);
+  const std::vector<Point> user_points =
+      UniformPoints(m, config.grid_extent, location_rng);
+
+  const std::vector<TimeInterval> times =
+      GenerateEventTimes(n, config.event_duration, config.conflict_ratio,
+                         config.conflict_strategy, time_rng);
+
+  StatusOr<ScalarDistribution> mu_dist =
+      ScalarDistribution::Parse(config.utility_distribution, 0.0, 1.0);
+  if (!mu_dist.ok()) return mu_dist.status();
+
+  InstanceBuilder builder;
+  for (int v = 0; v < n; ++v) {
+    StatusOr<int> capacity = GenerateCapacity(
+        config.capacity_mean, config.capacity_distribution, capacity_rng);
+    if (!capacity.ok()) return capacity.status();
+    builder.AddEvent(times[v], *capacity);
+  }
+
+  // mid = (max + min) / 2 over distinct event-pair travel costs.
+  Cost min_pair = 0;
+  Cost max_pair = 0;
+  if (n >= 2) {
+    min_pair = kInfiniteCost;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        const Cost c = Distance(config.metric, event_points[a],
+                                event_points[b]);
+        min_pair = std::min(min_pair, c);
+        max_pair = std::max(max_pair, c);
+      }
+    }
+  }
+  const Cost mid = (min_pair + max_pair) / 2;
+
+  const GridIndex event_index(event_points);
+  for (int u = 0; u < m; ++u) {
+    Cost min_to_event = 0;
+    if (n > 0) {
+      min_to_event =
+          event_index.Nearest(config.metric, user_points[u]).distance;
+    }
+    StatusOr<Cost> budget =
+        GenerateBudget(min_to_event, mid, config.budget_factor,
+                       config.budget_distribution, budget_rng);
+    if (!budget.ok()) return budget.status();
+    builder.AddUser(*budget);
+  }
+
+  std::vector<double> utilities(static_cast<size_t>(n) * m);
+  for (double& mu : utilities) mu = mu_dist->Sample(utility_rng);
+  builder.SetAllUtilities(std::move(utilities));
+
+  builder.SetMetricLayout(config.metric, event_points, user_points);
+  builder.SetConflictPolicy(config.conflict_policy);
+  return std::move(builder).Build();
+}
+
+}  // namespace usep

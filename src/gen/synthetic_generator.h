@@ -1,0 +1,42 @@
+#ifndef USEP_GEN_SYNTHETIC_GENERATOR_H_
+#define USEP_GEN_SYNTHETIC_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/instance.h"
+#include "gen/generator_config.h"
+
+namespace usep {
+
+// Generates a Table 7 synthetic USEP instance: uniform locations on a grid,
+// mu / c_v / b_u from the configured distributions, and event times realized
+// so the expected conflict ratio matches config.conflict_ratio.
+// Deterministic in config.seed.
+StatusOr<Instance> GenerateSyntheticInstance(const GeneratorConfig& config);
+
+// --- Pieces exposed for reuse (EBSN simulator) and unit testing -----------
+
+// Time intervals for `n` events of duration `duration` targeting conflict
+// ratio `cr` under `strategy`.
+std::vector<TimeInterval> GenerateEventTimes(int n, int64_t duration,
+                                             double cr,
+                                             ConflictStrategy strategy,
+                                             Rng& rng);
+
+// The paper's budget rule for one user.  `min_cost_to_event` is
+// min_v cost(u, v); `mid` is (max + min)/2 over distinct event pairs.
+// distribution: "uniform" or "normal".
+StatusOr<Cost> GenerateBudget(Cost min_cost_to_event, Cost mid,
+                              double budget_factor,
+                              const std::string& distribution, Rng& rng);
+
+// Capacity sampling around `mean` ("uniform" over [mean/2, 3*mean/2] or
+// "normal" with stddev mean/4), clamped to >= 1.
+StatusOr<int> GenerateCapacity(double mean, const std::string& distribution,
+                               Rng& rng);
+
+}  // namespace usep
+
+#endif  // USEP_GEN_SYNTHETIC_GENERATOR_H_

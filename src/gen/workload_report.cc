@@ -1,0 +1,116 @@
+#include "gen/workload_report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace usep {
+
+InstanceReport AnalyzeInstance(const Instance& instance) {
+  InstanceReport report;
+  report.num_events = instance.num_events();
+  report.num_users = instance.num_users();
+  if (report.num_events > 0) {
+    report.horizon_start = instance.event(0).interval.start;
+    report.horizon_end = instance.event(0).interval.end;
+    report.capacity_min = instance.event(0).capacity;
+    report.capacity_max = instance.event(0).capacity;
+  }
+
+  double total_duration = 0.0;
+  double total_capacity = 0.0;
+  for (EventId v = 0; v < report.num_events; ++v) {
+    const Event& event = instance.event(v);
+    report.horizon_start = std::min(report.horizon_start,
+                                    event.interval.start);
+    report.horizon_end = std::max(report.horizon_end, event.interval.end);
+    total_duration += static_cast<double>(event.interval.duration());
+    report.capacity_min = std::min(report.capacity_min, event.capacity);
+    report.capacity_max = std::max(report.capacity_max, event.capacity);
+    total_capacity += event.capacity;
+    report.total_seats += std::min(event.capacity, report.num_users);
+
+    int degree = 0;
+    for (EventId w = 0; w < report.num_events; ++w) {
+      if (w != v && instance.ConflictingPair(v, w)) ++degree;
+    }
+    report.mean_conflict_degree += degree;
+    report.max_conflict_degree = std::max(report.max_conflict_degree, degree);
+  }
+  if (report.num_events > 0) {
+    report.mean_event_duration = total_duration / report.num_events;
+    report.capacity_mean = total_capacity / report.num_events;
+    report.mean_conflict_degree /= report.num_events;
+  }
+  report.measured_conflict_ratio = instance.MeasuredConflictRatio();
+
+  if (report.num_users > 0) {
+    report.budget_min = instance.user(0).budget;
+    report.budget_max = instance.user(0).budget;
+  }
+  double total_budget = 0.0;
+  double affordable_fraction_sum = 0.0;
+  int users_with_interests = 0;
+  for (UserId u = 0; u < report.num_users; ++u) {
+    const Cost budget = instance.user(u).budget;
+    report.budget_min = std::min(report.budget_min, budget);
+    report.budget_max = std::max(report.budget_max, budget);
+    total_budget += static_cast<double>(budget);
+
+    int interesting = 0;
+    int affordable = 0;
+    for (EventId v = 0; v < report.num_events; ++v) {
+      if (!(instance.utility(v, u) > 0.0)) continue;
+      ++interesting;
+      if (instance.RoundTripCost(u, v) <= budget) ++affordable;
+    }
+    if (interesting > 0) {
+      affordable_fraction_sum +=
+          static_cast<double>(affordable) / interesting;
+      ++users_with_interests;
+    }
+  }
+  if (report.num_users > 0) {
+    report.budget_mean = total_budget / report.num_users;
+  }
+  if (users_with_interests > 0) {
+    report.mean_affordable_fraction =
+        affordable_fraction_sum / users_with_interests;
+  }
+
+  int64_t nonzero = 0;
+  double utility_sum = 0.0;
+  const int64_t pairs =
+      static_cast<int64_t>(report.num_events) * report.num_users;
+  for (EventId v = 0; v < report.num_events; ++v) {
+    for (UserId u = 0; u < report.num_users; ++u) {
+      const double mu = instance.utility(v, u);
+      utility_sum += mu;
+      if (mu != 0.0) ++nonzero;
+    }
+  }
+  if (pairs > 0) {
+    report.utility_mean = utility_sum / static_cast<double>(pairs);
+    report.utility_nonzero_fraction =
+        static_cast<double>(nonzero) / static_cast<double>(pairs);
+  }
+  return report;
+}
+
+std::string InstanceReport::ToString() const {
+  return StrFormat(
+      "InstanceReport{|V|=%d, |U|=%d,\n"
+      "  time: horizon [%lld, %lld], mean duration %.1f, cr=%.3f, "
+      "conflict degree mean %.1f / max %d,\n"
+      "  capacity: mean %.1f [%d, %d], seats %lld,\n"
+      "  budget: mean %.1f [%lld, %lld], affordable fraction %.2f,\n"
+      "  utility: mean %.3f, nonzero %.1f%%}",
+      num_events, num_users, (long long)horizon_start, (long long)horizon_end,
+      mean_event_duration, measured_conflict_ratio, mean_conflict_degree,
+      max_conflict_degree, capacity_mean, capacity_min, capacity_max,
+      (long long)total_seats, budget_mean, (long long)budget_min,
+      (long long)budget_max, mean_affordable_fraction, utility_mean,
+      100.0 * utility_nonzero_fraction);
+}
+
+}  // namespace usep

@@ -1,0 +1,54 @@
+#ifndef USEP_GEN_WORKLOAD_REPORT_H_
+#define USEP_GEN_WORKLOAD_REPORT_H_
+
+#include <string>
+
+#include "core/instance.h"
+
+namespace usep {
+
+// Descriptive statistics of a USEP instance, independent of any planning.
+// Used by the CLI tools to sanity-check generated workloads against their
+// configuration (e.g. did the conflict strategy hit the target cr?) and to
+// characterize how constrained an instance is before solving it.
+struct InstanceReport {
+  int num_events = 0;
+  int num_users = 0;
+
+  // Temporal structure.
+  TimePoint horizon_start = 0;
+  TimePoint horizon_end = 0;
+  double mean_event_duration = 0.0;
+  double measured_conflict_ratio = 0.0;
+  // Conflict-graph degrees (pairwise conflicting events).
+  double mean_conflict_degree = 0.0;
+  int max_conflict_degree = 0;
+
+  // Capacities.
+  int capacity_min = 0;
+  int capacity_max = 0;
+  double capacity_mean = 0.0;
+  int64_t total_seats = 0;  // sum of min(c_v, |U|).
+
+  // Budgets.
+  Cost budget_min = 0;
+  Cost budget_max = 0;
+  double budget_mean = 0.0;
+
+  // Utilities.
+  double utility_mean = 0.0;          // Over all (v, u) pairs.
+  double utility_nonzero_fraction = 0.0;
+
+  // Affordability: of the events a user is interested in (mu > 0), the
+  // fraction whose bare round trip fits their budget, averaged over users.
+  // Low values mean budgets, not capacities, will bind.
+  double mean_affordable_fraction = 0.0;
+
+  std::string ToString() const;
+};
+
+InstanceReport AnalyzeInstance(const Instance& instance);
+
+}  // namespace usep
+
+#endif  // USEP_GEN_WORKLOAD_REPORT_H_

@@ -1,0 +1,166 @@
+#include "geo/cost_model.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+MetricCostModel::MetricCostModel(MetricKind metric,
+                                 std::vector<Point> event_locations,
+                                 std::vector<Point> user_locations)
+    : metric_(metric),
+      event_locations_(std::move(event_locations)),
+      user_locations_(std::move(user_locations)) {}
+
+Cost MetricCostModel::EventToEvent(int from, int to) const {
+  return Distance(metric_, event_locations_[from], event_locations_[to]);
+}
+
+Cost MetricCostModel::UserToEvent(int user, int event) const {
+  return Distance(metric_, user_locations_[user], event_locations_[event]);
+}
+
+Cost MetricCostModel::EventToUser(int event, int user) const {
+  return Distance(metric_, event_locations_[event], user_locations_[user]);
+}
+
+std::unique_ptr<CostModel> MetricCostModel::Clone() const {
+  return std::make_unique<MetricCostModel>(*this);
+}
+
+const Point& MetricCostModel::event_location(int event) const {
+  USEP_DCHECK(event >= 0 && event < num_events());
+  return event_locations_[event];
+}
+
+const Point& MetricCostModel::user_location(int user) const {
+  USEP_DCHECK(user >= 0 && user < num_users());
+  return user_locations_[user];
+}
+
+MatrixCostModel::MatrixCostModel(int num_events, int num_users)
+    : num_events_(num_events),
+      num_users_(num_users),
+      event_event_(static_cast<size_t>(num_events) * num_events, 0),
+      user_event_(static_cast<size_t>(num_users) * num_events, 0),
+      event_user_(static_cast<size_t>(num_events) * num_users, 0) {
+  USEP_CHECK_GE(num_events, 0);
+  USEP_CHECK_GE(num_users, 0);
+}
+
+Cost MatrixCostModel::EventToEvent(int from, int to) const {
+  return event_event_[static_cast<size_t>(from) * num_events_ + to];
+}
+
+Cost MatrixCostModel::UserToEvent(int user, int event) const {
+  return user_event_[static_cast<size_t>(user) * num_events_ + event];
+}
+
+Cost MatrixCostModel::EventToUser(int event, int user) const {
+  return event_user_[static_cast<size_t>(event) * num_users_ + user];
+}
+
+std::unique_ptr<CostModel> MatrixCostModel::Clone() const {
+  return std::make_unique<MatrixCostModel>(*this);
+}
+
+void MatrixCostModel::SetEventToEvent(int from, int to, Cost cost) {
+  USEP_CHECK_GE(cost, 0);
+  event_event_[static_cast<size_t>(from) * num_events_ + to] = cost;
+}
+
+void MatrixCostModel::SetEventPair(int a, int b, Cost cost) {
+  SetEventToEvent(a, b, cost);
+  SetEventToEvent(b, a, cost);
+}
+
+void MatrixCostModel::SetUserToEvent(int user, int event, Cost cost) {
+  USEP_CHECK_GE(cost, 0);
+  user_event_[static_cast<size_t>(user) * num_events_ + event] = cost;
+}
+
+void MatrixCostModel::SetEventToUser(int event, int user, Cost cost) {
+  USEP_CHECK_GE(cost, 0);
+  event_user_[static_cast<size_t>(event) * num_users_ + user] = cost;
+}
+
+void MatrixCostModel::SetUserEventPair(int user, int event, Cost cost) {
+  SetUserToEvent(user, event, cost);
+  SetEventToUser(event, user, cost);
+}
+
+std::unique_ptr<CostModel> ApplyParticipationFees(
+    const CostModel& base, const std::vector<Cost>& fees) {
+  const int num_events = base.num_events();
+  const int num_users = base.num_users();
+  USEP_CHECK_EQ(static_cast<int>(fees.size()), num_events);
+  auto model = std::make_unique<MatrixCostModel>(num_events, num_users);
+  for (int to = 0; to < num_events; ++to) {
+    USEP_CHECK_GE(fees[to], 0);
+    for (int from = 0; from < num_events; ++from) {
+      model->SetEventToEvent(from, to,
+                             AddCost(base.EventToEvent(from, to), fees[to]));
+    }
+    for (int user = 0; user < num_users; ++user) {
+      model->SetUserToEvent(user, to,
+                            AddCost(base.UserToEvent(user, to), fees[to]));
+      model->SetEventToUser(to, user, base.EventToUser(to, user));
+    }
+  }
+  return model;
+}
+
+namespace {
+
+// Unified lookup over the mixed node set: nodes [0, V) are events, nodes
+// [V, V+U) are users.  Returns false when the pair is user-user (no cost is
+// defined between two users in the USEP model).
+bool MixedCost(const CostModel& model, int a, int b, Cost* cost) {
+  const int num_events = model.num_events();
+  const bool a_event = a < num_events;
+  const bool b_event = b < num_events;
+  if (a_event && b_event) {
+    *cost = model.EventToEvent(a, b);
+    return true;
+  }
+  if (a_event && !b_event) {
+    *cost = model.EventToUser(a, b - num_events);
+    return true;
+  }
+  if (!a_event && b_event) {
+    *cost = model.UserToEvent(a - num_events, b);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckTriangleInequality(const CostModel& model) {
+  const int total = model.num_events() + model.num_users();
+  for (int a = 0; a < total; ++a) {
+    for (int c = 0; c < total; ++c) {
+      if (a == c) continue;
+      Cost direct = 0;
+      if (!MixedCost(model, a, c, &direct)) continue;
+      for (int b = 0; b < total; ++b) {
+        if (b == a || b == c) continue;
+        Cost leg1 = 0, leg2 = 0;
+        if (!MixedCost(model, a, b, &leg1)) continue;
+        if (!MixedCost(model, b, c, &leg2)) continue;
+        if (direct > AddCost(leg1, leg2)) {
+          return Status::InvalidArgument(StrFormat(
+              "triangle inequality violated: cost(%d,%d)=%lld > "
+              "cost(%d,%d)+cost(%d,%d)=%lld",
+              a, c, (long long)direct, a, b, b, c,
+              (long long)AddCost(leg1, leg2)));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace usep

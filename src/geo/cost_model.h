@@ -1,0 +1,118 @@
+#ifndef USEP_GEO_COST_MODEL_H_
+#define USEP_GEO_COST_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+
+namespace usep {
+
+// Supplies raw travel costs between the nodes of a USEP instance: events and
+// users.  "Raw" means ignoring temporal compatibility — the Instance layer
+// overlays +inf for event pairs that cannot be chained in time.
+//
+// The paper requires costs to be bounded non-negative integers satisfying
+// the triangle inequality over the mixed node set.  Both implementations
+// below uphold non-negativity; MetricCostModel satisfies the triangle
+// inequality by construction, while MatrixCostModel accepts arbitrary user
+// data and offers CheckTriangleInequality() for validation.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual int num_events() const = 0;
+  virtual int num_users() const = 0;
+
+  // Travel cost from event `from` to event `to`.
+  virtual Cost EventToEvent(int from, int to) const = 0;
+  // Travel cost from user `user`'s home location to event `event`.
+  virtual Cost UserToEvent(int user, int event) const = 0;
+  // Travel cost from event `event` back to user `user`'s home location.
+  // Distinct from UserToEvent to support asymmetric variants such as the
+  // participation-fee reduction of Remark 2.
+  virtual Cost EventToUser(int event, int user) const = 0;
+
+  virtual std::unique_ptr<CostModel> Clone() const = 0;
+};
+
+// Costs derived from 2-D locations under a metric; always symmetric and
+// triangle-inequality-consistent.  This mirrors the paper's experimental
+// setup ("we use Manhattan distance ... as their travel cost").
+class MetricCostModel final : public CostModel {
+ public:
+  MetricCostModel(MetricKind metric, std::vector<Point> event_locations,
+                  std::vector<Point> user_locations);
+
+  int num_events() const override {
+    return static_cast<int>(event_locations_.size());
+  }
+  int num_users() const override {
+    return static_cast<int>(user_locations_.size());
+  }
+
+  Cost EventToEvent(int from, int to) const override;
+  Cost UserToEvent(int user, int event) const override;
+  Cost EventToUser(int event, int user) const override;
+
+  std::unique_ptr<CostModel> Clone() const override;
+
+  MetricKind metric() const { return metric_; }
+  const Point& event_location(int event) const;
+  const Point& user_location(int user) const;
+
+ private:
+  MetricKind metric_;
+  std::vector<Point> event_locations_;
+  std::vector<Point> user_locations_;
+};
+
+// Explicit cost matrices, for hand-built instances (e.g. the paper's running
+// example) and for the Remark 2 fee variant.
+class MatrixCostModel final : public CostModel {
+ public:
+  // All costs start at 0.
+  MatrixCostModel(int num_events, int num_users);
+
+  int num_events() const override { return num_events_; }
+  int num_users() const override { return num_users_; }
+
+  Cost EventToEvent(int from, int to) const override;
+  Cost UserToEvent(int user, int event) const override;
+  Cost EventToUser(int event, int user) const override;
+
+  std::unique_ptr<CostModel> Clone() const override;
+
+  void SetEventToEvent(int from, int to, Cost cost);
+  // Sets both directions at once.
+  void SetEventPair(int a, int b, Cost cost);
+  void SetUserToEvent(int user, int event, Cost cost);
+  void SetEventToUser(int event, int user, Cost cost);
+  // Sets user->event and event->user to the same value.
+  void SetUserEventPair(int user, int event, Cost cost);
+
+ private:
+  int num_events_;
+  int num_users_;
+  std::vector<Cost> event_event_;  // [from * num_events_ + to]
+  std::vector<Cost> user_event_;   // [user * num_events_ + event]
+  std::vector<Cost> event_user_;   // [event * num_users_ + user]
+};
+
+// Applies the Remark 2 reduction: returns a MatrixCostModel with
+// cost'(u,v) = cost(u,v) + fee_v and cost'(v_i,v_j) = cost(v_i,v_j) + fee_j.
+// Return-home costs are unchanged.  `fees` must have one non-negative entry
+// per event.
+std::unique_ptr<CostModel> ApplyParticipationFees(const CostModel& base,
+                                                  const std::vector<Cost>& fees);
+
+// Exhaustively verifies the triangle inequality over the mixed node set
+// (events and users).  O((|V|+|U|)^3); intended for tests and hand-built
+// instances.  Returns InvalidArgument naming the first violating triple.
+Status CheckTriangleInequality(const CostModel& model);
+
+}  // namespace usep
+
+#endif  // USEP_GEO_COST_MODEL_H_

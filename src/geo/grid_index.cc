@@ -1,0 +1,157 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// Ring r around a cell is every cell at Chebyshev cell-distance exactly r.
+// Any point in such a cell is at least (r - 1) whole cells away from the
+// query in Chebyshev terms (the query sits somewhere inside its own cell),
+// and Manhattan/Euclidean distances dominate Chebyshev — so this lower
+// bound is valid for all three metrics.
+Cost RingBound(int ring, int64_t cell_size) {
+  if (ring <= 1) return 0;
+  return static_cast<Cost>(ring - 1) * cell_size;
+}
+
+}  // namespace
+
+GridIndex::GridIndex(std::vector<Point> points, int64_t cell_size)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    cell_size_ = std::max<int64_t>(cell_size, 1);
+    return;
+  }
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  int64_t max_x = points_[0].x;
+  int64_t max_y = points_[0].y;
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  if (cell_size <= 0) {
+    // Aim for ~1 point per cell: cell = extent / sqrt(n).
+    const double extent = static_cast<double>(
+        std::max<int64_t>(std::max(max_x - min_x_, max_y - min_y_), 1));
+    cell_size = static_cast<int64_t>(
+        extent / std::sqrt(static_cast<double>(points_.size())) + 1.0);
+  }
+  cell_size_ = std::max<int64_t>(cell_size, 1);
+
+  cells_x_ = static_cast<int>((max_x - min_x_) / cell_size_) + 1;
+  cells_y_ = static_cast<int>((max_y - min_y_) / cell_size_) + 1;
+  buckets_.assign(static_cast<size_t>(cells_x_) * cells_y_, {});
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const int cx = CellX(points_[i].x);
+    const int cy = CellY(points_[i].y);
+    buckets_[static_cast<size_t>(cy) * cells_x_ + cx].push_back(
+        static_cast<int>(i));
+  }
+}
+
+int GridIndex::CellX(int64_t x) const {
+  return static_cast<int>((x - min_x_) / cell_size_);
+}
+
+int GridIndex::CellY(int64_t y) const {
+  return static_cast<int>((y - min_y_) / cell_size_);
+}
+
+GridIndex::Neighbor GridIndex::Nearest(MetricKind metric,
+                                       const Point& query) const {
+  Neighbor best;
+  if (points_.empty()) return best;
+
+  // Unclamped cell coordinates (the query may lie outside the grid).
+  const int64_t raw_qx = (query.x - min_x_) >= 0
+                             ? (query.x - min_x_) / cell_size_
+                             : -(((min_x_ - query.x) + cell_size_ - 1) /
+                                 cell_size_);
+  const int64_t raw_qy = (query.y - min_y_) >= 0
+                             ? (query.y - min_y_) / cell_size_
+                             : -(((min_y_ - query.y) + cell_size_ - 1) /
+                                 cell_size_);
+  const int qx = static_cast<int>(raw_qx);
+  const int qy = static_cast<int>(raw_qy);
+
+  // Beyond this ring no grid cell remains.
+  const int max_ring = static_cast<int>(std::max(
+      std::max<int64_t>(std::abs(static_cast<int64_t>(qx)),
+                        std::abs(static_cast<int64_t>(qx) - (cells_x_ - 1))),
+      std::max<int64_t>(std::abs(static_cast<int64_t>(qy)),
+                        std::abs(static_cast<int64_t>(qy) - (cells_y_ - 1)))));
+
+  const auto visit_cell = [&](int cx, int cy) {
+    if (cx < 0 || cx >= cells_x_ || cy < 0 || cy >= cells_y_) return;
+    for (const int index :
+         buckets_[static_cast<size_t>(cy) * cells_x_ + cx]) {
+      const Cost distance = Distance(metric, query, points_[index]);
+      if (distance < best.distance ||
+          (distance == best.distance && index < best.index)) {
+        best.distance = distance;
+        best.index = index;
+      }
+    }
+  };
+
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Strict comparison: a point in an unvisited ring could still *tie* at
+    // exactly the bound with a smaller index, and Nearest promises the
+    // smallest index among ties.
+    if (best.index >= 0 && best.distance < RingBound(ring, cell_size_)) {
+      break;
+    }
+    if (ring == 0) {
+      visit_cell(qx, qy);
+      continue;
+    }
+    for (int cx = qx - ring; cx <= qx + ring; ++cx) {
+      visit_cell(cx, qy - ring);
+      visit_cell(cx, qy + ring);
+    }
+    for (int cy = qy - ring + 1; cy <= qy + ring - 1; ++cy) {
+      visit_cell(qx - ring, cy);
+      visit_cell(qx + ring, cy);
+    }
+  }
+  return best;
+}
+
+std::vector<int> GridIndex::WithinRadius(MetricKind metric,
+                                         const Point& query,
+                                         Cost radius) const {
+  std::vector<int> result;
+  if (points_.empty() || radius < 0) return result;
+  // Every point within `radius` lies within radius/cell + 1 rings.
+  const int reach =
+      static_cast<int>(radius / cell_size_) + 2;
+  const int qx = CellX(std::clamp(query.x, min_x_,
+                                  min_x_ + (cells_x_ - 1) * cell_size_));
+  const int qy = CellY(std::clamp(query.y, min_y_,
+                                  min_y_ + (cells_y_ - 1) * cell_size_));
+  const int x_lo = std::max(0, qx - reach);
+  const int x_hi = std::min(cells_x_ - 1, qx + reach);
+  const int y_lo = std::max(0, qy - reach);
+  const int y_hi = std::min(cells_y_ - 1, qy + reach);
+  for (int cy = y_lo; cy <= y_hi; ++cy) {
+    for (int cx = x_lo; cx <= x_hi; ++cx) {
+      for (const int index :
+           buckets_[static_cast<size_t>(cy) * cells_x_ + cx]) {
+        if (Distance(metric, query, points_[index]) <= radius) {
+          result.push_back(index);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace usep

@@ -1,0 +1,63 @@
+#ifndef USEP_GEO_GRID_INDEX_H_
+#define USEP_GEO_GRID_INDEX_H_
+
+#include <vector>
+
+#include "geo/metric.h"
+#include "geo/point.h"
+
+namespace usep {
+
+// A uniform-grid spatial index over a fixed point set, answering
+// nearest-neighbor queries under any of the supported metrics.  Used by the
+// workload generators to compute min_v cost(u, v) for every user (the
+// budget formula) without the O(|V| * |U|) brute-force scan.
+//
+// Cells are square; a query expands outward ring by ring until the best
+// candidate distance is provably at most the distance to any unvisited
+// ring.  With n points in a bounded box and a cell size near the average
+// point spacing, queries are O(1) amortized.
+class GridIndex {
+ public:
+  // `points` may be empty (queries then return kInfiniteCost).  `cell_size`
+  // <= 0 picks a default from the bounding box and point count.
+  explicit GridIndex(std::vector<Point> points, int64_t cell_size = 0);
+
+  int num_points() const { return static_cast<int>(points_.size()); }
+
+  // Index and distance of the nearest point to `query` (ties: smallest
+  // index).  Returns {-1, kInfiniteCost} when the index is empty.
+  struct Neighbor {
+    int index = -1;
+    Cost distance = kInfiniteCost;
+  };
+  Neighbor Nearest(MetricKind metric, const Point& query) const;
+
+  // All point indices within `radius` of `query` (inclusive), ascending.
+  std::vector<int> WithinRadius(MetricKind metric, const Point& query,
+                                Cost radius) const;
+
+  int64_t cell_size() const { return cell_size_; }
+
+ private:
+  int CellX(int64_t x) const;
+  int CellY(int64_t y) const;
+  const std::vector<int>& CellBucket(int cx, int cy) const;
+
+  // Minimum possible metric distance from `query` to any point in ring `r`
+  // of cells around the query's cell (a lower bound used to stop the
+  // search).
+  Cost RingLowerBound(MetricKind metric, const Point& query, int ring) const;
+
+  std::vector<Point> points_;
+  int64_t cell_size_ = 1;
+  int64_t min_x_ = 0;
+  int64_t min_y_ = 0;
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  std::vector<std::vector<int>> buckets_;  // [cy * cells_x_ + cx]
+};
+
+}  // namespace usep
+
+#endif  // USEP_GEO_GRID_INDEX_H_

@@ -1,0 +1,48 @@
+#include "geo/metric.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace usep {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kManhattan:
+      return "manhattan";
+    case MetricKind::kEuclidean:
+      return "euclidean";
+    case MetricKind::kChebyshev:
+      return "chebyshev";
+  }
+  return "unknown";
+}
+
+StatusOr<MetricKind> ParseMetricKind(const std::string& name) {
+  const std::string lower = AsciiToLower(Trim(name));
+  if (lower == "manhattan") return MetricKind::kManhattan;
+  if (lower == "euclidean") return MetricKind::kEuclidean;
+  if (lower == "chebyshev") return MetricKind::kChebyshev;
+  return Status::InvalidArgument("unknown metric '" + name + "'");
+}
+
+Cost Distance(MetricKind kind, const Point& a, const Point& b) {
+  const int64_t dx = std::llabs(a.x - b.x);
+  const int64_t dy = std::llabs(a.y - b.y);
+  switch (kind) {
+    case MetricKind::kManhattan:
+      return dx + dy;
+    case MetricKind::kEuclidean:
+      return static_cast<Cost>(std::ceil(
+          std::sqrt(static_cast<double>(dx) * static_cast<double>(dx) +
+                    static_cast<double>(dy) * static_cast<double>(dy))));
+    case MetricKind::kChebyshev:
+      return dx > dy ? dx : dy;
+  }
+  USEP_CHECK(false) << "unreachable metric kind";
+  return 0;
+}
+
+}  // namespace usep

@@ -1,0 +1,46 @@
+#ifndef USEP_GEO_METRIC_H_
+#define USEP_GEO_METRIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace usep {
+
+// Travel costs are bounded non-negative integers (Section 2).
+using Cost = int64_t;
+
+// Sentinel for "cannot travel" / temporally-incompatible event pairs
+// (cost(v_i, v_j) = +inf in the paper).  Chosen well below INT64_MAX so that
+// sums of a few infinite costs cannot overflow.
+inline constexpr Cost kInfiniteCost = INT64_MAX / 8;
+
+inline bool IsInfiniteCost(Cost cost) { return cost >= kInfiniteCost; }
+
+// Adds costs with +inf saturation.
+inline Cost AddCost(Cost a, Cost b) {
+  if (IsInfiniteCost(a) || IsInfiniteCost(b)) return kInfiniteCost;
+  return a + b;
+}
+
+enum class MetricKind {
+  kManhattan,  // The paper's experiments ("we use Manhattan distance").
+  kEuclidean,  // Rounded up to an integer.
+  kChebyshev,
+};
+
+const char* MetricKindName(MetricKind kind);
+StatusOr<MetricKind> ParseMetricKind(const std::string& name);
+
+// Distance between two grid points under `kind`.  All three satisfy the
+// triangle inequality required by the USEP cost model.  Euclidean distances
+// are rounded *up*: ceil(a) + ceil(b) >= a + b >= c implies
+// ceil(a) + ceil(b) >= ceil(c), so ceiling preserves the inequality where
+// round-to-nearest would not (see metric_test.cc for the property check).
+Cost Distance(MetricKind kind, const Point& a, const Point& b);
+
+}  // namespace usep
+
+#endif  // USEP_GEO_METRIC_H_

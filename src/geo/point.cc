@@ -1,0 +1,15 @@
+#include "geo/point.h"
+
+#include "common/string_util.h"
+
+namespace usep {
+
+std::string Point::ToString() const {
+  return StrFormat("(%lld, %lld)", (long long)x, (long long)y);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+}  // namespace usep

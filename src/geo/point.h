@@ -1,0 +1,29 @@
+#ifndef USEP_GEO_POINT_H_
+#define USEP_GEO_POINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace usep {
+
+// A location on the integer grid the paper's instances live on.  Integer
+// coordinates keep all travel costs exact integers, matching the problem
+// statement ("the travel cost is a bounded non-negative integer").
+struct Point {
+  int64_t x = 0;
+  int64_t y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace usep
+
+#endif  // USEP_GEO_POINT_H_

@@ -1,0 +1,321 @@
+#include "io/instance_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/instance_builder.h"
+
+namespace usep {
+namespace {
+
+constexpr char kMagic[] = "USEP-INSTANCE";
+constexpr int kVersion = 1;
+
+void SerializeMetricCosts(const MetricCostModel& model, std::ostream& out) {
+  out << "cost metric " << MetricKindName(model.metric()) << "\n";
+  for (int v = 0; v < model.num_events(); ++v) {
+    const Point& p = model.event_location(v);
+    out << "eloc " << p.x << " " << p.y << "\n";
+  }
+  for (int u = 0; u < model.num_users(); ++u) {
+    const Point& p = model.user_location(u);
+    out << "uloc " << p.x << " " << p.y << "\n";
+  }
+}
+
+void SerializeMatrixCosts(const CostModel& model, std::ostream& out) {
+  out << "cost matrix\n";
+  for (int a = 0; a < model.num_events(); ++a) {
+    for (int b = 0; b < model.num_events(); ++b) {
+      out << (b > 0 ? " " : "") << model.EventToEvent(a, b);
+    }
+    out << "\n";
+  }
+  for (int u = 0; u < model.num_users(); ++u) {
+    for (int v = 0; v < model.num_events(); ++v) {
+      out << (v > 0 ? " " : "") << model.UserToEvent(u, v);
+    }
+    out << "\n";
+  }
+  for (int v = 0; v < model.num_events(); ++v) {
+    for (int u = 0; u < model.num_users(); ++u) {
+      out << (u > 0 ? " " : "") << model.EventToUser(v, u);
+    }
+    out << "\n";
+  }
+}
+
+// Tokenized line reader with one-line pushback.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  // Next non-empty, non-comment line split on whitespace; empty at EOF.
+  std::vector<std::string> NextTokens() {
+    if (!pushed_back_.empty()) {
+      std::vector<std::string> tokens = std::move(pushed_back_);
+      pushed_back_.clear();
+      return tokens;
+    }
+    std::string line;
+    while (std::getline(stream_, line)) {
+      ++line_number_;
+      const std::string trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::vector<std::string> tokens;
+      std::istringstream token_stream(trimmed);
+      std::string token;
+      while (token_stream >> token) tokens.push_back(token);
+      return tokens;
+    }
+    return {};
+  }
+
+  void PushBack(std::vector<std::string> tokens) {
+    pushed_back_ = std::move(tokens);
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istringstream stream_;
+  std::vector<std::string> pushed_back_;
+  int line_number_ = 0;
+};
+
+Status ParseError(const LineReader& reader, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("instance parse error near line %d: %s", reader.line_number(),
+                message.c_str()));
+}
+
+}  // namespace
+
+std::string SerializeInstance(const Instance& instance) {
+  std::ostringstream out;
+  out << kMagic << " " << kVersion << "\n";
+  out << "policy " << ConflictPolicyName(instance.conflict_policy()) << "\n";
+
+  out << "events " << instance.num_events() << "\n";
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const Event& event = instance.event(v);
+    out << "e " << event.interval.start << " " << event.interval.end << " "
+        << event.capacity;
+    if (!event.name.empty()) out << " " << event.name;
+    out << "\n";
+  }
+  out << "users " << instance.num_users() << "\n";
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const User& user = instance.user(u);
+    out << "u " << user.budget;
+    if (!user.name.empty()) out << " " << user.name;
+    out << "\n";
+  }
+
+  const auto* metric_model =
+      dynamic_cast<const MetricCostModel*>(&instance.cost_model());
+  if (metric_model != nullptr) {
+    SerializeMetricCosts(*metric_model, out);
+  } else {
+    SerializeMatrixCosts(instance.cost_model(), out);
+  }
+
+  int64_t nonzero = 0;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (instance.utility(v, u) != 0.0) ++nonzero;
+    }
+  }
+  out << "utilities " << nonzero << "\n";
+  out.precision(17);
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (instance.utility(v, u) != 0.0) {
+        out << v << " " << u << " " << instance.utility(v, u) << "\n";
+      }
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Status WriteInstanceFile(const Instance& instance, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << SerializeInstance(instance);
+  file.flush();
+  if (!file) return Status::IoError("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<Instance> DeserializeInstance(const std::string& text) {
+  LineReader reader(text);
+
+  std::vector<std::string> tokens = reader.NextTokens();
+  if (tokens.size() != 2 || tokens[0] != kMagic) {
+    return ParseError(reader, "missing USEP-INSTANCE header");
+  }
+  int32_t version = 0;
+  if (!ParseInt32(tokens[1], &version) || version != kVersion) {
+    return ParseError(reader, "unsupported version '" + tokens[1] + "'");
+  }
+
+  tokens = reader.NextTokens();
+  if (tokens.size() != 2 || tokens[0] != "policy") {
+    return ParseError(reader, "expected 'policy <name>'");
+  }
+  ConflictPolicy policy;
+  if (tokens[1] == ConflictPolicyName(ConflictPolicy::kTimeOverlapOnly)) {
+    policy = ConflictPolicy::kTimeOverlapOnly;
+  } else if (tokens[1] ==
+             ConflictPolicyName(ConflictPolicy::kTravelTimeAware)) {
+    policy = ConflictPolicy::kTravelTimeAware;
+  } else {
+    return ParseError(reader, "unknown policy '" + tokens[1] + "'");
+  }
+
+  InstanceBuilder builder;
+  builder.SetConflictPolicy(policy);
+
+  // Events.
+  tokens = reader.NextTokens();
+  int32_t num_events = 0;
+  if (tokens.size() != 2 || tokens[0] != "events" ||
+      !ParseInt32(tokens[1], &num_events) || num_events < 0) {
+    return ParseError(reader, "expected 'events <count>'");
+  }
+  for (int i = 0; i < num_events; ++i) {
+    tokens = reader.NextTokens();
+    if ((tokens.size() != 4 && tokens.size() != 5) || tokens[0] != "e") {
+      return ParseError(reader, "expected 'e <start> <end> <capacity> [name]'");
+    }
+    int64_t start = 0, end = 0;
+    int32_t capacity = 0;
+    if (!ParseInt64(tokens[1], &start) || !ParseInt64(tokens[2], &end) ||
+        !ParseInt32(tokens[3], &capacity)) {
+      return ParseError(reader, "bad event fields");
+    }
+    builder.AddEvent(TimeInterval{start, end}, capacity,
+                     tokens.size() == 5 ? tokens[4] : "");
+  }
+
+  // Users.
+  tokens = reader.NextTokens();
+  int32_t num_users = 0;
+  if (tokens.size() != 2 || tokens[0] != "users" ||
+      !ParseInt32(tokens[1], &num_users) || num_users < 0) {
+    return ParseError(reader, "expected 'users <count>'");
+  }
+  for (int i = 0; i < num_users; ++i) {
+    tokens = reader.NextTokens();
+    if ((tokens.size() != 2 && tokens.size() != 3) || tokens[0] != "u") {
+      return ParseError(reader, "expected 'u <budget> [name]'");
+    }
+    int64_t budget = 0;
+    if (!ParseInt64(tokens[1], &budget)) {
+      return ParseError(reader, "bad user budget");
+    }
+    builder.AddUser(budget, tokens.size() == 3 ? tokens[2] : "");
+  }
+
+  // Costs.
+  tokens = reader.NextTokens();
+  if (tokens.size() < 2 || tokens[0] != "cost") {
+    return ParseError(reader, "expected 'cost metric <name>' or 'cost matrix'");
+  }
+  if (tokens[1] == "metric") {
+    if (tokens.size() != 3) {
+      return ParseError(reader, "expected 'cost metric <name>'");
+    }
+    StatusOr<MetricKind> metric = ParseMetricKind(tokens[2]);
+    if (!metric.ok()) return metric.status();
+    std::vector<Point> event_points(num_events);
+    for (int v = 0; v < num_events; ++v) {
+      tokens = reader.NextTokens();
+      if (tokens.size() != 3 || tokens[0] != "eloc" ||
+          !ParseInt64(tokens[1], &event_points[v].x) ||
+          !ParseInt64(tokens[2], &event_points[v].y)) {
+        return ParseError(reader, "expected 'eloc <x> <y>'");
+      }
+    }
+    std::vector<Point> user_points(num_users);
+    for (int u = 0; u < num_users; ++u) {
+      tokens = reader.NextTokens();
+      if (tokens.size() != 3 || tokens[0] != "uloc" ||
+          !ParseInt64(tokens[1], &user_points[u].x) ||
+          !ParseInt64(tokens[2], &user_points[u].y)) {
+        return ParseError(reader, "expected 'uloc <x> <y>'");
+      }
+    }
+    builder.SetMetricLayout(*metric, std::move(event_points),
+                            std::move(user_points));
+  } else if (tokens[1] == "matrix") {
+    auto model = std::make_shared<MatrixCostModel>(num_events, num_users);
+    const auto read_matrix_row = [&](int width,
+                                     std::vector<Cost>* row) -> Status {
+      tokens = reader.NextTokens();
+      if (static_cast<int>(tokens.size()) != width) {
+        return ParseError(reader, StrFormat("expected a row of %d costs",
+                                            width));
+      }
+      row->resize(width);
+      for (int i = 0; i < width; ++i) {
+        if (!ParseInt64(tokens[i], &(*row)[i]) || (*row)[i] < 0) {
+          return ParseError(reader, "bad cost value '" + tokens[i] + "'");
+        }
+      }
+      return Status::Ok();
+    };
+    std::vector<Cost> row;
+    for (int a = 0; a < num_events; ++a) {
+      USEP_RETURN_IF_ERROR(read_matrix_row(num_events, &row));
+      for (int b = 0; b < num_events; ++b) model->SetEventToEvent(a, b, row[b]);
+    }
+    for (int u = 0; u < num_users; ++u) {
+      USEP_RETURN_IF_ERROR(read_matrix_row(num_events, &row));
+      for (int v = 0; v < num_events; ++v) model->SetUserToEvent(u, v, row[v]);
+    }
+    for (int v = 0; v < num_events; ++v) {
+      USEP_RETURN_IF_ERROR(read_matrix_row(num_users, &row));
+      for (int u = 0; u < num_users; ++u) model->SetEventToUser(v, u, row[u]);
+    }
+    builder.SetCostModel(std::move(model));
+  } else {
+    return ParseError(reader, "unknown cost section '" + tokens[1] + "'");
+  }
+
+  // Utilities.
+  tokens = reader.NextTokens();
+  int64_t nonzero = 0;
+  if (tokens.size() != 2 || tokens[0] != "utilities" ||
+      !ParseInt64(tokens[1], &nonzero) || nonzero < 0) {
+    return ParseError(reader, "expected 'utilities <count>'");
+  }
+  for (int64_t i = 0; i < nonzero; ++i) {
+    tokens = reader.NextTokens();
+    int32_t v = 0, u = 0;
+    double mu = 0.0;
+    if (tokens.size() != 3 || !ParseInt32(tokens[0], &v) ||
+        !ParseInt32(tokens[1], &u) || !ParseDouble(tokens[2], &mu)) {
+      return ParseError(reader, "expected '<event> <user> <mu>'");
+    }
+    builder.SetUtility(v, u, mu);
+  }
+
+  tokens = reader.NextTokens();
+  if (tokens.size() != 1 || tokens[0] != "end") {
+    return ParseError(reader, "expected 'end'");
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Instance> ReadInstanceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializeInstance(content.str());
+}
+
+}  // namespace usep

@@ -1,0 +1,47 @@
+#ifndef USEP_IO_INSTANCE_IO_H_
+#define USEP_IO_INSTANCE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/instance.h"
+
+namespace usep {
+
+// Plain-text serialization of a USEP instance.  The format is line-oriented
+// and self-describing:
+//
+//   USEP-INSTANCE 1
+//   policy time_overlap_only
+//   events 2
+//   e 540 660 30 morning-run
+//   e 720 810 10
+//   users 1
+//   u 42 alice
+//   cost metric manhattan
+//   eloc 0 0
+//   eloc 5 9
+//   uloc 3 4
+//   utilities 2
+//   0 0 0.8
+//   1 0 0.25
+//   end
+//
+// A `cost matrix` section (event-event rows, then user-event, then
+// event-user) replaces the metric/eloc/uloc lines for explicit-cost
+// instances.  Utilities are stored sparsely (only non-zero entries).
+// Event/user names must not contain whitespace; empty names are omitted.
+
+// Serializes `instance` into the text format.
+std::string SerializeInstance(const Instance& instance);
+Status WriteInstanceFile(const Instance& instance, const std::string& path);
+
+// Parses the text format back into an Instance (re-validating everything via
+// InstanceBuilder).
+StatusOr<Instance> DeserializeInstance(const std::string& text);
+StatusOr<Instance> ReadInstanceFile(const std::string& path);
+
+}  // namespace usep
+
+#endif  // USEP_IO_INSTANCE_IO_H_

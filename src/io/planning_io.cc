@@ -1,0 +1,107 @@
+#include "io/planning_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace usep {
+namespace {
+
+constexpr char kMagic[] = "USEP-PLANNING";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+std::string SerializePlanning(const Planning& planning) {
+  std::ostringstream out;
+  out << kMagic << " " << kVersion << "\n";
+  for (UserId u = 0; u < planning.num_users(); ++u) {
+    const Schedule& schedule = planning.schedule(u);
+    if (schedule.empty()) continue;
+    out << "s " << u << " :";
+    for (const EventId v : schedule.events()) out << " " << v;
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Status WritePlanningFile(const Planning& planning, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << SerializePlanning(planning);
+  file.flush();
+  if (!file) return Status::IoError("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<Planning> DeserializePlanning(const Instance& instance,
+                                       const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  const auto error = [&](const std::string& message) {
+    return Status::InvalidArgument(StrFormat(
+        "planning parse error at line %d: %s", line_number, message.c_str()));
+  };
+
+  if (!std::getline(stream, line)) return error("empty input");
+  ++line_number;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) {
+      return error("bad header '" + line + "'");
+    }
+  }
+
+  Planning planning(instance);
+  bool saw_end = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream fields(trimmed);
+    std::string tag, colon;
+    int user = -1;
+    fields >> tag >> user >> colon;
+    if (tag != "s" || colon != ":" || user < 0 ||
+        user >= instance.num_users()) {
+      return error("expected 's <user> : <events...>', got '" + trimmed + "'");
+    }
+    int event = -1;
+    while (fields >> event) {
+      if (event < 0 || event >= instance.num_events()) {
+        return error(StrFormat("event %d out of range", event));
+      }
+      if (!planning.TryAssign(event, user)) {
+        return error(StrFormat(
+            "assignment of event %d to user %d violates a constraint", event,
+            user));
+      }
+    }
+    if (fields.fail() && !fields.eof()) {
+      return error("non-numeric event id in '" + trimmed + "'");
+    }
+  }
+  if (!saw_end) return error("missing 'end'");
+  return planning;
+}
+
+StatusOr<Planning> ReadPlanningFile(const Instance& instance,
+                                    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializePlanning(instance, content.str());
+}
+
+}  // namespace usep

@@ -1,0 +1,33 @@
+#ifndef USEP_IO_PLANNING_IO_H_
+#define USEP_IO_PLANNING_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/planning.h"
+
+namespace usep {
+
+// Plain-text serialization of a planning:
+//
+//   USEP-PLANNING 1
+//   s 0 : 2 3
+//   s 4 : 1
+//   end
+//
+// One `s <user> : <event>...` line per non-empty schedule, events in time
+// order.  Deserialization replays the assignments through
+// Planning::TryAssign against the given instance, so a loaded planning is
+// feasible or the load fails.
+
+std::string SerializePlanning(const Planning& planning);
+Status WritePlanningFile(const Planning& planning, const std::string& path);
+
+StatusOr<Planning> DeserializePlanning(const Instance& instance,
+                                       const std::string& text);
+StatusOr<Planning> ReadPlanningFile(const Instance& instance,
+                                    const std::string& path);
+
+}  // namespace usep
+
+#endif  // USEP_IO_PLANNING_IO_H_

@@ -1,0 +1,96 @@
+// Empirical verification of Theorem 3: DeDP/DeDPO (and their +RG variants)
+// achieve at least 1/2 of the optimal total utility.  Also sanity-checks
+// that no heuristic ever exceeds the exact optimum.
+
+#include <gtest/gtest.h>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class ApproximationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproximationTest, DeDpFamilyIsHalfApproximate) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.num_events = 6;
+  config.num_users = 4;
+  config.capacity_mean = 2.0;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  const PlannerResult exact = ExactPlanner().Plan(*instance);
+  const double optimum = exact.planning.total_utility();
+
+  for (const PlannerKind kind :
+       {PlannerKind::kDeDp, PlannerKind::kDeDpo, PlannerKind::kDeDpoRg}) {
+    const PlannerResult result = MakePlanner(kind)->Plan(*instance);
+    EXPECT_GE(result.planning.total_utility(), 0.5 * optimum - 1e-9)
+        << PlannerKindName(kind) << " broke the 1/2 guarantee at seed "
+        << GetParam() << " (got " << result.planning.total_utility()
+        << ", optimum " << optimum << ")";
+  }
+}
+
+TEST_P(ApproximationTest, NoPlannerExceedsTheOptimum) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 1000);
+  config.num_events = 5;
+  config.num_users = 3;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  const double optimum =
+      ExactPlanner().Plan(*instance).planning.total_utility();
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    const PlannerResult result = MakePlanner(kind)->Plan(*instance);
+    EXPECT_LE(result.planning.total_utility(), optimum + 1e-9)
+        << PlannerKindName(kind) << " beat the exact optimum at seed "
+        << GetParam();
+    EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok())
+        << PlannerKindName(kind);
+  }
+}
+
+TEST_P(ApproximationTest, HalfApproximationHoldsOnConflictHeavyInstances) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 2000);
+  config.num_events = 6;
+  config.num_users = 3;
+  config.conflict_ratio = 0.8;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double optimum =
+      ExactPlanner().Plan(*instance).planning.total_utility();
+  const PlannerResult dedpo = MakePlanner(PlannerKind::kDeDpo)->Plan(*instance);
+  EXPECT_GE(dedpo.planning.total_utility(), 0.5 * optimum - 1e-9);
+}
+
+TEST_P(ApproximationTest, HalfApproximationHoldsOnTightBudgets) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 3000);
+  config.budget_factor = 0.5;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double optimum =
+      ExactPlanner().Plan(*instance).planning.total_utility();
+  const PlannerResult dedpo = MakePlanner(PlannerKind::kDeDpo)->Plan(*instance);
+  EXPECT_GE(dedpo.planning.total_utility(), 0.5 * optimum - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximationTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+TEST(ApproximationTest, Table1DeDpWithinHalfOfOptimum) {
+  const Instance instance = testing::MakeTable1Instance();
+  const double optimum =
+      ExactPlanner().Plan(instance).planning.total_utility();
+  const double dedp =
+      MakePlanner(PlannerKind::kDeDp)->Plan(instance).planning.total_utility();
+  EXPECT_GE(dedp, 0.5 * optimum - 1e-9);
+  EXPECT_LE(dedp, optimum + 1e-9);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,190 @@
+#include "algo/decomposed.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "core/validation.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(MakeSelectArrayTest, ClampsCapacityToUserCount) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 100);  // Capacity far above |U| = 2.
+  builder.AddEvent({20, 30}, 1);
+  builder.AddUser(10);
+  builder.AddUser(10);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {1, 0}},
+                          {{0, 0}, {1, 1}});
+  const Instance instance = *std::move(builder).Build();
+  const SelectArray select = MakeSelectArray(instance);
+  EXPECT_EQ(select[0].size(), 2u) << "clamped to |U|";
+  EXPECT_EQ(select[1].size(), 1u);
+  for (const auto& copies : select) {
+    for (const int claimant : copies) EXPECT_EQ(claimant, -1);
+  }
+}
+
+TEST(ChooseCopyTest, UnclaimedCopyKeepsFullUtility) {
+  const Instance instance = testing::MakeTable1Instance();
+  SelectArray select = MakeSelectArray(instance);
+  const CopyChoice choice = ChooseCopy(instance, select, /*v=*/2, /*u=*/2);
+  EXPECT_EQ(choice.copy, 0);
+  EXPECT_DOUBLE_EQ(choice.mu_prime, 0.9);
+}
+
+TEST(ChooseCopyTest, PrefersUnclaimedOverClaimed) {
+  const Instance instance = testing::MakeTable1Instance();
+  SelectArray select = MakeSelectArray(instance);
+  select[2][0] = 0;  // Copy 0 of v3 claimed by u1 (mu = 0.6).
+  const CopyChoice choice = ChooseCopy(instance, select, 2, 2);
+  EXPECT_EQ(choice.copy, 1) << "first unclaimed copy";
+  EXPECT_DOUBLE_EQ(choice.mu_prime, 0.9);
+}
+
+TEST(ChooseCopyTest, AllClaimedPicksSmallestClaimantUtility) {
+  const Instance instance = testing::MakeTable1Instance();
+  SelectArray select = MakeSelectArray(instance);
+  // v3 (event 2) has capacity 4; claim all copies.
+  // mu(v3, .) = {0.6, 0.2, 0.9, 0.4, 0.5} for u0..u4.
+  select[2] = {0, 1, 3, 4};  // Claimant utilities 0.6, 0.2, 0.4, 0.5.
+  const CopyChoice choice = ChooseCopy(instance, select, 2, 2);
+  EXPECT_EQ(choice.copy, 1) << "claimant u1 has the smallest mu (0.2)";
+  EXPECT_NEAR(choice.mu_prime, 0.9 - 0.2, 1e-12);
+}
+
+TEST(ChooseCopyTest, NegativeMuPrimeSurfacesForWeakUsers) {
+  const Instance instance = testing::MakeTable1Instance();
+  SelectArray select = MakeSelectArray(instance);
+  select[2] = {2, 2, 2, 2};  // All claimed by u3 (mu = 0.9).
+  const CopyChoice choice = ChooseCopy(instance, select, 2, /*u=*/1);
+  EXPECT_NEAR(choice.mu_prime, 0.2 - 0.9, 1e-12);
+  EXPECT_LT(choice.mu_prime, 0.0) << "BuildCandidates must filter this out";
+}
+
+TEST(BuildCandidatesTest, FiltersNonPositiveMuPrime) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  SelectArray select = MakeSelectArray(instance);
+  std::vector<int> chosen_copy(instance.num_events(), -1);
+  // User 1: mu(0,1) = 0.8 > 0, mu(1,1) = 0 -> only event 0 is a candidate.
+  const std::vector<UserCandidate> candidates =
+      BuildCandidates(instance, select, 1, &chosen_copy);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].event, 0);
+  EXPECT_DOUBLE_EQ(candidates[0].utility, 0.8);
+  EXPECT_EQ(chosen_copy[0], 0);
+}
+
+TEST(BuildCandidatesTest, ReflectsEarlierClaims) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  SelectArray select = MakeSelectArray(instance);
+  select[0][0] = 1;  // The only copy of event 0 claimed by user 1 (mu 0.8).
+  std::vector<int> chosen_copy(instance.num_events(), -1);
+  // User 0: mu(0,0) = 0.9; decomposed 0.9 - 0.8 = 0.1.
+  const std::vector<UserCandidate> candidates =
+      BuildCandidates(instance, select, 0, &chosen_copy);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].event, 0);
+  EXPECT_NEAR(candidates[0].utility, 0.1, 1e-12);
+  EXPECT_EQ(candidates[1].event, 1);
+  EXPECT_DOUBLE_EQ(candidates[1].utility, 0.5);
+}
+
+TEST(AssemblePlanningTest, LastClaimantKeepsTheCopy) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  SelectArray select = MakeSelectArray(instance);
+  select[0][0] = 1;  // Event 0 -> user 1.
+  select[1][0] = 0;  // Event 1 copy 0 -> user 0.
+  const Planning planning = AssemblePlanning(instance, select);
+  EXPECT_TRUE(planning.schedule(1).Contains(0));
+  EXPECT_TRUE(planning.schedule(0).Contains(1));
+  EXPECT_EQ(planning.total_assignments(), 2);
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(AssemblePlanningTest, EmptySelectGivesEmptyPlanning) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const Planning planning =
+      AssemblePlanning(instance, MakeSelectArray(instance));
+  EXPECT_EQ(planning.total_assignments(), 0);
+}
+
+TEST(AssemblePlanningTest, MultiEventScheduleInsertedInTimeOrder) {
+  const Instance instance = testing::MakeTable1Instance();
+  SelectArray select = MakeSelectArray(instance);
+  // Give u1 (user 0) the chain v3 -> v2 -> v4 (disjoint, affordable:
+  // budget 59).
+  select[2][0] = 0;
+  select[1][0] = 0;
+  select[3][0] = 0;
+  const Planning planning = AssemblePlanning(instance, select);
+  EXPECT_EQ(planning.schedule(0).events(), (std::vector<EventId>{2, 1, 3}));
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(AugmentWithRatioGreedyTest, FillsSpareCapacity) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  Planning planning(instance);
+  PlannerStats stats;
+  AugmentWithRatioGreedy(instance, &planning, &stats);
+  EXPECT_GT(planning.total_assignments(), 0);
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(MakeUserOrderTest, InstanceOrderIsIdentity) {
+  const Instance instance = testing::MakeTable1Instance();
+  EXPECT_EQ(MakeUserOrder(instance, UserOrder::kInstanceOrder, 1),
+            (std::vector<UserId>{0, 1, 2, 3, 4}));
+}
+
+TEST(MakeUserOrderTest, BudgetOrdersSortByBudget) {
+  const Instance instance = testing::MakeTable1Instance();
+  // Budgets: 59, 29, 51, 9, 33.
+  EXPECT_EQ(MakeUserOrder(instance, UserOrder::kBudgetAscending, 1),
+            (std::vector<UserId>{3, 1, 4, 2, 0}));
+  EXPECT_EQ(MakeUserOrder(instance, UserOrder::kBudgetDescending, 1),
+            (std::vector<UserId>{0, 2, 4, 1, 3}));
+}
+
+TEST(MakeUserOrderTest, ShuffleIsSeededPermutation) {
+  const Instance instance = testing::MakeTable1Instance();
+  const std::vector<UserId> a =
+      MakeUserOrder(instance, UserOrder::kShuffled, 7);
+  const std::vector<UserId> b =
+      MakeUserOrder(instance, UserOrder::kShuffled, 7);
+  EXPECT_EQ(a, b);
+  std::vector<UserId> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<UserId>{0, 1, 2, 3, 4}));
+}
+
+TEST(MakeUserOrderTest, NamesAreStable) {
+  EXPECT_STREQ(UserOrderName(UserOrder::kInstanceOrder), "instance");
+  EXPECT_STREQ(UserOrderName(UserOrder::kShuffled), "shuffled");
+  EXPECT_STREQ(UserOrderName(UserOrder::kBudgetAscending), "budget-asc");
+  EXPECT_STREQ(UserOrderName(UserOrder::kBudgetDescending), "budget-desc");
+}
+
+TEST(AugmentWithRatioGreedyTest, NoOpWhenEverythingFull) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(100);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetUtility(0, 1, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 0}, {2, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  const double utility = planning.total_utility();
+  PlannerStats stats;
+  AugmentWithRatioGreedy(instance, &planning, &stats);
+  EXPECT_DOUBLE_EQ(planning.total_utility(), utility);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "algo/dedp.h"
+#include "algo/dedpo.h"
+#include "algo/exact.h"
+#include "core/validation.h"
+#include "ebsn/meetup_simulator.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+std::vector<std::vector<EventId>> AllSchedules(const Planning& planning) {
+  std::vector<std::vector<EventId>> schedules;
+  schedules.reserve(planning.num_users());
+  for (UserId u = 0; u < planning.num_users(); ++u) {
+    schedules.push_back(planning.schedule(u).events());
+  }
+  return schedules;
+}
+
+TEST(DeDpFamilyTest, Names) {
+  EXPECT_EQ(DeDpPlanner().name(), "DeDP");
+  EXPECT_EQ(DeDpoPlanner().name(), "DeDPO");
+  DeDpoPlanner::Options with_rg;
+  with_rg.augment_with_rg = true;
+  EXPECT_EQ(DeDpoPlanner(with_rg).name(), "DeDPO+RG");
+}
+
+TEST(DeDpFamilyTest, Table1PlanningsAreFeasible) {
+  const Instance instance = testing::MakeTable1Instance();
+  for (const Planner* planner :
+       {static_cast<const Planner*>(new DeDpPlanner()),
+        static_cast<const Planner*>(new DeDpoPlanner())}) {
+    const PlannerResult result = planner->Plan(instance);
+    const ValidationReport report =
+        ValidatePlanning(instance, result.planning);
+    EXPECT_TRUE(report.ok()) << planner->name() << ": " << report.ToString();
+    EXPECT_GT(result.planning.total_utility(), 0.0);
+    delete planner;
+  }
+}
+
+TEST(DeDpFamilyTest, DeDpReportsLargeLogicalMemory) {
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult dedp = DeDpPlanner().Plan(instance);
+  const PlannerResult dedpo = DeDpoPlanner().Plan(instance);
+  // DeDP's mu^r array: (1+3+4+2 copies) * 5 users * 8 bytes = 400 bytes.
+  EXPECT_EQ(dedp.stats.logical_peak_bytes, 10u * 5u * sizeof(double));
+  EXPECT_LT(dedpo.stats.logical_peak_bytes, dedp.stats.logical_peak_bytes);
+}
+
+TEST(DeDpFamilyTest, SingleUserCaseIsOptimalSchedule) {
+  // With |U| = 1 the decomposition is exact: DeDPO returns the single-user
+  // DP optimum (knapsack).
+  const Instance instance = testing::MakeKnapsackInstance(
+      {60, 100, 120}, {10, 20, 30}, 50);
+  const PlannerResult result = DeDpoPlanner().Plan(instance);
+  EXPECT_NEAR(result.planning.total_utility(), (100.0 + 120.0) / 120.0, 1e-9);
+}
+
+class DeDpEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeDpEquivalenceTest, DeDpAndDeDpoProduceIdenticalPlannings) {
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam());
+  config.num_users = 25;  // Keep DeDP's mu^r array cheap in tests.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  const PlannerResult dedp = DeDpPlanner().Plan(*instance);
+  const PlannerResult dedpo = DeDpoPlanner().Plan(*instance);
+
+  EXPECT_TRUE(ValidatePlanning(*instance, dedp.planning).ok());
+  EXPECT_TRUE(ValidatePlanning(*instance, dedpo.planning).ok());
+  // Lemma 2: the select-array bookkeeping is exactly equivalent to the full
+  // mu^r updates, so the plannings are identical, not merely equal-utility.
+  EXPECT_EQ(AllSchedules(dedp.planning), AllSchedules(dedpo.planning))
+      << "seed " << GetParam();
+  EXPECT_DOUBLE_EQ(dedp.planning.total_utility(),
+                   dedpo.planning.total_utility());
+}
+
+TEST_P(DeDpEquivalenceTest, RgAugmentationNeverLowersUtility) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 50));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult base = DeDpoPlanner().Plan(*instance);
+  DeDpoPlanner::Options options;
+  options.augment_with_rg = true;
+  const PlannerResult augmented = DeDpoPlanner(options).Plan(*instance);
+  EXPECT_TRUE(ValidatePlanning(*instance, augmented.planning).ok());
+  EXPECT_GE(augmented.planning.total_utility(),
+            base.planning.total_utility() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeDpEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(DeDpEquivalenceTest, HoldsOnTagSimilarityUtilities) {
+  // Regression: EBSN utilities are discrete similarity values that collide
+  // exactly, so a planner whose decomposed utilities drift by ulps diverges
+  // from its twin on ties.  DeDP stores the canonical mu(v,j) - mu(v,r)
+  // value precisely to keep this equality.
+  CityConfig city = AucklandConfig();
+  city.num_users = 200;
+  const StatusOr<Instance> instance = SimulateCity(city, MeetupSimOptions());
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult dedp = DeDpPlanner().Plan(*instance);
+  const PlannerResult dedpo = DeDpoPlanner().Plan(*instance);
+  EXPECT_EQ(AllSchedules(dedp.planning), AllSchedules(dedpo.planning));
+  EXPECT_DOUBLE_EQ(dedp.planning.total_utility(),
+                   dedpo.planning.total_utility());
+}
+
+class DeDpoFeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(DeDpoFeasibilityTest, FeasibleAcrossConflictRatios) {
+  GeneratorConfig config =
+      testing::MediumRandomConfig(std::get<0>(GetParam()));
+  config.conflict_ratio = std::get<1>(GetParam());
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*instance);
+  const ValidationReport report = ValidatePlanning(*instance, result.planning);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndConflicts, DeDpoFeasibilityTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)));
+
+class UserOrderTest : public ::testing::TestWithParam<UserOrder> {};
+
+TEST_P(UserOrderTest, AnyOrderStaysFeasibleAndHalfApproximate) {
+  GeneratorConfig config = testing::SmallRandomConfig(321);
+  config.num_events = 6;
+  config.num_users = 4;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double optimum =
+      ExactPlanner().Plan(*instance).planning.total_utility();
+
+  DeDpoPlanner::Options options;
+  options.user_order = GetParam();
+  options.order_seed = 5;
+  const PlannerResult result = DeDpoPlanner(options).Plan(*instance);
+  EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok())
+      << UserOrderName(GetParam());
+  EXPECT_GE(result.planning.total_utility(), 0.5 * optimum - 1e-9)
+      << "Theorem 3 is order-agnostic; order "
+      << UserOrderName(GetParam());
+  EXPECT_LE(result.planning.total_utility(), optimum + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, UserOrderTest,
+                         ::testing::Values(UserOrder::kInstanceOrder,
+                                           UserOrder::kShuffled,
+                                           UserOrder::kBudgetAscending,
+                                           UserOrder::kBudgetDescending),
+                         [](const auto& info) {
+                           std::string name = UserOrderName(info.param);
+                           name.erase(
+                               std::remove(name.begin(), name.end(), '-'),
+                               name.end());
+                           return name;
+                         });
+
+TEST(DeDpFamilyTest, AllEventsConflictingMeansAtMostOneEventPerUser) {
+  GeneratorConfig config = testing::MediumRandomConfig(7);
+  config.conflict_ratio = 1.0;
+  config.conflict_strategy = ConflictStrategy::kClique;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*instance);
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    EXPECT_LE(result.planning.schedule(u).size(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace usep

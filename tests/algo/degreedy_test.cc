@@ -1,0 +1,92 @@
+#include "algo/degreedy.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(DeGreedyTest, Names) {
+  EXPECT_EQ(DeGreedyPlanner().name(), "DeGreedy");
+  DeGreedyPlanner::Options with_rg;
+  with_rg.augment_with_rg = true;
+  EXPECT_EQ(DeGreedyPlanner(with_rg).name(), "DeGreedy+RG");
+}
+
+TEST(DeGreedyTest, Table1PlanningFeasible) {
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = DeGreedyPlanner().Plan(instance);
+  const ValidationReport report = ValidatePlanning(instance, result.planning);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(result.planning.total_utility(), 0.0);
+}
+
+class DeGreedyRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeGreedyRandomTest, FeasiblePlannings) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam()));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeGreedyPlanner().Plan(*instance);
+  const ValidationReport report = ValidatePlanning(*instance, result.planning);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_P(DeGreedyRandomTest, RgAugmentationNeverLowersUtility) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 17));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult base = DeGreedyPlanner().Plan(*instance);
+  DeGreedyPlanner::Options options;
+  options.augment_with_rg = true;
+  const PlannerResult augmented = DeGreedyPlanner(options).Plan(*instance);
+  EXPECT_TRUE(ValidatePlanning(*instance, augmented.planning).ok());
+  EXPECT_GE(augmented.planning.total_utility(),
+            base.planning.total_utility() - 1e-9);
+}
+
+TEST_P(DeGreedyRandomTest, NeverBeatsDeDpoOnPerUserSubproblems) {
+  // GreedySingle is suboptimal per user, but the *overall* DeGreedy utility
+  // can occasionally exceed DeDPO's (different claims cascade differently).
+  // What must hold: both are feasible and in the same ballpark.  We assert
+  // DeGreedy >= 60% of DeDPO, far looser than the paper's observed ~95%+,
+  // to keep the test robust.
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 41));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult degreedy = DeGreedyPlanner().Plan(*instance);
+  const PlannerResult dedpo = DeDpoPlanner().Plan(*instance);
+  EXPECT_GE(degreedy.planning.total_utility(),
+            0.6 * dedpo.planning.total_utility())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeGreedyRandomTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(DeGreedyTest, FullConflictCliqueDegradesGracefully) {
+  GeneratorConfig config = testing::MediumRandomConfig(9);
+  config.conflict_ratio = 1.0;
+  config.conflict_strategy = ConflictStrategy::kClique;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeGreedyPlanner().Plan(*instance);
+  EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    EXPECT_LE(result.planning.schedule(u).size(), 1);
+  }
+}
+
+TEST(DeGreedyTest, StatsCountHeapPushesAndIterations) {
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = DeGreedyPlanner().Plan(instance);
+  EXPECT_GT(result.stats.iterations, 0);
+  EXPECT_GT(result.stats.heap_pushes, 0);
+}
+
+}  // namespace
+}  // namespace usep

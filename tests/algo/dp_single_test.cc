@@ -1,0 +1,203 @@
+#include "algo/dp_single.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+std::vector<UserCandidate> AllPositiveCandidates(const Instance& instance,
+                                                 UserId u) {
+  std::vector<UserCandidate> candidates;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (instance.utility(v, u) > 0.0) {
+      candidates.push_back(UserCandidate{v, instance.utility(v, u)});
+    }
+  }
+  return candidates;
+}
+
+// Verifies a SingleResult is a feasible schedule for `u` and matches its
+// claimed utility/route cost.
+void ExpectFeasibleSingle(const Instance& instance, UserId u,
+                          const std::vector<UserCandidate>& candidates,
+                          const SingleResult& result) {
+  double utility = 0.0;
+  for (const EventId v : result.schedule) {
+    const auto it =
+        std::find_if(candidates.begin(), candidates.end(),
+                     [v](const UserCandidate& c) { return c.event == v; });
+    ASSERT_NE(it, candidates.end()) << "schedule uses a non-candidate event";
+    utility += it->utility;
+  }
+  EXPECT_NEAR(result.utility, utility, 1e-9);
+
+  Cost route = 0;
+  if (!result.schedule.empty()) {
+    route = instance.UserToEventCost(u, result.schedule.front());
+    for (size_t i = 1; i < result.schedule.size(); ++i) {
+      ASSERT_TRUE(
+          instance.CanFollow(result.schedule[i - 1], result.schedule[i]));
+      route += instance.EventTravelCost(result.schedule[i - 1],
+                                        result.schedule[i]);
+    }
+    route += instance.EventToUserCost(result.schedule.back(), u);
+  }
+  EXPECT_EQ(route, result.route_cost);
+  EXPECT_LE(route, instance.user(u).budget);
+}
+
+TEST(DpSingleTest, EmptyCandidatesGiveEmptySchedule) {
+  const Instance instance = testing::MakeTable1Instance();
+  const SingleResult result = DpSingle(instance, 0, {});
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.utility, 0.0);
+}
+
+TEST(DpSingleTest, SingleAffordableEventIsTaken) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const SingleResult result =
+      DpSingle(instance, 0, {{0, 0.9}});
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0}));
+  EXPECT_DOUBLE_EQ(result.utility, 0.9);
+  EXPECT_EQ(result.route_cost, 4);
+}
+
+TEST(DpSingleTest, UnaffordableEventIsSkipped) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(5);
+  builder.SetUtility(0, 0, 1.0);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{10, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const SingleResult result = DpSingle(instance, 0, {{0, 1.0}});
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(DpSingleTest, PrefersUtilityOverCheapness) {
+  // Two conflicting events: cheap with mu 0.3 vs expensive with mu 0.9.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({5, 15}, 1);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.3);
+  builder.SetUtility(1, 0, 0.9);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{1, 0}, {40, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const SingleResult result =
+      DpSingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{1}));
+  EXPECT_DOUBLE_EQ(result.utility, 0.9);
+}
+
+TEST(DpSingleTest, ChainsCompatibleEvents) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  // User 0: e0 then e1 costs 2 + 4 + 5 = 11 <= 20.
+  const SingleResult result =
+      DpSingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0, 1}));
+  EXPECT_DOUBLE_EQ(result.utility, 1.4);
+  EXPECT_EQ(result.route_cost, 11);
+}
+
+TEST(DpSingleTest, SolvesKnapsackOptimally) {
+  // Classic knapsack: values {60,100,120}, weights {10,20,30}, cap 50 ->
+  // optimum 220 (items 2 and 3).
+  const Instance instance = testing::MakeKnapsackInstance(
+      {60, 100, 120}, {10, 20, 30}, 50);
+  const SingleResult result =
+      DpSingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{1, 2}));
+  EXPECT_NEAR(result.utility, (100.0 + 120.0) / 120.0, 1e-9);
+}
+
+TEST(DpSingleTest, DecomposedUtilitiesOverrideInstanceUtilities) {
+  // The DP must optimize the candidate (mu^r) utilities, not mu itself.
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const SingleResult result = DpSingle(instance, 0, {{0, 0.01}, {1, 0.9}});
+  EXPECT_NEAR(result.utility, 0.91, 1e-12);
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0, 1}));
+}
+
+class DpSingleRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpSingleRandomTest, MatchesBruteForceOptimum) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.num_events = 7;
+  config.num_users = 3;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const std::vector<UserCandidate> candidates =
+        AllPositiveCandidates(*instance, u);
+    const SingleResult dp = DpSingle(*instance, u, candidates);
+    const SingleResult brute = BruteForceSingle(*instance, u, candidates);
+    EXPECT_NEAR(dp.utility, brute.utility, 1e-9)
+        << "user " << u << " seed " << GetParam();
+    ExpectFeasibleSingle(*instance, u, candidates, dp);
+  }
+}
+
+TEST_P(DpSingleRandomTest, DenseTableMatchesSparse) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.grid_extent = 30;  // Keep budgets (and thus the dense table) small.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  SingleUserOptions dense;
+  dense.use_dense_table = true;
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const std::vector<UserCandidate> candidates =
+        AllPositiveCandidates(*instance, u);
+    const SingleResult sparse_result = DpSingle(*instance, u, candidates);
+    const SingleResult dense_result =
+        DpSingle(*instance, u, candidates, dense);
+    EXPECT_NEAR(sparse_result.utility, dense_result.utility, 1e-9);
+    ExpectFeasibleSingle(*instance, u, candidates, dense_result);
+  }
+}
+
+TEST_P(DpSingleRandomTest, Lemma1PruningDoesNotChangeResult) {
+  const GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 777);
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  SingleUserOptions no_pruning;
+  no_pruning.apply_lemma1 = false;
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const std::vector<UserCandidate> candidates =
+        AllPositiveCandidates(*instance, u);
+    const SingleResult pruned = DpSingle(*instance, u, candidates);
+    const SingleResult unpruned =
+        DpSingle(*instance, u, candidates, no_pruning);
+    EXPECT_NEAR(pruned.utility, unpruned.utility, 1e-12);
+    EXPECT_EQ(pruned.schedule, unpruned.schedule);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpSingleRandomTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(DpSingleTest, StatsReportCells) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const SingleResult result =
+      DpSingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_GT(result.cells, 0);
+  EXPECT_GT(result.peak_bytes, 0u);
+}
+
+TEST(BruteForceSingleTest, EmptyWhenNothingAffordable) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(1);
+  builder.SetUtility(0, 0, 1.0);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{10, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const SingleResult result = BruteForceSingle(instance, 0, {{0, 1.0}});
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.utility, 0.0);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,147 @@
+#include "algo/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(ExactTest, SolvesKnapsackReduction) {
+  // Theorem 1's reduction direction, checked concretely: the optimal USEP
+  // planning value equals the knapsack optimum.
+  const Instance instance = testing::MakeKnapsackInstance(
+      {60, 100, 120}, {10, 20, 30}, 50);
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_NEAR(result.planning.total_utility(), 220.0 / 120.0, 1e-9);
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+}
+
+TEST(ExactTest, TinyMatrixOptimum) {
+  // Users contend for event 0 (capacity 1).  Optimum: u0 takes {e0, e1}
+  // (0.9 + 0.5); u1 gets nothing it is allowed to enjoy... u1 could take
+  // e0 (0.8) but then u0 keeps {e1} (0.5): 1.3 < 1.4.
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_NEAR(result.planning.total_utility(), 1.4, 1e-9);
+  EXPECT_TRUE(result.planning.schedule(0).Contains(0));
+  EXPECT_TRUE(result.planning.schedule(0).Contains(1));
+}
+
+TEST(ExactTest, CapacityForcesSplitting) {
+  // Two users, one event each can afford, capacity 1: the higher-utility
+  // user must win under the optimum.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(100);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.3);
+  builder.SetUtility(0, 1, 0.8);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 0}, {2, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_NEAR(result.planning.total_utility(), 0.8, 1e-12);
+  EXPECT_TRUE(result.planning.schedule(1).Contains(0));
+}
+
+TEST(ExactTest, EmptyInstance) {
+  InstanceBuilder builder;
+  builder.SetMetricLayout(MetricKind::kManhattan, {}, {});
+  const Instance instance = *std::move(builder).Build();
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_EQ(result.planning.total_assignments(), 0);
+}
+
+TEST(ExactTest, BeatsOrMatchesEveryHeuristicByConstruction) {
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult exact = ExactPlanner().Plan(instance);
+  EXPECT_TRUE(ValidatePlanning(instance, exact.planning).ok());
+  EXPECT_GT(exact.stats.iterations, 0);
+}
+
+class ExactRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Exhaustive cross-check of the branch-and-bound against plain recursive
+// enumeration without bounding (implemented inline here).
+double EnumerateOptimum(const Instance& instance, UserId u,
+                        std::vector<int>& capacity_left, Planning* planning) {
+  if (u == instance.num_users()) return 0.0;
+
+  // Option 1: empty schedule for u.
+  double best = EnumerateOptimum(instance, u + 1, capacity_left, planning);
+
+  // Option 2: every feasible non-empty schedule, built via Planning to
+  // reuse the constraint logic.  Depth-first over events in rank order.
+  struct Dfs {
+    const Instance& instance;
+    UserId u;
+    std::vector<int>& capacity_left;
+    Planning* planning;
+    double best_tail = 0.0;
+
+    // Returns the best utility from extending the user's current partial
+    // schedule, including completing later users.
+    double Run(int next_rank, double current) {
+      double best_here = current + Tail();
+      const auto& sorted = instance.events_by_end_time();
+      for (int rank = next_rank; rank < instance.num_events(); ++rank) {
+        const EventId v = sorted[rank];
+        if (capacity_left[v] == 0) continue;
+        const auto insertion = planning->CheckAssign(v, u);
+        if (!insertion.has_value()) continue;
+        planning->Assign(v, u, *insertion);
+        --capacity_left[v];
+        best_here = std::max(
+            best_here, Run(rank + 1, current + instance.utility(v, u)));
+        ++capacity_left[v];
+        planning->Unassign(v, u);
+      }
+      return best_here;
+    }
+
+    double Tail() {
+      return EnumerateOptimum(instance, u + 1, capacity_left, planning);
+    }
+  };
+  Dfs dfs{instance, u, capacity_left, planning};
+  best = std::max(best, dfs.Run(0, 0.0));
+  return best;
+}
+
+TEST_P(ExactRandomTest, MatchesPlainEnumeration) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.num_events = 4;
+  config.num_users = 3;
+  config.capacity_mean = 1.5;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  const PlannerResult exact = ExactPlanner().Plan(*instance);
+  EXPECT_TRUE(ValidatePlanning(*instance, exact.planning).ok());
+
+  Planning scratch(*instance);
+  std::vector<int> capacity_left(instance->num_events());
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    capacity_left[v] = instance->event(v).capacity;
+  }
+  const double enumerated =
+      EnumerateOptimum(*instance, 0, capacity_left, &scratch);
+  EXPECT_NEAR(exact.planning.total_utility(), enumerated, 1e-9)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactRandomTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(ExactDeathTest, NodeBudgetGuardsAgainstBlowup) {
+  ExactPlanner::Options options;
+  options.max_nodes = 1;
+  const Instance instance = testing::MakeTable1Instance();
+  EXPECT_DEATH(ExactPlanner(options).Plan(instance), "node budget");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,179 @@
+#include "algo/greedy_single.h"
+
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+std::vector<UserCandidate> AllPositiveCandidates(const Instance& instance,
+                                                 UserId u) {
+  std::vector<UserCandidate> candidates;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (instance.utility(v, u) > 0.0) {
+      candidates.push_back(UserCandidate{v, instance.utility(v, u)});
+    }
+  }
+  return candidates;
+}
+
+void ExpectFeasibleSingle(const Instance& instance, UserId u,
+                          const SingleResult& result) {
+  Cost route = 0;
+  if (!result.schedule.empty()) {
+    route = instance.UserToEventCost(u, result.schedule.front());
+    for (size_t i = 1; i < result.schedule.size(); ++i) {
+      ASSERT_TRUE(
+          instance.CanFollow(result.schedule[i - 1], result.schedule[i]))
+          << "events " << result.schedule[i - 1] << " -> "
+          << result.schedule[i];
+      route += instance.EventTravelCost(result.schedule[i - 1],
+                                        result.schedule[i]);
+    }
+    route += instance.EventToUserCost(result.schedule.back(), u);
+  }
+  EXPECT_EQ(route, result.route_cost);
+  EXPECT_LE(route, instance.user(u).budget);
+}
+
+TEST(GreedySingleTest, EmptyCandidates) {
+  const Instance instance = testing::MakeTable1Instance();
+  const SingleResult result = GreedySingle(instance, 0, {});
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.utility, 0.0);
+}
+
+TEST(GreedySingleTest, TakesBothCompatibleEvents) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const SingleResult result =
+      GreedySingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0, 1}));
+  EXPECT_DOUBLE_EQ(result.utility, 1.4);
+  EXPECT_EQ(result.route_cost, 11);
+}
+
+TEST(GreedySingleTest, Lemma1FilterDropsUnreachableEvents) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({20, 30}, 1);
+  builder.AddUser(10);
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetUtility(1, 0, 0.9);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{2, 0}, {50, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const SingleResult result =
+      GreedySingle(instance, 0, AllPositiveCandidates(instance, 0));
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0}))
+      << "event 1's round trip (100) exceeds the budget";
+}
+
+TEST(GreedySingleTest, GreedyCanBeSuboptimal) {
+  // The greedy picks the best-ratio event first, which here blocks the
+  // two-event optimum: one central cheap event vs two conflicting-with-it
+  // events on the sides.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 30}, 1);   // Central: overlaps both others.
+  builder.AddEvent({0, 10}, 1);   // Early.
+  builder.AddEvent({20, 30}, 1);  // Late.
+  builder.AddUser(60);
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetUtility(2, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan,
+                          {{1, 0}, {10, 0}, {10, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const std::vector<UserCandidate> candidates =
+      AllPositiveCandidates(instance, 0);
+
+  const SingleResult greedy = GreedySingle(instance, 0, candidates);
+  const SingleResult optimal = DpSingle(instance, 0, candidates);
+  // ratio(e0) = 0.9/2 > ratio(e1) = 0.5/20, so greedy grabs e0 and is stuck.
+  EXPECT_EQ(greedy.schedule, (std::vector<EventId>{0}));
+  EXPECT_DOUBLE_EQ(greedy.utility, 0.9);
+  // The DP finds {e1, e2}: cost 10 + 0 + 10 = 20 <= 60, utility 1.0.
+  EXPECT_DOUBLE_EQ(optimal.utility, 1.0);
+}
+
+TEST(GreedySingleTest, BudgetShrinkInvalidatesStaleCandidates) {
+  // Three disjoint events a [0,10], b [20,30], c [40,50]; user at origin
+  // with budget 13.  b (highest ratio) goes first, then both gaps push a
+  // valid candidate (a and c, inc_cost 6 each, route 4+6 = 10 <= 13).
+  // Inserting a (better ratio) raises the route to 10, so c's queued
+  // candidate is stale on pop (10 + 6 > 13) and must be dropped after a
+  // rescan — not inserted in violation of the budget.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1, "a");
+  builder.AddEvent({20, 30}, 1, "b");
+  builder.AddEvent({40, 50}, 1, "c");
+  builder.AddUser(13);
+  builder.SetUtility(0, 0, 0.6);   // a
+  builder.SetUtility(1, 0, 0.9);   // b
+  builder.SetUtility(2, 0, 0.55);  // c
+  builder.SetMetricLayout(MetricKind::kManhattan,
+                          {{5, 0}, {2, 0}, {5, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  const SingleResult result =
+      GreedySingle(instance, 0, AllPositiveCandidates(instance, 0));
+  ExpectFeasibleSingle(instance, 0, result);
+  EXPECT_EQ(result.schedule, (std::vector<EventId>{0, 1}));
+  EXPECT_EQ(result.route_cost, 10);
+}
+
+class GreedySingleRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedySingleRandomTest, AlwaysFeasibleAndNeverBeatsDp) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.num_events = 8;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const std::vector<UserCandidate> candidates =
+        AllPositiveCandidates(*instance, u);
+    const SingleResult greedy = GreedySingle(*instance, u, candidates);
+    const SingleResult dp = DpSingle(*instance, u, candidates);
+    ExpectFeasibleSingle(*instance, u, greedy);
+    EXPECT_LE(greedy.utility, dp.utility + 1e-9)
+        << "greedy beat the optimal DP? user " << u << " seed " << GetParam();
+    // No duplicate events.
+    std::vector<EventId> sorted = greedy.schedule;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_P(GreedySingleRandomTest, GreedyIsMaximal) {
+  // After GreedySingle finishes, no remaining candidate fits: Lemma 3 says
+  // candidates are exhausted, so the schedule is maximal.
+  const GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 99);
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    const std::vector<UserCandidate> candidates =
+        AllPositiveCandidates(*instance, u);
+    const SingleResult result = GreedySingle(*instance, u, candidates);
+
+    Schedule schedule(u);
+    for (const EventId v : result.schedule) {
+      ASSERT_TRUE(schedule.TryInsert(*instance, v));
+    }
+    for (const UserCandidate& candidate : candidates) {
+      if (schedule.Contains(candidate.event)) continue;
+      const auto insertion = schedule.FindInsertion(*instance, candidate.event);
+      if (!insertion.has_value()) continue;
+      EXPECT_GT(schedule.route_cost() + insertion->inc_cost,
+                instance->user(u).budget)
+          << "event " << candidate.event << " still fits for user " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedySingleRandomTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace usep

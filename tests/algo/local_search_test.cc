@@ -1,0 +1,163 @@
+#include "algo/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "core/instance_builder.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(LocalSearchTest, AddMoveFillsObviousGaps) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);  // Empty.
+  LocalSearchOptions options;
+  const LocalSearchReport report =
+      ImprovePlanning(instance, options, &planning);
+  EXPECT_GT(report.adds, 0);
+  EXPECT_GT(planning.total_utility(), 0.0);
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(LocalSearchTest, TransferMovesEventToKeenerUser) {
+  // One event with capacity 1; initially held by the lukewarm user.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(100, "lukewarm");
+  builder.AddUser(100, "keen");
+  builder.SetUtility(0, 0, 0.2);
+  builder.SetUtility(0, 1, 0.9);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 0}, {2, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+
+  LocalSearchOptions options;
+  options.enable_add = false;
+  options.enable_swap = false;
+  const LocalSearchReport report =
+      ImprovePlanning(instance, options, &planning);
+  EXPECT_EQ(report.transfers, 1);
+  EXPECT_TRUE(planning.schedule(1).Contains(0));
+  EXPECT_FALSE(planning.schedule(0).Contains(0));
+  EXPECT_NEAR(report.utility_gain, 0.7, 1e-12);
+}
+
+TEST(LocalSearchTest, SwapExchangesMismatchedEvents) {
+  // Two disjoint far-apart events; each user holds the one the *other*
+  // prefers, and tight budgets prevent the transfer path (neither can hold
+  // both or take the other's event without giving up their own... the
+  // capacity is 1 so transfer is blocked by the occupied seat).
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1, "A");
+  builder.AddEvent({20, 30}, 1, "B");
+  builder.AddUser(100, "likes-B");
+  builder.AddUser(100, "likes-A");
+  builder.SetUtility(0, 0, 0.2);
+  builder.SetUtility(1, 0, 0.9);
+  builder.SetUtility(0, 1, 0.9);
+  builder.SetUtility(1, 1, 0.2);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{5, 0}, {0, 5}},
+                          {{0, 0}, {1, 1}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));  // A -> likes-B.
+  ASSERT_TRUE(planning.TryAssign(1, 1));  // B -> likes-A.
+
+  LocalSearchOptions options;
+  options.enable_add = false;
+  options.enable_transfer = false;
+  const LocalSearchReport report =
+      ImprovePlanning(instance, options, &planning);
+  EXPECT_EQ(report.swaps, 1);
+  EXPECT_TRUE(planning.schedule(0).Contains(1));
+  EXPECT_TRUE(planning.schedule(1).Contains(0));
+  EXPECT_NEAR(planning.total_utility(), 1.8, 1e-12);
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(LocalSearchTest, FixedPointOfOptimumIsStable) {
+  const Instance instance = testing::MakeTable1Instance();
+  PlannerResult exact = ExactPlanner().Plan(instance);
+  const double optimum = exact.planning.total_utility();
+  LocalSearchOptions options;
+  const LocalSearchReport report =
+      ImprovePlanning(instance, options, &exact.planning);
+  // Rolled-back attempts add/subtract the same utilities, which can leave
+  // sub-ulp drift in the incremental total; hence NEAR, not EQ.
+  EXPECT_NEAR(exact.planning.total_utility(), optimum, 1e-9)
+      << "local search must not move off the optimum";
+  EXPECT_NEAR(report.utility_gain, 0.0, 1e-9);
+}
+
+class LocalSearchRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalSearchRandomTest, NeverLowersUtilityAndStaysFeasible) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam()));
+  ASSERT_TRUE(instance.ok());
+  for (const PlannerKind kind :
+       {PlannerKind::kRatioGreedy, PlannerKind::kDeGreedy,
+        PlannerKind::kDeDpoRg}) {
+    PlannerResult result = MakePlanner(kind)->Plan(*instance);
+    const double before = result.planning.total_utility();
+    LocalSearchOptions options;
+    const LocalSearchReport report =
+        ImprovePlanning(*instance, options, &result.planning);
+    EXPECT_GE(result.planning.total_utility(), before - 1e-9);
+    EXPECT_NEAR(report.utility_gain,
+                result.planning.total_utility() - before, 1e-9);
+    const ValidationReport validation =
+        ValidatePlanning(*instance, result.planning);
+    EXPECT_TRUE(validation.ok())
+        << PlannerKindName(kind) << "\n" << validation.ToString();
+  }
+}
+
+TEST_P(LocalSearchRandomTest, NeverExceedsExactOptimumOnSmallInstances) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 400);
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double optimum =
+      ExactPlanner().Plan(*instance).planning.total_utility();
+  const PlannerResult result =
+      MakePlanner(PlannerKind::kDeDpoRgLs)->Plan(*instance);
+  EXPECT_LE(result.planning.total_utility(), optimum + 1e-9);
+  EXPECT_GE(result.planning.total_utility(), 0.5 * optimum - 1e-9)
+      << "local search preserves the base 1/2 guarantee";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchRandomTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(LocalSearchPlannerTest, DecoratorNameAndBehaviour) {
+  const std::unique_ptr<Planner> planner =
+      MakePlanner(PlannerKind::kDeDpoRgLs);
+  EXPECT_EQ(planner->name(), "DeDPO+RG+LS");
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult with_ls = planner->Plan(instance);
+  const PlannerResult without =
+      MakePlanner(PlannerKind::kDeDpoRg)->Plan(instance);
+  EXPECT_GE(with_ls.planning.total_utility(),
+            without.planning.total_utility() - 1e-9);
+  EXPECT_TRUE(ValidatePlanning(instance, with_ls.planning).ok());
+}
+
+TEST(LocalSearchTest, MaxRoundsRespected) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(77));
+  ASSERT_TRUE(instance.ok());
+  Planning planning(*instance);
+  LocalSearchOptions options;
+  options.max_rounds = 1;
+  const LocalSearchReport report =
+      ImprovePlanning(*instance, options, &planning);
+  EXPECT_EQ(report.rounds, 1);
+}
+
+}  // namespace
+}  // namespace usep

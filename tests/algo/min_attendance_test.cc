@@ -1,0 +1,172 @@
+#include "algo/min_attendance.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "core/instance_builder.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// After enforcement: every event has 0 or >= its minimum attendees, and the
+// planning still satisfies all USEP constraints.
+void ExpectEnforced(const Instance& instance,
+                    const std::vector<int>& min_attendance,
+                    const Planning& planning) {
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const int attending = planning.assigned_count(v);
+    EXPECT_TRUE(attending == 0 || attending >= min_attendance[v])
+        << "event " << v << " has " << attending << " of "
+        << min_attendance[v];
+  }
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+TEST(MinAttendanceTest, NoMinimumsIsANoOp) {
+  const Instance instance = testing::MakeTable1Instance();
+  PlannerResult result = DeDpoPlanner().Plan(instance);
+  const double utility = result.planning.total_utility();
+  const MinAttendanceReport report = EnforceMinimumAttendance(
+      instance, {0, 0, 0, 0}, MinAttendanceOptions(), &result.planning);
+  EXPECT_TRUE(report.cancelled.empty());
+  EXPECT_EQ(report.assignments_removed, 0);
+  EXPECT_DOUBLE_EQ(result.planning.total_utility(), utility);
+}
+
+TEST(MinAttendanceTest, CancelsUnderAttendedEvent) {
+  // One event with two interested users, but a minimum of 3.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 5);
+  builder.AddUser(100);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.8);
+  builder.SetUtility(0, 1, 0.6);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 0}, {2, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(0, 1));
+
+  const MinAttendanceReport report = EnforceMinimumAttendance(
+      instance, {3}, MinAttendanceOptions(), &planning);
+  EXPECT_EQ(report.cancelled, (std::vector<EventId>{0}));
+  EXPECT_EQ(report.assignments_removed, 2);
+  EXPECT_EQ(planning.total_assignments(), 0);
+  EXPECT_DOUBLE_EQ(report.utility_before, 1.4);
+  // 0.8 + 0.6 - 0.8 - 0.6 leaves sub-ulp residue in the incremental total.
+  EXPECT_NEAR(report.utility_after, 0.0, 1e-12);
+}
+
+TEST(MinAttendanceTest, ReaugmentationReinvestsFreedBudget) {
+  // Two conflicting events; user 0 initially attends A (min 2, only 1
+  // attendee -> cancelled); re-augmentation should move them to B.
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 3, "A");
+  builder.AddEvent({5, 15}, 3, "B");  // Overlaps A.
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{1, 0}, {2, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+
+  const MinAttendanceReport report = EnforceMinimumAttendance(
+      instance, {2, 1}, MinAttendanceOptions(), &planning);
+  EXPECT_EQ(report.cancelled, (std::vector<EventId>{0}));
+  EXPECT_EQ(report.assignments_readded, 1);
+  EXPECT_TRUE(planning.schedule(0).Contains(1));
+  EXPECT_DOUBLE_EQ(planning.total_utility(), 0.5);
+}
+
+TEST(MinAttendanceTest, CancelledEventsAreNeverRefilled) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 5, "doomed");
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{1, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  MinAttendanceOptions options;
+  options.reaugment_with_rg = true;
+  EnforceMinimumAttendance(instance, {2}, options, &planning);
+  EXPECT_EQ(planning.assigned_count(0), 0)
+      << "the cancelled event must stay cancelled even though the freed "
+         "user could refill it";
+}
+
+TEST(MinAttendanceTest, CascadingCancellations) {
+  // User can afford only one event.  Event A gets them initially; A's
+  // minimum kills it; re-augmentation moves them to B; B's minimum then
+  // kills B too (stability loop).
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 3, "A");
+  builder.AddEvent({20, 30}, 3, "B");
+  builder.AddUser(6);
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetUtility(1, 0, 0.8);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{2, 0}, {3, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));  // Round trip 4; B would add 2+... .
+
+  const MinAttendanceReport report = EnforceMinimumAttendance(
+      instance, {2, 2}, MinAttendanceOptions(), &planning);
+  EXPECT_EQ(report.cancelled.size(), 2u);
+  EXPECT_EQ(planning.total_assignments(), 0);
+  ExpectEnforced(instance, {2, 2}, planning);
+}
+
+class MinAttendanceRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinAttendanceRandomTest, EnforcementHoldsOnPlannerOutputs) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam()));
+  ASSERT_TRUE(instance.ok());
+  PlannerResult result = DeDpoPlanner().Plan(*instance);
+
+  // A moderate minimum for every event.
+  const std::vector<int> minimums(instance->num_events(), 3);
+  for (const bool reaugment : {false, true}) {
+    Planning planning = result.planning;
+    MinAttendanceOptions options;
+    options.reaugment_with_rg = reaugment;
+    const MinAttendanceReport report =
+        EnforceMinimumAttendance(*instance, minimums, options, &planning);
+    ExpectEnforced(*instance, minimums, planning);
+    EXPECT_NEAR(report.utility_after, planning.total_utility(), 1e-9);
+    if (reaugment) {
+      EXPECT_GE(report.assignments_readded, 0);
+    } else {
+      EXPECT_EQ(report.assignments_readded, 0);
+    }
+  }
+}
+
+TEST_P(MinAttendanceRandomTest, ReaugmentationNeverHurts) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 60));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult base = DeDpoPlanner().Plan(*instance);
+  const std::vector<int> minimums(instance->num_events(), 4);
+
+  Planning without = base.planning;
+  MinAttendanceOptions no_reaugment;
+  no_reaugment.reaugment_with_rg = false;
+  EnforceMinimumAttendance(*instance, minimums, no_reaugment, &without);
+
+  Planning with = base.planning;
+  EnforceMinimumAttendance(*instance, minimums, MinAttendanceOptions(),
+                           &with);
+  EXPECT_GE(with.total_utility(), without.total_utility() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinAttendanceRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace usep

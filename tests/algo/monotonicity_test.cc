@@ -1,0 +1,152 @@
+// Monotonicity laws of USEP, checked against the solvers:
+//  - a user's optimal schedule utility is non-decreasing in their budget;
+//  - the exact optimum is non-decreasing in any event capacity;
+//  - the exact optimum is non-decreasing when users are added.
+// These are theorems of the problem (any feasible solution stays feasible
+// after the relaxation), so a violation is a solver bug.
+
+#include <gtest/gtest.h>
+
+#include "algo/dp_single.h"
+#include "algo/exact.h"
+#include "core/instance_builder.h"
+#include "core/transforms.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Rebuilds `instance` with every budget multiplied by `factor` (integer).
+Instance ScaleBudgets(const Instance& instance, Cost factor) {
+  InstanceBuilder builder;
+  for (const Event& event : instance.events()) {
+    builder.AddEvent(event.interval, event.capacity, event.name);
+  }
+  for (const User& user : instance.users()) {
+    builder.AddUser(user.budget * factor, user.name);
+  }
+  builder.SetConflictPolicy(instance.conflict_policy());
+  std::vector<double> utilities(static_cast<size_t>(instance.num_events()) *
+                                instance.num_users());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      utilities[static_cast<size_t>(v) * instance.num_users() + u] =
+          instance.utility(v, u);
+    }
+  }
+  builder.SetAllUtilities(std::move(utilities));
+  builder.SetCostModel(instance.shared_cost_model());
+  return *std::move(builder).Build();
+}
+
+// Rebuilds `instance` with every capacity increased by `extra`.
+Instance RaiseCapacities(const Instance& instance, int extra) {
+  InstanceBuilder builder;
+  for (const Event& event : instance.events()) {
+    builder.AddEvent(event.interval, event.capacity + extra, event.name);
+  }
+  for (const User& user : instance.users()) {
+    builder.AddUser(user.budget, user.name);
+  }
+  builder.SetConflictPolicy(instance.conflict_policy());
+  std::vector<double> utilities(static_cast<size_t>(instance.num_events()) *
+                                instance.num_users());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      utilities[static_cast<size_t>(v) * instance.num_users() + u] =
+          instance.utility(v, u);
+    }
+  }
+  builder.SetAllUtilities(std::move(utilities));
+  builder.SetCostModel(instance.shared_cost_model());
+  return *std::move(builder).Build();
+}
+
+std::vector<UserCandidate> AllPositiveCandidates(const Instance& instance,
+                                                 UserId u) {
+  std::vector<UserCandidate> candidates;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (instance.utility(v, u) > 0.0) {
+      candidates.push_back(UserCandidate{v, instance.utility(v, u)});
+    }
+  }
+  return candidates;
+}
+
+class MonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MonotonicityTest, DpSingleUtilityGrowsWithBudget) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  config.num_events = 8;
+  config.budget_factor = 0.5;  // Start tight so growth is visible.
+  const StatusOr<Instance> base = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(base.ok());
+
+  for (UserId u = 0; u < base->num_users(); ++u) {
+    double previous = -1.0;
+    for (const Cost factor : {1, 2, 4, 8}) {
+      const Instance scaled = ScaleBudgets(*base, factor);
+      const SingleResult result =
+          DpSingle(scaled, u, AllPositiveCandidates(scaled, u));
+      EXPECT_GE(result.utility, previous - 1e-9)
+          << "user " << u << " factor " << (long long)factor << " seed "
+          << GetParam();
+      previous = result.utility;
+    }
+  }
+}
+
+TEST_P(MonotonicityTest, ExactOptimumGrowsWithBudget) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 100);
+  config.budget_factor = 0.5;
+  const StatusOr<Instance> base = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(base.ok());
+  double previous = -1.0;
+  for (const Cost factor : {1, 2, 4}) {
+    const Instance scaled = ScaleBudgets(*base, factor);
+    const double optimum =
+        ExactPlanner().Plan(scaled).planning.total_utility();
+    EXPECT_GE(optimum, previous - 1e-9) << "factor " << (long long)factor;
+    previous = optimum;
+  }
+}
+
+TEST_P(MonotonicityTest, ExactOptimumGrowsWithCapacity) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 200);
+  config.capacity_mean = 1.0;  // Start at unit capacities.
+  const StatusOr<Instance> base = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(base.ok());
+  double previous = -1.0;
+  for (const int extra : {0, 1, 2, 5}) {
+    const Instance raised = RaiseCapacities(*base, extra);
+    const double optimum =
+        ExactPlanner().Plan(raised).planning.total_utility();
+    EXPECT_GE(optimum, previous - 1e-9) << "extra " << extra;
+    previous = optimum;
+  }
+}
+
+TEST_P(MonotonicityTest, ExactOptimumGrowsWithUsers) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam() + 300);
+  config.num_users = 4;
+  const StatusOr<Instance> full = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(full.ok());
+  double previous = -1.0;
+  for (int keep = 1; keep <= full->num_users(); ++keep) {
+    std::vector<UserId> users;
+    for (UserId u = 0; u < keep; ++u) users.push_back(u);
+    const StatusOr<Instance> subset = SelectUsers(*full, users);
+    ASSERT_TRUE(subset.ok());
+    const double optimum =
+        ExactPlanner().Plan(*subset).planning.total_utility();
+    EXPECT_GE(optimum, previous - 1e-9) << "keep " << keep;
+    previous = optimum;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,54 @@
+#include "algo/planner_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(PlannerRegistryTest, MakePlannerReturnsMatchingNames) {
+  for (const PlannerKind kind :
+       {PlannerKind::kRatioGreedy, PlannerKind::kDeDp, PlannerKind::kDeDpo,
+        PlannerKind::kDeDpoRg, PlannerKind::kDeGreedy,
+        PlannerKind::kDeGreedyRg, PlannerKind::kNaiveRatioGreedy,
+        PlannerKind::kExact, PlannerKind::kOnlineDp,
+        PlannerKind::kOnlineGreedy, PlannerKind::kDeDpoRgLs,
+        PlannerKind::kDeGreedyRgLs}) {
+    const std::unique_ptr<Planner> planner = MakePlanner(kind);
+    ASSERT_NE(planner, nullptr);
+    EXPECT_EQ(planner->name(), PlannerKindName(kind));
+  }
+}
+
+TEST(PlannerRegistryTest, LookupByNameIsCaseInsensitive) {
+  const auto planner = MakePlannerByName("dedpo+rg");
+  ASSERT_TRUE(planner.ok());
+  EXPECT_EQ((*planner)->name(), "DeDPO+RG");
+}
+
+TEST(PlannerRegistryTest, LookupTrimsWhitespace) {
+  const auto planner = MakePlannerByName("  DeGreedy  ");
+  ASSERT_TRUE(planner.ok());
+  EXPECT_EQ((*planner)->name(), "DeGreedy");
+}
+
+TEST(PlannerRegistryTest, UnknownNameIsNotFound) {
+  const auto planner = MakePlannerByName("SimulatedAnnealing");
+  EXPECT_FALSE(planner.ok());
+  EXPECT_EQ(planner.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlannerRegistryTest, PaperPlannersAreTheSixEvaluated) {
+  const std::vector<PlannerKind> kinds = PaperPlannerKinds();
+  ASSERT_EQ(kinds.size(), 6u);
+  EXPECT_EQ(kinds.front(), PlannerKind::kRatioGreedy);
+  // DeDP appears in the paper set but not the scalability set.
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), PlannerKind::kDeDp),
+            kinds.end());
+  const std::vector<PlannerKind> scalable = ScalablePlannerKinds();
+  EXPECT_EQ(std::find(scalable.begin(), scalable.end(), PlannerKind::kDeDp),
+            scalable.end());
+  EXPECT_EQ(scalable.size(), 5u);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,67 @@
+#include "algo/ratio.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(RatioTest, LargerRatioWins) {
+  // 0.8/4 = 0.2 vs 0.5/10 = 0.05.
+  EXPECT_TRUE(RatioBetter({0.8, 4}, {0.5, 10}));
+  EXPECT_FALSE(RatioBetter({0.5, 10}, {0.8, 4}));
+}
+
+TEST(RatioTest, ExactTieBrokenBySmallerIncCost) {
+  // 0.2/2 == 0.4/4 == 0.1: prefer the cheaper insertion.
+  EXPECT_TRUE(RatioBetter({0.2, 2}, {0.4, 4}));
+  EXPECT_FALSE(RatioBetter({0.4, 4}, {0.2, 2}));
+  EXPECT_EQ(CompareRatio({0.2, 2}, {0.4, 4}), -1);
+}
+
+TEST(RatioTest, ZeroIncCostIsInfiniteRatio) {
+  EXPECT_TRUE(RatioBetter({0.1, 0}, {1.0, 1}));
+  EXPECT_FALSE(RatioBetter({1.0, 1}, {0.1, 0}));
+}
+
+TEST(RatioTest, BothZeroIncCostComparedByUtility) {
+  EXPECT_TRUE(RatioBetter({0.9, 0}, {0.5, 0}));
+  EXPECT_FALSE(RatioBetter({0.5, 0}, {0.9, 0}));
+  EXPECT_EQ(CompareRatio({0.5, 0}, {0.5, 0}), 0);
+}
+
+TEST(RatioTest, IdenticalKeysAreEqual) {
+  EXPECT_EQ(CompareRatio({0.3, 7}, {0.3, 7}), 0);
+  EXPECT_FALSE(RatioBetter({0.3, 7}, {0.3, 7}));
+}
+
+TEST(RatioTest, ComparisonIsAntisymmetric) {
+  const RatioKey keys[] = {{0.5, 3}, {0.7, 5}, {0.5, 0}, {0.2, 3}, {0.7, 0}};
+  for (const RatioKey& a : keys) {
+    for (const RatioKey& b : keys) {
+      EXPECT_EQ(CompareRatio(a, b), -CompareRatio(b, a));
+    }
+  }
+}
+
+TEST(RatioTest, ComparisonIsTransitiveOnSample) {
+  const RatioKey keys[] = {{0.5, 3}, {0.7, 5}, {0.5, 0},
+                           {0.2, 3}, {0.7, 0}, {0.4, 6}};
+  for (const RatioKey& a : keys) {
+    for (const RatioKey& b : keys) {
+      for (const RatioKey& c : keys) {
+        if (CompareRatio(a, b) < 0 && CompareRatio(b, c) < 0) {
+          EXPECT_LT(CompareRatio(a, c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RatioTest, ExactForLargeCosts) {
+  // Cross-multiplication stays exact where naive division would round:
+  // 0.1/1000000001 < 0.1/1000000000.
+  EXPECT_TRUE(RatioBetter({0.1, 1000000000}, {0.1, 1000000001}));
+}
+
+}  // namespace
+}  // namespace usep

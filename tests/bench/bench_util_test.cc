@@ -1,0 +1,126 @@
+#include "harness/bench_util.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "common/csv.h"
+#include "testing/test_instances.h"
+
+namespace usep::bench {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(BenchScaleTest, DefaultsToSmall) {
+  ScopedEnv env("USEP_BENCH_SCALE", "");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kSmall);
+}
+
+TEST(BenchScaleTest, PaperViaEnvironment) {
+  ScopedEnv env("USEP_BENCH_SCALE", "paper");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kPaper);
+  EXPECT_STREQ(BenchScaleName(GetBenchScale()), "paper");
+}
+
+TEST(BenchScaleTest, PickSelectsByScale) {
+  {
+    ScopedEnv env("USEP_BENCH_SCALE", "small");
+    EXPECT_EQ(Pick(5, 100), 5);
+    EXPECT_DOUBLE_EQ(PickDouble(0.5, 2.0), 0.5);
+  }
+  {
+    ScopedEnv env("USEP_BENCH_SCALE", "paper");
+    EXPECT_EQ(Pick(5, 100), 100);
+    EXPECT_DOUBLE_EQ(PickDouble(0.5, 2.0), 2.0);
+  }
+}
+
+TEST(ScaledDefaultConfigTest, SmallIsReducedPaperShape) {
+  ScopedEnv env("USEP_BENCH_SCALE", "small");
+  const GeneratorConfig config = ScaledDefaultConfig();
+  EXPECT_EQ(config.num_events, 50);
+  EXPECT_EQ(config.num_users, 500);
+  EXPECT_DOUBLE_EQ(config.capacity_mean, 10.0);
+  EXPECT_DOUBLE_EQ(config.budget_factor, 2.0);
+  EXPECT_DOUBLE_EQ(config.conflict_ratio, 0.25);
+}
+
+TEST(ScaledDefaultConfigTest, PaperMatchesTable7Bold) {
+  ScopedEnv env("USEP_BENCH_SCALE", "paper");
+  const GeneratorConfig config = ScaledDefaultConfig();
+  EXPECT_EQ(config.num_events, 100);
+  EXPECT_EQ(config.num_users, 5000);
+  EXPECT_DOUBLE_EQ(config.capacity_mean, 50.0);
+}
+
+TEST(MeasurePlannerTest, ReportsValidatedRun) {
+  const Instance instance = testing::MakeTable1Instance();
+  const MeasuredRun run = MeasurePlanner(DeDpoPlanner(), instance);
+  EXPECT_EQ(run.algorithm, "DeDPO");
+  EXPECT_TRUE(run.validated);
+  EXPECT_GT(run.utility, 0.0);
+  EXPECT_GT(run.assignments, 0);
+  EXPECT_GE(run.time_ms, 0.0);
+}
+
+TEST(FigureBenchTest, FinishWritesParsableCsv) {
+  ScopedEnv env("USEP_BENCH_SCALE", "small");
+  const Instance instance = testing::MakeTable1Instance();
+  FigureBench bench("bench_util_test_figure", "param", "test shape");
+  bench.RunPoint("a", instance, {PlannerKind::kDeGreedy});
+  MeasuredRun manual;
+  manual.algorithm = "Manual";
+  manual.utility = 1.5;
+  manual.validated = true;
+  bench.AddRun("b", manual);
+  EXPECT_EQ(bench.Finish(), 0);
+
+  std::ifstream file("bench_results/bench_util_test_figure.csv");
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  const auto rows = ParseCsv(content.str());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // Header + 2 runs.
+  EXPECT_EQ((*rows)[0][0], "figure");
+  EXPECT_EQ((*rows)[1][3], "DeGreedy");
+  EXPECT_EQ((*rows)[2][3], "Manual");
+  std::remove("bench_results/bench_util_test_figure.csv");
+}
+
+TEST(FigureBenchTest, InvalidRunFailsTheBinary) {
+  const Instance instance = testing::MakeTable1Instance();
+  FigureBench bench("bench_util_test_invalid", "param", "test shape");
+  MeasuredRun bad;
+  bad.algorithm = "Broken";
+  bad.validated = false;
+  bench.AddRun("x", bad);
+  EXPECT_EQ(bench.Finish(), 1);
+  std::remove("bench_results/bench_util_test_invalid.csv");
+}
+
+}  // namespace
+}  // namespace usep::bench

@@ -1,0 +1,104 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(CsvWriterTest, PlainFields) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+  EXPECT_EQ(writer.rows_written(), 1);
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithSeparators) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"a,b", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterTest, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter writer(&out, ';');
+  writer.WriteRow({"a;b", "c"});
+  EXPECT_EQ(out.str(), "\"a;b\";c\n");
+}
+
+TEST(ParseCsvTest, SimpleRows) {
+  const auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, MissingTrailingNewline) {
+  const auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvTest, QuotedFieldWithSeparatorAndNewline) {
+  const auto rows = ParseCsv("\"a,b\nnext\",c\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b\nnext", "c"}));
+}
+
+TEST(ParseCsvTest, DoubledQuotes) {
+  const auto rows = ParseCsv("\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  const auto rows = ParseCsv("a,,c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseCsvTest, CrLfLineEndings) {
+  const auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"never closed\n").ok());
+}
+
+TEST(ParseCsvTest, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with \"quote\"", "multi\nline"};
+  writer.WriteRow(original);
+  const auto rows = ParseCsv(out.str());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], original);
+}
+
+}  // namespace
+}  // namespace usep

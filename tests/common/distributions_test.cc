@@ -1,0 +1,118 @@
+#include "common/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+double SampleMean(const ScalarDistribution& dist, int n, uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += dist.Sample(rng);
+  return sum / n;
+}
+
+TEST(DistributionsTest, UniformStaysInRangeWithCorrectMean) {
+  const ScalarDistribution dist = ScalarDistribution::Uniform(2.0, 6.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 6.0);
+  }
+  EXPECT_NEAR(SampleMean(dist, 50000, 2), 4.0, 0.05);
+}
+
+TEST(DistributionsTest, NormalTruncatedToRange) {
+  const ScalarDistribution dist =
+      ScalarDistribution::Normal(0.5, 0.25, 0.0, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+  }
+  EXPECT_NEAR(SampleMean(dist, 50000, 4), 0.5, 0.01);
+}
+
+TEST(DistributionsTest, NormalWithTinyWindowClampsInsteadOfLooping) {
+  // Mean far outside [lo, hi]: every draw is rejected, then clamped.
+  const ScalarDistribution dist =
+      ScalarDistribution::Normal(100.0, 0.1, 0.0, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 1.0);
+  }
+}
+
+TEST(DistributionsTest, PowerLowExponentSkewsTowardLowerBound) {
+  // F(x) = x^0.5 on [0,1] has mean a/(a+1) = 1/3.
+  const ScalarDistribution dist = ScalarDistribution::Power(0.5, 0.0, 1.0);
+  EXPECT_NEAR(SampleMean(dist, 100000, 6), 1.0 / 3.0, 0.01);
+}
+
+TEST(DistributionsTest, PowerHighExponentSkewsTowardUpperBound) {
+  // F(x) = x^4 on [0,1] has mean 4/5.
+  const ScalarDistribution dist = ScalarDistribution::Power(4.0, 0.0, 1.0);
+  EXPECT_NEAR(SampleMean(dist, 100000, 7), 0.8, 0.01);
+}
+
+TEST(DistributionsTest, PowerRespectsShiftedRange) {
+  const ScalarDistribution dist = ScalarDistribution::Power(2.0, 10.0, 20.0);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, 10.0);
+    ASSERT_LE(x, 20.0);
+  }
+}
+
+TEST(DistributionsTest, ParseUniform) {
+  const StatusOr<ScalarDistribution> dist =
+      ScalarDistribution::Parse("uniform", 0.0, 1.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->kind(), DistributionKind::kUniform);
+}
+
+TEST(DistributionsTest, ParseNormalUsesPaperConvention) {
+  // Documented contract: mean = midpoint of the range, stddev = 0.25 * mean.
+  const StatusOr<ScalarDistribution> dist =
+      ScalarDistribution::Parse(" Normal ", 0.0, 1.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->kind(), DistributionKind::kNormal);
+  EXPECT_DOUBLE_EQ(dist->mean_param(), 0.5);
+  EXPECT_DOUBLE_EQ(dist->stddev_param(), 0.125);
+}
+
+TEST(DistributionsTest, ParsePowerWithExponent) {
+  const StatusOr<ScalarDistribution> dist =
+      ScalarDistribution::Parse("power:0.5", 0.0, 1.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->kind(), DistributionKind::kPower);
+  EXPECT_DOUBLE_EQ(dist->exponent(), 0.5);
+}
+
+TEST(DistributionsTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ScalarDistribution::Parse("zipf", 0.0, 1.0).ok());
+  EXPECT_FALSE(ScalarDistribution::Parse("power:", 0.0, 1.0).ok());
+  EXPECT_FALSE(ScalarDistribution::Parse("power:-1", 0.0, 1.0).ok());
+  EXPECT_FALSE(ScalarDistribution::Parse("power:abc", 0.0, 1.0).ok());
+}
+
+TEST(DistributionsTest, ToStringMentionsFamily) {
+  EXPECT_NE(ScalarDistribution::Uniform(0, 1).ToString().find("Uniform"),
+            std::string::npos);
+  EXPECT_NE(ScalarDistribution::Power(4, 0, 1).ToString().find("Power"),
+            std::string::npos);
+}
+
+TEST(DistributionsTest, KindNamesAreStable) {
+  EXPECT_STREQ(DistributionKindName(DistributionKind::kUniform), "uniform");
+  EXPECT_STREQ(DistributionKindName(DistributionKind::kNormal), "normal");
+  EXPECT_STREQ(DistributionKindName(DistributionKind::kPower), "power");
+}
+
+}  // namespace
+}  // namespace usep

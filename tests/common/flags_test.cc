@@ -1,0 +1,128 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyCommandLine) {
+  FlagSet flags("prog");
+  int64_t* count = flags.AddInt64("count", 7, "a count");
+  double* rate = flags.AddDouble("rate", 0.5, "a rate");
+  bool* verbose = flags.AddBool("verbose", false, "verbosity");
+  std::string* name = flags.AddString("name", "default", "a name");
+
+  Argv argv({"prog"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(*count, 7);
+  EXPECT_DOUBLE_EQ(*rate, 0.5);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "default");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags("prog");
+  int64_t* count = flags.AddInt64("count", 0, "");
+  std::string* name = flags.AddString("name", "", "");
+  Argv argv({"prog", "--count=42", "--name=alice"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(*count, 42);
+  EXPECT_EQ(*name, "alice");
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  FlagSet flags("prog");
+  double* rate = flags.AddDouble("rate", 0.0, "");
+  Argv argv({"prog", "--rate", "2.25"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_DOUBLE_EQ(*rate, 2.25);
+}
+
+TEST(FlagsTest, BareBoolFlagSetsTrue) {
+  FlagSet flags("prog");
+  bool* verbose = flags.AddBool("verbose", false, "");
+  Argv argv({"prog", "--verbose"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(FlagsTest, ExplicitBoolValue) {
+  FlagSet flags("prog");
+  bool* verbose = flags.AddBool("verbose", true, "");
+  Argv argv({"prog", "--verbose=false"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_FALSE(*verbose);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags("prog");
+  flags.AddBool("x", false, "");
+  Argv argv({"prog", "input.txt", "--x", "output.txt"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(flags.positional_args(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags("prog");
+  Argv argv({"prog", "--mystery=1"});
+  const Status status = flags.Parse(argv.argc(), argv.argv());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mystery"), std::string::npos);
+}
+
+TEST(FlagsTest, BadValueFails) {
+  FlagSet flags("prog");
+  flags.AddInt64("count", 0, "");
+  Argv argv({"prog", "--count=abc"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags("prog");
+  flags.AddInt64("count", 0, "");
+  Argv argv({"prog", "--count"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()).ok());
+}
+
+TEST(FlagsTest, HelpReturnsFailedPrecondition) {
+  FlagSet flags("prog");
+  flags.AddInt64("count", 3, "the count");
+  Argv argv({"prog", "--help"});
+  EXPECT_EQ(flags.Parse(argv.argc(), argv.argv()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FlagsTest, UsageStringListsFlagsAndDefaults) {
+  FlagSet flags("prog");
+  flags.AddInt64("count", 3, "the count");
+  flags.AddString("name", "bob", "the name");
+  const std::string usage = flags.UsageString();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("the count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+  EXPECT_NE(usage.find("default: bob"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, DuplicateRegistrationAborts) {
+  FlagSet flags("prog");
+  flags.AddInt64("count", 0, "");
+  EXPECT_DEATH(flags.AddBool("count", false, ""), "duplicate");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, InfoDoesNotAbort) {
+  USEP_LOG(Info) << "an informational message " << 42;
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingCheckContinues) {
+  USEP_CHECK(1 + 1 == 2) << "never printed";
+  USEP_CHECK_EQ(4, 4);
+  USEP_CHECK_NE(4, 5);
+  USEP_CHECK_LT(4, 5);
+  USEP_CHECK_LE(5, 5);
+  USEP_CHECK_GT(5, 4);
+  USEP_CHECK_GE(5, 5);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(USEP_CHECK(false) << "boom marker", "boom marker");
+}
+
+TEST(CheckDeathTest, FailingCheckEqPrintsBothValues) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(USEP_CHECK_EQ(lhs, rhs), "3 vs 7");
+}
+
+TEST(CheckDeathTest, FailingCheckLtAborts) {
+  EXPECT_DEATH(USEP_CHECK_LT(9, 2), "Check failed");
+}
+
+TEST(CheckTest, DcheckPassesWhenTrue) {
+  USEP_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,116 @@
+// This test links the usep_memhook library, so the counting operator
+// new/delete overrides are live for the whole binary (including gtest's own
+// allocations — hence the "delta" style assertions).
+
+#include "common/memhook.h"
+
+#include <cstddef>
+#include <thread>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(MemhookTest, HookIsActiveInThisBinary) {
+  EXPECT_TRUE(memhook::IsActive());
+}
+
+TEST(MemhookTest, AllocationMovesCurrentBytes) {
+  const size_t before = memhook::CurrentBytes();
+  auto block = std::make_unique<std::vector<char>>(1 << 20);
+  EXPECT_GE(memhook::CurrentBytes(), before + (1 << 20));
+  block.reset();
+  EXPECT_LT(memhook::CurrentBytes(), before + (1 << 20));
+}
+
+TEST(MemhookTest, PeakTracksHighWaterMark) {
+  memhook::ResetPeak();
+  const size_t baseline = memhook::PeakBytes();
+  {
+    std::vector<char> big(4 << 20);
+    EXPECT_GE(memhook::PeakBytes(), baseline + (4 << 20));
+  }
+  // Peak persists after the free...
+  EXPECT_GE(memhook::PeakBytes(), baseline + (4 << 20));
+  // ...until reset.
+  memhook::ResetPeak();
+  EXPECT_LT(memhook::PeakBytes(), baseline + (4 << 20));
+}
+
+TEST(MemhookTest, TotalAllocationsMonotone) {
+  // Direct operator-new calls: unlike `new int`, these cannot be elided by
+  // the optimizer, so the counter must move by exactly our allocations.
+  const size_t before = memhook::TotalAllocations();
+  for (int i = 0; i < 10; ++i) {
+    void* p = ::operator new(16);
+    ::operator delete(p);
+  }
+  EXPECT_GE(memhook::TotalAllocations(), before + 10);
+}
+
+TEST(MemhookTest, ArrayNewAccounted) {
+  const size_t before = memhook::CurrentBytes();
+  void* arr = ::operator new[](1 << 16);
+  EXPECT_GE(memhook::CurrentBytes(), before + (1 << 16));
+  ::operator delete[](arr);
+  EXPECT_LT(memhook::CurrentBytes(), before + (1 << 16));
+}
+
+struct alignas(64) OverAligned {
+  char data[192];
+};
+
+TEST(MemhookTest, OverAlignedAllocationRoundTrips) {
+  const size_t before = memhook::CurrentBytes();
+  OverAligned* p = new OverAligned;
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+  EXPECT_GE(memhook::CurrentBytes(), before + sizeof(OverAligned));
+  delete p;
+  EXPECT_LE(memhook::CurrentBytes(), before + sizeof(OverAligned));
+}
+
+TEST(MemhookTest, OverAlignedArrayRoundTrips) {
+  const size_t before = memhook::CurrentBytes();
+  OverAligned* arr = new OverAligned[8];
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(arr) % 64, 0u);
+  delete[] arr;
+  EXPECT_LE(memhook::CurrentBytes(), before + sizeof(OverAligned));
+}
+
+TEST(MemhookTest, CountersAreThreadSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kAllocationsPerThread = 5000;
+  constexpr size_t kBlock = 256;
+  const size_t allocations_before = memhook::TotalAllocations();
+  const size_t bytes_before = memhook::CurrentBytes();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kAllocationsPerThread; ++i) {
+        void* p = ::operator new(kBlock);
+        ::operator delete(p);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GE(memhook::TotalAllocations(),
+            allocations_before + kThreads * kAllocationsPerThread);
+  // Everything we allocated was freed; the thread objects themselves are
+  // gone too, so current usage is back near the baseline.
+  EXPECT_LE(memhook::CurrentBytes(), bytes_before + 64 * 1024);
+}
+
+TEST(MemhookTest, NothrowNewAccounted) {
+  const size_t before = memhook::CurrentBytes();
+  char* p = new (std::nothrow) char[1024];
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(memhook::CurrentBytes(), before + 1024);
+  delete[] p;
+}
+
+}  // namespace
+}  // namespace usep

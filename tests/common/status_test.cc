@@ -1,0 +1,91 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::InvalidArgument("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_EQ(status.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream out;
+  out << Status::Internal("oops");
+  EXPECT_EQ(out.str(), "Internal: oops");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  const std::string moved = *std::move(result);
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(StatusOrTest, AccessingErrorValueDies) {
+  StatusOr<int> result = Status::Internal("broken");
+  EXPECT_DEATH(result.value(), "broken");
+}
+
+Status FailsThenPropagates(bool fail) {
+  USEP_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::InvalidArgument("outer");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace usep

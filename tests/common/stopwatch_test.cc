@@ -1,0 +1,42 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch stopwatch;
+  const double first = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  double previous = first;
+  for (int i = 0; i < 100; ++i) {
+    const double now = stopwatch.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double seconds = stopwatch.ElapsedSeconds();
+  const double millis = stopwatch.ElapsedMillis();
+  const int64_t nanos = stopwatch.ElapsedNanos();
+  EXPECT_GE(millis, seconds * 1e3);  // Later reading, same clock.
+  EXPECT_GE(static_cast<double>(nanos), millis * 1e6 * 0.5);
+  EXPECT_GT(nanos, 0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i);
+  const double before = stopwatch.ElapsedSeconds();
+  stopwatch.Restart();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace usep

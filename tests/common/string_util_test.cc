@@ -1,0 +1,115 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, ConsecutiveDelimitersYieldEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, EmptyInputYieldsSingleEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" inner space kept "), "inner space kept");
+}
+
+TEST(AsciiToLowerTest, LowercasesOnlyLetters) {
+  EXPECT_EQ(AsciiToLower("DeDPO+RG 42"), "dedpo+rg 42");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("123", &value));
+  EXPECT_EQ(value, 123);
+  EXPECT_TRUE(ParseInt64("-45", &value));
+  EXPECT_EQ(value, -45);
+  EXPECT_TRUE(ParseInt64("  77  ", &value));
+  EXPECT_EQ(value, 77);
+  EXPECT_FALSE(ParseInt64("12x", &value));
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+  EXPECT_EQ(value, 77) << "failed parse must not clobber the output";
+}
+
+TEST(ParseInt32Test, RejectsOverflow) {
+  int32_t value = 0;
+  EXPECT_TRUE(ParseInt32("2147483647", &value));
+  EXPECT_EQ(value, 2147483647);
+  EXPECT_FALSE(ParseInt32("2147483648", &value));
+  EXPECT_FALSE(ParseInt32("-2147483649", &value));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5", &value));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &value));
+  EXPECT_DOUBLE_EQ(value, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("2.5x", &value));
+}
+
+TEST(ParseBoolTest, AcceptedSpellings) {
+  bool value = false;
+  for (const char* text : {"true", "1", "yes", "on", "TRUE", " Yes "}) {
+    value = false;
+    EXPECT_TRUE(ParseBool(text, &value)) << text;
+    EXPECT_TRUE(value) << text;
+  }
+  for (const char* text : {"false", "0", "no", "off", "False"}) {
+    value = true;
+    EXPECT_TRUE(ParseBool(text, &value)) << text;
+    EXPECT_FALSE(value) << text;
+  }
+  EXPECT_FALSE(ParseBool("maybe", &value));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_string(500, 'a');
+  EXPECT_EQ(StrFormat("%s", long_string.c_str()).size(), 500u);
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(HumanBytesTest, ScalesSuffixes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024), "5.0 MiB");
+  EXPECT_EQ(HumanBytes(3ull * 1024 * 1024 * 1024), "3.0 GiB");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,61 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23456"});
+  const std::string text = table.ToString();
+  // Every line has equal length.
+  size_t line_length = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find('\n', start);
+    const size_t length = end - start;
+    if (line_length == 0) line_length = length;
+    EXPECT_EQ(length, line_length);
+    start = end + 1;
+  }
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter table({"a", "b"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("| a"), std::string::npos);
+  // 3 rules + 1 header line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, AppendMergesRows) {
+  TablePrinter a({"h"});
+  a.AddRow({"1"});
+  TablePrinter b({"h"});
+  b.AddRow({"2"});
+  a.Append(b);
+  EXPECT_EQ(a.rows().size(), 2u);
+  EXPECT_EQ(a.rows()[1][0], "2");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TablePrinterDeathTest, AppendHeaderMismatchAborts) {
+  TablePrinter a({"x"});
+  TablePrinter b({"y"});
+  EXPECT_DEATH(a.Append(b), "mismatched");
+}
+
+TEST(TablePrinterDeathTest, EmptyHeaderAborts) {
+  EXPECT_DEATH(TablePrinter table({}), "Check failed");
+}
+
+}  // namespace
+}  // namespace usep

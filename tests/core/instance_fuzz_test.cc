@@ -1,0 +1,147 @@
+// Randomized structural checks of Instance's precomputed tables against
+// brute-force recomputation from first principles.
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class InstanceFuzzTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {
+ protected:
+  StatusOr<Instance> Make() const {
+    GeneratorConfig config = testing::MediumRandomConfig(std::get<0>(GetParam()));
+    config.num_events = 25;
+    config.num_users = 10;
+    config.conflict_ratio = std::get<1>(GetParam());
+    return GenerateSyntheticInstance(config);
+  }
+};
+
+TEST_P(InstanceFuzzTest, SortedOrderIsAPermutationSortedByEndTime) {
+  const StatusOr<Instance> instance = Make();
+  ASSERT_TRUE(instance.ok());
+  const std::vector<EventId>& sorted = instance->events_by_end_time();
+  ASSERT_EQ(sorted.size(), static_cast<size_t>(instance->num_events()));
+  std::vector<bool> seen(instance->num_events(), false);
+  for (size_t rank = 0; rank < sorted.size(); ++rank) {
+    ASSERT_FALSE(seen[sorted[rank]]) << "duplicate in sorted order";
+    seen[sorted[rank]] = true;
+    EXPECT_EQ(instance->SortedRank(sorted[rank]), static_cast<int>(rank));
+    if (rank > 0) {
+      EXPECT_LE(instance->event(sorted[rank - 1]).interval.end,
+                instance->event(sorted[rank]).interval.end);
+    }
+  }
+}
+
+TEST_P(InstanceFuzzTest, LastChainableRankMatchesBruteForce) {
+  const StatusOr<Instance> instance = Make();
+  ASSERT_TRUE(instance.ok());
+  const std::vector<EventId>& sorted = instance->events_by_end_time();
+  for (int i = 0; i < instance->num_events(); ++i) {
+    int expected = -1;
+    for (int l = 0; l < instance->num_events(); ++l) {
+      if (instance->event(sorted[l]).interval.end <=
+          instance->event(sorted[i]).interval.start) {
+        expected = std::max(expected, l);
+      }
+    }
+    EXPECT_EQ(instance->LastChainableRank(i), expected) << "rank " << i;
+  }
+}
+
+TEST_P(InstanceFuzzTest, CanFollowMatchesDefinition) {
+  const StatusOr<Instance> instance = Make();
+  ASSERT_TRUE(instance.ok());
+  for (EventId a = 0; a < instance->num_events(); ++a) {
+    for (EventId b = 0; b < instance->num_events(); ++b) {
+      bool expected =
+          a != b &&
+          instance->event(a).interval.CanPrecede(instance->event(b).interval);
+      if (expected &&
+          instance->conflict_policy() == ConflictPolicy::kTravelTimeAware) {
+        expected = instance->event(a).interval.end +
+                       instance->EventTravelCost(a, b) <=
+                   instance->event(b).interval.start;
+      }
+      EXPECT_EQ(instance->CanFollow(a, b), expected) << a << "->" << b;
+      EXPECT_EQ(IsInfiniteCost(instance->TransitionCost(a, b)), !expected);
+    }
+  }
+}
+
+TEST_P(InstanceFuzzTest, ConflictsAreSymmetricAndMatchCanFollow) {
+  const StatusOr<Instance> instance = Make();
+  ASSERT_TRUE(instance.ok());
+  for (EventId a = 0; a < instance->num_events(); ++a) {
+    EXPECT_TRUE(instance->ConflictingPair(a, a))
+        << "an event always conflicts with itself";
+    for (EventId b = a + 1; b < instance->num_events(); ++b) {
+      EXPECT_EQ(instance->ConflictingPair(a, b),
+                instance->ConflictingPair(b, a));
+      EXPECT_EQ(instance->ConflictingPair(a, b),
+                !instance->CanFollow(a, b) && !instance->CanFollow(b, a));
+    }
+  }
+}
+
+TEST_P(InstanceFuzzTest, EventCostsMatchTheCostModel) {
+  const StatusOr<Instance> instance = Make();
+  ASSERT_TRUE(instance.ok());
+  const CostModel& model = instance->cost_model();
+  for (EventId a = 0; a < instance->num_events(); ++a) {
+    for (EventId b = 0; b < instance->num_events(); ++b) {
+      EXPECT_EQ(instance->EventTravelCost(a, b), model.EventToEvent(a, b));
+    }
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      EXPECT_EQ(instance->UserToEventCost(u, a), model.UserToEvent(u, a));
+      EXPECT_EQ(instance->EventToUserCost(a, u), model.EventToUser(a, u));
+      EXPECT_EQ(instance->RoundTripCost(u, a),
+                model.UserToEvent(u, a) + model.EventToUser(a, u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRatios, InstanceFuzzTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 6),
+                       ::testing::Values(0.0, 0.3, 0.8)));
+
+// Travel-aware instances exercise the policy branch of the fuzz checks.
+class TravelAwareFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TravelAwareFuzzTest, CanFollowMatchesDefinition) {
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam());
+  config.num_events = 20;
+  config.num_users = 5;
+  config.conflict_policy = ConflictPolicy::kTravelTimeAware;
+  config.grid_extent = 300;  // Distances comparable to time gaps.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  int gated_by_travel = 0;
+  for (EventId a = 0; a < instance->num_events(); ++a) {
+    for (EventId b = 0; b < instance->num_events(); ++b) {
+      if (a == b) continue;
+      const bool time_ok =
+          instance->event(a).interval.CanPrecede(instance->event(b).interval);
+      const bool travel_ok =
+          time_ok && instance->event(a).interval.end +
+                             instance->EventTravelCost(a, b) <=
+                         instance->event(b).interval.start;
+      EXPECT_EQ(instance->CanFollow(a, b), travel_ok);
+      if (time_ok && !travel_ok) ++gated_by_travel;
+    }
+  }
+  EXPECT_GT(gated_by_travel, 0)
+      << "the test geometry should gate at least one pair by travel time";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TravelAwareFuzzTest,
+                         ::testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace usep

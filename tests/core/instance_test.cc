@@ -1,0 +1,249 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+InstanceBuilder TwoEventBuilder() {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({20, 30}, 1);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {5, 0}}, {{1, 1}});
+  return builder;
+}
+
+TEST(InstanceBuilderTest, BuildsValidInstance) {
+  StatusOr<Instance> instance = TwoEventBuilder().Build();
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_events(), 2);
+  EXPECT_EQ(instance->num_users(), 1);
+  EXPECT_DOUBLE_EQ(instance->utility(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(instance->utility(1, 0), 0.0);
+}
+
+TEST(InstanceBuilderTest, RejectsEmptyInterval) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.AddEvent({5, 5}, 1);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {5, 0}, {0, 0}},
+                          {{1, 1}});
+  const StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_FALSE(instance.ok());
+  EXPECT_NE(instance.status().message().find("interval"), std::string::npos);
+}
+
+TEST(InstanceBuilderTest, RejectsInvertedInterval) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.AddEvent({10, 5}, 1);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {5, 0}, {0, 0}},
+                          {{1, 1}});
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(InstanceBuilderTest, RejectsNonPositiveCapacity) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.AddEvent({40, 50}, 0);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {5, 0}, {0, 0}},
+                          {{1, 1}});
+  const StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_FALSE(instance.ok());
+  EXPECT_NE(instance.status().message().find("capacity"), std::string::npos);
+}
+
+TEST(InstanceBuilderTest, RejectsNegativeBudget) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.AddUser(-1);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {5, 0}},
+                          {{1, 1}, {2, 2}});
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(InstanceBuilderTest, RejectsMissingCostModel) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(5);
+  const StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InstanceBuilderTest, RejectsMismatchedCostModelDimensions) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 1}});
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(InstanceBuilderTest, RejectsUtilityOutOfRange) {
+  {
+    InstanceBuilder builder = TwoEventBuilder();
+    builder.SetUtility(0, 0, 1.5);
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+  {
+    InstanceBuilder builder = TwoEventBuilder();
+    builder.SetUtility(1, 0, -0.1);
+    EXPECT_FALSE(std::move(builder).Build().ok());
+  }
+}
+
+TEST(InstanceBuilderTest, RejectsUtilityIndexOutOfRange) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.SetUtility(5, 0, 0.5);
+  const StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(InstanceBuilderTest, RejectsWrongBulkUtilitySize) {
+  InstanceBuilder builder = TwoEventBuilder();
+  builder.SetAllUtilities({0.1, 0.2, 0.3});  // Want 2*1 = 2 entries.
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(InstanceBuilderTest, BulkUtilitiesAreRowMajorByEvent) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({20, 30}, 1);
+  builder.AddUser(10);
+  builder.AddUser(10);
+  builder.SetAllUtilities({0.1, 0.2, 0.3, 0.4});
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {1, 0}},
+                          {{0, 1}, {1, 1}});
+  StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_TRUE(instance.ok());
+  EXPECT_DOUBLE_EQ(instance->utility(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(instance->utility(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(instance->utility(1, 0), 0.3);
+  EXPECT_DOUBLE_EQ(instance->utility(1, 1), 0.4);
+}
+
+TEST(InstanceTest, EventCostsComeFromModel) {
+  const Instance instance = *TwoEventBuilder().Build();
+  EXPECT_EQ(instance.EventTravelCost(0, 1), 5);
+  EXPECT_EQ(instance.UserToEventCost(0, 0), 2);
+  EXPECT_EQ(instance.EventToUserCost(1, 0), 5);
+  EXPECT_EQ(instance.RoundTripCost(0, 1), 10);
+}
+
+TEST(InstanceTest, CanFollowRespectsTimeOrder) {
+  const Instance instance = *TwoEventBuilder().Build();
+  EXPECT_TRUE(instance.CanFollow(0, 1));
+  EXPECT_FALSE(instance.CanFollow(1, 0));
+  EXPECT_FALSE(instance.CanFollow(0, 0)) << "an event cannot follow itself";
+}
+
+TEST(InstanceTest, TransitionCostInfiniteWhenNotChainable) {
+  const Instance instance = *TwoEventBuilder().Build();
+  EXPECT_EQ(instance.TransitionCost(0, 1), 5);
+  EXPECT_TRUE(IsInfiniteCost(instance.TransitionCost(1, 0)));
+}
+
+TEST(InstanceTest, TravelTimeAwarePolicyGatesTightGaps) {
+  // Gap of 10 between the events; venues 5 apart (feasible) vs 50 apart
+  // (travel cannot make it).
+  for (const int64_t distance : {5, 50}) {
+    InstanceBuilder builder;
+    builder.AddEvent({0, 10}, 1);
+    builder.AddEvent({20, 30}, 1);
+    builder.AddUser(1000);
+    builder.SetUtility(0, 0, 0.5);
+    builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {distance, 0}},
+                            {{0, 0}});
+    builder.SetConflictPolicy(ConflictPolicy::kTravelTimeAware);
+    const Instance instance = *std::move(builder).Build();
+    EXPECT_EQ(instance.CanFollow(0, 1), distance <= 10) << distance;
+    EXPECT_FALSE(instance.CanFollow(1, 0));
+    EXPECT_EQ(instance.ConflictingPair(0, 1), distance > 10);
+  }
+}
+
+TEST(InstanceTest, SortedOrderIsByEndTime) {
+  const Instance instance = testing::MakeTable1Instance();
+  // Ends: v1=960, v2=1080, v3=840, v4=1140 -> order v3, v1, v2, v4.
+  EXPECT_EQ(instance.events_by_end_time(),
+            (std::vector<EventId>{2, 0, 1, 3}));
+  EXPECT_EQ(instance.SortedRank(2), 0);
+  EXPECT_EQ(instance.SortedRank(0), 1);
+  EXPECT_EQ(instance.SortedRank(1), 2);
+  EXPECT_EQ(instance.SortedRank(3), 3);
+}
+
+TEST(InstanceTest, SortedOrderBreaksTiesByStartThenId) {
+  InstanceBuilder builder;
+  builder.AddEvent({5, 20}, 1);
+  builder.AddEvent({0, 20}, 1);
+  builder.AddEvent({0, 20}, 1);
+  builder.AddUser(10);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {0, 0}, {0, 0}},
+                          {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  EXPECT_EQ(instance.events_by_end_time(), (std::vector<EventId>{1, 2, 0}));
+}
+
+TEST(InstanceTest, LastChainableRankMatchesDefinition) {
+  const Instance instance = testing::MakeTable1Instance();
+  // Sorted: v3 [780,840], v1 [780,960], v2 [900,1080], v4 [1080,1140].
+  // l_0: no event ends <= 780 -> -1.
+  EXPECT_EQ(instance.LastChainableRank(0), -1);
+  // l_1 (v1, starts 780): none end <= 780 -> -1.
+  EXPECT_EQ(instance.LastChainableRank(1), -1);
+  // l_2 (v2, starts 900): v3 ends 840 <= 900 -> rank 0.
+  EXPECT_EQ(instance.LastChainableRank(2), 0);
+  // l_3 (v4, starts 1080): v2 ends 1080 -> rank 2.
+  EXPECT_EQ(instance.LastChainableRank(3), 2);
+}
+
+TEST(InstanceTest, MeasuredConflictRatioOnTable1) {
+  const Instance instance = testing::MakeTable1Instance();
+  // Conflicting pairs: (v1,v2) and (v1,v3) out of 6.
+  EXPECT_TRUE(instance.ConflictingPair(0, 1));
+  EXPECT_TRUE(instance.ConflictingPair(0, 2));
+  EXPECT_FALSE(instance.ConflictingPair(0, 3));
+  EXPECT_FALSE(instance.ConflictingPair(1, 2));
+  EXPECT_FALSE(instance.ConflictingPair(1, 3));
+  EXPECT_FALSE(instance.ConflictingPair(2, 3));
+  EXPECT_NEAR(instance.MeasuredConflictRatio(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(InstanceTest, ConflictRatioDegenerateCases) {
+  const Instance instance = *TwoEventBuilder().Build();
+  EXPECT_EQ(instance.MeasuredConflictRatio(), 0.0);
+
+  InstanceBuilder single;
+  single.AddEvent({0, 10}, 1);
+  single.AddUser(5);
+  single.SetUtility(0, 0, 0.5);
+  single.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{0, 0}});
+  EXPECT_EQ((*std::move(single).Build()).MeasuredConflictRatio(), 0.0);
+}
+
+TEST(InstanceTest, CopyIsIndependentView) {
+  const Instance original = testing::MakeTable1Instance();
+  const Instance copy = original;  // NOLINT: copy on purpose.
+  EXPECT_EQ(copy.num_events(), original.num_events());
+  EXPECT_EQ(copy.EventTravelCost(0, 1), original.EventTravelCost(0, 1));
+  EXPECT_EQ(copy.events_by_end_time(), original.events_by_end_time());
+}
+
+TEST(InstanceTest, DebugSummaryMentionsDimensions) {
+  const Instance instance = testing::MakeTable1Instance();
+  const std::string summary = instance.DebugSummary();
+  EXPECT_NE(summary.find("|V|=4"), std::string::npos);
+  EXPECT_NE(summary.find("|U|=5"), std::string::npos);
+}
+
+TEST(InstanceTest, ApproxInputBytesIsPositiveAndGrows) {
+  const Instance small = *TwoEventBuilder().Build();
+  const Instance large = testing::MakeTable1Instance();
+  EXPECT_GT(small.ApproxInputBytes(), 0u);
+  EXPECT_GT(large.ApproxInputBytes(), small.ApproxInputBytes());
+}
+
+}  // namespace
+}  // namespace usep

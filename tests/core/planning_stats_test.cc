@@ -1,0 +1,122 @@
+#include "core/planning_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "core/instance_builder.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(PlanningStatsTest, EmptyPlanning) {
+  const Instance instance = testing::MakeTable1Instance();
+  const Planning planning(instance);
+  const PlanningStats stats = ComputePlanningStats(instance, planning);
+  EXPECT_EQ(stats.num_users, 5);
+  EXPECT_EQ(stats.num_events, 4);
+  EXPECT_EQ(stats.users_with_plans, 0);
+  EXPECT_EQ(stats.total_assignments, 0);
+  EXPECT_DOUBLE_EQ(stats.total_utility, 0.0);
+  EXPECT_DOUBLE_EQ(stats.seat_fill_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_schedule_size, 0.0);
+  EXPECT_DOUBLE_EQ(stats.utility_gini, 0.0);
+}
+
+TEST(PlanningStatsTest, SingleAssignment) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));  // mu = 0.9.
+  const PlanningStats stats = ComputePlanningStats(instance, planning);
+  EXPECT_EQ(stats.users_with_plans, 1);
+  EXPECT_EQ(stats.total_assignments, 1);
+  EXPECT_DOUBLE_EQ(stats.total_utility, 0.9);
+  EXPECT_DOUBLE_EQ(stats.mean_user_utility, 0.9 / 5);
+  EXPECT_DOUBLE_EQ(stats.min_planned_user_utility, 0.9);
+  EXPECT_DOUBLE_EQ(stats.max_user_utility, 0.9);
+  EXPECT_EQ(stats.max_schedule_size, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_schedule_size, 1.0);
+  // Seats: min(c_v, |U|) = 1 + 3 + 4 + 2 = 10.
+  EXPECT_DOUBLE_EQ(stats.seat_fill_rate, 0.1);
+  EXPECT_EQ(stats.events_with_attendees, 1);
+  EXPECT_EQ(stats.events_at_capacity, 0);
+  // One user has everything: Gini = 1 - 1/n = 0.8 for n = 5.
+  EXPECT_NEAR(stats.utility_gini, 0.8, 1e-9);
+}
+
+TEST(PlanningStatsTest, BudgetUtilization) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+  const PlanningStats stats = ComputePlanningStats(instance, planning);
+  // u3 at (9,7), v3 at (3,7): round trip 12 of budget 51.
+  EXPECT_NEAR(stats.mean_budget_utilization, 12.0 / 51.0, 1e-9);
+}
+
+TEST(PlanningStatsTest, EvenUtilitiesHaveZeroGini) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 2);
+  builder.AddUser(100);
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetUtility(0, 1, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 0}, {0, 1}});
+  const Instance instance = *std::move(builder).Build();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(0, 1));
+  const PlanningStats stats = ComputePlanningStats(instance, planning);
+  EXPECT_NEAR(stats.utility_gini, 0.0, 1e-9);
+  EXPECT_EQ(stats.events_at_capacity, 1);
+  EXPECT_DOUBLE_EQ(stats.seat_fill_rate, 1.0);
+}
+
+TEST(PlanningStatsTest, AgreesWithPlanningCaches) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(11));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*instance);
+  const PlanningStats stats =
+      ComputePlanningStats(*instance, result.planning);
+  EXPECT_NEAR(stats.total_utility, result.planning.total_utility(), 1e-9);
+  EXPECT_EQ(stats.total_assignments, result.planning.total_assignments());
+  EXPECT_GE(stats.utility_gini, 0.0);
+  EXPECT_LE(stats.utility_gini, 1.0);
+  EXPECT_GE(stats.mean_budget_utilization, 0.0);
+  EXPECT_LE(stats.mean_budget_utilization, 1.0 + 1e-9);
+}
+
+TEST(PlanningStatsTest, ToStringMentionsHeadlineNumbers) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+  const std::string text =
+      ComputePlanningStats(instance, planning).ToString();
+  EXPECT_NE(text.find("Omega=0.90"), std::string::npos);
+  EXPECT_NE(text.find("planned_users=1/5"), std::string::npos);
+}
+
+TEST(ScheduleSizeHistogramTest, CountsUsersPerSize) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 0));  // u1: v3.
+  ASSERT_TRUE(planning.TryAssign(1, 0));  // u1: v3, v2.
+  ASSERT_TRUE(planning.TryAssign(2, 2));  // u3: v3.
+  const std::vector<int> histogram = ScheduleSizeHistogram(planning);
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 3);
+  EXPECT_EQ(histogram[1], 1);
+  EXPECT_EQ(histogram[2], 1);
+}
+
+TEST(ScheduleSizeHistogramTest, EmptyPlanning) {
+  const Instance instance = testing::MakeTable1Instance();
+  const Planning planning(instance);
+  const std::vector<int> histogram = ScheduleSizeHistogram(planning);
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0], 5);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,131 @@
+#include "core/planning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "core/objective.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(PlanningTest, StartsEmpty) {
+  const Instance instance = testing::MakeTable1Instance();
+  const Planning planning(instance);
+  EXPECT_EQ(planning.num_users(), 5);
+  EXPECT_EQ(planning.total_assignments(), 0);
+  EXPECT_DOUBLE_EQ(planning.total_utility(), 0.0);
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    EXPECT_EQ(planning.assigned_count(v), 0);
+    EXPECT_EQ(planning.remaining_capacity(v), instance.event(v).capacity);
+  }
+}
+
+TEST(PlanningTest, AssignUpdatesBookkeeping) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(/*v=*/2, /*u=*/2));  // v3 to u3, mu = 0.9.
+  EXPECT_EQ(planning.assigned_count(2), 1);
+  EXPECT_EQ(planning.total_assignments(), 1);
+  EXPECT_DOUBLE_EQ(planning.total_utility(), 0.9);
+  EXPECT_TRUE(planning.schedule(2).Contains(2));
+  EXPECT_DOUBLE_EQ(TotalUtility(instance, planning), 0.9);
+}
+
+TEST(PlanningTest, CapacityConstraintEnforced) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  // v1 (event 0) has capacity 1.
+  ASSERT_TRUE(planning.TryAssign(0, 1));
+  EXPECT_TRUE(planning.EventFull(0));
+  EXPECT_FALSE(planning.TryAssign(0, 2)) << "capacity 1 already used";
+  EXPECT_EQ(planning.remaining_capacity(0), 0);
+}
+
+TEST(PlanningTest, UtilityConstraintEnforced) {
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  Planning planning(instance);
+  // mu(event 1, user 1) == 0: must never be arranged.
+  EXPECT_FALSE(planning.TryAssign(1, 1));
+}
+
+TEST(PlanningTest, BudgetConstraintEnforced) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  // u2 (user 1, budget 29) at (10,18): v3 (event 2) at (3,7) is distance
+  // 18, round trip 36 > 29 -> rejected.  v1 (event 0) at (4,11) is distance
+  // 13, round trip 26 <= 29 -> accepted.
+  EXPECT_FALSE(planning.TryAssign(2, 1));
+  EXPECT_TRUE(planning.TryAssign(0, 1));
+}
+
+TEST(PlanningTest, TimeConflictEnforcedAcrossAssignments) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  // v1 [780,960] conflicts with v2 [900,1080] for the same user.
+  ASSERT_TRUE(planning.TryAssign(0, 2));
+  EXPECT_FALSE(planning.TryAssign(1, 2));
+  // A different user can still take v2.
+  EXPECT_TRUE(planning.TryAssign(1, 0));
+}
+
+TEST(PlanningTest, DuplicateAssignmentRejected) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 0));
+  EXPECT_FALSE(planning.TryAssign(2, 0));
+}
+
+TEST(PlanningTest, UnassignRollsEverythingBack) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+  ASSERT_TRUE(planning.TryAssign(1, 2));
+  const double utility_before = planning.total_utility();
+
+  EXPECT_TRUE(planning.Unassign(2, 2));
+  EXPECT_EQ(planning.assigned_count(2), 0);
+  EXPECT_EQ(planning.total_assignments(), 1);
+  EXPECT_DOUBLE_EQ(planning.total_utility(),
+                   utility_before - instance.utility(2, 2));
+  EXPECT_FALSE(planning.Unassign(2, 2)) << "not assigned anymore";
+
+  // The freed capacity can be reused.
+  EXPECT_TRUE(planning.TryAssign(2, 0));
+}
+
+TEST(PlanningTest, CheckAssignDoesNotMutate) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  const auto insertion = planning.CheckAssign(2, 2);
+  ASSERT_TRUE(insertion.has_value());
+  EXPECT_EQ(planning.total_assignments(), 0);
+  EXPECT_EQ(planning.assigned_count(2), 0);
+}
+
+TEST(PlanningTest, MultiEventScheduleBudgetAccumulates) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  // u2 (user 1, budget 29): v1 round trip is 26.  Appending v4 would add
+  // cost(v1,v4)+cost(v4,u2)-cost(v1,u2) = 7+12-13 = 6 -> total 32 > 29.
+  ASSERT_TRUE(planning.TryAssign(0, 1));
+  EXPECT_FALSE(planning.TryAssign(3, 1));
+}
+
+TEST(PlanningTest, ToStringShowsNonEmptySchedules) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 0));
+  const std::string text = planning.ToString();
+  EXPECT_NE(text.find("S_u0"), std::string::npos);
+  EXPECT_EQ(text.find("S_u4"), std::string::npos) << "empty schedules hidden";
+}
+
+TEST(ObjectiveTest, ScheduleUtilityHelper) {
+  const Instance instance = testing::MakeTable1Instance();
+  EXPECT_DOUBLE_EQ(ScheduleUtility(instance, 0, {2, 1}), 0.6 + 0.5);
+  EXPECT_DOUBLE_EQ(ScheduleUtility(instance, 0, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,127 @@
+// Randomized stress of Schedule's incremental bookkeeping: arbitrary
+// interleavings of insertions and removals must keep the cached route cost
+// equal to a from-scratch recomputation, keep events in time order, and
+// keep neighbors chainable.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/schedule.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+void ExpectScheduleInvariants(const Instance& instance,
+                              const Schedule& schedule) {
+  // Cached cost matches recomputation.
+  EXPECT_EQ(schedule.route_cost(), schedule.ComputeRouteCost(instance));
+  // Time order and chainability.
+  for (int i = 0; i + 1 < schedule.size(); ++i) {
+    const EventId a = schedule.events()[i];
+    const EventId b = schedule.events()[i + 1];
+    EXPECT_TRUE(instance.CanFollow(a, b));
+    EXPECT_LT(instance.SortedRank(a), instance.SortedRank(b));
+  }
+  // No duplicates.
+  std::set<EventId> unique(schedule.events().begin(),
+                           schedule.events().end());
+  EXPECT_EQ(static_cast<int>(unique.size()), schedule.size());
+}
+
+class ScheduleFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleFuzzTest, RandomInsertRemoveKeepsInvariants) {
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam());
+  config.num_events = 30;
+  config.num_users = 4;
+  config.conflict_ratio = 0.4;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  Rng rng(GetParam() * 7919 + 13);
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    Schedule schedule(u);
+    for (int step = 0; step < 300; ++step) {
+      const EventId v =
+          static_cast<EventId>(rng.UniformInt(0, instance->num_events() - 1));
+      if (rng.Bernoulli(0.65)) {
+        const bool inserted = schedule.TryInsert(*instance, v);
+        if (inserted) {
+          EXPECT_TRUE(schedule.Contains(v));
+        }
+      } else if (!schedule.empty()) {
+        if (rng.Bernoulli(0.5)) {
+          schedule.Remove(*instance, v);
+        } else {
+          schedule.RemoveAt(
+              *instance,
+              static_cast<int>(rng.UniformInt(0, schedule.size() - 1)));
+        }
+      }
+      ExpectScheduleInvariants(*instance, schedule);
+    }
+  }
+}
+
+TEST_P(ScheduleFuzzTest, InsertionOrderDoesNotMatter) {
+  // Any permutation of a feasible event set builds the same schedule.
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam() + 500);
+  config.num_events = 12;
+  config.num_users = 2;
+  config.conflict_ratio = 0.0;  // All disjoint: any subset is time-feasible.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  std::vector<EventId> events(instance->num_events());
+  for (EventId v = 0; v < instance->num_events(); ++v) events[v] = v;
+
+  Schedule reference(0);
+  for (const EventId v : events) {
+    ASSERT_TRUE(reference.TryInsert(*instance, v));
+  }
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<EventId> shuffled = events;
+    for (int i = static_cast<int>(shuffled.size()) - 1; i > 0; --i) {
+      std::swap(shuffled[i], shuffled[rng.UniformInt(0, i)]);
+    }
+    Schedule schedule(0);
+    for (const EventId v : shuffled) {
+      ASSERT_TRUE(schedule.TryInsert(*instance, v));
+    }
+    EXPECT_EQ(schedule.events(), reference.events());
+    EXPECT_EQ(schedule.route_cost(), reference.route_cost());
+  }
+}
+
+TEST_P(ScheduleFuzzTest, IncCostsAreNonNegativeUnderMetricCosts) {
+  // Triangle inequality => Equation (3) can never be negative.
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 900));
+  ASSERT_TRUE(instance.ok());
+  Rng rng(GetParam() + 1);
+  Schedule schedule(0);
+  for (int step = 0; step < 200; ++step) {
+    const EventId v =
+        static_cast<EventId>(rng.UniformInt(0, instance->num_events() - 1));
+    const auto insertion = schedule.FindInsertion(*instance, v);
+    if (insertion.has_value()) {
+      EXPECT_GE(insertion->inc_cost, 0) << "event " << v;
+      if (rng.Bernoulli(0.5) && !schedule.Contains(v)) {
+        schedule.Insert(*insertion, v);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzzTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace usep

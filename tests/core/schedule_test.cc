@@ -1,0 +1,212 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Three disjoint events on a line, one user at the origin.
+// Locations: e0 at x=2, e1 at x=6, e2 at x=10; user at x=0.
+Instance MakeLineInstance(Cost budget = 1000) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 3);
+  builder.AddEvent({20, 30}, 3);
+  builder.AddEvent({40, 50}, 3);
+  builder.AddUser(budget);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetUtility(2, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan,
+                          {{2, 0}, {6, 0}, {10, 0}}, {{0, 0}});
+  return *std::move(builder).Build();
+}
+
+TEST(ScheduleTest, EmptyScheduleHasZeroCost) {
+  const Schedule schedule(0);
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.route_cost(), 0);
+  EXPECT_EQ(schedule.size(), 0);
+}
+
+TEST(ScheduleTest, FirstInsertionCostsRoundTrip) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  const auto insertion = schedule.FindInsertion(instance, 1);
+  ASSERT_TRUE(insertion.has_value());
+  EXPECT_EQ(insertion->position, 0);
+  EXPECT_EQ(insertion->inc_cost, 12);  // 6 out + 6 back.
+  schedule.Insert(*insertion, 1);
+  EXPECT_EQ(schedule.route_cost(), 12);
+  EXPECT_EQ(schedule.events(), (std::vector<EventId>{1}));
+}
+
+TEST(ScheduleTest, PrependUsesHeadFormula) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 1));  // Route: 0->6->0 = 12.
+  // Inserting e0 (x=2) before e1: cost(u,e0) + cost(e0,e1) - cost(u,e1)
+  // = 2 + 4 - 6 = 0 extra on the way out.
+  const auto insertion = schedule.FindInsertion(instance, 0);
+  ASSERT_TRUE(insertion.has_value());
+  EXPECT_EQ(insertion->position, 0);
+  EXPECT_EQ(insertion->inc_cost, 0);
+  schedule.Insert(*insertion, 0);
+  EXPECT_EQ(schedule.events(), (std::vector<EventId>{0, 1}));
+  EXPECT_EQ(schedule.route_cost(), 12);
+  EXPECT_EQ(schedule.ComputeRouteCost(instance), 12);
+}
+
+TEST(ScheduleTest, AppendUsesTailFormula) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));  // Route 0->2->0 = 4.
+  // Appending e2 (x=10): cost(e0,e2) + cost(e2,u) - cost(e0,u)
+  // = 8 + 10 - 2 = 16.
+  const auto insertion = schedule.FindInsertion(instance, 2);
+  ASSERT_TRUE(insertion.has_value());
+  EXPECT_EQ(insertion->position, 1);
+  EXPECT_EQ(insertion->inc_cost, 16);
+  schedule.Insert(*insertion, 2);
+  EXPECT_EQ(schedule.route_cost(), 20);
+  EXPECT_EQ(schedule.ComputeRouteCost(instance), 20);
+}
+
+TEST(ScheduleTest, MiddleInsertionUsesDetourFormula) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  // Inserting e1 between e0 and e2: 4 + 4 - 8 = 0 (it is on the way).
+  const auto insertion = schedule.FindInsertion(instance, 1);
+  ASSERT_TRUE(insertion.has_value());
+  EXPECT_EQ(insertion->position, 1);
+  EXPECT_EQ(insertion->inc_cost, 0);
+  schedule.Insert(*insertion, 1);
+  EXPECT_EQ(schedule.events(), (std::vector<EventId>{0, 1, 2}));
+  EXPECT_EQ(schedule.route_cost(), schedule.ComputeRouteCost(instance));
+}
+
+TEST(ScheduleTest, DetourOffTheLineCostsExtra) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({20, 30}, 1);
+  builder.AddEvent({40, 50}, 1);
+  builder.AddUser(1000);
+  for (EventId v = 0; v < 3; ++v) builder.SetUtility(v, 0, 0.5);
+  // e1 sits 5 off the line between e0 and e2.
+  builder.SetMetricLayout(MetricKind::kManhattan,
+                          {{2, 0}, {6, 5}, {10, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  const auto insertion = schedule.FindInsertion(instance, 1);
+  ASSERT_TRUE(insertion.has_value());
+  // cost(e0,e1)=9, cost(e1,e2)=9, cost(e0,e2)=8 -> inc = 10.
+  EXPECT_EQ(insertion->inc_cost, 10);
+}
+
+TEST(ScheduleTest, OverlappingEventHasNoInsertion) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({5, 15}, 1);  // Overlaps e0.
+  builder.AddUser(100);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {1, 0}}, {{0, 0}});
+  const Instance instance = *std::move(builder).Build();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  EXPECT_FALSE(schedule.FindInsertion(instance, 1).has_value());
+  EXPECT_FALSE(schedule.TryInsert(instance, 1));
+}
+
+TEST(ScheduleTest, DuplicateInsertIsRejectedByTimeConflict) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 1));
+  EXPECT_FALSE(schedule.TryInsert(instance, 1));
+}
+
+TEST(ScheduleTest, TravelAwareInsertionRejectsTightGap) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddEvent({20, 30}, 1);
+  builder.AddUser(1000);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}, {50, 0}}, {{0, 0}});
+  builder.SetConflictPolicy(ConflictPolicy::kTravelTimeAware);
+  const Instance instance = *std::move(builder).Build();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  // 50 distance into a 10-minute gap: infeasible under the policy.
+  EXPECT_FALSE(schedule.TryInsert(instance, 1));
+}
+
+TEST(ScheduleTest, ContainsFindsArrangedEvents) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  EXPECT_TRUE(schedule.Contains(2));
+  EXPECT_FALSE(schedule.Contains(0));
+}
+
+TEST(ScheduleTest, RemoveRestoresRouteCost) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.TryInsert(instance, 1));
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  EXPECT_EQ(schedule.route_cost(), 20);  // 0->2->6->10->0.
+
+  EXPECT_TRUE(schedule.Remove(instance, 1));
+  EXPECT_EQ(schedule.events(), (std::vector<EventId>{0, 2}));
+  EXPECT_EQ(schedule.route_cost(), 20);  // e1 was on the way.
+
+  EXPECT_TRUE(schedule.Remove(instance, 2));
+  EXPECT_EQ(schedule.route_cost(), 4);  // Only e0 remains.
+
+  EXPECT_FALSE(schedule.Remove(instance, 2)) << "already removed";
+}
+
+TEST(ScheduleTest, RemoveLastEventGivesEmptySchedule) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.Remove(instance, 0));
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.route_cost(), 0);
+}
+
+TEST(ScheduleTest, TotalUtilitySumsArrangedEvents) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  EXPECT_DOUBLE_EQ(schedule.TotalUtility(instance), 1.0);
+}
+
+TEST(ScheduleTest, InsertionKeepsTimeOrderRegardlessOfInsertSequence) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 2));
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  ASSERT_TRUE(schedule.TryInsert(instance, 1));
+  EXPECT_EQ(schedule.events(), (std::vector<EventId>{0, 1, 2}));
+}
+
+TEST(ScheduleTest, ToStringListsEvents) {
+  const Instance instance = MakeLineInstance();
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(instance, 0));
+  const std::string text = schedule.ToString();
+  EXPECT_NE(text.find("v0"), std::string::npos);
+  EXPECT_NE(text.find("route cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace usep

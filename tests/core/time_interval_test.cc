@@ -1,0 +1,57 @@
+#include "core/time_interval.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(TimeIntervalTest, CanPrecedeStrictGap) {
+  const TimeInterval a{0, 10};
+  const TimeInterval b{20, 30};
+  EXPECT_TRUE(a.CanPrecede(b));
+  EXPECT_FALSE(b.CanPrecede(a));
+}
+
+TEST(TimeIntervalTest, TouchingBoundaryIsAllowed) {
+  // Definition 1 uses t2 <= t1: back-to-back events are feasible.
+  const TimeInterval a{0, 10};
+  const TimeInterval b{10, 20};
+  EXPECT_TRUE(a.CanPrecede(b));
+  EXPECT_FALSE(b.CanPrecede(a));
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(TimeIntervalTest, OverlapIsSymmetric) {
+  const TimeInterval a{0, 15};
+  const TimeInterval b{10, 20};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.CanPrecede(b));
+  EXPECT_FALSE(b.CanPrecede(a));
+}
+
+TEST(TimeIntervalTest, ContainedIntervalOverlaps) {
+  const TimeInterval outer{0, 100};
+  const TimeInterval inner{40, 60};
+  EXPECT_TRUE(outer.Overlaps(inner));
+  EXPECT_TRUE(inner.Overlaps(outer));
+}
+
+TEST(TimeIntervalTest, IdenticalIntervalsOverlap) {
+  const TimeInterval a{5, 10};
+  EXPECT_TRUE(a.Overlaps(a));
+  EXPECT_FALSE(a.CanPrecede(a));
+}
+
+TEST(TimeIntervalTest, Duration) {
+  EXPECT_EQ((TimeInterval{780, 960}).duration(), 180);
+}
+
+TEST(TimeIntervalTest, EqualityAndToString) {
+  EXPECT_EQ((TimeInterval{1, 2}), (TimeInterval{1, 2}));
+  EXPECT_FALSE((TimeInterval{1, 2}) == (TimeInterval{1, 3}));
+  EXPECT_EQ((TimeInterval{780, 960}).ToString(), "[780, 960]");
+}
+
+}  // namespace
+}  // namespace usep

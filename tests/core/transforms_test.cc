@@ -1,0 +1,188 @@
+#include "core/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "algo/exact.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(RestrictCandidatesTest, ZeroesUtilitiesOutsideCandidateSets) {
+  const Instance base = testing::MakeTable1Instance();
+  // u1 may only attend v1 and v3; everyone else keeps everything.
+  std::vector<std::vector<EventId>> candidates(base.num_users());
+  candidates[0] = {0, 2};
+  for (UserId u = 1; u < base.num_users(); ++u) {
+    for (EventId v = 0; v < base.num_events(); ++v) {
+      candidates[u].push_back(v);
+    }
+  }
+  const StatusOr<Instance> restricted = RestrictCandidates(base, candidates);
+  ASSERT_TRUE(restricted.ok()) << restricted.status();
+  EXPECT_DOUBLE_EQ(restricted->utility(0, 0), base.utility(0, 0));
+  EXPECT_DOUBLE_EQ(restricted->utility(2, 0), base.utility(2, 0));
+  EXPECT_DOUBLE_EQ(restricted->utility(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(restricted->utility(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(restricted->utility(1, 1), base.utility(1, 1));
+}
+
+TEST(RestrictCandidatesTest, PlannersNeverArrangeOutsideCandidates) {
+  const Instance base = testing::MakeTable1Instance();
+  std::vector<std::vector<EventId>> candidates(base.num_users());
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    candidates[u] = {static_cast<EventId>(u % base.num_events())};
+  }
+  const StatusOr<Instance> restricted = RestrictCandidates(base, candidates);
+  ASSERT_TRUE(restricted.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*restricted);
+  EXPECT_TRUE(ValidatePlanning(*restricted, result.planning).ok());
+  for (UserId u = 0; u < restricted->num_users(); ++u) {
+    for (const EventId v : result.planning.schedule(u).events()) {
+      EXPECT_EQ(v, candidates[u][0]) << "user " << u;
+    }
+  }
+}
+
+TEST(RestrictCandidatesTest, EmptyCandidateSetMeansNoEvents) {
+  const Instance base = testing::MakeTable1Instance();
+  std::vector<std::vector<EventId>> candidates(base.num_users());
+  const StatusOr<Instance> restricted = RestrictCandidates(base, candidates);
+  ASSERT_TRUE(restricted.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*restricted);
+  EXPECT_EQ(result.planning.total_assignments(), 0);
+}
+
+TEST(RestrictCandidatesTest, RejectsBadInput) {
+  const Instance base = testing::MakeTable1Instance();
+  EXPECT_FALSE(RestrictCandidates(base, {}).ok()) << "wrong user count";
+  std::vector<std::vector<EventId>> candidates(base.num_users());
+  candidates[0] = {99};
+  EXPECT_FALSE(RestrictCandidates(base, candidates).ok()) << "bad event id";
+  candidates[0] = {1, 1};
+  EXPECT_FALSE(RestrictCandidates(base, candidates).ok()) << "duplicate";
+}
+
+TEST(ParticipationFeesTest, FeesReduceWhatABudgetBuys) {
+  const Instance base = testing::MakeTable1Instance();
+  const PlannerResult before = ExactPlanner().Plan(base);
+
+  // Prohibitive fee on v3 (the most popular event).
+  const StatusOr<Instance> priced =
+      WithParticipationFees(base, {0, 0, 1000, 0});
+  ASSERT_TRUE(priced.ok()) << priced.status();
+  const PlannerResult after = ExactPlanner().Plan(*priced);
+  EXPECT_LT(after.planning.total_utility(), before.planning.total_utility());
+  for (UserId u = 0; u < priced->num_users(); ++u) {
+    EXPECT_FALSE(after.planning.schedule(u).Contains(2))
+        << "v3 is unaffordable for user " << u;
+  }
+  EXPECT_TRUE(ValidatePlanning(*priced, after.planning).ok());
+}
+
+TEST(ParticipationFeesTest, ZeroFeesPreserveBehaviour) {
+  const Instance base = testing::MakeTable1Instance();
+  const StatusOr<Instance> same =
+      WithParticipationFees(base, {0, 0, 0, 0});
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(ExactPlanner().Plan(*same).planning.total_utility(),
+                   ExactPlanner().Plan(base).planning.total_utility());
+}
+
+TEST(ParticipationFeesTest, ChainedEventsPayEachFeeOnce) {
+  // Two disjoint events, fee 5 each; user budget covers travel (8) plus
+  // exactly the two fees.
+  const Instance base = testing::MakeTinyMatrixInstance();
+  const StatusOr<Instance> priced = WithParticipationFees(base, {5, 5});
+  ASSERT_TRUE(priced.ok());
+  // Base route for user 0 attending both: 2 + 4 + 5 = 11; fees add 10.
+  Schedule schedule(0);
+  ASSERT_TRUE(schedule.TryInsert(*priced, 0));
+  ASSERT_TRUE(schedule.TryInsert(*priced, 1));
+  EXPECT_EQ(schedule.route_cost(), 21);
+}
+
+TEST(ParticipationFeesTest, RejectsBadInput) {
+  const Instance base = testing::MakeTable1Instance();
+  EXPECT_FALSE(WithParticipationFees(base, {1, 2}).ok()) << "wrong count";
+  EXPECT_FALSE(WithParticipationFees(base, {0, 0, -1, 0}).ok());
+}
+
+TEST(SelectUsersTest, KeepsSelectedUsersWithRenumbering) {
+  const Instance base = testing::MakeTable1Instance();
+  const StatusOr<Instance> subset = SelectUsers(base, {2, 0});
+  ASSERT_TRUE(subset.ok()) << subset.status();
+  EXPECT_EQ(subset->num_users(), 2);
+  EXPECT_EQ(subset->num_events(), base.num_events());
+  EXPECT_EQ(subset->user(0).name, "u3");
+  EXPECT_EQ(subset->user(1).name, "u1");
+  EXPECT_DOUBLE_EQ(subset->utility(2, 0), base.utility(2, 2));
+  EXPECT_EQ(subset->UserToEventCost(0, 1), base.UserToEventCost(2, 1));
+  EXPECT_EQ(subset->EventTravelCost(0, 1), base.EventTravelCost(0, 1));
+}
+
+TEST(SelectUsersTest, PlannerRunsOnSubset) {
+  const StatusOr<Instance> base =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(5));
+  ASSERT_TRUE(base.ok());
+  std::vector<UserId> half;
+  for (UserId u = 0; u < base->num_users(); u += 2) half.push_back(u);
+  const StatusOr<Instance> subset = SelectUsers(*base, half);
+  ASSERT_TRUE(subset.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*subset);
+  EXPECT_TRUE(ValidatePlanning(*subset, result.planning).ok());
+}
+
+TEST(SelectUsersTest, RejectsBadInput) {
+  const Instance base = testing::MakeTable1Instance();
+  EXPECT_FALSE(SelectUsers(base, {0, 0}).ok());
+  EXPECT_FALSE(SelectUsers(base, {-1}).ok());
+  EXPECT_FALSE(SelectUsers(base, {99}).ok());
+}
+
+TEST(SelectEventsTest, KeepsSelectedEventsWithRenumbering) {
+  const Instance base = testing::MakeTable1Instance();
+  const StatusOr<Instance> subset = SelectEvents(base, {3, 1});
+  ASSERT_TRUE(subset.ok()) << subset.status();
+  EXPECT_EQ(subset->num_events(), 2);
+  EXPECT_EQ(subset->event(0).name, "v4");
+  EXPECT_EQ(subset->event(1).name, "v2");
+  EXPECT_DOUBLE_EQ(subset->utility(0, 1), base.utility(3, 1));
+  EXPECT_EQ(subset->EventTravelCost(0, 1), base.EventTravelCost(3, 1));
+  // v2 [900,1080] precedes v4 [1080,1140].
+  EXPECT_TRUE(subset->CanFollow(1, 0));
+  EXPECT_FALSE(subset->CanFollow(0, 1));
+}
+
+TEST(SelectEventsTest, EmptySelectionGivesEventlessInstance) {
+  const Instance base = testing::MakeTable1Instance();
+  const StatusOr<Instance> subset = SelectEvents(base, {});
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->num_events(), 0);
+  EXPECT_EQ(subset->num_users(), base.num_users());
+}
+
+TEST(TransformsComposability, RestrictedFeeChargedSubset) {
+  // Transforms compose: select events, add fees, restrict candidates.
+  const Instance base = testing::MakeTable1Instance();
+  const StatusOr<Instance> events = SelectEvents(base, {0, 1, 2});
+  ASSERT_TRUE(events.ok());
+  const StatusOr<Instance> priced = WithParticipationFees(*events, {1, 2, 3});
+  ASSERT_TRUE(priced.ok());
+  std::vector<std::vector<EventId>> candidates(priced->num_users(),
+                                               std::vector<EventId>{0, 2});
+  const StatusOr<Instance> final_instance =
+      RestrictCandidates(*priced, candidates);
+  ASSERT_TRUE(final_instance.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*final_instance);
+  EXPECT_TRUE(ValidatePlanning(*final_instance, result.planning).ok());
+  for (UserId u = 0; u < final_instance->num_users(); ++u) {
+    EXPECT_FALSE(result.planning.schedule(u).Contains(1));
+  }
+}
+
+}  // namespace
+}  // namespace usep

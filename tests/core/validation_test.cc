@@ -1,0 +1,162 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Builds a permissive twin of an instance (huge budgets/capacities, no
+// conflicts matter because we pick disjoint events) so we can construct
+// plannings that violate a *stricter* instance's constraints, then validate
+// against the strict one.  Both instances must have identical dimensions.
+
+TEST(ValidationTest, ValidPlanningPasses) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+  ASSERT_TRUE(planning.TryAssign(1, 0));
+  const ValidationReport report = ValidatePlanning(instance, planning);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_DOUBLE_EQ(report.recomputed_utility, planning.total_utility());
+  EXPECT_TRUE(CheckPlanningFeasible(instance, planning).ok());
+}
+
+TEST(ValidationTest, EmptyPlanningIsValid) {
+  const Instance instance = testing::MakeTable1Instance();
+  const Planning planning(instance);
+  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+}
+
+// Shared scaffolding: two disjoint events, one user; permissive instance for
+// building, strict variants for validating.
+Instance BuildTwoEventInstance(int capacity0, Cost budget,
+                               TimeInterval interval1, double mu0) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, capacity0);
+  builder.AddEvent(interval1, 5);
+  builder.AddUser(budget);
+  builder.AddUser(budget);
+  builder.SetUtility(0, 0, mu0);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetUtility(0, 1, 0.5);
+  builder.SetUtility(1, 1, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{5, 0}, {10, 0}},
+                          {{0, 0}, {1, 0}});
+  return *std::move(builder).Build();
+}
+
+Instance Permissive() {
+  return BuildTwoEventInstance(5, 1000, {20, 30}, 0.5);
+}
+
+TEST(ValidationTest, DetectsCapacityViolation) {
+  const Instance permissive = Permissive();
+  const Instance strict = BuildTwoEventInstance(1, 1000, {20, 30}, 0.5);
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(0, 1));  // Two users; strict capacity is 1.
+  const ValidationReport report = ValidatePlanning(strict, planning);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& violation : report.violations) {
+    if (violation.kind == ConstraintKind::kCapacity && violation.event == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST(ValidationTest, DetectsBudgetViolation) {
+  const Instance permissive = Permissive();
+  // Strict budget 8 < round trip of event 1 for user 0 (2 * 10 = 20).
+  const Instance strict = BuildTwoEventInstance(5, 8, {20, 30}, 0.5);
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(1, 0));
+  const ValidationReport report = ValidatePlanning(strict, planning);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ConstraintKind::kBudget);
+  EXPECT_EQ(report.violations[0].user, 0);
+}
+
+TEST(ValidationTest, DetectsFeasibilityViolation) {
+  const Instance permissive = Permissive();
+  // In the strict instance event 1 overlaps event 0.
+  const Instance strict = BuildTwoEventInstance(5, 1000, {5, 15}, 0.5);
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(1, 0));
+  const ValidationReport report = ValidatePlanning(strict, planning);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& violation : report.violations) {
+    found |= violation.kind == ConstraintKind::kFeasibility;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST(ValidationTest, DetectsUtilityViolation) {
+  const Instance permissive = Permissive();
+  // Strict instance: mu(event 0, user 0) = 0.
+  const Instance strict = BuildTwoEventInstance(5, 1000, {20, 30}, 0.0);
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  const ValidationReport report = ValidatePlanning(strict, planning);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].kind, ConstraintKind::kUtility);
+  EXPECT_EQ(report.violations[0].event, 0);
+  EXPECT_EQ(report.violations[0].user, 0);
+}
+
+TEST(ValidationTest, DetectsStaleRouteCostAsInternal) {
+  // Validate against an instance with different geometry: the cached route
+  // cost no longer matches.
+  const Instance permissive = Permissive();
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 5);
+  builder.AddEvent({20, 30}, 5);
+  builder.AddUser(1000);
+  builder.AddUser(1000);
+  for (EventId v = 0; v < 2; ++v) {
+    for (UserId u = 0; u < 2; ++u) builder.SetUtility(v, u, 0.5);
+  }
+  builder.SetMetricLayout(MetricKind::kManhattan, {{50, 0}, {10, 0}},
+                          {{0, 0}, {1, 0}});
+  const Instance moved = *std::move(builder).Build();
+
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  const ValidationReport report = ValidatePlanning(moved, planning);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& violation : report.violations) {
+    found |= violation.kind == ConstraintKind::kInternal;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+TEST(ValidationTest, ReportToStringListsViolations) {
+  const Instance permissive = Permissive();
+  const Instance strict = BuildTwoEventInstance(1, 1000, {20, 30}, 0.5);
+  Planning planning(permissive);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(0, 1));
+  const ValidationReport report = ValidatePlanning(strict, planning);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("capacity"), std::string::npos);
+  EXPECT_FALSE(CheckPlanningFeasible(strict, planning).ok());
+}
+
+TEST(ValidationTest, ConstraintKindNamesAreStable) {
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kCapacity), "capacity");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kBudget), "budget");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kFeasibility),
+               "feasibility");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kUtility), "utility");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,74 @@
+#include "ebsn/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(GroupsTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  const std::vector<Group> groups =
+      GenerateGroups(TagVocabulary::Default(), 10, 5, 4, rng);
+  ASSERT_EQ(groups.size(), 10u);
+  for (const Group& group : groups) {
+    EXPECT_EQ(group.tags.size(), 5u);
+    EXPECT_GE(group.hotspot, 0);
+    EXPECT_LT(group.hotspot, 4);
+    for (size_t i = 1; i < group.tags.size(); ++i) {
+      EXPECT_LT(group.tags[i - 1], group.tags[i]) << "sorted, distinct";
+    }
+  }
+}
+
+TEST(GroupsTest, ZeroGroupsAllowed) {
+  Rng rng(2);
+  EXPECT_TRUE(GenerateGroups(TagVocabulary::Default(), 0, 5, 4, rng).empty());
+}
+
+TEST(GroupsTest, HotspotsAreZipfSkewed) {
+  Rng rng(3);
+  const std::vector<Group> groups =
+      GenerateGroups(TagVocabulary::Default(), 3000, 3, 8, rng);
+  std::vector<int> counts(8, 0);
+  for (const Group& group : groups) ++counts[group.hotspot];
+  EXPECT_GT(counts[0], counts[7] * 3)
+      << "hotspot 0 should attract far more groups than hotspot 7";
+}
+
+TEST(GroupsTest, EventAssignmentCoversGroupsWithSkew) {
+  Rng rng(4);
+  const std::vector<int> assignment = AssignEventsToGroups(5000, 10, rng);
+  ASSERT_EQ(assignment.size(), 5000u);
+  std::vector<int> counts(10, 0);
+  for (const int group : assignment) {
+    ASSERT_GE(group, 0);
+    ASSERT_LT(group, 10);
+    ++counts[group];
+  }
+  EXPECT_GT(counts[0], counts[9] * 3)
+      << "group 0 organizes far more events (Zipf popularity)";
+  for (const int count : counts) {
+    EXPECT_GT(count, 0) << "every group organizes something at this scale";
+  }
+}
+
+TEST(GroupsTest, DeterministicInRng) {
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const std::vector<Group> a =
+      GenerateGroups(TagVocabulary::Default(), 20, 4, 5, rng_a);
+  const std::vector<Group> b =
+      GenerateGroups(TagVocabulary::Default(), 20, 4, 5, rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tags, b[i].tags);
+    EXPECT_EQ(a[i].hotspot, b[i].hotspot);
+  }
+}
+
+TEST(GroupsDeathTest, AssignmentNeedsAtLeastOneGroup) {
+  Rng rng(5);
+  EXPECT_DEATH(AssignEventsToGroups(10, 0, rng), "Check failed");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,161 @@
+#include "ebsn/meetup_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+
+namespace usep {
+namespace {
+
+TEST(CityConfigTest, PresetsMatchTable6) {
+  const CityConfig vancouver = VancouverConfig();
+  EXPECT_EQ(vancouver.name, "Vancouver");
+  EXPECT_EQ(vancouver.num_events, 225);
+  EXPECT_EQ(vancouver.num_users, 2012);
+  EXPECT_DOUBLE_EQ(vancouver.capacity_mean, 50.0);
+  EXPECT_DOUBLE_EQ(vancouver.conflict_ratio, 0.25);
+
+  const CityConfig auckland = AucklandConfig();
+  EXPECT_EQ(auckland.num_events, 37);
+  EXPECT_EQ(auckland.num_users, 569);
+
+  const CityConfig singapore = SingaporeConfig();
+  EXPECT_EQ(singapore.num_events, 87);
+  EXPECT_EQ(singapore.num_users, 1500);
+
+  EXPECT_EQ(PaperCities().size(), 3u);
+}
+
+TEST(MeetupSimulatorTest, AucklandInstanceHasExpectedShape) {
+  const CityConfig config = AucklandConfig();
+  const StatusOr<Instance> instance = SimulateCity(config, MeetupSimOptions());
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_events(), 37);
+  EXPECT_EQ(instance->num_users(), 569);
+  EXPECT_NEAR(instance->MeasuredConflictRatio(), 0.25, 0.12);
+}
+
+TEST(MeetupSimulatorTest, DeterministicInSeed) {
+  const CityConfig config = AucklandConfig();
+  const StatusOr<Instance> a = SimulateCity(config, MeetupSimOptions());
+  const StatusOr<Instance> b = SimulateCity(config, MeetupSimOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (UserId u = 0; u < a->num_users(); ++u) {
+    ASSERT_EQ(a->user(u).budget, b->user(u).budget);
+  }
+  for (EventId v = 0; v < a->num_events(); ++v) {
+    ASSERT_DOUBLE_EQ(a->utility(v, 0), b->utility(v, 0));
+  }
+}
+
+TEST(MeetupSimulatorTest, DifferentCitiesDiffer) {
+  MeetupSimOptions options;
+  const StatusOr<Instance> auckland =
+      SimulateCity(AucklandConfig(), options);
+  CityConfig renamed = AucklandConfig();
+  renamed.name = "Auckland-2";
+  const StatusOr<Instance> other = SimulateCity(renamed, options);
+  ASSERT_TRUE(auckland.ok());
+  ASSERT_TRUE(other.ok());
+  bool differs = false;
+  for (UserId u = 0; u < auckland->num_users() && !differs; ++u) {
+    differs |= auckland->user(u).budget != other->user(u).budget;
+  }
+  EXPECT_TRUE(differs) << "city name must salt the seed";
+}
+
+TEST(MeetupSimulatorTest, UtilitiesAreSparseTagSimilarities) {
+  const StatusOr<Instance> instance =
+      SimulateCity(AucklandConfig(), MeetupSimOptions());
+  ASSERT_TRUE(instance.ok());
+  int zero = 0;
+  int total = 0;
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      const double mu = instance->utility(v, u);
+      ASSERT_GE(mu, 0.0);
+      ASSERT_LE(mu, 1.0);
+      if (mu == 0.0) ++zero;
+      ++total;
+    }
+  }
+  // Tag-based utilities are sparse: disjoint tag profiles are common.
+  EXPECT_GT(zero, total / 20);
+  EXPECT_LT(zero, total) << "but not everything is zero";
+}
+
+TEST(MeetupSimulatorTest, LocationsInsideGrid) {
+  const CityConfig config = AucklandConfig();
+  const StatusOr<Instance> instance = SimulateCity(config, MeetupSimOptions());
+  ASSERT_TRUE(instance.ok());
+  const auto* model =
+      dynamic_cast<const MetricCostModel*>(&instance->cost_model());
+  ASSERT_NE(model, nullptr);
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    const Point& p = model->event_location(v);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, config.extent);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, config.extent);
+  }
+}
+
+TEST(MeetupSimulatorTest, TravelAwarePolicySupported) {
+  MeetupSimOptions options;
+  options.conflict_policy = ConflictPolicy::kTravelTimeAware;
+  const StatusOr<Instance> instance =
+      SimulateCity(AucklandConfig(), options);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->conflict_policy(), ConflictPolicy::kTravelTimeAware);
+  // Travel gating can only add conflicts.
+  MeetupSimOptions overlap_only;
+  const StatusOr<Instance> baseline =
+      SimulateCity(AucklandConfig(), overlap_only);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_GE(instance->MeasuredConflictRatio(),
+            baseline->MeasuredConflictRatio());
+}
+
+TEST(MeetupSimulatorTest, EventsOfTheSameGroupShareUtilityColumns) {
+  // Events inherit their group's tags, so mu(v, .) is identical for any two
+  // events of the same group — the block correlation structure of real
+  // EBSN utility matrices.
+  const StatusOr<Instance> instance =
+      SimulateCity(AucklandConfig(), MeetupSimOptions());
+  ASSERT_TRUE(instance.ok());
+  bool found_same_group_pair = false;
+  for (EventId a = 0; a < instance->num_events(); ++a) {
+    for (EventId b = a + 1; b < instance->num_events(); ++b) {
+      const std::string& name_a = instance->event(a).name;
+      const std::string& name_b = instance->event(b).name;
+      if (name_a.substr(0, 3) != name_b.substr(0, 3)) continue;  // "gNN".
+      found_same_group_pair = true;
+      for (UserId u = 0; u < instance->num_users(); ++u) {
+        ASSERT_DOUBLE_EQ(instance->utility(a, u), instance->utility(b, u))
+            << name_a << " vs " << name_b;
+      }
+    }
+  }
+  EXPECT_TRUE(found_same_group_pair)
+      << "with 37 events over 10 groups some group repeats";
+}
+
+TEST(MeetupSimulatorTest, EventNamesEncodeGroups) {
+  const StatusOr<Instance> instance =
+      SimulateCity(AucklandConfig(), MeetupSimOptions());
+  ASSERT_TRUE(instance.ok());
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    EXPECT_EQ(instance->event(v).name[0], 'g');
+    EXPECT_NE(instance->event(v).name.find("-e"), std::string::npos);
+  }
+}
+
+TEST(MeetupSimulatorTest, RejectsBadConfig) {
+  CityConfig config = AucklandConfig();
+  config.num_hotspots = 0;
+  EXPECT_FALSE(SimulateCity(config, MeetupSimOptions()).ok());
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,73 @@
+#include "ebsn/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(IntersectionSizeTest, Basic) {
+  EXPECT_EQ(IntersectionSize({1, 3, 5}, {3, 5, 7}), 2);
+  EXPECT_EQ(IntersectionSize({1, 2}, {3, 4}), 0);
+  EXPECT_EQ(IntersectionSize({}, {1}), 0);
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {1, 2, 3}), 3);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TagSimilarity(SimilarityKind::kJaccard, {1, 2}, {2, 3}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TagSimilarity(SimilarityKind::kJaccard, {1, 2}, {1, 2}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TagSimilarity(SimilarityKind::kJaccard, {1}, {2}), 0.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TagSimilarity(SimilarityKind::kCosine, {1, 2}, {2, 3}),
+                   1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(TagSimilarity(SimilarityKind::kCosine, {1, 2, 3}, {1}),
+                   1.0 / std::sqrt(3.0));
+}
+
+TEST(SimilarityTest, EmptySetsHaveZeroSimilarity) {
+  EXPECT_EQ(TagSimilarity(SimilarityKind::kJaccard, {}, {}), 0.0);
+  EXPECT_EQ(TagSimilarity(SimilarityKind::kJaccard, {1}, {}), 0.0);
+  EXPECT_EQ(TagSimilarity(SimilarityKind::kCosine, {}, {1}), 0.0);
+}
+
+TEST(SimilarityTest, SymmetricAndBounded) {
+  const std::vector<std::vector<int>> sets = {
+      {}, {0}, {0, 1}, {1, 2, 3}, {0, 2, 4, 6}, {5}};
+  for (const SimilarityKind kind :
+       {SimilarityKind::kJaccard, SimilarityKind::kCosine}) {
+    for (const auto& a : sets) {
+      for (const auto& b : sets) {
+        const double ab = TagSimilarity(kind, a, b);
+        EXPECT_DOUBLE_EQ(ab, TagSimilarity(kind, b, a));
+        EXPECT_GE(ab, 0.0);
+        EXPECT_LE(ab, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SimilarityTest, IdenticalNonEmptySetsScoreOne) {
+  for (const SimilarityKind kind :
+       {SimilarityKind::kJaccard, SimilarityKind::kCosine}) {
+    EXPECT_DOUBLE_EQ(TagSimilarity(kind, {2, 4, 8}, {2, 4, 8}), 1.0);
+  }
+}
+
+TEST(SimilarityKindTest, ParseRoundTrip) {
+  for (const SimilarityKind kind :
+       {SimilarityKind::kJaccard, SimilarityKind::kCosine}) {
+    const StatusOr<SimilarityKind> parsed =
+        ParseSimilarityKind(SimilarityKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseSimilarityKind("dice").ok());
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,83 @@
+#include "ebsn/tags.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(TagVocabularyTest, DefaultHas64DistinctTags) {
+  const TagVocabulary& vocabulary = TagVocabulary::Default();
+  EXPECT_EQ(vocabulary.size(), 64);
+  std::set<std::string> unique;
+  for (int i = 0; i < vocabulary.size(); ++i) {
+    unique.insert(vocabulary.tag(i));
+    EXPECT_FALSE(vocabulary.tag(i).empty());
+  }
+  EXPECT_EQ(static_cast<int>(unique.size()), vocabulary.size());
+}
+
+TEST(TagVocabularyTest, PopularityIsNormalizedAndZipfDecreasing) {
+  const TagVocabulary& vocabulary = TagVocabulary::Default();
+  double total = 0.0;
+  for (int i = 0; i < vocabulary.size(); ++i) {
+    total += vocabulary.popularity(i);
+    if (i > 0) {
+      EXPECT_LT(vocabulary.popularity(i), vocabulary.popularity(i - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Zipf exponent 1: popularity(0) / popularity(1) == 2.
+  EXPECT_NEAR(vocabulary.popularity(0) / vocabulary.popularity(1), 2.0, 1e-9);
+}
+
+TEST(TagVocabularyTest, SampleTagSetIsSortedAndDistinct) {
+  const TagVocabulary& vocabulary = TagVocabulary::Default();
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<int> tags = vocabulary.SampleTagSet(8, rng);
+    ASSERT_EQ(tags.size(), 8u);
+    for (size_t i = 1; i < tags.size(); ++i) {
+      EXPECT_LT(tags[i - 1], tags[i]);
+    }
+    for (const int tag : tags) {
+      EXPECT_GE(tag, 0);
+      EXPECT_LT(tag, vocabulary.size());
+    }
+  }
+}
+
+TEST(TagVocabularyTest, SampleClampsToVocabularySize) {
+  TagVocabulary small({"a", "b", "c"}, 1.0);
+  Rng rng(2);
+  const std::vector<int> all = small.SampleTagSet(10, rng);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TagVocabularyTest, PopularTagsAppearMoreOften) {
+  const TagVocabulary& vocabulary = TagVocabulary::Default();
+  Rng rng(3);
+  int first_tag_hits = 0;
+  int last_tag_hits = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::vector<int> tags = vocabulary.SampleTagSet(5, rng);
+    for (const int tag : tags) {
+      if (tag == 0) ++first_tag_hits;
+      if (tag == vocabulary.size() - 1) ++last_tag_hits;
+    }
+  }
+  EXPECT_GT(first_tag_hits, 5 * last_tag_hits);
+}
+
+TEST(TagVocabularyTest, CustomZipfExponent) {
+  TagVocabulary steep({"a", "b", "c", "d"}, 2.0);
+  EXPECT_NEAR(steep.popularity(0) / steep.popularity(1), 4.0, 1e-9);
+}
+
+TEST(TagVocabularyDeathTest, EmptyVocabularyAborts) {
+  EXPECT_DEATH(TagVocabulary({}, 1.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace usep

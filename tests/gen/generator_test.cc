@@ -1,0 +1,265 @@
+#include "gen/synthetic_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(GeneratorConfigTest, DefaultsMatchTable7Bold) {
+  const GeneratorConfig config;
+  EXPECT_EQ(config.num_events, 100);
+  EXPECT_EQ(config.num_users, 5000);
+  EXPECT_EQ(config.utility_distribution, "uniform");
+  EXPECT_DOUBLE_EQ(config.capacity_mean, 50.0);
+  EXPECT_DOUBLE_EQ(config.budget_factor, 2.0);
+  EXPECT_DOUBLE_EQ(config.conflict_ratio, 0.25);
+}
+
+TEST(GeneratorConfigTest, ToStringMentionsKnobs) {
+  const std::string text = GeneratorConfig().ToString();
+  EXPECT_NE(text.find("|V|=100"), std::string::npos);
+  EXPECT_NE(text.find("cr=0.25"), std::string::npos);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const GeneratorConfig config = testing::MediumRandomConfig(1234);
+  const StatusOr<Instance> a = GenerateSyntheticInstance(config);
+  const StatusOr<Instance> b = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_events(), b->num_events());
+  for (EventId v = 0; v < a->num_events(); ++v) {
+    EXPECT_EQ(a->event(v).interval, b->event(v).interval);
+    EXPECT_EQ(a->event(v).capacity, b->event(v).capacity);
+  }
+  for (UserId u = 0; u < a->num_users(); ++u) {
+    EXPECT_EQ(a->user(u).budget, b->user(u).budget);
+    EXPECT_DOUBLE_EQ(a->utility(0, u), b->utility(0, u));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = testing::MediumRandomConfig(1);
+  const StatusOr<Instance> a = GenerateSyntheticInstance(config);
+  config.seed = 2;
+  const StatusOr<Instance> b = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (UserId u = 0; u < a->num_users() && !any_difference; ++u) {
+    any_difference |= a->user(u).budget != b->user(u).budget;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, RejectsBadConfigs) {
+  GeneratorConfig config;
+  config.conflict_ratio = 1.5;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+  config = GeneratorConfig();
+  config.grid_extent = 0;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+  config = GeneratorConfig();
+  config.utility_distribution = "cauchy";
+  config.num_events = 2;
+  config.num_users = 2;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+}
+
+class ConflictRatioTest
+    : public ::testing::TestWithParam<std::tuple<double, ConflictStrategy>> {};
+
+TEST_P(ConflictRatioTest, MeasuredRatioTracksTarget) {
+  const double target = std::get<0>(GetParam());
+  GeneratorConfig config;
+  config.num_events = 120;
+  config.num_users = 5;
+  config.conflict_ratio = target;
+  config.conflict_strategy = std::get<1>(GetParam());
+  config.seed = 77;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const double measured = instance->MeasuredConflictRatio();
+  if (target == 0.0) {
+    EXPECT_EQ(measured, 0.0);
+  } else if (target == 1.0 &&
+             std::get<1>(GetParam()) == ConflictStrategy::kClique) {
+    EXPECT_EQ(measured, 1.0);
+  } else {
+    EXPECT_NEAR(measured, target, 0.08) << "strategy "
+        << ConflictStrategyName(std::get<1>(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAndStrategies, ConflictRatioTest,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(ConflictStrategy::kRandomWindows,
+                                         ConflictStrategy::kClique)));
+
+TEST(GenerateEventTimesTest, ZeroConflictGivesDisjointIntervals) {
+  Rng rng(5);
+  const auto times =
+      GenerateEventTimes(50, 120, 0.0, ConflictStrategy::kRandomWindows, rng);
+  for (size_t i = 0; i < times.size(); ++i) {
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      EXPECT_FALSE(times[i].Overlaps(times[j]));
+    }
+  }
+}
+
+TEST(GenerateEventTimesTest, FullConflictRandomWindowsNearlyAllOverlap) {
+  Rng rng(6);
+  const auto times =
+      GenerateEventTimes(60, 120, 1.0, ConflictStrategy::kRandomWindows, rng);
+  int overlapping = 0;
+  int total = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      ++total;
+      if (times[i].Overlaps(times[j])) ++overlapping;
+    }
+  }
+  EXPECT_GT(static_cast<double>(overlapping) / total, 0.95);
+}
+
+TEST(GenerateEventTimesTest, AllIntervalsHaveRequestedDuration) {
+  Rng rng(7);
+  const auto times =
+      GenerateEventTimes(30, 90, 0.4, ConflictStrategy::kRandomWindows, rng);
+  for (const TimeInterval& interval : times) {
+    EXPECT_EQ(interval.duration(), 90);
+  }
+}
+
+TEST(GenerateEventTimesTest, EmptyAndSingleEventCases) {
+  Rng rng(8);
+  EXPECT_TRUE(
+      GenerateEventTimes(0, 100, 0.5, ConflictStrategy::kClique, rng).empty());
+  EXPECT_EQ(
+      GenerateEventTimes(1, 100, 0.5, ConflictStrategy::kClique, rng).size(),
+      1u);
+}
+
+TEST(GenerateBudgetTest, UniformWithinPaperBounds) {
+  Rng rng(9);
+  // b_u ~ U[2 * min, 2 * min + 2 * mid * f_b].
+  const Cost min_cost = 30;
+  const Cost mid = 100;
+  const double fb = 2.0;
+  for (int i = 0; i < 2000; ++i) {
+    const StatusOr<Cost> budget =
+        GenerateBudget(min_cost, mid, fb, "uniform", rng);
+    ASSERT_TRUE(budget.ok());
+    EXPECT_GE(*budget, 2 * min_cost);
+    EXPECT_LE(*budget, 2 * min_cost + static_cast<Cost>(2 * mid * fb));
+  }
+}
+
+TEST(GenerateBudgetTest, ZeroFactorPinsToRoundTripMinimum) {
+  Rng rng(10);
+  const StatusOr<Cost> budget = GenerateBudget(25, 100, 0.0, "uniform", rng);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 50);
+}
+
+TEST(GenerateBudgetTest, NormalMeanMatchesFormula) {
+  Rng rng(11);
+  // Mean = 2 * min + mid * f_b = 60 + 200 = 260.
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const StatusOr<Cost> budget =
+        GenerateBudget(30, 100, 2.0, "normal", rng);
+    ASSERT_TRUE(budget.ok());
+    EXPECT_GE(*budget, 0);
+    sum += static_cast<double>(*budget);
+  }
+  EXPECT_NEAR(sum / n, 260.0, 5.0);
+}
+
+TEST(GenerateBudgetTest, RejectsBadInputs) {
+  Rng rng(12);
+  EXPECT_FALSE(GenerateBudget(10, 10, -1.0, "uniform", rng).ok());
+  EXPECT_FALSE(GenerateBudget(10, 10, 1.0, "zipf", rng).ok());
+}
+
+TEST(GenerateCapacityTest, UniformMeanAndBounds) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const StatusOr<int> capacity = GenerateCapacity(50.0, "uniform", rng);
+    ASSERT_TRUE(capacity.ok());
+    EXPECT_GE(*capacity, 25);
+    EXPECT_LE(*capacity, 75);
+    sum += *capacity;
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(GenerateCapacityTest, NormalClampedToAtLeastOne) {
+  Rng rng(14);
+  for (int i = 0; i < 5000; ++i) {
+    const StatusOr<int> capacity = GenerateCapacity(1.0, "normal", rng);
+    ASSERT_TRUE(capacity.ok());
+    EXPECT_GE(*capacity, 1);
+  }
+}
+
+TEST(GenerateCapacityTest, RejectsBadInputs) {
+  Rng rng(15);
+  EXPECT_FALSE(GenerateCapacity(0.5, "uniform", rng).ok());
+  EXPECT_FALSE(GenerateCapacity(10.0, "exponential", rng).ok());
+}
+
+TEST(GeneratorTest, BudgetsAlwaysCoverNearestEventRoundTrip) {
+  // By the paper's formula, b_u >= 2 * min_v cost(u, v): every user can
+  // afford at least their nearest event (if interested).
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(55));
+  ASSERT_TRUE(instance.ok());
+  for (UserId u = 0; u < instance->num_users(); ++u) {
+    Cost nearest = kInfiniteCost;
+    for (EventId v = 0; v < instance->num_events(); ++v) {
+      nearest = std::min(nearest, instance->RoundTripCost(u, v));
+    }
+    EXPECT_GE(instance->user(u).budget, nearest);
+  }
+}
+
+TEST(GeneratorTest, UtilitiesRespectDistributionBounds) {
+  GeneratorConfig config = testing::MediumRandomConfig(66);
+  config.utility_distribution = "power:4";
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  double sum = 0.0;
+  int count = 0;
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      const double mu = instance->utility(v, u);
+      ASSERT_GE(mu, 0.0);
+      ASSERT_LE(mu, 1.0);
+      sum += mu;
+      ++count;
+    }
+  }
+  EXPECT_GT(sum / count, 0.7) << "power:4 skews toward 1 (mean 0.8)";
+}
+
+TEST(GeneratorTest, ZeroSizedInstancesSupported) {
+  GeneratorConfig config;
+  config.num_events = 0;
+  config.num_users = 0;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_events(), 0);
+  EXPECT_EQ(instance->num_users(), 0);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,74 @@
+#include "gen/workload_report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(WorkloadReportTest, Table1InstanceNumbers) {
+  const Instance instance = testing::MakeTable1Instance();
+  const InstanceReport report = AnalyzeInstance(instance);
+  EXPECT_EQ(report.num_events, 4);
+  EXPECT_EQ(report.num_users, 5);
+  EXPECT_EQ(report.horizon_start, 780);
+  EXPECT_EQ(report.horizon_end, 1140);
+  // Durations: 180, 180, 60, 60 -> mean 120.
+  EXPECT_DOUBLE_EQ(report.mean_event_duration, 120.0);
+  EXPECT_NEAR(report.measured_conflict_ratio, 2.0 / 6.0, 1e-12);
+  // v1 conflicts with v2 and v3 -> degree 2; v2 and v3 each 1; v4 0.
+  EXPECT_DOUBLE_EQ(report.mean_conflict_degree, 1.0);
+  EXPECT_EQ(report.max_conflict_degree, 2);
+  EXPECT_EQ(report.capacity_min, 1);
+  EXPECT_EQ(report.capacity_max, 4);
+  EXPECT_DOUBLE_EQ(report.capacity_mean, 2.5);
+  EXPECT_EQ(report.total_seats, 10);
+  EXPECT_EQ(report.budget_min, 9);
+  EXPECT_EQ(report.budget_max, 59);
+  EXPECT_DOUBLE_EQ(report.budget_mean, (59 + 29 + 51 + 9 + 33) / 5.0);
+  // All 20 utilities are positive.
+  EXPECT_DOUBLE_EQ(report.utility_nonzero_fraction, 1.0);
+  EXPECT_GT(report.utility_mean, 0.0);
+  EXPECT_GT(report.mean_affordable_fraction, 0.0);
+  EXPECT_LE(report.mean_affordable_fraction, 1.0);
+}
+
+TEST(WorkloadReportTest, EmptyInstance) {
+  InstanceBuilder builder;
+  builder.SetMetricLayout(MetricKind::kManhattan, {}, {});
+  const Instance instance = *std::move(builder).Build();
+  const InstanceReport report = AnalyzeInstance(instance);
+  EXPECT_EQ(report.num_events, 0);
+  EXPECT_EQ(report.num_users, 0);
+  EXPECT_EQ(report.total_seats, 0);
+  EXPECT_DOUBLE_EQ(report.utility_mean, 0.0);
+}
+
+TEST(WorkloadReportTest, TracksGeneratorKnobs) {
+  GeneratorConfig config = testing::MediumRandomConfig(42);
+  config.conflict_ratio = 0.5;
+  config.capacity_mean = 8.0;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const InstanceReport report = AnalyzeInstance(*instance);
+  EXPECT_NEAR(report.measured_conflict_ratio, 0.5, 0.15);
+  EXPECT_NEAR(report.capacity_mean, 8.0, 2.0);
+  EXPECT_DOUBLE_EQ(report.mean_event_duration, 120.0);
+  // The budget formula guarantees each user affords their nearest event,
+  // so affordability is bounded away from zero.
+  EXPECT_GT(report.mean_affordable_fraction, 0.05);
+}
+
+TEST(WorkloadReportTest, ToStringCarriesHeadlineNumbers) {
+  const Instance instance = testing::MakeTable1Instance();
+  const std::string text = AnalyzeInstance(instance).ToString();
+  EXPECT_NE(text.find("|V|=4"), std::string::npos);
+  EXPECT_NE(text.find("|U|=5"), std::string::npos);
+  EXPECT_NE(text.find("cr=0.333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace usep

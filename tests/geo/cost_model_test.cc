@@ -1,0 +1,156 @@
+#include "geo/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace usep {
+namespace {
+
+TEST(MetricCostModelTest, DistancesMatchMetric) {
+  MetricCostModel model(MetricKind::kManhattan, {{0, 0}, {3, 4}}, {{1, 1}});
+  EXPECT_EQ(model.num_events(), 2);
+  EXPECT_EQ(model.num_users(), 1);
+  EXPECT_EQ(model.EventToEvent(0, 1), 7);
+  EXPECT_EQ(model.EventToEvent(1, 0), 7);
+  EXPECT_EQ(model.EventToEvent(0, 0), 0);
+  EXPECT_EQ(model.UserToEvent(0, 0), 2);
+  EXPECT_EQ(model.EventToUser(0, 0), 2);
+  EXPECT_EQ(model.UserToEvent(0, 1), 5);
+}
+
+TEST(MetricCostModelTest, CloneIsIndependentButEqual) {
+  MetricCostModel model(MetricKind::kEuclidean, {{0, 0}}, {{3, 4}});
+  const std::unique_ptr<CostModel> clone = model.Clone();
+  EXPECT_EQ(clone->UserToEvent(0, 0), 5);
+  EXPECT_EQ(clone->num_events(), 1);
+}
+
+TEST(MetricCostModelTest, SatisfiesTriangleInequality) {
+  Rng rng(7);
+  std::vector<Point> events, users;
+  for (int i = 0; i < 6; ++i) {
+    events.push_back({rng.UniformInt(0, 100), rng.UniformInt(0, 100)});
+  }
+  for (int i = 0; i < 4; ++i) {
+    users.push_back({rng.UniformInt(0, 100), rng.UniformInt(0, 100)});
+  }
+  for (const MetricKind kind :
+       {MetricKind::kManhattan, MetricKind::kEuclidean,
+        MetricKind::kChebyshev}) {
+    MetricCostModel model(kind, events, users);
+    EXPECT_TRUE(CheckTriangleInequality(model).ok()) << MetricKindName(kind);
+  }
+}
+
+TEST(MatrixCostModelTest, DefaultsToZeroCosts) {
+  MatrixCostModel model(2, 2);
+  EXPECT_EQ(model.EventToEvent(0, 1), 0);
+  EXPECT_EQ(model.UserToEvent(1, 1), 0);
+  EXPECT_EQ(model.EventToUser(0, 0), 0);
+}
+
+TEST(MatrixCostModelTest, SettersAreDirectional) {
+  MatrixCostModel model(2, 1);
+  model.SetEventToEvent(0, 1, 5);
+  EXPECT_EQ(model.EventToEvent(0, 1), 5);
+  EXPECT_EQ(model.EventToEvent(1, 0), 0) << "only one direction was set";
+
+  model.SetUserToEvent(0, 0, 3);
+  model.SetEventToUser(0, 0, 9);
+  EXPECT_EQ(model.UserToEvent(0, 0), 3);
+  EXPECT_EQ(model.EventToUser(0, 0), 9);
+}
+
+TEST(MatrixCostModelTest, PairSettersSetBothDirections) {
+  MatrixCostModel model(2, 1);
+  model.SetEventPair(0, 1, 6);
+  EXPECT_EQ(model.EventToEvent(0, 1), 6);
+  EXPECT_EQ(model.EventToEvent(1, 0), 6);
+  model.SetUserEventPair(0, 1, 4);
+  EXPECT_EQ(model.UserToEvent(0, 1), 4);
+  EXPECT_EQ(model.EventToUser(1, 0), 4);
+}
+
+TEST(MatrixCostModelDeathTest, NegativeCostAborts) {
+  MatrixCostModel model(1, 1);
+  EXPECT_DEATH(model.SetEventToEvent(0, 0, -1), "Check failed");
+  EXPECT_DEATH(model.SetUserToEvent(0, 0, -1), "Check failed");
+}
+
+TEST(MatrixCostModelTest, CloneCopiesValues) {
+  MatrixCostModel model(1, 1);
+  model.SetUserEventPair(0, 0, 8);
+  const std::unique_ptr<CostModel> clone = model.Clone();
+  model.SetUserEventPair(0, 0, 1);
+  EXPECT_EQ(clone->UserToEvent(0, 0), 8) << "clone must be a deep copy";
+}
+
+TEST(TriangleCheckTest, DetectsEventDetourViolation) {
+  MatrixCostModel model(3, 0);
+  model.SetEventPair(0, 1, 1);
+  model.SetEventPair(1, 2, 1);
+  model.SetEventPair(0, 2, 5);  // 5 > 1 + 1.
+  const Status status = CheckTriangleInequality(model);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("triangle"), std::string::npos);
+}
+
+TEST(TriangleCheckTest, DetectsUserLegViolation) {
+  MatrixCostModel model(2, 1);
+  model.SetEventPair(0, 1, 1);
+  model.SetUserEventPair(0, 0, 1);
+  model.SetUserEventPair(0, 1, 10);  // user->e1 = 10 > user->e0 + e0->e1 = 2.
+  EXPECT_FALSE(CheckTriangleInequality(model).ok());
+}
+
+TEST(TriangleCheckTest, AcceptsConsistentMatrix) {
+  MatrixCostModel model(2, 2);
+  model.SetEventPair(0, 1, 4);
+  model.SetUserEventPair(0, 0, 2);
+  model.SetUserEventPair(0, 1, 5);
+  model.SetUserEventPair(1, 0, 3);
+  model.SetUserEventPair(1, 1, 3);
+  EXPECT_TRUE(CheckTriangleInequality(model).ok());
+}
+
+TEST(TriangleCheckTest, IgnoresUserUserLegs) {
+  // Two users, one event: no user-user cost exists, so no triple through
+  // both users can be formed and the check must pass trivially.
+  MatrixCostModel model(1, 2);
+  model.SetUserEventPair(0, 0, 1);
+  model.SetUserEventPair(1, 0, 100);
+  EXPECT_TRUE(CheckTriangleInequality(model).ok());
+}
+
+TEST(ParticipationFeesTest, FeesFoldIntoInboundLegs) {
+  MatrixCostModel base(2, 1);
+  base.SetEventPair(0, 1, 4);
+  base.SetUserEventPair(0, 0, 2);
+  base.SetUserEventPair(0, 1, 5);
+
+  const std::unique_ptr<CostModel> priced =
+      ApplyParticipationFees(base, {10, 20});
+  // cost'(u, v) = cost(u, v) + fee_v.
+  EXPECT_EQ(priced->UserToEvent(0, 0), 12);
+  EXPECT_EQ(priced->UserToEvent(0, 1), 25);
+  // cost'(v_i, v_j) = cost(v_i, v_j) + fee_j.
+  EXPECT_EQ(priced->EventToEvent(0, 1), 24);
+  EXPECT_EQ(priced->EventToEvent(1, 0), 14);
+  // Return legs keep the raw cost (no fee going home).
+  EXPECT_EQ(priced->EventToUser(0, 0), 2);
+  EXPECT_EQ(priced->EventToUser(1, 0), 5);
+}
+
+TEST(ParticipationFeesDeathTest, NegativeFeeAborts) {
+  MatrixCostModel base(1, 1);
+  EXPECT_DEATH(ApplyParticipationFees(base, {-1}), "Check failed");
+}
+
+TEST(ParticipationFeesDeathTest, WrongFeeCountAborts) {
+  MatrixCostModel base(2, 1);
+  EXPECT_DEATH(ApplyParticipationFees(base, {1}), "Check failed");
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,146 @@
+#include "geo/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace usep {
+namespace {
+
+// Reference nearest: smallest distance, ties to the smallest index.
+GridIndex::Neighbor BruteNearest(MetricKind metric,
+                                 const std::vector<Point>& points,
+                                 const Point& query) {
+  GridIndex::Neighbor best;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Cost distance = Distance(metric, query, points[i]);
+    if (distance < best.distance) {
+      best.distance = distance;
+      best.index = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsInfinity) {
+  const GridIndex index({});
+  const GridIndex::Neighbor neighbor =
+      index.Nearest(MetricKind::kManhattan, {5, 5});
+  EXPECT_EQ(neighbor.index, -1);
+  EXPECT_TRUE(IsInfiniteCost(neighbor.distance));
+  EXPECT_TRUE(index.WithinRadius(MetricKind::kManhattan, {0, 0}, 100).empty());
+}
+
+TEST(GridIndexTest, SinglePoint) {
+  const GridIndex index({{10, 20}});
+  const GridIndex::Neighbor neighbor =
+      index.Nearest(MetricKind::kManhattan, {13, 24});
+  EXPECT_EQ(neighbor.index, 0);
+  EXPECT_EQ(neighbor.distance, 7);
+}
+
+TEST(GridIndexTest, ExactHitHasZeroDistance) {
+  const GridIndex index({{3, 3}, {9, 9}});
+  const GridIndex::Neighbor neighbor =
+      index.Nearest(MetricKind::kEuclidean, {9, 9});
+  EXPECT_EQ(neighbor.index, 1);
+  EXPECT_EQ(neighbor.distance, 0);
+}
+
+TEST(GridIndexTest, DuplicatePointsTieToSmallestIndex) {
+  const GridIndex index({{5, 5}, {5, 5}, {5, 5}});
+  const GridIndex::Neighbor neighbor =
+      index.Nearest(MetricKind::kManhattan, {6, 6});
+  EXPECT_EQ(neighbor.index, 0);
+}
+
+class GridIndexRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, MetricKind>> {};
+
+TEST_P(GridIndexRandomTest, NearestMatchesBruteForce) {
+  Rng rng(std::get<0>(GetParam()));
+  const MetricKind metric = std::get<1>(GetParam());
+  std::vector<Point> points(200);
+  for (Point& p : points) {
+    p.x = rng.UniformInt(0, 1000);
+    p.y = rng.UniformInt(0, 1000);
+  }
+  const GridIndex index(points);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Mix of inside-grid and far-outside queries.
+    const Point query{rng.UniformInt(-500, 1500), rng.UniformInt(-500, 1500)};
+    const GridIndex::Neighbor fast = index.Nearest(metric, query);
+    const GridIndex::Neighbor slow = BruteNearest(metric, points, query);
+    EXPECT_EQ(fast.distance, slow.distance) << query.ToString();
+    EXPECT_EQ(fast.index, slow.index) << query.ToString();
+  }
+}
+
+TEST_P(GridIndexRandomTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(std::get<0>(GetParam()) + 1000);
+  const MetricKind metric = std::get<1>(GetParam());
+  std::vector<Point> points(150);
+  for (Point& p : points) {
+    p.x = rng.UniformInt(0, 400);
+    p.y = rng.UniformInt(0, 400);
+  }
+  const GridIndex index(points);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point query{rng.UniformInt(-100, 500), rng.UniformInt(-100, 500)};
+    const Cost radius = rng.UniformInt(0, 150);
+    std::vector<int> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (Distance(metric, query, points[i]) <= radius) {
+        expected.push_back(static_cast<int>(i));
+      }
+    }
+    EXPECT_EQ(index.WithinRadius(metric, query, radius), expected)
+        << query.ToString() << " r=" << (long long)radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMetrics, GridIndexRandomTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 6),
+                       ::testing::Values(MetricKind::kManhattan,
+                                         MetricKind::kEuclidean,
+                                         MetricKind::kChebyshev)));
+
+TEST(GridIndexTest, ClusteredPointsStillCorrect) {
+  // Pathological for a uniform grid: everything in one tiny cluster plus a
+  // far outlier.
+  Rng rng(99);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.UniformInt(0, 5), rng.UniformInt(0, 5)});
+  }
+  points.push_back({100000, 100000});
+  const GridIndex index(points);
+  const GridIndex::Neighbor near_cluster =
+      index.Nearest(MetricKind::kManhattan, {2, 2});
+  EXPECT_EQ(near_cluster.distance,
+            BruteNearest(MetricKind::kManhattan, points, {2, 2}).distance);
+  const GridIndex::Neighbor near_outlier =
+      index.Nearest(MetricKind::kManhattan, {99999, 99998});
+  EXPECT_EQ(near_outlier.index, 100);
+}
+
+TEST(GridIndexTest, ExplicitCellSizeRespected) {
+  const GridIndex index({{0, 0}, {100, 100}}, 25);
+  EXPECT_EQ(index.cell_size(), 25);
+  EXPECT_EQ(index.Nearest(MetricKind::kManhattan, {1, 1}).index, 0);
+}
+
+TEST(GridIndexTest, NegativeRadiusYieldsNothing) {
+  const GridIndex index({{0, 0}});
+  EXPECT_TRUE(index.WithinRadius(MetricKind::kManhattan, {0, 0}, -1).empty());
+}
+
+TEST(GridIndexTest, ZeroRadiusFindsExactHitsOnly) {
+  const GridIndex index({{3, 3}, {4, 4}});
+  EXPECT_EQ(index.WithinRadius(MetricKind::kManhattan, {3, 3}, 0),
+            (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,120 @@
+#include "geo/metric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace usep {
+namespace {
+
+TEST(CostTest, InfinityDetection) {
+  EXPECT_TRUE(IsInfiniteCost(kInfiniteCost));
+  EXPECT_TRUE(IsInfiniteCost(kInfiniteCost + 5));
+  EXPECT_FALSE(IsInfiniteCost(0));
+  EXPECT_FALSE(IsInfiniteCost(kInfiniteCost - 1));
+}
+
+TEST(CostTest, AddCostSaturates) {
+  EXPECT_EQ(AddCost(3, 4), 7);
+  EXPECT_EQ(AddCost(kInfiniteCost, 4), kInfiniteCost);
+  EXPECT_EQ(AddCost(4, kInfiniteCost), kInfiniteCost);
+  EXPECT_EQ(AddCost(kInfiniteCost, kInfiniteCost), kInfiniteCost);
+}
+
+TEST(CostTest, RepeatedInfiniteAdditionDoesNotOverflow) {
+  Cost total = 0;
+  for (int i = 0; i < 100; ++i) total = AddCost(total, kInfiniteCost);
+  EXPECT_EQ(total, kInfiniteCost);
+}
+
+TEST(MetricTest, ManhattanKnownValues) {
+  EXPECT_EQ(Distance(MetricKind::kManhattan, {0, 0}, {3, 4}), 7);
+  EXPECT_EQ(Distance(MetricKind::kManhattan, {-2, -3}, {1, 1}), 7);
+  EXPECT_EQ(Distance(MetricKind::kManhattan, {5, 5}, {5, 5}), 0);
+}
+
+TEST(MetricTest, EuclideanKnownValues) {
+  EXPECT_EQ(Distance(MetricKind::kEuclidean, {0, 0}, {3, 4}), 5);
+  EXPECT_EQ(Distance(MetricKind::kEuclidean, {0, 0}, {1, 1}), 2);  // ceil(1.41)
+  EXPECT_EQ(Distance(MetricKind::kEuclidean, {0, 0}, {0, 0}), 0);
+}
+
+TEST(MetricTest, ChebyshevKnownValues) {
+  EXPECT_EQ(Distance(MetricKind::kChebyshev, {0, 0}, {3, 4}), 4);
+  EXPECT_EQ(Distance(MetricKind::kChebyshev, {2, 2}, {-1, 3}), 3);
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};
+
+TEST_P(MetricPropertyTest, SymmetryAndIdentity) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Point a{rng.UniformInt(-1000, 1000), rng.UniformInt(-1000, 1000)};
+    const Point b{rng.UniformInt(-1000, 1000), rng.UniformInt(-1000, 1000)};
+    EXPECT_EQ(Distance(GetParam(), a, b), Distance(GetParam(), b, a));
+    EXPECT_EQ(Distance(GetParam(), a, a), 0);
+    EXPECT_GE(Distance(GetParam(), a, b), 0);
+  }
+}
+
+TEST_P(MetricPropertyTest, TriangleInequality) {
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    const Point a{rng.UniformInt(-500, 500), rng.UniformInt(-500, 500)};
+    const Point b{rng.UniformInt(-500, 500), rng.UniformInt(-500, 500)};
+    const Point c{rng.UniformInt(-500, 500), rng.UniformInt(-500, 500)};
+    EXPECT_LE(Distance(GetParam(), a, c),
+              Distance(GetParam(), a, b) + Distance(GetParam(), b, c))
+        << a.ToString() << " " << b.ToString() << " " << c.ToString();
+  }
+}
+
+// The regression the ceil-rounding exists for: nearly-collinear points whose
+// round-to-nearest Euclidean distances would violate the triangle
+// inequality.
+TEST(MetricTest, EuclideanCeilPreservesTriangleOnCollinearPoints) {
+  const Point a{0, 0};
+  const Point b{3, 4};    // |ab| = 5
+  const Point c{6, 8};    // |ac| = 10, |bc| = 5
+  EXPECT_LE(Distance(MetricKind::kEuclidean, a, c),
+            Distance(MetricKind::kEuclidean, a, b) +
+                Distance(MetricKind::kEuclidean, b, c));
+  // Half-distances of 5.4-ish: round() would give 5+5 < 11.
+  const Point p{0, 0};
+  const Point q{38, 38};   // sqrt(2888) ~ 53.74 -> ceil 54
+  const Point r{76, 76};   // sqrt(11552) ~ 107.48 -> ceil 108
+  EXPECT_LE(Distance(MetricKind::kEuclidean, p, r),
+            Distance(MetricKind::kEuclidean, p, q) +
+                Distance(MetricKind::kEuclidean, q, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(MetricKind::kManhattan,
+                                           MetricKind::kEuclidean,
+                                           MetricKind::kChebyshev),
+                         [](const auto& info) {
+                           return MetricKindName(info.param);
+                         });
+
+TEST(MetricKindTest, NamesRoundTripThroughParse) {
+  for (const MetricKind kind :
+       {MetricKind::kManhattan, MetricKind::kEuclidean,
+        MetricKind::kChebyshev}) {
+    const StatusOr<MetricKind> parsed = ParseMetricKind(MetricKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(MetricKindTest, ParseIsCaseInsensitive) {
+  const StatusOr<MetricKind> parsed = ParseMetricKind("  MANHATTAN ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, MetricKind::kManhattan);
+}
+
+TEST(MetricKindTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseMetricKind("hamming").ok());
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,199 @@
+// End-to-end property tests: generator (or EBSN simulator) -> every planner
+// -> independent validation, across the Table 7 knobs.
+
+#include <cctype>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "algo/planner_registry.h"
+#include "common/string_util.h"
+#include "core/objective.h"
+#include "core/validation.h"
+#include "ebsn/meetup_simulator.h"
+#include "gen/synthetic_generator.h"
+#include "io/instance_io.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+struct PipelineCase {
+  std::string label;
+  GeneratorConfig config;
+};
+
+std::vector<PipelineCase> PipelineCases() {
+  std::vector<PipelineCase> cases;
+  const auto base = [] {
+    GeneratorConfig config;
+    config.num_events = 15;
+    config.num_users = 40;
+    config.capacity_mean = 4.0;
+    config.grid_extent = 150;
+    config.seed = 4242;
+    return config;
+  };
+
+  {
+    PipelineCase c{"defaults", base()};
+    cases.push_back(c);
+  }
+  for (const double cr : {0.0, 0.5, 1.0}) {
+    PipelineCase c{StrFormat("cr_%02d", static_cast<int>(cr * 100)), base()};
+    c.config.conflict_ratio = cr;
+    cases.push_back(c);
+  }
+  for (const double fb : {0.5, 5.0}) {
+    PipelineCase c{StrFormat("fb_%02d", static_cast<int>(fb * 10)), base()};
+    c.config.budget_factor = fb;
+    cases.push_back(c);
+  }
+  for (const char* mu : {"normal", "power:0.5", "power:4"}) {
+    PipelineCase c{std::string("mu_") + mu, base()};
+    c.label = "mu_" + std::string(mu == std::string("power:0.5") ? "pow05"
+                                  : mu == std::string("power:4") ? "pow4"
+                                                                 : "normal");
+    c.config.utility_distribution = mu;
+    cases.push_back(c);
+  }
+  {
+    PipelineCase c{"capacity_normal", base()};
+    c.config.capacity_distribution = "normal";
+    cases.push_back(c);
+  }
+  {
+    PipelineCase c{"budget_normal", base()};
+    c.config.budget_distribution = "normal";
+    cases.push_back(c);
+  }
+  {
+    PipelineCase c{"clique_conflicts", base()};
+    c.config.conflict_strategy = ConflictStrategy::kClique;
+    cases.push_back(c);
+  }
+  {
+    PipelineCase c{"travel_aware", base()};
+    c.config.conflict_policy = ConflictPolicy::kTravelTimeAware;
+    cases.push_back(c);
+  }
+  {
+    PipelineCase c{"euclidean", base()};
+    c.config.metric = MetricKind::kEuclidean;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineTest, EveryPaperPlannerProducesAFeasiblePlanning) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(GetParam().config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    const std::unique_ptr<Planner> planner = MakePlanner(kind);
+    const PlannerResult result = planner->Plan(*instance);
+    const ValidationReport report =
+        ValidatePlanning(*instance, result.planning);
+    EXPECT_TRUE(report.ok())
+        << planner->name() << " on " << GetParam().label << ":\n"
+        << report.ToString();
+    EXPECT_NEAR(result.planning.total_utility(),
+                TotalUtility(*instance, result.planning), 1e-9);
+    EXPECT_GE(result.stats.wall_seconds, 0.0);
+  }
+}
+
+TEST_P(PipelineTest, ExtensionPlannersProduceFeasiblePlannings) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(GetParam().config);
+  ASSERT_TRUE(instance.ok());
+  for (const PlannerKind kind :
+       {PlannerKind::kOnlineDp, PlannerKind::kOnlineGreedy,
+        PlannerKind::kDeDpoRgLs, PlannerKind::kDeGreedyRgLs,
+        PlannerKind::kNaiveRatioGreedy}) {
+    const std::unique_ptr<Planner> planner = MakePlanner(kind);
+    const PlannerResult result = planner->Plan(*instance);
+    const ValidationReport report =
+        ValidatePlanning(*instance, result.planning);
+    EXPECT_TRUE(report.ok()) << planner->name() << " on " << GetParam().label
+                             << ":\n"
+                             << report.ToString();
+  }
+}
+
+TEST_P(PipelineTest, DecomposedFamiliesOrderAsExpected) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(GetParam().config);
+  ASSERT_TRUE(instance.ok());
+  const double dedp =
+      MakePlanner(PlannerKind::kDeDp)->Plan(*instance).planning.total_utility();
+  const double dedpo = MakePlanner(PlannerKind::kDeDpo)
+                           ->Plan(*instance)
+                           .planning.total_utility();
+  const double dedpo_rg = MakePlanner(PlannerKind::kDeDpoRg)
+                              ->Plan(*instance)
+                              .planning.total_utility();
+  const double degreedy_rg = MakePlanner(PlannerKind::kDeGreedyRg)
+                                 ->Plan(*instance)
+                                 .planning.total_utility();
+  const double degreedy = MakePlanner(PlannerKind::kDeGreedy)
+                              ->Plan(*instance)
+                              .planning.total_utility();
+  EXPECT_DOUBLE_EQ(dedp, dedpo) << "Lemma 2 equivalence";
+  EXPECT_GE(dedpo_rg, dedpo - 1e-9) << "+RG never hurts";
+  EXPECT_GE(degreedy_rg, degreedy - 1e-9) << "+RG never hurts";
+}
+
+TEST_P(PipelineTest, SerializationPreservesPlannerBehaviour) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(GetParam().config);
+  ASSERT_TRUE(instance.ok());
+  const StatusOr<Instance> reloaded =
+      DeserializeInstance(SerializeInstance(*instance));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  const double before = MakePlanner(PlannerKind::kDeDpo)
+                            ->Plan(*instance)
+                            .planning.total_utility();
+  const double after = MakePlanner(PlannerKind::kDeDpo)
+                           ->Plan(*reloaded)
+                           .planning.total_utility();
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knobs, PipelineTest,
+                         ::testing::ValuesIn(PipelineCases()),
+                         [](const auto& info) {
+                           std::string name = info.param.label;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(PipelineEbsnTest, EveryPlannerFeasibleOnSimulatedCities) {
+  for (const CityConfig& city : PaperCities()) {
+    CityConfig small = city;
+    // Shrink user counts so the full planner sweep stays fast in tests.
+    small.num_users = std::min(small.num_users, 150);
+    small.num_events = std::min(small.num_events, 60);
+    const StatusOr<Instance> instance =
+        SimulateCity(small, MeetupSimOptions());
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    for (const PlannerKind kind : PaperPlannerKinds()) {
+      const PlannerResult result = MakePlanner(kind)->Plan(*instance);
+      const ValidationReport report =
+          ValidatePlanning(*instance, result.planning);
+      EXPECT_TRUE(report.ok()) << city.name << " / " << PlannerKindName(kind)
+                               << ":\n"
+                               << report.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,92 @@
+// The paper's running example (Examples 1-4, Tables 1 and 3-5) replayed on
+// our geometry (Figure 1a's coordinates are only published as a picture; see
+// testing/test_instances.h).  The inter-algorithm relationships the paper
+// demonstrates must hold; the exact utility values are golden-tested against
+// the exact solver.
+
+#include <gtest/gtest.h>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "core/validation.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  const Instance instance_ = testing::MakeTable1Instance();
+};
+
+TEST_F(RunningExampleTest, AllPlannersFeasible) {
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    const PlannerResult result = MakePlanner(kind)->Plan(instance_);
+    const ValidationReport report =
+        ValidatePlanning(instance_, result.planning);
+    EXPECT_TRUE(report.ok()) << PlannerKindName(kind) << "\n"
+                             << report.ToString();
+  }
+}
+
+TEST_F(RunningExampleTest, PaperOrderingHolds) {
+  // Example 2 vs 3 vs 4: RatioGreedy (3.6) < DeGreedy (4.5) <= DeDP (4.6)
+  // in the paper; on our geometry the same ordering must hold.
+  const double ratio_greedy = MakePlanner(PlannerKind::kRatioGreedy)
+                                  ->Plan(instance_)
+                                  .planning.total_utility();
+  const double degreedy = MakePlanner(PlannerKind::kDeGreedy)
+                              ->Plan(instance_)
+                              .planning.total_utility();
+  const double dedp =
+      MakePlanner(PlannerKind::kDeDp)->Plan(instance_).planning.total_utility();
+  EXPECT_LT(ratio_greedy, degreedy);
+  EXPECT_LT(degreedy, dedp);
+  EXPECT_NEAR(ratio_greedy, 3.6, 1e-9)
+      << "the paper's Example 2 total utility";
+}
+
+TEST_F(RunningExampleTest, DeDpEqualsDeDpo) {
+  const PlannerResult dedp = MakePlanner(PlannerKind::kDeDp)->Plan(instance_);
+  const PlannerResult dedpo = MakePlanner(PlannerKind::kDeDpo)->Plan(instance_);
+  for (UserId u = 0; u < instance_.num_users(); ++u) {
+    EXPECT_EQ(dedp.planning.schedule(u).events(),
+              dedpo.planning.schedule(u).events());
+  }
+}
+
+TEST_F(RunningExampleTest, HalfApproximationAgainstExact) {
+  const double optimum =
+      ExactPlanner().Plan(instance_).planning.total_utility();
+  for (const PlannerKind kind :
+       {PlannerKind::kDeDp, PlannerKind::kDeDpo, PlannerKind::kDeDpoRg}) {
+    const double utility =
+        MakePlanner(kind)->Plan(instance_).planning.total_utility();
+    EXPECT_GE(utility, 0.5 * optimum - 1e-9) << PlannerKindName(kind);
+    EXPECT_LE(utility, optimum + 1e-9) << PlannerKindName(kind);
+  }
+}
+
+// Golden values for this geometry, cross-checked against the exact solver
+// and hand-traced runs.  If an algorithm change moves these, that is a
+// behavioural change that needs review, not a flaky test.
+TEST_F(RunningExampleTest, GoldenUtilities) {
+  const double exact =
+      ExactPlanner().Plan(instance_).planning.total_utility();
+  const double ratio_greedy = MakePlanner(PlannerKind::kRatioGreedy)
+                                  ->Plan(instance_)
+                                  .planning.total_utility();
+  const double dedpo = MakePlanner(PlannerKind::kDeDpo)
+                           ->Plan(instance_)
+                           .planning.total_utility();
+  const double degreedy = MakePlanner(PlannerKind::kDeGreedy)
+                              ->Plan(instance_)
+                              .planning.total_utility();
+  EXPECT_NEAR(exact, 4.5, 1e-9);
+  EXPECT_NEAR(ratio_greedy, 3.6, 1e-9);
+  EXPECT_NEAR(dedpo, 4.4, 1e-9);
+  EXPECT_NEAR(degreedy, 4.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace usep

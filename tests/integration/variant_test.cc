@@ -1,0 +1,124 @@
+// End-to-end checks of the Remark 1 / Remark 2 problem variants: the
+// reductions produce plain USEP instances, so every planner property —
+// feasibility, the DeDP/DeDPO equivalence, the 1/2-approximation — must
+// carry over unchanged.
+
+#include <gtest/gtest.h>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "common/rng.h"
+#include "core/transforms.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class VariantTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  StatusOr<Instance> BaseInstance() const {
+    GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+    config.num_events = 6;
+    config.num_users = 4;
+    return GenerateSyntheticInstance(config);
+  }
+};
+
+TEST_P(VariantTest, FeeVariantKeepsAllGuarantees) {
+  const StatusOr<Instance> base = BaseInstance();
+  ASSERT_TRUE(base.ok());
+  Rng rng(GetParam() + 77);
+  std::vector<Cost> fees(base->num_events());
+  for (Cost& fee : fees) fee = rng.UniformInt(0, 30);
+  const StatusOr<Instance> priced = WithParticipationFees(*base, fees);
+  ASSERT_TRUE(priced.ok());
+
+  const double optimum =
+      ExactPlanner().Plan(*priced).planning.total_utility();
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    const PlannerResult result = MakePlanner(kind)->Plan(*priced);
+    const ValidationReport report =
+        ValidatePlanning(*priced, result.planning);
+    EXPECT_TRUE(report.ok()) << PlannerKindName(kind) << "\n"
+                             << report.ToString();
+    EXPECT_LE(result.planning.total_utility(), optimum + 1e-9);
+  }
+  const double dedpo =
+      MakePlanner(PlannerKind::kDeDpo)->Plan(*priced).planning.total_utility();
+  EXPECT_GE(dedpo, 0.5 * optimum - 1e-9)
+      << "1/2-approximation on the fee variant, seed " << GetParam();
+}
+
+TEST_P(VariantTest, CandidateRestrictionKeepsAllGuarantees) {
+  const StatusOr<Instance> base = BaseInstance();
+  ASSERT_TRUE(base.ok());
+  Rng rng(GetParam() + 991);
+  std::vector<std::vector<EventId>> candidates(base->num_users());
+  for (auto& set : candidates) {
+    for (EventId v = 0; v < base->num_events(); ++v) {
+      if (rng.Bernoulli(0.6)) set.push_back(v);
+    }
+  }
+  const StatusOr<Instance> restricted = RestrictCandidates(*base, candidates);
+  ASSERT_TRUE(restricted.ok());
+
+  const double optimum =
+      ExactPlanner().Plan(*restricted).planning.total_utility();
+  for (const PlannerKind kind : PaperPlannerKinds()) {
+    const PlannerResult result = MakePlanner(kind)->Plan(*restricted);
+    EXPECT_TRUE(ValidatePlanning(*restricted, result.planning).ok())
+        << PlannerKindName(kind);
+    // Nothing outside the candidate sets is ever arranged.
+    for (UserId u = 0; u < restricted->num_users(); ++u) {
+      for (const EventId v : result.planning.schedule(u).events()) {
+        EXPECT_NE(std::find(candidates[u].begin(), candidates[u].end(), v),
+                  candidates[u].end())
+            << PlannerKindName(kind) << " arranged v" << v
+            << " outside V_u of user " << u;
+      }
+    }
+  }
+  const double dedpo = MakePlanner(PlannerKind::kDeDpo)
+                           ->Plan(*restricted)
+                           .planning.total_utility();
+  EXPECT_GE(dedpo, 0.5 * optimum - 1e-9);
+}
+
+TEST_P(VariantTest, FeesOnlyEverReduceTheOptimum) {
+  const StatusOr<Instance> base = BaseInstance();
+  ASSERT_TRUE(base.ok());
+  const double base_optimum =
+      ExactPlanner().Plan(*base).planning.total_utility();
+  const StatusOr<Instance> priced = WithParticipationFees(
+      *base, std::vector<Cost>(base->num_events(), 10));
+  ASSERT_TRUE(priced.ok());
+  const double priced_optimum =
+      ExactPlanner().Plan(*priced).planning.total_utility();
+  EXPECT_LE(priced_optimum, base_optimum + 1e-9);
+}
+
+TEST_P(VariantTest, RestrictionOnlyEverReducesTheOptimum) {
+  const StatusOr<Instance> base = BaseInstance();
+  ASSERT_TRUE(base.ok());
+  const double base_optimum =
+      ExactPlanner().Plan(*base).planning.total_utility();
+  // Restrict every user to the first half of the catalogue.
+  std::vector<EventId> first_half;
+  for (EventId v = 0; v < base->num_events() / 2; ++v) {
+    first_half.push_back(v);
+  }
+  const StatusOr<Instance> restricted = RestrictCandidates(
+      *base,
+      std::vector<std::vector<EventId>>(base->num_users(), first_half));
+  ASSERT_TRUE(restricted.ok());
+  const double restricted_optimum =
+      ExactPlanner().Plan(*restricted).planning.total_utility();
+  EXPECT_LE(restricted_optimum, base_optimum + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantTest, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace usep

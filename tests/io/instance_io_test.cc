@@ -1,0 +1,144 @@
+#include "io/instance_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/instance_builder.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+void ExpectInstancesEquivalent(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.num_events(), b.num_events());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  EXPECT_EQ(a.conflict_policy(), b.conflict_policy());
+  for (EventId v = 0; v < a.num_events(); ++v) {
+    EXPECT_EQ(a.event(v).interval, b.event(v).interval);
+    EXPECT_EQ(a.event(v).capacity, b.event(v).capacity);
+    EXPECT_EQ(a.event(v).name, b.event(v).name);
+    for (EventId w = 0; w < a.num_events(); ++w) {
+      EXPECT_EQ(a.EventTravelCost(v, w), b.EventTravelCost(v, w));
+      EXPECT_EQ(a.CanFollow(v, w), b.CanFollow(v, w));
+    }
+    for (UserId u = 0; u < a.num_users(); ++u) {
+      EXPECT_DOUBLE_EQ(a.utility(v, u), b.utility(v, u));
+      EXPECT_EQ(a.UserToEventCost(u, v), b.UserToEventCost(u, v));
+      EXPECT_EQ(a.EventToUserCost(v, u), b.EventToUserCost(v, u));
+    }
+  }
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.user(u).budget, b.user(u).budget);
+    EXPECT_EQ(a.user(u).name, b.user(u).name);
+  }
+}
+
+TEST(InstanceIoTest, MetricInstanceRoundTrips) {
+  const Instance original = testing::MakeTable1Instance();
+  const std::string text = SerializeInstance(original);
+  const StatusOr<Instance> parsed = DeserializeInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectInstancesEquivalent(original, *parsed);
+}
+
+TEST(InstanceIoTest, MatrixInstanceRoundTrips) {
+  const Instance original = testing::MakeTinyMatrixInstance();
+  const std::string text = SerializeInstance(original);
+  EXPECT_NE(text.find("cost matrix"), std::string::npos);
+  const StatusOr<Instance> parsed = DeserializeInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectInstancesEquivalent(original, *parsed);
+}
+
+TEST(InstanceIoTest, GeneratedInstanceRoundTrips) {
+  const StatusOr<Instance> original =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(321));
+  ASSERT_TRUE(original.ok());
+  const StatusOr<Instance> parsed =
+      DeserializeInstance(SerializeInstance(*original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectInstancesEquivalent(*original, *parsed);
+}
+
+TEST(InstanceIoTest, TravelAwarePolicyRoundTrips) {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1);
+  builder.AddUser(10);
+  builder.SetUtility(0, 0, 0.5);
+  builder.SetMetricLayout(MetricKind::kManhattan, {{0, 0}}, {{1, 1}});
+  builder.SetConflictPolicy(ConflictPolicy::kTravelTimeAware);
+  const Instance original = *std::move(builder).Build();
+  const StatusOr<Instance> parsed =
+      DeserializeInstance(SerializeInstance(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->conflict_policy(), ConflictPolicy::kTravelTimeAware);
+}
+
+TEST(InstanceIoTest, FileRoundTrip) {
+  const Instance original = testing::MakeTable1Instance();
+  const std::string path = ::testing::TempDir() + "/usep_instance.txt";
+  ASSERT_TRUE(WriteInstanceFile(original, path).ok());
+  const StatusOr<Instance> parsed = ReadInstanceFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectInstancesEquivalent(original, *parsed);
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoTest, ReadMissingFileFails) {
+  const StatusOr<Instance> parsed =
+      ReadInstanceFile("/nonexistent/usep_instance.txt");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(InstanceIoTest, CommentsAndBlankLinesIgnored) {
+  const Instance original = testing::MakeTinyMatrixInstance();
+  std::string text = SerializeInstance(original);
+  text.insert(text.find('\n') + 1, "# a comment\n\n   \n");
+  const StatusOr<Instance> parsed = DeserializeInstance(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+}
+
+TEST(InstanceIoTest, RejectsBadHeader) {
+  EXPECT_FALSE(DeserializeInstance("NOT-USEP 1\nend\n").ok());
+  EXPECT_FALSE(DeserializeInstance("USEP-INSTANCE 99\nend\n").ok());
+  EXPECT_FALSE(DeserializeInstance("").ok());
+}
+
+TEST(InstanceIoTest, RejectsTruncatedInput) {
+  const std::string text = SerializeInstance(testing::MakeTable1Instance());
+  // Chop off the trailing "end\n" plus some utilities.
+  const std::string truncated = text.substr(0, text.size() * 2 / 3);
+  EXPECT_FALSE(DeserializeInstance(truncated).ok());
+}
+
+TEST(InstanceIoTest, RejectsUnknownPolicy) {
+  std::string text = SerializeInstance(testing::MakeTinyMatrixInstance());
+  const std::string needle = "policy time_overlap_only";
+  text.replace(text.find(needle), needle.size(), "policy mystery_policy");
+  EXPECT_FALSE(DeserializeInstance(text).ok());
+}
+
+TEST(InstanceIoTest, RejectsInvalidUtilityValues) {
+  const Instance original = testing::MakeTinyMatrixInstance();
+  std::string text = SerializeInstance(original);
+  // Inject an out-of-range utility (the builder re-validates on load).
+  const std::string needle = "utilities 3";
+  ASSERT_NE(text.find(needle), std::string::npos);
+  text.replace(text.find("0 0 0.9"), 7, "0 0 9.9");
+  EXPECT_FALSE(DeserializeInstance(text).ok());
+}
+
+TEST(InstanceIoTest, PreservesEventAndUserNames) {
+  const Instance original = testing::MakeTinyMatrixInstance();
+  const StatusOr<Instance> parsed =
+      DeserializeInstance(SerializeInstance(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->event(0).name, "first");
+  EXPECT_EQ(parsed->user(1).name, "far");
+}
+
+}  // namespace
+}  // namespace usep

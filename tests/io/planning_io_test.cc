@@ -1,0 +1,111 @@
+#include "io/planning_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "algo/dedpo.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+TEST(PlanningIoTest, RoundTripsSimplePlanning) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 0));
+  ASSERT_TRUE(planning.TryAssign(1, 0));
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+
+  const std::string text = SerializePlanning(planning);
+  const StatusOr<Planning> parsed = DeserializePlanning(instance, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->total_utility(), planning.total_utility());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    EXPECT_EQ(parsed->schedule(u).events(), planning.schedule(u).events());
+  }
+}
+
+TEST(PlanningIoTest, EmptyPlanningRoundTrips) {
+  const Instance instance = testing::MakeTable1Instance();
+  const Planning planning(instance);
+  const StatusOr<Planning> parsed =
+      DeserializePlanning(instance, SerializePlanning(planning));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->total_assignments(), 0);
+}
+
+TEST(PlanningIoTest, PlannerOutputRoundTrips) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(777));
+  ASSERT_TRUE(instance.ok());
+  const PlannerResult result = DeDpoPlanner().Plan(*instance);
+  const StatusOr<Planning> parsed =
+      DeserializePlanning(*instance, SerializePlanning(result.planning));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->total_utility(),
+                   result.planning.total_utility());
+  EXPECT_TRUE(ValidatePlanning(*instance, *parsed).ok());
+}
+
+TEST(PlanningIoTest, FileRoundTrip) {
+  const Instance instance = testing::MakeTable1Instance();
+  Planning planning(instance);
+  ASSERT_TRUE(planning.TryAssign(2, 2));
+  const std::string path = ::testing::TempDir() + "/usep_planning.txt";
+  ASSERT_TRUE(WritePlanningFile(planning, path).ok());
+  const StatusOr<Planning> parsed = ReadPlanningFile(instance, path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->schedule(2).Contains(2));
+  std::remove(path.c_str());
+}
+
+TEST(PlanningIoTest, RejectsInfeasibleAssignments) {
+  const Instance instance = testing::MakeTable1Instance();
+  // v1 (event 0) has capacity 1; assigning it to two users must fail.
+  const std::string text =
+      "USEP-PLANNING 1\n"
+      "s 1 : 0\n"
+      "s 2 : 0\n"
+      "end\n";
+  const StatusOr<Planning> parsed = DeserializePlanning(instance, text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("violates"), std::string::npos);
+}
+
+TEST(PlanningIoTest, RejectsOutOfRangeIds) {
+  const Instance instance = testing::MakeTable1Instance();
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 0 : 99\nend\n").ok());
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 99 : 0\nend\n").ok());
+}
+
+TEST(PlanningIoTest, RejectsMalformedInput) {
+  const Instance instance = testing::MakeTable1Instance();
+  EXPECT_FALSE(DeserializePlanning(instance, "").ok());
+  EXPECT_FALSE(DeserializePlanning(instance, "BANANA 1\nend\n").ok());
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 0 : 1\n").ok())
+      << "missing end";
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\nx 0 : 1\nend\n").ok());
+}
+
+TEST(PlanningIoTest, IgnoresCommentsAndBlankLines) {
+  const Instance instance = testing::MakeTable1Instance();
+  const std::string text =
+      "USEP-PLANNING 1\n"
+      "# best planning ever\n"
+      "\n"
+      "s 2 : 2\n"
+      "end\n";
+  const StatusOr<Planning> parsed = DeserializePlanning(instance, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->schedule(2).Contains(2));
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,103 @@
+#include "testing/test_instances.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/instance_builder.h"
+#include "gen/paper_example.h"
+
+namespace usep::testing {
+
+Instance MakeTable1Instance() { return MakePaperExampleInstance(); }
+
+Instance MakeTinyMatrixInstance() {
+  InstanceBuilder builder;
+  builder.AddEvent({0, 10}, 1, "first");
+  builder.AddEvent({20, 30}, 2, "second");
+  builder.AddUser(20, "near");
+  builder.AddUser(20, "far");
+
+  auto model = std::make_shared<MatrixCostModel>(2, 2);
+  model->SetEventPair(0, 1, 4);
+  model->SetUserEventPair(0, 0, 2);
+  model->SetUserEventPair(0, 1, 5);
+  model->SetUserEventPair(1, 0, 3);
+  model->SetUserEventPair(1, 1, 3);
+  builder.SetCostModel(std::move(model));
+
+  builder.SetUtility(0, 0, 0.9);
+  builder.SetUtility(1, 0, 0.5);
+  builder.SetUtility(0, 1, 0.8);
+  // mu(1, 1) stays 0: the utility constraint forbids arranging it.
+
+  StatusOr<Instance> instance = std::move(builder).Build();
+  USEP_CHECK(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+Instance MakeKnapsackInstance(const std::vector<double>& values,
+                              const std::vector<Cost>& weights,
+                              Cost capacity) {
+  USEP_CHECK_EQ(values.size(), weights.size());
+  const int n = static_cast<int>(values.size());
+  const double max_value =
+      values.empty() ? 1.0 : *std::max_element(values.begin(), values.end());
+
+  InstanceBuilder builder;
+  for (int i = 0; i < n; ++i) {
+    builder.AddEvent({static_cast<TimePoint>(i) * 10,
+                      static_cast<TimePoint>(i) * 10 + 5},
+                     /*capacity=*/1);
+  }
+  // Theorem 1's construction scaled by 2 to keep integer costs:
+  // cost(u, v_i) = w_i and cost(v_i, v_j) = w_i + w_j, so a schedule
+  // {v_s1..v_sm} costs exactly 2 * sum(w_si); the budget is 2 * capacity.
+  builder.AddUser(2 * capacity);
+
+  auto model = std::make_shared<MatrixCostModel>(n, 1);
+  for (int i = 0; i < n; ++i) {
+    USEP_CHECK_GT(weights[i], 0);
+    model->SetUserEventPair(0, i, weights[i]);
+    for (int j = 0; j < n; ++j) {
+      if (i != j) model->SetEventToEvent(i, j, weights[i] + weights[j]);
+    }
+  }
+  builder.SetCostModel(std::move(model));
+
+  for (int i = 0; i < n; ++i) {
+    USEP_CHECK_GT(values[i], 0.0);
+    builder.SetUtility(i, 0, values[i] / max_value);
+  }
+
+  StatusOr<Instance> instance = std::move(builder).Build();
+  USEP_CHECK(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+GeneratorConfig SmallRandomConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_events = 5;
+  config.num_users = 3;
+  config.capacity_mean = 2.0;
+  config.budget_factor = 2.0;
+  config.conflict_ratio = 0.3;
+  config.grid_extent = 50;
+  config.event_duration = 100;
+  config.seed = seed;
+  return config;
+}
+
+GeneratorConfig MediumRandomConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.num_events = 20;
+  config.num_users = 60;
+  config.capacity_mean = 5.0;
+  config.budget_factor = 2.0;
+  config.conflict_ratio = 0.25;
+  config.grid_extent = 200;
+  config.event_duration = 120;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace usep::testing
