@@ -65,6 +65,7 @@ MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance) {
   run.utility = result.planning.total_utility();
   run.assignments = result.planning.total_assignments();
   run.validated = ValidatePlanning(instance, result.planning).ok();
+  run.termination = result.termination;
   return run;
 }
 
@@ -106,14 +107,15 @@ int FigureBench::Finish() {
               BenchScaleName(GetBenchScale()));
 
   TablePrinter table({parameter_name_, "algorithm", "utility", "time_ms",
-                      "peak_mem", "assignments", "valid"});
+                      "peak_mem", "assignments", "valid", "termination"});
   for (const Row& row : rows_) {
     table.AddRow({row.parameter_value, row.run.algorithm,
                   StrFormat("%.2f", row.run.utility),
                   StrFormat("%.2f", row.run.time_ms),
                   HumanBytes(row.run.peak_bytes),
                   StrFormat("%d", row.run.assignments),
-                  row.run.validated ? "yes" : "NO"});
+                  row.run.validated ? "yes" : "NO",
+                  TerminationName(row.run.termination)});
   }
   table.Print(std::cout);
 
@@ -123,7 +125,8 @@ int FigureBench::Finish() {
   if (csv_file) {
     CsvWriter csv(&csv_file);
     csv.WriteRow({"figure", "scale", parameter_name_, "algorithm", "utility",
-                  "time_ms", "peak_bytes", "assignments", "valid"});
+                  "time_ms", "peak_bytes", "assignments", "valid",
+                  "termination"});
     for (const Row& row : rows_) {
       csv.WriteRow({figure_id_, BenchScaleName(GetBenchScale()),
                     row.parameter_value, row.run.algorithm,
@@ -131,7 +134,8 @@ int FigureBench::Finish() {
                     StrFormat("%.3f", row.run.time_ms),
                     StrFormat("%zu", row.run.peak_bytes),
                     StrFormat("%d", row.run.assignments),
-                    row.run.validated ? "yes" : "no"});
+                    row.run.validated ? "yes" : "no",
+                    TerminationName(row.run.termination)});
     }
     std::printf("\nwrote %s\n", csv_path.c_str());
   }

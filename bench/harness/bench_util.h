@@ -42,6 +42,7 @@ struct MeasuredRun {
   size_t peak_bytes = 0;  // Allocation-hook peak delta (or logical fallback).
   int assignments = 0;
   bool validated = false;
+  Termination termination = Termination::kCompleted;
 };
 
 // Runs `planner` on `instance`, re-validates the planning, and measures

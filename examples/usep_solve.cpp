@@ -34,6 +34,14 @@ int main(int argc, char** argv) {
       "comma-separated planner names (see algo/planner_registry.h)");
   std::string* output_path = flags.AddString(
       "output", "", "write the best planning to this path (optional)");
+  std::string* fallback_chain = flags.AddString(
+      "fallback_chain", "",
+      "also run a graceful-degradation chain, e.g. "
+      "'Exact->DeDPO+RG->RatioGreedy'");
+  double* deadline_ms = flags.AddDouble(
+      "deadline_ms", 0.0, "per-planner wall-clock deadline (0 = none)");
+  int64_t* max_nodes = flags.AddInt64(
+      "max_nodes", 0, "per-planner guard-node budget (0 = none)");
   bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -52,18 +60,36 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", instance->DebugSummary().c_str());
 
+  std::vector<std::string> planner_names;
+  for (const std::string& name : Split(*planners_flag, ',')) {
+    if (!Trim(name).empty()) planner_names.push_back(name);
+  }
+  if (!fallback_chain->empty()) planner_names.push_back(*fallback_chain);
+  if (planner_names.empty()) {
+    std::fprintf(stderr, "no planners requested: pass --planners and/or "
+                         "--fallback_chain\n");
+    return 2;
+  }
+
   TablePrinter table({"planner", "Omega", "time_ms", "planned_users",
-                      "seat_fill_%", "gini"});
+                      "seat_fill_%", "gini", "termination", "rung"});
   std::optional<PlannerResult> best;
   std::string best_name;
-  for (const std::string& raw_name : Split(*planners_flag, ',')) {
+  for (const std::string& raw_name : planner_names) {
     const StatusOr<std::unique_ptr<Planner>> planner =
         MakePlannerByName(raw_name);
     if (!planner.ok()) {
       std::fprintf(stderr, "%s\n", planner.status().ToString().c_str());
       return 2;
     }
-    PlannerResult result = (*planner)->Plan(*instance);
+    // The deadline is per planner: each row of the comparison table gets the
+    // full budget, so an expensive planner can't starve the ones after it.
+    PlanContext context;
+    if (*deadline_ms > 0.0) {
+      context.deadline = Deadline::AfterMillis(*deadline_ms);
+    }
+    context.max_nodes = *max_nodes;
+    PlannerResult result = (*planner)->Plan(*instance, context);
     const Status feasible = CheckPlanningFeasible(*instance, result.planning);
     if (!feasible.ok()) {
       std::fprintf(stderr, "planner %s produced an invalid planning:\n%s\n",
@@ -77,8 +103,16 @@ int main(int argc, char** argv) {
                   StrFormat("%.1f", result.stats.wall_seconds * 1e3),
                   StrFormat("%d/%d", stats.users_with_plans, stats.num_users),
                   StrFormat("%.1f", 100.0 * stats.seat_fill_rate),
-                  StrFormat("%.3f", stats.utility_gini)});
+                  StrFormat("%.3f", stats.utility_gini),
+                  TerminationName(result.termination),
+                  result.stats.fallback_rung.empty()
+                      ? "-"
+                      : result.stats.fallback_rung});
     if (*verbose) {
+      if (!result.stats.fallback_trace.empty()) {
+        std::printf("fallback descent: %s\n",
+                    result.stats.fallback_trace.c_str());
+      }
       std::printf("%s\n", result.planning.ToString().c_str());
     }
     if (!best.has_value() ||

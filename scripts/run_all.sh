@@ -28,7 +28,8 @@ echo "== examples"
 ./build/examples/budget_explorer
 ./build/examples/usep_generate --num_events=30 --num_users=200 \
   --output=/tmp/usep_demo.instance
-./build/examples/usep_solve --instance=/tmp/usep_demo.instance
+./build/examples/usep_solve --instance=/tmp/usep_demo.instance \
+  --fallback_chain='Exact->DeDPO+RG->RatioGreedy' --deadline_ms=200
 ./build/examples/city_event_planner --city=auckland
 
 echo "All green.  Figure series: bench_results/*.csv"

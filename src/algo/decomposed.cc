@@ -136,13 +136,14 @@ std::vector<UserId> MakeUserOrder(const Instance& instance, UserOrder order,
 }
 
 void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
-                            PlannerStats* stats) {
+                            PlannerStats* stats, PlanGuard* guard) {
+  if (guard != nullptr && guard->stopped()) return;
   std::vector<EventId> spare;
   for (EventId v = 0; v < instance.num_events(); ++v) {
     if (!planning->EventFull(v)) spare.push_back(v);
   }
   if (spare.empty()) return;
-  RatioGreedyPlanner::Augment(instance, spare, planning, stats);
+  RatioGreedyPlanner::Augment(instance, spare, planning, stats, guard);
 }
 
 }  // namespace usep

@@ -60,9 +60,11 @@ Planning AssemblePlanning(const Instance& instance, const SelectArray& select);
 
 // Post-pass of Section 4.3.2: runs RatioGreedy restricted to events with
 // spare capacity to top up `planning` (the +RG in DeDPO+RG / DeGreedy+RG).
-// Never lowers the utility, and preserves the 1/2-approximation.
+// Never lowers the utility, and preserves the 1/2-approximation.  `guard`
+// (optional, not owned) stops the augmentation early; the planning stays
+// valid at every step.
 void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
-                            PlannerStats* stats);
+                            PlannerStats* stats, PlanGuard* guard = nullptr);
 
 // In which order the framework processes users.  The paper fixes instance
 // order; Theorem 3's induction is order-agnostic, so any order keeps the

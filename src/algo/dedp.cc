@@ -3,14 +3,19 @@
 #include <algorithm>
 
 #include "algo/decomposed.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace usep {
 
-PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
+PlannerResult DeDpPlanner::Plan(const Instance& instance,
+                                const PlanContext& context) const {
   Stopwatch stopwatch;
   PlannerStats stats;
+  PlanGuard guard(context);
+  SingleUserOptions dp_options = options_.dp;
+  dp_options.guard = &guard;
 
   const int num_users = instance.num_users();
   const int num_events = instance.num_events();
@@ -25,12 +30,19 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
   }
   const size_t total_copies = copy_offset[num_events];
 
-  // The full mu^r array Algorithm 3 carries around — the memory hog.
-  std::vector<double> mu(total_copies * static_cast<size_t>(num_users));
-  for (EventId v = 0; v < num_events; ++v) {
-    for (size_t row = copy_offset[v]; row < copy_offset[v + 1]; ++row) {
-      for (UserId j = 0; j < num_users; ++j) {
-        mu[row * num_users + j] = instance.utility(v, j);
+  // Check before materializing the mu^r array — the memory hog of the whole
+  // family — so an expired deadline or tight memory budget skips the big
+  // allocation entirely and the planner degrades to an empty (valid)
+  // planning instead.
+  std::vector<double> mu;
+  if (!guard.ShouldStop()) {
+    // The full mu^r array Algorithm 3 carries around.
+    mu.resize(total_copies * static_cast<size_t>(num_users));
+    for (EventId v = 0; v < num_events; ++v) {
+      for (size_t row = copy_offset[v]; row < copy_offset[v + 1]; ++row) {
+        for (UserId j = 0; j < num_users; ++j) {
+          mu[row * num_users + j] = instance.utility(v, j);
+        }
       }
     }
   }
@@ -41,7 +53,11 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
   std::vector<int> last_claimant(total_copies, -1);
 
   std::vector<int> chosen_row(num_events, -1);
-  for (UserId r = 0; r < num_users; ++r) {
+  for (UserId r = 0; r < num_users && !mu.empty(); ++r) {
+    if (USEP_FAILPOINT("dedp.user")) {
+      guard.ForceStop(Termination::kInjectedFault);
+    }
+    if (guard.ShouldStop()) break;
     // Champion copy per event: argmax_k mu^r(v_{i,k}, u_r), ties to the
     // smallest k (matching DeDPO's ChooseCopy).
     std::vector<UserCandidate> candidates;
@@ -62,7 +78,7 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
     }
     if (candidates.empty()) continue;
 
-    const SingleResult single = DpSingle(instance, r, candidates, options_.dp);
+    const SingleResult single = DpSingle(instance, r, candidates, dp_options);
     stats.dp_cells += single.cells;
     ++stats.iterations;
 
@@ -97,7 +113,8 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance) const {
   Planning planning = AssemblePlanning(instance, select);
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

@@ -28,7 +28,9 @@ class DeDpPlanner : public Planner {
 
   std::string_view name() const override { return "DeDP"; }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   Options options_;

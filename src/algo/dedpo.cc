@@ -3,13 +3,18 @@
 #include <algorithm>
 
 #include "algo/decomposed.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace usep {
 
-PlannerResult DeDpoPlanner::Plan(const Instance& instance) const {
+PlannerResult DeDpoPlanner::Plan(const Instance& instance,
+                                 const PlanContext& context) const {
   Stopwatch stopwatch;
   PlannerStats stats;
+  PlanGuard guard(context);
+  SingleUserOptions dp_options = options_.dp;
+  dp_options.guard = &guard;
 
   // First step: one optimal schedule per user against the decomposed
   // utilities, tracked through the select array.
@@ -21,10 +26,14 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance) const {
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
+    if (USEP_FAILPOINT("dedpo.user")) {
+      guard.ForceStop(Termination::kInjectedFault);
+    }
+    if (guard.ShouldStop()) break;
     const std::vector<UserCandidate> candidates =
         BuildCandidates(instance, select, u, &chosen_copy);
     if (candidates.empty()) continue;
-    const SingleResult single = DpSingle(instance, u, candidates, options_.dp);
+    const SingleResult single = DpSingle(instance, u, candidates, dp_options);
     stats.dp_cells += single.cells;
     stats.logical_peak_bytes =
         std::max(stats.logical_peak_bytes, single.peak_bytes + select_bytes);
@@ -38,11 +47,12 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance) const {
   Planning planning = AssemblePlanning(instance, select);
 
   if (options_.augment_with_rg) {
-    AugmentWithRatioGreedy(instance, &planning, &stats);
+    AugmentWithRatioGreedy(instance, &planning, &stats, &guard);
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

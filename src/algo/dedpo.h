@@ -30,7 +30,9 @@ class DeDpoPlanner : public Planner {
     return options_.augment_with_rg ? "DeDPO+RG" : "DeDPO";
   }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   Options options_;

@@ -4,13 +4,16 @@
 
 #include "algo/decomposed.h"
 #include "algo/greedy_single.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace usep {
 
-PlannerResult DeGreedyPlanner::Plan(const Instance& instance) const {
+PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
+                                    const PlanContext& context) const {
   Stopwatch stopwatch;
   PlannerStats stats;
+  PlanGuard guard(context);
 
   SelectArray select = MakeSelectArray(instance);
   std::vector<int> chosen_copy(instance.num_events(), -1);
@@ -20,10 +23,14 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance) const {
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
+    if (USEP_FAILPOINT("degreedy.user")) {
+      guard.ForceStop(Termination::kInjectedFault);
+    }
+    if (guard.ShouldStop()) break;
     const std::vector<UserCandidate> candidates =
         BuildCandidates(instance, select, u, &chosen_copy);
     if (candidates.empty()) continue;
-    const SingleResult single = GreedySingle(instance, u, candidates);
+    const SingleResult single = GreedySingle(instance, u, candidates, &guard);
     stats.heap_pushes += single.cells;
     stats.logical_peak_bytes =
         std::max(stats.logical_peak_bytes, single.peak_bytes + select_bytes);
@@ -36,11 +43,12 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance) const {
   Planning planning = AssemblePlanning(instance, select);
 
   if (options_.augment_with_rg) {
-    AugmentWithRatioGreedy(instance, &planning, &stats);
+    AugmentWithRatioGreedy(instance, &planning, &stats, &guard);
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

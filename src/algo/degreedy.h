@@ -29,7 +29,9 @@ class DeGreedyPlanner : public Planner {
     return options_.augment_with_rg ? "DeGreedy+RG" : "DeGreedy";
   }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   Options options_;

@@ -68,6 +68,7 @@ SingleResult DpSingleSparse(const Instance& instance, UserId u,
 
   for (int i = 0; i < num_ranks; ++i) {
     if (by_rank[i] < 0) continue;
+    if (options.guard != nullptr && options.guard->ShouldStop()) break;
     const EventId vi = sorted[i];
     const double utility = candidates[by_rank[i]].utility;
     const Cost outbound = instance.UserToEventCost(u, vi);
@@ -140,15 +141,19 @@ SingleResult DpSingleDense(const Instance& instance, UserId u,
                            const SingleUserOptions& options) {
   SingleResult result;
   const Cost budget = instance.user(u).budget;
+
+  // An enormous dense table is a resource problem, not a programming error:
+  // fall back to the sparse frontier, which computes the identical optimum
+  // in memory proportional to the reachable states only.
+  if (budget > (Cost{1} << 31) ||
+      static_cast<double>(budget + 1) * candidates.size() > 4e8) {
+    return DpSingleSparse(instance, u, candidates, options);
+  }
+
   const std::vector<int> by_rank = CandidateByRank(instance, candidates);
   const std::vector<EventId>& sorted = instance.events_by_end_time();
   const int num_ranks = instance.num_events();
-
-  USEP_CHECK_LE(budget, Cost{1} << 31)
-      << "dense DP table would be enormous; use the sparse solver";
   const size_t width = static_cast<size_t>(budget) + 1;
-  USEP_CHECK_LE(static_cast<double>(width) * candidates.size(), 4e8)
-      << "dense DP table would be enormous; use the sparse solver";
 
   // Omega(i, T) tables, allocated only for ranks that host a candidate.
   // omega < 0 marks an unreachable state.
@@ -161,6 +166,7 @@ SingleResult DpSingleDense(const Instance& instance, UserId u,
 
   for (int i = 0; i < num_ranks; ++i) {
     if (by_rank[i] < 0) continue;
+    if (options.guard != nullptr && options.guard->ShouldStop()) break;
     const EventId vi = sorted[i];
     const double utility = candidates[by_rank[i]].utility;
     const Cost outbound = instance.UserToEventCost(u, vi);

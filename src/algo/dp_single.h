@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/plan_context.h"
 #include "core/instance.h"
 
 namespace usep {
@@ -20,11 +21,18 @@ struct SingleUserOptions {
   // Ablation: materialize the paper-literal dense Omega(i, T) table with one
   // column per budget unit instead of the sparse Pareto frontier.  Identical
   // results, very different cost profile (see bench/ablation_dp_table).
+  // When the table would be enormous (huge budget x candidate count) the
+  // solver silently falls back to the sparse frontier instead of aborting.
   bool use_dense_table = false;
   // Ablation: disable the Lemma 1 round-trip pruning that builds V'_r.
   // Results are identical (the DP's budget checks subsume it); only the
   // amount of work changes.
   bool apply_lemma1 = true;
+  // Optional execution guard (not owned).  When it fires mid-solve the DP
+  // stops expanding ranks and reconstructs the best schedule found so far —
+  // still feasible, possibly suboptimal.  Shared with the calling planner so
+  // node counts and deadline checks span the whole run.
+  PlanGuard* guard = nullptr;
 };
 
 // The outcome of one single-user subproblem.

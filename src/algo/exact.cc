@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
@@ -15,15 +16,19 @@ struct CandidateSchedule {
 };
 
 // Depth-first enumeration of every feasible schedule of user `u` (including
-// the empty one, emitted first).
+// the empty one, emitted first).  Stops early — leaving a truncated but
+// individually-feasible schedule set — when the per-user schedule budget is
+// exhausted or the guard fires.
 class ScheduleEnumerator {
  public:
-  ScheduleEnumerator(const Instance& instance, UserId u, int64_t max_schedules)
+  ScheduleEnumerator(const Instance& instance, UserId u, int64_t max_schedules,
+                     PlanGuard* guard)
       : instance_(instance),
         u_(u),
         budget_(instance.user(u).budget),
         sorted_(instance.events_by_end_time()),
-        max_schedules_(max_schedules) {}
+        max_schedules_(max_schedules),
+        guard_(guard) {}
 
   std::vector<CandidateSchedule> Enumerate() {
     schedules_.push_back(CandidateSchedule{});  // The empty schedule.
@@ -31,8 +36,12 @@ class ScheduleEnumerator {
     return std::move(schedules_);
   }
 
+  // True when enumeration hit the schedule budget (not a guard stop).
+  bool truncated() const { return truncated_; }
+
  private:
   void Recurse(int next_rank, Cost t_so_far, double utility) {
+    if (truncated_ || guard_->stopped()) return;
     for (int rank = next_rank; rank < instance_.num_events(); ++rank) {
       const EventId v = sorted_[rank];
       const double mu = instance_.utility(v, u_);
@@ -47,16 +56,22 @@ class ScheduleEnumerator {
       const Cost t = AddCost(t_so_far, hop);
       if (AddCost(t, instance_.EventToUserCost(v, u_)) > budget_) continue;
 
+      if (guard_->ShouldStop()) return;
+      if (USEP_FAILPOINT("exact.schedule_budget") ||
+          static_cast<int64_t>(schedules_.size()) >= max_schedules_) {
+        truncated_ = true;
+        return;
+      }
+
       current_.push_back(rank);
       CandidateSchedule schedule;
       schedule.events.reserve(current_.size());
       for (const int r : current_) schedule.events.push_back(sorted_[r]);
       schedule.utility = utility + mu;
       schedules_.push_back(std::move(schedule));
-      USEP_CHECK_LE(static_cast<int64_t>(schedules_.size()), max_schedules_)
-          << "instance too large for the exact solver (user " << u_ << ")";
       Recurse(rank + 1, t, utility + mu);
       current_.pop_back();
+      if (truncated_ || guard_->stopped()) return;
     }
   }
 
@@ -65,33 +80,62 @@ class ScheduleEnumerator {
   const Cost budget_;
   const std::vector<EventId>& sorted_;
   const int64_t max_schedules_;
+  PlanGuard* const guard_;
+  bool truncated_ = false;
   std::vector<int> current_;  // Ranks on the DFS path.
   std::vector<CandidateSchedule> schedules_;
 };
 
 class BranchAndBound {
  public:
-  BranchAndBound(const Instance& instance, const ExactPlanner::Options& options)
-      : instance_(instance), options_(options) {}
+  BranchAndBound(const Instance& instance, const ExactPlanner::Options& options,
+                 const PlanContext& context)
+      : instance_(instance), options_(options), context_(context) {
+    // The smaller of the planner's own node budget and the context's wins.
+    if (options_.max_nodes > 0 &&
+        (context_.max_nodes == 0 || options_.max_nodes < context_.max_nodes)) {
+      context_.max_nodes = options_.max_nodes;
+    }
+  }
 
   PlannerResult Solve() {
     Stopwatch stopwatch;
+    PlanGuard guard(context_);
     const int num_users = instance_.num_users();
+    // Set when enumeration was cut short by the schedule budget: the search
+    // still runs, but optimality is lost and the result must say so.
+    bool schedules_truncated = false;
+    bool schedules_injected = false;
 
     per_user_.reserve(num_users);
+    empty_index_.assign(num_users, 0);
     size_t schedule_bytes = 0;
     for (UserId u = 0; u < num_users; ++u) {
-      std::vector<CandidateSchedule> schedules =
-          ScheduleEnumerator(instance_, u, options_.max_schedules_per_user)
-              .Enumerate();
+      std::vector<CandidateSchedule> schedules;
+      if (guard.stopped()) {
+        // Out of time/budget: remaining users keep only the empty schedule
+        // so the incumbent machinery below stays well-defined.
+        schedules.push_back(CandidateSchedule{});
+      } else {
+        ScheduleEnumerator enumerator(instance_, u,
+                                      options_.max_schedules_per_user, &guard);
+        schedules = enumerator.Enumerate();
+        if (enumerator.truncated()) {
+          schedules_truncated = true;
+          schedules_injected = failpoint::IsArmed("exact.schedule_budget");
+        }
+      }
       // Try high-utility schedules first so good incumbents appear early.
       std::sort(schedules.begin(), schedules.end(),
                 [](const CandidateSchedule& a, const CandidateSchedule& b) {
                   if (a.utility != b.utility) return a.utility > b.utility;
                   return a.events < b.events;
                 });
-      for (const CandidateSchedule& schedule : schedules) {
-        schedule_bytes += schedule.events.size() * sizeof(EventId) +
+      for (size_t s = 0; s < schedules.size(); ++s) {
+        if (schedules[s].events.empty()) {
+          empty_index_[u] = static_cast<int>(s);
+        }
+        schedule_bytes += schedules[s].events.size() * sizeof(EventId) +
                           sizeof(CandidateSchedule);
       }
       per_user_.push_back(std::move(schedules));
@@ -109,10 +153,12 @@ class BranchAndBound {
     for (EventId v = 0; v < instance_.num_events(); ++v) {
       capacity_left_[v] = instance_.event(v).capacity;
     }
-    chosen_.assign(num_users, 0);
-    best_chosen_.assign(num_users, 0);
+    // The incumbent starts as the all-empty planning, which is always
+    // feasible — so an early-stopped search still materializes validly.
+    chosen_ = empty_index_;
+    best_chosen_ = empty_index_;
 
-    Recurse(0, 0.0);
+    Recurse(0, 0.0, &guard);
 
     // Materialize the incumbent as a Planning.
     Planning planning(instance_);
@@ -127,15 +173,24 @@ class BranchAndBound {
     PlannerStats stats;
     stats.wall_seconds = stopwatch.ElapsedSeconds();
     stats.iterations = nodes_;
+    stats.guard_nodes = guard.nodes();
     stats.logical_peak_bytes = schedule_bytes;
-    return PlannerResult{std::move(planning), stats};
+
+    Termination termination = guard.reason();
+    if (termination == Termination::kCompleted && schedules_truncated) {
+      termination = schedules_injected ? Termination::kInjectedFault
+                                       : Termination::kNodeBudget;
+    }
+    return PlannerResult{std::move(planning), stats, termination};
   }
 
  private:
-  void Recurse(UserId u, double utility) {
+  void Recurse(UserId u, double utility, PlanGuard* guard) {
+    if (USEP_FAILPOINT("exact.node_budget")) {
+      guard->ForceStop(Termination::kInjectedFault);
+    }
+    if (guard->ShouldStop()) return;
     ++nodes_;
-    USEP_CHECK_LE(nodes_, options_.max_nodes)
-        << "exact solver node budget exhausted";
     if (u == instance_.num_users()) {
       if (utility > best_utility_) {
         best_utility_ = utility;
@@ -164,15 +219,18 @@ class BranchAndBound {
       if (!fits) continue;
       for (const EventId v : schedule.events) --capacity_left_[v];
       chosen_[u] = static_cast<int>(s);
-      Recurse(u + 1, utility + schedule.utility);
+      Recurse(u + 1, utility + schedule.utility, guard);
       for (const EventId v : schedule.events) ++capacity_left_[v];
+      if (guard->stopped()) break;
     }
-    chosen_[u] = 0;
+    chosen_[u] = empty_index_[u];
   }
 
   const Instance& instance_;
   const ExactPlanner::Options options_;
+  PlanContext context_;
   std::vector<std::vector<CandidateSchedule>> per_user_;
+  std::vector<int> empty_index_;  // Index of each user's empty schedule.
   std::vector<double> suffix_best_;
   std::vector<int> capacity_left_;
   std::vector<int> chosen_;
@@ -183,8 +241,9 @@ class BranchAndBound {
 
 }  // namespace
 
-PlannerResult ExactPlanner::Plan(const Instance& instance) const {
-  return BranchAndBound(instance, options_).Solve();
+PlannerResult ExactPlanner::Plan(const Instance& instance,
+                                 const PlanContext& context) const {
+  return BranchAndBound(instance, options_, context).Solve();
 }
 
 }  // namespace usep

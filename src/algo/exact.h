@@ -19,14 +19,22 @@ namespace usep {
 // trying schedules in decreasing utility under the remaining event
 // capacities.  The bound "current utility + sum of later users'
 // capacity-ignoring best schedules" prunes the search.
+//
+// Exceeding either budget below — or any PlanContext limit — stops the
+// search cleanly: the planner returns its best incumbent (a valid planning;
+// the all-empty one at worst) with PlannerResult::termination reporting the
+// reason.  The result is then NOT guaranteed optimal; callers that need a
+// certificate must check termination == kCompleted.
 class ExactPlanner : public Planner {
  public:
   struct Options {
-    // Aborts (via USEP_CHECK) when a user has more feasible schedules than
-    // this — a guard against accidentally feeding a large instance.
+    // Stops enumeration when a user has more feasible schedules than this —
+    // a guard against accidentally feeding a large instance.  The search
+    // then runs over the truncated schedule sets and the result reports
+    // Termination::kNodeBudget.
     int64_t max_schedules_per_user = 2'000'000;
-    // Search-node budget; the planner aborts when exceeded rather than
-    // silently returning a non-optimal planning.
+    // Search-node budget; combined with PlanContext::max_nodes (the smaller
+    // of the two nonzero limits wins).
     int64_t max_nodes = 200'000'000;
   };
 
@@ -35,7 +43,9 @@ class ExactPlanner : public Planner {
 
   std::string_view name() const override { return "Exact"; }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   Options options_;

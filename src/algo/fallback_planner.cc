@@ -1,0 +1,123 @@
+#include "algo/fallback_planner.h"
+
+#include <optional>
+#include <utility>
+
+#include "algo/planner_registry.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/validation.h"
+
+namespace usep {
+namespace {
+
+void AppendTraceStep(std::string* trace, std::string_view rung,
+                     const char* outcome) {
+  if (!trace->empty()) *trace += " -> ";
+  *trace += std::string(rung) + ":" + outcome;
+}
+
+}  // namespace
+
+FallbackPlanner::FallbackPlanner(std::vector<std::unique_ptr<Planner>> rungs)
+    : rungs_(std::move(rungs)) {
+  USEP_CHECK(!rungs_.empty()) << "fallback chain needs at least one rung";
+  name_ = "Fallback[";
+  for (size_t i = 0; i < rungs_.size(); ++i) {
+    USEP_CHECK(rungs_[i] != nullptr);
+    if (i > 0) name_ += "->";
+    name_ += std::string(rungs_[i]->name());
+  }
+  name_ += "]";
+}
+
+StatusOr<std::unique_ptr<Planner>> FallbackPlanner::FromSpec(
+    const std::string& spec) {
+  std::vector<std::unique_ptr<Planner>> rungs;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t arrow = spec.find("->", start);
+    const std::string segment = Trim(
+        arrow == std::string::npos ? spec.substr(start)
+                                   : spec.substr(start, arrow - start));
+    if (segment.empty()) {
+      return Status::InvalidArgument("empty rung in fallback chain '" + spec +
+                                     "'");
+    }
+    StatusOr<std::unique_ptr<Planner>> rung = MakePlannerByName(segment);
+    if (!rung.ok()) return rung.status();
+    rungs.push_back(std::move(rung).value());
+    if (arrow == std::string::npos) break;
+    start = arrow + 2;
+  }
+  if (rungs.empty()) {
+    return Status::InvalidArgument("empty fallback chain spec");
+  }
+  return std::unique_ptr<Planner>(new FallbackPlanner(std::move(rungs)));
+}
+
+PlannerResult FallbackPlanner::Plan(const Instance& instance,
+                                    const PlanContext& context) const {
+  Stopwatch stopwatch;
+  std::string trace;
+  std::optional<PlannerResult> best;
+  std::string best_rung;
+  int64_t total_guard_nodes = 0;
+
+  for (size_t i = 0; i < rungs_.size(); ++i) {
+    const std::unique_ptr<Planner>& rung = rungs_[i];
+    // Budget-aware descent: split the time left on the caller's deadline
+    // evenly across the rungs still to run, so an expensive early rung can
+    // never starve the cheap safety nets behind it.  A rung that finishes
+    // under its slice donates the leftover to the rungs after it; the slice
+    // only ever shrinks the caller's deadline, never extends it.
+    PlanContext rung_context = context;
+    if (!context.deadline.is_infinite()) {
+      rung_context.deadline = Deadline::AfterSeconds(
+          context.deadline.RemainingSeconds() /
+          static_cast<double>(rungs_.size() - i));
+    }
+    PlannerResult result = rung->Plan(instance, rung_context);
+    total_guard_nodes += result.stats.guard_nodes;
+    // Never trust a rung's output blindly: an interrupted (or fault-injected)
+    // planner must still hand back a feasible planning, and validation is the
+    // independent referee of that contract.
+    const bool valid = ValidatePlanning(instance, result.planning).ok();
+    if (!valid) {
+      AppendTraceStep(&trace, rung->name(), "invalid");
+      continue;
+    }
+    if (result.termination == Termination::kCompleted) {
+      AppendTraceStep(&trace, rung->name(), TerminationName(result.termination));
+      result.stats.fallback_rung = std::string(rung->name());
+      result.stats.fallback_trace = std::move(trace);
+      result.stats.guard_nodes = total_guard_nodes;
+      result.stats.wall_seconds = stopwatch.ElapsedSeconds();
+      return result;
+    }
+    AppendTraceStep(&trace, rung->name(), TerminationName(result.termination));
+    if (!best.has_value() ||
+        result.planning.total_utility() > best->planning.total_utility()) {
+      best = std::move(result);
+      best_rung = std::string(rung->name());
+    }
+  }
+
+  if (!best.has_value()) {
+    // Every rung produced an invalid planning (only reachable through a bug
+    // in a rung); degrade to the trivially feasible empty planning rather
+    // than crash — the trace tells the caller what happened.
+    best = PlannerResult{Planning(instance), PlannerStats{},
+                         Termination::kInjectedFault};
+    best_rung = "<empty>";
+    AppendTraceStep(&trace, "<empty>", "fallback-of-last-resort");
+  }
+  best->stats.fallback_rung = best_rung;
+  best->stats.fallback_trace = std::move(trace);
+  best->stats.guard_nodes = total_guard_nodes;
+  best->stats.wall_seconds = stopwatch.ElapsedSeconds();
+  return *std::move(best);
+}
+
+}  // namespace usep

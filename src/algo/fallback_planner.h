@@ -1,0 +1,55 @@
+#ifndef USEP_ALGO_FALLBACK_PLANNER_H_
+#define USEP_ALGO_FALLBACK_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algo/planner.h"
+#include "common/status.h"
+
+namespace usep {
+
+// Graceful-degradation ladder: tries each rung planner in order under the
+// caller's PlanContext and returns the first result that ran to completion
+// and passes independent validation.  When every rung is cut short (deadline,
+// cancellation, budget, injected fault), the best valid best-so-far planning
+// across the rungs is returned instead, with that rung's termination reason.
+//
+// The intended use pairs an expensive high-quality planner with cheap
+// anytime ones, e.g. Exact -> DeDPO+RG -> RatioGreedy: a small instance gets
+// the optimum, a large or time-starved one degrades to a heuristic instead
+// of aborting.  The winning rung and the full descent are recorded in
+// PlannerStats::fallback_rung / fallback_trace
+// (e.g. "Exact:node-budget -> DeDPO+RG:completed").
+//
+// A finite deadline is time-sliced across the rungs: each rung gets the
+// time left on the caller's deadline divided by the number of rungs still
+// to run, so an expensive early rung cannot starve the cheap safety nets
+// behind it, and a rung that finishes early donates its leftover to the
+// rest.  The caller's deadline is an upper bound throughout.  Node and
+// memory budgets apply per rung unchanged.
+class FallbackPlanner : public Planner {
+ public:
+  // Requires at least one rung; rungs are tried in the given order.
+  explicit FallbackPlanner(std::vector<std::unique_ptr<Planner>> rungs);
+
+  // Parses "Exact -> DeDPO+RG -> RatioGreedy" (case-insensitive segment
+  // names, whitespace ignored) through the planner registry.
+  static StatusOr<std::unique_ptr<Planner>> FromSpec(const std::string& spec);
+
+  std::string_view name() const override { return name_; }
+
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
+
+ private:
+  std::vector<std::unique_ptr<Planner>> rungs_;
+  std::string name_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_FALLBACK_PLANNER_H_

@@ -30,9 +30,11 @@ struct CandidateWorse {
 class GreedySingleRun {
  public:
   GreedySingleRun(const Instance& instance, UserId u,
-                  const std::vector<UserCandidate>& candidates)
+                  const std::vector<UserCandidate>& candidates,
+                  PlanGuard* guard)
       : instance_(instance),
         u_(u),
+        guard_(guard),
         budget_(instance.user(u).budget),
         sorted_(instance.events_by_end_time()),
         num_ranks_(instance.num_events()),
@@ -51,6 +53,7 @@ class GreedySingleRun {
     PushBestInGap(-1, num_ranks_);
 
     while (!heap_.empty()) {
+      if (guard_ != nullptr && guard_->ShouldStop()) break;
       const GapCandidate top = heap_.top();
       heap_.pop();
 
@@ -138,6 +141,7 @@ class GreedySingleRun {
 
   const Instance& instance_;
   const UserId u_;
+  PlanGuard* const guard_;
   const Cost budget_;
   const std::vector<EventId>& sorted_;
   const int num_ranks_;
@@ -155,8 +159,9 @@ class GreedySingleRun {
 }  // namespace
 
 SingleResult GreedySingle(const Instance& instance, UserId u,
-                          const std::vector<UserCandidate>& candidates) {
-  return GreedySingleRun(instance, u, candidates).Run();
+                          const std::vector<UserCandidate>& candidates,
+                          PlanGuard* guard) {
+  return GreedySingleRun(instance, u, candidates, guard).Run();
 }
 
 }  // namespace usep

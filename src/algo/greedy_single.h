@@ -19,8 +19,12 @@ namespace usep {
 // consumes budget, a previously pushed candidate can go stale; it is
 // re-validated on pop and its gap rescanned if so (the stored candidate is
 // otherwise still the gap's best: the valid set only shrinks).
+//
+// `guard` (optional, not owned) stops the growth loop early; the schedule
+// built so far is returned — feasible, possibly shorter than unconstrained.
 SingleResult GreedySingle(const Instance& instance, UserId u,
-                          const std::vector<UserCandidate>& candidates);
+                          const std::vector<UserCandidate>& candidates,
+                          PlanGuard* guard = nullptr);
 
 }  // namespace usep
 

@@ -1,5 +1,6 @@
 #include "algo/local_search.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
@@ -9,9 +10,10 @@ namespace {
 constexpr double kMinGain = 1e-12;
 
 // One pass of "add" moves; returns how many were applied.
-int TryAdds(const Instance& instance, Planning* planning) {
+int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard) {
   int applied = 0;
   for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (guard != nullptr && guard->ShouldStop()) break;
     if (planning->EventFull(v)) continue;
     for (UserId u = 0; u < instance.num_users(); ++u) {
       if (planning->TryAssign(v, u)) ++applied;
@@ -23,9 +25,11 @@ int TryAdds(const Instance& instance, Planning* planning) {
 
 // One pass of "transfer" moves: hand an arranged event to a user who values
 // it strictly more.
-int TryTransfers(const Instance& instance, Planning* planning) {
+int TryTransfers(const Instance& instance, Planning* planning,
+                 PlanGuard* guard) {
   int applied = 0;
   for (UserId from = 0; from < instance.num_users(); ++from) {
+    if (guard != nullptr && guard->ShouldStop()) break;
     // Snapshot: the schedule mutates as transfers happen.
     const std::vector<EventId> events = planning->schedule(from).events();
     for (const EventId v : events) {
@@ -59,10 +63,11 @@ int TryTransfers(const Instance& instance, Planning* planning) {
 }
 
 // One pass of "swap" moves: exchange two arranged events between two users.
-int TrySwaps(const Instance& instance, Planning* planning) {
+int TrySwaps(const Instance& instance, Planning* planning, PlanGuard* guard) {
   int applied = 0;
   for (UserId a = 0; a < instance.num_users(); ++a) {
     for (UserId b = a + 1; b < instance.num_users(); ++b) {
+      if (guard != nullptr && guard->ShouldStop()) return applied;
       bool swapped = true;
       while (swapped) {
         swapped = false;
@@ -105,28 +110,32 @@ int TrySwaps(const Instance& instance, Planning* planning) {
 
 LocalSearchReport ImprovePlanning(const Instance& instance,
                                   const LocalSearchOptions& options,
-                                  Planning* planning) {
+                                  Planning* planning, PlanGuard* guard) {
   LocalSearchReport report;
   const double initial_utility = planning->total_utility();
   for (int round = 0; round < options.max_rounds; ++round) {
+    if (USEP_FAILPOINT("local_search.round") && guard != nullptr) {
+      guard->ForceStop(Termination::kInjectedFault);
+    }
+    if (guard != nullptr && guard->ShouldStop()) break;
     int moves = 0;
     if (options.enable_add) {
-      const int adds = TryAdds(instance, planning);
+      const int adds = TryAdds(instance, planning, guard);
       report.adds += adds;
       moves += adds;
     }
     if (options.enable_transfer) {
-      const int transfers = TryTransfers(instance, planning);
+      const int transfers = TryTransfers(instance, planning, guard);
       report.transfers += transfers;
       moves += transfers;
     }
     if (options.enable_swap) {
-      const int swaps = TrySwaps(instance, planning);
+      const int swaps = TrySwaps(instance, planning, guard);
       report.swaps += swaps;
       moves += swaps;
     }
     ++report.rounds;
-    if (moves == 0) break;
+    if (moves == 0 || (guard != nullptr && guard->stopped())) break;
   }
   report.utility_gain = planning->total_utility() - initial_utility;
   return report;
@@ -139,13 +148,21 @@ LocalSearchPlanner::LocalSearchPlanner(std::unique_ptr<Planner> base,
   name_ = std::string(base_->name()) + "+LS";
 }
 
-PlannerResult LocalSearchPlanner::Plan(const Instance& instance) const {
+PlannerResult LocalSearchPlanner::Plan(const Instance& instance,
+                                       const PlanContext& context) const {
   Stopwatch stopwatch;
-  PlannerResult result = base_->Plan(instance);
+  PlannerResult result = base_->Plan(instance, context);
+  PlanGuard guard(context);
   const LocalSearchReport report =
-      ImprovePlanning(instance, options_, &result.planning);
+      ImprovePlanning(instance, options_, &result.planning, &guard);
   result.stats.iterations += report.total_moves();
   result.stats.wall_seconds = stopwatch.ElapsedSeconds();
+  result.stats.guard_nodes += guard.nodes();
+  // A base planner that was cut short is the more interesting story; only
+  // report the local-search guard's reason when the base ran to completion.
+  if (result.termination == Termination::kCompleted) {
+    result.termination = guard.reason();
+  }
   return result;
 }
 

@@ -37,10 +37,14 @@ struct LocalSearchReport {
   int total_moves() const { return adds + transfers + swaps; }
 };
 
-// Improves `planning` in place; returns what happened.
+// Improves `planning` in place; returns what happened.  `guard` (optional,
+// not owned) stops the search between moves: every accepted move keeps the
+// planning feasible, so an interrupted search still leaves a valid (merely
+// less-improved) planning.
 LocalSearchReport ImprovePlanning(const Instance& instance,
                                   const LocalSearchOptions& options,
-                                  Planning* planning);
+                                  Planning* planning,
+                                  PlanGuard* guard = nullptr);
 
 // A planner decorator: runs `base`, then local search on its planning.
 // Named "<base>+LS".
@@ -50,7 +54,9 @@ class LocalSearchPlanner : public Planner {
                      const LocalSearchOptions& options = {});
 
   std::string_view name() const override { return name_; }
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   std::unique_ptr<Planner> base_;

@@ -7,12 +7,14 @@
 
 namespace usep {
 
-PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance) const {
+PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
+                                            const PlanContext& context) const {
   Stopwatch stopwatch;
   Planning planning(instance);
   PlannerStats stats;
+  PlanGuard guard(context);
 
-  while (true) {
+  while (!guard.ShouldStop()) {
     std::optional<RatioKey> best_key;
     EventId best_v = -1;
     UserId best_u = -1;
@@ -40,7 +42,8 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance) const {
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

@@ -21,7 +21,9 @@ class NaiveRatioGreedyPlanner : public Planner {
  public:
   std::string_view name() const override { return "NaiveRatioGreedy"; }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 };
 
 }  // namespace usep

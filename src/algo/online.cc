@@ -5,16 +5,21 @@
 
 #include "algo/dp_single.h"
 #include "algo/greedy_single.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 
 namespace usep {
 
-PlannerResult OnlinePlanner::Plan(const Instance& instance) const {
+PlannerResult OnlinePlanner::Plan(const Instance& instance,
+                                  const PlanContext& context) const {
   Stopwatch stopwatch;
   PlannerStats stats;
   Planning planning(instance);
+  PlanGuard guard(context);
+  SingleUserOptions dp_options;
+  dp_options.guard = &guard;
 
   std::vector<UserId> arrival_order(instance.num_users());
   std::iota(arrival_order.begin(), arrival_order.end(), 0);
@@ -27,6 +32,10 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance) const {
   }
 
   for (const UserId u : arrival_order) {
+    if (USEP_FAILPOINT("online.user")) {
+      guard.ForceStop(Termination::kInjectedFault);
+    }
+    if (guard.ShouldStop()) break;
     // The arriving user sees only events with seats left, at full utility.
     std::vector<UserCandidate> candidates;
     for (EventId v = 0; v < instance.num_events(); ++v) {
@@ -38,8 +47,8 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance) const {
 
     const SingleResult single =
         options_.solver == Solver::kDp
-            ? DpSingle(instance, u, candidates)
-            : GreedySingle(instance, u, candidates);
+            ? DpSingle(instance, u, candidates, dp_options)
+            : GreedySingle(instance, u, candidates, &guard);
     stats.dp_cells += single.cells;
 
     for (const EventId v : single.schedule) {
@@ -51,7 +60,8 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance) const {
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

@@ -38,7 +38,9 @@ class OnlinePlanner : public Planner {
     return options_.solver == Solver::kDp ? "Online-DP" : "Online-Greedy";
   }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
  private:
   Options options_;

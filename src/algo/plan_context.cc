@@ -1,0 +1,37 @@
+#include "algo/plan_context.h"
+
+#include "common/memhook.h"
+
+namespace usep {
+
+const char* TerminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kCompleted:
+      return "completed";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kCancelled:
+      return "cancelled";
+    case Termination::kNodeBudget:
+      return "node-budget";
+    case Termination::kMemoryBudget:
+      return "memory-budget";
+    case Termination::kInjectedFault:
+      return "injected-fault";
+  }
+  return "unknown";
+}
+
+PlanGuard::PlanGuard(const PlanContext& context) : context_(context) {}
+
+bool PlanGuard::CheckSlow() {
+  if (context_.cancel.cancelled()) return Stop(Termination::kCancelled);
+  if (context_.deadline.Expired()) return Stop(Termination::kDeadline);
+  if (context_.max_memory_bytes > 0 &&
+      memhook::CurrentBytes() > context_.max_memory_bytes) {
+    return Stop(Termination::kMemoryBudget);
+  }
+  return false;
+}
+
+}  // namespace usep

@@ -1,0 +1,105 @@
+#ifndef USEP_ALGO_PLAN_CONTEXT_H_
+#define USEP_ALGO_PLAN_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/deadline.h"
+
+namespace usep {
+
+// Why a planner run ended.  Anything other than kCompleted means the planner
+// stopped early and returned its best-so-far *valid* planning instead of the
+// one it would have produced unconstrained; kInjectedFault is only reachable
+// through an armed failpoint (common/failpoint.h).
+enum class Termination {
+  kCompleted = 0,
+  kDeadline,
+  kCancelled,
+  kNodeBudget,
+  kMemoryBudget,
+  kInjectedFault,
+};
+
+// Stable lowercase name, e.g. "deadline".
+const char* TerminationName(Termination termination);
+
+// Execution limits threaded through Planner::Plan and checked in every
+// planner's hot loop.  The default context imposes nothing, reproducing the
+// historical run-to-completion behavior.
+struct PlanContext {
+  // Wall-clock deadline; planners stop at the first guard check past it.
+  Deadline deadline;
+
+  // Cooperative cancellation; Cancel() from any thread stops the run at the
+  // next guard check.
+  CancellationToken cancel;
+
+  // Guard-check budget (0 = unlimited).  A "node" is one unit of the
+  // planner's own main loop: a branch-and-bound node for Exact, a DP rank or
+  // decomposed subproblem for the DeDP family, a heap pop for RatioGreedy...
+  // Comparable across runs of one planner, not across planners.
+  int64_t max_nodes = 0;
+
+  // Process-wide heap ceiling in bytes (0 = unlimited), measured through the
+  // memhook counters.  Only enforceable in binaries that link usep_memhook;
+  // elsewhere the counters stay at zero and the budget never trips.
+  size_t max_memory_bytes = 0;
+};
+
+// The hot-loop companion of PlanContext.  Planners create one per Plan()
+// call and invoke ShouldStop() once per node; it counts nodes, enforces the
+// node budget exactly, and amortizes the expensive checks (clock read,
+// cancellation flag, memhook counters) to every kStride-th call — the first
+// call always checks, so an already-expired deadline or pre-cancelled token
+// stops a planner before it does any real work.
+//
+// Once stopped (by a limit or ForceStop), ShouldStop() stays true and
+// reason() reports why; the planner unwinds, assembles whatever valid
+// planning it has, and reports the reason in PlannerResult::termination.
+class PlanGuard {
+ public:
+  static constexpr int kStride = 64;
+
+  explicit PlanGuard(const PlanContext& context);
+
+  // Counts one node; true when the planner must stop now.
+  bool ShouldStop() {
+    ++nodes_;
+    if (stopped_) return true;
+    if (context_.max_nodes > 0 && nodes_ > context_.max_nodes) {
+      return Stop(Termination::kNodeBudget);
+    }
+    if (--countdown_ > 0) return false;
+    countdown_ = kStride;
+    return CheckSlow();
+  }
+
+  // Stops the guard for an external reason (e.g. a fired failpoint).
+  bool ForceStop(Termination reason) { return Stop(reason); }
+
+  bool stopped() const { return stopped_; }
+
+  // kCompleted while running or after a clean finish.
+  Termination reason() const { return reason_; }
+
+  int64_t nodes() const { return nodes_; }
+
+ private:
+  bool Stop(Termination reason) {
+    stopped_ = true;
+    reason_ = reason;
+    return true;
+  }
+  bool CheckSlow();
+
+  const PlanContext& context_;
+  int64_t nodes_ = 0;
+  int countdown_ = 1;  // Check the slow conditions on the very first call.
+  bool stopped_ = false;
+  Termination reason_ = Termination::kCompleted;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_PLAN_CONTEXT_H_

@@ -5,22 +5,31 @@
 #include <string>
 #include <string_view>
 
+#include "algo/plan_context.h"
 #include "algo/stats.h"
 #include "core/planning.h"
 
 namespace usep {
 
-// The outcome of a planner run.  The planning is feasible by construction;
+// The outcome of a planner run.  The planning is feasible by construction —
+// including when the run stopped early (termination != kCompleted), in which
+// case it is the best valid planning the planner had when the guard fired;
 // validation.h can re-verify it independently.
 struct PlannerResult {
   Planning planning;
   PlannerStats stats;
+  Termination termination = Termination::kCompleted;
 };
 
 // Common interface of all USEP planners (RatioGreedy, DeDP, DeDPO, DeDPO+RG,
 // DeGreedy, DeGreedy+RG, Exact).  Planners are stateless with respect to the
 // instance: Plan() may be called repeatedly and concurrently from different
 // threads on different instances.
+//
+// Every planner honors the PlanContext limits (deadline, cancellation,
+// node/memory budgets) by checking a PlanGuard in its hot loop; a run never
+// aborts the process for resource exhaustion — it stops cleanly and reports
+// a Termination reason alongside its best-so-far valid planning.
 class Planner {
  public:
   virtual ~Planner() = default;
@@ -29,7 +38,14 @@ class Planner {
   // benchmark tables).
   virtual std::string_view name() const = 0;
 
-  virtual PlannerResult Plan(const Instance& instance) const = 0;
+  virtual PlannerResult Plan(const Instance& instance,
+                             const PlanContext& context) const = 0;
+
+  // Unguarded convenience overload: run to completion.  (Concrete planners
+  // re-expose it with `using Planner::Plan;`.)
+  PlannerResult Plan(const Instance& instance) const {
+    return Plan(instance, PlanContext());
+  }
 };
 
 }  // namespace usep

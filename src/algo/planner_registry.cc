@@ -4,6 +4,7 @@
 #include "algo/dedpo.h"
 #include "algo/degreedy.h"
 #include "algo/exact.h"
+#include "algo/fallback_planner.h"
 #include "algo/local_search.h"
 #include "algo/naive_ratio_greedy.h"
 #include "algo/online.h"
@@ -84,6 +85,10 @@ std::unique_ptr<Planner> MakePlanner(PlannerKind kind) {
 }
 
 StatusOr<std::unique_ptr<Planner>> MakePlannerByName(const std::string& name) {
+  // "A -> B -> C" builds a graceful-degradation chain over the named rungs.
+  if (name.find("->") != std::string::npos) {
+    return FallbackPlanner::FromSpec(name);
+  }
   const std::string lower = AsciiToLower(Trim(name));
   static constexpr PlannerKind kAll[] = {
       PlannerKind::kRatioGreedy,      PlannerKind::kDeDp,

@@ -32,7 +32,9 @@ const char* PlannerKindName(PlannerKind kind);
 // Constructs a planner with default options.
 std::unique_ptr<Planner> MakePlanner(PlannerKind kind);
 
-// Name-based lookup (case-insensitive; accepts e.g. "dedpo+rg").
+// Name-based lookup (case-insensitive; accepts e.g. "dedpo+rg").  A name
+// containing "->" (e.g. "Exact->DeDPO+RG->RatioGreedy") builds a
+// FallbackPlanner chain over the named rungs.
 StatusOr<std::unique_ptr<Planner>> MakePlannerByName(const std::string& name);
 
 // The paper's six evaluated planners, in the order its legends list them.

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "algo/ratio.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace usep {
@@ -77,7 +78,9 @@ std::optional<Champion> BestEventForUser(
 
 void RatioGreedyPlanner::Augment(const Instance& instance,
                                  const std::vector<EventId>& candidate_events,
-                                 Planning* planning, PlannerStats* stats) {
+                                 Planning* planning, PlannerStats* stats,
+                                 PlanGuard* guard) {
+  if (guard != nullptr && guard->stopped()) return;
   const int num_users = instance.num_users();
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse> heap;
@@ -111,11 +114,21 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   };
 
   // Lines 2-8: initial champions for every event and every user.
-  for (const EventId v : candidate_events) refresh_event_champion(v);
-  for (UserId u = 0; u < num_users; ++u) refresh_user_champion(u);
+  for (const EventId v : candidate_events) {
+    if (guard != nullptr && guard->ShouldStop()) return;
+    refresh_event_champion(v);
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    if (guard != nullptr && guard->ShouldStop()) return;
+    refresh_user_champion(u);
+  }
 
   // Lines 9-20.
   while (!heap.empty()) {
+    if (USEP_FAILPOINT("ratio_greedy.pop") && guard != nullptr) {
+      guard->ForceStop(Termination::kInjectedFault);
+    }
+    if (guard != nullptr && guard->ShouldStop()) break;
     const HeapEntry entry = heap.top();
     heap.pop();
     // Discard entries superseded by a champion re-election.
@@ -164,17 +177,20 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   }
 }
 
-PlannerResult RatioGreedyPlanner::Plan(const Instance& instance) const {
+PlannerResult RatioGreedyPlanner::Plan(const Instance& instance,
+                                       const PlanContext& context) const {
   Stopwatch stopwatch;
   Planning planning(instance);
   PlannerStats stats;
+  PlanGuard guard(context);
 
   std::vector<EventId> all_events(instance.num_events());
   for (EventId v = 0; v < instance.num_events(); ++v) all_events[v] = v;
-  Augment(instance, all_events, &planning, &stats);
+  Augment(instance, all_events, &planning, &stats, &guard);
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
-  return PlannerResult{std::move(planning), stats};
+  stats.guard_nodes = guard.nodes();
+  return PlannerResult{std::move(planning), stats, guard.reason()};
 }
 
 }  // namespace usep

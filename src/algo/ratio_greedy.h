@@ -25,16 +25,21 @@ class RatioGreedyPlanner : public Planner {
  public:
   std::string_view name() const override { return "RatioGreedy"; }
 
-  PlannerResult Plan(const Instance& instance) const override;
+  using Planner::Plan;
+  PlannerResult Plan(const Instance& instance,
+                     const PlanContext& context) const override;
 
   // The reusable core: greedily adds valid (event, user) pairs drawn from
   // `candidate_events` to an existing `planning` until no pair fits.  Used
   // both by Plan() (empty planning, all events) and by the +RG augmentation
   // step of DeDPO+RG / DeGreedy+RG (partially filled planning, events with
-  // spare capacity).  Updates `stats` counters in place.
+  // spare capacity).  Updates `stats` counters in place.  `guard` (optional,
+  // not owned) stops the augmentation loop early; every pair arranged up to
+  // that point stays — the planning is valid at every step.
   static void Augment(const Instance& instance,
                       const std::vector<EventId>& candidate_events,
-                      Planning* planning, PlannerStats* stats);
+                      Planning* planning, PlannerStats* stats,
+                      PlanGuard* guard = nullptr);
 };
 
 }  // namespace usep

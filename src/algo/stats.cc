@@ -5,11 +5,16 @@
 namespace usep {
 
 std::string PlannerStats::ToString() const {
-  return StrFormat(
+  std::string text = StrFormat(
       "PlannerStats{%.3f ms, iterations=%lld, heap_pushes=%lld, "
-      "dp_cells=%lld, logical_peak=%s}",
+      "dp_cells=%lld, logical_peak=%s",
       wall_seconds * 1e3, (long long)iterations, (long long)heap_pushes,
       (long long)dp_cells, HumanBytes(logical_peak_bytes).c_str());
+  if (!fallback_trace.empty()) {
+    text += StrFormat(", fallback=[%s]", fallback_trace.c_str());
+  }
+  text += "}";
+  return text;
 }
 
 }  // namespace usep

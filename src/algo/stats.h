@@ -17,6 +17,13 @@ struct PlannerStats {
   int64_t heap_pushes = 0;      // For the heap-based algorithms.
   int64_t dp_cells = 0;         // Total DP cells materialized (DP planners).
   size_t logical_peak_bytes = 0;
+  int64_t guard_nodes = 0;      // Nodes counted by the PlanGuard, if any.
+
+  // Filled by FallbackPlanner only: which rung of the chain produced the
+  // returned planning, and the full descent, e.g.
+  // "Exact:node-budget -> DeDPO+RG:completed".
+  std::string fallback_rung;
+  std::string fallback_trace;
 
   std::string ToString() const;
 };

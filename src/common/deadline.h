@@ -1,0 +1,64 @@
+#ifndef USEP_COMMON_DEADLINE_H_
+#define USEP_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <optional>
+
+namespace usep {
+
+// A point in time after which a planner should stop and return its best
+// valid planning so far.  Default-constructed deadlines never expire, so
+// PlanContext{} means "run to completion".  Measured against the steady
+// clock: wall-clock adjustments cannot spuriously expire a deadline.
+class Deadline {
+ public:
+  Deadline() = default;  // Never expires.
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterSeconds(double seconds) {
+    Deadline deadline;
+    deadline.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(seconds));
+    return deadline;
+  }
+  static Deadline AfterMillis(double millis) {
+    return AfterSeconds(millis * 1e-3);
+  }
+
+  bool is_infinite() const { return !when_.has_value(); }
+
+  bool Expired() const { return when_.has_value() && Clock::now() >= *when_; }
+
+  // Seconds until expiry; +infinity for an infinite deadline, <= 0 once
+  // expired.
+  double RemainingSeconds() const {
+    if (!when_.has_value()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(*when_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> when_;
+};
+
+// A cooperatively-checked cancellation flag.  Copies share the underlying
+// flag, so a serving thread can hand a planner a token, keep a copy, and
+// Cancel() from another thread; the planner observes it at its next guard
+// check and returns its best-so-far valid planning.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_DEADLINE_H_

@@ -1,0 +1,92 @@
+#include "common/failpoint.h"
+
+#include <map>
+#include <mutex>
+
+namespace usep::failpoint {
+namespace {
+
+struct Site {
+  bool armed = false;
+  int64_t skip_hits = 0;
+  int64_t hits = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::map<std::string, Site>& Registry() {
+  static std::map<std::string, Site>* registry = new std::map<std::string, Site>;
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> armed_count{0};
+
+bool HitSlow(const char* name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return false;
+  Site& site = it->second;
+  ++site.hits;
+  return site.hits > site.skip_hits;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& name, int64_t skip_hits) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Site& site = Registry()[name];
+  if (!site.armed) {
+    site.armed = true;
+    internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  site.skip_hits = skip_hits;
+  site.hits = 0;
+}
+
+bool Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return false;
+  it->second.armed = false;
+  internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [name, site] : Registry()) {
+    if (site.armed) {
+      internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  Registry().clear();
+}
+
+bool IsArmed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it != Registry().end() && it->second.armed;
+}
+
+int64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> KnownSites() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, site] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace usep::failpoint

@@ -1,0 +1,79 @@
+#ifndef USEP_COMMON_FAILPOINT_H_
+#define USEP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace usep::failpoint {
+
+// A deterministic, test-controllable fault-injection registry.
+//
+// Planners mark interesting failure sites with USEP_FAILPOINT("name"); in
+// production nothing is armed and the check is a single relaxed atomic load.
+// Tests arm a site — optionally skipping the first N hits — and the site
+// starts reporting "fire", letting robustness paths (graceful degradation,
+// fallback ladders) be exercised without manufacturing a genuinely huge or
+// slow instance:
+//
+//   failpoint::ScopedArm arm("exact.node_budget");
+//   PlannerResult r = FallbackPlanner(...).Plan(instance);
+//   // r came from the next rung down; r.termination records why.
+//
+// All functions are thread-safe.  Hit counts accumulate only while a site is
+// armed (the disarmed fast path never touches the registry).
+
+// Arms `name`.  The first `skip_hits` hits return false; every hit after
+// that fires until Disarm().  Re-arming resets the site's hit count.
+void Arm(const std::string& name, int64_t skip_hits = 0);
+
+// Disarms `name`; returns false if it was not armed.  The hit count remains
+// queryable until the next Arm() of the same name or DisarmAll().
+bool Disarm(const std::string& name);
+
+// Disarms every site and forgets all hit counts.
+void DisarmAll();
+
+bool IsArmed(const std::string& name);
+
+// Hits observed while armed (0 for unknown sites).
+int64_t HitCount(const std::string& name);
+
+// Names with a registry entry (armed or previously armed), for diagnostics.
+std::vector<std::string> KnownSites();
+
+namespace internal {
+extern std::atomic<int> armed_count;
+bool HitSlow(const char* name);
+}  // namespace internal
+
+// The check planners embed.  Returns true when the site should fire.
+inline bool ShouldFail(const char* name) {
+  return internal::armed_count.load(std::memory_order_relaxed) > 0 &&
+         internal::HitSlow(name);
+}
+
+// RAII arming for tests: disarms on scope exit (the hit count stays
+// queryable until the site is re-armed or DisarmAll() runs).
+class ScopedArm {
+ public:
+  explicit ScopedArm(std::string name, int64_t skip_hits = 0)
+      : name_(std::move(name)) {
+    Arm(name_, skip_hits);
+  }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+  ~ScopedArm() { Disarm(name_); }
+
+  int64_t hit_count() const { return HitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace usep::failpoint
+
+#define USEP_FAILPOINT(name) (::usep::failpoint::ShouldFail(name))
+
+#endif  // USEP_COMMON_FAILPOINT_H_

@@ -136,11 +136,33 @@ TEST_P(ExactRandomTest, MatchesPlainEnumeration) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactRandomTest,
                          ::testing::Range<uint64_t>(1, 21));
 
-TEST(ExactDeathTest, NodeBudgetGuardsAgainstBlowup) {
+TEST(ExactGuardTest, NodeBudgetReturnsGracefullyInsteadOfAborting) {
+  // Regression: a tiny node budget used to USEP_CHECK-abort the process.
+  // It must now stop cleanly with a valid (possibly empty) planning.
   ExactPlanner::Options options;
   options.max_nodes = 1;
   const Instance instance = testing::MakeTable1Instance();
-  EXPECT_DEATH(ExactPlanner(options).Plan(instance), "node budget");
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+}
+
+TEST(ExactGuardTest, ScheduleBudgetReturnsGracefullyInsteadOfAborting) {
+  ExactPlanner::Options options;
+  options.max_schedules_per_user = 1;  // Only the empty schedule survives.
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+}
+
+TEST(ExactGuardTest, GenerousBudgetsStillReachTheOptimum) {
+  ExactPlanner::Options options;
+  options.max_nodes = 1'000'000;
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_NEAR(result.planning.total_utility(), 1.4, 1e-9);
 }
 
 }  // namespace

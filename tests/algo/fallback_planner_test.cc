@@ -1,0 +1,153 @@
+#include "algo/fallback_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "algo/ratio_greedy.h"
+#include "common/failpoint.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class FallbackPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+std::unique_ptr<Planner> MakeChain(const std::string& spec) {
+  StatusOr<std::unique_ptr<Planner>> chain = FallbackPlanner::FromSpec(spec);
+  EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+  return std::move(chain).value();
+}
+
+TEST_F(FallbackPlannerTest, FromSpecParsesNamesAndWhitespace) {
+  const std::unique_ptr<Planner> chain =
+      MakeChain("Exact -> dedpo+rg ->RatioGreedy");
+  EXPECT_EQ(chain->name(), "Fallback[Exact->DeDPO+RG->RatioGreedy]");
+}
+
+TEST_F(FallbackPlannerTest, FromSpecRejectsUnknownRung) {
+  const StatusOr<std::unique_ptr<Planner>> chain =
+      FallbackPlanner::FromSpec("Exact->NoSuchPlanner");
+  EXPECT_FALSE(chain.ok());
+  EXPECT_EQ(chain.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FallbackPlannerTest, FromSpecRejectsEmptyRung) {
+  EXPECT_FALSE(FallbackPlanner::FromSpec("Exact->->RatioGreedy").ok());
+  EXPECT_FALSE(FallbackPlanner::FromSpec("->Exact").ok());
+  EXPECT_FALSE(FallbackPlanner::FromSpec("Exact->").ok());
+}
+
+TEST_F(FallbackPlannerTest, RegistryBuildsChainsFromArrowSpecs) {
+  const StatusOr<std::unique_ptr<Planner>> chain =
+      MakePlannerByName("Exact->RatioGreedy");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ((*chain)->name(), "Fallback[Exact->RatioGreedy]");
+}
+
+TEST_F(FallbackPlannerTest, FirstRungWinsWhenItCompletes) {
+  const Instance instance = testing::MakeTable1Instance();
+  const std::unique_ptr<Planner> chain = MakeChain("Exact->RatioGreedy");
+  const PlannerResult result = chain->Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_EQ(result.stats.fallback_rung, "Exact");
+  EXPECT_EQ(result.stats.fallback_trace, "Exact:completed");
+  // The winner is the exact optimum on this instance.
+  const PlannerResult exact = ExactPlanner().Plan(instance);
+  EXPECT_NEAR(result.planning.total_utility(),
+              exact.planning.total_utility(), 1e-9);
+}
+
+TEST_F(FallbackPlannerTest, NodeBudgetOnFirstRungDegradesToTheNext) {
+  const Instance instance = testing::MakeTable1Instance();
+  std::vector<std::unique_ptr<Planner>> rungs;
+  ExactPlanner::Options starved;
+  starved.max_nodes = 1;
+  rungs.push_back(std::make_unique<ExactPlanner>(starved));
+  rungs.push_back(std::make_unique<RatioGreedyPlanner>());
+  const FallbackPlanner chain(std::move(rungs));
+
+  const PlannerResult result = chain.Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_EQ(result.stats.fallback_rung, "RatioGreedy");
+  EXPECT_EQ(result.stats.fallback_trace,
+            "Exact:node-budget -> RatioGreedy:completed");
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_GT(result.planning.total_utility(), 0.0);
+}
+
+TEST_F(FallbackPlannerTest, ArmedFailpointDegradesInsteadOfAborting) {
+  const Instance instance = testing::MakeTable1Instance();
+  failpoint::ScopedArm arm("exact.node_budget");
+  const std::unique_ptr<Planner> chain =
+      MakeChain("Exact->DeDPO+RG->RatioGreedy");
+  const PlannerResult result = chain->Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_EQ(result.stats.fallback_rung, "DeDPO+RG");
+  EXPECT_EQ(result.stats.fallback_trace,
+            "Exact:injected-fault -> DeDPO+RG:completed");
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_GT(arm.hit_count(), 0);
+}
+
+TEST_F(FallbackPlannerTest, EveryRungStarvedReturnsBestSoFarValidPlanning) {
+  // The acceptance scenario: an aggressive deadline on a fig4-scale
+  // instance.  No rung completes, yet the chain must still produce a
+  // validation-accepted planning and an honest termination reason.
+  GeneratorConfig config = testing::MediumRandomConfig(11);
+  config.num_events = 50;
+  config.num_users = 500;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  PlanContext context;
+  context.deadline = Deadline::AfterMillis(1.0);
+  const std::unique_ptr<Planner> chain =
+      MakeChain("Exact->DeDPO+RG->RatioGreedy");
+  const PlannerResult result = chain->Plan(*instance, context);
+  EXPECT_NE(result.termination, Termination::kCompleted);
+  EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok());
+  EXPECT_FALSE(result.stats.fallback_rung.empty());
+  EXPECT_FALSE(result.stats.fallback_trace.empty());
+}
+
+TEST_F(FallbackPlannerTest, BestSoFarPicksTheHighestUtilityRung) {
+  const Instance instance = testing::MakeTable1Instance();
+  // Both rungs are cut short by the injected fault; the chain must return
+  // whichever partial planning scored higher (and say the chain never
+  // completed).
+  failpoint::ScopedArm arm_rg("ratio_greedy.pop", /*skip_hits=*/3);
+  failpoint::ScopedArm arm_exact("exact.node_budget");
+  const std::unique_ptr<Planner> chain = MakeChain("Exact->RatioGreedy");
+  const PlannerResult result = chain->Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kInjectedFault);
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_EQ(result.stats.fallback_trace,
+            "Exact:injected-fault -> RatioGreedy:injected-fault");
+  // RatioGreedy got three pops in before the fault, so it carries utility.
+  EXPECT_EQ(result.stats.fallback_rung, "RatioGreedy");
+  EXPECT_GT(result.planning.total_utility(), 0.0);
+}
+
+TEST_F(FallbackPlannerTest, ChainTerminationThreadsThroughUsepSolveStats) {
+  // The winning rung's guard_nodes are replaced by the chain-wide total so
+  // reports reflect the whole descent.
+  const Instance instance = testing::MakeTable1Instance();
+  failpoint::ScopedArm arm("exact.node_budget");
+  const std::unique_ptr<Planner> chain = MakeChain("Exact->RatioGreedy");
+  const PlannerResult result = chain->Plan(instance);
+  EXPECT_GT(result.stats.guard_nodes, 0);
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,189 @@
+// Deadline / cancellation / budget coverage for every registered planner:
+// whatever limit fires, a planner must return a *valid* planning and report
+// why it stopped — never abort the process.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/plan_context.h"
+#include "algo/planner_registry.h"
+#include "common/memhook.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+std::vector<PlannerKind> AllPlannerKinds() {
+  return {PlannerKind::kRatioGreedy,      PlannerKind::kDeDp,
+          PlannerKind::kDeDpo,            PlannerKind::kDeDpoRg,
+          PlannerKind::kDeGreedy,         PlannerKind::kDeGreedyRg,
+          PlannerKind::kNaiveRatioGreedy, PlannerKind::kExact,
+          PlannerKind::kOnlineDp,         PlannerKind::kOnlineGreedy,
+          PlannerKind::kDeDpoRgLs,        PlannerKind::kDeGreedyRgLs};
+}
+
+Instance GuardTestInstance() {
+  // Mid-sized so every planner's hot loop actually spins, yet small enough
+  // for Exact's enumeration guard checks to run fast.
+  GeneratorConfig config = testing::MediumRandomConfig(7);
+  config.num_events = 12;
+  config.num_users = 30;
+  StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  EXPECT_TRUE(instance.ok());
+  return *std::move(instance);
+}
+
+TEST(PlanGuardUnitTest, UnlimitedContextNeverStops) {
+  const PlanContext context;
+  PlanGuard guard(context);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(guard.ShouldStop());
+  }
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.reason(), Termination::kCompleted);
+  EXPECT_EQ(guard.nodes(), 10'000);
+}
+
+TEST(PlanGuardUnitTest, NodeBudgetIsExact) {
+  PlanContext context;
+  context.max_nodes = 5;
+  PlanGuard guard(context);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(guard.ShouldStop()) << "node " << i;
+  }
+  EXPECT_TRUE(guard.ShouldStop());
+  EXPECT_EQ(guard.reason(), Termination::kNodeBudget);
+  EXPECT_TRUE(guard.ShouldStop()) << "stays stopped";
+}
+
+TEST(PlanGuardUnitTest, ExpiredDeadlineStopsOnTheFirstCall) {
+  PlanContext context;
+  context.deadline = Deadline::AfterMillis(0.0);
+  PlanGuard guard(context);
+  EXPECT_TRUE(guard.ShouldStop());
+  EXPECT_EQ(guard.reason(), Termination::kDeadline);
+}
+
+TEST(PlanGuardUnitTest, CancellationIsObservedWithinAStride) {
+  PlanContext context;
+  CancellationToken shared_handle = context.cancel;
+  PlanGuard guard(context);
+  EXPECT_FALSE(guard.ShouldStop());
+  shared_handle.Cancel();  // Copies share the flag.
+  bool stopped = false;
+  for (int i = 0; i < PlanGuard::kStride + 1 && !stopped; ++i) {
+    stopped = guard.ShouldStop();
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(guard.reason(), Termination::kCancelled);
+}
+
+TEST(PlanGuardUnitTest, ForceStopPinsTheReason) {
+  const PlanContext context;
+  PlanGuard guard(context);
+  EXPECT_TRUE(guard.ForceStop(Termination::kInjectedFault));
+  EXPECT_TRUE(guard.ShouldStop());
+  EXPECT_EQ(guard.reason(), Termination::kInjectedFault);
+}
+
+TEST(TerminationNameTest, NamesAreStable) {
+  EXPECT_STREQ(TerminationName(Termination::kCompleted), "completed");
+  EXPECT_STREQ(TerminationName(Termination::kDeadline), "deadline");
+  EXPECT_STREQ(TerminationName(Termination::kCancelled), "cancelled");
+  EXPECT_STREQ(TerminationName(Termination::kNodeBudget), "node-budget");
+  EXPECT_STREQ(TerminationName(Termination::kMemoryBudget), "memory-budget");
+  EXPECT_STREQ(TerminationName(Termination::kInjectedFault), "injected-fault");
+}
+
+class EveryPlannerGuardTest : public ::testing::TestWithParam<PlannerKind> {};
+
+TEST_P(EveryPlannerGuardTest, ExpiredDeadlineReturnsValidPlanningImmediately) {
+  const Instance instance = GuardTestInstance();
+  const std::unique_ptr<Planner> planner = MakePlanner(GetParam());
+  PlanContext context;
+  context.deadline = Deadline::AfterMillis(0.0);
+  const PlannerResult result = planner->Plan(instance, context);
+  EXPECT_EQ(result.termination, Termination::kDeadline)
+      << planner->name() << " ignored an expired deadline";
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok())
+      << planner->name() << " returned an invalid planning when interrupted";
+}
+
+TEST_P(EveryPlannerGuardTest, PreCancelledTokenReturnsValidPlanning) {
+  const Instance instance = GuardTestInstance();
+  const std::unique_ptr<Planner> planner = MakePlanner(GetParam());
+  PlanContext context;
+  context.cancel.Cancel();
+  const PlannerResult result = planner->Plan(instance, context);
+  EXPECT_EQ(result.termination, Termination::kCancelled) << planner->name();
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok())
+      << planner->name();
+}
+
+TEST_P(EveryPlannerGuardTest, TinyNodeBudgetReturnsValidPlanning) {
+  const Instance instance = GuardTestInstance();
+  const std::unique_ptr<Planner> planner = MakePlanner(GetParam());
+  PlanContext context;
+  context.max_nodes = 3;
+  const PlannerResult result = planner->Plan(instance, context);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget) << planner->name();
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok())
+      << planner->name();
+}
+
+TEST_P(EveryPlannerGuardTest, DefaultContextRunsToCompletion) {
+  // Table 1 keeps Exact tractable; every planner must report kCompleted
+  // when nothing is constrained.
+  const Instance instance = testing::MakeTable1Instance();
+  const std::unique_ptr<Planner> planner = MakePlanner(GetParam());
+  const PlannerResult result = planner->Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted) << planner->name();
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok())
+      << planner->name();
+  EXPECT_GT(result.planning.total_utility(), 0.0) << planner->name();
+}
+
+TEST_P(EveryPlannerGuardTest, InterruptedUtilityNeverExceedsUnconstrained) {
+  // Graceful degradation must degrade: a budget-bound run returns a planning
+  // at most as good as (and validated like) the run-to-completion one.
+  const Instance instance = testing::MakeTable1Instance();
+  const std::unique_ptr<Planner> planner = MakePlanner(GetParam());
+  const PlannerResult full = planner->Plan(instance);
+  PlanContext context;
+  context.max_nodes = 10;
+  const PlannerResult bounded = planner->Plan(instance, context);
+  EXPECT_LE(bounded.planning.total_utility(),
+            full.planning.total_utility() + 1e-9)
+      << planner->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlanners, EveryPlannerGuardTest, ::testing::ValuesIn(AllPlannerKinds()),
+    [](const ::testing::TestParamInfo<PlannerKind>& info) {
+      std::string name = PlannerKindName(info.param);
+      for (char& c : name) {
+        if (c == '+' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MemoryBudgetTest, TinyHeapBudgetStopsPlannersWhenHookIsActive) {
+  // Only meaningful in binaries linking usep_memhook (this test does).
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "allocation hook not linked";
+  }
+  const Instance instance = GuardTestInstance();
+  PlanContext context;
+  context.max_memory_bytes = 1;  // Below any real process heap.
+  const std::unique_ptr<Planner> planner =
+      MakePlanner(PlannerKind::kRatioGreedy);
+  const PlannerResult result = planner->Plan(instance, context);
+  EXPECT_EQ(result.termination, Termination::kMemoryBudget);
+  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,139 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace usep::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Every test starts and ends with a pristine registry so tests cannot
+  // leak armed sites into each other (or into planner tests).
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverFires) {
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.never_armed"));
+  EXPECT_FALSE(IsArmed("failpoint_test.never_armed"));
+  EXPECT_EQ(HitCount("failpoint_test.never_armed"), 0);
+}
+
+TEST_F(FailpointTest, ArmedSiteFiresUntilDisarmed) {
+  Arm("failpoint_test.a");
+  EXPECT_TRUE(IsArmed("failpoint_test.a"));
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.a"));
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.a"));
+  EXPECT_EQ(HitCount("failpoint_test.a"), 2);
+
+  EXPECT_TRUE(Disarm("failpoint_test.a"));
+  EXPECT_FALSE(IsArmed("failpoint_test.a"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.a"));
+  // The count survives disarm for post-mortem assertions...
+  EXPECT_EQ(HitCount("failpoint_test.a"), 2);
+  // ...and disarmed hits are not counted.
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.a"));
+  EXPECT_EQ(HitCount("failpoint_test.a"), 2);
+}
+
+TEST_F(FailpointTest, DisarmOfUnknownSiteReportsFalse) {
+  EXPECT_FALSE(Disarm("failpoint_test.unknown"));
+}
+
+TEST_F(FailpointTest, SkipHitsDelaysTheFirstFire) {
+  Arm("failpoint_test.skip", /*skip_hits=*/3);
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.skip"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.skip"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.skip"));
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.skip"));
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.skip"));
+  EXPECT_EQ(HitCount("failpoint_test.skip"), 5);
+}
+
+TEST_F(FailpointTest, RearmingResetsTheHitCount) {
+  Arm("failpoint_test.rearm");
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.rearm"));
+  EXPECT_EQ(HitCount("failpoint_test.rearm"), 1);
+  Arm("failpoint_test.rearm", /*skip_hits=*/1);
+  EXPECT_EQ(HitCount("failpoint_test.rearm"), 0);
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.rearm"));  // Skipped.
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.rearm"));
+}
+
+TEST_F(FailpointTest, SitesAreIndependent) {
+  Arm("failpoint_test.x");
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.x"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.y"));
+  EXPECT_EQ(HitCount("failpoint_test.y"), 0);
+}
+
+TEST_F(FailpointTest, ScopedArmDisarmsOnExit) {
+  {
+    ScopedArm arm("failpoint_test.scoped");
+    EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.scoped"));
+    EXPECT_EQ(arm.hit_count(), 1);
+  }
+  EXPECT_FALSE(IsArmed("failpoint_test.scoped"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.scoped"));
+  EXPECT_EQ(HitCount("failpoint_test.scoped"), 1);
+}
+
+TEST_F(FailpointTest, KnownSitesListsEverySeenSite) {
+  Arm("failpoint_test.k1");
+  Arm("failpoint_test.k2");
+  Disarm("failpoint_test.k2");
+  const std::vector<std::string> sites = KnownSites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "failpoint_test.k1"),
+            sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "failpoint_test.k2"),
+            sites.end());
+  DisarmAll();
+  EXPECT_TRUE(KnownSites().empty());
+}
+
+TEST_F(FailpointTest, DisarmAllForgetsCounts) {
+  Arm("failpoint_test.forget");
+  EXPECT_TRUE(USEP_FAILPOINT("failpoint_test.forget"));
+  DisarmAll();
+  EXPECT_EQ(HitCount("failpoint_test.forget"), 0);
+  EXPECT_FALSE(IsArmed("failpoint_test.forget"));
+  EXPECT_FALSE(USEP_FAILPOINT("failpoint_test.forget"));
+}
+
+TEST_F(FailpointTest, ConcurrentHitsAndArmTogglesDoNotRace) {
+  // Smoke test for the locking: hammer one site from several threads while
+  // the main thread toggles arming.  Success is "no crash / no TSan report";
+  // the exact fire pattern is timing-dependent by design.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> fires{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (USEP_FAILPOINT("failpoint_test.race")) {
+          fires.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    Arm("failpoint_test.race");
+    Disarm("failpoint_test.race");
+  }
+  Arm("failpoint_test.race");
+  while (fires.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_GT(fires.load(), 0);
+  EXPECT_GT(HitCount("failpoint_test.race"), 0);
+}
+
+}  // namespace
+}  // namespace usep::failpoint

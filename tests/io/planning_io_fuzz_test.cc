@@ -1,0 +1,172 @@
+// Malformed-input hardening for the planning serialization: every corrupted,
+// truncated, or hostile input must come back as a Status error — never a
+// crash, hang, or silently-invalid Planning.  Mirrors instance_fuzz_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/degreedy.h"
+#include "common/rng.h"
+#include "core/validation.h"
+#include "io/planning_io.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+Instance FuzzInstance() { return testing::MakeTable1Instance(); }
+
+Planning SomeRealPlanning(const Instance& instance) {
+  PlannerResult result = DeGreedyPlanner().Plan(instance);
+  EXPECT_GT(result.planning.total_assignments(), 0);
+  return std::move(result.planning);
+}
+
+TEST(PlanningIoFuzzTest, RoundTripSurvives) {
+  const Instance instance = FuzzInstance();
+  const Planning planning = SomeRealPlanning(instance);
+  const StatusOr<Planning> restored =
+      DeserializePlanning(instance, SerializePlanning(planning));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->total_assignments(), planning.total_assignments());
+  EXPECT_TRUE(ValidatePlanning(instance, *restored).ok());
+}
+
+TEST(PlanningIoFuzzTest, EveryTruncationErrorsOut) {
+  const Instance instance = FuzzInstance();
+  const std::string full = SerializePlanning(SomeRealPlanning(instance));
+  // Stop one short of cutting only the final newline: "...end" without it is
+  // still a complete document (getline does not require a trailing '\n').
+  for (size_t cut = 0; cut + 1 < full.size(); ++cut) {
+    const std::string truncated = full.substr(0, cut);
+    const StatusOr<Planning> parsed =
+        DeserializePlanning(instance, truncated);
+    // A strict prefix lost the "end" marker (or worse), so it must be
+    // rejected — and with a parse error, not a crash.
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << cut << " accepted";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_TRUE(
+      DeserializePlanning(instance, full.substr(0, full.size() - 1)).ok());
+}
+
+TEST(PlanningIoFuzzTest, OutOfRangeEventIdIsRejected) {
+  const Instance instance = FuzzInstance();
+  const StatusOr<Planning> parsed = DeserializePlanning(
+      instance, "USEP-PLANNING 1\ns 0 : 999\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("out of range"),
+            std::string::npos);
+}
+
+TEST(PlanningIoFuzzTest, NegativeEventIdIsRejected) {
+  const Instance instance = FuzzInstance();
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 0 : -1\nend\n").ok());
+}
+
+TEST(PlanningIoFuzzTest, OutOfRangeUserIdIsRejected) {
+  const Instance instance = FuzzInstance();
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 99 : 0\nend\n").ok());
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns -2 : 0\nend\n").ok());
+}
+
+TEST(PlanningIoFuzzTest, BadHeaderIsRejected) {
+  const Instance instance = FuzzInstance();
+  EXPECT_FALSE(DeserializePlanning(instance, "").ok());
+  EXPECT_FALSE(DeserializePlanning(instance, "\n").ok());
+  EXPECT_FALSE(DeserializePlanning(instance, "GARBAGE 1\nend\n").ok());
+  EXPECT_FALSE(DeserializePlanning(instance, "USEP-PLANNING 2\nend\n").ok());
+  EXPECT_FALSE(DeserializePlanning(instance, "USEP-PLANNING\nend\n").ok());
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-INSTANCE 1\nend\n").ok());
+}
+
+TEST(PlanningIoFuzzTest, MalformedScheduleLinesAreRejected) {
+  const Instance instance = FuzzInstance();
+  const char* bad_bodies[] = {
+      "s 0 0\nend\n",           // Missing the colon.
+      "s : 0\nend\n",           // Missing the user.
+      "x 0 : 0\nend\n",         // Unknown tag.
+      "s 0 : zero\nend\n",      // Non-numeric event id.
+      "s 0 : 0 banana\nend\n",  // Trailing junk after valid ids.
+      "s 0 : 0 0\nend\n",       // Duplicate assignment violates constraints.
+  };
+  for (const char* body : bad_bodies) {
+    const std::string text = std::string("USEP-PLANNING 1\n") + body;
+    const StatusOr<Planning> parsed = DeserializePlanning(instance, text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << body;
+  }
+}
+
+TEST(PlanningIoFuzzTest, MissingEndMarkerIsRejected) {
+  const Instance instance = FuzzInstance();
+  EXPECT_FALSE(DeserializePlanning(instance, "USEP-PLANNING 1\n").ok());
+  EXPECT_FALSE(
+      DeserializePlanning(instance, "USEP-PLANNING 1\ns 0 : 1\n").ok());
+}
+
+TEST(PlanningIoFuzzTest, ConstraintViolatingAssignmentsAreRejected) {
+  const Instance instance = FuzzInstance();
+  // Event 0 has capacity 1 in Table 1: two takers must fail on the second.
+  const StatusOr<Planning> parsed = DeserializePlanning(
+      instance, "USEP-PLANNING 1\ns 0 : 0\ns 1 : 0\nend\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("violates"), std::string::npos);
+}
+
+TEST(PlanningIoFuzzTest, RandomByteMutationsNeverCrashTheParser) {
+  const Instance instance = FuzzInstance();
+  const std::string full = SerializePlanning(SomeRealPlanning(instance));
+  Rng rng(2026);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = full;
+    const int flips = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    // Either outcome is fine; what matters is that the parser survives and
+    // anything it does accept passes independent validation.
+    const StatusOr<Planning> parsed = DeserializePlanning(instance, mutated);
+    if (parsed.ok()) {
+      EXPECT_TRUE(ValidatePlanning(instance, *parsed).ok())
+          << "parser accepted an invalid planning, trial " << trial;
+    }
+  }
+}
+
+TEST(PlanningIoFuzzTest, RandomGarbageNeverCrashesTheParser) {
+  const Instance instance = FuzzInstance();
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const int length = static_cast<int>(rng.UniformInt(0, 200));
+    garbage.reserve(length);
+    for (int i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    const StatusOr<Planning> parsed = DeserializePlanning(instance, garbage);
+    if (parsed.ok()) {
+      EXPECT_TRUE(ValidatePlanning(instance, *parsed).ok());
+    }
+  }
+}
+
+TEST(PlanningIoFuzzTest, MissingFileIsAnIoError) {
+  const Instance instance = FuzzInstance();
+  const StatusOr<Planning> parsed =
+      ReadPlanningFile(instance, "/nonexistent/usep/planning.file");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace usep
