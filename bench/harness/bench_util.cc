@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #include "common/csv.h"
 #include "common/memhook.h"
+#include "common/thread_pool.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -19,6 +21,7 @@ namespace usep::bench {
 namespace {
 
 std::optional<BenchScale> g_scale_override;
+std::optional<int> g_threads_override;
 
 }  // namespace
 
@@ -33,6 +36,16 @@ BenchScale GetBenchScale() {
 
 const char* BenchScaleName(BenchScale scale) {
   return scale == BenchScale::kPaper ? "paper" : "small";
+}
+
+int GetBenchThreads() {
+  if (g_threads_override.has_value()) return *g_threads_override;
+  const char* env = std::getenv("USEP_BENCH_THREADS");
+  if (env != nullptr) {
+    const int threads = std::atoi(env);
+    if (threads > 1) return threads;
+  }
+  return 1;
 }
 
 GeneratorConfig ScaledDefaultConfig() {
@@ -84,9 +97,31 @@ void FigureBench::RunPoint(const std::string& parameter_value,
   std::fprintf(stderr, "[%s] %s = %s: %s\n", figure_id_.c_str(),
                parameter_name_.c_str(), parameter_value.c_str(),
                instance.DebugSummary().c_str());
-  for (const PlannerKind kind : kinds) {
-    const std::unique_ptr<Planner> planner = MakePlanner(kind);
-    MeasuredRun run = MeasurePlanner(*planner, instance);
+  const int threads = GetBenchThreads();
+  std::vector<MeasuredRun> runs(kinds.size());
+  if (threads <= 1 || kinds.size() <= 1) {
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      const std::unique_ptr<Planner> planner = MakePlanner(kinds[i]);
+      runs[i] = MeasurePlanner(*planner, instance);
+    }
+  } else {
+    // Trial-level parallelism: every planner run of this point is one task.
+    // Planners share only the immutable instance, so results are identical
+    // to the sequential runs; wall-clock per run can inflate under core
+    // contention and peak_bytes attribution is process-global (see header).
+    std::vector<std::unique_ptr<Planner>> planners;
+    planners.reserve(kinds.size());
+    for (const PlannerKind kind : kinds) planners.push_back(MakePlanner(kind));
+    ThreadPool pool(std::min<int>(threads, static_cast<int>(kinds.size())));
+    pool.ParallelFor(0, static_cast<int64_t>(kinds.size()),
+                     /*num_blocks=*/static_cast<int>(kinds.size()),
+                     [&](int /*block*/, int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         runs[i] = MeasurePlanner(*planners[i], instance);
+                       }
+                     });
+  }
+  for (MeasuredRun& run : runs) {
     std::fprintf(stderr, "[%s]   %-16s utility=%.1f time=%.1fms peak=%s%s\n",
                  figure_id_.c_str(), run.algorithm.c_str(), run.utility,
                  run.time_ms, HumanBytes(run.peak_bytes).c_str(),
@@ -155,12 +190,23 @@ void InitBenchmark(int argc, char** argv, const std::string& name) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "Usage: %s [--scale=small|paper]\n"
+          "Usage: %s [--scale=small|paper] [--threads=N]\n"
           "Reproduces one column of the paper's evaluation figures; see\n"
           "DESIGN.md for the experiment index.  Results also land in\n"
-          "bench_results/%s.csv.\n",
+          "bench_results/%s.csv.  --threads=N runs each point's planner\n"
+          "trials concurrently (identical results; memhook peaks become\n"
+          "process-global — see docs/PARALLELISM.md).\n",
           name.c_str(), name.c_str());
       std::exit(0);
+    }
+    if (StartsWith(arg, "--threads=")) {
+      const int threads = std::atoi(arg.substr(10).c_str());
+      if (threads < 1) {
+        std::fprintf(stderr, "invalid --threads '%s'\n", arg.c_str());
+        std::exit(2);
+      }
+      g_threads_override = threads;
+      continue;
     }
     if (StartsWith(arg, "--scale=")) {
       const std::string value = AsciiToLower(arg.substr(8));

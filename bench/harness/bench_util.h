@@ -21,6 +21,18 @@ enum class BenchScale { kSmall, kPaper };
 BenchScale GetBenchScale();
 const char* BenchScaleName(BenchScale scale);
 
+// Trial-level parallelism: how many planner runs a figure point executes
+// concurrently.  Selected via --threads=N (InitBenchmark) or the
+// USEP_BENCH_THREADS environment variable; 1 (the default) reproduces the
+// historical fully sequential harness.
+//
+// Parallel trials share the process-global memhook counters, so per-run
+// peak_bytes attribution is *process-global* under --threads > 1:
+// concurrent trials inflate each other's peaks.  Utility/validation results
+// are unaffected (planners are deterministic and share nothing mutable);
+// use --threads=1 when the memory panels are the point of the run.
+int GetBenchThreads();
+
 // Convenience: value for the current scale.
 inline int64_t Pick(int64_t small, int64_t paper) {
   return GetBenchScale() == BenchScale::kPaper ? paper : small;
@@ -64,7 +76,11 @@ class FigureBench {
   FigureBench(std::string figure_id, std::string parameter_name,
               std::string expected_shape);
 
-  // Runs every planner kind on the instance at this parameter point.
+  // Runs every planner kind on the instance at this parameter point.  With
+  // GetBenchThreads() > 1 the runs execute concurrently on a thread pool
+  // (results stay in kind order and are identical to the sequential runs;
+  // see GetBenchThreads() for the memhook attribution caveat).  Returns
+  // after every run of the point completed either way.
   void RunPoint(const std::string& parameter_value, const Instance& instance,
                 const std::vector<PlannerKind>& kinds);
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "algo/parallel.h"
 #include "algo/planner_registry.h"
 #include "common/flags.h"
 #include "common/string_util.h"
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
       "deadline_ms", 0.0, "per-planner wall-clock deadline (0 = none)");
   int64_t* max_nodes = flags.AddInt64(
       "max_nodes", 0, "per-planner guard-node budget (0 = none)");
+  int64_t* threads = flags.AddInt64(
+      "threads", 1,
+      "run the requested planners concurrently on this many threads "
+      "(identical results, in the requested order)");
   bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -71,25 +76,45 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  TablePrinter table({"planner", "Omega", "time_ms", "planned_users",
-                      "seat_fill_%", "gini", "termination", "rung"});
-  std::optional<PlannerResult> best;
-  std::string best_name;
+  // Build every requested planner up front (so name errors surface before
+  // any work runs), then execute them — concurrently with --threads > 1.
+  std::vector<std::unique_ptr<Planner>> planners;
   for (const std::string& raw_name : planner_names) {
-    const StatusOr<std::unique_ptr<Planner>> planner =
-        MakePlannerByName(raw_name);
+    StatusOr<std::unique_ptr<Planner>> planner = MakePlannerByName(raw_name);
     if (!planner.ok()) {
       std::fprintf(stderr, "%s\n", planner.status().ToString().c_str());
       return 2;
     }
-    // The deadline is per planner: each row of the comparison table gets the
-    // full budget, so an expensive planner can't starve the ones after it.
+    planners.push_back(std::move(*planner));
+  }
+
+  // The deadline is per planner: each row of the comparison table gets the
+  // full budget, so an expensive planner can't starve the ones after it.
+  // (Under --threads the budgets tick concurrently from launch.)
+  std::vector<BatchJob> jobs;
+  std::vector<PlanContext> contexts;
+  for (const std::unique_ptr<Planner>& planner : planners) {
     PlanContext context;
     if (*deadline_ms > 0.0) {
       context.deadline = Deadline::AfterMillis(*deadline_ms);
     }
     context.max_nodes = *max_nodes;
-    PlannerResult result = (*planner)->Plan(*instance, context);
+    jobs.push_back(BatchJob{planner.get(), &*instance});
+    contexts.push_back(context);
+  }
+  ParallelConfig parallel;
+  parallel.num_threads = static_cast<int>(*threads);
+  std::vector<PlannerResult> results =
+      ParallelBatchSolver(parallel).Solve(jobs, contexts);
+
+  TablePrinter table({"planner", "Omega", "time_ms", "planned_users",
+                      "seat_fill_%", "gini", "termination", "rung"});
+  std::optional<PlannerResult> best;
+  std::string best_name;
+  for (size_t i = 0; i < planners.size(); ++i) {
+    const std::string& raw_name = planner_names[i];
+    const std::unique_ptr<Planner>& planner = planners[i];
+    PlannerResult& result = results[i];
     const Status feasible = CheckPlanningFeasible(*instance, result.planning);
     if (!feasible.ok()) {
       std::fprintf(stderr, "planner %s produced an invalid planning:\n%s\n",
@@ -98,7 +123,7 @@ int main(int argc, char** argv) {
     }
     const PlanningStats stats =
         ComputePlanningStats(*instance, result.planning);
-    table.AddRow({std::string((*planner)->name()),
+    table.AddRow({std::string(planner->name()),
                   StrFormat("%.3f", stats.total_utility),
                   StrFormat("%.1f", result.stats.wall_seconds * 1e3),
                   StrFormat("%d/%d", stats.users_with_plans, stats.num_users),
@@ -117,7 +142,7 @@ int main(int argc, char** argv) {
     }
     if (!best.has_value() ||
         result.planning.total_utility() > best->planning.total_utility()) {
-      best_name = std::string((*planner)->name());
+      best_name = std::string(planner->name());
       best = std::move(result);
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "algo/parallel.h"
 #include "algo/ratio_greedy.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -48,14 +49,41 @@ CopyChoice ChooseCopy(const Instance& instance, const SelectArray& select,
 
 std::vector<UserCandidate> BuildCandidates(const Instance& instance,
                                            const SelectArray& select, UserId u,
-                                           std::vector<int>* chosen_copy) {
+                                           std::vector<int>* chosen_copy,
+                                           Parallelizer* parallel) {
+  // The scan over one event range; chosen_copy writes are per-event, so
+  // blocks over disjoint ranges never touch the same slot.
+  const auto scan = [&](EventId begin, EventId end,
+                        std::vector<UserCandidate>* out) {
+    for (EventId v = begin; v < end; ++v) {
+      const CopyChoice choice = ChooseCopy(instance, select, v, u);
+      if (choice.copy < 0 || !(choice.mu_prime > 0.0)) continue;
+      out->push_back(UserCandidate{v, choice.mu_prime});
+      (*chosen_copy)[v] = choice.copy;
+    }
+  };
+
+  if (parallel == nullptr || !parallel->parallel()) {
+    std::vector<UserCandidate> candidates;
+    candidates.reserve(instance.num_events());
+    scan(0, instance.num_events(), &candidates);
+    return candidates;
+  }
+
+  // Champion-copy scans are pure reads of `select`; block them over the
+  // events and concatenate in block (= event) order, which reproduces the
+  // sequential output exactly.
+  std::vector<std::vector<UserCandidate>> per_block(
+      static_cast<size_t>(parallel->num_blocks()));
+  parallel->For(0, instance.num_events(),
+                [&](int block, int64_t begin, int64_t end) {
+                  scan(static_cast<EventId>(begin), static_cast<EventId>(end),
+                       &per_block[static_cast<size_t>(block)]);
+                });
   std::vector<UserCandidate> candidates;
   candidates.reserve(instance.num_events());
-  for (EventId v = 0; v < instance.num_events(); ++v) {
-    const CopyChoice choice = ChooseCopy(instance, select, v, u);
-    if (choice.copy < 0 || !(choice.mu_prime > 0.0)) continue;
-    candidates.push_back(UserCandidate{v, choice.mu_prime});
-    (*chosen_copy)[v] = choice.copy;
+  for (std::vector<UserCandidate>& block : per_block) {
+    candidates.insert(candidates.end(), block.begin(), block.end());
   }
   return candidates;
 }

@@ -45,12 +45,21 @@ struct CopyChoice {
 CopyChoice ChooseCopy(const Instance& instance, const SelectArray& select,
                       EventId v, UserId u);
 
+class Parallelizer;
+
 // The V_r candidate set for user `u`: one champion copy per event, keeping
 // only mu' > 0.  `chosen_copy[v]` receives the champion index for each
 // candidate event (untouched otherwise).
+//
+// The per-event champion scans are independent reads of `select`, so with a
+// parallel `parallel` executor (see algo/parallel.h) they run blocked over
+// the event range; per-block results are concatenated in event order, which
+// makes the output bit-identical to the sequential scan at every thread
+// count.  Null or sequential `parallel` takes the inline path.
 std::vector<UserCandidate> BuildCandidates(const Instance& instance,
                                            const SelectArray& select, UserId u,
-                                           std::vector<int>* chosen_copy);
+                                           std::vector<int>* chosen_copy,
+                                           Parallelizer* parallel = nullptr);
 
 // Second step: turns the final select array into a Planning by assigning
 // each claimed copy to its last claimant.  Every assignment must succeed —

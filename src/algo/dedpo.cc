@@ -23,6 +23,10 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
   size_t select_bytes = 0;
   for (const auto& copies : select) select_bytes += copies.size() * sizeof(int);
 
+  // One pool for the whole run, shared by every per-user scan; sequential
+  // configs make this a no-op executor.
+  Parallelizer parallel(options_.parallel, context.cancel);
+
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
@@ -31,7 +35,7 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
     }
     if (guard.ShouldStop()) break;
     const std::vector<UserCandidate> candidates =
-        BuildCandidates(instance, select, u, &chosen_copy);
+        BuildCandidates(instance, select, u, &chosen_copy, &parallel);
     if (candidates.empty()) continue;
     const SingleResult single = DpSingle(instance, u, candidates, dp_options);
     stats.dp_cells += single.cells;

@@ -3,6 +3,7 @@
 
 #include "algo/decomposed.h"
 #include "algo/dp_single.h"
+#include "algo/parallel.h"
 #include "algo/planner.h"
 
 namespace usep {
@@ -21,6 +22,9 @@ class DeDpoPlanner : public Planner {
     // 1/2 guarantee (see decomposed.h).
     UserOrder user_order = UserOrder::kInstanceOrder;
     uint64_t order_seed = 1;
+    // Parallelizes the per-user champion-copy scoring scans (bit-identical
+    // plannings at any thread count; see algo/parallel.h).
+    ParallelConfig parallel;
   };
 
   DeDpoPlanner() = default;

@@ -20,6 +20,10 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
   size_t select_bytes = 0;
   for (const auto& copies : select) select_bytes += copies.size() * sizeof(int);
 
+  // One pool for the whole run, shared by every per-user scan; sequential
+  // configs make this a no-op executor.
+  Parallelizer parallel(options_.parallel, context.cancel);
+
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
@@ -28,7 +32,7 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
     }
     if (guard.ShouldStop()) break;
     const std::vector<UserCandidate> candidates =
-        BuildCandidates(instance, select, u, &chosen_copy);
+        BuildCandidates(instance, select, u, &chosen_copy, &parallel);
     if (candidates.empty()) continue;
     const SingleResult single = GreedySingle(instance, u, candidates, &guard);
     stats.heap_pushes += single.cells;

@@ -2,6 +2,7 @@
 #define USEP_ALGO_DEGREEDY_H_
 
 #include "algo/decomposed.h"
+#include "algo/parallel.h"
 #include "algo/planner.h"
 
 namespace usep {
@@ -20,6 +21,9 @@ class DeGreedyPlanner : public Planner {
     // Processing order of the decomposed subproblems (see decomposed.h).
     UserOrder user_order = UserOrder::kInstanceOrder;
     uint64_t order_seed = 1;
+    // Parallelizes the per-user champion-copy scoring scans (bit-identical
+    // plannings at any thread count; see algo/parallel.h).
+    ParallelConfig parallel;
   };
 
   DeGreedyPlanner() = default;

@@ -23,30 +23,57 @@ int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard) {
   return applied;
 }
 
+// The recipient half of a transfer move: the feasible user who values `v`
+// most (ties: smallest user id) among those beating `threshold` by more
+// than kMinGain, or -1.  A pure read of `planning` — `v` is currently
+// unassigned — so the scan can be blocked over the user range; the
+// (max utility, smallest id) reduction is associative and partition-
+// independent, making the result identical at every thread count.
+UserId FindBestRecipient(const Instance& instance, const Planning& planning,
+                         EventId v, UserId exclude, double threshold,
+                         Parallelizer* parallel) {
+  struct Best {
+    UserId user = -1;
+    double mu = 0.0;
+  };
+  std::vector<Best> per_block(static_cast<size_t>(parallel->num_blocks()));
+  parallel->For(
+      0, instance.num_users(), [&](int block, int64_t begin, int64_t end) {
+        Best best;
+        for (UserId to = static_cast<UserId>(begin); to < end; ++to) {
+          if (to == exclude) continue;
+          const double mu = instance.utility(v, to);
+          if (mu <= threshold + kMinGain) continue;
+          if (best.user >= 0 && mu <= best.mu) continue;
+          if (planning.CheckAssign(v, to).has_value()) {
+            best = Best{to, mu};
+          }
+        }
+        per_block[static_cast<size_t>(block)] = best;
+      });
+  Best best;  // Earlier blocks hold smaller ids, so ties keep the first.
+  for (const Best& candidate : per_block) {
+    if (candidate.user >= 0 && (best.user < 0 || candidate.mu > best.mu)) {
+      best = candidate;
+    }
+  }
+  return best.user;
+}
+
 // One pass of "transfer" moves: hand an arranged event to a user who values
 // it strictly more.
 int TryTransfers(const Instance& instance, Planning* planning,
-                 PlanGuard* guard) {
+                 PlanGuard* guard, Parallelizer* parallel) {
   int applied = 0;
   for (UserId from = 0; from < instance.num_users(); ++from) {
     if (guard != nullptr && guard->ShouldStop()) break;
     // Snapshot: the schedule mutates as transfers happen.
     const std::vector<EventId> events = planning->schedule(from).events();
     for (const EventId v : events) {
-      const double current = instance.utility(v, from);
-      // Find the best strictly-better recipient.
-      UserId best = -1;
-      double best_mu = current;
       const bool assigned = planning->Unassign(v, from);
       USEP_DCHECK(assigned);
-      for (UserId to = 0; to < instance.num_users(); ++to) {
-        if (to == from) continue;
-        if (instance.utility(v, to) <= best_mu + kMinGain) continue;
-        if (planning->CheckAssign(v, to).has_value()) {
-          best = to;
-          best_mu = instance.utility(v, to);
-        }
-      }
+      const UserId best = FindBestRecipient(
+          instance, *planning, v, from, instance.utility(v, from), parallel);
       if (best >= 0) {
         const bool moved = planning->TryAssign(v, best);
         USEP_CHECK(moved) << "transfer target vanished";
@@ -113,6 +140,10 @@ LocalSearchReport ImprovePlanning(const Instance& instance,
                                   Planning* planning, PlanGuard* guard) {
   LocalSearchReport report;
   const double initial_utility = planning->total_utility();
+  // One pool for every round's transfer scans; sequential configs cost
+  // nothing.  Cancellation is observed through `guard` between moves, so
+  // the pool needs no token of its own.
+  Parallelizer parallel(options.parallel);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (USEP_FAILPOINT("local_search.round") && guard != nullptr) {
       guard->ForceStop(Termination::kInjectedFault);
@@ -125,7 +156,7 @@ LocalSearchReport ImprovePlanning(const Instance& instance,
       moves += adds;
     }
     if (options.enable_transfer) {
-      const int transfers = TryTransfers(instance, planning, guard);
+      const int transfers = TryTransfers(instance, planning, guard, &parallel);
       report.transfers += transfers;
       moves += transfers;
     }

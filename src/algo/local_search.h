@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "algo/parallel.h"
 #include "algo/planner.h"
 
 namespace usep {
@@ -25,6 +26,11 @@ struct LocalSearchOptions {
   bool enable_transfer = true;
   bool enable_swap = true;
   int max_rounds = 50;
+  // Parallelizes the transfer moves' recipient scans — the read-only
+  // "which user values this event most and can still fit it" sweep over all
+  // users.  Mutating passes (applying moves, add/swap enumeration) stay
+  // sequential, so plannings are bit-identical at any thread count.
+  ParallelConfig parallel;
 };
 
 struct LocalSearchReport {

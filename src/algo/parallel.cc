@@ -1,0 +1,80 @@
+#include "algo/parallel.h"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace usep {
+
+ParallelConfig ParallelConfig::Hardware() {
+  ParallelConfig config;
+  config.num_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return config;
+}
+
+Parallelizer::Parallelizer(const ParallelConfig& config,
+                           CancellationToken cancel) {
+  if (!config.sequential()) {
+    pool_ = std::make_unique<ThreadPool>(config.num_threads, std::move(cancel));
+  }
+}
+
+int Parallelizer::num_blocks() const {
+  return pool_ == nullptr ? 1 : pool_->num_threads();
+}
+
+void Parallelizer::For(int64_t begin, int64_t end,
+                       const std::function<void(int, int64_t, int64_t)>& body) {
+  if (pool_ == nullptr) {
+    if (begin < end) body(0, begin, end);
+    return;
+  }
+  pool_->ParallelFor(begin, end, body);
+}
+
+std::vector<PlannerResult> ParallelBatchSolver::Solve(
+    const std::vector<BatchJob>& jobs, const PlanContext& context) const {
+  return Solve(jobs, std::vector<PlanContext>(jobs.size(), context));
+}
+
+std::vector<PlannerResult> ParallelBatchSolver::Solve(
+    const std::vector<BatchJob>& jobs,
+    const std::vector<PlanContext>& contexts) const {
+  USEP_CHECK_EQ(jobs.size(), contexts.size());
+  const int n = static_cast<int>(jobs.size());
+  std::vector<std::optional<PlannerResult>> results(jobs.size());
+
+  const auto run_job = [&](int64_t i) {
+    const BatchJob& job = jobs[static_cast<size_t>(i)];
+    USEP_CHECK(job.planner != nullptr && job.instance != nullptr);
+    results[static_cast<size_t>(i)] =
+        job.planner->Plan(*job.instance, contexts[static_cast<size_t>(i)]);
+  };
+
+  if (config_.sequential()) {
+    for (int i = 0; i < n; ++i) run_job(i);
+  } else {
+    // One block per job: jobs are coarse and unequal, so finer-than-thread
+    // blocking is what load-balances them.  Results are written by index,
+    // hence job order regardless of completion order; ParallelFor rethrows
+    // the lowest-index failure after all jobs settle.
+    ThreadPool pool(std::min(config_.num_threads, n));
+    pool.ParallelFor(0, n, /*num_blocks=*/n,
+                     [&](int /*block*/, int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) run_job(i);
+                     });
+  }
+
+  std::vector<PlannerResult> out;
+  out.reserve(jobs.size());
+  for (std::optional<PlannerResult>& result : results) {
+    USEP_CHECK(result.has_value());
+    out.push_back(*std::move(result));
+  }
+  return out;
+}
+
+}  // namespace usep

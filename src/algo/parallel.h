@@ -1,0 +1,115 @@
+#ifndef USEP_ALGO_PARALLEL_H_
+#define USEP_ALGO_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algo/planner.h"
+#include "common/thread_pool.h"
+
+namespace usep {
+
+// How much parallelism a planner (or the batch solver) may use.
+//
+// The default — num_threads <= 1 — is *fully sequential*: no pool is
+// created, no thread is spawned, and every parallelizable code path takes
+// its historical single-threaded route, so existing semantics are preserved
+// bit-for-bit.  With num_threads > 1 the parallelized inner loops still
+// produce bit-identical plannings (see docs/PARALLELISM.md for why: static
+// partitions, order-preserving concatenation, associative reductions);
+// only the wall-clock changes.
+struct ParallelConfig {
+  int num_threads = 1;
+
+  bool sequential() const { return num_threads <= 1; }
+
+  // As many threads as the hardware advertises (>= 1).
+  static ParallelConfig Hardware();
+};
+
+// The executor planners thread through their inner loops: a ParallelConfig
+// plus the lazily-created pool that realizes it.  A sequential Parallelizer
+// (default-constructed, or from a sequential config) costs nothing and runs
+// every For() inline on the caller; planners therefore call For()
+// unconditionally instead of branching on thread count.
+//
+// Created once per Plan() invocation so the pool is reused across the
+// planner's iterations, and wired to the PlanContext's CancellationToken so
+// an externally cancelled run also stops feeding the pool.
+class Parallelizer {
+ public:
+  // Sequential executor; For() runs inline.
+  Parallelizer() = default;
+
+  Parallelizer(const ParallelConfig& config, CancellationToken cancel);
+  explicit Parallelizer(const ParallelConfig& config)
+      : Parallelizer(config, CancellationToken()) {}
+
+  bool parallel() const { return pool_ != nullptr; }
+  // Blocks a For() splits into: the pool size, or 1 when sequential.
+  int num_blocks() const;
+
+  // Runs body(block, begin, end) over [begin, end): inline when sequential
+  // (one block, index 0), else via ThreadPool::ParallelFor (static
+  // contiguous blocks, caller participates, deterministic exception
+  // propagation).  The block index lets callers gather per-block results
+  // positionally for order-preserving concatenation.
+  void For(int64_t begin, int64_t end,
+           const std::function<void(int, int64_t, int64_t)>& body);
+
+  // The underlying pool; nullptr when sequential.
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// One unit of work for the batch solver: run `planner` on `instance`.
+// Both pointers are borrowed and must outlive the Solve() call.
+struct BatchJob {
+  const Planner* planner = nullptr;
+  const Instance* instance = nullptr;
+};
+
+// Runs many planner executions concurrently — many instances through one
+// planner, one instance through many planner variants, or any mix — and
+// returns their results in job order (never in completion order).
+//
+// All jobs run under ONE shared PlanContext: the same deadline and the same
+// cancellation token.  When the deadline fires, every still-running job
+// stops at its next guard check and reports an honest best-so-far valid
+// planning with the appropriate Termination — jobs never tear each other's
+// state because planners share nothing but the (immutable) instance and the
+// (atomic) context flags.  Note that PlanContext::max_memory_bytes is
+// enforced against the *process-global* memhook counters, so under
+// concurrency it throttles the sum of all jobs, not each job individually.
+//
+// A job that throws (planners do not, but user-supplied Planner
+// implementations might) does not abort the batch: every other job still
+// completes, then the exception from the lowest-indexed failing job is
+// rethrown.
+class ParallelBatchSolver {
+ public:
+  explicit ParallelBatchSolver(const ParallelConfig& config)
+      : config_(config) {}
+
+  std::vector<PlannerResult> Solve(const std::vector<BatchJob>& jobs,
+                                   const PlanContext& context) const;
+
+  // Per-job contexts (contexts.size() must equal jobs.size()): used when
+  // each job deserves its own full deadline, e.g. usep_solve's comparison
+  // table.  Deadlines are relative to Solve() entry for every job — under
+  // fewer threads than jobs the later jobs' clocks still tick while queued,
+  // exactly as they would for a shared deadline.
+  std::vector<PlannerResult> Solve(
+      const std::vector<BatchJob>& jobs,
+      const std::vector<PlanContext>& contexts) const;
+
+ private:
+  ParallelConfig config_;
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_PARALLEL_H_

@@ -44,23 +44,36 @@ const char* PlannerKindName(PlannerKind kind) {
 }
 
 std::unique_ptr<Planner> MakePlanner(PlannerKind kind) {
+  return MakePlanner(kind, ParallelConfig());
+}
+
+std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
+                                     const ParallelConfig& parallel) {
   switch (kind) {
     case PlannerKind::kRatioGreedy:
       return std::make_unique<RatioGreedyPlanner>();
     case PlannerKind::kDeDp:
       return std::make_unique<DeDpPlanner>();
-    case PlannerKind::kDeDpo:
-      return std::make_unique<DeDpoPlanner>();
+    case PlannerKind::kDeDpo: {
+      DeDpoPlanner::Options options;
+      options.parallel = parallel;
+      return std::make_unique<DeDpoPlanner>(options);
+    }
     case PlannerKind::kDeDpoRg: {
       DeDpoPlanner::Options options;
       options.augment_with_rg = true;
+      options.parallel = parallel;
       return std::make_unique<DeDpoPlanner>(options);
     }
-    case PlannerKind::kDeGreedy:
-      return std::make_unique<DeGreedyPlanner>();
+    case PlannerKind::kDeGreedy: {
+      DeGreedyPlanner::Options options;
+      options.parallel = parallel;
+      return std::make_unique<DeGreedyPlanner>(options);
+    }
     case PlannerKind::kDeGreedyRg: {
       DeGreedyPlanner::Options options;
       options.augment_with_rg = true;
+      options.parallel = parallel;
       return std::make_unique<DeGreedyPlanner>(options);
     }
     case PlannerKind::kNaiveRatioGreedy:
@@ -74,12 +87,18 @@ std::unique_ptr<Planner> MakePlanner(PlannerKind kind) {
       options.solver = OnlinePlanner::Solver::kGreedy;
       return std::make_unique<OnlinePlanner>(options);
     }
-    case PlannerKind::kDeDpoRgLs:
+    case PlannerKind::kDeDpoRgLs: {
+      LocalSearchOptions options;
+      options.parallel = parallel;
       return std::make_unique<LocalSearchPlanner>(
-          MakePlanner(PlannerKind::kDeDpoRg));
-    case PlannerKind::kDeGreedyRgLs:
+          MakePlanner(PlannerKind::kDeDpoRg, parallel), options);
+    }
+    case PlannerKind::kDeGreedyRgLs: {
+      LocalSearchOptions options;
+      options.parallel = parallel;
       return std::make_unique<LocalSearchPlanner>(
-          MakePlanner(PlannerKind::kDeGreedyRg));
+          MakePlanner(PlannerKind::kDeGreedyRg, parallel), options);
+    }
   }
   return nullptr;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "algo/parallel.h"
 #include "algo/planner.h"
 #include "common/status.h"
 
@@ -31,6 +32,13 @@ const char* PlannerKindName(PlannerKind kind);
 
 // Constructs a planner with default options.
 std::unique_ptr<Planner> MakePlanner(PlannerKind kind);
+
+// Constructs a planner whose parallelizable inner loops use `parallel`
+// (the DeDPO/DeGreedy families and the +LS decorators; kinds without
+// parallel inner loops ignore the config).  Plannings are bit-identical to
+// MakePlanner(kind) at every thread count — only wall-clock changes.
+std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
+                                     const ParallelConfig& parallel);
 
 // Name-based lookup (case-insensitive; accepts e.g. "dedpo+rg").  A name
 // containing "->" (e.g. "Exact->DeDPO+RG->RatioGreedy") builds a

@@ -1,0 +1,223 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace usep {
+namespace {
+
+// State shared between one ParallelFor call and the runner tasks it
+// enqueues.  Blocks are claimed from `next_block`; whoever claims a block
+// executes it and bumps `finished`; the caller waits until finished ==
+// num_blocks.  Shared ownership (runner closures keep a reference) covers
+// the late-runner race: a runner that starts after every block completed
+// only touches next_block and returns.  `body` points into the caller's
+// frame, which is safe because it is only dereferenced for a *claimed*
+// block, and the caller cannot return before every claimed block reported.
+struct ForState {
+  std::atomic<int> next_block{0};
+  int num_blocks = 0;
+  int64_t begin = 0;
+  int64_t count = 0;
+  const std::function<void(int, int64_t, int64_t)>* body = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  int finished = 0;
+  std::vector<std::exception_ptr> errors;  // Indexed by block.
+};
+
+// [begin, end) of block `b` under the static partition documented in the
+// header.
+void BlockRange(const ForState& state, int b, int64_t* begin, int64_t* end) {
+  const int64_t q = state.count / state.num_blocks;
+  const int64_t r = state.count % state.num_blocks;
+  *begin = state.begin + b * q + std::min<int64_t>(b, r);
+  *end = *begin + q + (b < r ? 1 : 0);
+}
+
+// Claims and runs blocks until none remain.  Returns after contributing to
+// `finished` for every block it ran.
+void RunBlocks(ForState& state) {
+  for (;;) {
+    const int b = state.next_block.fetch_add(1, std::memory_order_relaxed);
+    if (b >= state.num_blocks) return;
+    int64_t begin = 0;
+    int64_t end = 0;
+    BlockRange(state, b, &begin, &end);
+    std::exception_ptr error;
+    try {
+      (*state.body)(b, begin, end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.errors[b] = error;
+      ++state.finished;
+      if (state.finished == state.num_blocks) state.all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, CancellationToken cancel)
+    : cancel_(std::move(cancel)) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Workers are gone; fail whatever remains (queued after shutdown raced in,
+  // or was skipped by cancellation).
+  std::deque<Task> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (Task& task : leftover) {
+    task.done.set_exception(std::make_exception_ptr(
+        std::runtime_error("task discarded: thread pool shut down")));
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  std::future<void> result = task.done.get_future();
+  if (cancel_.cancelled()) {
+    task.done.set_exception(std::make_exception_ptr(
+        std::runtime_error("task discarded: pool cancelled")));
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return result;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool ThreadPool::PopTask(Task* task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!queue_.empty()) {
+      if (cancel_.cancelled()) {
+        // Discard the whole backlog: complete every queued future with an
+        // error, without running anything.
+        std::deque<Task> discarded;
+        discarded.swap(queue_);
+        lock.unlock();
+        for (Task& dead : discarded) {
+          dead.done.set_exception(std::make_exception_ptr(
+              std::runtime_error("task discarded: pool cancelled")));
+        }
+        lock.lock();
+        continue;
+      }
+      *task = std::move(queue_.front());
+      queue_.pop_front();
+      return true;
+    }
+    if (shutdown_) return false;
+    // Re-check cancellation at wakeup rather than polling: cancelled pools
+    // still need the destructor's notify to exit, which is the documented
+    // cooperative-shutdown contract.
+    wake_.wait(lock);
+  }
+}
+
+void ThreadPool::RunTask(Task& task) {
+  try {
+    task.fn();
+    task.done.set_value();
+  } catch (...) {
+    task.done.set_exception(std::current_exception());
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  Task task;
+  while (PopTask(&task)) {
+    RunTask(task);
+    task = Task();  // Release the closure before blocking again.
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int num_blocks,
+    const std::function<void(int, int64_t, int64_t)>& body) {
+  const int64_t count = end - begin;
+  if (count <= 0) return;
+  num_blocks = static_cast<int>(
+      std::min<int64_t>(std::max(num_blocks, 1), count));
+  if (num_blocks == 1) {
+    body(0, begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->num_blocks = num_blocks;
+  state->begin = begin;
+  state->count = count;
+  state->body = &body;
+  state->errors.resize(static_cast<size_t>(num_blocks));
+
+  // One runner per block beyond the caller's own; runners that find no
+  // blocks left (or get discarded by cancellation) simply contribute
+  // nothing — the caller's RunBlocks claims the remainder.  Runner futures
+  // are intentionally dropped: block bodies report through state->errors.
+  for (int i = 1; i < num_blocks; ++i) {
+    Submit([state] { RunBlocks(*state); });
+  }
+  RunBlocks(*state);
+
+  // Take sole ownership of the error list before rethrowing: a late runner
+  // may destroy `state` on a worker thread after we return, and it must not
+  // co-own exception objects the caller is still examining.
+  std::vector<std::exception_ptr> errors;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(
+        lock, [&] { return state->finished == state->num_blocks; });
+    errors = std::move(state->errors);
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::vector<uint64_t> SplitSeeds(uint64_t base_seed, int n) {
+  // splitmix64 (Steele et al.), the same mixer rng.cc uses for seeding:
+  // consecutive outputs are statistically independent streams.
+  std::vector<uint64_t> seeds;
+  seeds.reserve(static_cast<size_t>(std::max(n, 0)));
+  uint64_t state = base_seed;
+  for (int i = 0; i < n; ++i) {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    seeds.push_back(z ^ (z >> 31));
+  }
+  return seeds;
+}
+
+}  // namespace usep

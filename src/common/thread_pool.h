@@ -1,0 +1,125 @@
+#ifndef USEP_COMMON_THREAD_POOL_H_
+#define USEP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+
+namespace usep {
+
+// A fixed-size work-queue thread pool.
+//
+// Design goals, in order:
+//  1. Determinism first.  The pool never reorders results: ParallelFor
+//     partitions its range into statically computed contiguous blocks, and
+//     callers receive per-block results positionally, so the outcome of a
+//     parallel computation is a pure function of (range, num_threads) —
+//     never of scheduling.  algo/parallel.h builds on this to guarantee
+//     bit-identical plannings at any thread count.
+//  2. Honest failure.  An exception thrown by a task is captured and
+//     rethrown to the caller (Submit: through the future; ParallelFor: the
+//     lowest-indexed failing block wins, so even the reported error is
+//     deterministic).
+//  3. Cooperative shutdown.  The pool can be wired to a CancellationToken
+//     (the same type PlanContext carries): once the token fires, queued
+//     Submit() tasks are *discarded* — their futures fail with
+//     std::runtime_error — and workers stop picking up new work.  Tasks
+//     already running are never interrupted; planners observe the token
+//     through their own PlanGuard and unwind with a valid best-so-far
+//     planning.  ParallelFor is cancellation-proof by construction: blocks
+//     are claimed from a shared counter and the *caller* executes whatever
+//     the workers never picked up, so a ParallelFor always completes every
+//     block (its body is expected to check the caller's guard to finish
+//     quickly under cancellation).
+//
+// All public member functions are thread-safe; tasks may themselves Submit()
+// further tasks (but must not block on them — the pool does not steal work).
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).  `cancel` is optional:
+  // a default-constructed token never fires, giving a pool that only shuts
+  // down via the destructor.
+  explicit ThreadPool(int num_threads,
+                      CancellationToken cancel = CancellationToken());
+
+  // Drains or discards remaining work (depending on the token) and joins
+  // every worker.  Safe to destroy from any thread not owned by the pool.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn`; the future completes when it ran (or failed, or was
+  // discarded by cancellation — both surface as exceptions on .get()).
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs body(block, begin, end) over `num_blocks` statically partitioned
+  // contiguous sub-ranges of [begin, end) and waits for all of them.  The
+  // `block` argument is the 0-based partition index, letting callers gather
+  // per-block results positionally (the key to order-preserving — hence
+  // deterministic — parallel concatenation).  Blocks
+  // are claimed from a shared counter by the workers *and* the calling
+  // thread, so every block runs exactly once even when the workers are busy,
+  // the pool was cancelled, or ParallelFor is invoked from a worker (no
+  // deadlock: the caller finishes the range alone in the worst case).  If
+  // any body invocation throws, the exception from the lowest-indexed
+  // failing block is rethrown after every block finished.
+  //
+  // Empty ranges return immediately.  num_blocks <= 1 runs inline on the
+  // caller.  The partition depends only on (end - begin, num_blocks):
+  // block b covers [begin + b*q + min(b, r), ...) with q = n / num_blocks,
+  // r = n % num_blocks — the first r blocks are one element longer.
+  void ParallelFor(int64_t begin, int64_t end, int num_blocks,
+                   const std::function<void(int, int64_t, int64_t)>& body);
+
+  // Convenience: one block per worker thread.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int, int64_t, int64_t)>& body) {
+    ParallelFor(begin, end, num_threads(), body);
+  }
+
+  // True once the wired CancellationToken fired (queued Submit tasks are
+  // being discarded).
+  bool cancelled() const { return cancel_.cancelled(); }
+
+  // Number of tasks currently queued (excluding running ones); test hook.
+  size_t QueueDepth() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop();
+  // Pops one task honoring cancellation; false when the pool is shutting
+  // down and the queue is empty.
+  bool PopTask(Task* task);
+  static void RunTask(Task& task);
+
+  CancellationToken cancel_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Derives `n` statistically independent RNG seeds from `base_seed` via
+// splitmix64.  The i-th seed depends only on (base_seed, i) — never on
+// thread count or scheduling — so giving worker/trial i the i-th stream
+// keeps every parallel randomized computation reproducible from one seed.
+std::vector<uint64_t> SplitSeeds(uint64_t base_seed, int n);
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_THREAD_POOL_H_

@@ -20,8 +20,7 @@ TEST(DeGreedyTest, Names) {
 TEST(DeGreedyTest, Table1PlanningFeasible) {
   const Instance instance = testing::MakeTable1Instance();
   const PlannerResult result = DeGreedyPlanner().Plan(instance);
-  const ValidationReport report = ValidatePlanning(instance, result.planning);
-  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
   EXPECT_GT(result.planning.total_utility(), 0.0);
 }
 
@@ -32,8 +31,7 @@ TEST_P(DeGreedyRandomTest, FeasiblePlannings) {
       GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam()));
   ASSERT_TRUE(instance.ok());
   const PlannerResult result = DeGreedyPlanner().Plan(*instance);
-  const ValidationReport report = ValidatePlanning(*instance, result.planning);
-  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(testing::IsValidPlanning(*instance, result.planning));
 }
 
 TEST_P(DeGreedyRandomTest, RgAugmentationNeverLowersUtility) {
@@ -44,7 +42,7 @@ TEST_P(DeGreedyRandomTest, RgAugmentationNeverLowersUtility) {
   DeGreedyPlanner::Options options;
   options.augment_with_rg = true;
   const PlannerResult augmented = DeGreedyPlanner(options).Plan(*instance);
-  EXPECT_TRUE(ValidatePlanning(*instance, augmented.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(*instance, augmented.planning));
   EXPECT_GE(augmented.planning.total_utility(),
             base.planning.total_utility() - 1e-9);
 }
@@ -75,7 +73,7 @@ TEST(DeGreedyTest, FullConflictCliqueDegradesGracefully) {
   const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
   ASSERT_TRUE(instance.ok());
   const PlannerResult result = DeGreedyPlanner().Plan(*instance);
-  EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(*instance, result.planning));
   for (UserId u = 0; u < instance->num_users(); ++u) {
     EXPECT_LE(result.planning.schedule(u).size(), 1);
   }

@@ -1,0 +1,106 @@
+// Differential property testing: ~200 randomized small instances spanning
+// the generator's parameter space (tight/loose capacity, tight/loose
+// budgets, conflict-light/heavy timetables, zero-utility-dense matrices),
+// with EVERY registered planner run on every instance.  Three properties
+// must hold universally:
+//
+//   1. Validity: each planner's planning passes the Definition 2 constraint
+//      checker (capacity, budget, feasibility, positive utility).
+//   2. Optimality bound: no planner beats the exhaustive Exact optimum.
+//   3. Determinism: re-running a planner on the same instance reproduces
+//      the identical planning (the foundation the parallel engine's
+//      bit-for-bit guarantee rests on; see parallel_test.cc for the
+//      multi-thread half of that story).
+//
+// This is the safety net that lets the parallel refactors in
+// algo/parallel.{h,cc} touch planner inner loops: any semantic drift
+// anywhere in the planner zoo trips one of these properties.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/exact.h"
+#include "algo/planner_registry.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// One corner of the generator's parameter space.  Fields mirror the Table 7
+// knobs the paper varies; kZeroUtilityDense uses the power-law utility
+// family (most mu near zero) to stress the mu > 0 arrangement constraint.
+struct Regime {
+  const char* name;
+  double capacity_mean;
+  double budget_factor;
+  double conflict_ratio;
+  const char* utility_distribution;
+};
+
+constexpr Regime kRegimes[] = {
+    {"baseline", 2.0, 2.0, 0.3, "uniform"},
+    {"tight-capacity", 1.0, 2.0, 0.3, "uniform"},
+    {"tight-budget", 3.0, 0.5, 0.25, "normal"},
+    {"conflict-heavy", 2.0, 2.0, 0.85, "uniform"},
+    {"zero-utility-dense", 2.0, 2.0, 0.3, "power:4"},
+};
+
+// All registered planner kinds, including the online and local-search
+// decorated families the figure benches skip.
+std::vector<PlannerKind> AllPlannerKinds() {
+  return {PlannerKind::kRatioGreedy,      PlannerKind::kDeDp,
+          PlannerKind::kDeDpo,            PlannerKind::kDeDpoRg,
+          PlannerKind::kDeGreedy,         PlannerKind::kDeGreedyRg,
+          PlannerKind::kNaiveRatioGreedy, PlannerKind::kExact,
+          PlannerKind::kOnlineDp,         PlannerKind::kOnlineGreedy,
+          PlannerKind::kDeDpoRgLs,        PlannerKind::kDeGreedyRgLs};
+}
+
+Instance MakeRegimeInstance(const Regime& regime, uint64_t seed) {
+  GeneratorConfig config = testing::SmallRandomConfig(seed);
+  config.capacity_mean = regime.capacity_mean;
+  config.budget_factor = regime.budget_factor;
+  config.conflict_ratio = regime.conflict_ratio;
+  config.utility_distribution = regime.utility_distribution;
+  StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+// 40 seeds x 5 regimes = 200 distinct instances.
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, EveryPlannerValidAndBoundedByExact) {
+  for (const Regime& regime : kRegimes) {
+    const Instance instance = MakeRegimeInstance(regime, GetParam());
+    const std::string where =
+        std::string(regime.name) + " seed=" + std::to_string(GetParam());
+
+    const PlannerResult exact = ExactPlanner().Plan(instance);
+    ASSERT_EQ(exact.termination, Termination::kCompleted) << where;
+    ASSERT_TRUE(testing::IsValidPlanning(instance, exact.planning)) << where;
+    const double optimum = exact.planning.total_utility();
+
+    for (const PlannerKind kind : AllPlannerKinds()) {
+      const std::unique_ptr<Planner> planner = MakePlanner(kind);
+      const PlannerResult result = planner->Plan(instance);
+      EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning))
+          << PlannerKindName(kind) << " on " << where;
+      EXPECT_LE(result.planning.total_utility(), optimum + 1e-9)
+          << PlannerKindName(kind) << " beat the exact optimum on " << where;
+      // Same planner, same instance: byte-identical planning.
+      const PlannerResult again = planner->Plan(instance);
+      EXPECT_EQ(result.planning.ToString(), again.planning.ToString())
+          << PlannerKindName(kind) << " is nondeterministic on " << where;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace usep

@@ -17,7 +17,7 @@ TEST(ExactTest, SolvesKnapsackReduction) {
       {60, 100, 120}, {10, 20, 30}, 50);
   const PlannerResult result = ExactPlanner().Plan(instance);
   EXPECT_NEAR(result.planning.total_utility(), 220.0 / 120.0, 1e-9);
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
 }
 
 TEST(ExactTest, TinyMatrixOptimum) {
@@ -58,7 +58,7 @@ TEST(ExactTest, EmptyInstance) {
 TEST(ExactTest, BeatsOrMatchesEveryHeuristicByConstruction) {
   const Instance instance = testing::MakeTable1Instance();
   const PlannerResult exact = ExactPlanner().Plan(instance);
-  EXPECT_TRUE(ValidatePlanning(instance, exact.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, exact.planning));
   EXPECT_GT(exact.stats.iterations, 0);
 }
 
@@ -120,7 +120,7 @@ TEST_P(ExactRandomTest, MatchesPlainEnumeration) {
   ASSERT_TRUE(instance.ok());
 
   const PlannerResult exact = ExactPlanner().Plan(*instance);
-  EXPECT_TRUE(ValidatePlanning(*instance, exact.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(*instance, exact.planning));
 
   Planning scratch(*instance);
   std::vector<int> capacity_left(instance->num_events());
@@ -144,7 +144,7 @@ TEST(ExactGuardTest, NodeBudgetReturnsGracefullyInsteadOfAborting) {
   const Instance instance = testing::MakeTable1Instance();
   const PlannerResult result = ExactPlanner(options).Plan(instance);
   EXPECT_EQ(result.termination, Termination::kNodeBudget);
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
 }
 
 TEST(ExactGuardTest, ScheduleBudgetReturnsGracefullyInsteadOfAborting) {
@@ -153,7 +153,7 @@ TEST(ExactGuardTest, ScheduleBudgetReturnsGracefullyInsteadOfAborting) {
   const Instance instance = testing::MakeTable1Instance();
   const PlannerResult result = ExactPlanner(options).Plan(instance);
   EXPECT_EQ(result.termination, Termination::kNodeBudget);
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
 }
 
 TEST(ExactGuardTest, GenerousBudgetsStillReachTheOptimum) {

@@ -82,7 +82,7 @@ TEST_F(FallbackPlannerTest, NodeBudgetOnFirstRungDegradesToTheNext) {
   EXPECT_EQ(result.stats.fallback_rung, "RatioGreedy");
   EXPECT_EQ(result.stats.fallback_trace,
             "Exact:node-budget -> RatioGreedy:completed");
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
   EXPECT_GT(result.planning.total_utility(), 0.0);
 }
 
@@ -96,7 +96,7 @@ TEST_F(FallbackPlannerTest, ArmedFailpointDegradesInsteadOfAborting) {
   EXPECT_EQ(result.stats.fallback_rung, "DeDPO+RG");
   EXPECT_EQ(result.stats.fallback_trace,
             "Exact:injected-fault -> DeDPO+RG:completed");
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
   EXPECT_GT(arm.hit_count(), 0);
 }
 
@@ -116,7 +116,7 @@ TEST_F(FallbackPlannerTest, EveryRungStarvedReturnsBestSoFarValidPlanning) {
       MakeChain("Exact->DeDPO+RG->RatioGreedy");
   const PlannerResult result = chain->Plan(*instance, context);
   EXPECT_NE(result.termination, Termination::kCompleted);
-  EXPECT_TRUE(ValidatePlanning(*instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(*instance, result.planning));
   EXPECT_FALSE(result.stats.fallback_rung.empty());
   EXPECT_FALSE(result.stats.fallback_trace.empty());
 }
@@ -131,7 +131,7 @@ TEST_F(FallbackPlannerTest, BestSoFarPicksTheHighestUtilityRung) {
   const std::unique_ptr<Planner> chain = MakeChain("Exact->RatioGreedy");
   const PlannerResult result = chain->Plan(instance);
   EXPECT_EQ(result.termination, Termination::kInjectedFault);
-  EXPECT_TRUE(ValidatePlanning(instance, result.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
   EXPECT_EQ(result.stats.fallback_trace,
             "Exact:injected-fault -> RatioGreedy:injected-fault");
   // RatioGreedy got three pops in before the fault, so it carries utility.

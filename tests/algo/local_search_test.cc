@@ -20,7 +20,7 @@ TEST(LocalSearchTest, AddMoveFillsObviousGaps) {
       ImprovePlanning(instance, options, &planning);
   EXPECT_GT(report.adds, 0);
   EXPECT_GT(planning.total_utility(), 0.0);
-  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, planning));
 }
 
 TEST(LocalSearchTest, TransferMovesEventToKeenerUser) {
@@ -77,7 +77,7 @@ TEST(LocalSearchTest, SwapExchangesMismatchedEvents) {
   EXPECT_TRUE(planning.schedule(0).Contains(1));
   EXPECT_TRUE(planning.schedule(1).Contains(0));
   EXPECT_NEAR(planning.total_utility(), 1.8, 1e-12);
-  EXPECT_TRUE(ValidatePlanning(instance, planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, planning));
 }
 
 TEST(LocalSearchTest, FixedPointOfOptimumIsStable) {
@@ -144,7 +144,7 @@ TEST(LocalSearchPlannerTest, DecoratorNameAndBehaviour) {
       MakePlanner(PlannerKind::kDeDpoRg)->Plan(instance);
   EXPECT_GE(with_ls.planning.total_utility(),
             without.planning.total_utility() - 1e-9);
-  EXPECT_TRUE(ValidatePlanning(instance, with_ls.planning).ok());
+  EXPECT_TRUE(testing::IsValidPlanning(instance, with_ls.planning));
 }
 
 TEST(LocalSearchTest, MaxRoundsRespected) {

@@ -1,0 +1,253 @@
+// The parallel engine's contract, proven three ways:
+//
+//  1. Determinism: for every parallelized planner family, the planning at
+//     num_threads in {1, 2, 8} is bit-identical (same objective, same
+//     per-user schedules) — parallelism may only change wall-clock.
+//  2. Batch semantics: ParallelBatchSolver returns results in job order,
+//     identical to running each job alone; a shared deadline/cancellation
+//     stops every job at a *valid* best-so-far planning.
+//  3. Fault tolerance under concurrency: failpoints armed while worker
+//     threads are live (both inside a planner's parallel inner loops and
+//     across concurrent batch jobs) still yield valid best-so-far
+//     plannings with honest Termination reporting.
+
+#include "algo/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/planner_registry.h"
+#include "common/failpoint.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+Instance MakeMediumInstance(uint64_t seed) {
+  StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(seed));
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+std::vector<PlannerKind> ParallelizedKinds() {
+  return {PlannerKind::kDeDpo,      PlannerKind::kDeDpoRg,
+          PlannerKind::kDeGreedy,   PlannerKind::kDeGreedyRg,
+          PlannerKind::kDeDpoRgLs,  PlannerKind::kDeGreedyRgLs};
+}
+
+PlannerResult PlanWithThreads(PlannerKind kind, const Instance& instance,
+                              int num_threads,
+                              const PlanContext& context = PlanContext()) {
+  ParallelConfig config;
+  config.num_threads = num_threads;
+  return MakePlanner(kind, config)->Plan(instance, context);
+}
+
+// --- 1. Bit-for-bit determinism across thread counts ----------------------
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminismTest, PlanningsIdenticalAtOneTwoAndEightThreads) {
+  const Instance instance = MakeMediumInstance(GetParam());
+  for (const PlannerKind kind : ParallelizedKinds()) {
+    const PlannerResult sequential = PlanWithThreads(kind, instance, 1);
+    ASSERT_TRUE(testing::IsValidPlanning(instance, sequential.planning))
+        << PlannerKindName(kind);
+    for (const int threads : {2, 8}) {
+      const PlannerResult parallel = PlanWithThreads(kind, instance, threads);
+      EXPECT_EQ(parallel.planning.total_utility(),
+                sequential.planning.total_utility())
+          << PlannerKindName(kind) << " at " << threads << " threads";
+      EXPECT_EQ(parallel.planning.ToString(), sequential.planning.ToString())
+          << PlannerKindName(kind) << " diverged at " << threads
+          << " threads (seed " << GetParam() << ")";
+      EXPECT_EQ(parallel.termination, sequential.termination);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(ParallelDeterminismTest, RegistryDefaultMatchesExplicitSequential) {
+  // MakePlanner(kind) must keep its historical fully sequential semantics.
+  const Instance instance = MakeMediumInstance(7);
+  for (const PlannerKind kind : ParallelizedKinds()) {
+    const PlannerResult default_result = MakePlanner(kind)->Plan(instance);
+    const PlannerResult explicit_seq = PlanWithThreads(kind, instance, 1);
+    EXPECT_EQ(default_result.planning.ToString(),
+              explicit_seq.planning.ToString())
+        << PlannerKindName(kind);
+  }
+}
+
+// --- 2. ParallelBatchSolver -----------------------------------------------
+
+TEST(ParallelBatchSolverTest, ResultsInJobOrderIdenticalToSoloRuns) {
+  const Instance a = MakeMediumInstance(100);
+  const Instance b = MakeMediumInstance(200);
+
+  std::vector<std::unique_ptr<Planner>> planners;
+  planners.push_back(MakePlanner(PlannerKind::kDeDpoRg));
+  planners.push_back(MakePlanner(PlannerKind::kDeGreedyRg));
+  planners.push_back(MakePlanner(PlannerKind::kRatioGreedy));
+
+  // A mix: many planners on one instance AND one planner on many instances.
+  std::vector<BatchJob> jobs;
+  for (const auto& planner : planners) {
+    jobs.push_back(BatchJob{planner.get(), &a});
+  }
+  jobs.push_back(BatchJob{planners[0].get(), &b});
+
+  ParallelConfig sequential;  // num_threads = 1.
+  ParallelConfig four;
+  four.num_threads = 4;
+  const std::vector<PlannerResult> seq_results =
+      ParallelBatchSolver(sequential).Solve(jobs, PlanContext());
+  const std::vector<PlannerResult> par_results =
+      ParallelBatchSolver(four).Solve(jobs, PlanContext());
+
+  ASSERT_EQ(seq_results.size(), jobs.size());
+  ASSERT_EQ(par_results.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const PlannerResult solo =
+        jobs[i].planner->Plan(*jobs[i].instance, PlanContext());
+    EXPECT_EQ(par_results[i].planning.ToString(), solo.planning.ToString())
+        << "job " << i;
+    EXPECT_EQ(seq_results[i].planning.ToString(), solo.planning.ToString())
+        << "job " << i;
+    EXPECT_TRUE(
+        testing::IsValidPlanning(*jobs[i].instance, par_results[i].planning))
+        << "job " << i;
+  }
+}
+
+TEST(ParallelBatchSolverTest, SharedExpiredDeadlineStopsEveryJobValidly) {
+  const Instance instance = MakeMediumInstance(300);
+  const std::unique_ptr<Planner> dedpo = MakePlanner(PlannerKind::kDeDpoRg);
+  const std::unique_ptr<Planner> degreedy =
+      MakePlanner(PlannerKind::kDeGreedyRg);
+  const std::vector<BatchJob> jobs = {BatchJob{dedpo.get(), &instance},
+                                      BatchJob{degreedy.get(), &instance},
+                                      BatchJob{dedpo.get(), &instance}};
+  PlanContext context;
+  context.deadline = Deadline::AfterMillis(0.0);  // Already expired.
+
+  ParallelConfig four;
+  four.num_threads = 4;
+  const std::vector<PlannerResult> results =
+      ParallelBatchSolver(four).Solve(jobs, context);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].termination, Termination::kDeadline) << "job " << i;
+    EXPECT_TRUE(testing::IsValidPlanning(instance, results[i].planning))
+        << "job " << i;
+  }
+}
+
+TEST(ParallelBatchSolverTest, SharedCancellationStopsEveryJobValidly) {
+  const Instance instance = MakeMediumInstance(400);
+  const std::unique_ptr<Planner> planner = MakePlanner(PlannerKind::kDeDpoRg);
+  const std::vector<BatchJob> jobs(4, BatchJob{planner.get(), &instance});
+  PlanContext context;
+  context.cancel.Cancel();  // Fired before any job starts.
+
+  ParallelConfig two;
+  two.num_threads = 2;
+  const std::vector<PlannerResult> results =
+      ParallelBatchSolver(two).Solve(jobs, context);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].termination, Termination::kCancelled) << "job " << i;
+    EXPECT_TRUE(testing::IsValidPlanning(instance, results[i].planning))
+        << "job " << i;
+  }
+}
+
+TEST(ParallelBatchSolverTest, PerJobContextsGiveEachJobItsOwnBudget) {
+  const Instance instance = MakeMediumInstance(500);
+  const std::unique_ptr<Planner> planner = MakePlanner(PlannerKind::kDeDpoRg);
+  const std::vector<BatchJob> jobs(2, BatchJob{planner.get(), &instance});
+
+  std::vector<PlanContext> contexts(2);
+  contexts[0].deadline = Deadline::AfterMillis(0.0);  // Job 0 starves...
+  // ...job 1 keeps the default unlimited context.
+
+  ParallelConfig two;
+  two.num_threads = 2;
+  const std::vector<PlannerResult> results =
+      ParallelBatchSolver(two).Solve(jobs, contexts);
+  EXPECT_EQ(results[0].termination, Termination::kDeadline);
+  EXPECT_EQ(results[1].termination, Termination::kCompleted);
+  EXPECT_TRUE(testing::IsValidPlanning(instance, results[0].planning));
+  EXPECT_TRUE(testing::IsValidPlanning(instance, results[1].planning));
+  // The starved job cannot beat the finished one.
+  EXPECT_LE(results[0].planning.total_utility(),
+            results[1].planning.total_utility() + 1e-9);
+}
+
+// --- 3. Failpoints under concurrency --------------------------------------
+
+TEST(ParallelFailpointTest, InjectedFaultInParallelInnerLoopsIsDeterministic) {
+  // "dedpo.user" fires on the sequential per-user loop while the champion
+  // scans run on pool workers; the injected best-so-far planning must be
+  // valid and identical at every thread count.
+  const Instance instance = MakeMediumInstance(600);
+  const PlannerResult reference = [&instance] {
+    failpoint::ScopedArm arm("dedpo.user", /*skip_hits=*/5);
+    return PlanWithThreads(PlannerKind::kDeDpoRg, instance, 1);
+  }();
+  EXPECT_EQ(reference.termination, Termination::kInjectedFault);
+  EXPECT_TRUE(testing::IsValidPlanning(instance, reference.planning));
+
+  for (const int threads : {2, 8}) {
+    failpoint::ScopedArm arm("dedpo.user", /*skip_hits=*/5);
+    const PlannerResult result =
+        PlanWithThreads(PlannerKind::kDeDpoRg, instance, threads);
+    EXPECT_EQ(result.termination, Termination::kInjectedFault);
+    EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
+    EXPECT_EQ(result.planning.ToString(), reference.planning.ToString())
+        << "injected best-so-far diverged at " << threads << " threads";
+  }
+}
+
+TEST(ParallelFailpointTest, LocalSearchRoundFaultUnderParallelScans) {
+  const Instance instance = MakeMediumInstance(700);
+  failpoint::ScopedArm arm("local_search.round");
+  const PlannerResult result =
+      PlanWithThreads(PlannerKind::kDeDpoRgLs, instance, 4);
+  // The decorated base planner finished; the interrupted local search must
+  // still hand back a valid planning no worse than untouched base output.
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
+  EXPECT_GT(arm.hit_count(), 0);
+}
+
+TEST(ParallelFailpointTest, FaultsFiredFromBatchWorkerThreads) {
+  // Whole planner runs execute on pool workers here, so the armed site is
+  // hit from several worker threads concurrently.  Every job must unwind
+  // with a valid planning and report the injected fault.
+  const Instance instance = MakeMediumInstance(800);
+  const std::unique_ptr<Planner> planner = MakePlanner(PlannerKind::kDeGreedy);
+  const std::vector<BatchJob> jobs(6, BatchJob{planner.get(), &instance});
+
+  failpoint::ScopedArm arm("degreedy.user");  // Fires on every hit.
+  ParallelConfig four;
+  four.num_threads = 4;
+  const std::vector<PlannerResult> results =
+      ParallelBatchSolver(four).Solve(jobs, PlanContext());
+  ASSERT_EQ(results.size(), jobs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].termination, Termination::kInjectedFault)
+        << "job " << i;
+    EXPECT_TRUE(testing::IsValidPlanning(instance, results[i].planning))
+        << "job " << i;
+  }
+  EXPECT_GE(arm.hit_count(), static_cast<int64_t>(jobs.size()));
+}
+
+}  // namespace
+}  // namespace usep

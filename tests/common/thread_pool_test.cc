@@ -1,0 +1,271 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace usep {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.Submit([] {});
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPoolTest, WorkersSurviveThrowingTasks) {
+  // A throwing task must not kill its worker: later tasks still run.
+  ThreadPool pool(1);
+  std::future<void> bad = pool.Submit([] { throw std::logic_error("x"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Futures dropped: the destructor must still run (or fail) every task
+    // and join without hanging.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --- ParallelFor: partition correctness and determinism -------------------
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*num_blocks=*/7,
+                   [&](int /*block*/, int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       hits[i].fetch_add(1);
+                     }
+                   });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPartitionIsStatic) {
+  // The block -> [begin, end) mapping must depend only on (count,
+  // num_blocks): block b covers [b*q + min(b, r), ...), first r blocks one
+  // element longer.  Record it twice and require identical results.
+  ThreadPool pool(3);
+  const auto record = [&pool](int64_t n, int num_blocks) {
+    std::vector<std::pair<int64_t, int64_t>> blocks(num_blocks, {-1, -1});
+    pool.ParallelFor(0, n, num_blocks,
+                     [&](int block, int64_t begin, int64_t end) {
+                       blocks[block] = {begin, end};
+                     });
+    return blocks;
+  };
+  const auto first = record(10, 4);
+  EXPECT_EQ(first, record(10, 4));
+  const std::vector<std::pair<int64_t, int64_t>> expected = {
+      {0, 3}, {3, 6}, {6, 8}, {8, 10}};
+  EXPECT_EQ(first, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 4, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // More blocks than elements: clamped, every element visited once.
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(0, 3, 16, [&](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i]++;
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<int> hits(20, 0);
+  pool.ParallelFor(10, 20, 3, [&](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(hits[i], 0);
+  for (int i = 10; i < 20; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestBlockError) {
+  ThreadPool pool(4);
+  // Two failing blocks; the lowest-indexed one must win deterministically.
+  for (int trial = 0; trial < 20; ++trial) {
+    try {
+      pool.ParallelFor(0, 8, 8, [](int block, int64_t, int64_t) {
+        if (block == 2) throw std::runtime_error("block-2");
+        if (block == 6) throw std::runtime_error("block-6");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "block-2");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFinishesEveryBlockDespiteError) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(0, 16, 16,
+                                [&](int block, int64_t, int64_t) {
+                                  if (block == 0) {
+                                    throw std::runtime_error("early");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // No block is skipped just because another one failed.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPoolTest, ParallelForUsableFromWorkerThread) {
+  // Nested use must not deadlock: the inner caller claims blocks itself.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.Submit([&] {
+      pool.ParallelFor(0, 100, 4,
+                       [&](int /*block*/, int64_t begin, int64_t end) {
+                         total.fetch_add(static_cast<int>(end - begin));
+                       });
+    }).get();
+  EXPECT_EQ(total.load(), 100);
+}
+
+// --- Cancellation ---------------------------------------------------------
+
+TEST(ThreadPoolTest, CancellationDiscardsQueuedSubmits) {
+  CancellationToken token;
+  ThreadPool pool(1, token);
+
+  // Block the single worker so everything else stays queued; wait until the
+  // blocker actually started, otherwise Cancel() could discard it too.
+  std::promise<void> release;
+  std::future<void> released = release.get_future();
+  std::atomic<bool> started{false};
+  std::future<void> blocker = pool.Submit([&released, &started] {
+    started = true;
+    released.wait();
+  });
+  while (!started) std::this_thread::yield();
+
+  std::vector<std::future<void>> queued;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    queued.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+
+  token.Cancel();
+  EXPECT_TRUE(pool.cancelled());
+  release.set_value();
+  blocker.get();
+
+  // Every queued task is discarded: futures fail, bodies never run.
+  for (auto& f : queued) {
+    EXPECT_THROW(f.get(), std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, CancelledPoolStillCompletesParallelFor) {
+  // ParallelFor is cancellation-proof: the caller runs whatever the workers
+  // refuse, so every block still executes exactly once.
+  CancellationToken token;
+  token.Cancel();
+  ThreadPool pool(4, token);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(0, 64, 8, [&](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, CancelledPoolDestructsCleanly) {
+  CancellationToken token;
+  auto pool = std::make_unique<ThreadPool>(4, token);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool->Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }));
+  }
+  token.Cancel();
+  pool.reset();  // Must join without hanging; queued futures all resolve.
+  int completed = 0;
+  int discarded = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++completed;
+    } catch (const std::runtime_error&) {
+      ++discarded;
+    }
+  }
+  EXPECT_EQ(completed + discarded, 100);
+}
+
+// --- SplitSeeds -----------------------------------------------------------
+
+TEST(SplitSeedsTest, DeterministicAndPrefixStable) {
+  const std::vector<uint64_t> eight = SplitSeeds(42, 8);
+  ASSERT_EQ(eight.size(), 8u);
+  EXPECT_EQ(eight, SplitSeeds(42, 8));
+  // Seed i depends only on (base, i) — asking for fewer streams yields a
+  // prefix, so trial i sees the same stream at any thread count.
+  const std::vector<uint64_t> three = SplitSeeds(42, 3);
+  for (size_t i = 0; i < three.size(); ++i) EXPECT_EQ(three[i], eight[i]);
+}
+
+TEST(SplitSeedsTest, StreamsAreDistinct) {
+  const std::vector<uint64_t> seeds = SplitSeeds(0, 64);
+  const std::set<uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+  // Different bases must not collide on the first streams either.
+  EXPECT_NE(SplitSeeds(1, 1)[0], SplitSeeds(2, 1)[0]);
+}
+
+}  // namespace
+}  // namespace usep

@@ -4,9 +4,17 @@
 
 #include "common/logging.h"
 #include "core/instance_builder.h"
+#include "core/validation.h"
 #include "gen/paper_example.h"
 
 namespace usep::testing {
+
+::testing::AssertionResult IsValidPlanning(const Instance& instance,
+                                           const Planning& planning) {
+  const ValidationReport report = ValidatePlanning(instance, planning);
+  if (report.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << report.ToString();
+}
 
 Instance MakeTable1Instance() { return MakePaperExampleInstance(); }
 

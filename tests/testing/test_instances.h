@@ -1,10 +1,22 @@
 #ifndef USEP_TESTS_TESTING_TEST_INSTANCES_H_
 #define USEP_TESTS_TESTING_TEST_INSTANCES_H_
 
+#include <gtest/gtest.h>
+
 #include "core/instance.h"
+#include "core/planning.h"
 #include "gen/generator_config.h"
 
 namespace usep::testing {
+
+// Asserts that `planning` satisfies every Definition 2 constraint against
+// `instance`.  On failure the message carries the full ValidationReport
+// (which constraint broke, for which event/user), so prefer
+//   EXPECT_TRUE(IsValidPlanning(instance, planning));
+// over EXPECT_TRUE(ValidatePlanning(...).ok()) — the latter loses the
+// violation detail.
+::testing::AssertionResult IsValidPlanning(const Instance& instance,
+                                           const Planning& planning);
 
 // The paper's running example (Table 1): four events, five users.
 //
