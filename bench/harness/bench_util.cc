@@ -16,14 +16,32 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/validation.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace usep::bench {
 namespace {
 
 std::optional<BenchScale> g_scale_override;
 std::optional<int> g_threads_override;
+std::string g_trace_out;
+std::string g_report_out;
+std::string g_bench_name;
 
 }  // namespace
+
+obs::TraceRecorder* BenchTrace() {
+  if (g_trace_out.empty()) return nullptr;
+  static obs::TraceRecorder* recorder = new obs::TraceRecorder();
+  return recorder;
+}
+
+obs::MetricsRegistry* BenchMetrics() {
+  if (g_report_out.empty()) return nullptr;
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return registry;
+}
 
 BenchScale GetBenchScale() {
   if (g_scale_override.has_value()) return *g_scale_override;
@@ -64,8 +82,11 @@ MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance) {
 
   const size_t heap_before = memhook::CurrentBytes();
   memhook::ResetPeak();
+  PlanContext context;
+  context.trace = BenchTrace();
+  context.metrics = BenchMetrics();
   Stopwatch stopwatch;
-  const PlannerResult result = planner.Plan(instance);
+  const PlannerResult result = planner.Plan(instance, context);
   run.time_ms = stopwatch.ElapsedMillis();
 
   if (memhook::IsActive()) {
@@ -79,6 +100,7 @@ MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance) {
   run.assignments = result.planning.total_assignments();
   run.validated = ValidatePlanning(instance, result.planning).ok();
   run.termination = result.termination;
+  run.stats = result.stats;
   return run;
 }
 
@@ -112,7 +134,8 @@ void FigureBench::RunPoint(const std::string& parameter_value,
     std::vector<std::unique_ptr<Planner>> planners;
     planners.reserve(kinds.size());
     for (const PlannerKind kind : kinds) planners.push_back(MakePlanner(kind));
-    ThreadPool pool(std::min<int>(threads, static_cast<int>(kinds.size())));
+    ThreadPool pool(std::min<int>(threads, static_cast<int>(kinds.size())),
+                    CancellationToken(), BenchTrace());
     pool.ParallelFor(0, static_cast<int64_t>(kinds.size()),
                      /*num_blocks=*/static_cast<int>(kinds.size()),
                      [&](int /*block*/, int64_t begin, int64_t end) {
@@ -175,6 +198,70 @@ int FigureBench::Finish() {
     std::printf("\nwrote %s\n", csv_path.c_str());
   }
 
+  if (obs::TraceRecorder* trace = BenchTrace()) {
+    std::string error;
+    if (trace->WriteJsonFile(g_trace_out, &error)) {
+      std::printf("wrote %s (%zu trace events)\n", g_trace_out.c_str(),
+                  trace->size());
+    } else {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+  }
+  if (!g_report_out.empty()) {
+    obs::RunReport report;
+    report.tool = g_bench_name.empty() ? figure_id_ : g_bench_name;
+    report.instance_label = figure_id_;
+    report.config.emplace_back("figure", figure_id_);
+    report.config.emplace_back("scale", BenchScaleName(GetBenchScale()));
+    report.config.emplace_back("parameter", parameter_name_);
+    report.config.emplace_back("threads",
+                               StrFormat("%d", GetBenchThreads()));
+    PlannerStats aggregate;
+    for (const Row& row : rows_) {
+      obs::PlannerRunReport run;
+      run.planner = row.run.algorithm;
+      run.termination = TerminationName(row.run.termination);
+      run.wall_seconds = row.run.stats.wall_seconds;
+      run.iterations = row.run.stats.iterations;
+      run.heap_pushes = row.run.stats.heap_pushes;
+      run.dp_cells = row.run.stats.dp_cells;
+      run.guard_nodes = row.run.stats.guard_nodes;
+      run.logical_peak_bytes = row.run.stats.logical_peak_bytes;
+      run.fallback_rung = row.run.stats.fallback_rung;
+      run.fallback_trace = row.run.stats.fallback_trace;
+      run.utility = row.run.utility;
+      run.assignments = row.run.assignments;
+      run.validated = row.run.validated;
+      report.runs.push_back(std::move(run));
+      aggregate.MergeFrom(row.run.stats);
+    }
+    if (!report.runs.empty()) {
+      report.has_aggregate = true;
+      report.aggregate.planner = "<aggregate>";
+      report.aggregate.wall_seconds = aggregate.wall_seconds;
+      report.aggregate.iterations = aggregate.iterations;
+      report.aggregate.heap_pushes = aggregate.heap_pushes;
+      report.aggregate.dp_cells = aggregate.dp_cells;
+      report.aggregate.guard_nodes = aggregate.guard_nodes;
+      report.aggregate.logical_peak_bytes = aggregate.logical_peak_bytes;
+      report.aggregate.fallback_rung = aggregate.fallback_rung;
+      report.aggregate.fallback_trace = aggregate.fallback_trace;
+    }
+    report.memhook_active = memhook::IsActive();
+    report.memhook_current_bytes = memhook::CurrentBytes();
+    report.memhook_peak_bytes = memhook::PeakBytes();
+    report.memhook_total_allocations = memhook::TotalAllocations();
+    if (obs::MetricsRegistry* metrics = BenchMetrics()) {
+      report.metrics = metrics->Snapshot();
+    }
+    std::string error;
+    if (report.WriteJsonFile(g_report_out, &error)) {
+      std::printf("wrote %s\n", g_report_out.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+  }
+
   bool all_valid = true;
   for (const Row& row : rows_) all_valid &= row.run.validated;
   if (!all_valid) {
@@ -186,18 +273,30 @@ int FigureBench::Finish() {
 }
 
 void InitBenchmark(int argc, char** argv, const std::string& name) {
+  g_bench_name = name;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "Usage: %s [--scale=small|paper] [--threads=N]\n"
+          "          [--trace_out=FILE] [--report_out=FILE]\n"
           "Reproduces one column of the paper's evaluation figures; see\n"
           "DESIGN.md for the experiment index.  Results also land in\n"
           "bench_results/%s.csv.  --threads=N runs each point's planner\n"
           "trials concurrently (identical results; memhook peaks become\n"
-          "process-global — see docs/PARALLELISM.md).\n",
+          "process-global — see docs/PARALLELISM.md).  --trace_out writes a\n"
+          "Chrome trace-event JSON, --report_out a machine-readable run\n"
+          "report (docs/OBSERVABILITY.md).\n",
           name.c_str(), name.c_str());
       std::exit(0);
+    }
+    if (StartsWith(arg, "--trace_out=")) {
+      g_trace_out = arg.substr(12);
+      continue;
+    }
+    if (StartsWith(arg, "--report_out=")) {
+      g_report_out = arg.substr(13);
+      continue;
     }
     if (StartsWith(arg, "--threads=")) {
       const int threads = std::atoi(arg.substr(10).c_str());

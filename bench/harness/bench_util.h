@@ -5,8 +5,14 @@
 #include <vector>
 
 #include "algo/planner_registry.h"
+#include "algo/stats.h"
 #include "core/instance.h"
 #include "gen/generator_config.h"
+
+namespace usep::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace usep::obs
 
 namespace usep::bench {
 
@@ -55,7 +61,14 @@ struct MeasuredRun {
   int assignments = 0;
   bool validated = false;
   Termination termination = Termination::kCompleted;
+  PlannerStats stats;  // The planner's own accounting, for --report_out.
 };
+
+// The harness-wide observability sinks, enabled by --trace_out= /
+// --report_out= (InitBenchmark).  Null when the corresponding flag is off —
+// the same null-disables convention as PlanContext.
+obs::TraceRecorder* BenchTrace();
+obs::MetricsRegistry* BenchMetrics();
 
 // Runs `planner` on `instance`, re-validates the planning, and measures
 // wall time plus the peak heap growth during the run (the global allocation

@@ -17,12 +17,16 @@
 #include "algo/parallel.h"
 #include "algo/planner_registry.h"
 #include "common/flags.h"
+#include "common/memhook.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/planning_stats.h"
 #include "core/validation.h"
 #include "io/instance_io.h"
 #include "io/planning_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace usep;
@@ -47,6 +51,13 @@ int main(int argc, char** argv) {
       "threads", 1,
       "run the requested planners concurrently on this many threads "
       "(identical results, in the requested order)");
+  std::string* trace_out = flags.AddString(
+      "trace_out", "",
+      "write a Chrome trace-event JSON (load at ui.perfetto.dev) here");
+  std::string* report_out = flags.AddString(
+      "report_out", "",
+      "write a machine-readable JSON run report here (see "
+      "docs/OBSERVABILITY.md)");
   bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -88,6 +99,18 @@ int main(int argc, char** argv) {
     planners.push_back(std::move(*planner));
   }
 
+  // Observability sinks: a null pointer keeps the instrumented code paths
+  // free (no clock reads, no recording); flags turn them on.  The metrics
+  // registry also feeds --report_out, so either output flag activates it.
+  obs::TraceRecorder trace_recorder;
+  obs::MetricsRegistry metrics_registry;
+  obs::TraceRecorder* const trace =
+      trace_out->empty() ? nullptr : &trace_recorder;
+  obs::MetricsRegistry* const metrics =
+      report_out->empty() ? nullptr : &metrics_registry;
+  if (trace != nullptr) trace->NameCurrentThread("main");
+  if (memhook::IsActive()) memhook::ResetPeak();
+
   // The deadline is per planner: each row of the comparison table gets the
   // full budget, so an expensive planner can't starve the ones after it.
   // (Under --threads the budgets tick concurrently from launch.)
@@ -99,6 +122,8 @@ int main(int argc, char** argv) {
       context.deadline = Deadline::AfterMillis(*deadline_ms);
     }
     context.max_nodes = *max_nodes;
+    context.trace = trace;
+    context.metrics = metrics;
     jobs.push_back(BatchJob{planner.get(), &*instance});
     contexts.push_back(context);
   }
@@ -111,6 +136,8 @@ int main(int argc, char** argv) {
                       "seat_fill_%", "gini", "termination", "rung"});
   std::optional<PlannerResult> best;
   std::string best_name;
+  std::vector<obs::PlannerRunReport> run_reports;
+  PlannerStats aggregate_stats;
   for (size_t i = 0; i < planners.size(); ++i) {
     const std::string& raw_name = planner_names[i];
     const std::unique_ptr<Planner>& planner = planners[i];
@@ -140,6 +167,23 @@ int main(int argc, char** argv) {
       }
       std::printf("%s\n", result.planning.ToString().c_str());
     }
+    obs::PlannerRunReport run;
+    run.planner = std::string(planner->name());
+    run.termination = TerminationName(result.termination);
+    run.wall_seconds = result.stats.wall_seconds;
+    run.iterations = result.stats.iterations;
+    run.heap_pushes = result.stats.heap_pushes;
+    run.dp_cells = result.stats.dp_cells;
+    run.guard_nodes = result.stats.guard_nodes;
+    run.logical_peak_bytes = result.stats.logical_peak_bytes;
+    run.fallback_rung = result.stats.fallback_rung;
+    run.fallback_trace = result.stats.fallback_trace;
+    run.utility = stats.total_utility;
+    run.assignments = stats.total_assignments;
+    run.planned_users = stats.users_with_plans;
+    run.validated = true;  // CheckPlanningFeasible passed above.
+    run_reports.push_back(std::move(run));
+    aggregate_stats.MergeFrom(result.stats);
     if (!best.has_value() ||
         result.planning.total_utility() > best->planning.total_utility()) {
       best_name = std::string(planner->name());
@@ -159,6 +203,57 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote %s\n", output_path->c_str());
     }
+  }
+
+  if (trace != nullptr) {
+    std::string error;
+    if (!trace->WriteJsonFile(*trace_out, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu trace events)\n", trace_out->c_str(),
+                trace->size());
+  }
+  if (!report_out->empty()) {
+    obs::RunReport report;
+    report.tool = "usep_solve";
+    report.instance_label = *instance_path;
+    report.num_events = instance->num_events();
+    report.num_users = instance->num_users();
+    for (EventId v = 0; v < instance->num_events(); ++v) {
+      report.total_capacity += instance->event(v).capacity;
+    }
+    report.config.emplace_back("planners", *planners_flag);
+    report.config.emplace_back("fallback_chain", *fallback_chain);
+    report.config.emplace_back("deadline_ms", StrFormat("%g", *deadline_ms));
+    report.config.emplace_back("max_nodes",
+                               StrFormat("%lld", (long long)*max_nodes));
+    report.config.emplace_back("threads",
+                               StrFormat("%lld", (long long)*threads));
+    report.runs = std::move(run_reports);
+    if (!report.runs.empty()) {
+      report.has_aggregate = true;
+      report.aggregate.planner = "<aggregate>";
+      report.aggregate.wall_seconds = aggregate_stats.wall_seconds;
+      report.aggregate.iterations = aggregate_stats.iterations;
+      report.aggregate.heap_pushes = aggregate_stats.heap_pushes;
+      report.aggregate.dp_cells = aggregate_stats.dp_cells;
+      report.aggregate.guard_nodes = aggregate_stats.guard_nodes;
+      report.aggregate.logical_peak_bytes = aggregate_stats.logical_peak_bytes;
+      report.aggregate.fallback_rung = aggregate_stats.fallback_rung;
+      report.aggregate.fallback_trace = aggregate_stats.fallback_trace;
+    }
+    report.memhook_active = memhook::IsActive();
+    report.memhook_current_bytes = memhook::CurrentBytes();
+    report.memhook_peak_bytes = memhook::PeakBytes();
+    report.memhook_total_allocations = memhook::TotalAllocations();
+    report.metrics = metrics_registry.Snapshot();
+    std::string error;
+    if (!report.WriteJsonFile(*report_out, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", report_out->c_str());
   }
   return 0;
 }

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate the observability JSON artifacts emitted by usep_solve and the
+benchmark harness.
+
+Usage:
+    check_obs_json.py trace  <trace.json>  [--min-planner-phases=N]
+    check_obs_json.py report <report.json>
+
+Exits non-zero (with a message on stderr) on the first violation.  Only the
+Python standard library is used, so CI can run it on a bare runner.
+
+Trace checks (Chrome trace-event format, the subset Perfetto consumes):
+  * top level is an object with displayTimeUnit == "ms" and a traceEvents list
+  * every event has name/ph/pid/tid; 'X' events also have numeric ts and
+    dur >= 0; 'M' metadata events are thread_name entries with a string arg
+  * at least --min-planner-phases distinct "plan/..." span names appear
+  * spans on the same tid nest properly: sorted by ts, any two spans either
+    are disjoint or one contains the other (no partial overlap)
+
+Report checks (schema_version 1, see docs/OBSERVABILITY.md):
+  * required top-level sections: schema_version, tool, instance, config,
+    runs, memhook, metrics
+  * every run row carries planner/termination/wall_seconds/utility
+  * metrics splits into counters/gauges/histograms; histogram objects have
+    count/sum/upper_bounds/bucket_counts with
+    len(bucket_counts) == len(upper_bounds) + 1
+  * the aggregate row, when present, is consistent with the runs (wall time
+    sums, peak is the max)
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    sys.stderr.write("check_obs_json: FAIL: %s\n" % message)
+    sys.exit(1)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        fail("%s: %s" % (path, error))
+
+
+def check_trace(path, min_planner_phases):
+    doc = load(path)
+    check(isinstance(doc, dict), "trace top level must be an object")
+    check(doc.get("displayTimeUnit") == "ms", "displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    check(isinstance(events, list), "traceEvents must be a list")
+    check(events, "traceEvents is empty")
+
+    planner_phases = set()
+    spans_by_tid = {}
+    for event in events:
+        check(isinstance(event, dict), "event must be an object")
+        for key in ("name", "ph", "pid", "tid"):
+            check(key in event, "event missing %r: %r" % (key, event))
+        phase = event["ph"]
+        check(phase in ("X", "M"), "unexpected event phase %r" % phase)
+        if phase == "X":
+            check(isinstance(event.get("ts"), (int, float)),
+                  "'X' event needs numeric ts: %r" % event)
+            check(isinstance(event.get("dur"), (int, float)),
+                  "'X' event needs numeric dur: %r" % event)
+            check(event["dur"] >= 0, "negative dur: %r" % event)
+            name = event["name"]
+            if name.startswith("plan/"):
+                planner_phases.add(name)
+            spans_by_tid.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"], name))
+        else:
+            check(event["name"] == "thread_name",
+                  "unexpected metadata event %r" % event["name"])
+            args = event.get("args", {})
+            check(isinstance(args.get("name"), str),
+                  "thread_name metadata needs a string args.name")
+
+    check(len(planner_phases) >= min_planner_phases,
+          "expected >= %d distinct plan/ spans, saw %d: %s"
+          % (min_planner_phases, len(planner_phases), sorted(planner_phases)))
+
+    # Nesting: within a tid, spans must be disjoint or strictly nested.
+    # Allow a slop of 1us for rounding at the boundaries.
+    slop = 1.0
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda span: (span[0], -span[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start + slop:
+                stack.pop()
+            if stack:
+                check(end <= stack[-1][1] + slop,
+                      "span %r [%s, %s] partially overlaps %r [%s, %s] "
+                      "on tid %s"
+                      % (name, start, end, stack[-1][2], stack[-1][0],
+                         stack[-1][1], tid))
+            stack.append((start, end, name))
+
+    print("check_obs_json: trace OK (%d events, %d planner phases, %d threads)"
+          % (len(events), len(planner_phases), len(spans_by_tid)))
+
+
+def check_report(path):
+    doc = load(path)
+    check(isinstance(doc, dict), "report top level must be an object")
+    for key in ("schema_version", "tool", "instance", "config", "runs",
+                "memhook", "metrics"):
+        check(key in doc, "report missing top-level %r" % key)
+    check(doc["schema_version"] == 1,
+          "unknown schema_version %r" % doc["schema_version"])
+    check(isinstance(doc["tool"], str) and doc["tool"],
+          "tool must be a non-empty string")
+
+    instance = doc["instance"]
+    for key in ("label", "num_events", "num_users", "total_capacity"):
+        check(key in instance, "instance missing %r" % key)
+
+    runs = doc["runs"]
+    check(isinstance(runs, list), "runs must be a list")
+    for run in runs:
+        for key in ("planner", "termination", "wall_seconds", "utility",
+                    "assignments", "planned_users"):
+            check(key in run, "run row missing %r: %r" % (key, run))
+        check(isinstance(run["planner"], str) and run["planner"],
+              "run.planner must be a non-empty string")
+        check(run["wall_seconds"] >= 0, "negative wall_seconds: %r" % run)
+
+    if "aggregate" in doc and runs:
+        aggregate = doc["aggregate"]
+        wall_sum = sum(run["wall_seconds"] for run in runs)
+        check(abs(aggregate["wall_seconds"] - wall_sum) <= 1e-6 + 1e-3 * wall_sum,
+              "aggregate wall_seconds %r != sum of runs %r"
+              % (aggregate["wall_seconds"], wall_sum))
+        peak_max = max(run.get("logical_peak_bytes", 0) for run in runs)
+        check(aggregate.get("logical_peak_bytes", 0) >= peak_max,
+              "aggregate peak below a run's peak")
+
+    memhook = doc["memhook"]
+    check(isinstance(memhook.get("active"), bool), "memhook.active must be bool")
+    if memhook["active"]:
+        check(memhook.get("peak_bytes", 0) >= 0, "negative memhook peak")
+
+    metrics = doc["metrics"]
+    for key in ("counters", "gauges", "histograms"):
+        check(isinstance(metrics.get(key), dict), "metrics.%s must be an object" % key)
+    for name, histogram in metrics["histograms"].items():
+        for key in ("count", "sum", "upper_bounds", "bucket_counts"):
+            check(key in histogram, "histogram %r missing %r" % (name, key))
+        check(len(histogram["bucket_counts"])
+              == len(histogram["upper_bounds"]) + 1,
+              "histogram %r bucket/bound length mismatch" % name)
+        check(sum(histogram["bucket_counts"]) == histogram["count"],
+              "histogram %r bucket counts do not sum to count" % name)
+
+    print("check_obs_json: report OK (%d runs, %d counters, %d histograms)"
+          % (len(runs), len(metrics["counters"]), len(metrics["histograms"])))
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    kind, path = argv[1], argv[2]
+    min_planner_phases = 0
+    for arg in argv[3:]:
+        if arg.startswith("--min-planner-phases="):
+            min_planner_phases = int(arg.split("=", 1)[1])
+        else:
+            fail("unknown argument %r" % arg)
+    if kind == "trace":
+        check_trace(path, min_planner_phases)
+    elif kind == "report":
+        check_report(path)
+    else:
+        fail("first argument must be 'trace' or 'report', got %r" % kind)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "algo/ratio_greedy.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace usep {
 
@@ -166,10 +167,14 @@ std::vector<UserId> MakeUserOrder(const Instance& instance, UserOrder order,
 void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
                             PlannerStats* stats, PlanGuard* guard) {
   if (guard != nullptr && guard->stopped()) return;
+  obs::TraceSpan augment_span(
+      guard != nullptr ? guard->context().trace : nullptr,
+      "decomposed/rg-augment", "planner");
   std::vector<EventId> spare;
   for (EventId v = 0; v < instance.num_events(); ++v) {
     if (!planning->EventFull(v)) spare.push_back(v);
   }
+  augment_span.AddArg("spare_events", static_cast<int64_t>(spare.size()));
   if (spare.empty()) return;
   RatioGreedyPlanner::Augment(instance, spare, planning, stats, guard);
 }

@@ -3,15 +3,20 @@
 #include <algorithm>
 
 #include "algo/decomposed.h"
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 
 PlannerResult DeDpPlanner::Plan(const Instance& instance,
                                 const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/DeDP", "planner");
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   PlannerStats stats;
   PlanGuard guard(context);
   SingleUserOptions dp_options = options_.dp;
@@ -34,6 +39,7 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance,
   // family — so an expired deadline or tight memory budget skips the big
   // allocation entirely and the planner degrades to an empty (valid)
   // planning instead.
+  obs::TraceSpan mu_span(context.trace, "dedp/mu-init", "planner");
   std::vector<double> mu;
   if (!guard.ShouldStop()) {
     // The full mu^r array Algorithm 3 carries around.
@@ -47,11 +53,15 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance,
     }
   }
   stats.logical_peak_bytes = mu.size() * sizeof(double);
+  mu_span.AddArg("mu_bytes",
+                 static_cast<int64_t>(mu.size() * sizeof(double)));
+  mu_span.End();
 
   // Last claimant per pseudo-copy; the paper's second step (reverse-order
   // removal) reduces to keeping exactly these.
   std::vector<int> last_claimant(total_copies, -1);
 
+  obs::TraceSpan fill_span(context.trace, "dedp/dp-fill", "planner");
   std::vector<int> chosen_row(num_events, -1);
   for (UserId r = 0; r < num_users && !mu.empty(); ++r) {
     if (USEP_FAILPOINT("dedp.user")) {
@@ -101,7 +111,11 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance,
     }
   }
 
+  fill_span.AddArg("dp_cells", stats.dp_cells);
+  fill_span.End();
+
   // Second step via the select representation shared with DeDPO.
+  obs::TraceSpan assemble_span(context.trace, "dedp/assemble", "planner");
   SelectArray select(num_events);
   for (EventId v = 0; v < num_events; ++v) {
     const size_t copies = copy_offset[v + 1] - copy_offset[v];
@@ -111,10 +125,14 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance,
     }
   }
   Planning planning = AssemblePlanning(instance, select);
+  assemble_span.End();
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

@@ -3,14 +3,20 @@
 #include <algorithm>
 
 #include "algo/decomposed.h"
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 
 PlannerResult DeDpoPlanner::Plan(const Instance& instance,
                                  const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/DeDPO", "planner");
+  plan_span.AddArg("planner", name());
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   PlannerStats stats;
   PlanGuard guard(context);
   SingleUserOptions dp_options = options_.dp;
@@ -25,8 +31,9 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
 
   // One pool for the whole run, shared by every per-user scan; sequential
   // configs make this a no-op executor.
-  Parallelizer parallel(options_.parallel, context.cancel);
+  Parallelizer parallel(options_.parallel, context.cancel, context.trace);
 
+  obs::TraceSpan first_span(context.trace, "dedpo/first-step", "planner");
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
@@ -47,8 +54,13 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
     ++stats.iterations;
   }
 
+  first_span.AddArg("dp_cells", stats.dp_cells);
+  first_span.End();
+
   // Second step: keep each pseudo-copy for its last claimant.
+  obs::TraceSpan assemble_span(context.trace, "dedpo/assemble", "planner");
   Planning planning = AssemblePlanning(instance, select);
+  assemble_span.End();
 
   if (options_.augment_with_rg) {
     AugmentWithRatioGreedy(instance, &planning, &stats, &guard);
@@ -56,7 +68,10 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

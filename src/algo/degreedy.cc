@@ -4,14 +4,20 @@
 
 #include "algo/decomposed.h"
 #include "algo/greedy_single.h"
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 
 PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
                                     const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/DeGreedy", "planner");
+  plan_span.AddArg("planner", name());
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   PlannerStats stats;
   PlanGuard guard(context);
 
@@ -22,8 +28,9 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
 
   // One pool for the whole run, shared by every per-user scan; sequential
   // configs make this a no-op executor.
-  Parallelizer parallel(options_.parallel, context.cancel);
+  Parallelizer parallel(options_.parallel, context.cancel, context.trace);
 
+  obs::TraceSpan first_span(context.trace, "degreedy/first-step", "planner");
   const std::vector<UserId> order =
       MakeUserOrder(instance, options_.user_order, options_.order_seed);
   for (const UserId u : order) {
@@ -44,7 +51,12 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
     ++stats.iterations;
   }
 
+  first_span.AddArg("heap_pushes", stats.heap_pushes);
+  first_span.End();
+
+  obs::TraceSpan assemble_span(context.trace, "degreedy/assemble", "planner");
   Planning planning = AssemblePlanning(instance, select);
+  assemble_span.End();
 
   if (options_.augment_with_rg) {
     AugmentWithRatioGreedy(instance, &planning, &stats, &guard);
@@ -52,7 +64,10 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 namespace {
@@ -100,6 +102,9 @@ class BranchAndBound {
 
   PlannerResult Solve() {
     Stopwatch stopwatch;
+    obs::TraceSpan plan_span(context_.trace, "plan/Exact", "planner");
+    plan_span.AddArg("events", static_cast<int64_t>(instance_.num_events()));
+    plan_span.AddArg("users", static_cast<int64_t>(instance_.num_users()));
     PlanGuard guard(context_);
     const int num_users = instance_.num_users();
     // Set when enumeration was cut short by the schedule budget: the search
@@ -107,6 +112,8 @@ class BranchAndBound {
     bool schedules_truncated = false;
     bool schedules_injected = false;
 
+    obs::TraceSpan enumerate_span(context_.trace, "exact/candidate-generation",
+                                  "planner");
     per_user_.reserve(num_users);
     empty_index_.assign(num_users, 0);
     size_t schedule_bytes = 0;
@@ -140,6 +147,9 @@ class BranchAndBound {
       }
       per_user_.push_back(std::move(schedules));
     }
+    enumerate_span.AddArg("schedule_bytes",
+                          static_cast<int64_t>(schedule_bytes));
+    enumerate_span.End();
 
     // Capacity-ignoring optimum of each suffix of users: the pruning bound.
     suffix_best_.assign(num_users + 1, 0.0);
@@ -158,9 +168,15 @@ class BranchAndBound {
     chosen_ = empty_index_;
     best_chosen_ = empty_index_;
 
+    obs::TraceSpan search_span(context_.trace, "exact/branch-and-bound",
+                               "planner");
     Recurse(0, 0.0, &guard);
+    search_span.AddArg("nodes", nodes_);
+    search_span.End();
 
     // Materialize the incumbent as a Planning.
+    obs::TraceSpan materialize_span(context_.trace, "exact/materialize",
+                                    "planner");
     Planning planning(instance_);
     for (UserId u = 0; u < num_users; ++u) {
       const CandidateSchedule& schedule = per_user_[u][best_chosen_[u]];
@@ -169,6 +185,7 @@ class BranchAndBound {
         USEP_CHECK(assigned) << "exact incumbent became infeasible";
       }
     }
+    materialize_span.End();
 
     PlannerStats stats;
     stats.wall_seconds = stopwatch.ElapsedSeconds();
@@ -181,7 +198,10 @@ class BranchAndBound {
       termination = schedules_injected ? Termination::kInjectedFault
                                        : Termination::kNodeBudget;
     }
-    return PlannerResult{std::move(planning), stats, termination};
+    PlannerResult result{std::move(planning), stats, termination};
+    plan_span.AddArg("termination", TerminationName(termination));
+    RecordPlannerRun(context_, "Exact", result);
+    return result;
   }
 
  private:

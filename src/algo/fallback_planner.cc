@@ -3,11 +3,13 @@
 #include <optional>
 #include <utility>
 
+#include "algo/planner_obs.h"
 #include "algo/planner_registry.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/validation.h"
+#include "obs/trace.h"
 
 namespace usep {
 namespace {
@@ -60,6 +62,8 @@ StatusOr<std::unique_ptr<Planner>> FallbackPlanner::FromSpec(
 PlannerResult FallbackPlanner::Plan(const Instance& instance,
                                     const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/Fallback", "planner");
+  plan_span.AddArg("planner", name());
   std::string trace;
   std::optional<PlannerResult> best;
   std::string best_rung;
@@ -67,6 +71,9 @@ PlannerResult FallbackPlanner::Plan(const Instance& instance,
 
   for (size_t i = 0; i < rungs_.size(); ++i) {
     const std::unique_ptr<Planner>& rung = rungs_[i];
+    obs::TraceSpan rung_span(context.trace, "fallback/rung", "planner");
+    rung_span.AddArg("rung", static_cast<int64_t>(i));
+    rung_span.AddArg("planner", rung->name());
     // Budget-aware descent: split the time left on the caller's deadline
     // evenly across the rungs still to run, so an expensive early rung can
     // never starve the cheap safety nets behind it.  A rung that finishes
@@ -86,14 +93,20 @@ PlannerResult FallbackPlanner::Plan(const Instance& instance,
     const bool valid = ValidatePlanning(instance, result.planning).ok();
     if (!valid) {
       AppendTraceStep(&trace, rung->name(), "invalid");
+      rung_span.AddArg("outcome", "invalid");
       continue;
     }
+    rung_span.AddArg("outcome", TerminationName(result.termination));
+    rung_span.End();
     if (result.termination == Termination::kCompleted) {
       AppendTraceStep(&trace, rung->name(), TerminationName(result.termination));
       result.stats.fallback_rung = std::string(rung->name());
       result.stats.fallback_trace = std::move(trace);
       result.stats.guard_nodes = total_guard_nodes;
       result.stats.wall_seconds = stopwatch.ElapsedSeconds();
+      plan_span.AddArg("termination", TerminationName(result.termination));
+      plan_span.AddArg("rung", result.stats.fallback_rung);
+      RecordPlannerRun(context, name(), result);
       return result;
     }
     AppendTraceStep(&trace, rung->name(), TerminationName(result.termination));
@@ -117,6 +130,9 @@ PlannerResult FallbackPlanner::Plan(const Instance& instance,
   best->stats.fallback_trace = std::move(trace);
   best->stats.guard_nodes = total_guard_nodes;
   best->stats.wall_seconds = stopwatch.ElapsedSeconds();
+  plan_span.AddArg("termination", TerminationName(best->termination));
+  plan_span.AddArg("rung", best_rung);
+  RecordPlannerRun(context, name(), *best);
   return *std::move(best);
 }
 

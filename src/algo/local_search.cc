@@ -1,8 +1,10 @@
 #include "algo/local_search.h"
 
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 namespace {
@@ -139,16 +141,21 @@ LocalSearchReport ImprovePlanning(const Instance& instance,
                                   const LocalSearchOptions& options,
                                   Planning* planning, PlanGuard* guard) {
   LocalSearchReport report;
+  obs::TraceRecorder* const trace =
+      guard != nullptr ? guard->context().trace : nullptr;
+  obs::TraceSpan improve_span(trace, "local-search/improve", "planner");
   const double initial_utility = planning->total_utility();
   // One pool for every round's transfer scans; sequential configs cost
   // nothing.  Cancellation is observed through `guard` between moves, so
   // the pool needs no token of its own.
-  Parallelizer parallel(options.parallel);
+  Parallelizer parallel(options.parallel, CancellationToken(), trace);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (USEP_FAILPOINT("local_search.round") && guard != nullptr) {
       guard->ForceStop(Termination::kInjectedFault);
     }
     if (guard != nullptr && guard->ShouldStop()) break;
+    obs::TraceSpan round_span(trace, "local-search/round", "planner");
+    round_span.AddArg("round", static_cast<int64_t>(round));
     int moves = 0;
     if (options.enable_add) {
       const int adds = TryAdds(instance, planning, guard);
@@ -166,8 +173,12 @@ LocalSearchReport ImprovePlanning(const Instance& instance,
       moves += swaps;
     }
     ++report.rounds;
+    round_span.AddArg("moves", static_cast<int64_t>(moves));
     if (moves == 0 || (guard != nullptr && guard->stopped())) break;
   }
+  improve_span.AddArg("rounds", static_cast<int64_t>(report.rounds));
+  improve_span.AddArg("utility_gain",
+                      planning->total_utility() - initial_utility);
   report.utility_gain = planning->total_utility() - initial_utility;
   return report;
 }
@@ -182,6 +193,8 @@ LocalSearchPlanner::LocalSearchPlanner(std::unique_ptr<Planner> base,
 PlannerResult LocalSearchPlanner::Plan(const Instance& instance,
                                        const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/LocalSearch", "planner");
+  plan_span.AddArg("planner", name());
   PlannerResult result = base_->Plan(instance, context);
   PlanGuard guard(context);
   const LocalSearchReport report =
@@ -194,6 +207,8 @@ PlannerResult LocalSearchPlanner::Plan(const Instance& instance,
   if (result.termination == Termination::kCompleted) {
     result.termination = guard.reason();
   }
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
   return result;
 }
 

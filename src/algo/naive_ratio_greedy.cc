@@ -2,14 +2,19 @@
 
 #include <optional>
 
+#include "algo/planner_obs.h"
 #include "algo/ratio.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 
 PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
                                             const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/NaiveRatioGreedy", "planner");
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   Planning planning(instance);
   PlannerStats stats;
   PlanGuard guard(context);
@@ -43,7 +48,10 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

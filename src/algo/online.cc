@@ -5,16 +5,22 @@
 
 #include "algo/dp_single.h"
 #include "algo/greedy_single.h"
+#include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 
 PlannerResult OnlinePlanner::Plan(const Instance& instance,
                                   const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/Online", "planner");
+  plan_span.AddArg("planner", name());
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   PlannerStats stats;
   Planning planning(instance);
   PlanGuard guard(context);
@@ -31,6 +37,7 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance,
     }
   }
 
+  obs::TraceSpan arrival_span(context.trace, "online/arrival-loop", "planner");
   for (const UserId u : arrival_order) {
     if (USEP_FAILPOINT("online.user")) {
       guard.ForceStop(Termination::kInjectedFault);
@@ -59,9 +66,15 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance,
     ++stats.iterations;
   }
 
+  arrival_span.AddArg("arrivals", stats.iterations);
+  arrival_span.End();
+
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace usep {
 
@@ -16,9 +17,11 @@ ParallelConfig ParallelConfig::Hardware() {
 }
 
 Parallelizer::Parallelizer(const ParallelConfig& config,
-                           CancellationToken cancel) {
+                           CancellationToken cancel,
+                           obs::TraceRecorder* trace) {
   if (!config.sequential()) {
-    pool_ = std::make_unique<ThreadPool>(config.num_threads, std::move(cancel));
+    pool_ = std::make_unique<ThreadPool>(config.num_threads, std::move(cancel),
+                                         trace);
   }
 }
 
@@ -50,9 +53,16 @@ std::vector<PlannerResult> ParallelBatchSolver::Solve(
   const auto run_job = [&](int64_t i) {
     const BatchJob& job = jobs[static_cast<size_t>(i)];
     USEP_CHECK(job.planner != nullptr && job.instance != nullptr);
-    results[static_cast<size_t>(i)] =
-        job.planner->Plan(*job.instance, contexts[static_cast<size_t>(i)]);
+    const PlanContext& context = contexts[static_cast<size_t>(i)];
+    obs::TraceSpan span(context.trace, "batch/job", "batch");
+    span.AddArg("job", i);
+    span.AddArg("planner", job.planner->name());
+    results[static_cast<size_t>(i)] = job.planner->Plan(*job.instance, context);
   };
+
+  // The jobs usually share one trace recorder; take the first job's so the
+  // pool's block spans land in the same file as the planner spans.
+  obs::TraceRecorder* trace = contexts.empty() ? nullptr : contexts[0].trace;
 
   if (config_.sequential()) {
     for (int i = 0; i < n; ++i) run_job(i);
@@ -61,7 +71,8 @@ std::vector<PlannerResult> ParallelBatchSolver::Solve(
     // blocking is what load-balances them.  Results are written by index,
     // hence job order regardless of completion order; ParallelFor rethrows
     // the lowest-index failure after all jobs settle.
-    ThreadPool pool(std::min(config_.num_threads, n));
+    ThreadPool pool(std::min(config_.num_threads, n), CancellationToken(),
+                    trace);
     pool.ParallelFor(0, n, /*num_blocks=*/n,
                      [&](int /*block*/, int64_t begin, int64_t end) {
                        for (int64_t i = begin; i < end; ++i) run_job(i);

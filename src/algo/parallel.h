@@ -42,7 +42,10 @@ class Parallelizer {
   // Sequential executor; For() runs inline.
   Parallelizer() = default;
 
-  Parallelizer(const ParallelConfig& config, CancellationToken cancel);
+  // `trace` (borrowed, may be null) is handed to the underlying pool so
+  // block executions show up as spans — see ThreadPool's constructor.
+  Parallelizer(const ParallelConfig& config, CancellationToken cancel,
+               obs::TraceRecorder* trace = nullptr);
   explicit Parallelizer(const ParallelConfig& config)
       : Parallelizer(config, CancellationToken()) {}
 

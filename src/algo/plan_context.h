@@ -6,6 +6,11 @@
 
 #include "common/deadline.h"
 
+namespace usep::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace usep::obs
+
 namespace usep {
 
 // Why a planner run ended.  Anything other than kCompleted means the planner
@@ -45,6 +50,13 @@ struct PlanContext {
   // memhook counters.  Only enforceable in binaries that link usep_memhook;
   // elsewhere the counters stay at zero and the budget never trips.
   size_t max_memory_bytes = 0;
+
+  // Observability sinks (borrowed; must outlive the run).  Null — the
+  // default — disables the feature entirely: planners still construct their
+  // phase spans and call the metric helpers, but every one of those is a
+  // never-taken null check (see bench/micro_obs.cc for the measured cost).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 // The hot-loop companion of PlanContext.  Planners create one per Plan()
@@ -84,6 +96,11 @@ class PlanGuard {
   Termination reason() const { return reason_; }
 
   int64_t nodes() const { return nodes_; }
+
+  // The context this guard enforces — the way helpers that only receive a
+  // guard (RatioGreedyPlanner::Augment, ImprovePlanning) reach the
+  // observability sinks threaded through it.
+  const PlanContext& context() const { return context_; }
 
  private:
   bool Stop(Termination reason) {

@@ -1,0 +1,38 @@
+#include "algo/planner_obs.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace usep {
+
+void RecordPlannerRun(const PlanContext& context, std::string_view name,
+                      const PlannerResult& result) {
+  obs::MetricsRegistry* metrics = context.metrics;
+  if (metrics == nullptr) return;
+
+  const PlannerStats& stats = result.stats;
+  const std::string prefix = "usep.planner." + std::string(name);
+  metrics->GetCounter("usep.planner.runs")->Increment();
+  metrics->GetCounter(prefix + ".runs")->Increment();
+  metrics->GetCounter(prefix + ".iterations")->Increment(stats.iterations);
+  metrics->GetCounter(prefix + ".heap_pushes")->Increment(stats.heap_pushes);
+  metrics->GetCounter(prefix + ".dp_cells")->Increment(stats.dp_cells);
+  metrics->GetCounter(prefix + ".guard_nodes")->Increment(stats.guard_nodes);
+  metrics
+      ->GetCounter(prefix + ".terminations." +
+                   TerminationName(result.termination))
+      ->Increment();
+  // Sub-microsecond first bound: micro instances finish in a few us and
+  // should not all collapse into one bucket.
+  obs::HistogramOptions wall_options;
+  wall_options.first_bound = 1e-3;  // ms
+  wall_options.growth = 2.0;
+  wall_options.num_buckets = 30;  // Covers ~1 us .. ~17 min.
+  metrics->GetHistogram(prefix + ".wall_ms", wall_options)
+      ->Observe(stats.wall_seconds * 1e3);
+  metrics->GetGauge(prefix + ".logical_peak_bytes")
+      ->Set(static_cast<double>(stats.logical_peak_bytes));
+}
+
+}  // namespace usep

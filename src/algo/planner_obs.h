@@ -1,0 +1,31 @@
+#ifndef USEP_ALGO_PLANNER_OBS_H_
+#define USEP_ALGO_PLANNER_OBS_H_
+
+#include <string_view>
+
+#include "algo/plan_context.h"
+#include "algo/planner.h"
+
+namespace usep {
+
+// Records one finished planner run into the context's metrics registry
+// (no-op when context.metrics is null).  Every concrete planner calls this
+// at the end of Plan(), so nested planners (FallbackPlanner rungs, the +LS
+// decorator's base) each count as their own run under their own name.
+//
+// Metric catalog (see docs/OBSERVABILITY.md):
+//   usep.planner.runs                          counter, all planners
+//   usep.planner.<name>.runs                   counter
+//   usep.planner.<name>.iterations             counter, += stats.iterations
+//   usep.planner.<name>.heap_pushes            counter
+//   usep.planner.<name>.dp_cells               counter
+//   usep.planner.<name>.guard_nodes            counter
+//   usep.planner.<name>.terminations.<reason>  counter
+//   usep.planner.<name>.wall_ms                histogram
+//   usep.planner.<name>.logical_peak_bytes     gauge, last run's value
+void RecordPlannerRun(const PlanContext& context, std::string_view name,
+                      const PlannerResult& result);
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_PLANNER_OBS_H_

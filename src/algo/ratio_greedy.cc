@@ -4,9 +4,11 @@
 #include <optional>
 #include <queue>
 
+#include "algo/planner_obs.h"
 #include "algo/ratio.h"
 #include "common/failpoint.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace usep {
 namespace {
@@ -81,6 +83,8 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
                                  Planning* planning, PlannerStats* stats,
                                  PlanGuard* guard) {
   if (guard != nullptr && guard->stopped()) return;
+  obs::TraceRecorder* const trace =
+      guard != nullptr ? guard->context().trace : nullptr;
   const int num_users = instance.num_users();
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse> heap;
@@ -114,6 +118,7 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   };
 
   // Lines 2-8: initial champions for every event and every user.
+  obs::TraceSpan init_span(trace, "rg/init-champions", "planner");
   for (const EventId v : candidate_events) {
     if (guard != nullptr && guard->ShouldStop()) return;
     refresh_event_champion(v);
@@ -122,8 +127,10 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
     if (guard != nullptr && guard->ShouldStop()) return;
     refresh_user_champion(u);
   }
+  init_span.End();
 
   // Lines 9-20.
+  obs::TraceSpan loop_span(trace, "rg/heap-loop", "planner");
   while (!heap.empty()) {
     if (USEP_FAILPOINT("ratio_greedy.pop") && guard != nullptr) {
       guard->ForceStop(Termination::kInjectedFault);
@@ -167,6 +174,9 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
     }
   }
 
+  loop_span.AddArg("heap_pushes", stats->heap_pushes);
+  loop_span.End();
+
   const size_t heap_bytes =
       static_cast<size_t>(stats->heap_pushes) * sizeof(HeapEntry);
   const size_t state_bytes =
@@ -180,6 +190,9 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
 PlannerResult RatioGreedyPlanner::Plan(const Instance& instance,
                                        const PlanContext& context) const {
   Stopwatch stopwatch;
+  obs::TraceSpan plan_span(context.trace, "plan/RatioGreedy", "planner");
+  plan_span.AddArg("events", static_cast<int64_t>(instance.num_events()));
+  plan_span.AddArg("users", static_cast<int64_t>(instance.num_users()));
   Planning planning(instance);
   PlannerStats stats;
   PlanGuard guard(context);
@@ -190,7 +203,10 @@ PlannerResult RatioGreedyPlanner::Plan(const Instance& instance,
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();
-  return PlannerResult{std::move(planning), stats, guard.reason()};
+  PlannerResult result{std::move(planning), stats, guard.reason()};
+  plan_span.AddArg("termination", TerminationName(result.termination));
+  RecordPlannerRun(context, name(), result);
+  return result;
 }
 
 }  // namespace usep

@@ -1,8 +1,27 @@
 #include "algo/stats.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace usep {
+
+void PlannerStats::MergeFrom(const PlannerStats& other) {
+  wall_seconds += other.wall_seconds;
+  iterations += other.iterations;
+  heap_pushes += other.heap_pushes;
+  dp_cells += other.dp_cells;
+  logical_peak_bytes = std::max(logical_peak_bytes, other.logical_peak_bytes);
+  guard_nodes += other.guard_nodes;
+  if (!other.fallback_rung.empty()) {
+    if (!fallback_rung.empty()) fallback_rung += "; ";
+    fallback_rung += other.fallback_rung;
+  }
+  if (!other.fallback_trace.empty()) {
+    if (!fallback_trace.empty()) fallback_trace += "; ";
+    fallback_trace += other.fallback_trace;
+  }
+}
 
 std::string PlannerStats::ToString() const {
   std::string text = StrFormat(

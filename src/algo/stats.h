@@ -25,6 +25,12 @@ struct PlannerStats {
   std::string fallback_rung;
   std::string fallback_trace;
 
+  // Folds `other` into this: counters and wall time sum, logical_peak_bytes
+  // takes the max (peaks do not add across sequential runs), and the
+  // fallback strings join with "; " when both sides carry one.  Used by the
+  // run-report aggregate row and by callers totalling a batch.
+  void MergeFrom(const PlannerStats& other);
+
   std::string ToString() const;
 };
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 
 namespace usep {
 namespace {
@@ -48,8 +50,24 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
-                 Basename(file_), line_, stream_.str().c_str());
+    // Format the whole line first, then emit it as ONE write under a
+    // process-wide mutex.  fprintf with multiple conversions may be split
+    // across several stdio writes, so concurrent loggers (thread-pool
+    // workers, parallel batch jobs) could otherwise interleave mid-line and
+    // produce torn output (see LoggingTest.ConcurrentLogLinesAreNotTorn).
+    std::string line = "[";
+    line += SeverityTag(severity_);
+    line += ' ';
+    line += Basename(file_);
+    line += ':';
+    line += std::to_string(line_);
+    line += "] ";
+    line += stream_.str();
+    line += '\n';
+    static std::mutex* emit_mutex = new std::mutex();
+    std::lock_guard<std::mutex> lock(*emit_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) std::abort();
 }

@@ -29,6 +29,19 @@ size_t TotalAllocations() {
 
 namespace internal {
 
+// Thread-safety audit (exercised by MemhookHammerTest): every counter is a
+// relaxed atomic, so concurrent RecordAlloc/RecordFree never lose updates —
+// the fetch_add/fetch_sub pairs make current/total exact under any
+// interleaving.  The peak CAS loop keeps g_peak at the maximum of every
+// thread's observed `now`: a racing thread either installs its larger value
+// or retries against the fresh peak, so the final peak is >= the true
+// high-water mark of each individual thread (it can exceed the globally
+// simultaneous maximum, as peaks attribute the sum of all threads' live
+// bytes — a documented property, see docs/OBSERVABILITY.md).  ResetPeak
+// racing an allocation may miss that allocation's contribution; callers
+// reset only at quiescent points (between measured runs).  Relaxed ordering
+// suffices throughout: the counters are statistics, never synchronization
+// edges.
 void RecordAlloc(size_t bytes) {
   g_total_allocations.fetch_add(1, std::memory_order_relaxed);
   const size_t now =

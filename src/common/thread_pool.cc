@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace usep {
 namespace {
+
+// Which worker of its pool the current thread is; -1 on non-worker threads.
+// Plain thread_local (not per-pool) is enough: a thread is owned by at most
+// one pool for its whole lifetime.
+thread_local int tls_worker_index = -1;
 
 // State shared between one ParallelFor call and the runner tasks it
 // enqueues.  Blocks are claimed from `next_block`; whoever claims a block
@@ -64,14 +72,23 @@ void RunBlocks(ForState& state) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads, CancellationToken cancel)
-    : cancel_(std::move(cancel)) {
+ThreadPool::ThreadPool(int num_threads, CancellationToken cancel,
+                       obs::TraceRecorder* trace)
+    : cancel_(std::move(cancel)), trace_(trace) {
   num_threads = std::max(num_threads, 1);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      tls_worker_index = i;
+      if (trace_ != nullptr) {
+        trace_->NameCurrentThread("pool-worker-" + std::to_string(i));
+      }
+      WorkerLoop();
+    });
   }
 }
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -173,11 +190,30 @@ void ThreadPool::ParallelFor(
     return;
   }
 
+  // With tracing on, every block execution becomes a span annotated with
+  // its range and the worker that claimed it (-1: the calling thread).
+  // The wrapper lives on this frame, which outlives every block execution —
+  // ParallelFor does not return before all blocks reported.
+  const std::function<void(int, int64_t, int64_t)>* effective_body = &body;
+  std::function<void(int, int64_t, int64_t)> traced_body;
+  if (trace_ != nullptr) {
+    traced_body = [this, &body](int block, int64_t block_begin,
+                                int64_t block_end) {
+      obs::TraceSpan span(trace_, "pool/block", "pool");
+      span.AddArg("block", static_cast<int64_t>(block));
+      span.AddArg("begin", block_begin);
+      span.AddArg("end", block_end);
+      span.AddArg("worker", static_cast<int64_t>(CurrentWorkerIndex()));
+      body(block, block_begin, block_end);
+    };
+    effective_body = &traced_body;
+  }
+
   auto state = std::make_shared<ForState>();
   state->num_blocks = num_blocks;
   state->begin = begin;
   state->count = count;
-  state->body = &body;
+  state->body = effective_body;
   state->errors.resize(static_cast<size_t>(num_blocks));
 
   // One runner per block beyond the caller's own; runners that find no

@@ -12,6 +12,10 @@
 
 #include "common/deadline.h"
 
+namespace usep::obs {
+class TraceRecorder;
+}  // namespace usep::obs
+
 namespace usep {
 
 // A fixed-size work-queue thread pool.
@@ -45,9 +49,15 @@ class ThreadPool {
  public:
   // Spawns `num_threads` workers (clamped to >= 1).  `cancel` is optional:
   // a default-constructed token never fires, giving a pool that only shuts
-  // down via the destructor.
+  // down via the destructor.  `trace` (borrowed, may be null, must outlive
+  // the pool) turns on per-block trace spans: every ParallelFor block
+  // execution is recorded with its range and the worker that ran it, and
+  // worker threads register themselves as named tracks ("pool-worker-<i>")
+  // so Perfetto shows who did what.  With a null trace the pool behaves —
+  // and costs — exactly as before.
   explicit ThreadPool(int num_threads,
-                      CancellationToken cancel = CancellationToken());
+                      CancellationToken cancel = CancellationToken(),
+                      obs::TraceRecorder* trace = nullptr);
 
   // Drains or discards remaining work (depending on the token) and joins
   // every worker.  Safe to destroy from any thread not owned by the pool.
@@ -94,6 +104,11 @@ class ThreadPool {
   // Number of tasks currently queued (excluding running ones); test hook.
   size_t QueueDepth() const;
 
+  // Index of the pool worker the calling thread is (-1 when called from a
+  // thread no pool owns, e.g. the ParallelFor caller claiming blocks
+  // itself).  Used to annotate trace spans with worker ids.
+  static int CurrentWorkerIndex();
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -107,6 +122,7 @@ class ThreadPool {
   static void RunTask(Task& task);
 
   CancellationToken cancel_;
+  obs::TraceRecorder* trace_ = nullptr;  // Borrowed; null = tracing off.
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<Task> queue_;

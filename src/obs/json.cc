@@ -1,0 +1,147 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace usep::obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // The key already wrote its comma and colon.
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) *out_ << ',';
+    has_sibling_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  has_sibling_.push_back(false);
+  *out_ << '{';
+}
+
+void JsonWriter::EndObject() {
+  assert(!has_sibling_.empty() && !pending_key_);
+  has_sibling_.pop_back();
+  *out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  has_sibling_.push_back(false);
+  *out_ << '[';
+}
+
+void JsonWriter::EndArray() {
+  assert(!has_sibling_.empty() && !pending_key_);
+  has_sibling_.pop_back();
+  *out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!pending_key_);
+  Separate();
+  *out_ << '"' << JsonEscape(key) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  *out_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  *out_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Separate();
+  *out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  *out_ << JsonNumber(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  Separate();
+  *out_ << json;
+}
+
+void JsonWriter::KvString(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::KvInt(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::KvUint(std::string_view key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+void JsonWriter::KvDouble(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::KvBool(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace usep::obs

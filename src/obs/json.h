@@ -1,0 +1,69 @@
+#ifndef USEP_OBS_JSON_H_
+#define USEP_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usep::obs {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included).  Control characters become \u00XX.
+std::string JsonEscape(std::string_view text);
+
+// Formats a double as a JSON number.  JSON has no NaN/Infinity; non-finite
+// values are clamped to 0 so the document stays parseable.
+std::string JsonNumber(double value);
+
+// Tiny push-style writer for building one JSON document.  Not a general
+// library — just enough structure for the trace and report files, with
+// comma placement and string escaping handled centrally so the output is
+// well-formed by construction.  The caller is responsible for balanced
+// Begin/End calls and for emitting a Key before every value inside an
+// object (both enforced with assertions in debug builds).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  // Emits `json` verbatim as one value; the caller guarantees validity
+  // (used for pre-serialized trace-span argument values).
+  void Raw(std::string_view json);
+
+  // Key + value in one call.
+  void KvString(std::string_view key, std::string_view value);
+  void KvInt(std::string_view key, int64_t value);
+  void KvUint(std::string_view key, uint64_t value);
+  void KvDouble(std::string_view key, double value);
+  void KvBool(std::string_view key, bool value);
+
+ private:
+  // Emits the separating comma (if a sibling preceded) for a new value or
+  // key at the current nesting level.
+  void Separate();
+
+  std::ostream* out_;
+  // One entry per open container: true once it holds at least one element.
+  std::vector<bool> has_sibling_;
+  // A Key was just written, so the next value is its pair partner.
+  bool pending_key_ = false;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_JSON_H_

@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace usep::obs {
+
+Histogram::Histogram(const HistogramOptions& options) {
+  const int num_buckets = std::max(options.num_buckets, 1);
+  const double growth = options.growth > 1.0 ? options.growth : 2.0;
+  double bound = options.first_bound > 0.0 ? options.first_bound : 1e-3;
+  bounds_.reserve(static_cast<size_t>(num_buckets));
+  for (int i = 0; i < num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(
+      static_cast<size_t>(num_buckets) + 1);
+}
+
+void Histogram::Observe(double value) {
+  // Linear scan: the bucket count is small and fixed, and Observe runs at
+  // phase granularity (once per planner run / pool block), not in planner
+  // inner loops.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+bool MetricsRegistry::NameTaken(std::string_view name) const {
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  if (NameTaken(name)) return nullptr;  // Registered as another kind.
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  if (NameTaken(name)) return nullptr;
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  if (NameTaken(name)) return nullptr;
+  return histograms_
+      .emplace(std::string(name), std::make_unique<Histogram>(options))
+      .first->second.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->Count();
+    value.sum = histogram->Sum();
+    const int n = histogram->num_buckets();
+    value.upper_bounds.reserve(static_cast<size_t>(n));
+    value.bucket_counts.reserve(static_cast<size_t>(n) + 1);
+    for (int i = 0; i < n; ++i) {
+      value.upper_bounds.push_back(histogram->UpperBound(i));
+      value.bucket_counts.push_back(histogram->BucketCount(i));
+    }
+    value.bucket_counts.push_back(histogram->BucketCount(n));
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;  // std::map iteration is already name-sorted.
+}
+
+}  // namespace usep::obs

@@ -1,0 +1,144 @@
+#ifndef USEP_OBS_METRICS_H_
+#define USEP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usep::obs {
+
+// Thread-safe metric primitives and the name-keyed registry that owns them.
+//
+// Usage pattern: look a metric up by name ONCE (registration takes a mutex),
+// keep the returned pointer, and update through it from any thread — updates
+// are lock-free relaxed atomics, cheap enough for planner phase boundaries.
+// Pointers stay valid for the registry's lifetime; looking the same name up
+// again returns the same object, so independent components can share a
+// metric by agreeing on its name (see docs/OBSERVABILITY.md for the
+// catalog).
+
+// Monotonically increasing integer count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A value that can move both ways (e.g. current queue depth, last observed
+// remaining deadline).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Bucket layout of a Histogram: fixed exponential bounds
+// first_bound * growth^i for i in [0, num_buckets), plus one implicit
+// overflow bucket.  The options of the FIRST registration win; later
+// GetHistogram calls with different options return the existing histogram
+// unchanged.
+struct HistogramOptions {
+  double first_bound = 1e-3;
+  double growth = 2.0;
+  int num_buckets = 30;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options);
+
+  void Observe(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Finite buckets only; bucket num_buckets() is the overflow bucket.
+  int num_buckets() const { return static_cast<int>(bounds_.size()); }
+  // Inclusive upper bound of finite bucket `i`.
+  double UpperBound(int i) const { return bounds_[static_cast<size_t>(i)]; }
+  // Count in bucket `i`, 0 <= i <= num_buckets() (the last is overflow).
+  int64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of every registered metric, name-sorted — the shape
+// the run report serializes.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    int64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> upper_bounds;    // Finite bounds, ascending.
+    std::vector<int64_t> bucket_counts;  // upper_bounds.size() + 1 (overflow).
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create; the returned pointer is stable for the registry's
+  // lifetime.  A name registers exactly one metric kind — asking for an
+  // existing name as a different kind returns nullptr.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          const HistogramOptions& options = HistogramOptions());
+
+  // Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  bool NameTaken(std::string_view name) const;  // Caller holds mutex_.
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_METRICS_H_

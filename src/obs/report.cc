@@ -1,0 +1,126 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace usep::obs {
+namespace {
+
+void WriteRun(JsonWriter* json, const PlannerRunReport& run) {
+  json->BeginObject();
+  json->KvString("planner", run.planner);
+  json->KvString("termination", run.termination);
+  json->KvDouble("wall_seconds", run.wall_seconds);
+  json->KvInt("iterations", run.iterations);
+  json->KvInt("heap_pushes", run.heap_pushes);
+  json->KvInt("dp_cells", run.dp_cells);
+  json->KvInt("guard_nodes", run.guard_nodes);
+  json->KvUint("logical_peak_bytes", run.logical_peak_bytes);
+  json->KvString("fallback_rung", run.fallback_rung);
+  json->KvString("fallback_trace", run.fallback_trace);
+  json->KvDouble("utility", run.utility);
+  json->KvInt("assignments", run.assignments);
+  json->KvInt("planned_users", run.planned_users);
+  json->KvBool("validated", run.validated);
+  json->EndObject();
+}
+
+void WriteMetrics(JsonWriter* json, const MetricsSnapshot& metrics) {
+  json->BeginObject();
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& counter : metrics.counters) {
+    json->KvInt(counter.name, counter.value);
+  }
+  json->EndObject();
+  json->Key("gauges");
+  json->BeginObject();
+  for (const auto& gauge : metrics.gauges) {
+    json->KvDouble(gauge.name, gauge.value);
+  }
+  json->EndObject();
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& histogram : metrics.histograms) {
+    json->Key(histogram.name);
+    json->BeginObject();
+    json->KvInt("count", histogram.count);
+    json->KvDouble("sum", histogram.sum);
+    json->Key("upper_bounds");
+    json->BeginArray();
+    for (const double bound : histogram.upper_bounds) json->Double(bound);
+    json->EndArray();
+    json->Key("bucket_counts");
+    json->BeginArray();
+    for (const int64_t count : histogram.bucket_counts) json->Int(count);
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+}  // namespace
+
+void RunReport::WriteJson(std::ostream& out) const {
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.KvInt("schema_version", schema_version);
+  json.KvString("tool", tool);
+
+  json.Key("instance");
+  json.BeginObject();
+  json.KvString("label", instance_label);
+  json.KvInt("num_events", num_events);
+  json.KvInt("num_users", num_users);
+  json.KvInt("total_capacity", total_capacity);
+  json.EndObject();
+
+  json.Key("config");
+  json.BeginObject();
+  for (const auto& [key, value] : config) json.KvString(key, value);
+  json.EndObject();
+
+  json.Key("runs");
+  json.BeginArray();
+  for (const PlannerRunReport& run : runs) WriteRun(&json, run);
+  json.EndArray();
+
+  if (has_aggregate) {
+    json.Key("aggregate");
+    WriteRun(&json, aggregate);
+  }
+
+  json.Key("memhook");
+  json.BeginObject();
+  json.KvBool("active", memhook_active);
+  json.KvUint("current_bytes", memhook_current_bytes);
+  json.KvUint("peak_bytes", memhook_peak_bytes);
+  json.KvUint("total_allocations", memhook_total_allocations);
+  json.EndObject();
+
+  json.Key("metrics");
+  WriteMetrics(&json, metrics);
+
+  json.EndObject();
+  out << '\n';
+}
+
+bool RunReport::WriteJsonFile(const std::string& path,
+                              std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace usep::obs

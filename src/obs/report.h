@@ -1,0 +1,82 @@
+#ifndef USEP_OBS_REPORT_H_
+#define USEP_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace usep::obs {
+
+// The machine-readable run report: one JSON document capturing everything a
+// later analysis (or a CI regression check) needs to explain a run —
+// instance shape, per-planner statistics and termination state, memhook
+// peaks, and a full metrics-registry snapshot.  Written by `usep_solve
+// --report_out=` and the figure/ablation bench harness.
+//
+// The structs here are plain data on purpose: obs sits below the planner
+// layer, so callers (usep_solve, bench_util) copy the fields out of
+// PlannerResult/PlanningStats rather than obs depending on those types.
+// scripts/check_obs_json.py validates the serialized shape in CI.
+
+struct PlannerRunReport {
+  std::string planner;
+  std::string termination = "completed";
+  // PlannerStats mirror.
+  double wall_seconds = 0.0;
+  int64_t iterations = 0;
+  int64_t heap_pushes = 0;
+  int64_t dp_cells = 0;
+  int64_t guard_nodes = 0;
+  uint64_t logical_peak_bytes = 0;
+  std::string fallback_rung;
+  std::string fallback_trace;
+  // Outcome of the planning itself.
+  double utility = 0.0;
+  int64_t assignments = 0;
+  int64_t planned_users = 0;
+  bool validated = true;
+};
+
+struct RunReport {
+  int schema_version = 1;
+  std::string tool;  // "usep_solve", "fig2_vary_num_events", ...
+
+  // Instance shape (label: file path or generator summary).
+  std::string instance_label;
+  int64_t num_events = 0;
+  int64_t num_users = 0;
+  int64_t total_capacity = 0;
+
+  // Free-form run configuration (flag values etc.), serialized as an
+  // object in insertion order.
+  std::vector<std::pair<std::string, std::string>> config;
+
+  std::vector<PlannerRunReport> runs;
+
+  // Merged totals over `runs` (PlannerStats::MergeFrom semantics),
+  // emitted only when has_aggregate is set.
+  bool has_aggregate = false;
+  PlannerRunReport aggregate;
+
+  // Process-global memhook state.  Peaks are process-wide: under
+  // concurrent planner runs they attribute the sum of everything live, not
+  // one planner's working set (see docs/OBSERVABILITY.md).
+  bool memhook_active = false;
+  uint64_t memhook_current_bytes = 0;
+  uint64_t memhook_peak_bytes = 0;
+  uint64_t memhook_total_allocations = 0;
+
+  MetricsSnapshot metrics;
+
+  void WriteJson(std::ostream& out) const;
+  // False on I/O failure, with a human-readable message in *error.
+  bool WriteJsonFile(const std::string& path, std::string* error) const;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_REPORT_H_

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace usep::obs {
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::NameCurrentThread(std::string_view name) {
+  TraceEvent event;
+  event.name = "thread_name";
+  event.categories = "__metadata";
+  event.phase = 'M';
+  event.tid = CurrentThreadId();
+  event.args.emplace_back("name", "\"" + JsonEscape(name) + "\"");
+  Record(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Events();
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.KvString("displayTimeUnit", "ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : events) {
+    json.BeginObject();
+    json.KvString("name", event.name);
+    json.KvString("cat", event.categories);
+    json.KvString("ph", std::string(1, event.phase));
+    json.KvDouble("ts", event.ts_us);
+    if (event.phase == 'X') json.KvDouble("dur", event.dur_us);
+    json.KvInt("pid", 1);
+    json.KvInt("tid", event.tid);
+    if (!event.args.empty()) {
+      json.Key("args");
+      json.BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json.Key(key);
+        json.Raw(value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out << '\n';
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path,
+                                  std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void TraceSpan::AddArg(const char* key, std::string_view value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (recorder_ == nullptr) return;
+  args_.emplace_back(key, JsonNumber(value));
+}
+
+void TraceSpan::Finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.categories = categories_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = recorder_->NowMicros() - start_us_;
+  event.tid = CurrentThreadId();
+  event.args = std::move(args_);
+  recorder_->Record(std::move(event));
+}
+
+}  // namespace usep::obs

@@ -1,0 +1,121 @@
+#ifndef USEP_OBS_TRACE_H_
+#define USEP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace usep::obs {
+
+// Phase-level tracing in the Chrome trace-event format.  A TraceRecorder
+// collects TraceEvents from any thread; WriteJson emits a document loadable
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing.  Span names
+// follow the "<component>/<phase>" scheme catalogued in
+// docs/OBSERVABILITY.md.
+//
+// The whole layer is designed around a NULL recorder meaning "tracing off":
+// a TraceSpan constructed with nullptr is a handful of scalar stores and a
+// never-taken branch — no clock read, no allocation, no lock — so planners
+// create spans unconditionally and pay (verifiably, see bench/micro_obs.cc)
+// nothing when the feature is disabled.
+
+// Process-stable small integer id of the calling thread: 0 for the first
+// thread that asks, then 1, 2, ...  Used as the Chrome trace `tid`, which
+// must be an integer (std::thread::id is not).
+int CurrentThreadId();
+
+struct TraceEvent {
+  std::string name;
+  std::string categories = "usep";
+  char phase = 'X';    // 'X' complete span, 'M' metadata.
+  double ts_us = 0.0;  // Microseconds since the recorder's epoch.
+  double dur_us = 0.0;
+  int tid = 0;
+  // Argument values are pre-serialized JSON (JsonEscape'd strings already
+  // carry their quotes), so WriteJson can emit them verbatim.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Microseconds since the recorder was created.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // Appends one event; thread-safe.
+  void Record(TraceEvent event);
+
+  // Emits a thread_name metadata event so trace viewers label the calling
+  // thread's track (e.g. "pool-worker-3").
+  void NameCurrentThread(std::string_view name);
+
+  size_t size() const;
+  // Snapshot of everything recorded so far (tests and serialization).
+  std::vector<TraceEvent> Events() const;
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} — the Chrome trace-event
+  // JSON envelope.
+  void WriteJson(std::ostream& out) const;
+  // False on I/O failure, with a human-readable message in *error.
+  bool WriteJsonFile(const std::string& path, std::string* error) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: records the enclosing scope as one complete ('X') event.
+// Arguments added through AddArg land in the event's "args" object.
+class TraceSpan {
+ public:
+  // A null recorder disables the span entirely.
+  TraceSpan(TraceRecorder* recorder, const char* name,
+            const char* categories = "usep")
+      : recorder_(recorder), name_(name), categories_(categories) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (recorder_ != nullptr) Finish();
+  }
+
+  // Closes the span now instead of at scope exit (for functions with
+  // several sequential phases).  Idempotent; AddArg after End is dropped.
+  void End() {
+    if (recorder_ != nullptr) Finish();
+    recorder_ = nullptr;
+  }
+
+  bool enabled() const { return recorder_ != nullptr; }
+
+  void AddArg(const char* key, std::string_view value);
+  void AddArg(const char* key, int64_t value);
+  void AddArg(const char* key, double value);
+
+ private:
+  void Finish();
+
+  TraceRecorder* recorder_;  // Nulled by End().
+  const char* const name_;
+  const char* const categories_;
+  double start_us_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_TRACE_H_

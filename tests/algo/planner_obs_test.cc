@@ -1,0 +1,216 @@
+// Integration tests of the planner instrumentation: spans cover the planner
+// phases with sane nesting, metrics agree with the PlannerStats the planner
+// itself reported, and a null-sink context records nothing at all.
+
+#include "algo/planner_obs.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/fallback_planner.h"
+#include "algo/local_search.h"
+#include "algo/planner_registry.h"
+#include "gen/synthetic_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+using testing::MakeTable1Instance;
+using testing::MediumRandomConfig;
+
+int CountSpans(const std::vector<obs::TraceEvent>& events,
+               const std::string& name) {
+  return static_cast<int>(
+      std::count_if(events.begin(), events.end(),
+                    [&name](const obs::TraceEvent& event) {
+                      return event.phase == 'X' && event.name == name;
+                    }));
+}
+
+const obs::TraceEvent* FindSpan(const std::vector<obs::TraceEvent>& events,
+                                const std::string& name) {
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase == 'X' && event.name == name) return &event;
+  }
+  return nullptr;
+}
+
+bool Contains(const obs::TraceEvent& outer, const obs::TraceEvent& inner) {
+  return outer.ts_us <= inner.ts_us + 1e-3 &&
+         outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us - 1e-3;
+}
+
+TEST(PlannerObsTest, NullContextRecordsNothing) {
+  const Instance instance = MakeTable1Instance();
+  PlanContext context;  // trace/metrics null — the default.
+  for (const char* name : {"Exact", "DeDPO+RG", "RatioGreedy", "Online-DP"}) {
+    StatusOr<std::unique_ptr<Planner>> planner = MakePlannerByName(name);
+    ASSERT_TRUE(planner.ok()) << name;
+    const PlannerResult result = (*planner)->Plan(instance, context);
+    EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
+  }
+  // Nothing to assert on sinks — they don't exist.  The real check is that
+  // the above does not crash and (see below) that enabling sinks changes
+  // observations, not plannings.
+}
+
+TEST(PlannerObsTest, PlannersEmitPhaseSpansWithNesting) {
+  const Instance instance = MakeTable1Instance();
+  obs::TraceRecorder recorder;
+  PlanContext context;
+  context.trace = &recorder;
+
+  MakePlannerByName("Exact").value()->Plan(instance, context);
+  MakePlannerByName("DeDP").value()->Plan(instance, context);
+  MakePlannerByName("RatioGreedy").value()->Plan(instance, context);
+
+  const std::vector<obs::TraceEvent> events = recorder.Events();
+  // Three distinct planner phases (well above the >= 3 acceptance bar).
+  EXPECT_EQ(CountSpans(events, "plan/Exact"), 1);
+  EXPECT_EQ(CountSpans(events, "plan/DeDP"), 1);
+  EXPECT_EQ(CountSpans(events, "plan/RatioGreedy"), 1);
+
+  // Exact's sub-phases nest inside its plan span on the same thread.
+  const obs::TraceEvent* exact = FindSpan(events, "plan/Exact");
+  ASSERT_NE(exact, nullptr);
+  for (const char* phase :
+       {"exact/candidate-generation", "exact/branch-and-bound",
+        "exact/materialize"}) {
+    const obs::TraceEvent* sub = FindSpan(events, phase);
+    ASSERT_NE(sub, nullptr) << phase;
+    EXPECT_EQ(sub->tid, exact->tid) << phase;
+    EXPECT_TRUE(Contains(*exact, *sub)) << phase;
+  }
+
+  // DeDP's phases likewise.
+  const obs::TraceEvent* dedp = FindSpan(events, "plan/DeDP");
+  ASSERT_NE(dedp, nullptr);
+  for (const char* phase : {"dedp/mu-init", "dedp/dp-fill", "dedp/assemble"}) {
+    const obs::TraceEvent* sub = FindSpan(events, phase);
+    ASSERT_NE(sub, nullptr) << phase;
+    EXPECT_TRUE(Contains(*dedp, *sub)) << phase;
+  }
+
+  // RatioGreedy's champion phases.
+  EXPECT_NE(FindSpan(events, "rg/init-champions"), nullptr);
+  EXPECT_NE(FindSpan(events, "rg/heap-loop"), nullptr);
+
+  // Every span carries a meaningful duration and the plan spans carry their
+  // termination.
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase != 'X') continue;
+    EXPECT_GE(event.dur_us, 0.0);
+  }
+  bool found_termination = false;
+  for (const auto& [key, value] : exact->args) {
+    if (key == "termination") {
+      found_termination = true;
+      EXPECT_EQ(value, "\"completed\"");
+    }
+  }
+  EXPECT_TRUE(found_termination);
+}
+
+TEST(PlannerObsTest, LocalSearchAndFallbackEmitSpans) {
+  const Instance instance = MakeTable1Instance();
+  obs::TraceRecorder recorder;
+  PlanContext context;
+  context.trace = &recorder;
+
+  MakePlannerByName("DeDPO+RG+LS").value()->Plan(instance, context);
+  const std::vector<obs::TraceEvent> ls_events = recorder.Events();
+  EXPECT_EQ(CountSpans(ls_events, "plan/LocalSearch"), 1);
+  EXPECT_GE(CountSpans(ls_events, "local-search/round"), 1);
+
+  // A fresh recorder for the fallback run, so plan/DeDPO below can only
+  // come from the chain's first rung.
+  obs::TraceRecorder fallback_recorder;
+  context.trace = &fallback_recorder;
+  FallbackPlanner::FromSpec("DeDPO+RG->RatioGreedy")
+      .value()
+      ->Plan(instance, context);
+
+  const std::vector<obs::TraceEvent> events = fallback_recorder.Events();
+  EXPECT_EQ(CountSpans(events, "plan/Fallback"), 1);
+  // The chain completed on its first rung, so exactly one rung span.
+  EXPECT_EQ(CountSpans(events, "fallback/rung"), 1);
+  // The rung itself ran DeDPO, whose plan span nests inside the rung span.
+  const obs::TraceEvent* rung = FindSpan(events, "fallback/rung");
+  const obs::TraceEvent* dedpo = FindSpan(events, "plan/DeDPO");
+  ASSERT_NE(rung, nullptr);
+  ASSERT_NE(dedpo, nullptr);
+  EXPECT_TRUE(Contains(*rung, *dedpo));
+}
+
+TEST(PlannerObsTest, MetricsAgreeWithPlannerStats) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MediumRandomConfig(7));
+  ASSERT_TRUE(instance.ok());
+  obs::MetricsRegistry registry;
+  PlanContext context;
+  context.metrics = &registry;
+
+  const std::unique_ptr<Planner> planner =
+      MakePlannerByName("DeDPO+RG").value();
+  const PlannerResult first = planner->Plan(*instance, context);
+  const PlannerResult second = planner->Plan(*instance, context);
+
+  const std::string prefix = "usep.planner.DeDPO+RG";
+  const obs::Counter* runs = registry.FindCounter(prefix + ".runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->Value(), 2);
+  EXPECT_EQ(registry.FindCounter("usep.planner.runs")->Value(), 2);
+  EXPECT_EQ(registry.FindCounter(prefix + ".iterations")->Value(),
+            first.stats.iterations + second.stats.iterations);
+  EXPECT_EQ(registry.FindCounter(prefix + ".dp_cells")->Value(),
+            first.stats.dp_cells + second.stats.dp_cells);
+  EXPECT_EQ(
+      registry.FindCounter(prefix + ".terminations.completed")->Value(), 2);
+
+  const obs::Histogram* wall = registry.FindHistogram(prefix + ".wall_ms");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->Count(), 2);
+  EXPECT_NEAR(wall->Sum(),
+              (first.stats.wall_seconds + second.stats.wall_seconds) * 1e3,
+              1e-6);
+
+  const obs::Gauge* peak =
+      registry.FindGauge(prefix + ".logical_peak_bytes");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_DOUBLE_EQ(peak->Value(),
+                   static_cast<double>(second.stats.logical_peak_bytes));
+}
+
+TEST(PlannerObsTest, SinksDoNotChangeThePlanning) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(MediumRandomConfig(11));
+  ASSERT_TRUE(instance.ok());
+  const std::unique_ptr<Planner> planner =
+      MakePlannerByName("DeGreedy+RG").value();
+
+  const PlannerResult bare = planner->Plan(*instance, PlanContext{});
+
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  PlanContext observed_context;
+  observed_context.trace = &recorder;
+  observed_context.metrics = &registry;
+  const PlannerResult observed = planner->Plan(*instance, observed_context);
+
+  EXPECT_DOUBLE_EQ(bare.planning.total_utility(),
+                   observed.planning.total_utility());
+  EXPECT_EQ(bare.planning.total_assignments(),
+            observed.planning.total_assignments());
+  EXPECT_EQ(bare.stats.iterations, observed.stats.iterations);
+  EXPECT_GT(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace usep

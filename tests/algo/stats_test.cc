@@ -1,0 +1,119 @@
+#include "algo/stats.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace usep {
+namespace {
+
+TEST(PlannerStatsTest, ToStringCarriesEveryCounter) {
+  PlannerStats stats;
+  stats.wall_seconds = 0.0125;
+  stats.iterations = 42;
+  stats.heap_pushes = 7;
+  stats.dp_cells = 1000;
+  stats.logical_peak_bytes = 2048;
+
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("12.500 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("iterations=42"), std::string::npos) << text;
+  EXPECT_NE(text.find("heap_pushes=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("dp_cells=1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("logical_peak="), std::string::npos) << text;
+  // No fallback section unless a trace is present.
+  EXPECT_EQ(text.find("fallback"), std::string::npos) << text;
+}
+
+TEST(PlannerStatsTest, ToStringShowsFallbackTrace) {
+  PlannerStats stats;
+  stats.fallback_trace = "Exact:node-budget -> DeDPO+RG:completed";
+  const std::string text = stats.ToString();
+  EXPECT_NE(
+      text.find("fallback=[Exact:node-budget -> DeDPO+RG:completed]"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PlannerStatsTest, MergeFromSumsCountersAndWall) {
+  PlannerStats a;
+  a.wall_seconds = 0.5;
+  a.iterations = 10;
+  a.heap_pushes = 3;
+  a.dp_cells = 100;
+  a.guard_nodes = 11;
+  PlannerStats b;
+  b.wall_seconds = 0.25;
+  b.iterations = 5;
+  b.heap_pushes = 4;
+  b.dp_cells = 50;
+  b.guard_nodes = 9;
+
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+  EXPECT_EQ(a.iterations, 15);
+  EXPECT_EQ(a.heap_pushes, 7);
+  EXPECT_EQ(a.dp_cells, 150);
+  EXPECT_EQ(a.guard_nodes, 20);
+}
+
+TEST(PlannerStatsTest, MergeFromTakesMaxOfPeaks) {
+  PlannerStats a;
+  a.logical_peak_bytes = 4096;
+  PlannerStats b;
+  b.logical_peak_bytes = 1024;
+  a.MergeFrom(b);
+  // Peaks do not add across sequential runs.
+  EXPECT_EQ(a.logical_peak_bytes, 4096u);
+
+  PlannerStats c;
+  c.logical_peak_bytes = 1 << 20;
+  a.MergeFrom(c);
+  EXPECT_EQ(a.logical_peak_bytes, static_cast<size_t>(1 << 20));
+}
+
+TEST(PlannerStatsTest, MergeFromJoinsFallbackStrings) {
+  PlannerStats a;
+  a.fallback_rung = "Exact";
+  a.fallback_trace = "Exact:completed";
+  PlannerStats b;
+  b.fallback_rung = "DeDPO+RG";
+  b.fallback_trace = "Exact:deadline -> DeDPO+RG:completed";
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.fallback_rung, "Exact; DeDPO+RG");
+  EXPECT_EQ(a.fallback_trace,
+            "Exact:completed; Exact:deadline -> DeDPO+RG:completed");
+}
+
+TEST(PlannerStatsTest, MergeFromSkipsEmptyFallbackSides) {
+  // Empty other side leaves ours untouched (no dangling separator).
+  PlannerStats a;
+  a.fallback_rung = "Exact";
+  a.MergeFrom(PlannerStats{});
+  EXPECT_EQ(a.fallback_rung, "Exact");
+
+  // Empty our side adopts theirs without a leading separator.
+  PlannerStats c;
+  PlannerStats d;
+  d.fallback_rung = "DeGreedy+RG";
+  c.MergeFrom(d);
+  EXPECT_EQ(c.fallback_rung, "DeGreedy+RG");
+}
+
+TEST(PlannerStatsTest, MergeFromDefaultIsIdentity) {
+  PlannerStats a;
+  a.wall_seconds = 1.0;
+  a.iterations = 2;
+  a.logical_peak_bytes = 77;
+  a.fallback_trace = "RatioGreedy:completed";
+  const PlannerStats before = a;
+  a.MergeFrom(PlannerStats{});
+  EXPECT_DOUBLE_EQ(a.wall_seconds, before.wall_seconds);
+  EXPECT_EQ(a.iterations, before.iterations);
+  EXPECT_EQ(a.logical_peak_bytes, before.logical_peak_bytes);
+  EXPECT_EQ(a.fallback_trace, before.fallback_trace);
+}
+
+}  // namespace
+}  // namespace usep

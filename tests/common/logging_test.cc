@@ -1,5 +1,12 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace usep {
@@ -45,6 +52,65 @@ TEST(CheckDeathTest, FailingCheckLtAborts) {
 TEST(CheckTest, DcheckPassesWhenTrue) {
   USEP_DCHECK(true);
   SUCCEED();
+}
+
+// Regression test for torn log lines: LogMessage must emit each line as a
+// single write under a mutex, so lines from concurrent loggers never
+// interleave mid-line.  Captures stderr via dup2 while several threads log
+// distinctive lines, then checks every captured line is whole.
+TEST(LoggingTest, ConcurrentLogLinesAreNotTorn) {
+  FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  std::fflush(stderr);
+  const int saved_stderr = dup(fileno(stderr));
+  ASSERT_GE(saved_stderr, 0);
+  ASSERT_GE(dup2(fileno(capture), fileno(stderr)), 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        USEP_LOG(Info) << "torn-check thread=" << t << " line=" << i
+                       << " tail";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::fflush(stderr);
+  dup2(saved_stderr, fileno(stderr));
+  close(saved_stderr);
+
+  std::rewind(capture);
+  std::string content;
+  char buffer[4096];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), capture)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(capture);
+
+  int whole_lines = 0;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) newline = content.size();
+    const std::string line = content.substr(start, newline - start);
+    start = newline + 1;
+    if (line.find("torn-check") == std::string::npos) continue;
+    // A whole line carries exactly one marker and ends with its tail; a
+    // torn line would splice two messages or cut one short.
+    EXPECT_EQ(line.find("torn-check"), line.rfind("torn-check"))
+        << "spliced line: " << line;
+    ASSERT_GE(line.size(), 5u) << "truncated line: " << line;
+    EXPECT_EQ(line.substr(line.size() - 5), " tail")
+        << "truncated line: " << line;
+    ++whole_lines;
+  }
+  EXPECT_EQ(whole_lines, kThreads * kLinesPerThread);
 }
 
 }  // namespace

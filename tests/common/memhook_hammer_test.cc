@@ -1,0 +1,96 @@
+// Hammers the memhook counters from ThreadPool::ParallelFor workers — the
+// exact concurrency shape the planners produce — and checks no update is
+// lost.  Linked against usep_memhook (like MemhookTest, it is excluded from
+// the sanitizer CI jobs, where the hook is deliberately inert so ASan/TSan
+// keep their own allocator interposition).
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memhook.h"
+#include "common/thread_pool.h"
+
+namespace usep {
+namespace {
+
+TEST(MemhookHammerTest, ParallelForAllocationsAreAllCounted) {
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "memhook inert (sanitizer build?)";
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int64_t kTasks = 64;
+  constexpr int kAllocationsPerTask = 2000;
+  constexpr size_t kBlock = 128;
+
+  const size_t allocations_before = memhook::TotalAllocations();
+  const size_t bytes_before = memhook::CurrentBytes();
+
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(0, kTasks, static_cast<int>(kTasks),
+                   [](int /*block*/, int64_t begin, int64_t end) {
+                     for (int64_t task = begin; task < end; ++task) {
+                       for (int i = 0; i < kAllocationsPerTask; ++i) {
+                         void* p = ::operator new(kBlock);
+                         ::operator delete(p);
+                       }
+                     }
+                   });
+
+  // fetch_add never loses an increment: the allocation count moved by at
+  // least our own allocations (gtest/pool internals may add more).
+  EXPECT_GE(memhook::TotalAllocations(),
+            allocations_before + kTasks * kAllocationsPerTask);
+  // Every hammer allocation was freed, so current is back near baseline
+  // (the pool's worker structures are gone once it destructs below).
+  EXPECT_LE(memhook::CurrentBytes(), bytes_before + (1 << 20));
+}
+
+TEST(MemhookHammerTest, PeakNeverBelowAnyThreadsHighWater) {
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "memhook inert (sanitizer build?)";
+  }
+
+  static constexpr size_t kBig = 1 << 20;
+  memhook::ResetPeak();
+  const size_t peak_before = memhook::PeakBytes();
+
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 16, 16, [](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t task = begin; task < end; ++task) {
+      // One big live block per task; the CAS loop must record at least one
+      // of these peaks even under contention.
+      std::vector<char> block(kBig);
+      block[0] = static_cast<char>(task);
+      ASSERT_GE(memhook::PeakBytes(), kBig);
+    }
+  });
+
+  EXPECT_GE(memhook::PeakBytes(), peak_before + kBig);
+}
+
+TEST(MemhookHammerTest, MixedAllocFreeKeepsCurrentExact) {
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "memhook inert (sanitizer build?)";
+  }
+
+  const size_t bytes_before = memhook::CurrentBytes();
+  ThreadPool pool(8);
+  pool.ParallelFor(0, 32, 32, [](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t task = begin; task < end; ++task) {
+      // Varying sizes so blocks interleave alloc and free traffic.
+      std::vector<void*> live;
+      live.reserve(64);
+      for (int i = 0; i < 64; ++i) {
+        live.push_back(::operator new(static_cast<size_t>(16 + 8 * i)));
+      }
+      for (void* p : live) ::operator delete(p);
+    }
+  });
+  EXPECT_LE(memhook::CurrentBytes(), bytes_before + (1 << 20));
+}
+
+}  // namespace
+}  // namespace usep

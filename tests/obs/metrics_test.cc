@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace usep::obs {
+namespace {
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(MetricsTest, LookupReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("same");
+  Counter* b = registry.GetCounter("same");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1);
+}
+
+TEST(MetricsTest, NameTakenByOtherKindReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("clash"), nullptr);
+  EXPECT_EQ(registry.GetGauge("clash"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("clash"), nullptr);
+  // And the original keeps working.
+  EXPECT_NE(registry.GetCounter("clash"), nullptr);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 1.5);
+}
+
+TEST(MetricsTest, HistogramBucketsExponential) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;  // Bounds 1, 2, 4, 8 + overflow.
+  Histogram* histogram = registry.GetHistogram("test.histogram", options);
+  ASSERT_NE(histogram, nullptr);
+  ASSERT_EQ(histogram->num_buckets(), 4);
+  EXPECT_DOUBLE_EQ(histogram->UpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram->UpperBound(3), 8.0);
+
+  histogram->Observe(0.5);   // bucket 0
+  histogram->Observe(1.0);   // bucket 0 (inclusive upper bound)
+  histogram->Observe(3.0);   // bucket 2
+  histogram->Observe(100.0); // overflow
+  EXPECT_EQ(histogram->Count(), 4);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 104.5);
+  EXPECT_EQ(histogram->BucketCount(0), 2);
+  EXPECT_EQ(histogram->BucketCount(1), 0);
+  EXPECT_EQ(histogram->BucketCount(2), 1);
+  EXPECT_EQ(histogram->BucketCount(3), 0);
+  EXPECT_EQ(histogram->BucketCount(4), 1);  // Overflow bucket.
+}
+
+TEST(MetricsTest, HistogramFirstRegistrationWins) {
+  MetricsRegistry registry;
+  HistogramOptions first;
+  first.num_buckets = 4;
+  Histogram* a = registry.GetHistogram("h", first);
+  HistogramOptions second;
+  second.num_buckets = 10;
+  Histogram* b = registry.GetHistogram("h", second);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->num_buckets(), 4);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(2);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("g")->Set(3.0);
+  registry.GetHistogram("h")->Observe(0.25);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.counter");
+  EXPECT_EQ(snapshot.counters[0].value, 1);
+  EXPECT_EQ(snapshot.counters[1].name, "b.counter");
+  EXPECT_EQ(snapshot.counters[1].value, 2);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 3.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_EQ(snapshot.histograms[0].bucket_counts.size(),
+            snapshot.histograms[0].upper_bounds.size() + 1);
+}
+
+TEST(MetricsTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("ghost"), nullptr);
+  EXPECT_EQ(registry.FindGauge("ghost"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("ghost"), nullptr);
+  registry.GetCounter("real")->Increment();
+  EXPECT_NE(registry.FindCounter("real"), nullptr);
+  EXPECT_TRUE(registry.Snapshot().gauges.empty());
+}
+
+TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kUpdates = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Registration from every thread: the registry must serialize the
+      // get-or-create and always hand back the same objects.
+      Counter* counter = registry.GetCounter("hammer.counter");
+      Histogram* histogram = registry.GetHistogram("hammer.histogram");
+      for (int i = 0; i < kUpdates; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("hammer.counter")->Value(),
+            kThreads * kUpdates);
+  EXPECT_EQ(registry.GetHistogram("hammer.histogram")->Count(),
+            kThreads * kUpdates);
+}
+
+}  // namespace
+}  // namespace usep::obs

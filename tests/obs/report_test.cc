@@ -1,0 +1,119 @@
+#include "obs/report.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace usep::obs {
+namespace {
+
+RunReport SampleReport() {
+  RunReport report;
+  report.tool = "unit-test";
+  report.instance_label = "synthetic \"quoted\" label";
+  report.num_events = 5;
+  report.num_users = 12;
+  report.total_capacity = 37;
+  report.config.emplace_back("planners", "DeDPO+RG,RatioGreedy");
+  report.config.emplace_back("threads", "4");
+
+  PlannerRunReport run;
+  run.planner = "RatioGreedy";
+  run.termination = "completed";
+  run.wall_seconds = 0.125;
+  run.iterations = 42;
+  run.heap_pushes = 99;
+  run.logical_peak_bytes = 4096;
+  run.utility = 17.5;
+  run.assignments = 11;
+  run.planned_users = 9;
+  report.runs.push_back(run);
+
+  report.has_aggregate = true;
+  report.aggregate = run;
+  report.aggregate.planner = "<aggregate>";
+
+  report.memhook_active = true;
+  report.memhook_peak_bytes = 1 << 20;
+  return report;
+}
+
+TEST(ReportTest, SerializesEverySection) {
+  MetricsRegistry registry;
+  registry.GetCounter("usep.planner.runs")->Increment(3);
+  registry.GetGauge("usep.gauge")->Set(1.5);
+  registry.GetHistogram("usep.hist")->Observe(0.002);
+
+  RunReport report = SampleReport();
+  report.metrics = registry.Snapshot();
+
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"num_events\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_capacity\":37"), std::string::npos);
+  // Quotes in the label must be escaped.
+  EXPECT_NE(json.find("synthetic \\\"quoted\\\" label"), std::string::npos);
+  EXPECT_NE(json.find("\"planners\":\"DeDPO+RG,RatioGreedy\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"runs\":["), std::string::npos);
+  EXPECT_NE(json.find("\"planner\":\"RatioGreedy\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":"), std::string::npos);
+  EXPECT_NE(json.find("\"planner\":\"<aggregate>\""), std::string::npos);
+  EXPECT_NE(json.find("\"memhook\":"), std::string::npos);
+  EXPECT_NE(json.find("\"active\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"usep.planner.runs\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"usep.hist\":{\"count\":1"), std::string::npos);
+}
+
+TEST(ReportTest, OmitsAggregateWhenUnset) {
+  RunReport report = SampleReport();
+  report.has_aggregate = false;
+  std::ostringstream out;
+  report.WriteJson(out);
+  EXPECT_EQ(out.str().find("\"aggregate\""), std::string::npos);
+}
+
+TEST(ReportTest, EmptyReportIsStillWellFormed) {
+  RunReport report;
+  report.tool = "empty";
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"runs\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+  // Balanced braces as a cheap well-formedness proxy.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportTest, WriteJsonFileReportsBadPath) {
+  RunReport report;
+  std::string error;
+  EXPECT_FALSE(report.WriteJsonFile("/nonexistent-dir/report.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace usep::obs
