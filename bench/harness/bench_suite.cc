@@ -1,0 +1,339 @@
+#include "harness/bench_suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/memhook.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/validation.h"
+#include "harness/bench_util.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace usep::bench {
+namespace {
+
+double MedianOfSorted(const std::vector<double>& sorted) {
+  const size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+RobustStats ComputeRobustStats(std::vector<double> samples) {
+  RobustStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.median = MedianOfSorted(samples);
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double sample : samples) {
+    deviations.push_back(std::fabs(sample - stats.median));
+  }
+  std::sort(deviations.begin(), deviations.end());
+  stats.mad = MedianOfSorted(deviations);
+  return stats;
+}
+
+std::vector<BenchScenario> BuildScenarioCatalog() {
+  std::vector<BenchScenario> catalog;
+
+  // Tiny instance every planner finishes in microseconds-to-milliseconds:
+  // the per-planner constant-factor watchdog.
+  GeneratorConfig micro;
+  micro.num_events = 10;
+  micro.num_users = 100;
+  micro.capacity_mean = 10.0;
+  micro.seed = 41;
+
+  const struct {
+    PlannerKind kind;
+    bool quick;
+  } micro_planners[] = {
+      {PlannerKind::kRatioGreedy, true},
+      {PlannerKind::kNaiveRatioGreedy, true},
+      {PlannerKind::kDeDp, true},
+      {PlannerKind::kDeDpo, true},
+      {PlannerKind::kDeDpoRg, true},
+      {PlannerKind::kDeGreedy, true},
+      {PlannerKind::kDeGreedyRg, true},
+      {PlannerKind::kDeDpoRgLs, false},
+      {PlannerKind::kDeGreedyRgLs, false},
+      {PlannerKind::kOnlineDp, false},
+      {PlannerKind::kOnlineGreedy, false},
+  };
+  for (const auto& entry : micro_planners) {
+    BenchScenario scenario;
+    scenario.name = StrFormat("micro/v10.u100/%s/t1",
+                              PlannerKindName(entry.kind));
+    scenario.family = "micro";
+    scenario.config = micro;
+    scenario.kind = entry.kind;
+    scenario.quick = entry.quick;
+    catalog.push_back(scenario);
+  }
+
+  // Exact needs a truly tiny instance; its scan is exponential in the
+  // number of conflict-free schedules.
+  {
+    GeneratorConfig tiny = micro;
+    tiny.num_events = 6;
+    tiny.num_users = 30;
+    BenchScenario scenario;
+    scenario.name = "micro/v6.u30/Exact/t1";
+    scenario.family = "micro";
+    scenario.config = tiny;
+    scenario.kind = PlannerKind::kExact;
+    scenario.quick = false;
+    catalog.push_back(scenario);
+  }
+
+  // Figure 2 shape: the Table 7 bold defaults at bench scale.  These are
+  // the workhorse numbers Fig 2's panels are made of — DeDPO's champion
+  // scan and the heap-backed RatioGreedy live here.
+  const GeneratorConfig fig2 = ScaledDefaultConfig();
+  const struct {
+    PlannerKind kind;
+    bool quick;
+  } fig2_planners[] = {
+      {PlannerKind::kRatioGreedy, true},
+      {PlannerKind::kDeDpoRg, true},
+      {PlannerKind::kDeGreedyRg, true},
+      {PlannerKind::kDeDpo, false},
+      {PlannerKind::kDeGreedy, false},
+      {PlannerKind::kDeDp, false},
+      {PlannerKind::kNaiveRatioGreedy, false},
+  };
+  for (const auto& entry : fig2_planners) {
+    BenchScenario scenario;
+    scenario.name =
+        StrFormat("fig2/default/%s/t1", PlannerKindName(entry.kind));
+    scenario.family = "fig2";
+    scenario.config = fig2;
+    scenario.kind = entry.kind;
+    scenario.quick = entry.quick;
+    catalog.push_back(scenario);
+  }
+
+  // Figure 3 shape: non-uniform distributions (normal capacities, power-law
+  // utilities) change which branches the planners take.
+  {
+    GeneratorConfig normal_capacity = fig2;
+    normal_capacity.capacity_distribution = "normal";
+    GeneratorConfig power_utility = fig2;
+    power_utility.utility_distribution = "power:0.5";
+    const PlannerKind fig3_planners[] = {PlannerKind::kRatioGreedy,
+                                         PlannerKind::kDeDpoRg};
+    for (const PlannerKind kind : fig3_planners) {
+      BenchScenario scenario;
+      scenario.family = "fig3";
+      scenario.kind = kind;
+      scenario.quick = true;
+      scenario.name =
+          StrFormat("fig3/normal-capacity/%s/t1", PlannerKindName(kind));
+      scenario.config = normal_capacity;
+      catalog.push_back(scenario);
+      scenario.name =
+          StrFormat("fig3/power-utility/%s/t1", PlannerKindName(kind));
+      scenario.config = power_utility;
+      catalog.push_back(scenario);
+    }
+  }
+
+  // Figure 4 shape: scalability.  A user-heavy instance, the scalable
+  // planners, and 1/2/8 threads for the parallel-capable families (the
+  // plannings are bit-identical across thread counts; only time moves).
+  {
+    GeneratorConfig big = fig2;
+    big.num_users = GetBenchScale() == BenchScale::kPaper ? 20000 : 2000;
+    const PlannerKind parallel_planners[] = {PlannerKind::kDeDpoRg,
+                                             PlannerKind::kDeGreedyRg};
+    for (const PlannerKind kind : parallel_planners) {
+      for (const int threads : {1, 2, 8}) {
+        BenchScenario scenario;
+        scenario.name = StrFormat("fig4/scalability/%s/t%d",
+                                  PlannerKindName(kind), threads);
+        scenario.family = "fig4";
+        scenario.config = big;
+        scenario.kind = kind;
+        scenario.threads = threads;
+        scenario.quick = threads != 2;  // 1 and 8 cover the CI contrast.
+        catalog.push_back(scenario);
+      }
+    }
+    BenchScenario scenario;
+    scenario.name = "fig4/scalability/RatioGreedy/t1";
+    scenario.family = "fig4";
+    scenario.config = big;
+    scenario.kind = PlannerKind::kRatioGreedy;
+    scenario.quick = true;
+    catalog.push_back(scenario);
+  }
+
+  return catalog;
+}
+
+ScenarioResult RunScenario(const BenchScenario& scenario,
+                           const Instance& instance,
+                           const BenchRunOptions& options) {
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.family = scenario.family;
+  result.planner = PlannerKindName(scenario.kind);
+  result.threads = scenario.threads;
+  result.num_events = instance.num_events();
+  result.num_users = instance.num_users();
+  result.warmup = std::max(options.warmup, 0);
+  result.trials = std::max(options.trials, 1);
+
+  ParallelConfig parallel;
+  parallel.num_threads = scenario.threads;
+  const std::unique_ptr<Planner> planner =
+      MakePlanner(scenario.kind, parallel);
+
+  for (int i = 0; i < result.warmup; ++i) {
+    planner->Plan(instance, PlanContext());
+  }
+
+  std::vector<double> wall_samples;
+  std::vector<double> cpu_samples;
+  wall_samples.reserve(static_cast<size_t>(result.trials));
+  cpu_samples.reserve(static_cast<size_t>(result.trials));
+  for (int i = 0; i < result.trials; ++i) {
+    const size_t heap_before = memhook::CurrentBytes();
+    memhook::ResetPeak();
+    Stopwatch wall;
+    CpuStopwatch cpu(CpuStopwatch::Kind::kProcess);
+    const PlannerResult run = planner->Plan(instance, PlanContext());
+    wall_samples.push_back(wall.ElapsedMillis());
+    cpu_samples.push_back(cpu.ElapsedMillis());
+
+    uint64_t peak = run.stats.logical_peak_bytes;
+    if (memhook::IsActive()) {
+      const size_t hook_peak = memhook::PeakBytes();
+      peak = hook_peak > heap_before ? hook_peak - heap_before : 0;
+    }
+    result.peak_bytes = std::max(result.peak_bytes, peak);
+
+    const double utility = run.planning.total_utility();
+    if (i == 0) {
+      result.objective = utility;
+      result.assignments = run.planning.total_assignments();
+      result.validated = CheckPlanningFeasible(instance, run.planning).ok();
+      result.termination = TerminationName(run.termination);
+    } else if (utility != result.objective) {
+      result.deterministic = false;
+    }
+    result.iterations = run.stats.iterations;
+    result.heap_pushes = run.stats.heap_pushes;
+    result.dp_cells = run.stats.dp_cells;
+    result.guard_nodes = run.stats.guard_nodes;
+  }
+  result.wall_ms = ComputeRobustStats(std::move(wall_samples));
+  result.cpu_ms = ComputeRobustStats(std::move(cpu_samples));
+
+  if (options.profile) {
+    // One extra traced trial, outside the measured set: span recording has
+    // a (small) cost, so profiling must not contaminate the timings.
+    obs::TraceRecorder recorder;
+    PlanContext context;
+    context.trace = &recorder;
+    planner->Plan(instance, context);
+    result.profile = obs::Profile::FromRecorder(recorder);
+    result.has_profile = true;
+  }
+  return result;
+}
+
+std::string CompilerVersionString() {
+#if defined(__clang__)
+  return StrFormat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return StrFormat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string BuildTypeString() {
+#ifdef NDEBUG
+  return "optimized";
+#else
+  return "debug";
+#endif
+}
+
+namespace {
+
+void WriteStats(obs::JsonWriter* json, const char* key,
+                const RobustStats& stats) {
+  json->Key(key);
+  json->BeginObject();
+  json->KvDouble("median", stats.median);
+  json->KvDouble("min", stats.min);
+  json->KvDouble("mad", stats.mad);
+  json->EndObject();
+}
+
+}  // namespace
+
+void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
+                    const std::vector<ScenarioResult>& results) {
+  obs::JsonWriter json(&out);
+  json.BeginObject();
+  json.KvInt("schema_version", 1);
+  json.KvString("kind", "bench");
+
+  json.Key("environment");
+  json.BeginObject();
+  json.KvString("tag", environment.tag);
+  json.KvString("git_sha", environment.git_sha);
+  json.KvString("compiler", environment.compiler);
+  json.KvString("build_type", environment.build_type);
+  json.KvString("timestamp", environment.timestamp);
+  json.KvString("scale", environment.scale);
+  json.KvInt("host_threads", environment.host_threads);
+  json.EndObject();
+
+  json.Key("scenarios");
+  json.BeginArray();
+  for (const ScenarioResult& result : results) {
+    json.BeginObject();
+    json.KvString("name", result.name);
+    json.KvString("family", result.family);
+    json.KvString("planner", result.planner);
+    json.KvInt("threads", result.threads);
+    json.KvInt("num_events", result.num_events);
+    json.KvInt("num_users", result.num_users);
+    json.KvInt("warmup", result.warmup);
+    json.KvInt("trials", result.trials);
+    WriteStats(&json, "wall_ms", result.wall_ms);
+    WriteStats(&json, "cpu_ms", result.cpu_ms);
+    json.KvUint("peak_bytes", result.peak_bytes);
+    json.KvInt("iterations", result.iterations);
+    json.KvInt("heap_pushes", result.heap_pushes);
+    json.KvInt("dp_cells", result.dp_cells);
+    json.KvInt("guard_nodes", result.guard_nodes);
+    json.KvDouble("objective", result.objective);
+    json.KvInt("assignments", result.assignments);
+    json.KvBool("validated", result.validated);
+    json.KvBool("deterministic", result.deterministic);
+    json.KvString("termination", result.termination);
+    if (result.has_profile) {
+      json.Key("profile");
+      result.profile.WriteJson(&json);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out << '\n';
+}
+
+}  // namespace usep::bench

@@ -1,0 +1,126 @@
+#ifndef USEP_BENCH_HARNESS_BENCH_SUITE_H_
+#define USEP_BENCH_HARNESS_BENCH_SUITE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "algo/planner_registry.h"
+#include "core/instance.h"
+#include "gen/generator_config.h"
+#include "obs/profile.h"
+
+namespace usep::bench {
+
+// The declarative scenario suite behind bench/usep_bench: each scenario
+// names one (instance shape, planner, thread count) combination; the runner
+// executes warmup + repeated trials and folds the measurements into robust
+// statistics (median / min / MAD) that scripts/bench_compare.py can diff
+// across BENCH_<tag>.json files without tripping on scheduler noise.
+// docs/BENCHMARKING.md catalogues the suite and the JSON schema.
+
+// Robust location/spread over one scenario's trials.  MAD is the median
+// absolute deviation from the median — unlike stddev it ignores the
+// occasional descheduled outlier trial, which is exactly the noise a CI
+// perf gate must tolerate.
+struct RobustStats {
+  double median = 0.0;
+  double min = 0.0;
+  double mad = 0.0;
+};
+
+// Computes median/min/MAD of `samples` (empty input -> all zeros).
+RobustStats ComputeRobustStats(std::vector<double> samples);
+
+struct BenchScenario {
+  std::string name;    // Unique id, e.g. "fig2/default/DeDPO+RG/t1".
+  std::string family;  // Grouping key: "micro", "fig2", "fig3", "fig4".
+  GeneratorConfig config;
+  PlannerKind kind = PlannerKind::kRatioGreedy;
+  int threads = 1;     // Planner-internal parallelism (MakePlanner overload).
+  bool quick = true;   // Included in the CI quick preset.
+};
+
+// The full catalog: paper Fig 2/3/4 shapes plus micro workloads, every
+// planner family, and 1/2/8-thread points for the parallel-capable
+// planners.  Scenario names are unique (tested).  The `quick` subset is
+// sized for a CI smoke run; the rest rides in the "full" suite.
+std::vector<BenchScenario> BuildScenarioCatalog();
+
+struct BenchRunOptions {
+  int warmup = 1;
+  int trials = 5;
+  bool profile = false;  // Also run one traced trial and aggregate phases.
+};
+
+struct ScenarioResult {
+  // Scenario echo, so the JSON row is self-describing.
+  std::string name;
+  std::string family;
+  std::string planner;  // Registry name, e.g. "DeDPO+RG".
+  int threads = 1;
+  int64_t num_events = 0;
+  int64_t num_users = 0;
+
+  int warmup = 0;
+  int trials = 0;
+  RobustStats wall_ms;
+  RobustStats cpu_ms;  // Process CPU time: covers pool workers.
+  uint64_t peak_bytes = 0;  // Max over trials (memhook delta or logical).
+
+  // PlannerStats of the last trial (identical across trials for a
+  // deterministic planner).
+  int64_t iterations = 0;
+  int64_t heap_pushes = 0;
+  int64_t dp_cells = 0;
+  int64_t guard_nodes = 0;
+
+  double objective = 0.0;  // Planning utility; exact-comparable.
+  int64_t assignments = 0;
+  bool validated = false;
+  // True when every trial produced the same utility — the precondition for
+  // bench_compare.py's exact objective check.
+  bool deterministic = true;
+  std::string termination;
+
+  bool has_profile = false;
+  obs::Profile profile;
+};
+
+// Runs one scenario on `instance` (generated from scenario.config by the
+// caller, so repeated scenarios can share the instance): `warmup` unmeasured
+// runs, then `trials` measured ones.  Trials execute strictly sequentially —
+// process-CPU and memhook readings attribute cleanly to the one running
+// planner.
+ScenarioResult RunScenario(const BenchScenario& scenario,
+                           const Instance& instance,
+                           const BenchRunOptions& options);
+
+// The environment block of a BENCH JSON: everything needed to judge whether
+// two files are comparable.  Timestamp is caller-provided (--timestamp) so
+// identical re-runs can produce byte-identical files.
+struct BenchEnvironment {
+  std::string tag;
+  std::string git_sha;
+  std::string compiler;    // CompilerVersionString() by default.
+  std::string build_type;  // "optimized" / "debug".
+  std::string timestamp;
+  std::string scale;       // BenchScaleName(GetBenchScale()).
+  int host_threads = 0;    // std::thread::hardware_concurrency().
+};
+
+// "g++ 13.2.0"-style description of the compiler this TU was built with.
+std::string CompilerVersionString();
+
+// NDEBUG-derived build flavor ("optimized" or "debug").
+std::string BuildTypeString();
+
+// Serializes one BENCH document: {"schema_version": 1, "kind": "bench",
+// "environment": {...}, "scenarios": [...]}.
+void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
+                    const std::vector<ScenarioResult>& results);
+
+}  // namespace usep::bench
+
+#endif  // USEP_BENCH_HARNESS_BENCH_SUITE_H_

@@ -28,6 +28,7 @@ std::optional<int> g_threads_override;
 std::string g_trace_out;
 std::string g_report_out;
 std::string g_bench_name;
+std::string g_out_dir = "bench_results";
 
 }  // namespace
 
@@ -42,6 +43,10 @@ obs::MetricsRegistry* BenchMetrics() {
   static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
   return registry;
 }
+
+const std::string& BenchOutDir() { return g_out_dir; }
+
+void SetBenchOutDir(std::string dir) { g_out_dir = std::move(dir); }
 
 BenchScale GetBenchScale() {
   if (g_scale_override.has_value()) return *g_scale_override;
@@ -86,8 +91,10 @@ MeasuredRun MeasurePlanner(const Planner& planner, const Instance& instance) {
   context.trace = BenchTrace();
   context.metrics = BenchMetrics();
   Stopwatch stopwatch;
+  CpuStopwatch cpu_stopwatch(CpuStopwatch::Kind::kThread);
   const PlannerResult result = planner.Plan(instance, context);
   run.time_ms = stopwatch.ElapsedMillis();
+  run.cpu_ms = cpu_stopwatch.ElapsedMillis();
 
   if (memhook::IsActive()) {
     const size_t peak = memhook::PeakBytes();
@@ -177,8 +184,8 @@ int FigureBench::Finish() {
   }
   table.Print(std::cout);
 
-  ::mkdir("bench_results", 0755);
-  const std::string csv_path = "bench_results/" + figure_id_ + ".csv";
+  ::mkdir(g_out_dir.c_str(), 0755);
+  const std::string csv_path = g_out_dir + "/" + figure_id_ + ".csv";
   std::ofstream csv_file(csv_path);
   if (csv_file) {
     CsvWriter csv(&csv_file);
@@ -222,6 +229,7 @@ int FigureBench::Finish() {
       run.planner = row.run.algorithm;
       run.termination = TerminationName(row.run.termination);
       run.wall_seconds = row.run.stats.wall_seconds;
+      run.cpu_seconds = row.run.cpu_ms / 1e3;
       run.iterations = row.run.stats.iterations;
       run.heap_pushes = row.run.stats.heap_pushes;
       run.dp_cells = row.run.stats.dp_cells;
@@ -278,17 +286,26 @@ void InitBenchmark(int argc, char** argv, const std::string& name) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "Usage: %s [--scale=small|paper] [--threads=N]\n"
+          "Usage: %s [--scale=small|paper] [--threads=N] [--out_dir=DIR]\n"
           "          [--trace_out=FILE] [--report_out=FILE]\n"
           "Reproduces one column of the paper's evaluation figures; see\n"
           "DESIGN.md for the experiment index.  Results also land in\n"
-          "bench_results/%s.csv.  --threads=N runs each point's planner\n"
-          "trials concurrently (identical results; memhook peaks become\n"
-          "process-global — see docs/PARALLELISM.md).  --trace_out writes a\n"
-          "Chrome trace-event JSON, --report_out a machine-readable run\n"
-          "report (docs/OBSERVABILITY.md).\n",
+          "<out_dir>/%s.csv (out_dir defaults to bench_results).\n"
+          "--threads=N runs each point's planner trials concurrently\n"
+          "(identical results; memhook peaks become process-global — see\n"
+          "docs/PARALLELISM.md).  --trace_out writes a Chrome trace-event\n"
+          "JSON, --report_out a machine-readable run report\n"
+          "(docs/OBSERVABILITY.md).\n",
           name.c_str(), name.c_str());
       std::exit(0);
+    }
+    if (StartsWith(arg, "--out_dir=")) {
+      g_out_dir = arg.substr(10);
+      if (g_out_dir.empty()) {
+        std::fprintf(stderr, "--out_dir needs a non-empty directory\n");
+        std::exit(2);
+      }
+      continue;
     }
     if (StartsWith(arg, "--trace_out=")) {
       g_trace_out = arg.substr(12);

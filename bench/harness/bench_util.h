@@ -57,6 +57,10 @@ struct MeasuredRun {
   std::string algorithm;
   double utility = 0.0;
   double time_ms = 0.0;
+  // Thread CPU time of the run.  The figure benches run planners without
+  // internal parallelism, so the measuring thread's clock covers the whole
+  // run; it would undercount a planner driving its own pool.
+  double cpu_ms = 0.0;
   size_t peak_bytes = 0;  // Allocation-hook peak delta (or logical fallback).
   int assignments = 0;
   bool validated = false;
@@ -69,6 +73,12 @@ struct MeasuredRun {
 // the same null-disables convention as PlanContext.
 obs::TraceRecorder* BenchTrace();
 obs::MetricsRegistry* BenchMetrics();
+
+// Directory FigureBench::Finish writes its CSV into.  Defaults to
+// "bench_results"; overridden by --out_dir= (InitBenchmark) or SetBenchOutDir
+// so CI runs can point results outside the working tree.
+const std::string& BenchOutDir();
+void SetBenchOutDir(std::string dir);
 
 // Runs `planner` on `instance`, re-validates the planning, and measures
 // wall time plus the peak heap growth during the run (the global allocation
@@ -100,7 +110,7 @@ class FigureBench {
   // Adds an externally measured run (used by the ablation benches).
   void AddRun(const std::string& parameter_value, const MeasuredRun& run);
 
-  // Prints the tables and writes bench_results/<figure_id>.csv.
+  // Prints the tables and writes <BenchOutDir()>/<figure_id>.csv.
   // Returns a process exit code (0 on success, 1 if any run failed
   // validation).
   int Finish();

@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "gen/synthetic_generator.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace usep {
@@ -143,6 +144,26 @@ void BM_PlannerObs(benchmark::State& state) {
 }
 BENCHMARK(BM_PlannerObs<false>)->Arg(20)->Arg(50);
 BENCHMARK(BM_PlannerObs<true>)->Arg(20)->Arg(50);
+
+// Post-hoc profile aggregation (usep_solve --profile, bench --profile):
+// runs after planning on the recorded span stream, so its cost bounds how
+// much slower a profiled invocation's *reporting* step is — it never touches
+// the measured planner path.  Range = number of recorded spans.
+void BM_ProfileAggregation(benchmark::State& state) {
+  const int num_spans = static_cast<int>(state.range(0));
+  obs::TraceRecorder recorder;
+  for (int i = 0; i < num_spans; ++i) {
+    // Alternate a few phase names and nest every other span.
+    obs::TraceSpan outer(&recorder, i % 2 == 0 ? "phase/a" : "phase/b");
+    obs::TraceSpan inner(&recorder, "phase/inner");
+  }
+  for (auto _ : state) {
+    const obs::Profile profile = obs::Profile::FromRecorder(recorder);
+    benchmark::DoNotOptimize(profile.phases.size());
+  }
+  state.counters["spans"] = static_cast<double>(recorder.size());
+}
+BENCHMARK(BM_ProfileAggregation)->Arg(100)->Arg(10000);
 
 }  // namespace
 }  // namespace usep

@@ -1,0 +1,191 @@
+// Unified benchmark runner: executes the declarative scenario suite of
+// bench/harness/bench_suite.h (paper Fig 2/3/4 shapes, micro workloads, all
+// planner families, 1/2/8 threads) with warmup + repeated trials, and writes
+// one BENCH_<tag>.json capturing per-scenario robust timings (median / min /
+// MAD of wall and process-CPU time), memhook peaks, PlannerStats counters,
+// and the exact objective value — the machine-readable performance
+// trajectory scripts/bench_compare.py diffs across commits.
+//
+//   # Record a baseline:
+//   ./build/bench/usep_bench --suite=quick --tag=pr4 \
+//       --git_sha=$(git rev-parse HEAD) --timestamp=2026-08-07T00:00:00Z
+//   # Compare a later run against it:
+//   python3 scripts/bench_compare.py BENCH_pr4.json BENCH_now.json
+//
+// See docs/BENCHMARKING.md for the suite catalog and the JSON schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/memhook.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gen/synthetic_generator.h"
+#include "harness/bench_suite.h"
+#include "harness/bench_util.h"
+
+namespace usep::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("usep_bench");
+  std::string* suite = flags.AddString(
+      "suite", "quick", "scenario preset: 'quick' (CI-sized) or 'full'");
+  std::string* filter = flags.AddString(
+      "filter", "", "only run scenarios whose name contains this substring");
+  bool* list = flags.AddBool("list", false,
+                             "list the selected scenarios and exit");
+  std::string* tag =
+      flags.AddString("tag", "", "baseline tag recorded in the JSON");
+  std::string* out = flags.AddString(
+      "out", "", "output JSON path (default: BENCH_<tag>.json when --tag "
+                 "is set, else no file)");
+  std::string* git_sha =
+      flags.AddString("git_sha", "", "git revision recorded in the JSON");
+  std::string* timestamp = flags.AddString(
+      "timestamp", "", "timestamp recorded in the JSON (caller-provided so "
+                       "re-runs can be reproducible)");
+  int64_t* warmup =
+      flags.AddInt64("warmup", 1, "unmeasured runs per scenario");
+  int64_t* trials =
+      flags.AddInt64("trials", 5, "measured runs per scenario");
+  bool* profile = flags.AddBool(
+      "profile", false,
+      "also run one traced trial per scenario and embed the per-phase "
+      "profile (self/total time) in the JSON");
+  std::string* scale = flags.AddString(
+      "scale", "", "instance scale: 'small' or 'paper' (default: "
+                   "USEP_BENCH_SCALE or small)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+  if (!scale->empty()) {
+    // Route through the environment variable the harness already reads.
+    if (*scale != "small" && *scale != "paper") {
+      std::fprintf(stderr, "unknown --scale '%s'\n", scale->c_str());
+      return 2;
+    }
+    setenv("USEP_BENCH_SCALE", scale->c_str(), /*overwrite=*/1);
+  }
+  const bool quick_only = *suite == "quick";
+  if (!quick_only && *suite != "full") {
+    std::fprintf(stderr, "unknown --suite '%s' (want quick|full)\n",
+                 suite->c_str());
+    return 2;
+  }
+
+  std::vector<BenchScenario> scenarios;
+  for (BenchScenario& scenario : BuildScenarioCatalog()) {
+    if (quick_only && !scenario.quick) continue;
+    if (!filter->empty() &&
+        scenario.name.find(*filter) == std::string::npos) {
+      continue;
+    }
+    scenarios.push_back(std::move(scenario));
+  }
+  if (*list) {
+    for (const BenchScenario& scenario : scenarios) {
+      std::printf("%s\n", scenario.name.c_str());
+    }
+    return 0;
+  }
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "no scenarios match --suite=%s --filter='%s'\n",
+                 suite->c_str(), filter->c_str());
+    return 2;
+  }
+
+  BenchRunOptions options;
+  options.warmup = static_cast<int>(*warmup);
+  options.trials = static_cast<int>(*trials);
+  options.profile = *profile;
+
+  // Scenarios sharing an instance shape reuse the generated instance.
+  std::map<std::string, Instance> instance_cache;
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  bool all_valid = true;
+  for (const BenchScenario& scenario : scenarios) {
+    const std::string key = scenario.config.ToString();
+    auto it = instance_cache.find(key);
+    if (it == instance_cache.end()) {
+      StatusOr<Instance> instance = GenerateSyntheticInstance(scenario.config);
+      USEP_CHECK(instance.ok()) << instance.status();
+      it = instance_cache.emplace(key, std::move(*instance)).first;
+    }
+    std::fprintf(stderr, "[usep_bench] %s ...\n", scenario.name.c_str());
+    ScenarioResult result = RunScenario(scenario, it->second, options);
+    std::fprintf(stderr,
+                 "[usep_bench]   wall=%.3fms (min %.3f, mad %.3f) "
+                 "cpu=%.3fms objective=%.2f%s%s\n",
+                 result.wall_ms.median, result.wall_ms.min,
+                 result.wall_ms.mad, result.cpu_ms.median, result.objective,
+                 result.validated ? "" : "  ** INVALID **",
+                 result.deterministic ? "" : "  ** NON-DETERMINISTIC **");
+    all_valid &= result.validated && result.deterministic;
+    results.push_back(std::move(result));
+  }
+
+  TablePrinter table({"scenario", "threads", "wall_ms", "mad", "cpu_ms",
+                      "peak_mem", "objective", "valid"});
+  for (const ScenarioResult& result : results) {
+    table.AddRow({result.name, StrFormat("%d", result.threads),
+                  StrFormat("%.3f", result.wall_ms.median),
+                  StrFormat("%.3f", result.wall_ms.mad),
+                  StrFormat("%.3f", result.cpu_ms.median),
+                  HumanBytes(result.peak_bytes),
+                  StrFormat("%.2f", result.objective),
+                  result.validated ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  std::string out_path = *out;
+  if (out_path.empty() && !tag->empty()) {
+    out_path = "BENCH_" + *tag + ".json";
+  }
+  if (!out_path.empty()) {
+    BenchEnvironment environment;
+    environment.tag = *tag;
+    environment.git_sha = *git_sha;
+    environment.compiler = CompilerVersionString();
+    environment.build_type = BuildTypeString();
+    environment.timestamp = *timestamp;
+    environment.scale = BenchScaleName(GetBenchScale());
+    environment.host_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    std::ofstream file(out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    WriteBenchJson(file, environment, results);
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "write to '%s' failed\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu scenarios, %s trials each)\n",
+                out_path.c_str(), results.size(),
+                StrFormat("%d", options.trials).c_str());
+  }
+
+  if (!all_valid) {
+    std::fprintf(stderr,
+                 "[usep_bench] ERROR: some scenario failed validation or "
+                 "determinism\n");
+  }
+  return all_valid ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace usep::bench
+
+int main(int argc, char** argv) { return usep::bench::Main(argc, argv); }

@@ -18,6 +18,7 @@
 #include "algo/planner_registry.h"
 #include "common/flags.h"
 #include "common/memhook.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/planning_stats.h"
@@ -25,6 +26,7 @@
 #include "io/instance_io.h"
 #include "io/planning_io.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -58,6 +60,10 @@ int main(int argc, char** argv) {
       "report_out", "",
       "write a machine-readable JSON run report here (see "
       "docs/OBSERVABILITY.md)");
+  bool* profile = flags.AddBool(
+      "profile", false,
+      "record trace spans and print a per-phase self/total time table "
+      "(no --trace_out file needed)");
   bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -100,16 +106,18 @@ int main(int argc, char** argv) {
   }
 
   // Observability sinks: a null pointer keeps the instrumented code paths
-  // free (no clock reads, no recording); flags turn them on.  The metrics
-  // registry also feeds --report_out, so either output flag activates it.
+  // free (no clock reads, no recording); flags turn them on.  --profile
+  // needs the span stream too, so it activates the recorder even without a
+  // --trace_out file.
   obs::TraceRecorder trace_recorder;
   obs::MetricsRegistry metrics_registry;
   obs::TraceRecorder* const trace =
-      trace_out->empty() ? nullptr : &trace_recorder;
+      trace_out->empty() && !*profile ? nullptr : &trace_recorder;
   obs::MetricsRegistry* const metrics =
       report_out->empty() ? nullptr : &metrics_registry;
   if (trace != nullptr) trace->NameCurrentThread("main");
   if (memhook::IsActive()) memhook::ResetPeak();
+  CpuStopwatch process_cpu(CpuStopwatch::Kind::kProcess);
 
   // The deadline is per planner: each row of the comparison table gets the
   // full budget, so an expensive planner can't starve the ones after it.
@@ -205,7 +213,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (trace != nullptr) {
+  if (*profile) {
+    // "Where did the time go" without opening Perfetto: fold the span
+    // stream into per-phase self/total times (docs/BENCHMARKING.md).
+    std::printf("\n=== phase profile ===\n");
+    obs::Profile::FromRecorder(trace_recorder).PrintTable(std::cout);
+  }
+  if (trace != nullptr && !trace_out->empty()) {
     std::string error;
     if (!trace->WriteJsonFile(*trace_out, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
@@ -243,6 +257,7 @@ int main(int argc, char** argv) {
       report.aggregate.fallback_rung = aggregate_stats.fallback_rung;
       report.aggregate.fallback_trace = aggregate_stats.fallback_trace;
     }
+    report.process_cpu_seconds = process_cpu.ElapsedSeconds();
     report.memhook_active = memhook::IsActive();
     report.memhook_current_bytes = memhook::CurrentBytes();
     report.memhook_peak_bytes = memhook::PeakBytes();

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Noise-aware performance gate: diff two BENCH_<tag>.json baselines.
+
+Usage:
+    bench_compare.py <base.json> <new.json> [options]
+    bench_compare.py --self-test
+
+Options:
+    --informational        Report regressions but always exit 0 (CI shared
+                           runners are too noisy for a hard wall-time gate;
+                           objective mismatches still fail).
+    --abs-floor-ms=F       Ignore wall-time deltas below F ms (default 0.5).
+    --rel-threshold=R      Ignore deltas below R * base median (default 0.10).
+    --noise-mult=K         Ignore deltas below K * (base MAD + new MAD)
+                           (default 4.0).
+    --markdown=PATH        Also write the report as markdown to PATH.
+
+A scenario regresses when the new wall-time median exceeds the base median
+by more than ALL THREE thresholds:
+
+    delta > max(abs_floor_ms, rel_threshold * base_median,
+                noise_mult * (base_mad + new_mad))
+
+The MAD term adapts the gate to each scenario's measured trial-to-trial
+noise; the relative and absolute floors keep micro-second scenarios from
+flagging on scheduler jitter.  Objective values and assignment counts are
+compared EXACTLY: every planner in the suite is deterministic, so any
+difference is a correctness change, never noise — those fail even with
+--informational.
+
+Exit codes: 0 ok, 1 regression (or objective mismatch), 2 usage error.
+Only the Python standard library is used.
+"""
+
+import json
+import sys
+
+
+def fail_usage(message):
+    sys.stderr.write("bench_compare: %s\n\n%s" % (message, __doc__))
+    sys.exit(2)
+
+
+def load_bench(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.stderr.write("bench_compare: %s: %s\n" % (path, error))
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("kind") != "bench":
+        sys.stderr.write("bench_compare: %s is not a BENCH json "
+                         "(kind != 'bench')\n" % path)
+        sys.exit(2)
+    return doc
+
+
+class Thresholds(object):
+    def __init__(self, abs_floor_ms=0.5, rel_threshold=0.10, noise_mult=4.0):
+        self.abs_floor_ms = abs_floor_ms
+        self.rel_threshold = rel_threshold
+        self.noise_mult = noise_mult
+
+    def allowance_ms(self, base_row, new_row):
+        base_wall = base_row["wall_ms"]
+        new_wall = new_row["wall_ms"]
+        return max(self.abs_floor_ms,
+                   self.rel_threshold * base_wall["median"],
+                   self.noise_mult * (base_wall["mad"] + new_wall["mad"]))
+
+
+def compare(base_doc, new_doc, thresholds):
+    """Returns (rows, regressions, mismatches, only_in_base, only_in_new).
+
+    rows: one dict per scenario present in both files, report-ready.
+    regressions: subset of rows whose wall-time delta clears the allowance.
+    mismatches: subset of rows with differing objective/assignments.
+    """
+    base_rows = {row["name"]: row for row in base_doc.get("scenarios", [])}
+    new_rows = {row["name"]: row for row in new_doc.get("scenarios", [])}
+    only_in_base = sorted(set(base_rows) - set(new_rows))
+    only_in_new = sorted(set(new_rows) - set(base_rows))
+
+    rows, regressions, mismatches = [], [], []
+    for name in sorted(set(base_rows) & set(new_rows)):
+        base_row, new_row = base_rows[name], new_rows[name]
+        base_median = base_row["wall_ms"]["median"]
+        new_median = new_row["wall_ms"]["median"]
+        delta = new_median - base_median
+        allowance = thresholds.allowance_ms(base_row, new_row)
+        row = {
+            "name": name,
+            "base_ms": base_median,
+            "new_ms": new_median,
+            "delta_ms": delta,
+            "ratio": new_median / base_median if base_median > 0 else
+                     float("inf") if new_median > 0 else 1.0,
+            "allowance_ms": allowance,
+            "regressed": delta > allowance,
+            "improved": -delta > allowance,
+            "objective_match":
+                base_row["objective"] == new_row["objective"]
+                and base_row.get("assignments") == new_row.get("assignments"),
+            "base_objective": base_row["objective"],
+            "new_objective": new_row["objective"],
+        }
+        rows.append(row)
+        if row["regressed"]:
+            regressions.append(row)
+        if not row["objective_match"]:
+            mismatches.append(row)
+    return rows, regressions, mismatches, only_in_base, only_in_new
+
+
+def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
+                    only_in_base, only_in_new):
+    base_env = base_doc.get("environment", {})
+    new_env = new_doc.get("environment", {})
+    lines = []
+    lines.append("# Bench comparison: %s vs %s"
+                 % (base_env.get("tag", "?"), new_env.get("tag", "?")))
+    lines.append("")
+    lines.append("| | base | new |")
+    lines.append("|---|---|---|")
+    for key in ("tag", "git_sha", "compiler", "build_type", "scale",
+                "timestamp"):
+        lines.append("| %s | %s | %s |"
+                     % (key, base_env.get(key, "?"), new_env.get(key, "?")))
+    lines.append("")
+    if mismatches:
+        lines.append("## OBJECTIVE MISMATCHES (correctness, never noise)")
+        lines.append("")
+        lines.append("| scenario | base Omega | new Omega |")
+        lines.append("|---|---|---|")
+        for row in mismatches:
+            lines.append("| %s | %.17g | %.17g |"
+                         % (row["name"], row["base_objective"],
+                            row["new_objective"]))
+        lines.append("")
+    verdict = ("REGRESSED" if regressions or mismatches else "OK")
+    lines.append("## Wall time (%s: %d regressed, %d improved, %d compared)"
+                 % (verdict, len(regressions),
+                    sum(row["improved"] for row in rows), len(rows)))
+    lines.append("")
+    lines.append("| scenario | base ms | new ms | delta | allowance | flag |")
+    lines.append("|---|---|---|---|---|---|")
+    for row in rows:
+        flag = ("REGRESSED" if row["regressed"]
+                else "improved" if row["improved"] else "")
+        lines.append("| %s | %.3f | %.3f | %+.3f (%+.1f%%) | %.3f | %s |"
+                     % (row["name"], row["base_ms"], row["new_ms"],
+                        row["delta_ms"], 100.0 * (row["ratio"] - 1.0),
+                        row["allowance_ms"], flag))
+    if only_in_base or only_in_new:
+        lines.append("")
+        lines.append("## Unmatched scenarios")
+        lines.append("")
+        for name in only_in_base:
+            lines.append("* only in base: %s" % name)
+        for name in only_in_new:
+            lines.append("* only in new: %s" % name)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def run_compare(base_path, new_path, thresholds, informational,
+                markdown_path):
+    base_doc = load_bench(base_path)
+    new_doc = load_bench(new_path)
+    rows, regressions, mismatches, only_in_base, only_in_new = compare(
+        base_doc, new_doc, thresholds)
+    report = render_markdown(base_doc, new_doc, rows, regressions,
+                             mismatches, only_in_base, only_in_new)
+    print(report)
+    if markdown_path:
+        with open(markdown_path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    if not rows:
+        sys.stderr.write("bench_compare: no common scenarios between %s "
+                         "and %s\n" % (base_path, new_path))
+        return 2
+    if mismatches:
+        sys.stderr.write("bench_compare: FAIL: %d objective mismatch(es)\n"
+                         % len(mismatches))
+        return 1
+    if regressions:
+        sys.stderr.write("bench_compare: %d wall-time regression(s)%s\n"
+                         % (len(regressions),
+                            " [informational]" if informational else ""))
+        return 0 if informational else 1
+    return 0
+
+
+def self_test():
+    """Synthesizes baselines in memory and checks the gate's two promises:
+    an identical re-run passes, and an injected 2x slowdown is flagged."""
+
+    def make_doc(tag, scale=1.0, objective=42.5):
+        scenarios = []
+        for index, (name, median) in enumerate(
+                [("micro/v10.u100/RatioGreedy/t1", 0.8),
+                 ("fig2/default/DeDPO+RG/t1", 120.0),
+                 ("fig4/scalability/DeGreedy+RG/t8", 45.0)]):
+            wall = median * scale
+            scenarios.append({
+                "name": name,
+                "wall_ms": {"median": wall, "min": wall * 0.95,
+                            "mad": wall * 0.02},
+                "objective": objective + index,
+                "assignments": 100 + index,
+            })
+        return {"kind": "bench", "environment": {"tag": tag},
+                "scenarios": scenarios}
+
+    thresholds = Thresholds()
+    failures = []
+
+    def expect(label, condition):
+        print("self-test: %-34s %s" % (label, "ok" if condition else "FAIL"))
+        if not condition:
+            failures.append(label)
+
+    base = make_doc("base")
+    _, regressions, mismatches, _, _ = compare(base, make_doc("same"),
+                                               thresholds)
+    expect("identical run passes", not regressions and not mismatches)
+
+    _, regressions, mismatches, _, _ = compare(base, make_doc("slow", 2.0),
+                                               thresholds)
+    expect("2x slowdown flagged", len(regressions) == 3 and not mismatches)
+
+    _, regressions, _, _, _ = compare(base, make_doc("fast", 0.5),
+                                      thresholds)
+    expect("2x speedup not a regression", not regressions)
+
+    # Noise within the MAD allowance: nudge one median by 3 MADs.
+    noisy = make_doc("noisy")
+    wall = noisy["scenarios"][1]["wall_ms"]
+    wall["median"] += 3.0 * wall["mad"]
+    _, regressions, _, _, _ = compare(base, noisy, thresholds)
+    expect("3-MAD jitter tolerated", not regressions)
+
+    changed = make_doc("changed")
+    changed["scenarios"][0]["objective"] += 1e-9
+    _, _, mismatches, _, _ = compare(base, changed, thresholds)
+    expect("tiny objective drift caught", len(mismatches) == 1)
+
+    renamed = make_doc("renamed")
+    renamed["scenarios"][0]["name"] = "micro/renamed"
+    rows, _, _, only_in_base, only_in_new = compare(base, renamed, thresholds)
+    expect("renames reported, not diffed",
+           len(rows) == 2 and only_in_base and only_in_new)
+
+    if failures:
+        sys.stderr.write("bench_compare: self-test FAILED: %s\n" % failures)
+        return 1
+    print("bench_compare: self-test OK")
+    return 0
+
+
+def main(argv):
+    paths = []
+    thresholds = Thresholds()
+    informational = False
+    markdown_path = None
+    for arg in argv[1:]:
+        if arg == "--self-test":
+            return self_test()
+        elif arg == "--informational":
+            informational = True
+        elif arg.startswith("--abs-floor-ms="):
+            thresholds.abs_floor_ms = float(arg.split("=", 1)[1])
+        elif arg.startswith("--rel-threshold="):
+            thresholds.rel_threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--noise-mult="):
+            thresholds.noise_mult = float(arg.split("=", 1)[1])
+        elif arg.startswith("--markdown="):
+            markdown_path = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            fail_usage("unknown option %r" % arg)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        fail_usage("expected exactly two BENCH json paths, got %d"
+                   % len(paths))
+    return run_compare(paths[0], paths[1], thresholds, informational,
+                       markdown_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,7 @@ benchmark harness.
 Usage:
     check_obs_json.py trace  <trace.json>  [--min-planner-phases=N]
     check_obs_json.py report <report.json>
+    check_obs_json.py bench  <BENCH_tag.json>
 
 Exits non-zero (with a message on stderr) on the first violation.  Only the
 Python standard library is used, so CI can run it on a bare runner.
@@ -24,8 +25,17 @@ Report checks (schema_version 1, see docs/OBSERVABILITY.md):
   * metrics splits into counters/gauges/histograms; histogram objects have
     count/sum/upper_bounds/bucket_counts with
     len(bucket_counts) == len(upper_bounds) + 1
+  * histogram quantiles, when present, are ordered p50 <= p90 <= p99
   * the aggregate row, when present, is consistent with the runs (wall time
     sums, peak is the max)
+
+Bench checks (schema_version 1, see docs/BENCHMARKING.md):
+  * top level: schema_version == 1, kind == "bench", environment, scenarios
+  * environment carries tag/git_sha/compiler/build_type/timestamp/scale
+  * every scenario row has a unique name, wall_ms/cpu_ms stats objects with
+    median/min/mad where mad >= 0 and min <= median, an exact-comparable
+    objective, and validated == true
+  * embedded profiles (when present) keep self_us <= total_us per phase
 """
 
 import json
@@ -160,9 +170,89 @@ def check_report(path):
               "histogram %r bucket/bound length mismatch" % name)
         check(sum(histogram["bucket_counts"]) == histogram["count"],
               "histogram %r bucket counts do not sum to count" % name)
+        if "quantiles" in histogram:
+            quantiles = histogram["quantiles"]
+            for key in ("p50", "p90", "p99"):
+                check(isinstance(quantiles.get(key), (int, float)),
+                      "histogram %r quantiles missing numeric %r"
+                      % (name, key))
+            check(quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"],
+                  "histogram %r quantiles not ordered: %r" % (name, quantiles))
 
     print("check_obs_json: report OK (%d runs, %d counters, %d histograms)"
           % (len(runs), len(metrics["counters"]), len(metrics["histograms"])))
+
+
+def check_stats_object(owner, key, stats):
+    check(isinstance(stats, dict), "%s.%s must be an object" % (owner, key))
+    for field in ("median", "min", "mad"):
+        check(isinstance(stats.get(field), (int, float)),
+              "%s.%s missing numeric %r" % (owner, key, field))
+    check(stats["mad"] >= 0, "%s.%s.mad is negative" % (owner, key))
+    check(stats["min"] >= 0, "%s.%s.min is negative" % (owner, key))
+    check(stats["min"] <= stats["median"] + 1e-9,
+          "%s.%s.min exceeds the median" % (owner, key))
+
+
+def check_bench(path):
+    doc = load(path)
+    check(isinstance(doc, dict), "bench top level must be an object")
+    for key in ("schema_version", "kind", "environment", "scenarios"):
+        check(key in doc, "bench missing top-level %r" % key)
+    check(doc["schema_version"] == 1,
+          "unknown schema_version %r" % doc["schema_version"])
+    check(doc["kind"] == "bench", "kind must be 'bench', got %r" % doc["kind"])
+
+    environment = doc["environment"]
+    for key in ("tag", "git_sha", "compiler", "build_type", "timestamp",
+                "scale"):
+        check(isinstance(environment.get(key), str),
+              "environment missing string %r" % key)
+    check(isinstance(environment.get("host_threads"), int),
+          "environment missing int 'host_threads'")
+
+    scenarios = doc["scenarios"]
+    check(isinstance(scenarios, list) and scenarios,
+          "scenarios must be a non-empty list")
+    names = set()
+    profiled = 0
+    for row in scenarios:
+        name = row.get("name")
+        check(isinstance(name, str) and name,
+              "scenario needs a non-empty name: %r" % row)
+        check(name not in names, "duplicate scenario name %r" % name)
+        names.add(name)
+        for key in ("family", "planner", "termination"):
+            check(isinstance(row.get(key), str) and row[key],
+                  "scenario %r missing string %r" % (name, key))
+        for key in ("threads", "num_events", "num_users", "warmup", "trials",
+                    "peak_bytes", "iterations", "assignments"):
+            check(isinstance(row.get(key), int),
+                  "scenario %r missing int %r" % (name, key))
+        check(row["trials"] >= 1, "scenario %r ran no trials" % name)
+        check(row["threads"] >= 1, "scenario %r has threads < 1" % name)
+        check_stats_object(name, "wall_ms", row.get("wall_ms"))
+        check_stats_object(name, "cpu_ms", row.get("cpu_ms"))
+        check(isinstance(row.get("objective"), (int, float)),
+              "scenario %r missing numeric objective" % name)
+        check(row.get("validated") is True,
+              "scenario %r planning failed validation" % name)
+        check(row.get("deterministic") is True,
+              "scenario %r objective varied across trials" % name)
+        if "profile" in row:
+            profiled += 1
+            check(isinstance(row["profile"], list),
+                  "scenario %r profile must be a list" % name)
+            for phase in row["profile"]:
+                for key in ("phase", "count", "total_us", "self_us"):
+                    check(key in phase,
+                          "scenario %r profile row missing %r" % (name, key))
+                check(phase["self_us"] <= phase["total_us"] + 1e-6,
+                      "scenario %r phase %r self > total"
+                      % (name, phase["phase"]))
+
+    print("check_obs_json: bench OK (%d scenarios, %d profiled, tag %r)"
+          % (len(scenarios), profiled, environment["tag"]))
 
 
 def main(argv):
@@ -180,8 +270,11 @@ def main(argv):
         check_trace(path, min_planner_phases)
     elif kind == "report":
         check_report(path)
+    elif kind == "bench":
+        check_bench(path)
     else:
-        fail("first argument must be 'trace' or 'report', got %r" % kind)
+        fail("first argument must be 'trace', 'report', or 'bench', "
+             "got %r" % kind)
     return 0
 
 

@@ -2,11 +2,21 @@
 # Builds the project, runs the full test suite, every figure/ablation
 # benchmark, the micro-benchmarks and the examples, mirroring what CI does.
 # Pass "paper" to run the benchmarks at the paper's Table 7 sizes (slow).
+# Pass --bench-tag=TAG to additionally run the unified scenario suite
+# (quick preset) and record a BENCH_TAG.json baseline at the repo root —
+# see docs/BENCHMARKING.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SCALE="${1:-small}"
+SCALE="small"
+BENCH_TAG=""
+for arg in "$@"; do
+  case "$arg" in
+    --bench-tag=*) BENCH_TAG="${arg#--bench-tag=}" ;;
+    *) SCALE="$arg" ;;
+  esac
+done
 export USEP_BENCH_SCALE="$SCALE"
 
 cmake -B build -G Ninja
@@ -15,12 +25,22 @@ cmake --build build
 ctest --test-dir build -j"$(nproc)" --output-on-failure \
   2>&1 | tee test_output.txt
 
+# usep_bench is the scenario-suite runner, not a figure series — it runs
+# below, against its own flags, when --bench-tag is given.
 (for b in build/bench/*; do
-  if [ -x "$b" ] && [ -f "$b" ]; then
+  if [ -x "$b" ] && [ -f "$b" ] && [ "$(basename "$b")" != usep_bench ]; then
     echo "== $b (scale: $SCALE)"
     "$b"
   fi
 done) 2>&1 | tee bench_output.txt
+
+if [ -n "$BENCH_TAG" ]; then
+  echo "== usep_bench (quick suite, tag: $BENCH_TAG)"
+  ./build/bench/usep_bench --suite=quick --tag="$BENCH_TAG" \
+    --git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --timestamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  python3 scripts/check_obs_json.py bench "BENCH_${BENCH_TAG}.json"
+fi
 
 echo "== examples"
 ./build/examples/quickstart

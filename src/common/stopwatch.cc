@@ -1,4 +1,35 @@
 #include "common/stopwatch.h"
 
-// Stopwatch is header-only; this translation unit exists so that the build
-// target has a stable archive member for the header.
+#include <ctime>
+
+namespace usep {
+namespace {
+
+#if defined(CLOCK_THREAD_CPUTIME_ID) && defined(CLOCK_PROCESS_CPUTIME_ID)
+
+double ClockGettimeSeconds(clockid_t clock_id) {
+  timespec ts;
+  if (clock_gettime(clock_id, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double ThreadCpuNow() { return ClockGettimeSeconds(CLOCK_THREAD_CPUTIME_ID); }
+double ProcessCpuNow() { return ClockGettimeSeconds(CLOCK_PROCESS_CPUTIME_ID); }
+
+#else
+
+// Fallback: std::clock() is process CPU time on POSIX; there is no portable
+// per-thread clock, so the thread reading degrades to process-wide too.
+double ProcessCpuNow() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+double ThreadCpuNow() { return ProcessCpuNow(); }
+
+#endif
+
+}  // namespace
+
+double ThreadCpuSeconds() { return ThreadCpuNow(); }
+double ProcessCpuSeconds() { return ProcessCpuNow(); }
+
+}  // namespace usep

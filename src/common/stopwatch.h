@@ -30,6 +30,45 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+// Raw CPU-time readings.  ThreadCpuSeconds counts only the calling thread
+// (CLOCK_THREAD_CPUTIME_ID); ProcessCpuSeconds counts every thread of the
+// process (CLOCK_PROCESS_CPUTIME_ID) — the one to use around a region whose
+// work may fan out to a thread pool.  On platforms without these clocks both
+// fall back to std::clock(), which is process-wide.
+double ThreadCpuSeconds();
+double ProcessCpuSeconds();
+
+// CPU-time companion of Stopwatch: wall time tells you how long the user
+// waited, CPU time how much work the machine did (their ratio is the
+// effective parallelism of the region).  Starts running on construction.
+class CpuStopwatch {
+ public:
+  enum class Kind {
+    kThread,   // Calling thread only; cheap, but blind to pool workers.
+    kProcess,  // Whole process; use when the region runs on many threads.
+  };
+
+  explicit CpuStopwatch(Kind kind = Kind::kThread) : kind_(kind) { Restart(); }
+
+  void Restart() { start_seconds_ = Now(); }
+
+  // Elapsed CPU time since construction or the last Restart().  kThread
+  // readings must come from the thread that constructed/Restart()ed the
+  // stopwatch — another thread's clock is unrelated.
+  double ElapsedSeconds() const { return Now() - start_seconds_; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  Kind kind() const { return kind_; }
+
+ private:
+  double Now() const {
+    return kind_ == Kind::kThread ? ThreadCpuSeconds() : ProcessCpuSeconds();
+  }
+
+  Kind kind_;
+  double start_seconds_;
+};
+
 }  // namespace usep
 
 #endif  // USEP_COMMON_STOPWATCH_H_

@@ -32,6 +32,58 @@ void Histogram::Observe(double value) {
   }
 }
 
+namespace {
+
+// Shared core of Histogram::Quantile and HistogramQuantile: bounds has the
+// finite bucket bounds, counts one extra overflow entry, total the overall
+// observation count.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<int64_t>& counts, int64_t total,
+                           double q) {
+  if (total <= 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, total]; q = 0 degenerates to the first observation.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  double cumulative = 0.0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double fraction = in_bucket > 0.0
+                                  ? (rank - cumulative) / in_bucket
+                                  : 1.0;
+      return lower + (bounds[i] - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lives in the overflow bucket: the histogram cannot resolve values
+  // beyond its last finite bound, so report that bound (an underestimate).
+  return bounds.back();
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  std::vector<int64_t> counts;
+  counts.reserve(bounds_.size() + 1);
+  int64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const int64_t count = buckets_[i].load(std::memory_order_relaxed);
+    counts.push_back(count);
+    total += count;
+  }
+  return QuantileFromBuckets(bounds_, counts, total, q);
+}
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q) {
+  int64_t total = 0;
+  for (const int64_t count : histogram.bucket_counts) total += count;
+  return QuantileFromBuckets(histogram.upper_bounds, histogram.bucket_counts,
+                             total, q);
+}
+
 bool MetricsRegistry::NameTaken(std::string_view name) const {
   return counters_.find(name) != counters_.end() ||
          gauges_.find(name) != gauges_.end() ||

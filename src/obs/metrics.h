@@ -79,6 +79,12 @@ class Histogram {
     return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
   }
 
+  // Quantile estimate for q in (0, 1) by linear interpolation inside the
+  // bucket holding the target rank (see HistogramQuantile below for the
+  // exact contract).  Reads the live buckets without a snapshot; concurrent
+  // Observe calls can skew the estimate by at most their own count.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1.
@@ -108,6 +114,15 @@ struct MetricsSnapshot {
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
 };
+
+// Quantile estimate from bucket interpolation, for q in (0, 1): finds the
+// bucket holding observation rank ceil(q * count) and interpolates linearly
+// between its bounds (the first bucket's lower bound is 0).  Ranks landing
+// in the overflow bucket clamp to the last finite bound — the histogram
+// cannot resolve beyond it.  Returns 0 for an empty histogram; q outside
+// (0, 1) clamps to the min/max estimate.
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q);
 
 class MetricsRegistry {
  public:

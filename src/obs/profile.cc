@@ -1,0 +1,130 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "obs/json.h"
+
+namespace usep::obs {
+namespace {
+
+struct Span {
+  double start = 0.0;
+  double end = 0.0;
+  const std::string* name = nullptr;
+};
+
+}  // namespace
+
+Profile Profile::FromEvents(const std::vector<TraceEvent>& events) {
+  Profile profile;
+
+  // Bucket the complete spans by tid; everything else in the stream
+  // (thread_name metadata) is irrelevant here.
+  std::map<int, std::vector<Span>> spans_by_tid;
+  for (const TraceEvent& event : events) {
+    if (event.phase != 'X') continue;
+    spans_by_tid[event.tid].push_back(
+        Span{event.ts_us, event.ts_us + event.dur_us, &event.name});
+  }
+
+  std::map<std::string, PhaseProfile> by_name;
+  for (auto& [tid, spans] : spans_by_tid) {
+    // Parent-before-child order: earlier start first, and at equal starts
+    // the longer (enclosing) span first.
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.end > b.end;
+    });
+    // Stack of indices into by_name entries currently open on this tid;
+    // each child subtracts its duration from its parent's self time.
+    std::vector<std::pair<const Span*, PhaseProfile*>> stack;
+    for (const Span& span : spans) {
+      while (!stack.empty() && stack.back().first->end <= span.start) {
+        stack.pop_back();
+      }
+      const double duration = span.end - span.start;
+      PhaseProfile& phase = by_name[*span.name];
+      phase.count += 1;
+      phase.total_us += duration;
+      phase.self_us += duration;
+      phase.thread_total_us[tid] += duration;
+      if (stack.empty()) {
+        profile.root_total_us += duration;
+      } else {
+        stack.back().second->self_us -= duration;
+      }
+      stack.emplace_back(&span, &phase);
+      profile.num_spans += 1;
+    }
+  }
+  profile.num_threads = static_cast<int>(spans_by_tid.size());
+
+  profile.phases.reserve(by_name.size());
+  for (auto& [name, phase] : by_name) {
+    phase.name = name;
+    // Clock granularity can leave a tiny negative residue on a parent whose
+    // children's rounded durations exceed its own.
+    if (phase.self_us < 0.0) phase.self_us = 0.0;
+    profile.phases.push_back(std::move(phase));
+  }
+  std::sort(profile.phases.begin(), profile.phases.end(),
+            [](const PhaseProfile& a, const PhaseProfile& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+Profile Profile::FromRecorder(const TraceRecorder& recorder) {
+  return FromEvents(recorder.Events());
+}
+
+void Profile::PrintTable(std::ostream& out) const {
+  size_t name_width = 5;  // "phase"
+  for (const PhaseProfile& phase : phases) {
+    name_width = std::max(name_width, phase.name.size());
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %8s %12s %12s %7s %8s\n",
+                static_cast<int>(name_width), "phase", "count", "total_ms",
+                "self_ms", "self%", "threads");
+  out << line;
+  for (const PhaseProfile& phase : phases) {
+    const double self_percent =
+        root_total_us > 0.0 ? 100.0 * phase.self_us / root_total_us : 0.0;
+    std::snprintf(line, sizeof(line), "%-*s %8lld %12.3f %12.3f %6.1f%% %8zu\n",
+                  static_cast<int>(name_width), phase.name.c_str(),
+                  static_cast<long long>(phase.count), phase.total_us / 1e3,
+                  phase.self_us / 1e3, self_percent,
+                  phase.thread_total_us.size());
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "(%lld spans on %d threads; %.3f ms covered by root spans)\n",
+                static_cast<long long>(num_spans), num_threads,
+                root_total_us / 1e3);
+  out << line;
+}
+
+void Profile::WriteJson(JsonWriter* json) const {
+  json->BeginArray();
+  for (const PhaseProfile& phase : phases) {
+    json->BeginObject();
+    json->KvString("phase", phase.name);
+    json->KvInt("count", phase.count);
+    json->KvDouble("total_us", phase.total_us);
+    json->KvDouble("self_us", phase.self_us);
+    json->Key("by_thread");
+    json->BeginObject();
+    for (const auto& [tid, total_us] : phase.thread_total_us) {
+      json->KvDouble(std::to_string(tid), total_us);
+    }
+    json->EndObject();
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+}  // namespace usep::obs

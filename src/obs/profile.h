@@ -1,0 +1,62 @@
+#ifndef USEP_OBS_PROFILE_H_
+#define USEP_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace usep::obs {
+
+class JsonWriter;
+
+// Folds the flat span stream of a TraceRecorder into a per-phase profile:
+// for every distinct span name, how often it ran, how much wall time it
+// covered in total, and how much of that was *self* time (not spent inside
+// nested spans) — the "where did the time go" answer without opening
+// Perfetto.  Nesting is reconstructed exactly the way trace viewers render
+// it: by timestamp containment among 'X' spans on the same tid.
+//
+// Aggregation is strictly post-hoc — it reads a finished recorder and costs
+// the planners nothing.  When tracing is off there is no recorder and
+// therefore no profile (the null-sink contract of obs/trace.h).
+
+struct PhaseProfile {
+  std::string name;
+  int64_t count = 0;     // Number of spans with this name.
+  double total_us = 0.0;  // Summed span durations.
+  double self_us = 0.0;   // total_us minus time covered by nested spans.
+  std::map<int, double> thread_total_us;  // Per-tid share of total_us.
+};
+
+struct Profile {
+  // Sorted by self_us descending (ties by name) — the table order.
+  std::vector<PhaseProfile> phases;
+  // Wall time covered by top-level (unnested) spans, per tid and summed.
+  double root_total_us = 0.0;
+  int64_t num_spans = 0;
+  int num_threads = 0;
+
+  // Builds a profile from recorded events ('M' metadata events are
+  // ignored).  Spans that partially overlap on one tid — which well-formed
+  // recorders never produce — are treated as siblings.
+  static Profile FromEvents(const std::vector<TraceEvent>& events);
+  static Profile FromRecorder(const TraceRecorder& recorder);
+
+  // Human-readable fixed-width table, self-time ordered:
+  //   phase  count  total_ms  self_ms  self%  threads
+  // `self%` is the share of root_total_us.
+  void PrintTable(std::ostream& out) const;
+
+  // Emits the profile as one JSON array value (callers position it with
+  // Key()): [{"phase": ..., "count": ..., "total_us": ..., "self_us": ...,
+  // "by_thread": {"0": us, ...}}, ...].
+  void WriteJson(JsonWriter* json) const;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_PROFILE_H_

@@ -12,6 +12,7 @@ void WriteRun(JsonWriter* json, const PlannerRunReport& run) {
   json->KvString("planner", run.planner);
   json->KvString("termination", run.termination);
   json->KvDouble("wall_seconds", run.wall_seconds);
+  json->KvDouble("cpu_seconds", run.cpu_seconds);
   json->KvInt("iterations", run.iterations);
   json->KvInt("heap_pushes", run.heap_pushes);
   json->KvInt("dp_cells", run.dp_cells);
@@ -47,6 +48,12 @@ void WriteMetrics(JsonWriter* json, const MetricsSnapshot& metrics) {
     json->BeginObject();
     json->KvInt("count", histogram.count);
     json->KvDouble("sum", histogram.sum);
+    json->Key("quantiles");
+    json->BeginObject();
+    json->KvDouble("p50", HistogramQuantile(histogram, 0.50));
+    json->KvDouble("p90", HistogramQuantile(histogram, 0.90));
+    json->KvDouble("p99", HistogramQuantile(histogram, 0.99));
+    json->EndObject();
     json->Key("upper_bounds");
     json->BeginArray();
     for (const double bound : histogram.upper_bounds) json->Double(bound);
@@ -91,6 +98,8 @@ void RunReport::WriteJson(std::ostream& out) const {
     json.Key("aggregate");
     WriteRun(&json, aggregate);
   }
+
+  json.KvDouble("process_cpu_seconds", process_cpu_seconds);
 
   json.Key("memhook");
   json.BeginObject();

@@ -27,6 +27,10 @@ struct PlannerRunReport {
   std::string termination = "completed";
   // PlannerStats mirror.
   double wall_seconds = 0.0;
+  // CPU time of the run, when the caller measured it (0 = not measured —
+  // e.g. usep_solve's concurrent batch, where per-run attribution is
+  // impossible; the bench harness fills it from a thread-CPU stopwatch).
+  double cpu_seconds = 0.0;
   int64_t iterations = 0;
   int64_t heap_pushes = 0;
   int64_t dp_cells = 0;
@@ -61,6 +65,10 @@ struct RunReport {
   // emitted only when has_aggregate is set.
   bool has_aggregate = false;
   PlannerRunReport aggregate;
+
+  // Process CPU time consumed between the driver's start-of-planning mark
+  // and report assembly (covers pool workers; 0 = not measured).
+  double process_cpu_seconds = 0.0;
 
   // Process-global memhook state.  Peaks are process-wide: under
   // concurrent planner runs they attribute the sum of everything live, not

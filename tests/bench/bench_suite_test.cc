@@ -1,0 +1,188 @@
+#include "harness/bench_suite.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic_generator.h"
+
+namespace usep::bench {
+namespace {
+
+TEST(RobustStatsTest, EmptyInputIsAllZero) {
+  const RobustStats stats = ComputeRobustStats({});
+  EXPECT_DOUBLE_EQ(stats.median, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mad, 0.0);
+}
+
+TEST(RobustStatsTest, OddCountPicksMiddle) {
+  const RobustStats stats = ComputeRobustStats({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(stats.median, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  // Deviations from 5: {4, 4, 0} -> median 4.
+  EXPECT_DOUBLE_EQ(stats.mad, 4.0);
+}
+
+TEST(RobustStatsTest, EvenCountAveragesMiddlePair) {
+  const RobustStats stats = ComputeRobustStats({4.0, 2.0, 8.0, 6.0});
+  EXPECT_DOUBLE_EQ(stats.median, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  // Deviations from 5: {1, 3, 1, 3} -> median 2.
+  EXPECT_DOUBLE_EQ(stats.mad, 2.0);
+}
+
+TEST(RobustStatsTest, MadIgnoresSingleOutlier) {
+  // One descheduled trial at 100 must not move the spread estimate much —
+  // exactly why the CI gate uses MAD instead of stddev.
+  const RobustStats stats = ComputeRobustStats({10.0, 10.5, 9.5, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(stats.median, 10.0);
+  EXPECT_DOUBLE_EQ(stats.mad, 0.5);
+}
+
+TEST(ScenarioCatalogTest, NamesAreUniqueAndWellFormed) {
+  const std::vector<BenchScenario> catalog = BuildScenarioCatalog();
+  ASSERT_FALSE(catalog.empty());
+  std::set<std::string> names;
+  for (const BenchScenario& scenario : catalog) {
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate scenario name: " << scenario.name;
+    // name is "<family>/<shape>/<planner>/t<threads>".
+    EXPECT_EQ(scenario.name.rfind(scenario.family + "/", 0), 0u)
+        << scenario.name;
+    EXPECT_NE(scenario.name.find("/t"), std::string::npos) << scenario.name;
+    EXPECT_GE(scenario.threads, 1);
+  }
+}
+
+TEST(ScenarioCatalogTest, QuickPresetIsANonEmptyStrictSubset) {
+  const std::vector<BenchScenario> catalog = BuildScenarioCatalog();
+  size_t quick = 0;
+  for (const BenchScenario& scenario : catalog) quick += scenario.quick;
+  EXPECT_GT(quick, 0u);
+  EXPECT_LT(quick, catalog.size());
+}
+
+TEST(ScenarioCatalogTest, CoversAllFamiliesAndThreadCounts) {
+  const std::vector<BenchScenario> catalog = BuildScenarioCatalog();
+  std::set<std::string> families;
+  std::set<int> threads;
+  for (const BenchScenario& scenario : catalog) {
+    families.insert(scenario.family);
+    threads.insert(scenario.threads);
+  }
+  for (const char* family : {"micro", "fig2", "fig3", "fig4"}) {
+    EXPECT_TRUE(families.count(family)) << family;
+  }
+  for (const int t : {1, 2, 8}) EXPECT_TRUE(threads.count(t)) << t;
+}
+
+BenchScenario TinyScenario() {
+  BenchScenario scenario;
+  scenario.name = "test/tiny/DeDPO+RG/t1";
+  scenario.family = "test";
+  scenario.config.num_events = 5;
+  scenario.config.num_users = 40;
+  scenario.config.seed = 7;
+  scenario.kind = PlannerKind::kDeDpoRg;
+  return scenario;
+}
+
+TEST(RunScenarioTest, ProducesValidatedDeterministicResult) {
+  const BenchScenario scenario = TinyScenario();
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(scenario.config);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  BenchRunOptions options;
+  options.warmup = 1;
+  options.trials = 3;
+  const ScenarioResult result = RunScenario(scenario, *instance, options);
+
+  EXPECT_EQ(result.name, scenario.name);
+  EXPECT_EQ(result.planner, std::string("DeDPO+RG"));
+  EXPECT_EQ(result.trials, 3);
+  EXPECT_EQ(result.num_events, 5);
+  EXPECT_EQ(result.num_users, 40);
+  EXPECT_TRUE(result.validated);
+  EXPECT_TRUE(result.deterministic);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_GT(result.assignments, 0);
+  EXPECT_GE(result.wall_ms.min, 0.0);
+  EXPECT_GE(result.wall_ms.median, result.wall_ms.min);
+  EXPECT_GE(result.wall_ms.mad, 0.0);
+  EXPECT_GE(result.cpu_ms.median, 0.0);
+  EXPECT_FALSE(result.termination.empty());
+  EXPECT_FALSE(result.has_profile);
+}
+
+TEST(RunScenarioTest, ProfileOptionAttachesPhaseBreakdown) {
+  const BenchScenario scenario = TinyScenario();
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(scenario.config);
+  ASSERT_TRUE(instance.ok());
+
+  BenchRunOptions options;
+  options.warmup = 0;
+  options.trials = 1;
+  options.profile = true;
+  const ScenarioResult result = RunScenario(scenario, *instance, options);
+  EXPECT_TRUE(result.has_profile);
+  EXPECT_GT(result.profile.num_spans, 0);
+  EXPECT_FALSE(result.profile.phases.empty());
+}
+
+TEST(RunScenarioTest, ThreadedRunMatchesSequentialObjective) {
+  BenchScenario scenario = TinyScenario();
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(scenario.config);
+  ASSERT_TRUE(instance.ok());
+
+  BenchRunOptions options;
+  options.warmup = 0;
+  options.trials = 2;
+  const ScenarioResult sequential = RunScenario(scenario, *instance, options);
+  scenario.threads = 4;
+  const ScenarioResult threaded = RunScenario(scenario, *instance, options);
+  EXPECT_EQ(threaded.objective, sequential.objective);
+  EXPECT_EQ(threaded.assignments, sequential.assignments);
+  EXPECT_TRUE(threaded.deterministic);
+}
+
+TEST(WriteBenchJsonTest, EmitsSchemaEnvironmentAndScenarioRows) {
+  const BenchScenario scenario = TinyScenario();
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(scenario.config);
+  ASSERT_TRUE(instance.ok());
+  BenchRunOptions options;
+  options.warmup = 0;
+  options.trials = 1;
+  const ScenarioResult result = RunScenario(scenario, *instance, options);
+
+  BenchEnvironment environment;
+  environment.tag = "unit";
+  environment.git_sha = "deadbeef";
+  environment.compiler = CompilerVersionString();
+  environment.build_type = BuildTypeString();
+  environment.timestamp = "2026-01-01T00:00:00Z";
+  environment.scale = "small";
+  environment.host_threads = 8;
+
+  std::ostringstream out;
+  WriteBenchJson(out, environment, {result});
+  const std::string text = out.str();
+  for (const char* needle :
+       {"\"schema_version\":1", "\"kind\":\"bench\"", "\"environment\":",
+        "\"tag\":\"unit\"", "\"git_sha\":\"deadbeef\"", "\"scenarios\":",
+        "\"name\":\"test/tiny/DeDPO+RG/t1\"", "\"wall_ms\":{\"median\":",
+        "\"cpu_ms\":{\"median\":", "\"mad\":", "\"peak_bytes\":",
+        "\"objective\":", "\"validated\":true", "\"deterministic\":true"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace usep::bench

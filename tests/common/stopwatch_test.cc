@@ -38,5 +38,74 @@ TEST(StopwatchTest, RestartResets) {
   EXPECT_LT(stopwatch.ElapsedSeconds(), before + 1e-3);
 }
 
+// Spins until the calling thread has accrued ~`seconds` of CPU time.
+void BurnThreadCpu(double seconds) {
+  const double until = ThreadCpuSeconds() + seconds;
+  volatile double sink = 0.0;
+  while (ThreadCpuSeconds() < until) {
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  }
+}
+
+TEST(CpuStopwatchTest, BusyLoopAccruesThreadCpuTime) {
+  CpuStopwatch cpu(CpuStopwatch::Kind::kThread);
+  BurnThreadCpu(0.02);
+  EXPECT_GE(cpu.ElapsedSeconds(), 0.02);
+  // A 20ms burn should not read as minutes of CPU (sanity on the units).
+  EXPECT_LT(cpu.ElapsedSeconds(), 10.0);
+}
+
+TEST(CpuStopwatchTest, ProcessCoversThread) {
+  // Process CPU time includes the calling thread, so over the same region
+  // the process reading is at least the thread reading (any other threads
+  // only add to it).  A small slop absorbs the two separate clock reads.
+  CpuStopwatch process(CpuStopwatch::Kind::kProcess);
+  CpuStopwatch thread(CpuStopwatch::Kind::kThread);
+  BurnThreadCpu(0.02);
+  const double thread_elapsed = thread.ElapsedSeconds();
+  const double process_elapsed = process.ElapsedSeconds();
+  EXPECT_GE(process_elapsed, thread_elapsed - 1e-3);
+}
+
+TEST(CpuStopwatchTest, ElapsedIsMonotone) {
+  CpuStopwatch cpu(CpuStopwatch::Kind::kThread);
+  double previous = cpu.ElapsedSeconds();
+  EXPECT_GE(previous, 0.0);
+  volatile double sink = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+    const double now = cpu.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(CpuStopwatchTest, RestartResets) {
+  CpuStopwatch cpu(CpuStopwatch::Kind::kThread);
+  BurnThreadCpu(0.02);
+  const double before = cpu.ElapsedSeconds();
+  EXPECT_GE(before, 0.02);
+  cpu.Restart();
+  EXPECT_LT(cpu.ElapsedSeconds(), before);
+}
+
+TEST(CpuStopwatchTest, UnitsAgree) {
+  CpuStopwatch cpu(CpuStopwatch::Kind::kThread);
+  BurnThreadCpu(0.01);
+  const double millis = cpu.ElapsedMillis();
+  const double seconds = cpu.ElapsedSeconds();
+  EXPECT_GE(millis, seconds * 1e3 * 0.5);
+  EXPECT_LE(millis, (seconds + 1.0) * 1e3);
+}
+
+TEST(CpuStopwatchTest, CpuDoesNotWildlyExceedWall) {
+  // On one thread, CPU time cannot outpace wall time by more than scheduler
+  // noise; use a generous factor to stay robust on loaded CI machines.
+  Stopwatch wall;
+  CpuStopwatch cpu(CpuStopwatch::Kind::kThread);
+  BurnThreadCpu(0.02);
+  EXPECT_LE(cpu.ElapsedSeconds(), wall.ElapsedSeconds() * 2.0 + 0.01);
+}
+
 }  // namespace
 }  // namespace usep

@@ -1,0 +1,157 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace usep::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainAsciiThrough) {
+  EXPECT_EQ(JsonEscape("hello world 123 -_.:/"), "hello world 123 -_.:/");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+}
+
+TEST(JsonEscapeTest, EscapesCommonWhitespaceControls) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, PassesNonAsciiUtf8Through) {
+  // Multi-byte UTF-8 sequences must survive byte-for-byte; JSON allows raw
+  // UTF-8 inside string literals.
+  const std::string city = "T\xc5\x8dky\xc5\x8d";          // Tōkyō.
+  const std::string emoji = "\xf0\x9f\x8e\x89";            // Party popper.
+  EXPECT_EQ(JsonEscape(city), city);
+  EXPECT_EQ(JsonEscape(emoji), emoji);
+}
+
+TEST(JsonNumberTest, FiniteValuesRoundTrip) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(-1.0), "-1");
+  // %.17g keeps doubles exact through a parse round trip.
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(std::stod(JsonNumber(pi)), pi);
+}
+
+TEST(JsonNumberTest, NonFiniteClampsToZero) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesStayParseable) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.KvDouble("nan", std::nan(""));
+  writer.KvDouble("inf", std::numeric_limits<double>::infinity());
+  writer.KvDouble("ok", 1.5);
+  writer.EndObject();
+  EXPECT_EQ(out.str(), "{\"nan\":0,\"inf\":0,\"ok\":1.5}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndValues) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.KvString("we\"ird", "line\nbreak");
+  writer.EndObject();
+  EXPECT_EQ(out.str(), "{\"we\\\"ird\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriterTest, CommasOnlyBetweenSiblings) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginObject();
+  writer.KvInt("a", 1);
+  writer.Key("b");
+  writer.BeginArray();
+  writer.Int(1);
+  writer.Int(2);
+  writer.BeginObject();
+  writer.EndObject();
+  writer.EndArray();
+  writer.KvBool("c", true);
+  writer.EndObject();
+  EXPECT_EQ(out.str(), "{\"a\":1,\"b\":[1,2,{}],\"c\":true}");
+}
+
+// A minimal structural validator: every document the writer produces must
+// have balanced braces/brackets outside string literals.  (Full JSON
+// validation lives in scripts/check_obs_json.py; this guards the writer's
+// invariant at the unit level.)
+bool BalancedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonWriterTest, HostileStringsKeepDocumentBalanced) {
+  const std::string hostile[] = {
+      "}{",
+      "\"]\",[{",
+      std::string("\x01\x02\0\x1f", 4),
+      "backslash at end \\",
+      "\xf0\x9f\x8e\x89 unicode { mixed ] with \" structure",
+  };
+  for (const std::string& value : hostile) {
+    std::ostringstream out;
+    JsonWriter writer(&out);
+    writer.BeginObject();
+    writer.KvString("key", value);
+    writer.Key(value);
+    writer.String("value");
+    writer.EndObject();
+    EXPECT_TRUE(BalancedJson(out.str())) << out.str();
+  }
+}
+
+TEST(JsonWriterTest, RawEmitsVerbatim) {
+  std::ostringstream out;
+  JsonWriter writer(&out);
+  writer.BeginArray();
+  writer.Raw("{\"pre\":1}");
+  writer.Int(2);
+  writer.EndArray();
+  EXPECT_EQ(out.str(), "[{\"pre\":1},2]");
+}
+
+}  // namespace
+}  // namespace usep::obs

@@ -114,6 +114,77 @@ TEST(MetricsTest, FindDoesNotCreate) {
   EXPECT_TRUE(registry.Snapshot().gauges.empty());
 }
 
+TEST(HistogramQuantileTest, InterpolatesInsideBucket) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;  // Bounds 1, 2, 4, 8 + overflow.
+  Histogram* histogram = registry.GetHistogram("q.histogram", options);
+  // 10 observations, all in bucket (2, 4].
+  for (int i = 0; i < 10; ++i) histogram->Observe(3.0);
+  // Rank q*10 of 10 lands a fraction q through the bucket [2, 4].
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.9), 3.8);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, SpansMultipleBuckets) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;
+  Histogram* histogram = registry.GetHistogram("q2.histogram", options);
+  // 5 observations in bucket [0, 1], 5 in (4, 8].
+  for (int i = 0; i < 5; ++i) histogram->Observe(0.5);
+  for (int i = 0; i < 5; ++i) histogram->Observe(6.0);
+  // p50 = rank 5 = last observation of the first bucket -> its upper bound.
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 1.0);
+  // p90 = rank 9 = 4th of 5 in (4, 8] -> 4 + (9-5)/5 * 4 = 7.2.
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.9), 7.2);
+  // Below the first observation clamps to the first bucket's share.
+  EXPECT_GT(histogram->Quantile(0.01), 0.0);
+}
+
+TEST(HistogramQuantileTest, OverflowClampsToLastBound) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 2;  // Bounds 1, 2 + overflow.
+  Histogram* histogram = registry.GetHistogram("q3.histogram", options);
+  for (int i = 0; i < 10; ++i) histogram->Observe(100.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("q4.histogram");
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SnapshotAgreesWithLiveHistogram) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("q5.histogram");
+  for (int i = 1; i <= 100; ++i) {
+    histogram->Observe(static_cast<double>(i) * 1e-3);
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot.histograms[0], q),
+                     histogram->Quantile(q))
+        << "q=" << q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(HistogramQuantile(snapshot.histograms[0], 0.5),
+            HistogramQuantile(snapshot.histograms[0], 0.9));
+  EXPECT_LE(HistogramQuantile(snapshot.histograms[0], 0.9),
+            HistogramQuantile(snapshot.histograms[0], 0.99));
+}
+
 TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;

@@ -1,0 +1,156 @@
+#include "obs/profile.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace usep::obs {
+namespace {
+
+TraceEvent Span(const char* name, double ts_us, double dur_us, int tid = 0) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = tid;
+  return event;
+}
+
+TEST(ProfileTest, EmptyEvents) {
+  const Profile profile = Profile::FromEvents({});
+  EXPECT_TRUE(profile.phases.empty());
+  EXPECT_EQ(profile.num_spans, 0);
+  EXPECT_EQ(profile.num_threads, 0);
+  EXPECT_DOUBLE_EQ(profile.root_total_us, 0.0);
+}
+
+TEST(ProfileTest, SelfTimeSubtractsNestedSpans) {
+  // parent [0, 100] contains child-a [10, 40] and child-b [50, 70];
+  // child-a contains grandchild [20, 30].
+  const std::vector<TraceEvent> events = {
+      Span("parent", 0, 100),
+      Span("child-a", 10, 30),
+      Span("grandchild", 20, 10),
+      Span("child-b", 50, 20),
+  };
+  const Profile profile = Profile::FromEvents(events);
+  ASSERT_EQ(profile.phases.size(), 4u);
+  EXPECT_EQ(profile.num_spans, 4);
+  EXPECT_EQ(profile.num_threads, 1);
+  EXPECT_DOUBLE_EQ(profile.root_total_us, 100.0);
+
+  auto find = [&](const std::string& name) -> const PhaseProfile& {
+    for (const PhaseProfile& phase : profile.phases) {
+      if (phase.name == name) return phase;
+    }
+    ADD_FAILURE() << "phase " << name << " missing";
+    static PhaseProfile missing;
+    return missing;
+  };
+  EXPECT_DOUBLE_EQ(find("parent").total_us, 100.0);
+  EXPECT_DOUBLE_EQ(find("parent").self_us, 50.0);  // 100 - 30 - 20.
+  EXPECT_DOUBLE_EQ(find("child-a").total_us, 30.0);
+  EXPECT_DOUBLE_EQ(find("child-a").self_us, 20.0);  // 30 - 10.
+  EXPECT_DOUBLE_EQ(find("grandchild").self_us, 10.0);
+  EXPECT_DOUBLE_EQ(find("child-b").self_us, 20.0);
+
+  // Sorted by self time descending.
+  EXPECT_EQ(profile.phases[0].name, "parent");
+}
+
+TEST(ProfileTest, RepeatedPhasesAccumulate) {
+  const std::vector<TraceEvent> events = {
+      Span("loop", 0, 10),
+      Span("loop", 20, 10),
+      Span("loop", 40, 10),
+  };
+  const Profile profile = Profile::FromEvents(events);
+  ASSERT_EQ(profile.phases.size(), 1u);
+  EXPECT_EQ(profile.phases[0].count, 3);
+  EXPECT_DOUBLE_EQ(profile.phases[0].total_us, 30.0);
+  EXPECT_DOUBLE_EQ(profile.phases[0].self_us, 30.0);
+  EXPECT_DOUBLE_EQ(profile.root_total_us, 30.0);
+}
+
+TEST(ProfileTest, ThreadsAreIndependentHierarchies) {
+  // The same [0, 100] window on two tids: no cross-thread nesting.
+  const std::vector<TraceEvent> events = {
+      Span("work", 0, 100, /*tid=*/0),
+      Span("work", 0, 100, /*tid=*/1),
+      Span("inner", 10, 20, /*tid=*/1),
+  };
+  const Profile profile = Profile::FromEvents(events);
+  EXPECT_EQ(profile.num_threads, 2);
+  EXPECT_DOUBLE_EQ(profile.root_total_us, 200.0);
+  for (const PhaseProfile& phase : profile.phases) {
+    if (phase.name == "work") {
+      EXPECT_EQ(phase.count, 2);
+      EXPECT_DOUBLE_EQ(phase.total_us, 200.0);
+      EXPECT_DOUBLE_EQ(phase.self_us, 180.0);  // tid 1 lost 20 to inner.
+      ASSERT_EQ(phase.thread_total_us.size(), 2u);
+      EXPECT_DOUBLE_EQ(phase.thread_total_us.at(0), 100.0);
+      EXPECT_DOUBLE_EQ(phase.thread_total_us.at(1), 100.0);
+    }
+  }
+}
+
+TEST(ProfileTest, MetadataEventsIgnored) {
+  TraceEvent metadata;
+  metadata.name = "thread_name";
+  metadata.phase = 'M';
+  const Profile profile = Profile::FromEvents({metadata, Span("a", 0, 5)});
+  ASSERT_EQ(profile.phases.size(), 1u);
+  EXPECT_EQ(profile.phases[0].name, "a");
+}
+
+TEST(ProfileTest, FromRecorderUsesRealSpans) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer");
+    TraceSpan inner(&recorder, "inner");
+  }
+  const Profile profile = Profile::FromRecorder(recorder);
+  ASSERT_EQ(profile.phases.size(), 2u);
+  EXPECT_EQ(profile.num_spans, 2);
+  for (const PhaseProfile& phase : profile.phases) {
+    EXPECT_GE(phase.total_us, phase.self_us);
+    EXPECT_GE(phase.self_us, 0.0);
+  }
+}
+
+TEST(ProfileTest, PrintTableMentionsEveryPhase) {
+  const std::vector<TraceEvent> events = {
+      Span("plan/RatioGreedy", 0, 100),
+      Span("rg/heap-loop", 10, 50),
+  };
+  std::ostringstream out;
+  Profile::FromEvents(events).PrintTable(out);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("plan/RatioGreedy"), std::string::npos);
+  EXPECT_NE(table.find("rg/heap-loop"), std::string::npos);
+  EXPECT_NE(table.find("self_ms"), std::string::npos);
+}
+
+TEST(ProfileTest, WriteJsonEmitsOneObjectPerPhase) {
+  const std::vector<TraceEvent> events = {
+      Span("a", 0, 10),
+      Span("b", 20, 5),
+  };
+  std::ostringstream out;
+  JsonWriter json(&out);
+  Profile::FromEvents(events).WriteJson(&json);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"phase\":\"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"phase\":\"b\""), std::string::npos);
+  EXPECT_NE(text.find("\"self_us\":"), std::string::npos);
+  EXPECT_NE(text.find("\"by_thread\":"), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ']');
+}
+
+}  // namespace
+}  // namespace usep::obs

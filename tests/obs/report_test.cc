@@ -24,6 +24,7 @@ RunReport SampleReport() {
   run.planner = "RatioGreedy";
   run.termination = "completed";
   run.wall_seconds = 0.125;
+  run.cpu_seconds = 0.0625;
   run.iterations = 42;
   run.heap_pushes = 99;
   run.logical_peak_bytes = 4096;
@@ -36,6 +37,7 @@ RunReport SampleReport() {
   report.aggregate = run;
   report.aggregate.planner = "<aggregate>";
 
+  report.process_cpu_seconds = 0.25;
   report.memhook_active = true;
   report.memhook_peak_bytes = 1 << 20;
   return report;
@@ -71,6 +73,12 @@ TEST(ReportTest, SerializesEverySection) {
   EXPECT_NE(json.find("\"counters\":{\"usep.planner.runs\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"usep.hist\":{\"count\":1"), std::string::npos);
+  // PR 4 additions: CPU time at run and report level, histogram quantiles.
+  EXPECT_NE(json.find("\"cpu_seconds\":0.0625"), std::string::npos);
+  EXPECT_NE(json.find("\"process_cpu_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"quantiles\":{\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
 TEST(ReportTest, OmitsAggregateWhenUnset) {
