@@ -174,6 +174,74 @@ std::vector<BenchScenario> BuildScenarioCatalog() {
     catalog.push_back(scenario);
   }
 
+  // Greedy-family stress: |U| >> |V|.  The shape where the seed's
+  // champion elections (full scans over every user, per re-election) hurt
+  // most, and therefore where the CandidateIndex's static lists and
+  // epoch-guarded memo pay off hardest.  Also the reference shape for cache
+  // hit rates in the run report.
+  {
+    GeneratorConfig large_u = fig2;
+    large_u.num_events = 20;
+    large_u.num_users = GetBenchScale() == BenchScale::kPaper ? 10000 : 2500;
+    large_u.capacity_mean = 25.0;
+    const struct {
+      PlannerKind kind;
+      bool quick;
+    } greedy_planners[] = {
+        {PlannerKind::kRatioGreedy, true},
+        {PlannerKind::kDeGreedyRg, true},
+        {PlannerKind::kNaiveRatioGreedy, false},
+    };
+    for (const auto& entry : greedy_planners) {
+      BenchScenario scenario;
+      scenario.name = StrFormat("greedy-large-U/v20.u%d/%s/t1",
+                                large_u.num_users,
+                                PlannerKindName(entry.kind));
+      scenario.family = "greedy-large-U";
+      scenario.config = large_u;
+      scenario.kind = entry.kind;
+      scenario.quick = entry.quick;
+      catalog.push_back(scenario);
+    }
+  }
+
+  // Index stress: one shape per index layer.  Tight budgets make Lemma 1's
+  // static round-trip pruning discard most pairs up front; power-law
+  // utilities (most mu == 0) shrink the static lists the same way from the
+  // utility side; the loose shape keeps every pair alive so the epoch memo
+  // does all the work.
+  {
+    GeneratorConfig tight_budget = fig2;
+    tight_budget.budget_factor = 0.4;
+    GeneratorConfig sparse_utility = fig2;
+    sparse_utility.utility_distribution = "power:6";
+    GeneratorConfig loose = fig2;
+    loose.budget_factor = 4.0;
+    loose.capacity_mean = 8.0;
+    const struct {
+      const char* shape;
+      const GeneratorConfig* config;
+      bool quick;
+    } shapes[] = {
+        {"tight-budget", &tight_budget, true},
+        {"sparse-utility", &sparse_utility, true},
+        {"loose", &loose, false},
+    };
+    for (const auto& shape : shapes) {
+      for (const PlannerKind kind :
+           {PlannerKind::kRatioGreedy, PlannerKind::kDeDpoRg}) {
+        BenchScenario scenario;
+        scenario.name = StrFormat("index-stress/%s/%s/t1", shape.shape,
+                                  PlannerKindName(kind));
+        scenario.family = "index-stress";
+        scenario.config = *shape.config;
+        scenario.kind = kind;
+        scenario.quick = shape.quick && kind == PlannerKind::kRatioGreedy;
+        catalog.push_back(scenario);
+      }
+    }
+  }
+
   return catalog;
 }
 
@@ -232,6 +300,9 @@ ScenarioResult RunScenario(const BenchScenario& scenario,
     result.heap_pushes = run.stats.heap_pushes;
     result.dp_cells = run.stats.dp_cells;
     result.guard_nodes = run.stats.guard_nodes;
+    result.cache_hits = run.stats.cache_hits;
+    result.cache_misses = run.stats.cache_misses;
+    result.cache_invalidations = run.stats.cache_invalidations;
   }
   result.wall_ms = ComputeRobustStats(std::move(wall_samples));
   result.cpu_ms = ComputeRobustStats(std::move(cpu_samples));
@@ -320,6 +391,9 @@ void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
     json.KvInt("heap_pushes", result.heap_pushes);
     json.KvInt("dp_cells", result.dp_cells);
     json.KvInt("guard_nodes", result.guard_nodes);
+    json.KvInt("cache_hits", result.cache_hits);
+    json.KvInt("cache_misses", result.cache_misses);
+    json.KvInt("cache_invalidations", result.cache_invalidations);
     json.KvDouble("objective", result.objective);
     json.KvInt("assignments", result.assignments);
     json.KvBool("validated", result.validated);

@@ -75,6 +75,10 @@ struct ScenarioResult {
   int64_t heap_pushes = 0;
   int64_t dp_cells = 0;
   int64_t guard_nodes = 0;
+  // CandidateIndex telemetry (all zero for planners without an index).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_invalidations = 0;
 
   double objective = 0.0;  // Planning utility; exact-comparable.
   int64_t assignments = 0;

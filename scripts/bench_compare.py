@@ -9,6 +9,11 @@ Options:
     --informational        Report regressions but always exit 0 (CI shared
                            runners are too noisy for a hard wall-time gate;
                            objective mismatches still fail).
+    --objectives-only      Enforce ONLY the exact objective/assignment
+                           match; wall-time deltas are not even reported
+                           as regressions.  CI's enforced gate: timing on
+                           shared runners is noise, objectives are
+                           correctness.
     --abs-floor-ms=F       Ignore wall-time deltas below F ms (default 0.5).
     --rel-threshold=R      Ignore deltas below R * base median (default 0.10).
     --noise-mult=K         Ignore deltas below K * (base MAD + new MAD)
@@ -164,11 +169,13 @@ def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
 
 
 def run_compare(base_path, new_path, thresholds, informational,
-                markdown_path):
+                markdown_path, objectives_only=False):
     base_doc = load_bench(base_path)
     new_doc = load_bench(new_path)
     rows, regressions, mismatches, only_in_base, only_in_new = compare(
         base_doc, new_doc, thresholds)
+    if objectives_only:
+        regressions = []
     report = render_markdown(base_doc, new_doc, rows, regressions,
                              mismatches, only_in_base, only_in_new)
     print(report)
@@ -183,6 +190,10 @@ def run_compare(base_path, new_path, thresholds, informational,
         sys.stderr.write("bench_compare: FAIL: %d objective mismatch(es)\n"
                          % len(mismatches))
         return 1
+    if objectives_only:
+        sys.stderr.write("bench_compare: objectives exact-match on %d "
+                         "scenario(s)\n" % len(rows))
+        return 0
     if regressions:
         sys.stderr.write("bench_compare: %d wall-time regression(s)%s\n"
                          % (len(regressions),
@@ -251,6 +262,33 @@ def self_test():
     expect("renames reported, not diffed",
            len(rows) == 2 and only_in_base and only_in_new)
 
+    # --objectives-only: a 2x slowdown passes, an objective drift still
+    # fails — exercised through run_compare so the flag's wiring is tested.
+    import os
+    import tempfile
+
+    def write_doc(doc):
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(doc, handle)
+        handle.close()
+        return handle.name
+
+    tmp_paths = [write_doc(base), write_doc(make_doc("slow", 2.0)),
+                 write_doc(changed)]
+    try:
+        expect("objectives-only ignores slowdown",
+               run_compare(tmp_paths[0], tmp_paths[1], thresholds,
+                           informational=False, markdown_path=None,
+                           objectives_only=True) == 0)
+        expect("objectives-only catches drift",
+               run_compare(tmp_paths[0], tmp_paths[2], thresholds,
+                           informational=False, markdown_path=None,
+                           objectives_only=True) == 1)
+    finally:
+        for path in tmp_paths:
+            os.unlink(path)
+
     if failures:
         sys.stderr.write("bench_compare: self-test FAILED: %s\n" % failures)
         return 1
@@ -262,12 +300,15 @@ def main(argv):
     paths = []
     thresholds = Thresholds()
     informational = False
+    objectives_only = False
     markdown_path = None
     for arg in argv[1:]:
         if arg == "--self-test":
             return self_test()
         elif arg == "--informational":
             informational = True
+        elif arg == "--objectives-only":
+            objectives_only = True
         elif arg.startswith("--abs-floor-ms="):
             thresholds.abs_floor_ms = float(arg.split("=", 1)[1])
         elif arg.startswith("--rel-threshold="):
@@ -284,7 +325,7 @@ def main(argv):
         fail_usage("expected exactly two BENCH json paths, got %d"
                    % len(paths))
     return run_compare(paths[0], paths[1], thresholds, informational,
-                       markdown_path)
+                       markdown_path, objectives_only)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,102 @@
+#include "algo/candidate_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace usep {
+
+CandidateIndex::CandidateIndex(const Instance& instance)
+    : instance_(&instance),
+      triangle_(instance.TriangleInequalityHolds()),
+      users_of_event_(instance.num_events()),
+      events_of_user_(instance.num_users()),
+      slots_(instance.num_events()) {
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    std::vector<UserId>& users = users_of_event_[v];
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (!(instance.utility(v, u) > 0.0)) continue;
+      // Lemma 1: only sound when the triangle inequality is guaranteed —
+      // over arbitrary matrices a schedule containing v can undercut the
+      // round trip, so the pair must stay scannable.
+      if (triangle_ && instance.RoundTripCost(u, v) > instance.user(u).budget) {
+        continue;
+      }
+      const int32_t pos = static_cast<int32_t>(users.size());
+      users.push_back(u);
+      events_of_user_[u].push_back(EventRef{v, pos});
+    }
+    users.shrink_to_fit();
+    slots_[v].resize(users.size());
+    num_pairs_ += static_cast<int64_t>(users.size());
+  }
+  // EventsOf(u) lists are ascending by event id for free: the outer loop
+  // visits events in increasing order.
+}
+
+std::optional<Schedule::Insertion> CandidateIndex::CachedCheckInsertionAt(
+    const Planning& planning, EventId v, int32_t pos) {
+  Slot& slot = slots_[v][static_cast<size_t>(pos)];
+  const UserId u = users_of_event_[v][static_cast<size_t>(pos)];
+  const uint64_t epoch = planning.schedule_epoch(u);
+  if (slot.epoch == epoch) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!slot.feasible) return std::nullopt;
+    return Schedule::Insertion{slot.position, slot.inc_cost};
+  }
+  if (slot.epoch != 0) invalidations_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::optional<Schedule::Insertion> insertion =
+      planning.CheckInsertion(v, u);
+  slot.epoch = epoch;
+  slot.feasible = insertion.has_value();
+  if (insertion.has_value()) {
+    slot.position = insertion->position;
+    slot.inc_cost = insertion->inc_cost;
+  }
+  return insertion;
+}
+
+std::optional<Schedule::Insertion> CandidateIndex::CachedCheckAssign(
+    const Planning& planning, EventId v, UserId u) {
+  const std::vector<UserId>& users = users_of_event_[v];
+  const auto it = std::lower_bound(users.begin(), users.end(), u);
+  if (it == users.end() || *it != u) {
+    // Statically infeasible: CheckAssign can never succeed for this pair.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (planning.EventFull(v)) return std::nullopt;
+  return CachedCheckInsertionAt(planning, v,
+                                static_cast<int32_t>(it - users.begin()));
+}
+
+bool CandidateIndex::TryAssignCached(Planning* planning, EventId v, UserId u) {
+  const std::optional<Schedule::Insertion> insertion =
+      CachedCheckAssign(*planning, v, u);
+  if (!insertion.has_value()) return false;
+  planning->Assign(v, u, *insertion);
+  return true;
+}
+
+void CandidateIndex::FlushStats(PlannerStats* stats) const {
+  stats->cache_hits += hits();
+  stats->cache_misses += misses();
+  stats->cache_invalidations += invalidations();
+}
+
+size_t CandidateIndex::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const std::vector<UserId>& users : users_of_event_) {
+    bytes += users.capacity() * sizeof(UserId);
+  }
+  for (const std::vector<EventRef>& events : events_of_user_) {
+    bytes += events.capacity() * sizeof(EventRef);
+  }
+  for (const std::vector<Slot>& slots : slots_) {
+    bytes += slots.capacity() * sizeof(Slot);
+  }
+  return bytes;
+}
+
+}  // namespace usep

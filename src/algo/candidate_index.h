@@ -1,0 +1,144 @@
+#ifndef USEP_ALGO_CANDIDATE_INDEX_H_
+#define USEP_ALGO_CANDIDATE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "algo/stats.h"
+#include "core/planning.h"
+
+namespace usep {
+
+// Incremental candidate index + insertion-feasibility cache shared by the
+// greedy planner family (RatioGreedy and the +RG augmentation, DeGreedy,
+// NaiveRatioGreedy, LocalSearch, MinAttendance).
+//
+// Two layers:
+//
+//  1. STATIC bipartite lists, computed once per instance.  A pair (v, u) is
+//     statically feasible when mu(v, u) > 0 (CheckAssign's utility
+//     constraint — schedule-independent) and, when the cost model guarantees
+//     the triangle inequality, RoundTripCost(u, v) <= b_u (Lemma 1: any
+//     schedule containing v costs u at least the round trip, so a pair
+//     failing it can never be arranged).  Champion scans iterate these lists
+//     instead of the full 0..|U| / 0..|V| ranges; every skipped pair is one
+//     Planning::CheckAssign rejection the uncached scan used to pay for on
+//     EVERY re-election.  The lists are ascending by id, so a scan that
+//     keeps the first strictly-better candidate elects the same champion as
+//     the full-range scan — plannings stay bit-identical.
+//
+//  2. An EPOCH-GUARDED memo of Planning::CheckInsertion, one slot per
+//     statically feasible pair.  CheckInsertion(v, u) depends only on u's
+//     schedule (plus static data), so a slot stamped with schedule_epoch(u)
+//     stays exact until u's schedule next mutates; the O(1) capacity gate is
+//     re-applied fresh on every query.  Between two elections of an event's
+//     champion most schedules are unchanged, so most re-scans become pure
+//     cache hits instead of FindInsertion walks.
+//
+// Thread safety: the static lists are immutable after construction and
+// safely shared by parallel champion scans (LocalSearch threads the index
+// through its Parallelizer blocks).  Cache slots are written without
+// synchronization, which is safe exactly when concurrent readers partition
+// the USER ranges of distinct slots — the repo's parallel scans block over
+// disjoint user ranges of one event's list, so no two threads ever touch
+// the same slot.  The hit/miss/invalidate counters are relaxed atomics.
+//
+// Lifetime: one index per planner run, built against one Planning's
+// instance; feed it queries for that planning only.
+class CandidateIndex {
+ public:
+  // A statically feasible event of some user, with the position of that
+  // user inside UsersOf(event) — the O(1) handle to the shared cache slot.
+  struct EventRef {
+    EventId event = -1;
+    int32_t pos = -1;
+  };
+
+  explicit CandidateIndex(const Instance& instance);
+
+  const Instance& instance() const { return *instance_; }
+
+  // Users statically feasible for `v`, ascending.
+  const std::vector<UserId>& UsersOf(EventId v) const {
+    return users_of_event_[v];
+  }
+  // Events statically feasible for `u`, ascending by event id.
+  const std::vector<EventRef>& EventsOf(UserId u) const {
+    return events_of_user_[u];
+  }
+  // Total statically feasible pairs (== sum of list sizes on either side).
+  int64_t num_pairs() const { return num_pairs_; }
+
+  // Whether CheckInsertion failures are PERMANENT under a monotone planning
+  // (one that only assigns, never unassigns — e.g. one RatioGreedy::Augment
+  // call): membership and time conflicts only accumulate, and with the
+  // triangle inequality the route cost of S_u + {v} is non-decreasing in
+  // S_u, so budget failures are permanent too.  Monotone scans may then
+  // drop a rejected pair from their working lists for good.  Without the
+  // triangle guarantee a budget failure can heal, so droppability is off.
+  bool MonotoneInfeasibilityIsPermanent() const { return triangle_; }
+
+  // Memoized Planning::CheckAssign(v, UsersOf(v)[pos]): bit-identical
+  // result, epoch-guarded.  NOT const — it writes the cache slot.
+  std::optional<Schedule::Insertion> CachedCheckAssignAt(
+      const Planning& planning, EventId v, int32_t pos) {
+    if (planning.EventFull(v)) return std::nullopt;
+    return CachedCheckInsertionAt(planning, v, pos);
+  }
+
+  // As above but skipping the capacity gate — for callers that already
+  // know the event has spare seats.
+  std::optional<Schedule::Insertion> CachedCheckInsertionAt(
+      const Planning& planning, EventId v, int32_t pos);
+
+  // Memoized Planning::CheckAssign(v, u) for an arbitrary pair: binary
+  // search for u's slot (statically infeasible pairs answer nullopt in
+  // O(log) without touching the planning).
+  std::optional<Schedule::Insertion> CachedCheckAssign(const Planning& planning,
+                                                       EventId v, UserId u);
+
+  // CachedCheckAssign + Planning::Assign; the index-aware TryAssign.
+  bool TryAssignCached(Planning* planning, EventId v, UserId u);
+
+  // Cache telemetry, exposed as usep.planner.cache.{hit,miss,invalidate}
+  // (see algo/planner_obs.h).  A hit answered from a live slot (or from
+  // static pruning) costs no FindInsertion; a miss recomputes; an
+  // invalidate is the subset of misses whose slot held a stale epoch.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+  // Folds the three counters into `stats` (adds, does not overwrite).  Call
+  // once per planner run, after the last query.
+  void FlushStats(PlannerStats* stats) const;
+
+  // Dominant working-set size, for PlannerStats::logical_peak_bytes.
+  size_t ApproxBytes() const;
+
+ private:
+  struct Slot {
+    uint64_t epoch = 0;  // 0: never computed.
+    Cost inc_cost = 0;
+    int32_t position = 0;
+    bool feasible = false;
+  };
+
+  const Instance* instance_;  // Not owned; must outlive the index.
+  bool triangle_ = false;
+  int64_t num_pairs_ = 0;
+  std::vector<std::vector<UserId>> users_of_event_;
+  std::vector<std::vector<EventRef>> events_of_user_;
+  // slots_[v][pos] memoizes CheckInsertion(v, UsersOf(v)[pos]).
+  std::vector<std::vector<Slot>> slots_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_CANDIDATE_INDEX_H_

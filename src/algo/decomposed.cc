@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
+#include "algo/candidate_index.h"
 #include "algo/parallel.h"
 #include "algo/ratio_greedy.h"
 #include "common/logging.h"
@@ -165,18 +167,28 @@ std::vector<UserId> MakeUserOrder(const Instance& instance, UserOrder order,
 }
 
 void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
-                            PlannerStats* stats, PlanGuard* guard) {
+                            PlannerStats* stats, PlanGuard* guard,
+                            bool use_candidate_index) {
   if (guard != nullptr && guard->stopped()) return;
-  obs::TraceSpan augment_span(
-      guard != nullptr ? guard->context().trace : nullptr,
-      "decomposed/rg-augment", "planner");
+  obs::TraceRecorder* const trace =
+      guard != nullptr ? guard->context().trace : nullptr;
+  obs::TraceSpan augment_span(trace, "decomposed/rg-augment", "planner");
   std::vector<EventId> spare;
   for (EventId v = 0; v < instance.num_events(); ++v) {
     if (!planning->EventFull(v)) spare.push_back(v);
   }
   augment_span.AddArg("spare_events", static_cast<int64_t>(spare.size()));
   if (spare.empty()) return;
-  RatioGreedyPlanner::Augment(instance, spare, planning, stats, guard);
+  std::optional<CandidateIndex> index;
+  if (use_candidate_index) {
+    obs::TraceSpan index_span(trace, "rg/index-build", "planner");
+    index.emplace(instance);
+    index_span.AddArg("pairs", index->num_pairs());
+    index_span.End();
+  }
+  RatioGreedyPlanner::Augment(instance, spare, planning, stats, guard,
+                              index.has_value() ? &*index : nullptr);
+  if (index.has_value()) index->FlushStats(stats);
 }
 
 }  // namespace usep

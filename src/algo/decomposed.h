@@ -71,9 +71,12 @@ Planning AssemblePlanning(const Instance& instance, const SelectArray& select);
 // spare capacity to top up `planning` (the +RG in DeDPO+RG / DeGreedy+RG).
 // Never lowers the utility, and preserves the 1/2-approximation.  `guard`
 // (optional, not owned) stops the augmentation early; the planning stays
-// valid at every step.
+// valid at every step.  `use_candidate_index` (the default) builds a
+// CandidateIndex for the augmentation's champion elections — identical
+// plannings, faster scans; cache telemetry folds into `stats`.
 void AugmentWithRatioGreedy(const Instance& instance, Planning* planning,
-                            PlannerStats* stats, PlanGuard* guard = nullptr);
+                            PlannerStats* stats, PlanGuard* guard = nullptr,
+                            bool use_candidate_index = true);
 
 // In which order the framework processes users.  The paper fixes instance
 // order; Theorem 3's induction is order-agnostic, so any order keeps the

@@ -63,7 +63,8 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
   assemble_span.End();
 
   if (options_.augment_with_rg) {
-    AugmentWithRatioGreedy(instance, &planning, &stats, &guard);
+    AugmentWithRatioGreedy(instance, &planning, &stats, &guard,
+                           options_.use_candidate_index);
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();

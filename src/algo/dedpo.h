@@ -17,6 +17,9 @@ class DeDpoPlanner : public Planner {
  public:
   struct Options {
     bool augment_with_rg = false;  // DeDPO+RG when true.
+    // Runs the +RG champion elections over a CandidateIndex (identical
+    // plannings, faster scans); off = the seed's full rescans.
+    bool use_candidate_index = true;
     SingleUserOptions dp;          // Passed to DPSingle (ablation knobs).
     // Processing order of the decomposed subproblems; any choice keeps the
     // 1/2 guarantee (see decomposed.h).

@@ -18,6 +18,9 @@ class DeGreedyPlanner : public Planner {
  public:
   struct Options {
     bool augment_with_rg = false;  // DeGreedy+RG when true.
+    // Runs the +RG champion elections over a CandidateIndex (identical
+    // plannings, faster scans); off = the seed's full rescans.
+    bool use_candidate_index = true;
     // Processing order of the decomposed subproblems (see decomposed.h).
     UserOrder user_order = UserOrder::kInstanceOrder;
     uint64_t order_seed = 1;

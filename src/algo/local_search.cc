@@ -1,5 +1,8 @@
 #include "algo/local_search.h"
 
+#include <optional>
+
+#include "algo/candidate_index.h"
 #include "algo/planner_obs.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
@@ -11,15 +14,30 @@ namespace {
 
 constexpr double kMinGain = 1e-12;
 
-// One pass of "add" moves; returns how many were applied.
-int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard) {
+// One pass of "add" moves; returns how many were applied.  With an index the
+// user loop shrinks to UsersOf(v) — the users skipped can never be assigned
+// to v, so the arrangements (and their order) are unchanged.
+int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard,
+            CandidateIndex* index) {
   int applied = 0;
   for (EventId v = 0; v < instance.num_events(); ++v) {
     if (guard != nullptr && guard->ShouldStop()) break;
     if (planning->EventFull(v)) continue;
-    for (UserId u = 0; u < instance.num_users(); ++u) {
-      if (planning->TryAssign(v, u)) ++applied;
-      if (planning->EventFull(v)) break;
+    if (index != nullptr) {
+      const std::vector<UserId>& users = index->UsersOf(v);
+      for (int32_t pos = 0; pos < static_cast<int32_t>(users.size()); ++pos) {
+        const std::optional<Schedule::Insertion> insertion =
+            index->CachedCheckInsertionAt(*planning, v, pos);
+        if (!insertion.has_value()) continue;
+        planning->Assign(v, users[pos], *insertion);
+        ++applied;
+        if (planning->EventFull(v)) break;
+      }
+    } else {
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        if (planning->TryAssign(v, u)) ++applied;
+        if (planning->EventFull(v)) break;
+      }
     }
   }
   return applied;
@@ -33,26 +51,52 @@ int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard) {
 // independent, making the result identical at every thread count.
 UserId FindBestRecipient(const Instance& instance, const Planning& planning,
                          EventId v, UserId exclude, double threshold,
-                         Parallelizer* parallel) {
+                         Parallelizer* parallel, CandidateIndex* index) {
   struct Best {
     UserId user = -1;
     double mu = 0.0;
   };
   std::vector<Best> per_block(static_cast<size_t>(parallel->num_blocks()));
-  parallel->For(
-      0, instance.num_users(), [&](int block, int64_t begin, int64_t end) {
-        Best best;
-        for (UserId to = static_cast<UserId>(begin); to < end; ++to) {
-          if (to == exclude) continue;
-          const double mu = instance.utility(v, to);
-          if (mu <= threshold + kMinGain) continue;
-          if (best.user >= 0 && mu <= best.mu) continue;
-          if (planning.CheckAssign(v, to).has_value()) {
-            best = Best{to, mu};
+  if (index != nullptr) {
+    // Sweep UsersOf(v) instead of every user: the skipped users all have
+    // mu == 0 (filtered by the threshold) or fail CheckAssign statically.
+    // Blocks partition the list's POSITIONS, so no two threads ever touch
+    // the same cache slot (the index's thread-safety contract).
+    const std::vector<UserId>& users = index->UsersOf(v);
+    parallel->For(
+        0, static_cast<int64_t>(users.size()),
+        [&](int block, int64_t begin, int64_t end) {
+          Best best;
+          for (int64_t i = begin; i < end; ++i) {
+            const UserId to = users[static_cast<size_t>(i)];
+            if (to == exclude) continue;
+            const double mu = instance.utility(v, to);
+            if (mu <= threshold + kMinGain) continue;
+            if (best.user >= 0 && mu <= best.mu) continue;
+            if (index->CachedCheckAssignAt(planning, v,
+                                           static_cast<int32_t>(i))
+                    .has_value()) {
+              best = Best{to, mu};
+            }
           }
-        }
-        per_block[static_cast<size_t>(block)] = best;
-      });
+          per_block[static_cast<size_t>(block)] = best;
+        });
+  } else {
+    parallel->For(
+        0, instance.num_users(), [&](int block, int64_t begin, int64_t end) {
+          Best best;
+          for (UserId to = static_cast<UserId>(begin); to < end; ++to) {
+            if (to == exclude) continue;
+            const double mu = instance.utility(v, to);
+            if (mu <= threshold + kMinGain) continue;
+            if (best.user >= 0 && mu <= best.mu) continue;
+            if (planning.CheckAssign(v, to).has_value()) {
+              best = Best{to, mu};
+            }
+          }
+          per_block[static_cast<size_t>(block)] = best;
+        });
+  }
   Best best;  // Earlier blocks hold smaller ids, so ties keep the first.
   for (const Best& candidate : per_block) {
     if (candidate.user >= 0 && (best.user < 0 || candidate.mu > best.mu)) {
@@ -65,7 +109,8 @@ UserId FindBestRecipient(const Instance& instance, const Planning& planning,
 // One pass of "transfer" moves: hand an arranged event to a user who values
 // it strictly more.
 int TryTransfers(const Instance& instance, Planning* planning,
-                 PlanGuard* guard, Parallelizer* parallel) {
+                 PlanGuard* guard, Parallelizer* parallel,
+                 CandidateIndex* index) {
   int applied = 0;
   for (UserId from = 0; from < instance.num_users(); ++from) {
     if (guard != nullptr && guard->ShouldStop()) break;
@@ -74,16 +119,21 @@ int TryTransfers(const Instance& instance, Planning* planning,
     for (const EventId v : events) {
       const bool assigned = planning->Unassign(v, from);
       USEP_DCHECK(assigned);
-      const UserId best = FindBestRecipient(
-          instance, *planning, v, from, instance.utility(v, from), parallel);
+      const UserId best =
+          FindBestRecipient(instance, *planning, v, from,
+                            instance.utility(v, from), parallel, index);
       if (best >= 0) {
-        const bool moved = planning->TryAssign(v, best);
+        const bool moved = index != nullptr
+                               ? index->TryAssignCached(planning, v, best)
+                               : planning->TryAssign(v, best);
         USEP_CHECK(moved) << "transfer target vanished";
         ++applied;
       } else {
         // Roll back: re-inserting into the original schedule is always
         // feasible (it is a subset of a state that contained v).
-        const bool restored = planning->TryAssign(v, from);
+        const bool restored = index != nullptr
+                                  ? index->TryAssignCached(planning, v, from)
+                                  : planning->TryAssign(v, from);
         USEP_CHECK(restored) << "transfer rollback failed";
       }
     }
@@ -92,7 +142,12 @@ int TryTransfers(const Instance& instance, Planning* planning,
 }
 
 // One pass of "swap" moves: exchange two arranged events between two users.
-int TrySwaps(const Instance& instance, Planning* planning, PlanGuard* guard) {
+int TrySwaps(const Instance& instance, Planning* planning, PlanGuard* guard,
+             CandidateIndex* index) {
+  const auto try_assign = [&](EventId v, UserId u) {
+    return index != nullptr ? index->TryAssignCached(planning, v, u)
+                            : planning->TryAssign(v, u);
+  };
   int applied = 0;
   for (UserId a = 0; a < instance.num_users(); ++a) {
     for (UserId b = a + 1; b < instance.num_users(); ++b) {
@@ -116,15 +171,15 @@ int TrySwaps(const Instance& instance, Planning* planning, PlanGuard* guard) {
             // NOT be "undone" — only undo assigns that actually happened.
             planning->Unassign(va, a);
             planning->Unassign(vb, b);
-            const bool assigned_vb_to_a = planning->TryAssign(vb, a);
-            if (assigned_vb_to_a && planning->TryAssign(va, b)) {
+            const bool assigned_vb_to_a = try_assign(vb, a);
+            if (assigned_vb_to_a && try_assign(va, b)) {
               ++applied;
               swapped = true;
               break;
             }
             if (assigned_vb_to_a) planning->Unassign(vb, a);
-            const bool restore_a = planning->TryAssign(va, a);
-            const bool restore_b = planning->TryAssign(vb, b);
+            const bool restore_a = try_assign(va, a);
+            const bool restore_b = try_assign(vb, b);
             USEP_CHECK(restore_a && restore_b) << "swap rollback failed";
           }
           if (swapped) break;
@@ -139,11 +194,20 @@ int TrySwaps(const Instance& instance, Planning* planning, PlanGuard* guard) {
 
 LocalSearchReport ImprovePlanning(const Instance& instance,
                                   const LocalSearchOptions& options,
-                                  Planning* planning, PlanGuard* guard) {
+                                  Planning* planning, PlanGuard* guard,
+                                  CandidateIndex* index) {
   LocalSearchReport report;
   obs::TraceRecorder* const trace =
       guard != nullptr ? guard->context().trace : nullptr;
   obs::TraceSpan improve_span(trace, "local-search/improve", "planner");
+  std::optional<CandidateIndex> own_index;
+  if (index == nullptr && options.use_candidate_index) {
+    obs::TraceSpan index_span(trace, "rg/index-build", "planner");
+    own_index.emplace(instance);
+    index_span.AddArg("pairs", own_index->num_pairs());
+    index_span.End();
+    index = &*own_index;
+  }
   const double initial_utility = planning->total_utility();
   // One pool for every round's transfer scans; sequential configs cost
   // nothing.  Cancellation is observed through `guard` between moves, so
@@ -158,17 +222,18 @@ LocalSearchReport ImprovePlanning(const Instance& instance,
     round_span.AddArg("round", static_cast<int64_t>(round));
     int moves = 0;
     if (options.enable_add) {
-      const int adds = TryAdds(instance, planning, guard);
+      const int adds = TryAdds(instance, planning, guard, index);
       report.adds += adds;
       moves += adds;
     }
     if (options.enable_transfer) {
-      const int transfers = TryTransfers(instance, planning, guard, &parallel);
+      const int transfers =
+          TryTransfers(instance, planning, guard, &parallel, index);
       report.transfers += transfers;
       moves += transfers;
     }
     if (options.enable_swap) {
-      const int swaps = TrySwaps(instance, planning, guard);
+      const int swaps = TrySwaps(instance, planning, guard, index);
       report.swaps += swaps;
       moves += swaps;
     }
@@ -197,8 +262,23 @@ PlannerResult LocalSearchPlanner::Plan(const Instance& instance,
   plan_span.AddArg("planner", name());
   PlannerResult result = base_->Plan(instance, context);
   PlanGuard guard(context);
+  std::optional<CandidateIndex> index;
+  if (options_.use_candidate_index) {
+    obs::TraceSpan index_span(context.trace, "rg/index-build", "planner");
+    index.emplace(instance);
+    index_span.AddArg("pairs", index->num_pairs());
+    index_span.End();
+  }
   const LocalSearchReport report =
-      ImprovePlanning(instance, options_, &result.planning, &guard);
+      ImprovePlanning(instance, options_, &result.planning, &guard,
+                      index.has_value() ? &*index : nullptr);
+  if (index.has_value()) {
+    index->FlushStats(&result.stats);
+    const size_t bytes = index->ApproxBytes();
+    if (bytes > result.stats.logical_peak_bytes) {
+      result.stats.logical_peak_bytes = bytes;
+    }
+  }
   result.stats.iterations += report.total_moves();
   result.stats.wall_seconds = stopwatch.ElapsedSeconds();
   result.stats.guard_nodes += guard.nodes();

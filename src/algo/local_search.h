@@ -31,6 +31,14 @@ struct LocalSearchOptions {
   // users.  Mutating passes (applying moves, add/swap enumeration) stay
   // sequential, so plannings are bit-identical at any thread count.
   ParallelConfig parallel;
+  // Runs the hot scans (add enumeration, recipient sweeps, swap probes)
+  // over a CandidateIndex: only statically feasible pairs are probed, and
+  // feasibility answers are memoized per schedule epoch.  The search
+  // unassigns freely, so the index's working lists are never compacted —
+  // correctness rests purely on the epoch guards.  Identical plannings
+  // either way; parallel recipient sweeps block over an event's static user
+  // list, which preserves the bit-identical-at-any-thread-count contract.
+  bool use_candidate_index = true;
 };
 
 struct LocalSearchReport {
@@ -43,14 +51,19 @@ struct LocalSearchReport {
   int total_moves() const { return adds + transfers + swaps; }
 };
 
+class CandidateIndex;
+
 // Improves `planning` in place; returns what happened.  `guard` (optional,
 // not owned) stops the search between moves: every accepted move keeps the
 // planning feasible, so an interrupted search still leaves a valid (merely
-// less-improved) planning.
+// less-improved) planning.  `index` (optional, not owned) supplies a
+// prebuilt CandidateIndex for `instance`; when null and the options ask for
+// one, the function builds its own.
 LocalSearchReport ImprovePlanning(const Instance& instance,
                                   const LocalSearchOptions& options,
                                   Planning* planning,
-                                  PlanGuard* guard = nullptr);
+                                  PlanGuard* guard = nullptr,
+                                  CandidateIndex* index = nullptr);
 
 // A planner decorator: runs `base`, then local search on its planning.
 // Named "<base>+LS".

@@ -1,5 +1,8 @@
 #include "algo/min_attendance.h"
 
+#include <optional>
+
+#include "algo/candidate_index.h"
 #include "algo/ratio_greedy.h"
 #include "common/logging.h"
 
@@ -38,6 +41,28 @@ MinAttendanceReport EnforceMinimumAttendance(
   MinAttendanceReport report;
   report.utility_before = planning->total_utility();
 
+  // One index for the whole repair: its static lists bound who can possibly
+  // attend each event (a valid planning never assigns a statically
+  // infeasible pair), and its memo layer serves the re-augmentation's
+  // champion elections across cancellation rounds — epoch guards keep it
+  // exact through the unassigns in between.
+  std::optional<CandidateIndex> index;
+  if (options.use_candidate_index) index.emplace(instance);
+
+  // Unassigns every attendee of `victim`.  Dropping events never breaks
+  // feasibility.
+  const auto cancel_event = [&](EventId victim) {
+    if (index.has_value()) {
+      for (const UserId u : index->UsersOf(victim)) {
+        if (planning->Unassign(victim, u)) ++report.assignments_removed;
+      }
+    } else {
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        if (planning->Unassign(victim, u)) ++report.assignments_removed;
+      }
+    }
+  };
+
   std::vector<bool> cancelled(instance.num_events(), false);
   while (true) {
     const EventId victim =
@@ -45,10 +70,7 @@ MinAttendanceReport EnforceMinimumAttendance(
     if (victim < 0) break;
     cancelled[victim] = true;
     report.cancelled.push_back(victim);
-    // Unassign every attendee.  Dropping events never breaks feasibility.
-    for (UserId u = 0; u < instance.num_users(); ++u) {
-      if (planning->Unassign(victim, u)) ++report.assignments_removed;
-    }
+    cancel_event(victim);
   }
 
   if (options.reaugment_with_rg && !report.cancelled.empty()) {
@@ -59,7 +81,9 @@ MinAttendanceReport EnforceMinimumAttendance(
     if (!survivors.empty()) {
       const int before = planning->total_assignments();
       PlannerStats stats;
-      RatioGreedyPlanner::Augment(instance, survivors, planning, &stats);
+      RatioGreedyPlanner::Augment(instance, survivors, planning, &stats,
+                                  /*guard=*/nullptr,
+                                  index.has_value() ? &*index : nullptr);
       report.assignments_readded = planning->total_assignments() - before;
       // Augmenting only adds attendees, so viable events stay viable and
       // cancelled ones (excluded from the candidate set) stay empty — but
@@ -71,9 +95,7 @@ MinAttendanceReport EnforceMinimumAttendance(
         if (victim < 0) break;
         cancelled[victim] = true;
         report.cancelled.push_back(victim);
-        for (UserId u = 0; u < instance.num_users(); ++u) {
-          if (planning->Unassign(victim, u)) ++report.assignments_removed;
-        }
+        cancel_event(victim);
       }
     }
   }

@@ -25,6 +25,12 @@ namespace usep {
 // attendees, and all Definition 2 constraints still hold.
 struct MinAttendanceOptions {
   bool reaugment_with_rg = true;
+  // Builds a CandidateIndex for the repair pass: cancellation unassigns
+  // loop over the victim's statically feasible users (a valid planning
+  // never assigns outside them — Lemma 1), and the re-augmentation reuses
+  // the index for its champion elections.  Identical results; off = the
+  // seed's full-range loops.
+  bool use_candidate_index = true;
 };
 
 struct MinAttendanceReport {

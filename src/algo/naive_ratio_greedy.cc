@@ -1,7 +1,9 @@
 #include "algo/naive_ratio_greedy.h"
 
+#include <cstdint>
 #include <optional>
 
+#include "algo/candidate_index.h"
 #include "algo/planner_obs.h"
 #include "algo/ratio.h"
 #include "common/stopwatch.h"
@@ -19,24 +21,80 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
   PlannerStats stats;
   PlanGuard guard(context);
 
+  std::optional<CandidateIndex> index;
+  // Working lists scanned each round, compacted as pairs die.  This planner
+  // only ever assigns, so a full event stays full and (when the index
+  // guarantees permanence) an insertion-infeasible pair stays infeasible —
+  // both may drop for good.  Lists stay ascending, so each round's
+  // first-strictly-better scan picks the same pair as the legacy full
+  // rescan.
+  std::vector<EventId> live_events;
+  std::vector<std::vector<int32_t>> live_users;
+  if (options_.use_candidate_index) {
+    obs::TraceSpan index_span(context.trace, "rg/index-build", "planner");
+    index.emplace(instance);
+    index_span.AddArg("pairs", index->num_pairs());
+    index_span.End();
+    live_events.reserve(instance.num_events());
+    live_users.resize(instance.num_events());
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      live_events.push_back(v);
+      std::vector<int32_t>& lst = live_users[v];
+      lst.resize(index->UsersOf(v).size());
+      for (size_t i = 0; i < lst.size(); ++i) lst[i] = static_cast<int32_t>(i);
+    }
+  }
+  const bool droppable =
+      index.has_value() && index->MonotoneInfeasibilityIsPermanent();
+
   while (!guard.ShouldStop()) {
     std::optional<RatioKey> best_key;
     EventId best_v = -1;
     UserId best_u = -1;
     Schedule::Insertion best_insertion;
 
-    for (EventId v = 0; v < instance.num_events(); ++v) {
-      if (planning.EventFull(v)) continue;
-      for (UserId u = 0; u < instance.num_users(); ++u) {
-        const std::optional<Schedule::Insertion> insertion =
-            planning.CheckAssign(v, u);
-        if (!insertion.has_value()) continue;
-        const RatioKey key{instance.utility(v, u), insertion->inc_cost};
-        if (!best_key.has_value() || RatioBetter(key, *best_key)) {
-          best_key = key;
-          best_v = v;
-          best_u = u;
-          best_insertion = *insertion;
+    if (index.has_value()) {
+      size_t live_out = 0;
+      for (const EventId v : live_events) {
+        if (planning.EventFull(v)) continue;
+        live_events[live_out++] = v;
+        std::vector<int32_t>& lst = live_users[v];
+        const std::vector<UserId>& users = index->UsersOf(v);
+        size_t out = 0;
+        for (const int32_t pos : lst) {
+          const std::optional<Schedule::Insertion> insertion =
+              index->CachedCheckInsertionAt(planning, v, pos);
+          if (!insertion.has_value()) {
+            if (!droppable) lst[out++] = pos;
+            continue;
+          }
+          lst[out++] = pos;
+          const UserId u = users[pos];
+          const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+          if (!best_key.has_value() || RatioBetter(key, *best_key)) {
+            best_key = key;
+            best_v = v;
+            best_u = u;
+            best_insertion = *insertion;
+          }
+        }
+        lst.resize(out);
+      }
+      live_events.resize(live_out);
+    } else {
+      for (EventId v = 0; v < instance.num_events(); ++v) {
+        if (planning.EventFull(v)) continue;
+        for (UserId u = 0; u < instance.num_users(); ++u) {
+          const std::optional<Schedule::Insertion> insertion =
+              planning.CheckAssign(v, u);
+          if (!insertion.has_value()) continue;
+          const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+          if (!best_key.has_value() || RatioBetter(key, *best_key)) {
+            best_key = key;
+            best_v = v;
+            best_u = u;
+            best_insertion = *insertion;
+          }
         }
       }
     }
@@ -44,6 +102,16 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
     if (!best_key.has_value()) break;
     planning.Assign(best_v, best_u, best_insertion);
     ++stats.iterations;
+  }
+
+  if (index.has_value()) {
+    index->FlushStats(&stats);
+    size_t bytes = index->ApproxBytes();
+    bytes += live_events.capacity() * sizeof(EventId);
+    for (const auto& lst : live_users) {
+      bytes += lst.capacity() * sizeof(int32_t);
+    }
+    if (bytes > stats.logical_peak_bytes) stats.logical_peak_bytes = bytes;
   }
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();

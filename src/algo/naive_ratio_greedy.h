@@ -17,13 +17,32 @@ namespace usep {
 // ratio for the event is not reconsidered until the stored champion is
 // consumed.  The ablation benchmark quantifies both the utility gap (usually
 // none) and the speed gap (large).
+//
+// By default the per-round rescans run over a CandidateIndex
+// (algo/candidate_index.h): only statically feasible pairs are probed, the
+// answers memoized per schedule epoch (the planner only ever assigns, so at
+// most one user's memo row goes stale per round), and dead pairs drop from
+// the working lists for good.  Plannings are bit-identical either way.
 class NaiveRatioGreedyPlanner : public Planner {
  public:
+  struct Options {
+    // Off = the seed's full |V| x |U| rescans, kept for differential
+    // testing; identical plannings either way.
+    bool use_candidate_index = true;
+  };
+
+  NaiveRatioGreedyPlanner() = default;
+  explicit NaiveRatioGreedyPlanner(const Options& options)
+      : options_(options) {}
+
   std::string_view name() const override { return "NaiveRatioGreedy"; }
 
   using Planner::Plan;
   PlannerResult Plan(const Instance& instance,
                      const PlanContext& context) const override;
+
+ private:
+  Options options_;
 };
 
 }  // namespace usep

@@ -19,6 +19,18 @@ void RecordPlannerRun(const PlanContext& context, std::string_view name,
   metrics->GetCounter(prefix + ".heap_pushes")->Increment(stats.heap_pushes);
   metrics->GetCounter(prefix + ".dp_cells")->Increment(stats.dp_cells);
   metrics->GetCounter(prefix + ".guard_nodes")->Increment(stats.guard_nodes);
+  // CandidateIndex telemetry: global totals (the fields planners without an
+  // index leave at 0 cost nothing to add) plus per-planner counters.
+  metrics->GetCounter("usep.planner.cache.hit")->Increment(stats.cache_hits);
+  metrics->GetCounter("usep.planner.cache.miss")->Increment(stats.cache_misses);
+  metrics->GetCounter("usep.planner.cache.invalidate")
+      ->Increment(stats.cache_invalidations);
+  if (stats.cache_hits != 0 || stats.cache_misses != 0) {
+    metrics->GetCounter(prefix + ".cache.hit")->Increment(stats.cache_hits);
+    metrics->GetCounter(prefix + ".cache.miss")->Increment(stats.cache_misses);
+    metrics->GetCounter(prefix + ".cache.invalidate")
+        ->Increment(stats.cache_invalidations);
+  }
   metrics
       ->GetCounter(prefix + ".terminations." +
                    TerminationName(result.termination))

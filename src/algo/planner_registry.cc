@@ -47,37 +47,50 @@ std::unique_ptr<Planner> MakePlanner(PlannerKind kind) {
   return MakePlanner(kind, ParallelConfig());
 }
 
-std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
-                                     const ParallelConfig& parallel) {
+namespace {
+
+std::unique_ptr<Planner> MakePlannerImpl(PlannerKind kind,
+                                         const ParallelConfig& parallel,
+                                         bool use_candidate_index) {
   switch (kind) {
-    case PlannerKind::kRatioGreedy:
-      return std::make_unique<RatioGreedyPlanner>();
+    case PlannerKind::kRatioGreedy: {
+      RatioGreedyPlanner::Options options;
+      options.use_candidate_index = use_candidate_index;
+      return std::make_unique<RatioGreedyPlanner>(options);
+    }
     case PlannerKind::kDeDp:
       return std::make_unique<DeDpPlanner>();
     case PlannerKind::kDeDpo: {
       DeDpoPlanner::Options options;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<DeDpoPlanner>(options);
     }
     case PlannerKind::kDeDpoRg: {
       DeDpoPlanner::Options options;
       options.augment_with_rg = true;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<DeDpoPlanner>(options);
     }
     case PlannerKind::kDeGreedy: {
       DeGreedyPlanner::Options options;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<DeGreedyPlanner>(options);
     }
     case PlannerKind::kDeGreedyRg: {
       DeGreedyPlanner::Options options;
       options.augment_with_rg = true;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<DeGreedyPlanner>(options);
     }
-    case PlannerKind::kNaiveRatioGreedy:
-      return std::make_unique<NaiveRatioGreedyPlanner>();
+    case PlannerKind::kNaiveRatioGreedy: {
+      NaiveRatioGreedyPlanner::Options options;
+      options.use_candidate_index = use_candidate_index;
+      return std::make_unique<NaiveRatioGreedyPlanner>(options);
+    }
     case PlannerKind::kExact:
       return std::make_unique<ExactPlanner>();
     case PlannerKind::kOnlineDp:
@@ -90,17 +103,35 @@ std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
     case PlannerKind::kDeDpoRgLs: {
       LocalSearchOptions options;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<LocalSearchPlanner>(
-          MakePlanner(PlannerKind::kDeDpoRg, parallel), options);
+          MakePlannerImpl(PlannerKind::kDeDpoRg, parallel,
+                          use_candidate_index),
+          options);
     }
     case PlannerKind::kDeGreedyRgLs: {
       LocalSearchOptions options;
       options.parallel = parallel;
+      options.use_candidate_index = use_candidate_index;
       return std::make_unique<LocalSearchPlanner>(
-          MakePlanner(PlannerKind::kDeGreedyRg, parallel), options);
+          MakePlannerImpl(PlannerKind::kDeGreedyRg, parallel,
+                          use_candidate_index),
+          options);
     }
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
+                                     const ParallelConfig& parallel) {
+  return MakePlannerImpl(kind, parallel, /*use_candidate_index=*/true);
+}
+
+std::unique_ptr<Planner> MakeLegacyScanPlanner(PlannerKind kind,
+                                               const ParallelConfig& parallel) {
+  return MakePlannerImpl(kind, parallel, /*use_candidate_index=*/false);
 }
 
 StatusOr<std::unique_ptr<Planner>> MakePlannerByName(const std::string& name) {

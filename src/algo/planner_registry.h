@@ -40,6 +40,13 @@ std::unique_ptr<Planner> MakePlanner(PlannerKind kind);
 std::unique_ptr<Planner> MakePlanner(PlannerKind kind,
                                      const ParallelConfig& parallel);
 
+// As above but with every CandidateIndex option disabled: the greedy family
+// runs the seed's full-rescan scans (kinds without an index option are
+// unaffected).  Exists for the differential suite, which proves the indexed
+// planners produce bit-identical plannings to these.
+std::unique_ptr<Planner> MakeLegacyScanPlanner(PlannerKind kind,
+                                               const ParallelConfig& parallel);
+
 // Name-based lookup (case-insensitive; accepts e.g. "dedpo+rg").  A name
 // containing "->" (e.g. "Exact->DeDPO+RG->RatioGreedy") builds a
 // FallbackPlanner chain over the named rungs.

@@ -1,9 +1,11 @@
 #include "algo/ratio_greedy.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <queue>
 
+#include "algo/candidate_index.h"
 #include "algo/planner_obs.h"
 #include "algo/ratio.h"
 #include "common/failpoint.h"
@@ -76,16 +78,123 @@ std::optional<Champion> BestEventForUser(
   return best;
 }
 
+// Per-Augment working lists for the indexed elections.  `users[v]` holds the
+// still-live positions into index.UsersOf(v) (only for candidate events);
+// `events[u]` holds the still-live candidate events of user u.  Both stay
+// ascending by id, so the first-strictly-better election scan visits live
+// pairs in the same order as the legacy full-range scans and elects the
+// same champion — the bit-identical contract.  Scans compact the lists as
+// pairs die: events that filled up are dropped always (an Augment never
+// unassigns, so fullness is permanent here); insertion-infeasible pairs are
+// dropped only when the index guarantees the failure is permanent
+// (MonotoneInfeasibilityIsPermanent).
+struct LiveLists {
+  std::vector<std::vector<int32_t>> users;
+  std::vector<std::vector<CandidateIndex::EventRef>> events;
+
+  size_t ApproxBytes() const {
+    size_t bytes = 0;
+    for (const auto& lst : users) bytes += lst.capacity() * sizeof(int32_t);
+    for (const auto& lst : events) {
+      bytes += lst.capacity() * sizeof(CandidateIndex::EventRef);
+    }
+    return bytes;
+  }
+};
+
+// Indexed twin of BestUserForEvent: only statically feasible, still-live
+// users are probed, each through the epoch-guarded memo.  The caller has
+// already checked !EventFull(v), so plain CheckInsertion answers suffice.
+std::optional<Champion> BestUserForEventIndexed(const Instance& instance,
+                                                const Planning& planning,
+                                                CandidateIndex* index,
+                                                LiveLists* live, bool droppable,
+                                                EventId v) {
+  std::optional<Champion> best;
+  std::vector<int32_t>& lst = live->users[v];
+  const std::vector<UserId>& users = index->UsersOf(v);
+  size_t out = 0;
+  for (const int32_t pos : lst) {
+    const std::optional<Schedule::Insertion> insertion =
+        index->CachedCheckInsertionAt(planning, v, pos);
+    if (!insertion.has_value()) {
+      if (!droppable) lst[out++] = pos;
+      continue;
+    }
+    lst[out++] = pos;
+    const UserId u = users[pos];
+    const RatioKey key{instance.utility(v, u), insertion->inc_cost};
+    if (!best.has_value() || RatioBetter(key, best->key)) {
+      best = Champion{key, u};
+    }
+  }
+  lst.resize(out);
+  return best;
+}
+
+// Indexed twin of BestEventForUser over the live candidate events of `u`.
+std::optional<Champion> BestEventForUserIndexed(const Instance& instance,
+                                                const Planning& planning,
+                                                CandidateIndex* index,
+                                                LiveLists* live, bool droppable,
+                                                UserId u) {
+  std::optional<Champion> best;
+  std::vector<CandidateIndex::EventRef>& lst = live->events[u];
+  size_t out = 0;
+  for (const CandidateIndex::EventRef ref : lst) {
+    if (planning.EventFull(ref.event)) continue;  // Permanent within Augment.
+    const std::optional<Schedule::Insertion> insertion =
+        index->CachedCheckInsertionAt(planning, ref.event, ref.pos);
+    if (!insertion.has_value()) {
+      if (!droppable) lst[out++] = ref;
+      continue;
+    }
+    lst[out++] = ref;
+    const RatioKey key{instance.utility(ref.event, u), insertion->inc_cost};
+    if (!best.has_value() || RatioBetter(key, best->key)) {
+      best = Champion{key, ref.event};
+    }
+  }
+  lst.resize(out);
+  return best;
+}
+
 }  // namespace
 
 void RatioGreedyPlanner::Augment(const Instance& instance,
                                  const std::vector<EventId>& candidate_events,
                                  Planning* planning, PlannerStats* stats,
-                                 PlanGuard* guard) {
+                                 PlanGuard* guard, CandidateIndex* index) {
   if (guard != nullptr && guard->stopped()) return;
   obs::TraceRecorder* const trace =
       guard != nullptr ? guard->context().trace : nullptr;
   const int num_users = instance.num_users();
+  const bool indexed = index != nullptr;
+  const bool droppable = indexed && index->MonotoneInfeasibilityIsPermanent();
+
+  // Indexed working state: live lists restricted to candidate_events, plus
+  // the reverse champion map driving the lines 15-18 incident update.
+  LiveLists live;
+  std::vector<std::vector<EventId>> championed_by_user;
+  if (indexed) {
+    live.users.resize(instance.num_events());
+    live.events.resize(num_users);
+    std::vector<char> is_candidate(instance.num_events(), 0);
+    for (const EventId v : candidate_events) {
+      is_candidate[v] = 1;
+      std::vector<int32_t>& lst = live.users[v];
+      lst.resize(index->UsersOf(v).size());
+      for (size_t i = 0; i < lst.size(); ++i) {
+        lst[i] = static_cast<int32_t>(i);
+      }
+    }
+    for (UserId u = 0; u < num_users; ++u) {
+      for (const CandidateIndex::EventRef& ref : index->EventsOf(u)) {
+        if (is_candidate[ref.event]) live.events[u].push_back(ref);
+      }
+    }
+    championed_by_user.resize(num_users);
+  }
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse> heap;
   // Generation counters invalidate superseded heap entries lazily.
@@ -100,9 +209,12 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
     champion_user_of_event[v] = -1;
     if (planning->EventFull(v)) return;
     const std::optional<Champion> best =
-        BestUserForEvent(instance, *planning, v);
+        indexed ? BestUserForEventIndexed(instance, *planning, index, &live,
+                                          droppable, v)
+                : BestUserForEvent(instance, *planning, v);
     if (!best.has_value()) return;
     champion_user_of_event[v] = best->id;
+    if (indexed) championed_by_user[best->id].push_back(v);
     heap.push(HeapEntry{best->key, v, best->id, ChampionKind::kForEvent,
                         event_generation[v]});
     ++stats->heap_pushes;
@@ -110,7 +222,9 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   const auto refresh_user_champion = [&](UserId u) {
     ++user_generation[u];
     const std::optional<Champion> best =
-        BestEventForUser(instance, *planning, candidate_events, u);
+        indexed ? BestEventForUserIndexed(instance, *planning, index, &live,
+                                          droppable, u)
+                : BestEventForUser(instance, *planning, candidate_events, u);
     if (!best.has_value()) return;
     heap.push(HeapEntry{best->key, best->id, u, ChampionKind::kForUser,
                         user_generation[u]});
@@ -146,7 +260,8 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
 
     ++stats->iterations;
     const std::optional<Schedule::Insertion> insertion =
-        planning->CheckAssign(entry.v, entry.u);
+        indexed ? index->CachedCheckAssign(*planning, entry.v, entry.u)
+                : planning->CheckAssign(entry.v, entry.u);
     if (!insertion.has_value()) {
       // The pair went stale (capacity consumed elsewhere, or the duplicate
       // of a pair arranged through the other champion slot).  Re-elect this
@@ -159,6 +274,16 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
       continue;
     }
 
+    // Snapshot the events championed by this user BEFORE the refreshes
+    // below: refreshing entry.v may re-elect entry.u as its champion, and
+    // that fresh record must survive on the reverse map for the NEXT
+    // arrangement involving entry.u.
+    std::vector<EventId> affected;
+    if (indexed) {
+      affected = std::move(championed_by_user[entry.u]);
+      championed_by_user[entry.u].clear();
+    }
+
     planning->Assign(entry.v, entry.u, *insertion);
 
     // Lines 12-14: next champion user for the event.
@@ -167,9 +292,23 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
     refresh_user_champion(entry.u);
     // Lines 15-18: the user's schedule changed, so inc_cost against them
     // changed; re-elect every event whose champion was this user.
-    for (const EventId other : candidate_events) {
-      if (other != entry.v && champion_user_of_event[other] == entry.u) {
-        refresh_event_champion(other);
+    if (indexed) {
+      // The reverse map holds one entry per past election, so sort+unique
+      // and drop stale records (champion since moved elsewhere); ascending
+      // order matches the legacy candidate scan's refresh order.
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
+      for (const EventId other : affected) {
+        if (other != entry.v && champion_user_of_event[other] == entry.u) {
+          refresh_event_champion(other);
+        }
+      }
+    } else {
+      for (const EventId other : candidate_events) {
+        if (other != entry.v && champion_user_of_event[other] == entry.u) {
+          refresh_event_champion(other);
+        }
       }
     }
   }
@@ -177,11 +316,17 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   loop_span.AddArg("heap_pushes", stats->heap_pushes);
   loop_span.End();
 
-  const size_t heap_bytes =
-      static_cast<size_t>(stats->heap_pushes) * sizeof(HeapEntry);
-  const size_t state_bytes =
+  size_t state_bytes =
       event_generation.size() * (sizeof(uint64_t) + sizeof(int)) +
       user_generation.size() * sizeof(uint64_t);
+  if (indexed) {
+    state_bytes += live.ApproxBytes() + index->ApproxBytes();
+    for (const auto& lst : championed_by_user) {
+      state_bytes += lst.capacity() * sizeof(EventId);
+    }
+  }
+  const size_t heap_bytes =
+      static_cast<size_t>(stats->heap_pushes) * sizeof(HeapEntry);
   if (heap_bytes + state_bytes > stats->logical_peak_bytes) {
     stats->logical_peak_bytes = heap_bytes + state_bytes;
   }
@@ -197,9 +342,19 @@ PlannerResult RatioGreedyPlanner::Plan(const Instance& instance,
   PlannerStats stats;
   PlanGuard guard(context);
 
+  std::optional<CandidateIndex> index;
+  if (options_.use_candidate_index) {
+    obs::TraceSpan index_span(context.trace, "rg/index-build", "planner");
+    index.emplace(instance);
+    index_span.AddArg("pairs", index->num_pairs());
+    index_span.End();
+  }
+
   std::vector<EventId> all_events(instance.num_events());
   for (EventId v = 0; v < instance.num_events(); ++v) all_events[v] = v;
-  Augment(instance, all_events, &planning, &stats, &guard);
+  Augment(instance, all_events, &planning, &stats, &guard,
+          index.has_value() ? &*index : nullptr);
+  if (index.has_value()) index->FlushStats(&stats);
 
   stats.wall_seconds = stopwatch.ElapsedSeconds();
   stats.guard_nodes = guard.nodes();

@@ -7,6 +7,8 @@
 
 namespace usep {
 
+class CandidateIndex;
+
 // Algorithm 1: the heap-based RatioGreedy heuristic.
 //
 // The heap H holds at most one "champion" pair per event (its best valid
@@ -19,10 +21,28 @@ namespace usep {
 // champion is that user.  Superseded heap entries are discarded lazily via
 // generation counters.
 //
+// By default every champion (re-)election runs against a CandidateIndex
+// (algo/candidate_index.h): scans iterate only the statically feasible
+// pairs, memoize insertion answers under schedule epochs, and — an Augment
+// call only ever assigns, so infeasibility is monotone — drop dead pairs
+// from their working lists for good.  The paper's line 15-18 incident
+// update is driven by a reverse champion map instead of a full candidate
+// rescan.  Plannings are bit-identical to the unindexed scans (the
+// differential suite enforces it); only the wall clock moves.
+//
 // No approximation guarantee (Section 3); fast on loosely-constrained
 // instances, and the weakest utility-wise of the six planners.
 class RatioGreedyPlanner : public Planner {
  public:
+  struct Options {
+    // Off = the seed's full-rescan elections, kept for differential testing
+    // and as the escape hatch; identical plannings either way.
+    bool use_candidate_index = true;
+  };
+
+  RatioGreedyPlanner() = default;
+  explicit RatioGreedyPlanner(const Options& options) : options_(options) {}
+
   std::string_view name() const override { return "RatioGreedy"; }
 
   using Planner::Plan;
@@ -36,10 +56,21 @@ class RatioGreedyPlanner : public Planner {
   // spare capacity).  Updates `stats` counters in place.  `guard` (optional,
   // not owned) stops the augmentation loop early; every pair arranged up to
   // that point stays — the planning is valid at every step.
+  //
+  // `index` (optional, not owned) switches the champion elections to the
+  // indexed scans; it must have been built for `instance`.  With an index,
+  // `candidate_events` must be ascending (every in-repo caller's is) so the
+  // indexed intersection scans elect champions in the same order as the
+  // legacy candidate-order scans.  Cache hit/miss telemetry accumulates in
+  // the index — callers fold it into their stats (see planner_obs.h).
   static void Augment(const Instance& instance,
                       const std::vector<EventId>& candidate_events,
                       Planning* planning, PlannerStats* stats,
-                      PlanGuard* guard = nullptr);
+                      PlanGuard* guard = nullptr,
+                      CandidateIndex* index = nullptr);
+
+ private:
+  Options options_;
 };
 
 }  // namespace usep

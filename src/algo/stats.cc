@@ -13,6 +13,9 @@ void PlannerStats::MergeFrom(const PlannerStats& other) {
   dp_cells += other.dp_cells;
   logical_peak_bytes = std::max(logical_peak_bytes, other.logical_peak_bytes);
   guard_nodes += other.guard_nodes;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_invalidations += other.cache_invalidations;
   if (!other.fallback_rung.empty()) {
     if (!fallback_rung.empty()) fallback_rung += "; ";
     fallback_rung += other.fallback_rung;
@@ -29,6 +32,12 @@ std::string PlannerStats::ToString() const {
       "dp_cells=%lld, logical_peak=%s",
       wall_seconds * 1e3, (long long)iterations, (long long)heap_pushes,
       (long long)dp_cells, HumanBytes(logical_peak_bytes).c_str());
+  if (cache_hits != 0 || cache_misses != 0) {
+    text += StrFormat(", cache=%lld/%lld hit (%lld stale)",
+                      (long long)cache_hits,
+                      (long long)(cache_hits + cache_misses),
+                      (long long)cache_invalidations);
+  }
   if (!fallback_trace.empty()) {
     text += StrFormat(", fallback=[%s]", fallback_trace.c_str());
   }

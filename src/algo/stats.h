@@ -19,6 +19,14 @@ struct PlannerStats {
   size_t logical_peak_bytes = 0;
   int64_t guard_nodes = 0;      // Nodes counted by the PlanGuard, if any.
 
+  // CandidateIndex telemetry (planners running without an index leave all
+  // three at 0).  A hit answers a feasibility query from a live memo slot or
+  // from static pruning; a miss recomputes; invalidations are the subset of
+  // misses whose slot held a stale schedule epoch.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_invalidations = 0;
+
   // Filled by FallbackPlanner only: which rung of the chain produced the
   // returned planning, and the full descent, e.g.
   // "Exact:node-budget -> DeDPO+RG:completed".

@@ -77,6 +77,14 @@ class Instance {
     return AddCost(UserToEventCost(u, v), EventToUserCost(v, u));
   }
 
+  // Whether the cost model guarantees the triangle inequality (see
+  // CostModel::GuaranteesTriangleInequality).  Gates Lemma 1's static
+  // round-trip pruning in algo/candidate_index.h: with the guarantee, a
+  // pair with RoundTripCost(u, v) > b_u can never be arranged.
+  bool TriangleInequalityHolds() const {
+    return cost_model_->GuaranteesTriangleInequality();
+  }
+
   // --- Temporal structure -------------------------------------------------
 
   // True when `to` can be attended directly after `from` under the

@@ -11,6 +11,10 @@ Planning::Planning(const Instance& instance)
   for (UserId u = 0; u < instance.num_users(); ++u) {
     schedules_.emplace_back(u);
   }
+  words_per_user_ = (static_cast<size_t>(instance.num_events()) + 63) / 64;
+  member_bits_.assign(static_cast<size_t>(instance.num_users()) *
+                          words_per_user_,
+                      0);
 }
 
 int Planning::remaining_capacity(EventId v) const {
@@ -21,9 +25,16 @@ int Planning::remaining_capacity(EventId v) const {
 std::optional<Schedule::Insertion> Planning::CheckAssign(EventId v,
                                                          UserId u) const {
   if (EventFull(v)) return std::nullopt;                       // Capacity.
+  return CheckInsertion(v, u);
+}
+
+std::optional<Schedule::Insertion> Planning::CheckInsertion(EventId v,
+                                                            UserId u) const {
   if (!(instance_->utility(v, u) > 0.0)) return std::nullopt;  // Utility.
   const Schedule& schedule = schedules_[u];
-  if (schedule.Contains(v)) return std::nullopt;
+  USEP_DCHECK(IsAssigned(v, u) == schedule.Contains(v))
+      << "membership bitset diverged from the schedule vector";
+  if (IsAssigned(v, u)) return std::nullopt;
   const std::optional<Schedule::Insertion> insertion =
       schedule.FindInsertion(*instance_, v);                   // Feasibility.
   if (!insertion.has_value()) return std::nullopt;
@@ -35,6 +46,8 @@ std::optional<Schedule::Insertion> Planning::CheckAssign(EventId v,
 void Planning::Assign(EventId v, UserId u,
                       const Schedule::Insertion& insertion) {
   schedules_[u].Insert(insertion, v);
+  const size_t bit = static_cast<size_t>(u) * words_per_user_ * 64 + v;
+  member_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
   ++assigned_counts_[v];
   ++total_assignments_;
   total_utility_ += instance_->utility(v, u);
@@ -48,7 +61,15 @@ bool Planning::TryAssign(EventId v, UserId u) {
 }
 
 bool Planning::Unassign(EventId v, UserId u) {
-  if (!schedules_[u].Remove(*instance_, v)) return false;
+  if (!IsAssigned(v, u)) {
+    USEP_DCHECK(!schedules_[u].Contains(v))
+        << "membership bitset diverged from the schedule vector";
+    return false;
+  }
+  const bool removed = schedules_[u].Remove(*instance_, v);
+  USEP_DCHECK(removed) << "bitset said assigned but the schedule disagreed";
+  const size_t bit = static_cast<size_t>(u) * words_per_user_ * 64 + v;
+  member_bits_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
   --assigned_counts_[v];
   --total_assignments_;
   total_utility_ -= instance_->utility(v, u);

@@ -25,6 +25,19 @@ class Planning {
   const Schedule& schedule(UserId u) const { return schedules_[u]; }
   const std::vector<Schedule>& schedules() const { return schedules_; }
 
+  // O(1) membership: whether `v` is currently arranged for `u`.  Backed by a
+  // per-user bitset maintained alongside the schedules (and asserted
+  // consistent with them in debug builds) — the LocalSearch hot path used to
+  // pay a linear std::find here.
+  bool IsAssigned(EventId v, UserId u) const {
+    const size_t bit = static_cast<size_t>(u) * words_per_user_ * 64 + v;
+    return (member_bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  // S_u's mutation epoch (see Schedule::epoch): the invalidation key for
+  // memoized CheckInsertion answers.
+  uint64_t schedule_epoch(UserId u) const { return schedules_[u].epoch(); }
+
   // Number of users currently assigned to `v`.
   int assigned_count(EventId v) const { return assigned_counts_[v]; }
   // Remaining seats at `v`.
@@ -39,6 +52,13 @@ class Planning {
   // Returns the insertion if arranging `v` for `u` keeps all four
   // constraints (capacity, budget, feasibility, utility) satisfied.
   std::optional<Schedule::Insertion> CheckAssign(EventId v, UserId u) const;
+
+  // The capacity-independent part of CheckAssign: utility, membership,
+  // time-feasibility, and budget.  CheckAssign(v, u) ==
+  // EventFull(v) ? nullopt : CheckInsertion(v, u).  Split out so caches can
+  // memoize the schedule-dependent answer (valid while schedule_epoch(u) is
+  // unchanged) and re-apply the O(1) capacity gate fresh on every query.
+  std::optional<Schedule::Insertion> CheckInsertion(EventId v, UserId u) const;
 
   // Applies an insertion from CheckAssign computed on this exact state.
   void Assign(EventId v, UserId u, const Schedule::Insertion& insertion);
@@ -58,6 +78,9 @@ class Planning {
   const Instance* instance_;  // Not owned; must outlive the planning.
   std::vector<Schedule> schedules_;
   std::vector<int> assigned_counts_;
+  // [u * words_per_user_ + w]: bit v of user u's row is IsAssigned(v, u).
+  std::vector<uint64_t> member_bits_;
+  size_t words_per_user_ = 0;
   double total_utility_ = 0.0;
   int total_assignments_ = 0;
 };

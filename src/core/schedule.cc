@@ -61,6 +61,7 @@ void Schedule::Insert(const Insertion& insertion, EventId v) {
   USEP_DCHECK(insertion.position >= 0 && insertion.position <= size());
   events_.insert(events_.begin() + insertion.position, v);
   route_cost_ += insertion.inc_cost;
+  ++epoch_;
 }
 
 bool Schedule::TryInsert(const Instance& instance, EventId v) {
@@ -72,8 +73,34 @@ bool Schedule::TryInsert(const Instance& instance, EventId v) {
 
 void Schedule::RemoveAt(const Instance& instance, int position) {
   USEP_CHECK(position >= 0 && position < size());
+  // Undo the Equation (3) splice: the delta only involves the removed
+  // event's two neighbors, never the rest of the route.  Every leg of an
+  // existing schedule is finite, so plain integer arithmetic is exact.
+  const EventId v = events_[position];
+  const UserId u = user_;
+  Cost delta;
+  if (size() == 1) {
+    delta = route_cost_;  // Back to the empty schedule: the user stays home.
+  } else if (position == 0) {
+    const EventId next = events_[1];
+    delta = instance.UserToEventCost(u, v) + instance.EventTravelCost(v, next) -
+            instance.UserToEventCost(u, next);
+  } else if (position == size() - 1) {
+    const EventId prev = events_[position - 1];
+    delta = instance.EventTravelCost(prev, v) +
+            instance.EventToUserCost(v, u) - instance.EventToUserCost(prev, u);
+  } else {
+    const EventId prev = events_[position - 1];
+    const EventId next = events_[position + 1];
+    delta = instance.EventTravelCost(prev, v) +
+            instance.EventTravelCost(v, next) -
+            instance.EventTravelCost(prev, next);
+  }
   events_.erase(events_.begin() + position);
-  route_cost_ = ComputeRouteCost(instance);
+  route_cost_ -= delta;
+  ++epoch_;
+  USEP_DCHECK(route_cost_ == ComputeRouteCost(instance))
+      << "incremental RemoveAt delta diverged from the recomputed route";
 }
 
 bool Schedule::Remove(const Instance& instance, EventId v) {

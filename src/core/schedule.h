@@ -26,6 +26,13 @@ class Schedule {
   bool empty() const { return events_.empty(); }
   bool Contains(EventId v) const;
 
+  // Mutation counter: bumped by every Insert/RemoveAt.  Feasibility answers
+  // computed against this schedule (algo/candidate_index.h) stay valid
+  // exactly while the epoch is unchanged — costs are integers, so equal
+  // epochs mean bit-identical FindInsertion results.  Starts at 1 so 0 can
+  // mean "never computed" in caches.
+  uint64_t epoch() const { return epoch_; }
+
   // Cached round-trip cost of the current schedule.
   Cost route_cost() const { return route_cost_; }
 
@@ -49,8 +56,10 @@ class Schedule {
   // Convenience: FindInsertion + Insert.  Returns false when infeasible.
   bool TryInsert(const Instance& instance, EventId v);
 
-  // Removes the event at `position` and re-derives the route cost.  Used by
-  // the decomposed algorithms' second step.
+  // Removes the event at `position` and updates the route cost by the
+  // inverse Equation (3) splice delta — O(1), no full recomputation.  Costs
+  // are integers, so the incremental result equals ComputeRouteCost exactly
+  // (asserted in debug builds and by the randomized fuzz suite).
   void RemoveAt(const Instance& instance, int position);
   // Removes `v` if present; returns whether it was.
   bool Remove(const Instance& instance, EventId v);
@@ -68,6 +77,7 @@ class Schedule {
   UserId user_;
   std::vector<EventId> events_;
   Cost route_cost_ = 0;
+  uint64_t epoch_ = 1;
 };
 
 }  // namespace usep

@@ -35,6 +35,16 @@ class CostModel {
   // participation-fee reduction of Remark 2.
   virtual Cost EventToUser(int event, int user) const = 0;
 
+  // Whether this model guarantees the triangle inequality over the mixed
+  // node set BY CONSTRUCTION.  When true, Lemma 1's round-trip lower bound
+  // is sound: no schedule containing `v` can cost user `u` less than
+  // cost(u,v) + cost(v,u), so pairs whose round trip exceeds the budget can
+  // be pruned statically (algo/candidate_index.h).  False is always safe —
+  // it only disables that pruning — so models over arbitrary user data
+  // (MatrixCostModel) conservatively report false even when their entries
+  // happen to be metric.
+  virtual bool GuaranteesTriangleInequality() const { return false; }
+
   virtual std::unique_ptr<CostModel> Clone() const = 0;
 };
 
@@ -56,6 +66,10 @@ class MetricCostModel final : public CostModel {
   Cost EventToEvent(int from, int to) const override;
   Cost UserToEvent(int user, int event) const override;
   Cost EventToUser(int event, int user) const override;
+
+  // All three MetricKinds satisfy the triangle inequality exactly —
+  // Euclidean included, because Distance() rounds it *up* (see metric.h).
+  bool GuaranteesTriangleInequality() const override { return true; }
 
   std::unique_ptr<CostModel> Clone() const override;
 

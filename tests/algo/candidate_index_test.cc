@@ -1,0 +1,182 @@
+// Property testing for the CandidateIndex (algo/candidate_index.h).  The
+// index is only allowed to be a cache: under ANY interleaving of assigns and
+// removes, CachedCheckAssign(v, u) must answer exactly what
+// Planning::CheckAssign(v, u) answers, for every pair, after every mutation
+// — same feasibility verdict, same insertion position, same inc_cost.
+//
+// ~100 randomized instances (25 seeds x 4 regimes) spanning tight/loose
+// capacity and budgets, plus the two hand-built matrix-cost instances,
+// which exercise the no-triangle-inequality path (static round-trip pruning
+// disabled; GuaranteesTriangleInequality() == false).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/candidate_index.h"
+#include "common/rng.h"
+#include "core/planning.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Compares the cached answer against the ground truth for every (v, u).
+// Runs the sweep twice so every slot is exercised both as a miss (first
+// query after a mutation) and as a hit (second query, same epoch).
+void ExpectCacheMatchesGroundTruth(const Instance& instance,
+                                   const Planning& planning,
+                                   CandidateIndex* index,
+                                   const std::string& where) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        const std::optional<Schedule::Insertion> want =
+            planning.CheckAssign(v, u);
+        const std::optional<Schedule::Insertion> got =
+            index->CachedCheckAssign(planning, v, u);
+        ASSERT_EQ(want.has_value(), got.has_value())
+            << where << " pass=" << pass << " v=" << v << " u=" << u;
+        if (want.has_value()) {
+          ASSERT_EQ(want->position, got->position)
+              << where << " pass=" << pass << " v=" << v << " u=" << u;
+          ASSERT_EQ(want->inc_cost, got->inc_cost)
+              << where << " pass=" << pass << " v=" << v << " u=" << u;
+        }
+      }
+    }
+  }
+}
+
+void ExpectStaticListsConsistent(const Instance& instance,
+                                 const CandidateIndex& index) {
+  // Both sides ascending, mutually consistent, and num_pairs totals them.
+  int64_t total = 0;
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const std::vector<UserId>& users = index.UsersOf(v);
+    total += static_cast<int64_t>(users.size());
+    for (size_t i = 0; i + 1 < users.size(); ++i) {
+      EXPECT_LT(users[i], users[i + 1]) << "UsersOf(" << v << ") not ascending";
+    }
+    for (const UserId u : users) {
+      EXPECT_GT(instance.utility(v, u), 0.0);
+    }
+  }
+  EXPECT_EQ(index.num_pairs(), total);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const std::vector<CandidateIndex::EventRef>& events = index.EventsOf(u);
+    for (size_t i = 0; i + 1 < events.size(); ++i) {
+      EXPECT_LT(events[i].event, events[i + 1].event)
+          << "EventsOf(" << u << ") not ascending";
+    }
+    for (const CandidateIndex::EventRef& ref : events) {
+      ASSERT_GE(ref.pos, 0);
+      ASSERT_LT(ref.pos, static_cast<int32_t>(index.UsersOf(ref.event).size()));
+      EXPECT_EQ(index.UsersOf(ref.event)[ref.pos], u)
+          << "EventRef round trip broken";
+    }
+  }
+}
+
+// Runs the interleaved mutation drill on one instance.
+void RunMutationDrill(const Instance& instance, uint64_t seed,
+                      const std::string& where) {
+  Planning planning(instance);
+  CandidateIndex index(instance);
+  ExpectStaticListsConsistent(instance, index);
+  ExpectCacheMatchesGroundTruth(instance, planning, &index, where + " initial");
+
+  Rng rng(seed * 6151 + 17);
+  std::vector<std::pair<EventId, UserId>> assigned;
+  const int steps = 24;
+  for (int step = 0; step < steps; ++step) {
+    const std::string at = where + " step=" + std::to_string(step);
+    if (assigned.empty() || rng.Bernoulli(0.65)) {
+      // Try an assign — half the time through the index (which must agree
+      // with the planning on whether it succeeds), half directly.
+      const EventId v =
+          static_cast<EventId>(rng.UniformInt(0, instance.num_events() - 1));
+      const UserId u =
+          static_cast<UserId>(rng.UniformInt(0, instance.num_users() - 1));
+      const bool expect_ok = planning.CheckAssign(v, u).has_value();
+      bool ok;
+      if (rng.Bernoulli(0.5)) {
+        ok = index.TryAssignCached(&planning, v, u);
+      } else {
+        ok = planning.TryAssign(v, u);
+      }
+      ASSERT_EQ(ok, expect_ok) << at;
+      if (ok) assigned.push_back({v, u});
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(assigned.size()) - 1));
+      const auto [v, u] = assigned[pick];
+      ASSERT_TRUE(planning.Unassign(v, u)) << at;
+      assigned.erase(assigned.begin() + static_cast<int>(pick));
+    }
+    ExpectCacheMatchesGroundTruth(instance, planning, &index, at);
+  }
+  // The drill must actually mutate for the epoch guards to be exercised.
+  EXPECT_GT(index.misses(), 0) << where;
+  EXPECT_GT(index.hits(), 0) << where;
+}
+
+struct Regime {
+  const char* name;
+  double capacity_mean;
+  double budget_factor;
+};
+
+constexpr Regime kRegimes[] = {
+    {"baseline", 2.0, 2.0},
+    {"tight-capacity", 1.0, 2.0},
+    {"tight-budget", 3.0, 0.5},
+    {"loose", 4.0, 4.0},
+};
+
+class CandidateIndexTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CandidateIndexTest, CachedCheckAssignMatchesGroundTruth) {
+  for (const Regime& regime : kRegimes) {
+    GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+    config.num_events = 8;
+    config.num_users = 10;
+    config.capacity_mean = regime.capacity_mean;
+    config.budget_factor = regime.budget_factor;
+    const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    ASSERT_TRUE(instance->TriangleInequalityHolds())
+        << "generator instances use metric costs";
+    RunMutationDrill(*instance,
+                     GetParam() * 31 + static_cast<uint64_t>(&regime - kRegimes),
+                     std::string(regime.name) +
+                         " seed=" + std::to_string(GetParam()));
+  }
+}
+
+TEST_P(CandidateIndexTest, MatrixCostModelsDisableStaticPruning) {
+  // MatrixCostModel conservatively reports no triangle guarantee, so the
+  // index must keep every mu > 0 pair scannable — and still answer exactly.
+  const Instance tiny = testing::MakeTinyMatrixInstance();
+  ASSERT_FALSE(tiny.TriangleInequalityHolds());
+  CandidateIndex index(tiny);
+  ASSERT_FALSE(index.MonotoneInfeasibilityIsPermanent());
+  int64_t positive_pairs = 0;
+  for (EventId v = 0; v < tiny.num_events(); ++v) {
+    for (UserId u = 0; u < tiny.num_users(); ++u) {
+      if (tiny.utility(v, u) > 0.0) ++positive_pairs;
+    }
+  }
+  EXPECT_EQ(index.num_pairs(), positive_pairs);
+  RunMutationDrill(tiny, GetParam(),
+                   "tiny-matrix seed=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandidateIndexTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace usep

@@ -99,6 +99,37 @@ TEST_P(DifferentialTest, EveryPlannerValidAndBoundedByExact) {
   }
 }
 
+// The CandidateIndex is an accelerator, not an algorithm change: every
+// planner in the greedy family must reproduce the seed's full-rescan
+// plannings bit-for-bit, with the index on, at 1, 2, and 8 threads.  This is
+// the determinism contract docs/PERFORMANCE.md promises.
+TEST_P(DifferentialTest, IndexedPlannersMatchLegacyScans) {
+  const std::vector<PlannerKind> indexed_kinds = {
+      PlannerKind::kRatioGreedy, PlannerKind::kNaiveRatioGreedy,
+      PlannerKind::kDeDpoRg,     PlannerKind::kDeGreedyRg,
+      PlannerKind::kDeDpoRgLs,   PlannerKind::kDeGreedyRgLs};
+  for (const Regime& regime : kRegimes) {
+    const Instance instance = MakeRegimeInstance(regime, GetParam());
+    const std::string where =
+        std::string(regime.name) + " seed=" + std::to_string(GetParam());
+    for (const PlannerKind kind : indexed_kinds) {
+      const PlannerResult legacy =
+          MakeLegacyScanPlanner(kind, ParallelConfig())->Plan(instance);
+      const std::string want = legacy.planning.ToString();
+      for (const int threads : {1, 2, 8}) {
+        ParallelConfig parallel;
+        parallel.num_threads = threads;
+        const PlannerResult indexed =
+            MakePlanner(kind, parallel)->Plan(instance);
+        EXPECT_EQ(indexed.planning.ToString(), want)
+            << PlannerKindName(kind) << " with the candidate index at "
+            << threads << " thread(s) diverged from the legacy scan on "
+            << where;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(0, 40));
 

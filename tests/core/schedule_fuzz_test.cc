@@ -120,6 +120,75 @@ TEST_P(ScheduleFuzzTest, IncCostsAreNonNegativeUnderMetricCosts) {
   }
 }
 
+TEST_P(ScheduleFuzzTest, RemoveAtSpliceDeltaIsExactAtEveryPosition) {
+  // Regression for the O(1) RemoveAt: grow random schedules, then remove at
+  // EVERY position (front / interior / back / singleton are all hit) and
+  // compare the incremental route cost against a from-scratch recomputation.
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam() + 300);
+  config.num_events = 24;
+  config.conflict_ratio = 0.2;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  Rng rng(GetParam() * 104729 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Schedule schedule(0);
+    for (int step = 0; step < 40 && schedule.size() < 8; ++step) {
+      schedule.TryInsert(
+          *instance,
+          static_cast<EventId>(rng.UniformInt(0, instance->num_events() - 1)));
+    }
+    for (int position = 0; position < schedule.size(); ++position) {
+      Schedule copy = schedule;
+      copy.RemoveAt(*instance, position);
+      EXPECT_EQ(copy.route_cost(), copy.ComputeRouteCost(*instance))
+          << "position " << position << " of " << schedule.ToString();
+    }
+    // And drain one copy to empty through random positions.
+    Schedule drain = schedule;
+    while (!drain.empty()) {
+      drain.RemoveAt(*instance,
+                     static_cast<int>(rng.UniformInt(0, drain.size() - 1)));
+      EXPECT_EQ(drain.route_cost(), drain.ComputeRouteCost(*instance));
+    }
+    EXPECT_EQ(drain.route_cost(), 0);
+  }
+}
+
+TEST_P(ScheduleFuzzTest, EpochAdvancesOnEveryMutation) {
+  // The candidate index's memo slots are guarded by this counter: any
+  // mutation must change it, and reads must not.
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::MediumRandomConfig(GetParam() + 700));
+  ASSERT_TRUE(instance.ok());
+  Rng rng(GetParam() + 42);
+  Schedule schedule(0);
+  EXPECT_EQ(schedule.epoch(), 1u) << "epoch 0 is reserved for 'never cached'";
+  uint64_t last = schedule.epoch();
+  for (int step = 0; step < 200; ++step) {
+    const EventId v =
+        static_cast<EventId>(rng.UniformInt(0, instance->num_events() - 1));
+    // Reads leave the epoch alone.
+    schedule.FindInsertion(*instance, v);
+    schedule.Contains(v);
+    EXPECT_EQ(schedule.epoch(), last);
+    bool mutated = false;
+    if (rng.Bernoulli(0.6)) {
+      mutated = schedule.TryInsert(*instance, v);
+    } else if (!schedule.empty()) {
+      schedule.RemoveAt(
+          *instance, static_cast<int>(rng.UniformInt(0, schedule.size() - 1)));
+      mutated = true;
+    }
+    if (mutated) {
+      EXPECT_GT(schedule.epoch(), last);
+      last = schedule.epoch();
+    } else {
+      EXPECT_EQ(schedule.epoch(), last);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzzTest,
                          ::testing::Range<uint64_t>(1, 11));
 
