@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/memhook.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/validation.h"
 #include "harness/bench_util.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/service.h"
 
 namespace usep::bench {
 namespace {
@@ -242,6 +245,27 @@ std::vector<BenchScenario> BuildScenarioCatalog() {
     }
   }
 
+  // Serving: sustained mutation throughput through the streaming service's
+  // degradation ladder (src/serve), 1 and 8 polish threads.  No SLO and no
+  // journal, so both the omega and the work done are deterministic and the
+  // exact objective gate holds.
+  {
+    gen::ArrivalTraceConfig trace;
+    trace.num_mutations = GetBenchScale() == BenchScale::kPaper ? 4000 : 600;
+    trace.seed = 20150531;
+    for (const int threads : {1, 8}) {
+      BenchScenario scenario;
+      scenario.name = StrFormat("serve/stream.m%d/t%d", trace.num_mutations,
+                                threads);
+      scenario.family = "serve";
+      scenario.serving = true;
+      scenario.serve_trace = trace;
+      scenario.threads = threads;
+      scenario.quick = threads == 1;
+      catalog.push_back(scenario);
+    }
+  }
+
   return catalog;
 }
 
@@ -317,6 +341,105 @@ ScenarioResult RunScenario(const BenchScenario& scenario,
     result.profile = obs::Profile::FromRecorder(recorder);
     result.has_profile = true;
   }
+  return result;
+}
+
+ScenarioResult RunServingScenario(const BenchScenario& scenario,
+                                  const BenchRunOptions& options) {
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.family = scenario.family;
+  result.planner = "StreamingService";
+  result.threads = scenario.threads;
+  result.is_serving = true;
+  result.warmup = std::max(options.warmup, 0);
+  result.trials = std::max(options.trials, 1);
+
+  const StatusOr<gen::ArrivalTrace> trace =
+      gen::GenerateArrivalTrace(scenario.serve_trace);
+  USEP_CHECK(trace.ok()) << trace.status();
+
+  serve::ServiceOptions service_options;
+  service_options.world = trace->world;
+  service_options.ladder.local_search.parallel.num_threads = scenario.threads;
+
+  // One full replay per trial through a fresh ephemeral service; the trace
+  // and its world rules are shared, everything else is rebuilt so trials
+  // are independent and identically distributed.
+  const auto replay = [&](obs::MetricsRegistry* metrics)
+      -> StatusOr<std::unique_ptr<serve::StreamingService>> {
+    serve::ServiceOptions trial_options = service_options;
+    trial_options.metrics = metrics;
+    StatusOr<std::unique_ptr<serve::StreamingService>> service =
+        serve::StreamingService::Open(trial_options);
+    if (!service.ok()) return service.status();
+    for (const serve::Mutation& mutation : trace->mutations) {
+      Status submitted = (*service)->Submit(mutation);
+      if (!submitted.ok()) return submitted;
+      const StatusOr<serve::ProcessResult> step = (*service)->ProcessNext();
+      if (!step.ok()) return step.status();
+    }
+    return service;
+  };
+
+  for (int i = 0; i < result.warmup; ++i) {
+    const auto warm = replay(nullptr);
+    USEP_CHECK(warm.ok()) << warm.status();
+  }
+
+  std::vector<double> wall_samples;
+  std::vector<double> cpu_samples;
+  wall_samples.reserve(static_cast<size_t>(result.trials));
+  cpu_samples.reserve(static_cast<size_t>(result.trials));
+  for (int i = 0; i < result.trials; ++i) {
+    obs::MetricsRegistry metrics;
+    const size_t heap_before = memhook::CurrentBytes();
+    memhook::ResetPeak();
+    Stopwatch wall;
+    CpuStopwatch cpu(CpuStopwatch::Kind::kProcess);
+    const auto service = replay(&metrics);
+    const double wall_ms = wall.ElapsedMillis();
+    wall_samples.push_back(wall_ms);
+    cpu_samples.push_back(cpu.ElapsedMillis());
+    USEP_CHECK(service.ok()) << service.status();
+
+    if (memhook::IsActive()) {
+      const size_t hook_peak = memhook::PeakBytes();
+      result.peak_bytes = std::max<uint64_t>(
+          result.peak_bytes, hook_peak > heap_before ? hook_peak - heap_before
+                                                     : 0);
+    }
+
+    const Planning* planning = (*service)->planning();
+    const double utility =
+        planning != nullptr ? planning->total_utility() : 0.0;
+    if (i == 0) {
+      result.num_events = (*service)->world().num_events();
+      result.num_users = (*service)->world().num_users();
+      result.objective = utility;
+      result.assignments = (*service)->plan_state().num_assignments();
+      result.validated =
+          planning != nullptr &&
+          CheckPlanningFeasible(*(*service)->instance(), *planning).ok();
+      result.termination = "completed";
+    } else if (utility != result.objective) {
+      result.deterministic = false;
+    }
+    const int64_t committed = static_cast<int64_t>(
+        metrics.GetCounter("usep.serve.mutations")->Value());
+    result.iterations = committed;
+    if (wall_ms > 0.0) {
+      result.mutations_per_sec = std::max(
+          result.mutations_per_sec, 1e3 * static_cast<double>(committed) /
+                                        wall_ms);
+    }
+    const obs::Histogram* replan = metrics.GetHistogram(
+        "usep.serve.replan_ms", obs::HistogramOptions{1e-2, 2.0, 24});
+    result.replan_p50_ms = replan->Quantile(0.5);
+    result.replan_p99_ms = replan->Quantile(0.99);
+  }
+  result.wall_ms = ComputeRobustStats(std::move(wall_samples));
+  result.cpu_ms = ComputeRobustStats(std::move(cpu_samples));
   return result;
 }
 
@@ -399,6 +522,11 @@ void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
     json.KvBool("validated", result.validated);
     json.KvBool("deterministic", result.deterministic);
     json.KvString("termination", result.termination);
+    if (result.is_serving) {
+      json.KvDouble("mutations_per_sec", result.mutations_per_sec);
+      json.KvDouble("replan_p50_ms", result.replan_p50_ms);
+      json.KvDouble("replan_p99_ms", result.replan_p99_ms);
+    }
     if (result.has_profile) {
       json.Key("profile");
       result.profile.WriteJson(&json);

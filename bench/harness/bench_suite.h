@@ -8,6 +8,7 @@
 
 #include "algo/planner_registry.h"
 #include "core/instance.h"
+#include "gen/arrival_trace.h"
 #include "gen/generator_config.h"
 #include "obs/profile.h"
 
@@ -40,6 +41,14 @@ struct BenchScenario {
   PlannerKind kind = PlannerKind::kRatioGreedy;
   int threads = 1;     // Planner-internal parallelism (MakePlanner overload).
   bool quick = true;   // Included in the CI quick preset.
+
+  // Serving scenarios drive a StreamingService through `serve_trace` instead
+  // of running a batch planner over `config` (RunServingScenario); the row
+  // reports sustained mutations/sec and replan-latency percentiles on top of
+  // the usual wall/objective columns.  No SLO deadline, so the final omega
+  // is deterministic and the exact objective gate applies unchanged.
+  bool serving = false;
+  gen::ArrivalTraceConfig serve_trace;
 };
 
 // The full catalog: paper Fig 2/3/4 shapes plus micro workloads, every
@@ -88,6 +97,13 @@ struct ScenarioResult {
   bool deterministic = true;
   std::string termination;
 
+  // Serving-row extras (family "serve"; zero elsewhere).  Latencies come
+  // from the usep.serve.replan_ms histogram of the last trial.
+  bool is_serving = false;
+  double mutations_per_sec = 0.0;
+  double replan_p50_ms = 0.0;
+  double replan_p99_ms = 0.0;
+
   bool has_profile = false;
   obs::Profile profile;
 };
@@ -100,6 +116,13 @@ struct ScenarioResult {
 ScenarioResult RunScenario(const BenchScenario& scenario,
                            const Instance& instance,
                            const BenchRunOptions& options);
+
+// Runs one serving scenario (scenario.serving == true): each trial replays
+// the generated arrival trace through a fresh ephemeral StreamingService —
+// no journal, so the measurement is the replanner, not the disk.  The final
+// planning is feasibility-checked and its utility is the row's objective.
+ScenarioResult RunServingScenario(const BenchScenario& scenario,
+                                  const BenchRunOptions& options);
 
 // The environment block of a BENCH JSON: everything needed to judge whether
 // two files are comparable.  Timestamp is caller-provided (--timestamp) so

@@ -113,15 +113,21 @@ int Main(int argc, char** argv) {
   results.reserve(scenarios.size());
   bool all_valid = true;
   for (const BenchScenario& scenario : scenarios) {
-    const std::string key = scenario.config.ToString();
-    auto it = instance_cache.find(key);
-    if (it == instance_cache.end()) {
-      StatusOr<Instance> instance = GenerateSyntheticInstance(scenario.config);
-      USEP_CHECK(instance.ok()) << instance.status();
-      it = instance_cache.emplace(key, std::move(*instance)).first;
-    }
     std::fprintf(stderr, "[usep_bench] %s ...\n", scenario.name.c_str());
-    ScenarioResult result = RunScenario(scenario, it->second, options);
+    ScenarioResult result;
+    if (scenario.serving) {
+      result = RunServingScenario(scenario, options);
+    } else {
+      const std::string key = scenario.config.ToString();
+      auto it = instance_cache.find(key);
+      if (it == instance_cache.end()) {
+        StatusOr<Instance> instance =
+            GenerateSyntheticInstance(scenario.config);
+        USEP_CHECK(instance.ok()) << instance.status();
+        it = instance_cache.emplace(key, std::move(*instance)).first;
+      }
+      result = RunScenario(scenario, it->second, options);
+    }
     std::fprintf(stderr,
                  "[usep_bench]   wall=%.3fms (min %.3f, mad %.3f) "
                  "cpu=%.3fms objective=%.2f%s%s\n",

@@ -1,0 +1,379 @@
+// Long-lived streaming USEP planning service: consume a typed mutation
+// stream (user joins/leaves, event posts/cancels, capacity changes), keep a
+// valid planning continuously fresh through the degradation ladder, and make
+// every committed mutation durable in an append-only journal.
+//
+//   # Serve a generated 500-mutation trace with durability:
+//   ./build/examples/usep_serve --gen_mutations=500 --gen_seed=7
+//       --journal=/tmp/usep.journal --snapshot=/tmp/usep.snap
+//       --snapshot_every=64 --slo_ms=50
+//   # Verify the journal replays to the exact state the service reported:
+//   ./build/examples/usep_serve --verify_replay
+//       --journal=/tmp/usep.journal --snapshot=/tmp/usep.snap
+//   # Chaos smoke (what CI runs under sanitizers):
+//   ./build/examples/usep_serve --chaos --gen_mutations=120
+//       --failpoints=20:serve.tier.incremental,40:serve.journal.append
+//       --kill_at=60 --journal=/tmp/usep.journal
+//
+// SIGINT/SIGTERM shut the service down gracefully: the loop finishes the
+// in-flight mutation, flushes a final snapshot, closes the journal, and
+// prints the best-so-far summary.  A second signal kills immediately.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "gen/arrival_trace.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/chaos.h"
+#include "serve/service.h"
+
+namespace {
+
+// Set by the signal handler, checked between mutations.  The handler resets
+// the disposition so a second signal terminates the process the default way.
+std::atomic<int> g_shutdown_signal{0};
+
+void HandleShutdownSignal(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace usep;
+
+  FlagSet flags("usep_serve");
+  std::string* trace_path = flags.AddString(
+      "trace", "", "read a USEP-TRACE mutation stream from this path");
+  int64_t* gen_mutations = flags.AddInt64(
+      "gen_mutations", 0,
+      "generate an arrival trace of this many mutations instead of --trace");
+  int64_t* gen_seed = flags.AddInt64("gen_seed", 20150531, "trace seed");
+  std::string* journal_path = flags.AddString(
+      "journal", "", "append-only mutation journal (empty = ephemeral)");
+  std::string* snapshot_path = flags.AddString(
+      "snapshot", "", "periodic snapshot file (empty = replay-only recovery)");
+  int64_t* snapshot_every = flags.AddInt64(
+      "snapshot_every", 0, "snapshot every N committed mutations (0 = never)");
+  double* slo_ms = flags.AddDouble(
+      "slo_ms", 0.0, "per-mutation repair SLO in ms (0 = no deadline)");
+  int64_t* queue_capacity =
+      flags.AddInt64("queue_capacity", 1024, "Submit() backpressure bound");
+  double* shed_fraction = flags.AddDouble(
+      "shed_fraction", 0.75,
+      "shed load (validity-only repairs) above this fraction of the queue");
+  int64_t* threads = flags.AddInt64(
+      "threads", 1, "LocalSearch polish threads (bit-identical results)");
+  std::string* failpoints = flags.AddString(
+      "failpoints", "",
+      "scheduled fault injection: comma-separated at:site[:skip_hits], e.g. "
+      "'20:serve.tier.incremental,40:serve.journal.append'");
+  bool* chaos = flags.AddBool(
+      "chaos", false,
+      "run the chaos harness (validity re-checked after EVERY mutation, "
+      "kill/restart + torn-journal exercises) instead of plain serving");
+  int64_t* kill_at = flags.AddInt64(
+      "kill_at", -1,
+      "with --chaos: simulate a crash after N committed mutations");
+  int64_t* batch = flags.AddInt64(
+      "batch", 1, "submit mutations in bursts of this size before draining");
+  bool* verify_replay = flags.AddBool(
+      "verify_replay", false,
+      "do not serve: recover from --journal/--snapshot, print the recovered "
+      "fingerprint, and leave the files untouched");
+  std::string* report_out = flags.AddString(
+      "report_out", "",
+      "write a machine-readable JSON run report here (see "
+      "docs/OBSERVABILITY.md)");
+  bool* verbose = flags.AddBool("verbose", false, "print per-mutation lines");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+
+  if (*verify_replay) {
+    if (journal_path->empty()) {
+      std::fprintf(stderr, "--verify_replay needs --journal\n");
+      return 2;
+    }
+    const StatusOr<serve::RecoveredState> recovered = serve::RecoverState(
+        serve::WorldConfig{}, *journal_path, *snapshot_path);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot_loaded: %s%s\n",
+                recovered->info.snapshot_loaded ? "yes" : "no",
+                recovered->info.snapshot_note.empty()
+                    ? ""
+                    : StrFormat(" (%s)", recovered->info.snapshot_note.c_str())
+                          .c_str());
+    std::printf("replayed_records: %llu\n",
+                (unsigned long long)recovered->info.replayed_records);
+    std::printf("truncated_tail: %s\n",
+                recovered->info.truncated_tail ? "yes" : "no");
+    std::printf("next_seq: %llu\n", (unsigned long long)recovered->next_seq);
+    // The same combine as StreamingService::Fingerprint(), so this value is
+    // directly comparable with the one the serving run printed.
+    std::printf("fingerprint: %016llx\n",
+                (unsigned long long)serve::Fnv1a64(
+                    recovered->world.Serialize() +
+                    recovered->state.Serialize()));
+    return 0;
+  }
+
+  // --- Load or generate the mutation stream --------------------------------
+  gen::ArrivalTrace trace;
+  if (!trace_path->empty()) {
+    StatusOr<gen::ArrivalTrace> read = gen::ReadTraceFile(*trace_path);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*read);
+  } else if (*gen_mutations > 0) {
+    gen::ArrivalTraceConfig config;
+    config.num_mutations = static_cast<int>(*gen_mutations);
+    config.seed = static_cast<uint64_t>(*gen_seed);
+    StatusOr<gen::ArrivalTrace> generated = gen::GenerateArrivalTrace(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*generated);
+  } else {
+    std::fprintf(stderr, "pass --trace or --gen_mutations\n%s",
+                 flags.UsageString().c_str());
+    return 2;
+  }
+
+  // Scheduled failpoints: "at:site[:skip_hits]" entries.
+  std::vector<serve::FailpointEvent> schedule;
+  for (const std::string& raw : Split(*failpoints, ',')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = Split(entry, ':');
+    serve::FailpointEvent event;
+    int64_t at = 0;
+    int64_t skip = 0;
+    const bool ok =
+        (parts.size() == 2 || parts.size() == 3) && ParseInt64(parts[0], &at) &&
+        (parts.size() == 2 || ParseInt64(parts[2], &skip));
+    if (!ok) {
+      std::fprintf(stderr, "bad --failpoints entry '%s' (want at:site[:skip])\n",
+                   entry.c_str());
+      return 2;
+    }
+    event.at_mutation = static_cast<int>(at);
+    event.site = parts[1];
+    event.skip_hits = skip;
+    schedule.push_back(event);
+  }
+
+  obs::MetricsRegistry metrics;
+  serve::ServiceOptions options;
+  options.world = trace.world;
+  options.ladder.slo_ms = *slo_ms;
+  options.ladder.local_search.parallel.num_threads = static_cast<int>(*threads);
+  options.journal_path = *journal_path;
+  options.snapshot_path = *snapshot_path;
+  options.snapshot_every = static_cast<int>(*snapshot_every);
+  options.queue_capacity = static_cast<int>(*queue_capacity);
+  options.shed_fraction = *shed_fraction;
+  options.metrics = &metrics;
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+
+  if (*chaos) {
+    serve::ChaosOptions chaos_options;
+    chaos_options.service = options;
+    chaos_options.trace.num_mutations = static_cast<int>(trace.mutations.size());
+    chaos_options.trace.seed = static_cast<uint64_t>(*gen_seed);
+    chaos_options.schedule = schedule;
+    chaos_options.batch_size = static_cast<int>(*batch);
+    chaos_options.kill_at = static_cast<int>(*kill_at);
+    const StatusOr<serve::ChaosResult> result = serve::RunChaos(chaos_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "chaos run FAILED: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("chaos: committed=%d rejected=%d shed=%d faults=%d "
+                "validations=%d slo_misses=%d killed=%s journal_crashed=%s\n",
+                result->committed, result->rejected, result->shed,
+                result->faults, result->validations, result->slo_misses,
+                result->killed ? "yes" : "no",
+                result->journal_crashed ? "yes" : "no");
+    std::printf("fingerprint: %016llx\n",
+                (unsigned long long)result->final_fingerprint);
+    std::printf("omega: %.3f\n", result->final_omega);
+    return 0;
+  }
+
+  // --- Plain serving loop --------------------------------------------------
+  StatusOr<std::unique_ptr<serve::StreamingService>> opened =
+      serve::StreamingService::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::StreamingService> service = std::move(*opened);
+  if (service->recovery().replayed_records > 0 ||
+      service->recovery().snapshot_loaded) {
+    std::printf("recovered: snapshot=%s replayed=%llu%s\n",
+                service->recovery().snapshot_loaded ? "yes" : "no",
+                (unsigned long long)service->recovery().replayed_records,
+                service->recovery().truncated_tail ? " (torn tail dropped)"
+                                                   : "");
+  }
+
+  Stopwatch wall;
+  int committed = 0;
+  int rejected = 0;
+  int shed = 0;
+  int faults = 0;
+  int tier_counts[4] = {0, 0, 0, 0};
+  double max_process_ms = 0.0;
+  bool interrupted = false;
+  size_t submitted = 0;
+  const int batch_size = *batch < 1 ? 1 : static_cast<int>(*batch);
+  while (submitted < trace.mutations.size() || service->HasPending()) {
+    if (g_shutdown_signal.load(std::memory_order_relaxed) != 0) {
+      interrupted = true;
+      break;
+    }
+    // Fill a burst, then drain one; queue-full rejections just stop the
+    // burst early (the producer "retries" on the next lap).
+    while (submitted < trace.mutations.size() &&
+           service->queue_depth() < batch_size) {
+      if (!service->Submit(trace.mutations[submitted]).ok()) break;
+      ++submitted;
+    }
+    if (!service->HasPending()) continue;
+
+    const size_t index = static_cast<size_t>(committed + rejected);
+    std::vector<std::string> armed;
+    for (const serve::FailpointEvent& event : schedule) {
+      if (static_cast<size_t>(event.at_mutation) == index) {
+        failpoint::Arm(event.site, event.skip_hits);
+        armed.push_back(event.site);
+      }
+    }
+    const StatusOr<serve::ProcessResult> step = service->ProcessNext();
+    for (const std::string& site : armed) failpoint::Disarm(site);
+    if (!step.ok()) {
+      if (!service->journal_broken()) {
+        std::fprintf(stderr, "%s\n", step.status().ToString().c_str());
+        return 1;
+      }
+      // The operator restart: a torn append broke the journal, so reopen
+      // from disk (truncating the tail) and resume from the last
+      // acknowledged mutation.  Nothing committed is lost; the in-flight
+      // mutation is resubmitted on the next lap.
+      std::fprintf(stderr, "journal append failed; restarting: %s\n",
+                   step.status().ToString().c_str());
+      service->Abandon();
+      opened = serve::StreamingService::Open(options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "restart failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      service = std::move(*opened);
+      submitted = static_cast<size_t>(committed + rejected);
+      continue;
+    }
+    if (step->seq == 0) {
+      ++rejected;
+      if (*verbose) {
+        std::printf("rejected: %s\n", step->apply_status.ToString().c_str());
+      }
+      continue;
+    }
+    ++committed;
+    if (step->shed) ++shed;
+    faults += step->repair.faults;
+    ++tier_counts[static_cast<int>(step->repair.tier)];
+    if (step->process_ms > max_process_ms) max_process_ms = step->process_ms;
+    if (*verbose) {
+      std::printf("seq=%llu tier=%s omega=%.3f %.2fms%s\n",
+                  (unsigned long long)step->seq,
+                  serve::RepairTierName(step->repair.tier), step->repair.omega,
+                  step->process_ms, step->shed ? " (shed)" : "");
+    }
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  if (interrupted) {
+    std::printf("\ninterrupted (signal %d): flushing and closing — "
+                "%zu of %zu mutations consumed\n",
+                g_shutdown_signal.load(std::memory_order_relaxed),
+                static_cast<size_t>(committed + rejected),
+                trace.mutations.size());
+  }
+  // Graceful shutdown: final snapshot + journal close.  After this, a
+  // restart resumes exactly where the stream stopped.
+  const Status closed = service->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== usep_serve summary ===\n");
+  std::printf("mutations: committed=%d rejected=%d shed=%d (%.0f/s)\n",
+              committed, rejected, shed,
+              wall_seconds > 0.0 ? committed / wall_seconds : 0.0);
+  std::printf("tiers: incremental=%d regional=%d admission=%d validity=%d; "
+              "faults=%d\n",
+              tier_counts[0], tier_counts[1], tier_counts[2], tier_counts[3],
+              faults);
+  const obs::Histogram* replan = metrics.GetHistogram(
+      "usep.serve.replan_ms", obs::HistogramOptions{1e-2, 2.0, 24});
+  std::printf("replan_ms: p50=%.2f p99=%.2f max=%.2f\n",
+              replan->Quantile(0.5), replan->Quantile(0.99), max_process_ms);
+  std::printf("world: %d users, %d events; omega=%.3f assignments=%d\n",
+              service->world().num_users(), service->world().num_events(),
+              service->planning() != nullptr
+                  ? service->planning()->total_utility()
+                  : 0.0,
+              service->plan_state().num_assignments());
+  std::printf("fingerprint: %016llx\n",
+              (unsigned long long)service->Fingerprint());
+
+  if (!report_out->empty()) {
+    obs::RunReport report;
+    report.tool = "usep_serve";
+    report.instance_label =
+        trace_path->empty() ? StrFormat("gen:seed=%lld", (long long)*gen_seed)
+                            : *trace_path;
+    report.num_events = service->world().num_events();
+    report.num_users = service->world().num_users();
+    report.config.emplace_back("slo_ms", StrFormat("%g", *slo_ms));
+    report.config.emplace_back("threads",
+                               StrFormat("%lld", (long long)*threads));
+    report.config.emplace_back("batch",
+                               StrFormat("%lld", (long long)*batch));
+    report.config.emplace_back("failpoints", *failpoints);
+    report.metrics = metrics.Snapshot();
+    std::string error;
+    if (!report.WriteJsonFile(*report_out, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", report_out->c_str());
+  }
+  return 0;
+}

@@ -9,6 +9,8 @@
 //   ./build/examples/usep_solve --instance=/tmp/akl.instance
 //       --planners=DeDPO+RG,DeGreedy+RG --output=/tmp/akl.best
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -29,6 +31,24 @@
 #include "obs/profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+
+namespace {
+
+// SIGINT/SIGTERM cancel every in-flight planner cooperatively: each returns
+// its best-so-far valid planning (termination "cancelled") and the normal
+// tail still runs — comparison table, --output, trace/report sinks all get
+// flushed.  The handler restores the default disposition so a second signal
+// kills immediately.
+usep::CancellationToken g_shutdown;
+std::atomic<int> g_shutdown_signal{0};
+
+void HandleShutdownSignal(int sig) {
+  g_shutdown.Cancel();
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace usep;
@@ -130,15 +150,23 @@ int main(int argc, char** argv) {
       context.deadline = Deadline::AfterMillis(*deadline_ms);
     }
     context.max_nodes = *max_nodes;
+    context.cancel = g_shutdown;
     context.trace = trace;
     context.metrics = metrics;
     jobs.push_back(BatchJob{planner.get(), &*instance});
     contexts.push_back(context);
   }
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
   ParallelConfig parallel;
   parallel.num_threads = static_cast<int>(*threads);
   std::vector<PlannerResult> results =
       ParallelBatchSolver(parallel).Solve(jobs, contexts);
+  if (g_shutdown.cancelled()) {
+    std::printf("interrupted (signal %d): each planner stopped at its next "
+                "guard check; results below are best-so-far\n",
+                g_shutdown_signal.load(std::memory_order_relaxed));
+  }
 
   TablePrinter table({"planner", "Omega", "time_ms", "planned_users",
                       "seat_fill_%", "gini", "termination", "rung"});

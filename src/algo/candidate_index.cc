@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace usep {
@@ -12,6 +13,11 @@ CandidateIndex::CandidateIndex(const Instance& instance)
       users_of_event_(instance.num_events()),
       events_of_user_(instance.num_users()),
       slots_(instance.num_events()) {
+  // Failpoint: build without the Lemma 1 cut, as if the triangle-inequality
+  // guarantee were lost mid-flight.  The index must stay CORRECT (pruning is
+  // an optimization, not a soundness requirement), just bigger — the
+  // robustness suite diffs planner results across the two builds.
+  const bool prune = triangle_ && !USEP_FAILPOINT("candidate_index.build");
   for (EventId v = 0; v < instance.num_events(); ++v) {
     std::vector<UserId>& users = users_of_event_[v];
     for (UserId u = 0; u < instance.num_users(); ++u) {
@@ -19,7 +25,7 @@ CandidateIndex::CandidateIndex(const Instance& instance)
       // Lemma 1: only sound when the triangle inequality is guaranteed —
       // over arbitrary matrices a schedule containing v can undercut the
       // round trip, so the pair must stay scannable.
-      if (triangle_ && instance.RoundTripCost(u, v) > instance.user(u).budget) {
+      if (prune && instance.RoundTripCost(u, v) > instance.user(u).budget) {
         continue;
       }
       const int32_t pos = static_cast<int32_t>(users.size());
@@ -48,6 +54,10 @@ std::optional<Schedule::Insertion> CandidateIndex::CachedCheckInsertionAt(
   misses_.fetch_add(1, std::memory_order_relaxed);
   const std::optional<Schedule::Insertion> insertion =
       planning.CheckInsertion(v, u);
+  // Failpoint: drop the memo write on a stale slot, leaving it stale.  The
+  // epoch guard must keep every future read on this slot a recomputing miss
+  // rather than a wrong hit — the degraded-cache soundness check.
+  if (USEP_FAILPOINT("candidate_index.invalidate")) return insertion;
   slot.epoch = epoch;
   slot.feasible = insertion.has_value();
   if (insertion.has_value()) {

@@ -88,6 +88,13 @@ Instance::Instance(std::vector<Event> events, std::vector<User> users,
   }
 }
 
+void Instance::set_event_capacity(EventId v, int capacity) {
+  USEP_CHECK_GE(v, 0);
+  USEP_CHECK_LT(v, num_events());
+  USEP_CHECK_GE(capacity, 1);
+  events_[v].capacity = capacity;
+}
+
 double Instance::MeasuredConflictRatio() const {
   const int num_events = this->num_events();
   if (num_events < 2) return 0.0;

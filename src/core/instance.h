@@ -122,6 +122,18 @@ class Instance {
   // than the start of the event at sorted position `rank`; -1 when none.
   int LastChainableRank(int rank) const { return last_chainable_[rank]; }
 
+  // --- Streaming support (serve/) -----------------------------------------
+
+  // Adjusts one event's capacity in place.  Capacity feeds none of the
+  // precomputed structure (costs, can-follow, sorted order, Lemma 1 lists),
+  // so a capacity-only change need not rebuild the instance — this is the
+  // streaming service's fast path for kCapacityChange mutations, and the
+  // reason a CandidateIndex built over this instance stays exact across
+  // them.  Requires capacity >= 1.  Callers must first shrink any Planning
+  // over this instance below the new capacity (Planning caches assignment
+  // counts, not capacities, and reads the event's capacity live).
+  void set_event_capacity(EventId v, int capacity);
+
   // --- Misc ----------------------------------------------------------------
 
   // Approximate size of the input data in bytes (events + users + utilities

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -73,6 +74,16 @@ bool Schedule::TryInsert(const Instance& instance, EventId v) {
 
 void Schedule::RemoveAt(const Instance& instance, int position) {
   USEP_CHECK(position >= 0 && position < size());
+  if (USEP_FAILPOINT("schedule.remove_at")) {
+    // Failpoint: distrust the splice delta and recompute the route from
+    // scratch — the slow-but-obviously-correct fallback.  Must be
+    // observationally identical to the incremental path (the robustness
+    // suite runs whole solves both ways and diffs the plannings).
+    events_.erase(events_.begin() + position);
+    route_cost_ = ComputeRouteCost(instance);
+    ++epoch_;
+    return;
+  }
   // Undo the Equation (3) splice: the delta only involves the removed
   // event's two neighbors, never the rest of the route.  Every leg of an
   // existing schedule is finite, so plain integer arithmetic is exact.

@@ -1,0 +1,290 @@
+#include "gen/arrival_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace usep::gen {
+namespace {
+
+using serve::Mutation;
+using serve::MutationKind;
+using serve::MutationUtility;
+using serve::WorldConfig;
+
+constexpr char kMagic[] = "USEP-TRACE";
+constexpr int kVersion = 1;
+
+// The generator's view of the alive world — just the key sets and
+// capacities, enough to keep every emitted mutation applicable.
+struct AliveState {
+  std::vector<uint64_t> users;
+  std::vector<uint64_t> events;
+  std::vector<int> event_capacities;  // Parallel to `events`.
+  uint64_t next_user_key = 1;
+  uint64_t next_event_key = 1;
+};
+
+// Sparse interest list over `counterparts`: up to max_interests draws
+// without replacement, each kept with interest_prob.
+std::vector<MutationUtility> SampleInterests(
+    const std::vector<uint64_t>& counterparts,
+    const ArrivalTraceConfig& config, Rng& rng) {
+  std::vector<MutationUtility> interests;
+  if (counterparts.empty()) return interests;
+  const int draws = std::min<int>(config.max_interests,
+                                  static_cast<int>(counterparts.size()));
+  // Partial Fisher-Yates over a copy of the indices keeps the draw
+  // deterministic and without replacement.
+  std::vector<size_t> order(counterparts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int i = 0; i < draws; ++i) {
+    const size_t j = static_cast<size_t>(
+        rng.UniformInt(i, static_cast<int64_t>(order.size()) - 1));
+    std::swap(order[static_cast<size_t>(i)], order[j]);
+    if (!rng.Bernoulli(config.interest_prob)) continue;
+    MutationUtility entry;
+    entry.key = counterparts[order[static_cast<size_t>(i)]];
+    // (0, 1]: zero interest pairs are simply omitted.
+    entry.mu = 1.0 - rng.NextDouble();
+    interests.push_back(entry);
+  }
+  std::sort(interests.begin(), interests.end(),
+            [](const MutationUtility& a, const MutationUtility& b) {
+              return a.key < b.key;
+            });
+  return interests;
+}
+
+Mutation MakeUserJoin(AliveState* alive, const ArrivalTraceConfig& config,
+                      Rng& rng) {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = alive->next_user_key++;
+  m.budget = rng.UniformInt(config.grid_extent, 4 * config.grid_extent);
+  m.location.x = rng.UniformInt(0, config.grid_extent - 1);
+  m.location.y = rng.UniformInt(0, config.grid_extent - 1);
+  m.utilities = SampleInterests(alive->events, config, rng);
+  alive->users.push_back(m.key);
+  return m;
+}
+
+Mutation MakeEventPost(AliveState* alive, const ArrivalTraceConfig& config,
+                       double progress, Rng& rng) {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = alive->next_event_key++;
+  // Start times advance with the stream position plus jitter of a few
+  // durations — arrivals announce events "around now", not uniformly over
+  // the whole horizon.
+  const int64_t base = static_cast<int64_t>(
+      progress * static_cast<double>(config.horizon));
+  const int64_t jitter = rng.UniformInt(0, 2 * config.event_duration);
+  m.interval.start = base + jitter;
+  m.interval.end = m.interval.start + config.event_duration;
+  m.capacity = std::max<int>(
+      1, static_cast<int>(rng.UniformInt(
+             static_cast<int64_t>(config.capacity_mean / 2),
+             static_cast<int64_t>(config.capacity_mean * 3 / 2))));
+  m.location.x = rng.UniformInt(0, config.grid_extent - 1);
+  m.location.y = rng.UniformInt(0, config.grid_extent - 1);
+  m.utilities = SampleInterests(alive->users, config, rng);
+  alive->events.push_back(m.key);
+  alive->event_capacities.push_back(m.capacity);
+  return m;
+}
+
+Mutation MakeUserLeave(AliveState* alive, Rng& rng) {
+  const size_t i = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(alive->users.size()) - 1));
+  Mutation m;
+  m.kind = MutationKind::kUserLeave;
+  m.key = alive->users[i];
+  alive->users.erase(alive->users.begin() + static_cast<ptrdiff_t>(i));
+  return m;
+}
+
+Mutation MakeEventCancel(AliveState* alive, Rng& rng) {
+  const size_t i = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(alive->events.size()) - 1));
+  Mutation m;
+  m.kind = MutationKind::kEventCancel;
+  m.key = alive->events[i];
+  alive->events.erase(alive->events.begin() + static_cast<ptrdiff_t>(i));
+  alive->event_capacities.erase(alive->event_capacities.begin() +
+                                static_cast<ptrdiff_t>(i));
+  return m;
+}
+
+Mutation MakeCapacityChange(AliveState* alive,
+                            const ArrivalTraceConfig& config, Rng& rng) {
+  const size_t i = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(alive->events.size()) - 1));
+  Mutation m;
+  m.kind = MutationKind::kCapacityChange;
+  m.key = alive->events[i];
+  // Shrink or grow around the current value; venues rarely halve twice.
+  const int current = alive->event_capacities[i];
+  const int delta = static_cast<int>(rng.UniformInt(
+      -std::max(1, current / 2),
+      std::max<int64_t>(1, static_cast<int64_t>(config.capacity_mean / 2))));
+  m.capacity = std::max(1, current + delta);
+  alive->event_capacities[i] = m.capacity;
+  return m;
+}
+
+}  // namespace
+
+StatusOr<ArrivalTrace> GenerateArrivalTrace(
+    const ArrivalTraceConfig& config) {
+  if (config.num_mutations < 0 || config.warmup_users < 0 ||
+      config.warmup_events < 0) {
+    return Status::InvalidArgument("arrival trace: negative counts");
+  }
+  if (config.warmup_users + config.warmup_events > config.num_mutations) {
+    return Status::InvalidArgument(
+        "arrival trace: warmup exceeds num_mutations");
+  }
+  if (config.grid_extent < 2 || config.event_duration < 1 ||
+      config.horizon < 1) {
+    return Status::InvalidArgument("arrival trace: degenerate geometry");
+  }
+  const double mix = config.p_user_join + config.p_user_leave +
+                     config.p_event_post + config.p_event_cancel +
+                     config.p_capacity_change;
+  if (!(mix > 0.0)) {
+    return Status::InvalidArgument("arrival trace: empty mutation mix");
+  }
+
+  Rng rng(config.seed);
+  ArrivalTrace trace;
+  trace.mutations.reserve(static_cast<size_t>(config.num_mutations));
+  AliveState alive;
+
+  // Warmup: events first so the first users have something to be
+  // interested in, then the initial population, interleaved enough that
+  // both sides accumulate interests.
+  for (int i = 0; i < config.warmup_events; ++i) {
+    const double progress =
+        static_cast<double>(trace.mutations.size()) /
+        static_cast<double>(std::max(1, config.num_mutations));
+    trace.mutations.push_back(MakeEventPost(&alive, config, progress, rng));
+  }
+  for (int i = 0; i < config.warmup_users; ++i) {
+    trace.mutations.push_back(MakeUserJoin(&alive, config, rng));
+  }
+
+  while (static_cast<int>(trace.mutations.size()) < config.num_mutations) {
+    const double progress =
+        static_cast<double>(trace.mutations.size()) /
+        static_cast<double>(config.num_mutations);
+    // Draw a kind; a kind whose precondition fails folds its weight into
+    // the remaining draw by redrawing (bounded: join/post never fail).
+    Mutation m;
+    for (;;) {
+      const double r = rng.NextDouble() * mix;
+      if (r < config.p_user_join) {
+        m = MakeUserJoin(&alive, config, rng);
+        break;
+      } else if (r < config.p_user_join + config.p_user_leave) {
+        if (alive.users.empty()) continue;
+        m = MakeUserLeave(&alive, rng);
+        break;
+      } else if (r < config.p_user_join + config.p_user_leave +
+                         config.p_event_post) {
+        m = MakeEventPost(&alive, config, progress, rng);
+        break;
+      } else if (r < config.p_user_join + config.p_user_leave +
+                         config.p_event_post + config.p_event_cancel) {
+        if (alive.events.empty()) continue;
+        m = MakeEventCancel(&alive, rng);
+        break;
+      } else {
+        if (alive.events.empty()) continue;
+        m = MakeCapacityChange(&alive, config, rng);
+        break;
+      }
+    }
+    trace.mutations.push_back(std::move(m));
+  }
+  return trace;
+}
+
+std::string SerializeTrace(const ArrivalTrace& trace) {
+  std::ostringstream out;
+  out << kMagic << " " << kVersion << "\n";
+  out << trace.world.ToLine() << "\n";
+  for (const Mutation& mutation : trace.mutations) {
+    out << mutation.ToLine() << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<ArrivalTrace> DeserializeTrace(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  const auto error = [&](const std::string& message) {
+    return Status::InvalidArgument(StrFormat(
+        "trace parse error at line %d: %s", line_number, message.c_str()));
+  };
+
+  if (!std::getline(stream, line)) return error("empty input");
+  ++line_number;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) {
+      return error("bad header '" + line + "'");
+    }
+  }
+  if (!std::getline(stream, line)) return error("missing world line");
+  ++line_number;
+  StatusOr<WorldConfig> world = WorldConfig::FromLine(Trim(line));
+  if (!world.ok()) return world.status();
+
+  ArrivalTrace trace;
+  trace.world = *world;
+  bool saw_end = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "end") {
+      saw_end = true;
+      break;
+    }
+    StatusOr<Mutation> mutation = Mutation::FromLine(trimmed);
+    if (!mutation.ok()) {
+      return error(mutation.status().message());
+    }
+    trace.mutations.push_back(*std::move(mutation));
+  }
+  if (!saw_end) return error("missing 'end'");
+  return trace;
+}
+
+Status WriteTraceFile(const ArrivalTrace& trace, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << SerializeTrace(trace);
+  file.flush();
+  if (!file) return Status::IoError("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<ArrivalTrace> ReadTraceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return DeserializeTrace(content.str());
+}
+
+}  // namespace usep::gen

@@ -1,0 +1,83 @@
+#ifndef USEP_GEN_ARRIVAL_TRACE_H_
+#define USEP_GEN_ARRIVAL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/mutation.h"
+#include "serve/world.h"
+
+namespace usep::gen {
+
+// Bikakis-style arrival model (PAPERS.md, "Social Event Scheduling"): the
+// dynamic counterpart of the Table 7 synthetic workloads.  Instead of a
+// fixed (V, U), users and events arrive, depart, and change over a time
+// horizon; the generator emits the typed mutation stream a streaming USEP
+// service consumes.
+//
+// The model: a warmup prefix of joins/posts populates the world, then each
+// subsequent mutation draws its kind from the configured mix (conditioned
+// on validity — nobody leaves an empty world).  Posted events' start times
+// advance through the horizon with the stream position, giving the temporal
+// locality of a real event feed; interests (mu > 0 pairs) are sampled
+// sparsely per arrival, mirroring the batch generator's sparse utilities.
+//
+// Deterministic in `seed`; every generated trace applies cleanly to an
+// empty World (the chaos suite re-checks this for hundreds of seeds).
+struct ArrivalTraceConfig {
+  // Total mutations, INCLUDING the warmup prefix.
+  int num_mutations = 200;
+  int warmup_users = 16;
+  int warmup_events = 8;
+
+  // Post-warmup kind mix (normalized internally; a kind whose precondition
+  // fails — e.g. no alive event to cancel — redistributes to the rest).
+  double p_user_join = 0.30;
+  double p_user_leave = 0.10;
+  double p_event_post = 0.25;
+  double p_event_cancel = 0.10;
+  double p_capacity_change = 0.25;
+
+  // Interest sampling for each join/post: up to `max_interests` counterparts
+  // are drawn, each kept with probability `interest_prob` and a Uniform(0,1]
+  // utility.
+  double interest_prob = 0.5;
+  int max_interests = 24;
+
+  // Event shape (see GeneratorConfig for the batch analogues).
+  double capacity_mean = 6.0;
+  int64_t event_duration = 120;
+  int64_t horizon = 1440;
+
+  // Spatial layout: locations uniform on [0, grid_extent)^2; budgets
+  // uniform in [grid_extent, 4 * grid_extent] (a few cross-grid trips).
+  int64_t grid_extent = 1000;
+
+  uint64_t seed = 20150531;
+};
+
+// A generated trace: the world rules plus the mutation stream.
+struct ArrivalTrace {
+  serve::WorldConfig world;
+  std::vector<serve::Mutation> mutations;
+};
+
+// Generates a trace; fails only on nonsensical configs (negative counts,
+// empty mix).
+StatusOr<ArrivalTrace> GenerateArrivalTrace(const ArrivalTraceConfig& config);
+
+// Text round-trip:
+//   USEP-TRACE 1
+//   world <metric> <conflict_policy>
+//   <one Mutation::ToLine per line>
+//   end
+std::string SerializeTrace(const ArrivalTrace& trace);
+StatusOr<ArrivalTrace> DeserializeTrace(const std::string& text);
+Status WriteTraceFile(const ArrivalTrace& trace, const std::string& path);
+StatusOr<ArrivalTrace> ReadTraceFile(const std::string& path);
+
+}  // namespace usep::gen
+
+#endif  // USEP_GEN_ARRIVAL_TRACE_H_

@@ -1,0 +1,185 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "core/validation.h"
+
+namespace usep::serve {
+namespace {
+
+// Reopens the service from disk and checks it recovered the exact state the
+// live process had at its last committed mutation.
+StatusOr<std::unique_ptr<StreamingService>> RestartAndVerify(
+    const ServiceOptions& options, uint64_t expected_fingerprint,
+    const char* what) {
+  StatusOr<std::unique_ptr<StreamingService>> reopened =
+      StreamingService::Open(options);
+  if (!reopened.ok()) {
+    return Status(reopened.status().code(),
+                  std::string(what) +
+                      ": recovery failed: " + reopened.status().message());
+  }
+  const uint64_t recovered = (*reopened)->Fingerprint();
+  if (recovered != expected_fingerprint) {
+    return Status::Internal(StrFormat(
+        "%s: recovered fingerprint %016llx != live %016llx", what,
+        (unsigned long long)recovered,
+        (unsigned long long)expected_fingerprint));
+  }
+  return reopened;
+}
+
+// The chaos suite's per-mutation invariant: the planning re-validates from
+// first principles, and the keyed state is exactly the planning's image.
+Status CheckInvariants(const StreamingService& service) {
+  const Planning* planning = service.planning();
+  if (planning == nullptr) {
+    if (!service.plan_state().empty()) {
+      return Status::Internal(
+          "keyed state has assignments but no planning exists");
+    }
+    return Status::Ok();
+  }
+  USEP_RETURN_IF_ERROR(
+      CheckPlanningFeasible(*service.instance(), *planning));
+  const PlanState mirrored =
+      PlanState::FromPlanning(service.world(), *planning);
+  if (!(mirrored == service.plan_state())) {
+    return Status::Internal(
+        "keyed plan state diverged from the live planning");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("chaos: batch_size must be >= 1");
+  }
+  if (options.service.journal_path.empty() &&
+      (options.kill_at >= 0 ||
+       std::any_of(options.schedule.begin(), options.schedule.end(),
+                   [](const FailpointEvent& e) {
+                     return e.site == "serve.journal.append";
+                   }))) {
+    return Status::InvalidArgument(
+        "chaos: kill/torn-write exercises need a journal path");
+  }
+
+  StatusOr<gen::ArrivalTrace> trace = GenerateArrivalTrace(options.trace);
+  if (!trace.ok()) return trace.status();
+  ServiceOptions service_options = options.service;
+  service_options.world = trace->world;
+  const std::vector<Mutation>& mutations = trace->mutations;
+
+  failpoint::DisarmAll();
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(service_options);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<StreamingService> service = std::move(*opened);
+
+  ChaosResult result;
+  const double slo_ms = options.service.ladder.slo_ms;
+  const double grace_ms =
+      slo_ms > 0 ? std::max(slo_ms * options.grace_factor,
+                            slo_ms + options.grace_floor_ms)
+                 : 0.0;
+  uint64_t last_committed_fingerprint = service->Fingerprint();
+
+  size_t submitted = 0;
+  size_t processed = 0;
+  // Each scheduled fault fires once.  Without this, a torn-write restart
+  // (which retries the same mutation index) would re-arm the same failpoint
+  // and never make progress.
+  std::vector<bool> spent(options.schedule.size(), false);
+  while (processed < mutations.size()) {
+    // Keep up to batch_size mutations in flight; queue-full rejections are
+    // counted and the producer "backs off" by processing first.
+    while (submitted < mutations.size() &&
+           submitted - processed < static_cast<size_t>(options.batch_size)) {
+      const Status accepted = service->Submit(mutations[submitted]);
+      if (!accepted.ok()) {
+        ++result.submit_rejections;
+        break;
+      }
+      ++submitted;
+    }
+
+    std::vector<std::string> armed;
+    for (size_t i = 0; i < options.schedule.size(); ++i) {
+      const FailpointEvent& event = options.schedule[i];
+      if (!spent[i] && event.at_mutation == static_cast<int>(processed)) {
+        failpoint::Arm(event.site, event.skip_hits);
+        armed.push_back(event.site);
+        spent[i] = true;
+      }
+    }
+    StatusOr<ProcessResult> step = service->ProcessNext();
+    for (const std::string& site : armed) failpoint::Disarm(site);
+
+    if (!step.ok()) {
+      if (service->journal_broken()) {
+        // A torn append (injected or real): the in-flight mutation is lost,
+        // exactly like a crash mid-write.  Restart from disk and verify we
+        // land on the last committed state, then re-drive the tail of the
+        // trace (the queue died with the process).
+        result.journal_crashed = true;
+        service->Abandon();
+        service.reset();
+        StatusOr<std::unique_ptr<StreamingService>> reopened =
+            RestartAndVerify(service_options, last_committed_fingerprint,
+                             "torn-write restart");
+        if (!reopened.ok()) return reopened.status();
+        service = std::move(*reopened);
+        submitted = processed;
+        continue;
+      }
+      return step.status();
+    }
+
+    if (step->seq == 0) {
+      ++result.rejected;
+    } else {
+      ++result.committed;
+      if (step->shed) ++result.shed;
+      result.faults += step->repair.faults;
+      ++result.tier_counts[static_cast<int>(step->repair.tier)];
+      if (options.validate_every_mutation) {
+        USEP_RETURN_IF_ERROR(CheckInvariants(*service));
+        ++result.validations;
+      }
+      last_committed_fingerprint = service->Fingerprint();
+    }
+    result.max_process_ms = std::max(result.max_process_ms, step->process_ms);
+    if (grace_ms > 0 && !step->shed && step->process_ms > grace_ms) {
+      ++result.slo_misses;
+    }
+    ++processed;
+
+    if (options.kill_at >= 0 && !result.killed &&
+        result.committed >= options.kill_at) {
+      // Simulated kill -9 + restart: no Close, no final snapshot.
+      result.killed = true;
+      service->Abandon();
+      service.reset();
+      StatusOr<std::unique_ptr<StreamingService>> reopened = RestartAndVerify(
+          service_options, last_committed_fingerprint, "kill restart");
+      if (!reopened.ok()) return reopened.status();
+      service = std::move(*reopened);
+      submitted = processed;  // The queue died with the process.
+    }
+  }
+
+  result.final_fingerprint = service->Fingerprint();
+  result.final_omega = service->planning() != nullptr
+                           ? service->planning()->total_utility()
+                           : 0.0;
+  USEP_RETURN_IF_ERROR(service->Close());
+  return result;
+}
+
+}  // namespace usep::serve

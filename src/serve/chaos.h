@@ -1,0 +1,78 @@
+#ifndef USEP_SERVE_CHAOS_H_
+#define USEP_SERVE_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gen/arrival_trace.h"
+#include "serve/service.h"
+
+namespace usep::serve {
+
+// One scheduled fault: before feeding mutation index `at_mutation` (0-based
+// position in the trace), arm `site`; it is disarmed again right after that
+// mutation is processed, so each entry injects a bounded burst.
+struct FailpointEvent {
+  int at_mutation = 0;
+  std::string site;
+  int64_t skip_hits = 0;
+};
+
+// A chaos run: drive a StreamingService through a generated arrival trace
+// while firing scheduled failpoints, optionally killing and restarting the
+// process state mid-trace, and assert after EVERY mutation that the
+// planning is feasible and the keyed state matches it.
+struct ChaosOptions {
+  ServiceOptions service;          // Journal/snapshot paths included.
+  gen::ArrivalTraceConfig trace;   // The load model (seeded).
+  std::vector<FailpointEvent> schedule;
+
+  // Submit mutations in bursts of this size before draining — >1 builds
+  // queue depth and exercises admission control / shedding.
+  int batch_size = 1;
+
+  // After this many committed mutations, simulate a crash: abandon the
+  // service (no final snapshot), reopen from disk, and require the
+  // recovered fingerprint to equal the live one.  -1 = never.
+  int kill_at = -1;
+
+  // Re-validate the planning from first principles after every committed
+  // mutation (the chaos suite's core assertion; off only for throughput
+  // measurement).
+  bool validate_every_mutation = true;
+
+  // SLO grace bound: a mutation "misses" when its processing time exceeds
+  // max(slo_ms * grace_factor, slo_ms + grace_floor_ms).  The floor absorbs
+  // scheduler noise on CI machines.
+  double grace_factor = 3.0;
+  double grace_floor_ms = 50.0;
+};
+
+struct ChaosResult {
+  int committed = 0;          // Mutations applied and journaled.
+  int rejected = 0;           // Mutations the world refused (stream data).
+  int shed = 0;               // Committed under load shedding.
+  int submit_rejections = 0;  // Queue-full backpressure events.
+  int faults = 0;             // Injected faults the ladder absorbed.
+  int tier_counts[4] = {0, 0, 0, 0};  // Indexed by RepairTier.
+  int validations = 0;        // Feasibility re-checks that ran (and passed).
+  int slo_misses = 0;         // Beyond the grace bound.
+  double max_process_ms = 0.0;
+  bool killed = false;        // The kill+restart exercise ran.
+  bool journal_crashed = false;  // A torn append forced a restart.
+  uint64_t final_fingerprint = 0;
+  double final_omega = 0.0;
+};
+
+// Runs the chaos exercise.  Returns an error the moment ANY invariant
+// breaks: an infeasible planning, a keyed state diverging from the live
+// planning, a recovery fingerprint mismatch after kill/restart, or an
+// unexpected infrastructure failure.  A clean ChaosResult therefore IS the
+// assertion — tests just check a few counters on top.
+StatusOr<ChaosResult> RunChaos(const ChaosOptions& options);
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_CHAOS_H_

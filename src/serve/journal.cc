@@ -1,0 +1,270 @@
+#include "serve/journal.h"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace usep::serve {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+bool ParseUint64Token(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t result = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
+Status RecordError(const std::string& message) {
+  return Status::InvalidArgument("journal record error: " + message);
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& bytes) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string JournalRecord::ToLine() const {
+  std::vector<std::string> tokens;
+  tokens.push_back(StrFormat("%llu", (unsigned long long)seq));
+  tokens.push_back("m");
+  mutation.AppendTokens(&tokens);
+  tokens.push_back("d");
+  tokens.push_back(StrFormat("%zu", ops.size()));
+  for (const PlanOp& op : ops) {
+    tokens.push_back(op.assign ? "+" : "-");
+    tokens.push_back(StrFormat("%llu", (unsigned long long)op.event_key));
+    tokens.push_back(StrFormat("%llu", (unsigned long long)op.user_key));
+  }
+  const std::string body = Join(tokens, " ");
+  return StrFormat("%08x ", Crc32(body)) + body;
+}
+
+StatusOr<JournalRecord> JournalRecord::FromLine(const std::string& line) {
+  // Frame: 8 hex digits, one space, the CRC-covered body.
+  if (line.size() < 10 || line[8] != ' ') {
+    return RecordError("malformed frame (want '<crc8hex> <body>')");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[i];
+    uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return RecordError("non-hex CRC prefix");
+    }
+    stored_crc = (stored_crc << 4) | nibble;
+  }
+  const std::string body = line.substr(9);
+  const uint32_t actual_crc = Crc32(body);
+  if (stored_crc != actual_crc) {
+    return RecordError(StrFormat("CRC mismatch (stored %08x, computed %08x)",
+                                 stored_crc, actual_crc));
+  }
+
+  std::vector<std::string> tokens;
+  {
+    std::istringstream stream(body);
+    std::string token;
+    while (stream >> token) tokens.push_back(token);
+  }
+  size_t cursor = 0;
+  const auto next = [&](std::string* out) -> bool {
+    if (cursor >= tokens.size()) return false;
+    *out = tokens[cursor++];
+    return true;
+  };
+
+  JournalRecord record;
+  std::string token;
+  if (!next(&token) || !ParseUint64Token(token, &record.seq)) {
+    return RecordError("bad sequence number");
+  }
+  if (!next(&token) || token != "m") return RecordError("missing 'm' marker");
+  StatusOr<Mutation> mutation = Mutation::FromTokens(tokens, &cursor);
+  if (!mutation.ok()) return mutation.status();
+  record.mutation = *std::move(mutation);
+  if (!next(&token) || token != "d") return RecordError("missing 'd' marker");
+  int64_t num_ops = 0;
+  if (!next(&token) || !ParseInt64(token, &num_ops) || num_ops < 0) {
+    return RecordError("bad op count");
+  }
+  record.ops.reserve(static_cast<size_t>(num_ops));
+  for (int64_t i = 0; i < num_ops; ++i) {
+    PlanOp op;
+    if (!next(&token) || (token != "+" && token != "-")) {
+      return RecordError("bad op sign");
+    }
+    op.assign = token == "+";
+    if (!next(&token) || !ParseUint64Token(token, &op.event_key)) {
+      return RecordError("bad op event key");
+    }
+    if (!next(&token) || !ParseUint64Token(token, &op.user_key)) {
+      return RecordError("bad op user key");
+    }
+    record.ops.push_back(op);
+  }
+  if (cursor != tokens.size()) {
+    return RecordError("trailing tokens after the op list");
+  }
+  return record;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { (void)Close(); }
+
+StatusOr<JournalWriter> JournalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open journal '" + path + "' for append");
+  }
+  JournalWriter writer;
+  writer.file_ = file;
+  writer.path_ = path;
+  return writer;
+}
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  const std::string line = record.ToLine();
+  if (USEP_FAILPOINT("serve.journal.append")) {
+    // Simulate a crash mid-write: half the line reaches disk, no newline.
+    const std::string torn = line.substr(0, line.size() / 2);
+    std::fwrite(torn.data(), 1, torn.size(), file_);
+    std::fflush(file_);
+    return Status::IoError("injected torn write on journal '" + path_ + "'");
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    return Status::IoError("failed appending to journal '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (std::fclose(file) != 0) {
+    return Status::IoError("failed closing journal '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<JournalReplay> ReadJournal(const std::string& path,
+                                    uint64_t min_seq) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return JournalReplay{};  // Missing = empty journal.
+  std::string content;
+  {
+    char buffer[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      content.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+
+  JournalReplay replay;
+  uint64_t expected_seq = 0;
+  bool have_expected = false;
+  size_t begin = 0;
+  int line_number = 0;
+  while (begin < content.size()) {
+    ++line_number;
+    const size_t line_start = begin;
+    const size_t newline = content.find('\n', begin);
+    const bool is_last = newline == std::string::npos;
+    const std::string line = is_last
+                                 ? content.substr(begin)
+                                 : content.substr(begin, newline - begin);
+    begin = is_last ? content.size() : newline + 1;
+    const bool at_tail = begin >= content.size();
+
+    StatusOr<JournalRecord> record = JournalRecord::FromLine(line);
+    std::string detail;
+    if (!record.ok()) {
+      detail = record.status().message();
+    } else if (is_last) {
+      // A record that parses but lost its newline still counts as torn: the
+      // writer always terminates committed lines.
+      detail = "last line is missing its newline terminator";
+    } else if (have_expected && record->seq != expected_seq) {
+      detail = StrFormat("sequence gap: expected %llu, found %llu",
+                         (unsigned long long)expected_seq,
+                         (unsigned long long)record->seq);
+    }
+
+    if (!detail.empty()) {
+      if (at_tail) {
+        // Torn tail from a crash mid-append: drop it and recover on the
+        // committed prefix.
+        replay.truncated_tail = true;
+        replay.tail_detail =
+            StrFormat("journal '%s' line %d dropped: %s", path.c_str(),
+                      line_number, detail.c_str());
+        replay.valid_prefix_bytes = line_start;
+        return replay;
+      }
+      // Damage before the final line cannot come from a torn append — the
+      // file is corrupt and no safe prefix is identifiable.
+      return Status::IoError(StrFormat("journal '%s' corrupt at line %d: %s",
+                                       path.c_str(), line_number,
+                                       detail.c_str()));
+    }
+
+    expected_seq = record->seq + 1;
+    have_expected = true;
+    replay.valid_prefix_bytes = begin;
+    if (record->seq > min_seq) replay.records.push_back(*std::move(record));
+  }
+  return replay;
+}
+
+}  // namespace usep::serve

@@ -1,0 +1,112 @@
+#ifndef USEP_SERVE_JOURNAL_H_
+#define USEP_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/mutation.h"
+
+namespace usep::serve {
+
+// CRC-32 (IEEE 802.3, reflected) over a byte string.  Frames journal lines
+// and snapshot files so recovery can tell a torn write from valid data.
+uint32_t Crc32(const std::string& bytes);
+
+// One planning edit, by stable keys.  A journal record's op list is a REDO
+// log: the exact assignment edits the live service made while processing the
+// mutation, in order.  Replaying the ops against the keyed assignment state
+// reproduces the planning without re-running the (timing-dependent)
+// degradation ladder — that is what makes crash recovery bit-identical no
+// matter which ladder tier originally produced the edits.
+struct PlanOp {
+  bool assign = true;  // false = unassign
+  uint64_t event_key = 0;
+  uint64_t user_key = 0;
+
+  friend bool operator==(const PlanOp& a, const PlanOp& b) {
+    return a.assign == b.assign && a.event_key == b.event_key &&
+           a.user_key == b.user_key;
+  }
+};
+
+// One journal line: a processed mutation plus the planning edits it caused.
+// Wire form (single line, CRC over everything after the first space):
+//
+//   <crc32:8 hex> <seq> m <mutation tokens...> d <n> {+|- <event> <user>}*
+//
+// The record is appended AFTER the mutation is fully processed, so a crash
+// mid-append loses at most the in-flight mutation — never a committed one.
+struct JournalRecord {
+  uint64_t seq = 0;
+  Mutation mutation;
+  std::vector<PlanOp> ops;
+
+  std::string ToLine() const;
+  static StatusOr<JournalRecord> FromLine(const std::string& line);
+
+  friend bool operator==(const JournalRecord& a, const JournalRecord& b) {
+    return a.seq == b.seq && a.mutation == b.mutation && a.ops == b.ops;
+  }
+};
+
+// Append-only journal file.  Every Append writes one framed line and
+// flushes, so the on-disk journal is always a valid prefix plus at most one
+// torn tail line.
+//
+// Failpoint "serve.journal.append" simulates a crash mid-write: a partial
+// line (no newline, broken CRC) reaches the file and Append returns
+// IoError, exactly the state a real kill -9 during write leaves behind.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  // Opens `path` for appending (creating it if needed).
+  static StatusOr<JournalWriter> Open(const std::string& path);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  // Appends one framed line and flushes it to the OS.
+  Status Append(const JournalRecord& record);
+
+  // Flushes and closes; further Appends fail.  Idempotent.
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+// The result of reading a journal back.  A torn LAST line (bad CRC, partial
+// record, missing newline) is expected after a crash: it is dropped,
+// reported via `truncated_tail`/`tail_detail`, and recovery proceeds on the
+// committed prefix.  Anything wrong BEFORE the last line is real corruption
+// and fails the read outright.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  bool truncated_tail = false;
+  std::string tail_detail;
+  // Byte length of the committed prefix (everything before the torn line;
+  // the whole file when nothing is torn).  Writers reopening the journal
+  // truncate to this first, so the next Append starts on a clean line.
+  uint64_t valid_prefix_bytes = 0;
+};
+
+// Reads and validates `path`.  `min_seq` lets snapshot recovery skip records
+// already folded into the snapshot (records with seq <= min_seq are checked
+// for framing but not returned).  Sequence numbers must be contiguous.
+// A missing file is an empty journal, not an error.
+StatusOr<JournalReplay> ReadJournal(const std::string& path,
+                                    uint64_t min_seq = 0);
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_JOURNAL_H_

@@ -1,0 +1,206 @@
+#include "serve/mutation.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace usep::serve {
+namespace {
+
+Status MutationError(const std::string& message) {
+  return Status::InvalidArgument("mutation parse error: " + message);
+}
+
+bool ParseUint64(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t result = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kUserJoin:
+      return "user_join";
+    case MutationKind::kUserLeave:
+      return "user_leave";
+    case MutationKind::kEventPost:
+      return "event_post";
+    case MutationKind::kEventCancel:
+      return "event_cancel";
+    case MutationKind::kCapacityChange:
+      return "capacity_change";
+  }
+  return "unknown";
+}
+
+void Mutation::AppendTokens(std::vector<std::string>* tokens) const {
+  tokens->push_back(MutationKindName(kind));
+  tokens->push_back(StrFormat("%llu", (unsigned long long)key));
+  switch (kind) {
+    case MutationKind::kUserJoin:
+      tokens->push_back(StrFormat("%lld", (long long)budget));
+      tokens->push_back(StrFormat("%lld", (long long)location.x));
+      tokens->push_back(StrFormat("%lld", (long long)location.y));
+      break;
+    case MutationKind::kEventPost:
+      tokens->push_back(StrFormat("%lld", (long long)interval.start));
+      tokens->push_back(StrFormat("%lld", (long long)interval.end));
+      tokens->push_back(StrFormat("%d", capacity));
+      tokens->push_back(StrFormat("%lld", (long long)location.x));
+      tokens->push_back(StrFormat("%lld", (long long)location.y));
+      break;
+    case MutationKind::kCapacityChange:
+      tokens->push_back(StrFormat("%d", capacity));
+      break;
+    case MutationKind::kUserLeave:
+    case MutationKind::kEventCancel:
+      break;
+  }
+  if (kind == MutationKind::kUserJoin || kind == MutationKind::kEventPost) {
+    tokens->push_back(StrFormat("%zu", utilities.size()));
+    for (const MutationUtility& entry : utilities) {
+      tokens->push_back(StrFormat("%llu", (unsigned long long)entry.key));
+      tokens->push_back(StrFormat("%.17g", entry.mu));
+    }
+  }
+}
+
+std::string Mutation::ToLine() const {
+  std::vector<std::string> tokens;
+  AppendTokens(&tokens);
+  return Join(tokens, " ");
+}
+
+StatusOr<Mutation> Mutation::FromTokens(const std::vector<std::string>& tokens,
+                                        size_t* cursor) {
+  const auto next = [&](std::string* out) -> bool {
+    if (*cursor >= tokens.size()) return false;
+    *out = tokens[(*cursor)++];
+    return true;
+  };
+  std::string token;
+  if (!next(&token)) return MutationError("empty record");
+
+  Mutation mutation;
+  if (token == MutationKindName(MutationKind::kUserJoin)) {
+    mutation.kind = MutationKind::kUserJoin;
+  } else if (token == MutationKindName(MutationKind::kUserLeave)) {
+    mutation.kind = MutationKind::kUserLeave;
+  } else if (token == MutationKindName(MutationKind::kEventPost)) {
+    mutation.kind = MutationKind::kEventPost;
+  } else if (token == MutationKindName(MutationKind::kEventCancel)) {
+    mutation.kind = MutationKind::kEventCancel;
+  } else if (token == MutationKindName(MutationKind::kCapacityChange)) {
+    mutation.kind = MutationKind::kCapacityChange;
+  } else {
+    return MutationError("unknown mutation kind '" + token + "'");
+  }
+
+  if (!next(&token) || !ParseUint64(token, &mutation.key)) {
+    return MutationError("bad entity key");
+  }
+
+  switch (mutation.kind) {
+    case MutationKind::kUserJoin:
+      if (!next(&token) || !ParseInt64(token, &mutation.budget)) {
+        return MutationError("bad budget");
+      }
+      if (!next(&token) || !ParseInt64(token, &mutation.location.x)) {
+        return MutationError("bad location x");
+      }
+      if (!next(&token) || !ParseInt64(token, &mutation.location.y)) {
+        return MutationError("bad location y");
+      }
+      break;
+    case MutationKind::kEventPost:
+      if (!next(&token) || !ParseInt64(token, &mutation.interval.start)) {
+        return MutationError("bad interval start");
+      }
+      if (!next(&token) || !ParseInt64(token, &mutation.interval.end)) {
+        return MutationError("bad interval end");
+      }
+      if (mutation.interval.start >= mutation.interval.end) {
+        return MutationError("interval start must precede its end");
+      }
+      if (!next(&token) || !ParseInt32(token, &mutation.capacity)) {
+        return MutationError("bad capacity");
+      }
+      if (!next(&token) || !ParseInt64(token, &mutation.location.x)) {
+        return MutationError("bad location x");
+      }
+      if (!next(&token) || !ParseInt64(token, &mutation.location.y)) {
+        return MutationError("bad location y");
+      }
+      break;
+    case MutationKind::kCapacityChange:
+      if (!next(&token) || !ParseInt32(token, &mutation.capacity)) {
+        return MutationError("bad capacity");
+      }
+      break;
+    case MutationKind::kUserLeave:
+    case MutationKind::kEventCancel:
+      break;
+  }
+
+  if (mutation.kind == MutationKind::kUserJoin ||
+      mutation.kind == MutationKind::kEventPost) {
+    int64_t count = 0;
+    if (!next(&token) || !ParseInt64(token, &count) || count < 0) {
+      return MutationError("bad utility count");
+    }
+    mutation.utilities.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      MutationUtility entry;
+      if (!next(&token) || !ParseUint64(token, &entry.key)) {
+        return MutationError("bad utility key");
+      }
+      if (!next(&token) || !ParseDouble(token, &entry.mu)) {
+        return MutationError("bad utility value");
+      }
+      mutation.utilities.push_back(entry);
+    }
+  }
+  return mutation;
+}
+
+StatusOr<Mutation> Mutation::FromLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  size_t cursor = 0;
+  StatusOr<Mutation> mutation = FromTokens(tokens, &cursor);
+  if (!mutation.ok()) return mutation;
+  if (cursor != tokens.size()) {
+    return MutationError(StrFormat("%zu trailing token(s) after the record",
+                                   tokens.size() - cursor));
+  }
+  return mutation;
+}
+
+bool operator==(const Mutation& a, const Mutation& b) {
+  if (a.kind != b.kind || a.key != b.key || a.budget != b.budget ||
+      !(a.interval == b.interval) || a.capacity != b.capacity ||
+      !(a.location == b.location) ||
+      a.utilities.size() != b.utilities.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.utilities.size(); ++i) {
+    if (a.utilities[i].key != b.utilities[i].key ||
+        a.utilities[i].mu != b.utilities[i].mu) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace usep::serve

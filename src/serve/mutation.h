@@ -1,0 +1,84 @@
+#ifndef USEP_SERVE_MUTATION_H_
+#define USEP_SERVE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_interval.h"
+#include "geo/metric.h"
+#include "geo/point.h"
+
+namespace usep::serve {
+
+// The typed mutation stream a streaming USEP service consumes: the dynamic
+// setting of Bikakis et al.'s "Social Event Scheduling" (PAPERS.md), where
+// users and events arrive and depart continuously instead of being fixed up
+// front.  Entities are named by STABLE 64-bit keys assigned by the producer
+// (monotonic counters in the arrival-trace generator); dense Instance ids
+// are a per-materialization detail the stream never sees, so a key stays
+// valid across any number of instance rebuilds.
+enum class MutationKind {
+  kUserJoin = 0,     // A participant appears, with budget/location/interests.
+  kUserLeave,        // A participant withdraws; their seats free up.
+  kEventPost,        // An organizer posts an event (time/capacity/location).
+  kEventCancel,      // An event is cancelled; attendees are released.
+  kCapacityChange,   // The venue shrinks or grows; may force evictions.
+};
+
+// Stable lowercase name, e.g. "user_join" (also the serialization tag).
+const char* MutationKindName(MutationKind kind);
+
+// One utility entry carried by a join/post: the key names the OTHER side of
+// the pair (an event key on kUserJoin, a user key on kEventPost).  Pairs not
+// listed default to mu = 0 ("not interested"), exactly like the batch
+// format's sparse utilities.
+struct MutationUtility {
+  uint64_t key = 0;
+  double mu = 0.0;
+};
+
+// A single stream record.  Which fields are meaningful depends on `kind`:
+//
+//   kUserJoin        key (user), budget, location, utilities (event keys)
+//   kUserLeave       key (user)
+//   kEventPost       key (event), interval, capacity, location,
+//                    utilities (user keys)
+//   kEventCancel     key (event)
+//   kCapacityChange  key (event), capacity
+//
+// The line format round-trips exactly (doubles at %.17g) and contains no
+// newlines, which is what lets the journal frame one record per line:
+//
+//   user_join 7 120 3 4 2 1 0.5 2 0.25
+//   event_post 3 540 660 10 5 9 1 7 0.8
+//   capacity_change 3 6
+struct Mutation {
+  MutationKind kind = MutationKind::kUserJoin;
+  uint64_t key = 0;
+  Cost budget = 0;
+  TimeInterval interval;
+  int capacity = 0;
+  Point location;
+  std::vector<MutationUtility> utilities;
+
+  // Single-line serialization (no trailing newline).
+  std::string ToLine() const;
+
+  // Parses ToLine() output; rejects anything malformed with a diagnostic.
+  static StatusOr<Mutation> FromLine(const std::string& line);
+
+  // Token-stream form used by the journal, which appends its own fields to
+  // the same line.  Consumes exactly the mutation's tokens starting at
+  // *cursor and advances it.
+  static StatusOr<Mutation> FromTokens(const std::vector<std::string>& tokens,
+                                       size_t* cursor);
+  void AppendTokens(std::vector<std::string>* tokens) const;
+
+  friend bool operator==(const Mutation& a, const Mutation& b);
+};
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_MUTATION_H_

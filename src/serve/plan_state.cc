@@ -1,0 +1,244 @@
+#include "serve/plan_state.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace usep::serve {
+namespace {
+
+const std::set<uint64_t>& EmptySet() {
+  static const std::set<uint64_t> empty;
+  return empty;
+}
+
+}  // namespace
+
+bool PlanState::IsAssigned(uint64_t event_key, uint64_t user_key) const {
+  const auto it = assignments_.find(user_key);
+  return it != assignments_.end() && it->second.count(event_key) != 0;
+}
+
+const std::set<uint64_t>& PlanState::Assigned(uint64_t user_key) const {
+  const auto it = assignments_.find(user_key);
+  return it == assignments_.end() ? EmptySet() : it->second;
+}
+
+std::vector<uint64_t> PlanState::UserKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(assignments_.size());
+  for (const auto& [key, events] : assignments_) {
+    (void)events;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+Status PlanState::ApplyOp(const PlanOp& op) {
+  if (op.assign) {
+    if (!assignments_[op.user_key].insert(op.event_key).second) {
+      return Status::Internal(StrFormat(
+          "replay op assigns event %llu to user %llu twice",
+          (unsigned long long)op.event_key, (unsigned long long)op.user_key));
+    }
+    ++num_assignments_;
+    return Status::Ok();
+  }
+  const auto it = assignments_.find(op.user_key);
+  if (it == assignments_.end() || it->second.erase(op.event_key) == 0) {
+    return Status::Internal(StrFormat(
+        "replay op removes absent assignment (event %llu, user %llu)",
+        (unsigned long long)op.event_key, (unsigned long long)op.user_key));
+  }
+  if (it->second.empty()) assignments_.erase(it);
+  --num_assignments_;
+  return Status::Ok();
+}
+
+std::vector<PlanOp> PlanState::RemoveUser(uint64_t user_key) {
+  std::vector<PlanOp> ops;
+  const auto it = assignments_.find(user_key);
+  if (it == assignments_.end()) return ops;
+  ops.reserve(it->second.size());
+  for (const uint64_t event_key : it->second) {
+    ops.push_back(PlanOp{false, event_key, user_key});
+  }
+  num_assignments_ -= static_cast<int>(it->second.size());
+  assignments_.erase(it);
+  return ops;
+}
+
+std::vector<PlanOp> PlanState::RemoveEvent(uint64_t event_key) {
+  std::vector<PlanOp> ops;
+  for (auto it = assignments_.begin(); it != assignments_.end();) {
+    if (it->second.erase(event_key) != 0) {
+      ops.push_back(PlanOp{false, event_key, it->first});
+      --num_assignments_;
+      if (it->second.empty()) {
+        it = assignments_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  return ops;
+}
+
+void PlanState::Clear() {
+  assignments_.clear();
+  num_assignments_ = 0;
+}
+
+std::vector<PlanOp> PlanState::Diff(const PlanState& before,
+                                    const PlanState& after) {
+  std::vector<PlanOp> removals;
+  std::vector<PlanOp> additions;
+  for (const auto& [user_key, events] : before.assignments_) {
+    for (const uint64_t event_key : events) {
+      if (!after.IsAssigned(event_key, user_key)) {
+        removals.push_back(PlanOp{false, event_key, user_key});
+      }
+    }
+  }
+  for (const auto& [user_key, events] : after.assignments_) {
+    for (const uint64_t event_key : events) {
+      if (!before.IsAssigned(event_key, user_key)) {
+        additions.push_back(PlanOp{true, event_key, user_key});
+      }
+    }
+  }
+  removals.insert(removals.end(), additions.begin(), additions.end());
+  return removals;
+}
+
+PlanState PlanState::FromPlanning(const World& world,
+                                  const Planning& planning) {
+  PlanState state;
+  const std::vector<uint64_t> user_keys = world.UserKeys();
+  const std::vector<uint64_t> event_keys = world.EventKeys();
+  for (UserId u = 0; u < planning.num_users(); ++u) {
+    const Schedule& schedule = planning.schedule(u);
+    if (schedule.empty()) continue;
+    std::set<uint64_t>& events = state.assignments_[user_keys[u]];
+    for (const EventId v : schedule.events()) {
+      events.insert(event_keys[v]);
+    }
+    state.num_assignments_ += static_cast<int>(events.size());
+  }
+  return state;
+}
+
+StatusOr<Planning> PlanState::ToPlanning(const World& world,
+                                         const Instance& instance) const {
+  Planning planning(instance);
+  for (const auto& [user_key, events] : assignments_) {
+    const UserId u = world.UserIdOf(user_key);
+    if (u < 0) {
+      return Status::Internal(
+          StrFormat("plan state references dead user key %llu",
+                    (unsigned long long)user_key));
+    }
+    std::vector<EventId> ids;
+    ids.reserve(events.size());
+    for (const uint64_t event_key : events) {
+      const EventId v = world.EventIdOf(event_key);
+      if (v < 0) {
+        return Status::Internal(
+            StrFormat("plan state references dead event key %llu",
+                      (unsigned long long)event_key));
+      }
+      ids.push_back(v);
+    }
+    // Assign in schedule (time) order; attended events never overlap, so
+    // interval start is the schedule order.
+    std::sort(ids.begin(), ids.end(), [&](EventId a, EventId b) {
+      const TimeInterval& ia = instance.event(a).interval;
+      const TimeInterval& ib = instance.event(b).interval;
+      if (ia.start != ib.start) return ia.start < ib.start;
+      if (ia.end != ib.end) return ia.end < ib.end;
+      return a < b;
+    });
+    for (const EventId v : ids) {
+      if (!planning.TryAssign(v, u)) {
+        return Status::Internal(StrFormat(
+            "replay produced infeasible planning: event %d rejected for "
+            "user %d",
+            v, u));
+      }
+    }
+  }
+  return planning;
+}
+
+std::string PlanState::Serialize() const {
+  std::ostringstream out;
+  for (const auto& [user_key, events] : assignments_) {
+    out << "a " << user_key << " :";
+    for (const uint64_t event_key : events) out << " " << event_key;
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<PlanState> PlanState::Deserialize(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  PlanState state;
+  bool saw_end = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string tag, colon;
+    uint64_t user_key = 0;
+    fields >> tag >> user_key >> colon;
+    if (fields.fail() || tag != "a" || colon != ":") {
+      return Status::InvalidArgument(
+          StrFormat("plan state parse error at line %d: expected "
+                    "'a <user> : <events...>'",
+                    line_number));
+    }
+    std::set<uint64_t> events;
+    uint64_t event_key = 0;
+    while (fields >> event_key) {
+      if (!events.insert(event_key).second) {
+        return Status::InvalidArgument(StrFormat(
+            "plan state parse error at line %d: duplicate event key",
+            line_number));
+      }
+    }
+    if (fields.fail() && !fields.eof()) {
+      return Status::InvalidArgument(StrFormat(
+          "plan state parse error at line %d: non-numeric event key",
+          line_number));
+    }
+    if (events.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "plan state parse error at line %d: empty assignment line",
+          line_number));
+    }
+    if (state.assignments_.count(user_key) != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "plan state parse error at line %d: duplicate user key",
+          line_number));
+    }
+    state.num_assignments_ += static_cast<int>(events.size());
+    state.assignments_.emplace(user_key, std::move(events));
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("plan state parse error: missing 'end'");
+  }
+  return state;
+}
+
+uint64_t PlanState::Fingerprint() const { return Fnv1a64(Serialize()); }
+
+}  // namespace usep::serve

@@ -1,0 +1,88 @@
+#ifndef USEP_SERVE_PLAN_STATE_H_
+#define USEP_SERVE_PLAN_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planning.h"
+#include "serve/journal.h"
+#include "serve/world.h"
+
+namespace usep::serve {
+
+// The service's planning state in STABLE-KEY form: which event keys each
+// alive user key attends.  This is the representation that survives instance
+// rebuilds — dense ids change whenever the alive set does, keys never do —
+// and the state the journal's PlanOps replay against.
+//
+// Within a user the attended events are mutually time-compatible, so the set
+// (ordered here by key for canonical serialization) determines the schedule
+// uniquely: sorting by interval start recovers the time order a Schedule
+// stores.  Two equal PlanStates therefore denote bit-identical plannings,
+// which is what Fingerprint() certifies in the crash-recovery tests.
+class PlanState {
+ public:
+  PlanState() = default;
+
+  int num_assignments() const { return num_assignments_; }
+  bool empty() const { return num_assignments_ == 0; }
+
+  bool IsAssigned(uint64_t event_key, uint64_t user_key) const;
+  // Event keys attended by `user_key`, ascending (empty set when none).
+  const std::set<uint64_t>& Assigned(uint64_t user_key) const;
+  // User keys with at least one assignment, ascending.
+  std::vector<uint64_t> UserKeys() const;
+
+  // Applies one journal op.  Assigning an already-assigned pair or removing
+  // an absent one is a replay-consistency error, not a no-op: the redo log
+  // must match the state exactly or the journal is lying.
+  Status ApplyOp(const PlanOp& op);
+
+  // Drops every assignment touching `user_key` / `event_key` and returns the
+  // removals as ops (ascending), so callers can journal them.
+  std::vector<PlanOp> RemoveUser(uint64_t user_key);
+  std::vector<PlanOp> RemoveEvent(uint64_t event_key);
+
+  void Clear();
+
+  // The op sequence that turns `before` into `after`: removals first, then
+  // additions, each ascending by (user key, event key).  Deterministic, so
+  // journaling the diff of consecutive states is replay-stable.
+  static std::vector<PlanOp> Diff(const PlanState& before,
+                                  const PlanState& after);
+
+  // Conversions to/from the dense-id Planning of one materialization.
+  // `instance` must be the Materialize() result of `world`'s current state.
+  static PlanState FromPlanning(const World& world, const Planning& planning);
+  // Rebuilds a Planning by assigning each user's events in time order.
+  // Fails with Internal if the state is infeasible against `instance` —
+  // recovery treats that as corruption, never as "drop some assignments".
+  StatusOr<Planning> ToPlanning(const World& world,
+                                const Instance& instance) const;
+
+  // Canonical text form: one "a <user_key> : <event_keys...>" line per
+  // user with assignments, keys ascending, "end" terminated.
+  std::string Serialize() const;
+  static StatusOr<PlanState> Deserialize(const std::string& text);
+
+  // FNV-1a 64 over Serialize().
+  uint64_t Fingerprint() const;
+
+  friend bool operator==(const PlanState& a, const PlanState& b) {
+    return a.assignments_ == b.assignments_;
+  }
+
+ private:
+  // user_key -> attended event keys.  Users with no assignments carry no
+  // entry (so map equality is canonical).
+  std::map<uint64_t, std::set<uint64_t>> assignments_;
+  int num_assignments_ = 0;
+};
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_PLAN_STATE_H_

@@ -1,0 +1,380 @@
+#include "serve/replanner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algo/greedy_single.h"
+#include "algo/ratio_greedy.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace usep::serve {
+
+const char* RepairTierName(RepairTier tier) {
+  switch (tier) {
+    case RepairTier::kIncremental:
+      return "incremental";
+    case RepairTier::kRegional:
+      return "regional";
+    case RepairTier::kAdmission:
+      return "admission";
+    case RepairTier::kValidityOnly:
+      return "validity_only";
+  }
+  return "unknown";
+}
+
+// Resolved metric pointers, all null when no registry is attached — every
+// update site guards, so the disabled path costs one branch.
+struct Replanner::Metrics {
+  obs::Counter* tier_incremental = nullptr;
+  obs::Counter* tier_regional = nullptr;
+  obs::Counter* tier_admission = nullptr;
+  obs::Counter* tier_validity_only = nullptr;
+  obs::Counter* tier_skips = nullptr;
+  obs::Counter* faults = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Counter* rebuilds = nullptr;
+  obs::Counter* capacity_patches = nullptr;
+
+  explicit Metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    tier_incremental = registry->GetCounter("usep.serve.tier.incremental");
+    tier_regional = registry->GetCounter("usep.serve.tier.regional");
+    tier_admission = registry->GetCounter("usep.serve.tier.admission");
+    tier_validity_only = registry->GetCounter("usep.serve.tier.validity_only");
+    tier_skips = registry->GetCounter("usep.serve.tier.skips");
+    faults = registry->GetCounter("usep.serve.faults");
+    retries = registry->GetCounter("usep.serve.retries");
+    evictions = registry->GetCounter("usep.serve.evictions");
+    rebuilds = registry->GetCounter("usep.serve.instance.rebuilds");
+    capacity_patches =
+        registry->GetCounter("usep.serve.instance.capacity_patches");
+  }
+
+  static void Bump(obs::Counter* counter, int64_t delta = 1) {
+    if (counter != nullptr) counter->Increment(delta);
+  }
+
+  obs::Counter* ForTier(RepairTier tier) {
+    switch (tier) {
+      case RepairTier::kIncremental:
+        return tier_incremental;
+      case RepairTier::kRegional:
+        return tier_regional;
+      case RepairTier::kAdmission:
+        return tier_admission;
+      case RepairTier::kValidityOnly:
+        return tier_validity_only;
+    }
+    return nullptr;
+  }
+};
+
+Replanner::Replanner(const LadderOptions& options,
+                     obs::MetricsRegistry* metrics, obs::TraceRecorder* trace)
+    : options_(options),
+      metrics_(metrics),
+      trace_(trace),
+      m_(std::make_unique<Metrics>(metrics)) {}
+
+Replanner::~Replanner() = default;
+
+Status Replanner::Reset(const World& world, const PlanState& state) {
+  planning_.reset();
+  index_.reset();
+  instance_.reset();
+  if (world.num_users() == 0 || world.num_events() == 0) {
+    if (!state.empty()) {
+      return Status::Internal(
+          "plan state carries assignments but the world is empty");
+    }
+    return Status::Ok();
+  }
+  StatusOr<Instance> instance = world.Materialize();
+  if (!instance.ok()) return instance.status();
+  instance_ = std::make_unique<Instance>(*std::move(instance));
+  StatusOr<Planning> planning = state.ToPlanning(world, *instance_);
+  if (!planning.ok()) {
+    instance_.reset();
+    return planning.status();
+  }
+  planning_ = std::make_unique<Planning>(*std::move(planning));
+  index_ = std::make_unique<CandidateIndex>(*instance_);
+  return Status::Ok();
+}
+
+StatusOr<int> Replanner::ApplyValidity(const World& world,
+                                       const Mutation& mutation,
+                                       PlanState* state,
+                                       RepairOutcome* outcome) {
+  int evictions = 0;
+  switch (mutation.kind) {
+    case MutationKind::kUserJoin:
+    case MutationKind::kEventPost:
+      break;  // Nothing to drop; the id space changed, rebuild below.
+    case MutationKind::kUserLeave:
+      evictions = static_cast<int>(state->RemoveUser(mutation.key).size());
+      break;
+    case MutationKind::kEventCancel:
+      evictions = static_cast<int>(state->RemoveEvent(mutation.key).size());
+      break;
+    case MutationKind::kCapacityChange: {
+      // The fast path: capacity feeds no precomputed structure, so when the
+      // solver state exists it is patched in place and the planning AND the
+      // candidate index survive, epochs and memo slots intact.
+      const EventId v =
+          planning_ != nullptr ? world.EventIdOf(mutation.key) : -1;
+      if (v < 0) {
+        // No live solver state (e.g. a world with events but no users yet);
+        // the generic rebuild below handles it.
+        break;
+      }
+      const int over = planning_->assigned_count(v) - mutation.capacity;
+      if (over > 0) {
+        // Deterministic eviction: drop the lowest-utility attendees first,
+        // ties broken toward the larger user id, so every replica of this
+        // decision — live, journal replay, any thread count — agrees.
+        std::vector<UserId> attendees;
+        for (UserId u = 0; u < planning_->num_users(); ++u) {
+          if (planning_->IsAssigned(v, u)) attendees.push_back(u);
+        }
+        std::sort(attendees.begin(), attendees.end(),
+                  [&](UserId a, UserId b) {
+                    const double mu_a = instance_->utility(v, a);
+                    const double mu_b = instance_->utility(v, b);
+                    if (mu_a != mu_b) return mu_a < mu_b;
+                    return a > b;
+                  });
+        for (int i = 0; i < over; ++i) {
+          planning_->Unassign(v, attendees[static_cast<size_t>(i)]);
+          ++evictions;
+        }
+      }
+      instance_->set_event_capacity(v, mutation.capacity);
+      outcome->index_reused = true;
+      Metrics::Bump(m_->capacity_patches);
+      return evictions;
+    }
+  }
+  USEP_RETURN_IF_ERROR(Reset(world, *state));
+  outcome->instance_rebuilt = true;
+  Metrics::Bump(m_->rebuilds);
+  return evictions;
+}
+
+std::vector<EventId> Replanner::RegionOf(const World& world,
+                                         const Mutation& mutation) const {
+  std::vector<EventId> region;
+  const auto add_user_candidates = [&](UserId u) {
+    if (u < 0) return;
+    for (const CandidateIndex::EventRef& ref : index_->EventsOf(u)) {
+      region.push_back(ref.event);
+    }
+  };
+  switch (mutation.kind) {
+    case MutationKind::kUserJoin:
+      // The new user's statically feasible events.
+      add_user_candidates(world.UserIdOf(mutation.key));
+      break;
+    case MutationKind::kEventPost:
+    case MutationKind::kCapacityChange: {
+      const EventId v = world.EventIdOf(mutation.key);
+      if (v >= 0 && !planning_->EventFull(v)) region.push_back(v);
+      break;
+    }
+    case MutationKind::kUserLeave:
+    case MutationKind::kEventCancel:
+      // Seats freed (or users released) anywhere can be refilled; the
+      // affected keys are gone from the world, so the region falls back to
+      // every event with spare capacity — which is exactly what the freed
+      // capacity makes newly interesting.
+      for (EventId v = 0; v < instance_->num_events(); ++v) {
+        if (!planning_->EventFull(v)) region.push_back(v);
+      }
+      break;
+  }
+  std::sort(region.begin(), region.end());
+  region.erase(std::unique(region.begin(), region.end()), region.end());
+  return region;
+}
+
+bool Replanner::RunTier(RepairTier tier, const Mutation& mutation,
+                        const Deadline& slice, const Planning& backup,
+                        Termination* termination) {
+  const char* failpoint_name = tier == RepairTier::kIncremental
+                                   ? "serve.tier.incremental"
+                                   : tier == RepairTier::kRegional
+                                         ? "serve.tier.regional"
+                                         : "serve.tier.admission";
+  PlanContext context;
+  context.deadline = slice;
+  context.metrics = metrics_;
+  context.trace = trace_;
+  PlanGuard guard(context);
+
+  if (USEP_FAILPOINT(failpoint_name)) {
+    // The rung died mid-solve: its partial work is untrustworthy.  Restore
+    // the pre-rung planning and — because the aborted timeline stamped memo
+    // slots with epochs the restored schedules will reach again with
+    // different contents — rebuild the index from scratch.
+    *planning_ = backup;
+    index_ = std::make_unique<CandidateIndex>(*instance_);
+    *termination = Termination::kInjectedFault;
+    return false;
+  }
+
+  PlannerStats stats;
+  switch (tier) {
+    case RepairTier::kIncremental: {
+      obs::TraceSpan span(trace_, "serve/tier-incremental", "serve");
+      RatioGreedyPlanner::Augment(*instance_, region_, planning_.get(),
+                                  &stats, &guard, index_.get());
+      if (!guard.stopped()) {
+        ImprovePlanning(*instance_, options_.local_search, planning_.get(),
+                        &guard, index_.get());
+      }
+      break;
+    }
+    case RepairTier::kRegional: {
+      obs::TraceSpan span(trace_, "serve/tier-regional", "serve");
+      std::vector<EventId> open_events;
+      for (EventId v = 0; v < instance_->num_events(); ++v) {
+        if (!planning_->EventFull(v)) open_events.push_back(v);
+      }
+      RatioGreedyPlanner::Augment(*instance_, open_events, planning_.get(),
+                                  &stats, &guard, index_.get());
+      break;
+    }
+    case RepairTier::kAdmission: {
+      obs::TraceSpan span(trace_, "serve/tier-admission", "serve");
+      if (mutation.kind == MutationKind::kUserJoin) {
+        // FCFS: the arriving user gets their selfish-best schedule under
+        // whatever capacity is left; nobody else moves.
+        const UserId u = admission_user_;
+        std::vector<UserCandidate> candidates;
+        for (const CandidateIndex::EventRef& ref : index_->EventsOf(u)) {
+          if (planning_->EventFull(ref.event)) continue;
+          candidates.push_back(
+              UserCandidate{ref.event, instance_->utility(ref.event, u)});
+        }
+        const SingleResult result =
+            GreedySingle(*instance_, u, candidates, &guard);
+        for (const EventId v : result.schedule) {
+          planning_->TryAssign(v, u);
+        }
+      } else if (mutation.kind == MutationKind::kEventPost ||
+                 mutation.kind == MutationKind::kCapacityChange) {
+        // FCFS: the event's open seats go to interested users in id
+        // (arrival) order.
+        const EventId v = admission_event_;
+        if (v >= 0) {
+          for (const UserId u : index_->UsersOf(v)) {
+            if (planning_->EventFull(v)) break;
+            if (guard.ShouldStop()) break;
+            index_->TryAssignCached(planning_.get(), v, u);
+          }
+        }
+      }
+      // Leave/cancel free resources; FCFS platforms leave them unclaimed.
+      break;
+    }
+    case RepairTier::kValidityOnly:
+      break;
+  }
+  *termination = guard.stopped() ? guard.reason() : Termination::kCompleted;
+  return true;
+}
+
+StatusOr<RepairOutcome> Replanner::Repair(const World& world,
+                                          const Mutation& mutation,
+                                          PlanState* state, bool shed) {
+  const Deadline slo = options_.slo_ms > 0
+                           ? Deadline::AfterMillis(options_.slo_ms)
+                           : Deadline::Infinite();
+  RepairOutcome outcome;
+  obs::TraceSpan repair_span(trace_, "serve/repair", "serve");
+
+  StatusOr<int> evictions = ApplyValidity(world, mutation, state, &outcome);
+  if (!evictions.ok()) return evictions.status();
+  outcome.evictions = *evictions;
+  Metrics::Bump(m_->evictions, *evictions);
+
+  if (planning_ == nullptr) {
+    // Unmaterializable world (one side empty): nothing to plan.
+    state->Clear();
+    outcome.tier = RepairTier::kValidityOnly;
+    Metrics::Bump(m_->ForTier(outcome.tier));
+    return outcome;
+  }
+
+  if (!shed) {
+    region_ = RegionOf(world, mutation);
+    admission_user_ = mutation.kind == MutationKind::kUserJoin
+                          ? world.UserIdOf(mutation.key)
+                          : -1;
+    admission_event_ = (mutation.kind == MutationKind::kEventPost ||
+                        mutation.kind == MutationKind::kCapacityChange)
+                           ? world.EventIdOf(mutation.key)
+                           : -1;
+
+    static constexpr RepairTier kLadder[] = {RepairTier::kIncremental,
+                                             RepairTier::kRegional,
+                                             RepairTier::kAdmission};
+    const double slice_ms[] = {
+        options_.slo_ms * options_.incremental_fraction,
+        options_.slo_ms * options_.regional_fraction,
+        options_.slo_ms *
+            (1.0 - options_.incremental_fraction - options_.regional_fraction),
+    };
+    bool repaired = false;
+    for (int t = 0; t < 3 && !repaired; ++t) {
+      const RepairTier tier = kLadder[t];
+      if (options_.slo_ms > 0) {
+        const double remaining_ms = slo.RemainingSeconds() * 1e3;
+        if (remaining_ms < options_.entry_fraction * slice_ms[t]) {
+          // Too little budget left for this rung to do useful work — the
+          // pressure path of the ladder: skip straight down.
+          Metrics::Bump(m_->tier_skips);
+          continue;
+        }
+      }
+      const Deadline slice =
+          options_.slo_ms > 0
+              ? Deadline::AfterMillis(std::min(
+                    slice_ms[t], std::max(0.0, slo.RemainingSeconds() * 1e3)))
+              : Deadline::Infinite();
+      const Planning backup = *planning_;
+      for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+        if (attempt > 0) {
+          ++outcome.retries;
+          Metrics::Bump(m_->retries);
+        }
+        Termination termination = Termination::kCompleted;
+        if (RunTier(tier, mutation, slice, backup, &termination)) {
+          outcome.tier = tier;
+          outcome.termination = termination;
+          repaired = true;
+          break;
+        }
+        ++outcome.faults;
+        Metrics::Bump(m_->faults);
+      }
+    }
+    if (!repaired) {
+      outcome.tier = RepairTier::kValidityOnly;
+      outcome.termination = outcome.faults > 0 ? Termination::kInjectedFault
+                                               : Termination::kDeadline;
+    }
+  }
+  Metrics::Bump(m_->ForTier(outcome.tier));
+
+  *state = PlanState::FromPlanning(world, *planning_);
+  outcome.omega = planning_->total_utility();
+  return outcome;
+}
+
+}  // namespace usep::serve

@@ -1,0 +1,171 @@
+#ifndef USEP_SERVE_REPLANNER_H_
+#define USEP_SERVE_REPLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/candidate_index.h"
+#include "algo/local_search.h"
+#include "algo/plan_context.h"
+#include "common/status.h"
+#include "serve/plan_state.h"
+#include "serve/world.h"
+
+namespace usep::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace usep::obs
+
+namespace usep::serve {
+
+// The rung of the degradation ladder that produced a repair, best first.
+enum class RepairTier {
+  // Regional incremental repair: RatioGreedy::Augment over only the events
+  // the mutation disturbed, then a guard-bounded LocalSearch polish — the
+  // expensive, highest-utility rung.
+  kIncremental = 0,
+  // Full RatioGreedy augmentation over every event with spare capacity; no
+  // polish.  Cheaper, still global-greedy quality.
+  kRegional,
+  // Online-FCFS admission: only the arriving entity is planned (the new
+  // user gets a GreedySingle schedule; a new event greedily fills its
+  // seats).  The floor every EBSN platform already implements.
+  kAdmission,
+  // Nothing beyond the mandatory validity phase — the planning is merely
+  // kept feasible.  Reached when the ladder bottoms out or the service
+  // sheds load.
+  kValidityOnly,
+};
+
+const char* RepairTierName(RepairTier tier);
+
+// Degradation-ladder policy.  The SLO splits into per-tier slices: the
+// incremental rung gets `incremental_fraction` of the budget, the regional
+// rung `regional_fraction`, and admission whatever remains.  A rung that is
+// stopped by its slice's deadline still yields a valid (merely less
+// improved) planning and the repair ACCEPTS it — anytime behavior; the
+// ladder only descends on injected faults (bounded by `max_retries` per
+// rung) or when the remaining SLO budget at entry is already too thin for
+// the rung to be worth starting (`entry_fraction` of its slice).
+struct LadderOptions {
+  // Per-mutation SLO in milliseconds; 0 = no deadline (never degrade on
+  // time, still degrade on faults).
+  double slo_ms = 0.0;
+  double incremental_fraction = 0.5;
+  double regional_fraction = 0.3;
+  // A rung is entered only when at least entry_fraction * its slice is
+  // still unspent; otherwise the ladder skips straight down.
+  double entry_fraction = 0.25;
+  // Retries per rung after an injected fault before descending.
+  int max_retries = 1;
+  // LocalSearch polish budget on the incremental rung.
+  LocalSearchOptions local_search = DefaultPolish();
+
+  static LocalSearchOptions DefaultPolish() {
+    LocalSearchOptions options;
+    options.max_rounds = 2;
+    return options;
+  }
+};
+
+// What one Repair() call did.
+struct RepairOutcome {
+  RepairTier tier = RepairTier::kValidityOnly;
+  Termination termination = Termination::kCompleted;
+  int retries = 0;            // Fault retries consumed across rungs.
+  int faults = 0;             // Injected faults observed.
+  int evictions = 0;          // Assignments removed by the validity phase.
+  bool instance_rebuilt = false;
+  bool index_reused = false;  // Capacity fast path kept index + instance.
+  double omega = 0.0;         // Planning utility after the repair.
+};
+
+// Owns the solver-side state of the streaming service: the materialized
+// Instance, the live Planning, and the CandidateIndex, kept in sync with a
+// World one mutation at a time.
+//
+// Incrementality contract: a structural mutation (join/leave/post/cancel)
+// changes the dense id space, so instance, planning, and index are rebuilt
+// from the keyed PlanState — the state itself, not the solve, carries over.
+// A capacity-only mutation takes the fast path: the instance is patched in
+// place (Instance::set_event_capacity), the Planning and CandidateIndex
+// SURVIVE, and every memoized insertion answer whose schedule epoch is
+// unchanged keeps serving hits across the mutation — the PR 5 epoch
+// machinery stretched across consecutive solves.
+//
+// Failpoints (fired once per armed hit, consumed by the retry loop):
+//   serve.tier.incremental / serve.tier.regional / serve.tier.admission —
+//   abort that rung as if a fault hit mid-solve (the planning copy is
+//   restored, the rung retries, then the ladder descends).
+class Replanner {
+ public:
+  Replanner(const LadderOptions& options, obs::MetricsRegistry* metrics,
+            obs::TraceRecorder* trace);
+  ~Replanner();
+
+  Replanner(const Replanner&) = delete;
+  Replanner& operator=(const Replanner&) = delete;
+
+  // Brings the solver state in line with `world` — to which `mutation` was
+  // just applied — and repairs/extends the planning under the degradation
+  // ladder.  `state` is the keyed planning state from BEFORE the mutation;
+  // on return it matches the repaired planning.  With `shed` the ladder is
+  // skipped entirely (kValidityOnly): the planning stays valid, no
+  // improvement is attempted.
+  StatusOr<RepairOutcome> Repair(const World& world, const Mutation& mutation,
+                                 PlanState* state, bool shed);
+
+  // Rebuilds everything from scratch (recovery path): materializes `world`,
+  // reconstructs the planning from `state`, builds a fresh index.  An empty
+  // world (nothing to plan) is fine — planning() is null until the first
+  // materializable state.
+  Status Reset(const World& world, const PlanState& state);
+
+  // Null until the first materializable world.
+  const Planning* planning() const { return planning_.get(); }
+  const Instance* instance() const { return instance_.get(); }
+
+  const LadderOptions& options() const { return options_; }
+
+ private:
+  struct Metrics;
+
+  // Mandatory, deterministic phase: drops assignments the mutation
+  // invalidated (dead user/event, capacity shrink evictions) and rebuilds
+  // or patches instance/planning/index.  Returns the number of evictions.
+  StatusOr<int> ApplyValidity(const World& world, const Mutation& mutation,
+                              PlanState* state, RepairOutcome* outcome);
+
+  // Runs one ladder rung against planning_; returns false when an injected
+  // fault aborted it (planning_ already restored from `backup`).
+  bool RunTier(RepairTier tier, const Mutation& mutation,
+               const Deadline& slice, const Planning& backup,
+               Termination* termination);
+
+  // Event ids the mutation disturbed — the incremental rung's region.
+  std::vector<EventId> RegionOf(const World& world,
+                                const Mutation& mutation) const;
+
+  LadderOptions options_;
+  obs::MetricsRegistry* metrics_;  // Borrowed; may be null.
+  obs::TraceRecorder* trace_;      // Borrowed; may be null.
+  std::unique_ptr<Metrics> m_;     // Resolved metric pointers (null-safe).
+
+  // Per-Repair scratch consumed by RunTier (set before the ladder runs).
+  std::vector<EventId> region_;
+  UserId admission_user_ = -1;
+  EventId admission_event_ = -1;
+
+  // Rebuild order matters: planning_ and index_ hold raw pointers into
+  // *instance_, so they are destroyed before instance_ is replaced and
+  // recreated only once the new instance is in its final home.
+  std::unique_ptr<Instance> instance_;
+  std::unique_ptr<Planning> planning_;
+  std::unique_ptr<CandidateIndex> index_;
+};
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_REPLANNER_H_

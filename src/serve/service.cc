@@ -1,0 +1,268 @@
+#include "serve/service.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace usep::serve {
+
+struct StreamingService::Metrics {
+  obs::Counter* mutations = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* submit_rejected = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* snapshots = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* omega = nullptr;
+  obs::Histogram* replan_ms = nullptr;
+
+  explicit Metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    mutations = registry->GetCounter("usep.serve.mutations");
+    rejected = registry->GetCounter("usep.serve.mutations.rejected");
+    submit_rejected = registry->GetCounter("usep.serve.submit.rejected");
+    shed = registry->GetCounter("usep.serve.shed");
+    snapshots = registry->GetCounter("usep.serve.snapshots");
+    queue_depth = registry->GetGauge("usep.serve.queue_depth");
+    omega = registry->GetGauge("usep.serve.omega");
+    // Replan latencies from ~10us up; p99 comes out of Quantile().
+    obs::HistogramOptions options;
+    options.first_bound = 1e-2;
+    options.growth = 2.0;
+    options.num_buckets = 24;
+    replan_ms = registry->GetHistogram("usep.serve.replan_ms", options);
+  }
+};
+
+StreamingService::StreamingService(const ServiceOptions& options)
+    : options_(options),
+      world_(options.world),
+      replanner_(std::make_unique<Replanner>(options.ladder, options.metrics,
+                                             options.trace)),
+      m_(std::make_unique<Metrics>(options.metrics)) {}
+
+StreamingService::~StreamingService() { (void)Close(); }
+
+StatusOr<RecoveredState> RecoverState(const WorldConfig& config,
+                                      const std::string& journal_path,
+                                      const std::string& snapshot_path) {
+  RecoveredState recovered;
+  recovered.world = World(config);
+  uint64_t min_seq = 0;
+
+  if (!snapshot_path.empty()) {
+    StatusOr<Snapshot> snapshot = ReadSnapshotFile(snapshot_path);
+    if (snapshot.ok()) {
+      recovered.world = std::move(snapshot->world);
+      recovered.state = std::move(snapshot->plan);
+      min_seq = snapshot->seq;
+      recovered.next_seq = snapshot->seq + 1;
+      recovered.info.snapshot_loaded = true;
+    } else if (snapshot.status().code() == StatusCode::kNotFound) {
+      recovered.info.snapshot_note = "no snapshot; replaying full journal";
+    } else {
+      // A damaged snapshot is survivable as long as the journal is whole:
+      // fall back to replaying it from the start.
+      recovered.info.snapshot_note =
+          "snapshot ignored (" + snapshot.status().message() +
+          "); replaying full journal";
+    }
+  }
+
+  if (!journal_path.empty()) {
+    StatusOr<JournalReplay> replay = ReadJournal(journal_path, min_seq);
+    if (!replay.ok()) return replay.status();
+    recovered.info.truncated_tail = replay->truncated_tail;
+    recovered.info.tail_detail = replay->tail_detail;
+    recovered.info.journal_valid_bytes = replay->valid_prefix_bytes;
+    for (const JournalRecord& record : replay->records) {
+      if (record.seq != recovered.next_seq) {
+        return Status::IoError(StrFormat(
+            "journal resumes at seq %llu but recovery expected %llu",
+            (unsigned long long)record.seq,
+            (unsigned long long)recovered.next_seq));
+      }
+      USEP_RETURN_IF_ERROR(recovered.world.Apply(record.mutation));
+      for (const PlanOp& op : record.ops) {
+        USEP_RETURN_IF_ERROR(recovered.state.ApplyOp(op));
+      }
+      recovered.next_seq = record.seq + 1;
+      ++recovered.info.replayed_records;
+    }
+    recovered.world.ClearDirty();
+  }
+  return recovered;
+}
+
+Status StreamingService::Recover() {
+  StatusOr<RecoveredState> recovered =
+      RecoverState(options_.world, options_.journal_path,
+                   options_.snapshot_path);
+  if (!recovered.ok()) return recovered.status();
+  world_ = std::move(recovered->world);
+  state_ = std::move(recovered->state);
+  next_seq_ = recovered->next_seq;
+  recovery_ = recovered->info;
+  // Prove the recovered state is a feasible planning before serving from
+  // it; Reset fails loudly on anything inconsistent.
+  return replanner_->Reset(world_, state_);
+}
+
+StatusOr<std::unique_ptr<StreamingService>> StreamingService::Open(
+    const ServiceOptions& options) {
+  std::unique_ptr<StreamingService> service(new StreamingService(options));
+  USEP_RETURN_IF_ERROR(service->Recover());
+  if (!options.journal_path.empty()) {
+    if (service->recovery_.truncated_tail) {
+      // Cut the torn tail off before appending again; otherwise the next
+      // record would concatenate onto the partial line and corrupt BOTH.
+      if (::truncate(options.journal_path.c_str(),
+                     static_cast<off_t>(
+                         service->recovery_.journal_valid_bytes)) != 0) {
+        return Status::IoError("failed truncating torn tail of journal '" +
+                               options.journal_path + "'");
+      }
+    }
+    StatusOr<JournalWriter> journal = JournalWriter::Open(options.journal_path);
+    if (!journal.ok()) return journal.status();
+    service->journal_ = std::make_unique<JournalWriter>(std::move(*journal));
+  }
+  return service;
+}
+
+Status StreamingService::Submit(const Mutation& mutation) {
+  if (closed_) return Status::FailedPrecondition("service is closed");
+  if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+    if (m_->submit_rejected != nullptr) m_->submit_rejected->Increment();
+    return Status::FailedPrecondition(
+        StrFormat("queue full (%d mutations); back off and retry",
+                  options_.queue_capacity));
+  }
+  queue_.push_back(mutation);
+  if (m_->queue_depth != nullptr) {
+    m_->queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<ProcessResult> StreamingService::ProcessNext() {
+  if (closed_) return Status::FailedPrecondition("service is closed");
+  if (journal_broken_) {
+    return Status::FailedPrecondition(
+        "journal append failed earlier; restart the service to recover");
+  }
+  if (queue_.empty()) return Status::FailedPrecondition("queue is empty");
+
+  Stopwatch timer;
+  ProcessResult result;
+  const Mutation mutation = queue_.front();
+  queue_.pop_front();
+  result.shed = static_cast<double>(queue_.size()) >
+                options_.shed_fraction * options_.queue_capacity;
+  if (m_->queue_depth != nullptr) {
+    m_->queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+
+  result.apply_status = world_.Apply(mutation);
+  if (!result.apply_status.ok()) {
+    // Stream-data rejection: the world (and everything downstream) is
+    // untouched, nothing to journal.
+    if (m_->rejected != nullptr) m_->rejected->Increment();
+    result.process_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  const PlanState before = state_;
+  StatusOr<RepairOutcome> repair =
+      replanner_->Repair(world_, mutation, &state_, result.shed);
+  if (!repair.ok()) return repair.status();
+  result.repair = *repair;
+  world_.ClearDirty();
+
+  if (journal_ != nullptr) {
+    JournalRecord record;
+    record.seq = next_seq_;
+    record.mutation = mutation;
+    record.ops = PlanState::Diff(before, state_);
+    const Status appended = journal_->Append(record);
+    if (!appended.ok()) {
+      // In-memory state is now ahead of the journal; serving on would
+      // acknowledge mutations a restart cannot reproduce.
+      journal_broken_ = true;
+      return appended;
+    }
+  }
+  result.seq = next_seq_++;
+
+  result.process_ms = timer.ElapsedMillis();
+  if (m_->mutations != nullptr) m_->mutations->Increment();
+  if (result.shed && m_->shed != nullptr) m_->shed->Increment();
+  if (m_->replan_ms != nullptr) m_->replan_ms->Observe(result.process_ms);
+  if (m_->omega != nullptr) m_->omega->Set(result.repair.omega);
+
+  ++mutations_since_snapshot_;
+  USEP_RETURN_IF_ERROR(MaybeSnapshot());
+  return result;
+}
+
+StatusOr<std::vector<ProcessResult>> StreamingService::Drain() {
+  std::vector<ProcessResult> results;
+  results.reserve(queue_.size());
+  while (!queue_.empty()) {
+    StatusOr<ProcessResult> result = ProcessNext();
+    if (!result.ok()) return result.status();
+    results.push_back(*std::move(result));
+  }
+  return results;
+}
+
+Status StreamingService::MaybeSnapshot() {
+  if (options_.snapshot_every <= 0 || options_.snapshot_path.empty() ||
+      mutations_since_snapshot_ < options_.snapshot_every) {
+    return Status::Ok();
+  }
+  return Flush();
+}
+
+Status StreamingService::Flush() {
+  if (options_.snapshot_path.empty()) return Status::Ok();
+  Snapshot snapshot;
+  snapshot.seq = last_seq();
+  snapshot.world = world_;
+  snapshot.plan = state_;
+  const Status written = WriteSnapshotFile(snapshot, options_.snapshot_path);
+  if (written.ok()) {
+    mutations_since_snapshot_ = 0;
+    if (m_->snapshots != nullptr) m_->snapshots->Increment();
+  }
+  return written;
+}
+
+Status StreamingService::Close() {
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  Status flushed = Status::Ok();
+  if (!journal_broken_) flushed = Flush();
+  Status journal_closed = Status::Ok();
+  if (journal_ != nullptr) {
+    journal_closed = journal_->Close();
+    journal_.reset();
+  }
+  if (!flushed.ok()) return flushed;
+  return journal_closed;
+}
+
+void StreamingService::Abandon() {
+  closed_ = true;
+  journal_.reset();  // Releases the handle; committed records are flushed.
+}
+
+uint64_t StreamingService::Fingerprint() const {
+  return Fnv1a64(world_.Serialize() + state_.Serialize());
+}
+
+}  // namespace usep::serve

@@ -1,0 +1,190 @@
+#ifndef USEP_SERVE_SERVICE_H_
+#define USEP_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/journal.h"
+#include "serve/plan_state.h"
+#include "serve/replanner.h"
+#include "serve/snapshot.h"
+#include "serve/world.h"
+
+namespace usep::serve {
+
+struct ServiceOptions {
+  WorldConfig world;
+  LadderOptions ladder;
+
+  // Durability.  An empty journal path runs the service ephemeral (nothing
+  // survives a crash); an empty snapshot path disables checkpoints and
+  // recovery replays the whole journal.
+  std::string journal_path;
+  std::string snapshot_path;
+  // Take a snapshot every N committed mutations (0 = never).
+  int snapshot_every = 0;
+
+  // Admission control.  Submit() rejects outright when the queue holds
+  // `queue_capacity` mutations (backpressure: the producer retries); while
+  // the depth is above shed_fraction * capacity, processing sheds load —
+  // mutations are still APPLIED (world state is never dropped) but the
+  // improvement ladder is skipped, so the queue drains at validity-only
+  // speed.
+  int queue_capacity = 1024;
+  double shed_fraction = 0.75;
+
+  obs::MetricsRegistry* metrics = nullptr;  // Borrowed; may be null.
+  obs::TraceRecorder* trace = nullptr;      // Borrowed; may be null.
+};
+
+// What Open() found on disk.
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  // Why the snapshot was ignored (corrupt/missing); recovery then replayed
+  // the full journal — non-fatal by design.
+  std::string snapshot_note;
+  uint64_t replayed_records = 0;
+  bool truncated_tail = false;  // A torn journal tail was dropped.
+  std::string tail_detail;
+  // Byte length of the journal's valid prefix; Open truncates the file to
+  // it before appending again, so a torn tail never corrupts the record
+  // that follows it.
+  uint64_t journal_valid_bytes = 0;
+};
+
+// The outcome of processing one mutation.
+struct ProcessResult {
+  // Commit sequence number; 0 when the mutation was rejected (apply_status
+  // holds the diagnostic) and nothing was journaled.
+  uint64_t seq = 0;
+  Status apply_status;
+  bool shed = false;
+  RepairOutcome repair;
+  double process_ms = 0.0;
+};
+
+// The long-lived streaming planning service: applies a mutation stream to a
+// World, keeps the planning fresh through the Replanner's degradation
+// ladder, and makes every committed mutation durable in the journal before
+// acknowledging it.
+//
+// Single-threaded by design: one loop Submit()s and ProcessNext()s, so
+// every decision is deterministic and the recovery story reduces to "replay
+// the journal".  Concurrency lives a level up (the binary's signal handling
+// and the chaos harness), where it cannot touch planning state.
+//
+// Commit protocol per mutation: apply to the world -> repair the planning
+// (ladder) -> append {seq, mutation, state diff} to the journal -> bump
+// seq.  A crash before the append loses only the in-flight mutation; the
+// journal prefix always describes a consistent (world, plan) pair, which is
+// what RecoverState replays.
+class StreamingService {
+ public:
+  // Opens the service, recovering from snapshot + journal when present.
+  // Recovery is strict about corruption anywhere but the journal's last
+  // line (see ReadJournal) and fails Open rather than serve from a state it
+  // cannot prove consistent.
+  static StatusOr<std::unique_ptr<StreamingService>> Open(
+      const ServiceOptions& options);
+
+  ~StreamingService();
+  StreamingService(const StreamingService&) = delete;
+  StreamingService& operator=(const StreamingService&) = delete;
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const ServiceOptions& options() const { return options_; }
+
+  // Enqueues a mutation; FailedPrecondition when the queue is at capacity
+  // (the admission-control rejection — callers back off and retry).
+  Status Submit(const Mutation& mutation);
+
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+  bool HasPending() const { return !queue_.empty(); }
+
+  // Pops and processes one mutation.  A mutation the world rejects (unknown
+  // key, bad capacity...) is reported in ProcessResult::apply_status and
+  // changes nothing; stream errors are data, not service failures.  Only
+  // infrastructure trouble (journal I/O, internal inconsistency) fails the
+  // call — after a failed journal append the in-memory state is ahead of
+  // the journal, so the service refuses further processing (journal_broken)
+  // and the operator restarts it: recovery truncates the torn tail and
+  // resumes from the last acknowledged mutation.
+  StatusOr<ProcessResult> ProcessNext();
+
+  // Processes everything queued, stopping at the first infrastructure
+  // failure.
+  StatusOr<std::vector<ProcessResult>> Drain();
+
+  // Writes a snapshot now (no-op without a snapshot path).
+  Status Flush();
+
+  // Drains nothing; flushes a final snapshot and closes the journal.
+  // Idempotent.  The destructor calls it, ignoring errors.
+  Status Close();
+
+  // Drops the service the way a crash would: the journal handle is released
+  // (every committed record was already flushed by its Append), but no
+  // final snapshot is written and the in-memory state is simply discarded.
+  // What the chaos harness calls before a simulated kill.
+  void Abandon();
+
+  // --- Introspection ------------------------------------------------------
+
+  const World& world() const { return world_; }
+  const PlanState& plan_state() const { return state_; }
+  // Null while the world is unmaterializable (one side empty).
+  const Planning* planning() const { return replanner_->planning(); }
+  const Instance* instance() const { return replanner_->instance(); }
+
+  // Sequence number of the last committed mutation (0 = none yet).
+  uint64_t last_seq() const { return next_seq_ - 1; }
+  bool journal_broken() const { return journal_broken_; }
+
+  // FNV-1a 64 over the canonical world + plan state serializations: equal
+  // fingerprints mean bit-identical recoverable state.  This is the value
+  // the chaos harness compares across kill + restart.
+  uint64_t Fingerprint() const;
+
+ private:
+  explicit StreamingService(const ServiceOptions& options);
+
+  Status Recover();
+  Status MaybeSnapshot();
+
+  ServiceOptions options_;
+  RecoveryInfo recovery_;
+  World world_;
+  PlanState state_;
+  std::unique_ptr<Replanner> replanner_;
+  std::unique_ptr<JournalWriter> journal_;
+  std::deque<Mutation> queue_;
+  uint64_t next_seq_ = 1;
+  int mutations_since_snapshot_ = 0;
+  bool journal_broken_ = false;
+  bool closed_ = false;
+
+  struct Metrics;
+  std::unique_ptr<Metrics> m_;
+};
+
+// Recovers (world, plan state, next seq) from a snapshot + journal pair
+// without constructing a service — the replay half of the crash-safety
+// contract, shared by StreamingService::Open, the recovery tests, and the
+// `usep_serve --verify_replay` mode.
+struct RecoveredState {
+  World world{WorldConfig{}};
+  PlanState state;
+  uint64_t next_seq = 1;
+  RecoveryInfo info;
+};
+StatusOr<RecoveredState> RecoverState(const WorldConfig& config,
+                                      const std::string& journal_path,
+                                      const std::string& snapshot_path);
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_SERVICE_H_

@@ -1,0 +1,169 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "serve/journal.h"
+
+namespace usep::serve {
+namespace {
+
+constexpr char kHeader[] = "USEP-SNAPSHOT 1";
+
+}  // namespace
+
+std::string Snapshot::Serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "seq " << seq << "\n";
+  out << world.Serialize();
+  out << plan.Serialize();
+  std::string body = out.str();
+  body += StrFormat("crc %08x\n", Crc32(body));
+  return body;
+}
+
+StatusOr<Snapshot> Snapshot::Deserialize(const std::string& text) {
+  // Split off the trailing "crc <8hex>\n" line and verify it first: a
+  // snapshot that fails the checksum gets no further parsing.
+  if (text.size() < 13 || text.back() != '\n') {
+    return Status::InvalidArgument("snapshot: missing trailing crc line");
+  }
+  const size_t crc_line_start = text.rfind('\n', text.size() - 2);
+  const size_t body_size =
+      crc_line_start == std::string::npos ? 0 : crc_line_start + 1;
+  const std::string crc_line =
+      text.substr(body_size, text.size() - body_size - 1);
+  std::istringstream crc_fields(crc_line);
+  std::string tag, hex;
+  crc_fields >> tag >> hex;
+  uint32_t stored_crc = 0;
+  if (tag != "crc" || hex.size() != 8 ||
+      std::sscanf(hex.c_str(), "%8x", &stored_crc) != 1) {
+    return Status::InvalidArgument("snapshot: malformed crc line '" +
+                                   crc_line + "'");
+  }
+  const std::string body = text.substr(0, body_size);
+  const uint32_t actual_crc = Crc32(body);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: CRC mismatch (stored %08x, computed %08x)",
+                  stored_crc, actual_crc));
+  }
+
+  std::istringstream stream(body);
+  std::string line;
+  if (!std::getline(stream, line) || line != kHeader) {
+    return Status::InvalidArgument("snapshot: bad header");
+  }
+  Snapshot snapshot;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("snapshot: missing seq line");
+  }
+  {
+    std::istringstream fields(line);
+    std::string seq_tag;
+    int64_t seq_value = -1;
+    fields >> seq_tag >> seq_value;
+    if (fields.fail() || seq_tag != "seq" || seq_value < 0) {
+      return Status::InvalidArgument("snapshot: bad seq line '" + line + "'");
+    }
+    snapshot.seq = static_cast<uint64_t>(seq_value);
+  }
+
+  // The world section runs from here to its own "end"; the plan section is
+  // the rest.  Both parsers consume exactly one "end", so splitting on the
+  // first line equal to "end" after the world's user rows is unambiguous —
+  // delegate by feeding each parser its slice.
+  std::string world_text, plan_text;
+  bool world_done = false;
+  while (std::getline(stream, line)) {
+    if (!world_done) {
+      world_text += line;
+      world_text += '\n';
+      if (Trim(line) == "end") world_done = true;
+    } else {
+      plan_text += line;
+      plan_text += '\n';
+    }
+  }
+  if (!world_done) {
+    return Status::InvalidArgument("snapshot: truncated world section");
+  }
+  StatusOr<World> world = World::Deserialize(world_text);
+  if (!world.ok()) return world.status();
+  snapshot.world = *std::move(world);
+  StatusOr<PlanState> plan = PlanState::Deserialize(plan_text);
+  if (!plan.ok()) return plan.status();
+  snapshot.plan = *std::move(plan);
+
+  // Cross-check: every assignment must reference alive entities.
+  for (const uint64_t user_key : snapshot.plan.UserKeys()) {
+    if (!snapshot.world.HasUser(user_key)) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: plan references dead user key %llu",
+                    (unsigned long long)user_key));
+    }
+    for (const uint64_t event_key : snapshot.plan.Assigned(user_key)) {
+      if (!snapshot.world.HasEvent(event_key)) {
+        return Status::InvalidArgument(
+            StrFormat("snapshot: plan references dead event key %llu",
+                      (unsigned long long)event_key));
+      }
+    }
+  }
+  return snapshot;
+}
+
+Status WriteSnapshotFile(const Snapshot& snapshot, const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  const std::string text = snapshot.Serialize();
+  {
+    std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IoError("cannot open '" + tmp_path + "' for writing");
+    }
+    const bool write_ok =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+        std::fflush(file) == 0;
+    const bool close_ok = std::fclose(file) == 0;
+    if (!write_ok || !close_ok) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("failed writing '" + tmp_path + "'");
+    }
+  }
+  if (USEP_FAILPOINT("serve.snapshot.write")) {
+    return Status::IoError("injected crash before snapshot rename of '" +
+                           path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("failed renaming '" + tmp_path + "' over '" +
+                           path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no snapshot at '" + path + "'");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  StatusOr<Snapshot> snapshot = Snapshot::Deserialize(content);
+  if (!snapshot.ok()) {
+    return Status(snapshot.status().code(),
+                  "snapshot '" + path + "': " + snapshot.status().message());
+  }
+  return snapshot;
+}
+
+}  // namespace usep::serve

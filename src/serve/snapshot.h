@@ -1,0 +1,41 @@
+#ifndef USEP_SERVE_SNAPSHOT_H_
+#define USEP_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/plan_state.h"
+#include "serve/world.h"
+
+namespace usep::serve {
+
+// A point-in-time checkpoint of the service: the world and planning state
+// after applying every mutation up to and including sequence `seq`.
+// Recovery loads the newest valid snapshot and replays only the journal
+// suffix (seq' > seq), keeping restart time bounded as the journal grows.
+struct Snapshot {
+  uint64_t seq = 0;
+  World world{WorldConfig{}};
+  PlanState plan;
+
+  // Text form with a trailing "crc <8hex>" line over everything before it.
+  std::string Serialize() const;
+  static StatusOr<Snapshot> Deserialize(const std::string& text);
+};
+
+// Writes atomically: serialize to "<path>.tmp", then rename over `path`, so
+// a crash mid-write never destroys the previous good snapshot.  Failpoint
+// "serve.snapshot.write" aborts after the tmp write with an IoError (the
+// tmp file is left behind, the real snapshot untouched), simulating a crash
+// between write and rename.
+Status WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);
+
+// Reads and CRC-verifies `path`.  NotFound when the file does not exist
+// (callers fall back to full-journal replay); IoError/InvalidArgument when
+// it exists but is damaged.
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path);
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_SNAPSHOT_H_

@@ -1,0 +1,386 @@
+#include "serve/world.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/instance_builder.h"
+
+namespace usep::serve {
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string WorldConfig::ToLine() const {
+  return StrFormat("world %s %s", MetricKindName(metric),
+                   ConflictPolicyName(conflict_policy));
+}
+
+StatusOr<WorldConfig> WorldConfig::FromLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  if (tokens.size() != 3 || tokens[0] != "world") {
+    return Status::InvalidArgument(
+        "expected 'world <metric> <conflict_policy>', got '" + line + "'");
+  }
+  WorldConfig config;
+  StatusOr<MetricKind> metric = ParseMetricKind(tokens[1]);
+  if (!metric.ok()) return metric.status();
+  config.metric = *metric;
+  if (tokens[2] == ConflictPolicyName(ConflictPolicy::kTimeOverlapOnly)) {
+    config.conflict_policy = ConflictPolicy::kTimeOverlapOnly;
+  } else if (tokens[2] ==
+             ConflictPolicyName(ConflictPolicy::kTravelTimeAware)) {
+    config.conflict_policy = ConflictPolicy::kTravelTimeAware;
+  } else {
+    return Status::InvalidArgument("unknown conflict policy '" + tokens[2] +
+                                   "'");
+  }
+  return config;
+}
+
+Status World::CheckApply(const Mutation& mutation) const {
+  const std::string key_text =
+      StrFormat("%llu", (unsigned long long)mutation.key);
+  switch (mutation.kind) {
+    case MutationKind::kUserJoin:
+      if (HasUser(mutation.key)) {
+        return Status::InvalidArgument("user_join: key " + key_text +
+                                       " is already alive");
+      }
+      if (mutation.budget < 0) {
+        return Status::InvalidArgument("user_join: negative budget");
+      }
+      for (const MutationUtility& entry : mutation.utilities) {
+        if (!HasEvent(entry.key)) {
+          return Status::InvalidArgument(
+              StrFormat("user_join %s: utility references unknown event %llu",
+                        key_text.c_str(), (unsigned long long)entry.key));
+        }
+        if (!(entry.mu >= 0.0 && entry.mu <= 1.0)) {
+          return Status::InvalidArgument("user_join: mu outside [0, 1]");
+        }
+      }
+      return Status::Ok();
+    case MutationKind::kUserLeave:
+      if (!HasUser(mutation.key)) {
+        return Status::NotFound("user_leave: unknown user key " + key_text);
+      }
+      return Status::Ok();
+    case MutationKind::kEventPost:
+      if (HasEvent(mutation.key)) {
+        return Status::InvalidArgument("event_post: key " + key_text +
+                                       " is already alive");
+      }
+      if (mutation.interval.start >= mutation.interval.end) {
+        return Status::InvalidArgument("event_post: interval start >= end");
+      }
+      if (mutation.capacity < 1) {
+        return Status::InvalidArgument("event_post: capacity < 1");
+      }
+      for (const MutationUtility& entry : mutation.utilities) {
+        if (!HasUser(entry.key)) {
+          return Status::InvalidArgument(
+              StrFormat("event_post %s: utility references unknown user %llu",
+                        key_text.c_str(), (unsigned long long)entry.key));
+        }
+        if (!(entry.mu >= 0.0 && entry.mu <= 1.0)) {
+          return Status::InvalidArgument("event_post: mu outside [0, 1]");
+        }
+      }
+      return Status::Ok();
+    case MutationKind::kEventCancel:
+      if (!HasEvent(mutation.key)) {
+        return Status::NotFound("event_cancel: unknown event key " + key_text);
+      }
+      return Status::Ok();
+    case MutationKind::kCapacityChange:
+      if (!HasEvent(mutation.key)) {
+        return Status::NotFound("capacity_change: unknown event key " +
+                                key_text);
+      }
+      if (mutation.capacity < 1) {
+        return Status::InvalidArgument("capacity_change: capacity < 1");
+      }
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled mutation kind");
+}
+
+Status World::Apply(const Mutation& mutation) {
+  USEP_RETURN_IF_ERROR(CheckApply(mutation));
+  switch (mutation.kind) {
+    case MutationKind::kUserJoin: {
+      users_.emplace(mutation.key,
+                     UserState{mutation.budget, mutation.location});
+      for (const MutationUtility& entry : mutation.utilities) {
+        if (entry.mu != 0.0) {
+          events_.at(entry.key).utilities[mutation.key] = entry.mu;
+        }
+      }
+      structure_dirty_ = true;
+      break;
+    }
+    case MutationKind::kUserLeave: {
+      users_.erase(mutation.key);
+      for (auto& [event_key, event] : events_) {
+        (void)event_key;
+        event.utilities.erase(mutation.key);
+      }
+      structure_dirty_ = true;
+      break;
+    }
+    case MutationKind::kEventPost: {
+      EventState event;
+      event.interval = mutation.interval;
+      event.capacity = mutation.capacity;
+      event.location = mutation.location;
+      for (const MutationUtility& entry : mutation.utilities) {
+        if (entry.mu != 0.0) event.utilities[entry.key] = entry.mu;
+      }
+      events_.emplace(mutation.key, std::move(event));
+      structure_dirty_ = true;
+      break;
+    }
+    case MutationKind::kEventCancel: {
+      events_.erase(mutation.key);
+      structure_dirty_ = true;
+      break;
+    }
+    case MutationKind::kCapacityChange: {
+      events_.at(mutation.key).capacity = mutation.capacity;
+      capacity_dirty_ = true;
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> World::UserKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(users_.size());
+  for (const auto& [key, user] : users_) {
+    (void)user;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> World::EventKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(events_.size());
+  for (const auto& [key, event] : events_) {
+    (void)event;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+UserId World::UserIdOf(uint64_t key) const {
+  const auto it = users_.find(key);
+  if (it == users_.end()) return -1;
+  return static_cast<UserId>(std::distance(users_.begin(), it));
+}
+
+EventId World::EventIdOf(uint64_t key) const {
+  const auto it = events_.find(key);
+  if (it == events_.end()) return -1;
+  return static_cast<EventId>(std::distance(events_.begin(), it));
+}
+
+int World::EventCapacity(uint64_t key) const {
+  const auto it = events_.find(key);
+  return it == events_.end() ? 0 : it->second.capacity;
+}
+
+StatusOr<Instance> World::Materialize() const {
+  if (users_.empty() || events_.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot materialize a world with %d events and %d users",
+                  num_events(), num_users()));
+  }
+  InstanceBuilder builder;
+  builder.SetConflictPolicy(config_.conflict_policy);
+  std::vector<Point> event_points;
+  std::vector<Point> user_points;
+  event_points.reserve(events_.size());
+  user_points.reserve(users_.size());
+  for (const auto& [key, event] : events_) {
+    (void)key;
+    builder.AddEvent(event.interval, event.capacity);
+    event_points.push_back(event.location);
+  }
+  std::map<uint64_t, UserId> user_ids;
+  for (const auto& [key, user] : users_) {
+    user_ids[key] = builder.AddUser(user.budget);
+    user_points.push_back(user.location);
+  }
+  EventId v = 0;
+  for (const auto& [key, event] : events_) {
+    (void)key;
+    for (const auto& [user_key, mu] : event.utilities) {
+      builder.SetUtility(v, user_ids.at(user_key), mu);
+    }
+    ++v;
+  }
+  builder.SetMetricLayout(config_.metric, std::move(event_points),
+                          std::move(user_points));
+  return std::move(builder).Build();
+}
+
+std::string World::Serialize() const {
+  std::ostringstream out;
+  out << "USEP-WORLD 1\n";
+  out << config_.ToLine() << "\n";
+  out << "events " << events_.size() << "\n";
+  out.precision(17);
+  for (const auto& [key, event] : events_) {
+    out << "e " << key << " " << event.interval.start << " "
+        << event.interval.end << " " << event.capacity << " "
+        << event.location.x << " " << event.location.y << " "
+        << event.utilities.size();
+    for (const auto& [user_key, mu] : event.utilities) {
+      out << " " << user_key << " " << mu;
+    }
+    out << "\n";
+  }
+  out << "users " << users_.size() << "\n";
+  for (const auto& [key, user] : users_) {
+    out << "u " << key << " " << user.budget << " " << user.location.x << " "
+        << user.location.y << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<World> World::Deserialize(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(stream, line)) {
+      ++line_number;
+      line = Trim(line);
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  const auto error = [&](const std::string& message) -> Status {
+    return Status::InvalidArgument(StrFormat(
+        "world parse error near line %d: %s", line_number, message.c_str()));
+  };
+  const auto tokenize = [&]() {
+    std::vector<std::string> tokens;
+    std::istringstream token_stream(line);
+    std::string token;
+    while (token_stream >> token) tokens.push_back(token);
+    return tokens;
+  };
+
+  if (!next_line() || line != "USEP-WORLD 1") {
+    return error("missing USEP-WORLD header");
+  }
+  if (!next_line()) return error("missing world config");
+  StatusOr<WorldConfig> config = WorldConfig::FromLine(line);
+  if (!config.ok()) return config.status();
+  World world(*config);
+
+  if (!next_line()) return error("missing events section");
+  std::vector<std::string> tokens = tokenize();
+  int64_t num_events = 0;
+  if (tokens.size() != 2 || tokens[0] != "events" ||
+      !ParseInt64(tokens[1], &num_events) || num_events < 0) {
+    return error("expected 'events <count>'");
+  }
+  // Collected first, replayed below: the per-event utility lists reference
+  // users that are serialized after the events.
+  struct PendingEvent {
+    Mutation post;
+  };
+  std::vector<PendingEvent> pending;
+  pending.reserve(static_cast<size_t>(num_events));
+  for (int64_t i = 0; i < num_events; ++i) {
+    if (!next_line()) return error("truncated events section");
+    tokens = tokenize();
+    if (tokens.size() < 8 || tokens[0] != "e") {
+      return error("expected 'e <key> <start> <end> <cap> <x> <y> <n> ...'");
+    }
+    Mutation post;
+    post.kind = MutationKind::kEventPost;
+    size_t cursor = 1;
+    int64_t count = 0;
+    int64_t raw_event_key = 0;
+    if (!ParseInt64(tokens[cursor], &raw_event_key) || raw_event_key < 0) {
+      return error("bad event key");
+    }
+    post.key = static_cast<uint64_t>(raw_event_key);
+    ++cursor;
+    if (!ParseInt64(tokens[cursor++], &post.interval.start) ||
+        !ParseInt64(tokens[cursor++], &post.interval.end) ||
+        !ParseInt32(tokens[cursor++], &post.capacity) ||
+        !ParseInt64(tokens[cursor++], &post.location.x) ||
+        !ParseInt64(tokens[cursor++], &post.location.y) ||
+        !ParseInt64(tokens[cursor++], &count) || count < 0) {
+      return error("bad event fields");
+    }
+    if (tokens.size() != cursor + static_cast<size_t>(count) * 2) {
+      return error("event utility list length mismatch");
+    }
+    for (int64_t j = 0; j < count; ++j) {
+      MutationUtility entry;
+      int64_t raw_key = 0;
+      if (!ParseInt64(tokens[cursor++], &raw_key) ||
+          !ParseDouble(tokens[cursor++], &entry.mu)) {
+        return error("bad event utility entry");
+      }
+      entry.key = static_cast<uint64_t>(raw_key);
+      post.utilities.push_back(entry);
+    }
+    pending.push_back(PendingEvent{std::move(post)});
+  }
+
+  if (!next_line()) return error("missing users section");
+  tokens = tokenize();
+  int64_t num_users = 0;
+  if (tokens.size() != 2 || tokens[0] != "users" ||
+      !ParseInt64(tokens[1], &num_users) || num_users < 0) {
+    return error("expected 'users <count>'");
+  }
+  for (int64_t i = 0; i < num_users; ++i) {
+    if (!next_line()) return error("truncated users section");
+    tokens = tokenize();
+    if (tokens.size() != 5 || tokens[0] != "u") {
+      return error("expected 'u <key> <budget> <x> <y>'");
+    }
+    Mutation join;
+    join.kind = MutationKind::kUserJoin;
+    int64_t raw_key = 0;
+    if (!ParseInt64(tokens[1], &raw_key) ||
+        !ParseInt64(tokens[2], &join.budget) ||
+        !ParseInt64(tokens[3], &join.location.x) ||
+        !ParseInt64(tokens[4], &join.location.y)) {
+      return error("bad user fields");
+    }
+    join.key = static_cast<uint64_t>(raw_key);
+    USEP_RETURN_IF_ERROR(world.Apply(join));
+  }
+  // Events after users, so the utility references validate.
+  for (PendingEvent& event : pending) {
+    USEP_RETURN_IF_ERROR(world.Apply(event.post));
+  }
+
+  if (!next_line() || line != "end") return error("expected 'end'");
+  world.ClearDirty();
+  return world;
+}
+
+uint64_t World::Fingerprint() const { return Fnv1a64(Serialize()); }
+
+}  // namespace usep::serve

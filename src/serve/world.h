@@ -1,0 +1,117 @@
+#ifndef USEP_SERVE_WORLD_H_
+#define USEP_SERVE_WORLD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "serve/mutation.h"
+
+namespace usep::serve {
+
+// Static parameters of a streaming world: everything an Instance needs that
+// no mutation carries.  Serialized into traces and snapshots so recovery
+// rebuilds instances under identical rules.
+struct WorldConfig {
+  MetricKind metric = MetricKind::kManhattan;
+  ConflictPolicy conflict_policy = ConflictPolicy::kTimeOverlapOnly;
+
+  std::string ToLine() const;
+  static StatusOr<WorldConfig> FromLine(const std::string& line);
+};
+
+// The mutable counterpart of Instance: the set of currently-alive users and
+// events, keyed by the stream's stable 64-bit keys, evolved one Mutation at
+// a time.  Apply() is all-or-nothing — a rejected mutation (unknown key,
+// duplicate key, invalid capacity...) leaves the world untouched and returns
+// a diagnostic, so the service can refuse bad stream records cleanly.
+//
+// Materialize() builds a fresh immutable Instance over the alive entities.
+// Dense ids are assigned in ascending key order, which makes the mapping —
+// and therefore every downstream planning decision — a pure function of the
+// alive set: two worlds with equal state materialize bit-identical
+// instances regardless of the mutation orders that produced them.
+//
+// Serialize() emits a canonical text form (keys ascending, doubles at
+// %.17g); Fingerprint() hashes it.  Equal fingerprints are the journal
+// replay test's definition of "bit-identical world state".
+class World {
+ public:
+  explicit World(const WorldConfig& config) : config_(config) {}
+
+  const WorldConfig& config() const { return config_; }
+
+  int num_users() const { return static_cast<int>(users_.size()); }
+  int num_events() const { return static_cast<int>(events_.size()); }
+
+  bool HasUser(uint64_t key) const { return users_.count(key) != 0; }
+  bool HasEvent(uint64_t key) const { return events_.count(key) != 0; }
+
+  // Validates and applies `mutation`.  On error the world is unchanged.
+  Status Apply(const Mutation& mutation);
+
+  // True when a structural change (join/leave/post/cancel) happened since
+  // the flags were last cleared; capacity changes set only the second flag.
+  // The replanner uses these to decide between a full instance rebuild and
+  // the in-place capacity fast path.
+  bool structure_dirty() const { return structure_dirty_; }
+  bool capacity_dirty() const { return capacity_dirty_; }
+  void ClearDirty() { structure_dirty_ = capacity_dirty_ = false; }
+
+  // Alive keys ascending — position in these vectors IS the dense id the
+  // next Materialize() assigns.
+  std::vector<uint64_t> UserKeys() const;
+  std::vector<uint64_t> EventKeys() const;
+
+  // Key <-> dense id mapping for the CURRENT alive set (matching the
+  // vectors above).  Returns -1 for keys not alive.
+  UserId UserIdOf(uint64_t key) const;
+  EventId EventIdOf(uint64_t key) const;
+
+  // Per-event capacity by key (0 when absent) — the replanner's fast path
+  // reads this without materializing.
+  int EventCapacity(uint64_t key) const;
+
+  // Builds the Instance over the alive entities (empty worlds are not
+  // materializable: InstanceBuilder requires a cost model with at least the
+  // configured dimensions, and a planner has nothing to do anyway).
+  StatusOr<Instance> Materialize() const;
+
+  // Canonical text form / round-trip.
+  std::string Serialize() const;
+  static StatusOr<World> Deserialize(const std::string& text);
+
+  // FNV-1a 64 over Serialize().
+  uint64_t Fingerprint() const;
+
+ private:
+  struct UserState {
+    Cost budget = 0;
+    Point location;
+  };
+  struct EventState {
+    TimeInterval interval;
+    int capacity = 1;
+    Point location;
+    // mu by user key; absent = 0.  Kept pruned of dead users.
+    std::map<uint64_t, double> utilities;
+  };
+
+  Status CheckApply(const Mutation& mutation) const;
+
+  WorldConfig config_;
+  std::map<uint64_t, UserState> users_;
+  std::map<uint64_t, EventState> events_;
+  bool structure_dirty_ = false;
+  bool capacity_dirty_ = false;
+};
+
+// FNV-1a 64-bit over a byte string (exposed for snapshot/journal checks).
+uint64_t Fnv1a64(const std::string& bytes);
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_WORLD_H_

@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "algo/candidate_index.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "core/planning.h"
 #include "gen/synthetic_generator.h"
@@ -177,6 +179,105 @@ TEST_P(CandidateIndexTest, MatrixCostModelsDisableStaticPruning) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CandidateIndexTest,
                          ::testing::Range<uint64_t>(0, 25));
+
+// Failpoint: "candidate_index.build" suppresses the Lemma 1 cut, building
+// the index as if the triangle guarantee were lost.  The degraded index is
+// bigger (every mu > 0 pair kept) but must still answer exactly.
+TEST(CandidateIndexFailpointTest, BuildFailpointDisablesPruningButStaysExact) {
+  GeneratorConfig config = testing::SmallRandomConfig(7);
+  config.num_events = 8;
+  config.num_users = 10;
+  config.budget_factor = 0.6;  // Tight budgets so the cut actually bites.
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  ASSERT_TRUE(instance->TriangleInequalityHolds());
+
+  const CandidateIndex pruned(*instance);
+  int64_t positive_pairs = 0;
+  for (EventId v = 0; v < instance->num_events(); ++v) {
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      if (instance->utility(v, u) > 0.0) ++positive_pairs;
+    }
+  }
+  ASSERT_LT(pruned.num_pairs(), positive_pairs)
+      << "config too loose: the Lemma 1 cut pruned nothing, so the "
+         "failpoint build would be indistinguishable";
+
+  failpoint::ScopedArm arm("candidate_index.build");
+  CandidateIndex degraded(*instance);
+  EXPECT_GT(arm.hit_count(), 0);
+  // Without pruning the degraded build keeps every positive-utility pair.
+  EXPECT_EQ(degraded.num_pairs(), positive_pairs);
+  ExpectStaticListsConsistent(*instance, degraded);
+  // Correctness is unchanged: same answers as the ground truth, and the
+  // interleaved drill passes on the oversized index too.
+  RunMutationDrill(*instance, 7, "build-failpoint");
+}
+
+// Failpoint: "candidate_index.invalidate" drops memo writes, leaving slots
+// stale.  The epoch guard must turn every future read on a stale slot into
+// a recomputing miss — degraded throughput, never a wrong hit.
+TEST(CandidateIndexFailpointTest, DroppedMemoWritesNeverProduceWrongHits) {
+  GeneratorConfig config = testing::SmallRandomConfig(13);
+  config.num_events = 8;
+  config.num_users = 10;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+
+  Planning planning(*instance);
+  CandidateIndex index(*instance);
+  // Splits the full (v, u) grid into pairs the static lists short-circuit
+  // (counted as hits without touching the memo) and pairs that reach a slot.
+  const auto count_pairs = [&](int64_t* static_pairs, int64_t* queryable) {
+    *static_pairs = 0;
+    *queryable = 0;
+    for (EventId v = 0; v < instance->num_events(); ++v) {
+      const std::vector<UserId>& users = index.UsersOf(v);
+      for (UserId u = 0; u < instance->num_users(); ++u) {
+        if (!std::binary_search(users.begin(), users.end(), u)) {
+          ++*static_pairs;
+        } else if (!planning.EventFull(v)) {
+          ++*queryable;
+        }
+      }
+    }
+  };
+  int64_t static_pairs = 0;
+  int64_t queryable = 0;
+  {
+    failpoint::ScopedArm arm("candidate_index.invalidate");
+    count_pairs(&static_pairs, &queryable);
+    ASSERT_GT(queryable, 0);
+    const int64_t hits_before = index.hits();
+    const int64_t misses_before = index.misses();
+    // With every memo write dropped, BOTH passes of the sweep miss every
+    // slot-backed pair — the second pass finds nothing memoized.
+    ExpectCacheMatchesGroundTruth(*instance, planning, &index,
+                                  "invalidate armed, empty");
+    EXPECT_GT(arm.hit_count(), 0);
+    EXPECT_EQ(index.misses() - misses_before, 2 * queryable);
+    EXPECT_EQ(index.hits() - hits_before, 2 * static_pairs)
+        << "only static short-circuits may count as hits while memo "
+           "writes are dropped";
+    // Answers stay exact across mutations while the failpoint is armed.
+    for (UserId u = 0; u < instance->num_users(); ++u) {
+      for (EventId v = 0; v < instance->num_events(); ++v) {
+        if (index.TryAssignCached(&planning, v, u)) break;
+      }
+    }
+    ExpectCacheMatchesGroundTruth(*instance, planning, &index,
+                                  "invalidate armed, assigned");
+  }
+  // Disarmed, the memo heals: the first pass repopulates every slot, the
+  // second hits all of them — answers exact throughout.
+  count_pairs(&static_pairs, &queryable);
+  const int64_t hits_before = index.hits();
+  const int64_t misses_before = index.misses();
+  ExpectCacheMatchesGroundTruth(*instance, planning, &index,
+                                "invalidate disarmed");
+  EXPECT_EQ(index.misses() - misses_before, queryable);
+  EXPECT_EQ(index.hits() - hits_before, 2 * static_pairs + queryable);
+}
 
 }  // namespace
 }  // namespace usep

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/instance_builder.h"
 #include "testing/test_instances.h"
 
@@ -197,6 +198,48 @@ TEST(ScheduleTest, InsertionKeepsTimeOrderRegardlessOfInsertSequence) {
   ASSERT_TRUE(schedule.TryInsert(instance, 0));
   ASSERT_TRUE(schedule.TryInsert(instance, 1));
   EXPECT_EQ(schedule.events(), (std::vector<EventId>{0, 1, 2}));
+}
+
+// Failpoint: "schedule.remove_at" swaps the Equation (3) splice delta for a
+// full route recompute.  The two paths must be observationally identical —
+// same surviving events, same route cost, same epoch bump — at every
+// removal position including the singleton collapse to empty.
+TEST(ScheduleFailpointTest, RemoveAtRecomputePathMatchesSpliceDelta) {
+  const Instance instance = MakeLineInstance();
+  for (int position = 0; position < 3; ++position) {
+    Schedule incremental(0);
+    Schedule recomputed(0);
+    for (const EventId v : {0, 1, 2}) {
+      ASSERT_TRUE(incremental.TryInsert(instance, v));
+      ASSERT_TRUE(recomputed.TryInsert(instance, v));
+    }
+
+    incremental.RemoveAt(instance, position);
+    const uint64_t epoch_before = recomputed.epoch();
+    {
+      failpoint::ScopedArm arm("schedule.remove_at");
+      recomputed.RemoveAt(instance, position);
+      EXPECT_EQ(arm.hit_count(), 1);
+    }
+
+    EXPECT_EQ(recomputed.events(), incremental.events())
+        << "position " << position;
+    EXPECT_EQ(recomputed.route_cost(), incremental.route_cost())
+        << "position " << position;
+    EXPECT_EQ(recomputed.route_cost(), recomputed.ComputeRouteCost(instance))
+        << "position " << position;
+    EXPECT_EQ(recomputed.epoch(), epoch_before + 1) << "position " << position;
+  }
+
+  // Singleton removal: both paths collapse to the empty zero-cost schedule.
+  Schedule singleton(0);
+  ASSERT_TRUE(singleton.TryInsert(instance, 1));
+  {
+    failpoint::ScopedArm arm("schedule.remove_at");
+    singleton.RemoveAt(instance, 0);
+  }
+  EXPECT_TRUE(singleton.empty());
+  EXPECT_EQ(singleton.route_cost(), 0);
 }
 
 TEST(ScheduleTest, ToStringListsEvents) {

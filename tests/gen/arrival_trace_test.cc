@@ -1,0 +1,105 @@
+#include "gen/arrival_trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "serve/world.h"
+
+namespace usep::gen {
+namespace {
+
+TEST(ArrivalTraceTest, IsDeterministicInSeed) {
+  ArrivalTraceConfig config;
+  config.num_mutations = 120;
+  const StatusOr<ArrivalTrace> a = GenerateArrivalTrace(config);
+  const StatusOr<ArrivalTrace> b = GenerateArrivalTrace(config);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeTrace(*a), SerializeTrace(*b));
+
+  config.seed = 7;
+  const StatusOr<ArrivalTrace> c = GenerateArrivalTrace(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(SerializeTrace(*a), SerializeTrace(*c));
+}
+
+TEST(ArrivalTraceTest, EveryTraceAppliesCleanly) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ArrivalTraceConfig config;
+    config.num_mutations = 150;
+    config.seed = seed;
+    const StatusOr<ArrivalTrace> trace = GenerateArrivalTrace(config);
+    ASSERT_TRUE(trace.ok()) << trace.status();
+    ASSERT_EQ(trace->mutations.size(), 150u);
+
+    serve::World world(trace->world);
+    for (size_t i = 0; i < trace->mutations.size(); ++i) {
+      const Status applied = world.Apply(trace->mutations[i]);
+      ASSERT_TRUE(applied.ok())
+          << "seed " << seed << " mutation " << i << ": " << applied;
+    }
+  }
+}
+
+TEST(ArrivalTraceTest, MixesAllMutationKinds) {
+  ArrivalTraceConfig config;
+  config.num_mutations = 400;
+  const StatusOr<ArrivalTrace> trace = GenerateArrivalTrace(config);
+  ASSERT_TRUE(trace.ok());
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const serve::Mutation& m : trace->mutations) {
+    ++counts[static_cast<int>(m.kind)];
+  }
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_GT(counts[k], 0) << serve::MutationKindName(
+        static_cast<serve::MutationKind>(k));
+  }
+}
+
+TEST(ArrivalTraceTest, WarmupPrefixOnlyAdds) {
+  ArrivalTraceConfig config;
+  config.warmup_users = 5;
+  config.warmup_events = 4;
+  config.num_mutations = 50;
+  const StatusOr<ArrivalTrace> trace = GenerateArrivalTrace(config);
+  ASSERT_TRUE(trace.ok());
+  for (int i = 0; i < 9; ++i) {
+    const serve::MutationKind kind = trace->mutations[i].kind;
+    EXPECT_TRUE(kind == serve::MutationKind::kUserJoin ||
+                kind == serve::MutationKind::kEventPost)
+        << "warmup mutation " << i;
+  }
+}
+
+TEST(ArrivalTraceTest, RejectsNonsenseConfigs) {
+  ArrivalTraceConfig config;
+  config.num_mutations = -1;
+  EXPECT_FALSE(GenerateArrivalTrace(config).ok());
+  config = ArrivalTraceConfig{};
+  config.p_user_join = config.p_user_leave = config.p_event_post =
+      config.p_event_cancel = config.p_capacity_change = 0.0;
+  EXPECT_FALSE(GenerateArrivalTrace(config).ok());
+}
+
+TEST(ArrivalTraceTest, FileRoundTrips) {
+  ArrivalTraceConfig config;
+  config.num_mutations = 60;
+  const StatusOr<ArrivalTrace> trace = GenerateArrivalTrace(config);
+  ASSERT_TRUE(trace.ok());
+
+  const std::string path = ::testing::TempDir() + "/usep_trace.txt";
+  ASSERT_TRUE(WriteTraceFile(*trace, path).ok());
+  const StatusOr<ArrivalTrace> parsed = ReadTraceFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeTrace(*parsed), SerializeTrace(*trace));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(DeserializeTrace("").ok());
+  EXPECT_FALSE(DeserializeTrace("USEP-TRACE 1\nworld manhattan").ok());
+  const std::string text = SerializeTrace(*trace);
+  EXPECT_FALSE(DeserializeTrace(text.substr(0, text.size() / 2)).ok());
+}
+
+}  // namespace
+}  // namespace usep::gen

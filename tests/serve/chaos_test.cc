@@ -1,0 +1,157 @@
+#include "serve/chaos.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace usep::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveFiles(const ServiceOptions& options) {
+  if (!options.journal_path.empty()) {
+    std::remove(options.journal_path.c_str());
+  }
+  if (!options.snapshot_path.empty()) {
+    std::remove(options.snapshot_path.c_str());
+    std::remove((options.snapshot_path + ".tmp").c_str());
+  }
+}
+
+TEST(ChaosTest, CleanRunValidatesEveryMutation) {
+  ChaosOptions options;
+  options.trace.num_mutations = 120;
+  options.trace.seed = 3;
+  const StatusOr<ChaosResult> result = RunChaos(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->committed + result->rejected, 120);
+  EXPECT_EQ(result->rejected, 0);  // Generated traces apply cleanly.
+  EXPECT_EQ(result->validations, result->committed);
+  EXPECT_EQ(result->faults, 0);
+  EXPECT_FALSE(result->killed);
+  EXPECT_NE(result->final_fingerprint, 0u);
+}
+
+TEST(ChaosTest, KillRestartRecoversBitIdentically) {
+  ChaosOptions options;
+  options.trace.num_mutations = 100;
+  options.trace.seed = 5;
+  options.service.journal_path = TempPath("chaos_kill.journal");
+  options.service.snapshot_path = TempPath("chaos_kill.snap");
+  options.service.snapshot_every = 16;
+  options.kill_at = 50;
+  RemoveFiles(options.service);
+  const StatusOr<ChaosResult> result = RunChaos(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->killed);
+  EXPECT_EQ(result->committed, 100);
+  EXPECT_EQ(result->validations, result->committed);
+  RemoveFiles(options.service);
+}
+
+TEST(ChaosTest, TornJournalWritesForceCleanRestarts) {
+  ChaosOptions options;
+  options.trace.num_mutations = 90;
+  options.trace.seed = 11;
+  options.service.journal_path = TempPath("chaos_torn.journal");
+  options.schedule = {{20, "serve.journal.append", 0},
+                      {60, "serve.journal.append", 0}};
+  RemoveFiles(options.service);
+  const StatusOr<ChaosResult> result = RunChaos(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->journal_crashed);
+  // Every mutation still lands exactly once despite the two crashes.
+  EXPECT_EQ(result->committed, 90);
+  RemoveFiles(options.service);
+}
+
+TEST(ChaosTest, TierFaultsDegradeButNeverInvalidate) {
+  ChaosOptions options;
+  options.trace.num_mutations = 80;
+  options.trace.seed = 23;
+  options.schedule = {{10, "serve.tier.incremental", 0},
+                      {30, "serve.tier.incremental", 0},
+                      {30, "serve.tier.regional", 0},
+                      {50, "serve.tier.incremental", 0},
+                      {50, "serve.tier.regional", 0},
+                      {50, "serve.tier.admission", 0}};
+  obs::MetricsRegistry metrics;
+  options.service.metrics = &metrics;
+  const StatusOr<ChaosResult> result = RunChaos(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->faults, 6);
+  // The ladder visibly descended: lower tiers ran at the scheduled points.
+  EXPECT_GE(result->tier_counts[static_cast<int>(RepairTier::kRegional)], 1);
+  EXPECT_GE(result->tier_counts[static_cast<int>(RepairTier::kAdmission)], 1);
+  EXPECT_GE(metrics.GetCounter("usep.serve.faults")->Value(), 6);
+  EXPECT_EQ(result->validations, result->committed);
+}
+
+TEST(ChaosTest, BatchedSubmissionExercisesAdmissionControl) {
+  ChaosOptions options;
+  options.trace.num_mutations = 120;
+  options.trace.seed = 31;
+  options.batch_size = 16;
+  options.service.queue_capacity = 8;   // Forces submit rejections.
+  options.service.shed_fraction = 0.25;  // And load shedding.
+  const StatusOr<ChaosResult> result = RunChaos(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->submit_rejections, 0);
+  EXPECT_GT(result->shed, 0);
+  EXPECT_EQ(result->committed, 120);  // Shedding never drops mutations.
+  EXPECT_EQ(result->validations, result->committed);
+}
+
+// The acceptance sweep: 50 seeded traces, each with scheduled tier faults, a
+// torn journal write, AND a kill+restart.  Validity after every mutation,
+// bit-identical recovery, and bounded SLO misses are all asserted inside
+// RunChaos — a clean result IS the pass.
+TEST(ChaosSweepTest, FiftySeededTracesSurviveScheduledFailures) {
+  const std::string journal = TempPath("chaos_sweep.journal");
+  const std::string snapshot = TempPath("chaos_sweep.snap");
+  int total_faults = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions options;
+    options.trace.num_mutations = 60;
+    options.trace.warmup_users = 8;
+    options.trace.warmup_events = 4;
+    options.trace.seed = seed;
+    options.service.journal_path = journal;
+    options.service.snapshot_path = snapshot;
+    options.service.snapshot_every = 16;
+    // A generous SLO: the ladder never legitimately misses it on these tiny
+    // worlds, so slo_misses == 0 is meaningful, not flaky.
+    options.service.ladder.slo_ms = 250.0;
+    options.grace_floor_ms = 1000.0;
+    options.kill_at = 10 + static_cast<int>(seed % 30);
+    const int fault_at = 5 + static_cast<int>(seed % 40);
+    options.schedule = {
+        {fault_at, "serve.tier.incremental", 0},
+        {static_cast<int>(seed % 50) + 4, "serve.journal.append", 0},
+    };
+    RemoveFiles(options.service);
+
+    const StatusOr<ChaosResult> result = RunChaos(options);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status();
+    EXPECT_EQ(result->committed + result->rejected, 60) << "seed " << seed;
+    EXPECT_EQ(result->validations, result->committed) << "seed " << seed;
+    EXPECT_TRUE(result->killed) << "seed " << seed;
+    EXPECT_TRUE(result->journal_crashed) << "seed " << seed;
+    EXPECT_EQ(result->slo_misses, 0) << "seed " << seed;
+    total_faults += result->faults;
+  }
+  // The tier-fault schedule actually fired across the sweep.
+  EXPECT_GT(total_faults, 0);
+  std::remove(journal.c_str());
+  std::remove(snapshot.c_str());
+  std::remove((snapshot + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace usep::serve

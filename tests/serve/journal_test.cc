@@ -1,0 +1,252 @@
+#include "serve/journal.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+
+namespace usep::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  std::string content;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  return content;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), file),
+            content.size());
+  std::fclose(file);
+}
+
+JournalRecord MakeRecord(uint64_t seq) {
+  JournalRecord record;
+  record.seq = seq;
+  record.mutation.kind = MutationKind::kUserJoin;
+  record.mutation.key = seq * 10;
+  record.mutation.budget = 100;
+  record.mutation.location = Point{1, 2};
+  record.mutation.utilities = {{3, 0.5}};
+  record.ops = {{true, 3, seq * 10}};
+  return record;
+}
+
+TEST(JournalRecordTest, LineRoundTrips) {
+  const JournalRecord record = MakeRecord(7);
+  const StatusOr<JournalRecord> parsed =
+      JournalRecord::FromLine(record.ToLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == record);
+}
+
+TEST(JournalRecordTest, CrcCatchesSingleByteDamage) {
+  std::string line = MakeRecord(3).ToLine();
+  // Flip one byte in the body; the frame must reject it.
+  line[line.size() / 2] ^= 0x01;
+  EXPECT_FALSE(JournalRecord::FromLine(line).ok());
+}
+
+TEST(JournalTest, AppendReadRoundTrips) {
+  const std::string path = TempPath("journal_roundtrip.log");
+  std::remove(path.c_str());
+  {
+    StatusOr<JournalWriter> writer = JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      ASSERT_TRUE(writer->Append(MakeRecord(seq)).ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  const StatusOr<JournalReplay> replay = ReadJournal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->truncated_tail);
+  ASSERT_EQ(replay->records.size(), 5u);
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_TRUE(replay->records[seq - 1] == MakeRecord(seq));
+  }
+  EXPECT_EQ(replay->valid_prefix_bytes, ReadFileOrDie(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MinSeqSkipsSnapshottedPrefix) {
+  const std::string path = TempPath("journal_minseq.log");
+  std::remove(path.c_str());
+  StatusOr<JournalWriter> writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t seq = 1; seq <= 6; ++seq) {
+    ASSERT_TRUE(writer->Append(MakeRecord(seq)).ok());
+  }
+  const StatusOr<JournalReplay> replay = ReadJournal(path, /*min_seq=*/4);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].seq, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileIsEmptyJournal) {
+  const StatusOr<JournalReplay> replay =
+      ReadJournal(TempPath("does_not_exist.log"));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->truncated_tail);
+}
+
+TEST(JournalTest, TornAppendFailpointLeavesRecoverableTail) {
+  const std::string path = TempPath("journal_torn.log");
+  std::remove(path.c_str());
+  StatusOr<JournalWriter> writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(MakeRecord(1)).ok());
+  ASSERT_TRUE(writer->Append(MakeRecord(2)).ok());
+  const uint64_t committed = ReadFileOrDie(path).size();
+  {
+    failpoint::ScopedArm arm("serve.journal.append");
+    EXPECT_FALSE(writer->Append(MakeRecord(3)).ok());
+  }
+  // The torn half-line is on disk; recovery keeps the committed prefix.
+  const StatusOr<JournalReplay> replay = ReadJournal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->truncated_tail);
+  EXPECT_EQ(replay->valid_prefix_bytes, committed);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records.back().seq, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MidFileCorruptionIsAHardError) {
+  const std::string path = TempPath("journal_midfile.log");
+  const std::string content = MakeRecord(1).ToLine() + "\n" +
+                              "00000000 not a record\n" +
+                              MakeRecord(2).ToLine() + "\n";
+  WriteFileOrDie(path, content);
+  const StatusOr<JournalReplay> replay = ReadJournal(path);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, SequenceGapMidFileIsAHardError) {
+  const std::string path = TempPath("journal_gap.log");
+  WriteFileOrDie(path, MakeRecord(1).ToLine() + "\n" +
+                           MakeRecord(3).ToLine() + "\n" +
+                           MakeRecord(4).ToLine() + "\n");
+  EXPECT_FALSE(ReadJournal(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, SequenceGapAtTailIsATornTail) {
+  // A gap on the LAST line is indistinguishable from a torn write of an
+  // earlier record: drop it, keep the prefix.
+  const std::string path = TempPath("journal_gap_tail.log");
+  WriteFileOrDie(path,
+                 MakeRecord(1).ToLine() + "\n" + MakeRecord(3).ToLine() + "\n");
+  const StatusOr<JournalReplay> replay = ReadJournal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->truncated_tail);
+  ASSERT_EQ(replay->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFinalNewlineIsATornTail) {
+  const std::string path = TempPath("journal_nonewline.log");
+  WriteFileOrDie(path,
+                 MakeRecord(1).ToLine() + "\n" + MakeRecord(2).ToLine());
+  const StatusOr<JournalReplay> replay = ReadJournal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->truncated_tail);
+  ASSERT_EQ(replay->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// The recovery fuzz: truncate a valid journal at EVERY byte boundary.  Each
+// prefix must either read cleanly or report a torn tail — never crash, never
+// return records beyond the cut, never mis-frame.
+TEST(JournalFuzzTest, EveryTruncationRecoversOrDiagnoses) {
+  const std::string path = TempPath("journal_fuzz_trunc.log");
+  std::string full;
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    full += MakeRecord(seq).ToLine() + "\n";
+  }
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFileOrDie(path, full.substr(0, cut));
+    const StatusOr<JournalReplay> replay = ReadJournal(path);
+    ASSERT_TRUE(replay.ok()) << "cut=" << cut << ": " << replay.status();
+    // Whatever came back is a contiguous prefix of what was written.
+    for (size_t i = 0; i < replay->records.size(); ++i) {
+      EXPECT_TRUE(replay->records[i] == MakeRecord(i + 1)) << "cut=" << cut;
+    }
+    EXPECT_LE(replay->valid_prefix_bytes, cut);
+    // Mid-line cuts must be flagged; whole-line cuts must not.
+    const bool clean_cut = cut == 0 || full[cut - 1] == '\n';
+    EXPECT_EQ(replay->truncated_tail, !clean_cut) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+// Random single-byte corruption: anywhere but the last line must be a hard
+// IoError; on the last line it must be a clean torn-tail recovery.
+TEST(JournalFuzzTest, RandomCorruptionNeverPanicsOrLies) {
+  const std::string path = TempPath("journal_fuzz_corrupt.log");
+  std::string full;
+  std::vector<size_t> line_starts = {0};
+  for (uint64_t seq = 1; seq <= 6; ++seq) {
+    full += MakeRecord(seq).ToLine() + "\n";
+    line_starts.push_back(full.size());
+  }
+  const size_t last_line_start = line_starts[line_starts.size() - 2];
+
+  Rng rng(20150531);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string damaged = full;
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, (int64_t)full.size() - 1));
+    char flip = static_cast<char>(rng.UniformInt(1, 255));
+    damaged[pos] = static_cast<char>(damaged[pos] ^ flip);
+    if (damaged == full) continue;
+    WriteFileOrDie(path, damaged);
+
+    const StatusOr<JournalReplay> replay = ReadJournal(path);
+    if (!replay.ok()) {
+      // Hard corruption: legitimate before the final line, or when the flip
+      // INTRODUCED a newline that split the last line (its first half then
+      // sits mid-file) — and always a diagnostic, never silence.
+      EXPECT_TRUE(pos < last_line_start || damaged[pos] == '\n')
+          << "trial=" << trial << " pos=" << pos;
+      EXPECT_FALSE(replay.status().message().empty());
+      continue;
+    }
+    if (replay->truncated_tail) {
+      // Tail damage: every record before the tail must be intact.
+      for (size_t i = 0; i < replay->records.size(); ++i) {
+        EXPECT_TRUE(replay->records[i] == MakeRecord(i + 1));
+      }
+      continue;
+    }
+    // Fully clean reads require the damage to have been CRC-invisible,
+    // which a single bit flip inside a framed line never is — unless the
+    // flip landed in a newline and merged/split lines in a way that still
+    // framed (not possible: merged lines fail CRC).  So: must not happen.
+    ADD_FAILURE() << "corruption at " << pos << " read back clean";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace usep::serve

@@ -1,0 +1,104 @@
+#include "serve/mutation.h"
+
+#include <gtest/gtest.h>
+
+namespace usep::serve {
+namespace {
+
+Mutation MakeJoin() {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = 7;
+  m.budget = 120;
+  m.location = Point{3, 4};
+  m.utilities = {{1, 0.5}, {2, 0.25}};
+  return m;
+}
+
+Mutation MakePost() {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = 3;
+  m.interval = TimeInterval{540, 660};
+  m.capacity = 10;
+  m.location = Point{5, 9};
+  m.utilities = {{7, 0.8}};
+  return m;
+}
+
+TEST(MutationTest, KindNamesAreStable) {
+  EXPECT_STREQ(MutationKindName(MutationKind::kUserJoin), "user_join");
+  EXPECT_STREQ(MutationKindName(MutationKind::kUserLeave), "user_leave");
+  EXPECT_STREQ(MutationKindName(MutationKind::kEventPost), "event_post");
+  EXPECT_STREQ(MutationKindName(MutationKind::kEventCancel), "event_cancel");
+  EXPECT_STREQ(MutationKindName(MutationKind::kCapacityChange),
+               "capacity_change");
+}
+
+TEST(MutationTest, RoundTripsEveryKind) {
+  std::vector<Mutation> cases;
+  cases.push_back(MakeJoin());
+  cases.push_back(MakePost());
+  Mutation leave;
+  leave.kind = MutationKind::kUserLeave;
+  leave.key = 42;
+  cases.push_back(leave);
+  Mutation cancel;
+  cancel.kind = MutationKind::kEventCancel;
+  cancel.key = 9;
+  cases.push_back(cancel);
+  Mutation capacity;
+  capacity.kind = MutationKind::kCapacityChange;
+  capacity.key = 3;
+  capacity.capacity = 6;
+  cases.push_back(capacity);
+
+  for (const Mutation& original : cases) {
+    const StatusOr<Mutation> parsed = Mutation::FromLine(original.ToLine());
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << " <- " << original.ToLine();
+    EXPECT_TRUE(*parsed == original) << original.ToLine();
+  }
+}
+
+TEST(MutationTest, RoundTripsAwkwardDoubles) {
+  Mutation m = MakeJoin();
+  m.utilities = {{1, 1.0 / 3.0}, {2, 1e-17}, {3, 0.9999999999999999}};
+  const StatusOr<Mutation> parsed = Mutation::FromLine(m.ToLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == m);
+}
+
+TEST(MutationTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",
+      "frobnicate 1",
+      "user_join",                    // missing fields
+      "user_join 7 120 3",            // truncated
+      "user_join 7 120 3 4 1 1",      // utility without mu
+      "user_join -7 120 3 4 0",       // negative key
+      "capacity_change 3",            // missing capacity
+      "capacity_change 3 6 extra",    // trailing tokens
+      "event_post 3 660 540 10 5 9 0",  // start >= end
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(Mutation::FromLine(line).ok()) << "'" << line << "'";
+  }
+}
+
+TEST(MutationTest, TokenFormComposesWithSurroundingFields) {
+  // The journal embeds mutation tokens mid-line; FromTokens must consume
+  // exactly its own tokens and leave the cursor on the next field.
+  std::vector<std::string> tokens = {"prefix"};
+  MakePost().AppendTokens(&tokens);
+  tokens.push_back("suffix");
+
+  size_t cursor = 1;
+  const StatusOr<Mutation> parsed = Mutation::FromTokens(tokens, &cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == MakePost());
+  ASSERT_EQ(cursor, tokens.size() - 1);
+  EXPECT_EQ(tokens[cursor], "suffix");
+}
+
+}  // namespace
+}  // namespace usep::serve

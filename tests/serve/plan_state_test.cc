@@ -1,0 +1,156 @@
+#include "serve/plan_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+
+namespace usep::serve {
+namespace {
+
+Status Apply(PlanState* state, bool assign, uint64_t event_key,
+             uint64_t user_key) {
+  return state->ApplyOp(PlanOp{assign, event_key, user_key});
+}
+
+TEST(PlanStateTest, TracksAssignmentsByKey) {
+  PlanState state;
+  ASSERT_TRUE(Apply(&state, true, 10, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 20, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 10, 2).ok());
+  EXPECT_EQ(state.num_assignments(), 3);
+  EXPECT_TRUE(state.IsAssigned(10, 1));
+  EXPECT_FALSE(state.IsAssigned(20, 2));
+  EXPECT_EQ(state.Assigned(1), (std::set<uint64_t>{10, 20}));
+  EXPECT_EQ(state.UserKeys(), (std::vector<uint64_t>{1, 2}));
+
+  ASSERT_TRUE(Apply(&state, false, 20, 1).ok());
+  EXPECT_EQ(state.num_assignments(), 2);
+  EXPECT_FALSE(state.IsAssigned(20, 1));
+}
+
+TEST(PlanStateTest, ReplayInconsistencyIsAnError) {
+  PlanState state;
+  ASSERT_TRUE(Apply(&state, true, 10, 1).ok());
+  EXPECT_FALSE(Apply(&state, true, 10, 1).ok());   // double assign
+  EXPECT_FALSE(Apply(&state, false, 20, 1).ok());  // absent remove
+  EXPECT_FALSE(Apply(&state, false, 10, 9).ok());  // absent user
+  EXPECT_EQ(state.num_assignments(), 1);           // errors changed nothing
+}
+
+TEST(PlanStateTest, RemoveUserAndEventReturnJournalableOps) {
+  PlanState state;
+  ASSERT_TRUE(Apply(&state, true, 10, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 20, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 10, 2).ok());
+
+  const std::vector<PlanOp> user_ops = state.RemoveUser(1);
+  ASSERT_EQ(user_ops.size(), 2u);
+  EXPECT_TRUE((user_ops[0] == PlanOp{false, 10, 1}));
+  EXPECT_TRUE((user_ops[1] == PlanOp{false, 20, 1}));
+
+  const std::vector<PlanOp> event_ops = state.RemoveEvent(10);
+  ASSERT_EQ(event_ops.size(), 1u);
+  EXPECT_TRUE((event_ops[0] == PlanOp{false, 10, 2}));
+  EXPECT_TRUE(state.empty());
+}
+
+TEST(PlanStateTest, DiffIsExactAndReplayable) {
+  PlanState before;
+  ASSERT_TRUE(Apply(&before, true, 10, 1).ok());
+  ASSERT_TRUE(Apply(&before, true, 20, 2).ok());
+
+  PlanState after;
+  ASSERT_TRUE(Apply(&after, true, 20, 2).ok());
+  ASSERT_TRUE(Apply(&after, true, 30, 2).ok());
+  ASSERT_TRUE(Apply(&after, true, 10, 3).ok());
+
+  PlanState replayed = before;
+  for (const PlanOp& op : PlanState::Diff(before, after)) {
+    ASSERT_TRUE(replayed.ApplyOp(op).ok());
+  }
+  EXPECT_TRUE(replayed == after);
+  EXPECT_TRUE(PlanState::Diff(after, after).empty());
+}
+
+TEST(PlanStateTest, SerializeRoundTripsAndFingerprints) {
+  PlanState state;
+  ASSERT_TRUE(Apply(&state, true, 10, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 20, 1).ok());
+  ASSERT_TRUE(Apply(&state, true, 10, 5).ok());
+
+  const StatusOr<PlanState> parsed = PlanState::Deserialize(state.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == state);
+  EXPECT_EQ(parsed->Fingerprint(), state.Fingerprint());
+  EXPECT_NE(state.Fingerprint(), PlanState().Fingerprint());
+
+  EXPECT_FALSE(PlanState::Deserialize("a 1 :").ok());
+  EXPECT_FALSE(PlanState::Deserialize("a 1 : 10\n").ok());  // missing end
+}
+
+TEST(PlanStateTest, PlanningConversionsRoundTrip) {
+  World world{WorldConfig{}};
+  Mutation post1;
+  post1.kind = MutationKind::kEventPost;
+  post1.key = 10;
+  post1.interval = TimeInterval{0, 100};
+  post1.capacity = 2;
+  post1.location = Point{0, 0};
+  ASSERT_TRUE(world.Apply(post1).ok());
+  Mutation post2 = post1;
+  post2.key = 20;
+  post2.interval = TimeInterval{200, 300};
+  post2.location = Point{5, 5};
+  ASSERT_TRUE(world.Apply(post2).ok());
+  Mutation join;
+  join.kind = MutationKind::kUserJoin;
+  join.key = 1;
+  join.budget = 1000;
+  join.location = Point{1, 1};
+  join.utilities = {{10, 0.9}, {20, 0.5}};
+  ASSERT_TRUE(world.Apply(join).ok());
+
+  const StatusOr<Instance> instance = world.Materialize();
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  Planning planning(*instance);
+  ASSERT_TRUE(planning.TryAssign(0, 0));
+  ASSERT_TRUE(planning.TryAssign(1, 0));
+
+  const PlanState state = PlanState::FromPlanning(world, planning);
+  EXPECT_EQ(state.Assigned(1), (std::set<uint64_t>{10, 20}));
+
+  const StatusOr<Planning> rebuilt = state.ToPlanning(world, *instance);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_TRUE(CheckPlanningFeasible(*instance, *rebuilt).ok());
+  EXPECT_DOUBLE_EQ(rebuilt->total_utility(), planning.total_utility());
+  EXPECT_TRUE(PlanState::FromPlanning(world, *rebuilt) == state);
+}
+
+TEST(PlanStateTest, ToPlanningRejectsInfeasibleState) {
+  World world{WorldConfig{}};
+  Mutation post;
+  post.kind = MutationKind::kEventPost;
+  post.key = 10;
+  post.interval = TimeInterval{0, 100};
+  post.capacity = 1;
+  post.location = Point{900, 900};
+  ASSERT_TRUE(world.Apply(post).ok());
+  Mutation join;
+  join.kind = MutationKind::kUserJoin;
+  join.key = 1;
+  join.budget = 1;  // Cannot afford the trip.
+  join.location = Point{0, 0};
+  join.utilities = {{10, 0.9}};
+  ASSERT_TRUE(world.Apply(join).ok());
+  const StatusOr<Instance> instance = world.Materialize();
+  ASSERT_TRUE(instance.ok());
+
+  PlanState state;
+  ASSERT_TRUE(Apply(&state, true, 10, 1).ok());
+  const StatusOr<Planning> rebuilt = state.ToPlanning(world, *instance);
+  EXPECT_FALSE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace usep::serve

@@ -1,0 +1,269 @@
+#include "serve/replanner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "core/validation.h"
+#include "gen/arrival_trace.h"
+#include "obs/metrics.h"
+
+namespace usep::serve {
+namespace {
+
+Mutation Join(uint64_t key, Cost budget, Point location,
+              std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = key;
+  m.budget = budget;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Post(uint64_t key, TimeInterval interval, int capacity,
+              Point location, std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = key;
+  m.interval = interval;
+  m.capacity = capacity;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Capacity(uint64_t key, int capacity) {
+  Mutation m;
+  m.kind = MutationKind::kCapacityChange;
+  m.key = key;
+  m.capacity = capacity;
+  return m;
+}
+
+// Applies `m` to world + replanner the way the service does, asserting
+// feasibility afterwards.
+RepairOutcome Step(World* world, Replanner* replanner, PlanState* state,
+                   const Mutation& m, bool shed = false) {
+  EXPECT_TRUE(world->Apply(m).ok()) << m.ToLine();
+  StatusOr<RepairOutcome> outcome = replanner->Repair(*world, m, state, shed);
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  world->ClearDirty();
+  if (replanner->planning() != nullptr) {
+    const Status valid =
+        CheckPlanningFeasible(*replanner->instance(), *replanner->planning());
+    EXPECT_TRUE(valid.ok()) << valid;
+  }
+  return outcome.ok() ? *outcome : RepairOutcome{};
+}
+
+TEST(ReplannerTest, PlansArrivingUsersIncrementally) {
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(LadderOptions{}, nullptr, nullptr);
+
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 2, {0, 0}));
+  EXPECT_EQ(replanner.planning(), nullptr);  // No users yet.
+
+  const RepairOutcome joined = Step(&world, &replanner, &state,
+                                    Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  EXPECT_EQ(joined.tier, RepairTier::kIncremental);
+  EXPECT_TRUE(joined.instance_rebuilt);
+  ASSERT_NE(replanner.planning(), nullptr);
+  EXPECT_TRUE(state.IsAssigned(10, 1));
+  EXPECT_DOUBLE_EQ(joined.omega, 0.9);
+}
+
+TEST(ReplannerTest, CapacityFastPathKeepsInstanceAndIndex) {
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(LadderOptions{}, nullptr, nullptr);
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 3, {0, 0}));
+  Step(&world, &replanner, &state,
+       Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  Step(&world, &replanner, &state,
+       Join(2, 1000, {2, 2}, {{10, 0.8}}));
+  const Instance* instance_before = replanner.instance();
+
+  const RepairOutcome grown =
+      Step(&world, &replanner, &state, Capacity(10, 5));
+  EXPECT_TRUE(grown.index_reused);
+  EXPECT_FALSE(grown.instance_rebuilt);
+  EXPECT_EQ(grown.evictions, 0);
+  // The SAME instance object, patched in place.
+  EXPECT_EQ(replanner.instance(), instance_before);
+  EXPECT_EQ(replanner.instance()->event(0).capacity, 5);
+}
+
+TEST(ReplannerTest, CapacityShrinkEvictsLowestUtilityFirst) {
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(LadderOptions{}, nullptr, nullptr);
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 3, {0, 0}));
+  Step(&world, &replanner, &state, Join(1, 1000, {0, 1}, {{10, 0.9}}));
+  Step(&world, &replanner, &state, Join(2, 1000, {0, 1}, {{10, 0.3}}));
+  Step(&world, &replanner, &state, Join(3, 1000, {0, 1}, {{10, 0.7}}));
+  ASSERT_EQ(state.num_assignments(), 3);
+
+  const RepairOutcome shrunk =
+      Step(&world, &replanner, &state, Capacity(10, 1));
+  EXPECT_GE(shrunk.evictions, 2);
+  EXPECT_TRUE(shrunk.index_reused);
+  // The highest-mu attendee (user 1, mu 0.9) must be the survivor.
+  EXPECT_TRUE(state.IsAssigned(10, 1));
+  EXPECT_FALSE(state.IsAssigned(10, 2));
+  EXPECT_FALSE(state.IsAssigned(10, 3));
+}
+
+TEST(ReplannerTest, UserLeaveFreesSeatsForOthers) {
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(LadderOptions{}, nullptr, nullptr);
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 1, {0, 0}));
+  Step(&world, &replanner, &state, Join(1, 1000, {0, 1}, {{10, 0.9}}));
+  Step(&world, &replanner, &state, Join(2, 1000, {0, 1}, {{10, 0.8}}));
+  ASSERT_TRUE(state.IsAssigned(10, 1));
+  ASSERT_FALSE(state.IsAssigned(10, 2));
+
+  Mutation leave;
+  leave.kind = MutationKind::kUserLeave;
+  leave.key = 1;
+  const RepairOutcome left = Step(&world, &replanner, &state, leave);
+  EXPECT_GE(left.evictions, 1);
+  // The freed seat goes to the remaining interested user.
+  EXPECT_TRUE(state.IsAssigned(10, 2));
+}
+
+TEST(ReplannerTest, ShedSkipsTheLadderButStaysValid) {
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(LadderOptions{}, nullptr, nullptr);
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 2, {0, 0}));
+  const RepairOutcome shed = Step(&world, &replanner, &state,
+                                  Join(1, 1000, {1, 1}, {{10, 0.9}}),
+                                  /*shed=*/true);
+  EXPECT_EQ(shed.tier, RepairTier::kValidityOnly);
+  // Under shedding the arriving user is NOT planned...
+  EXPECT_FALSE(state.IsAssigned(10, 1));
+  // ...but the next unshed mutation picks the seat up.
+  const RepairOutcome next = Step(&world, &replanner, &state,
+                                  Join(2, 1000, {2, 2}, {{10, 0.4}}));
+  EXPECT_NE(next.tier, RepairTier::kValidityOnly);
+  EXPECT_TRUE(state.IsAssigned(10, 1));
+}
+
+// The degradation ladder under injected faults: each armed tier descends to
+// the next, every rung yields a valid planning, and the tier transitions
+// show up in the metrics.
+TEST(ReplannerLadderTest, FaultsDescendTheLadderTierByTier) {
+  struct Case {
+    std::vector<const char*> armed;
+    RepairTier expected;
+  };
+  const Case cases[] = {
+      {{}, RepairTier::kIncremental},
+      {{"serve.tier.incremental"}, RepairTier::kRegional},
+      {{"serve.tier.incremental", "serve.tier.regional"},
+       RepairTier::kAdmission},
+      {{"serve.tier.incremental", "serve.tier.regional",
+        "serve.tier.admission"},
+       RepairTier::kValidityOnly},
+  };
+  const LadderOptions ladder;  // max_retries = 1 -> 2 attempts per rung.
+
+  for (const Case& c : cases) {
+    failpoint::DisarmAll();
+    obs::MetricsRegistry metrics;
+    World world{WorldConfig{}};
+    PlanState state;
+    Replanner replanner(ladder, &metrics, nullptr);
+    Step(&world, &replanner, &state, Post(10, {0, 100}, 2, {0, 0}));
+    Step(&world, &replanner, &state, Join(1, 1000, {1, 1}, {{10, 0.9}}));
+
+    // Arm with enough hits to exhaust the rung's retries.
+    const std::string counter_name =
+        std::string("usep.serve.tier.") + RepairTierName(c.expected);
+    const int64_t tier_count_before =
+        metrics.GetCounter(counter_name)->Value();
+    for (const char* site : c.armed) failpoint::Arm(site);
+    const RepairOutcome outcome = Step(&world, &replanner, &state,
+                                       Join(2, 1000, {2, 2}, {{10, 0.8}}));
+    failpoint::DisarmAll();
+
+    EXPECT_EQ(outcome.tier, c.expected)
+        << RepairTierName(outcome.tier) << " with " << c.armed.size()
+        << " rungs armed";
+    const int expected_faults =
+        static_cast<int>(c.armed.size()) * (ladder.max_retries + 1);
+    EXPECT_EQ(outcome.faults, expected_faults);
+    EXPECT_EQ(outcome.retries, static_cast<int>(c.armed.size()) *
+                                   ladder.max_retries);
+    if (c.expected == RepairTier::kValidityOnly) {
+      EXPECT_EQ(outcome.termination, Termination::kInjectedFault);
+    }
+    // The tier transition is visible in metrics.
+    EXPECT_EQ(metrics.GetCounter(counter_name)->Value(),
+              tier_count_before + 1)
+        << counter_name;
+    EXPECT_EQ(metrics.GetCounter("usep.serve.faults")->Value(),
+              expected_faults);
+  }
+}
+
+TEST(ReplannerLadderTest, MaxRetriesBoundsTheFaultLoop) {
+  failpoint::DisarmAll();
+  LadderOptions ladder;
+  ladder.max_retries = 3;
+  World world{WorldConfig{}};
+  PlanState state;
+  Replanner replanner(ladder, nullptr, nullptr);
+  Step(&world, &replanner, &state, Post(10, {0, 100}, 2, {0, 0}));
+
+  failpoint::Arm("serve.tier.incremental");
+  const RepairOutcome outcome = Step(&world, &replanner, &state,
+                                     Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  const int64_t hits = failpoint::HitCount("serve.tier.incremental");
+  failpoint::DisarmAll();
+
+  // 1 + max_retries attempts, each absorbing one fault, then descend.
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(outcome.faults, 4);
+  EXPECT_EQ(outcome.retries, 3);
+  EXPECT_EQ(outcome.tier, RepairTier::kRegional);
+  // The rung below still planned the arriving user.
+  EXPECT_TRUE(state.IsAssigned(10, 1));
+}
+
+// The ladder's decisions must be bit-identical at any thread count — the
+// LocalSearch parallel contract stretched across the streaming path.
+TEST(ReplannerLadderTest, DeterministicAcrossThreadCounts) {
+  const int thread_counts[] = {1, 2, 8};
+  std::vector<std::string> fingerprints;
+  for (const int threads : thread_counts) {
+    gen::ArrivalTraceConfig config;
+    config.num_mutations = 120;
+    config.seed = 99;
+    const StatusOr<gen::ArrivalTrace> trace = GenerateArrivalTrace(config);
+    ASSERT_TRUE(trace.ok());
+
+    LadderOptions ladder;
+    ladder.local_search.parallel.num_threads = threads;
+    World world(trace->world);
+    PlanState state;
+    Replanner replanner(ladder, nullptr, nullptr);
+    std::string log;
+    for (const Mutation& m : trace->mutations) {
+      const RepairOutcome outcome = Step(&world, &replanner, &state, m);
+      log += RepairTierName(outcome.tier);
+      log += ' ';
+    }
+    fingerprints.push_back(log + StrFormat("%016llx", (unsigned long long)
+                                               state.Fingerprint()));
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+}  // namespace
+}  // namespace usep::serve

@@ -1,0 +1,283 @@
+#include "serve/service.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "core/validation.h"
+#include "gen/arrival_trace.h"
+#include "obs/metrics.h"
+
+namespace usep::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveFiles(const ServiceOptions& options) {
+  if (!options.journal_path.empty()) {
+    std::remove(options.journal_path.c_str());
+  }
+  if (!options.snapshot_path.empty()) {
+    std::remove(options.snapshot_path.c_str());
+    std::remove((options.snapshot_path + ".tmp").c_str());
+  }
+}
+
+Mutation Join(uint64_t key, Cost budget, Point location,
+              std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = key;
+  m.budget = budget;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Post(uint64_t key, TimeInterval interval, int capacity,
+              Point location, std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = key;
+  m.interval = interval;
+  m.capacity = capacity;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+// Submit + ProcessNext in one step, asserting infrastructure success.
+ProcessResult Feed(StreamingService* service, const Mutation& m) {
+  EXPECT_TRUE(service->Submit(m).ok());
+  StatusOr<ProcessResult> result = service->ProcessNext();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : ProcessResult{};
+}
+
+TEST(ServiceTest, CommitsMutationsAndAssignsSequenceNumbers) {
+  ServiceOptions options;  // Ephemeral: no journal.
+  StatusOr<std::unique_ptr<StreamingService>> service =
+      StreamingService::Open(options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const ProcessResult first =
+      Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+  EXPECT_EQ(first.seq, 1u);
+  const ProcessResult second =
+      Feed(service->get(), Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_EQ((*service)->last_seq(), 2u);
+  EXPECT_TRUE((*service)->plan_state().IsAssigned(10, 1));
+  ASSERT_NE((*service)->planning(), nullptr);
+  EXPECT_TRUE(CheckPlanningFeasible(*(*service)->instance(),
+                                    *(*service)->planning())
+                  .ok());
+}
+
+TEST(ServiceTest, BadStreamRecordsAreRejectedNotFatal) {
+  StatusOr<std::unique_ptr<StreamingService>> service =
+      StreamingService::Open(ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+
+  Mutation dup = Post(10, {0, 50}, 1, {5, 5});
+  const ProcessResult rejected = Feed(service->get(), dup);
+  EXPECT_EQ(rejected.seq, 0u);
+  EXPECT_FALSE(rejected.apply_status.ok());
+  EXPECT_EQ((*service)->last_seq(), 1u);  // Nothing committed.
+}
+
+TEST(ServiceTest, QueueCapacityRejectsSubmitsAndDepthSheds) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.shed_fraction = 0.5;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(options);
+  ASSERT_TRUE(opened.ok());
+  StreamingService* service = opened->get();
+
+  ASSERT_TRUE(service->Submit(Post(10, {0, 100}, 8, {0, 0})).ok());
+  for (uint64_t key = 1; key <= 3; ++key) {
+    ASSERT_TRUE(
+        service->Submit(Join(key, 1000, {1, 1}, {{10, 0.5}})).ok());
+  }
+  // Queue full: backpressure.
+  const Status overflow = service->Submit(Join(9, 1000, {1, 1}));
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(metrics.GetCounter("usep.serve.submit.rejected")->Value(), 1);
+
+  // Depth 4 > 0.5 * 4 after popping -> the first pops run shed.
+  StatusOr<ProcessResult> first = service->ProcessNext();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->shed);
+  StatusOr<std::vector<ProcessResult>> rest = service->Drain();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_FALSE(service->HasPending());
+  EXPECT_FALSE(rest->back().shed);  // Depth fell below the shed line.
+  EXPECT_GE(metrics.GetCounter("usep.serve.shed")->Value(), 1);
+}
+
+TEST(ServiceTest, RecoversFromJournalAfterAbandon) {
+  ServiceOptions options;
+  options.journal_path = TempPath("service_recover.journal");
+  RemoveFiles(options);
+
+  uint64_t live_fingerprint = 0;
+  {
+    StatusOr<std::unique_ptr<StreamingService>> service =
+        StreamingService::Open(options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+    Feed(service->get(), Post(20, {200, 300}, 1, {3, 3}));
+    Feed(service->get(),
+         Join(1, 1000, {1, 1}, {{10, 0.9}, {20, 0.5}}));
+    Feed(service->get(), Join(2, 1000, {2, 2}, {{10, 0.4}}));
+    live_fingerprint = (*service)->Fingerprint();
+    (*service)->Abandon();  // Crash: no Close, no snapshot.
+  }
+
+  StatusOr<std::unique_ptr<StreamingService>> recovered =
+      StreamingService::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->recovery().replayed_records, 4u);
+  EXPECT_EQ((*recovered)->last_seq(), 4u);
+  EXPECT_EQ((*recovered)->Fingerprint(), live_fingerprint);
+  // Recovery rebuilt a live, feasible planning, and the service keeps going.
+  const ProcessResult next =
+      Feed(recovered->get(), Join(3, 1000, {4, 4}, {{20, 0.7}}));
+  EXPECT_EQ(next.seq, 5u);
+  RemoveFiles(options);
+}
+
+TEST(ServiceTest, SnapshotBoundsReplayAndSurvivesCorruptSnapshot) {
+  ServiceOptions options;
+  options.journal_path = TempPath("service_snap.journal");
+  options.snapshot_path = TempPath("service_snap.snap");
+  options.snapshot_every = 2;
+  RemoveFiles(options);
+
+  uint64_t live_fingerprint = 0;
+  {
+    StatusOr<std::unique_ptr<StreamingService>> service =
+        StreamingService::Open(options);
+    ASSERT_TRUE(service.ok());
+    Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+    Feed(service->get(), Join(1, 1000, {1, 1}, {{10, 0.9}}));
+    Feed(service->get(), Join(2, 1000, {2, 2}, {{10, 0.4}}));
+    live_fingerprint = (*service)->Fingerprint();
+    (*service)->Abandon();
+  }
+  {
+    // The snapshot at seq 2 bounds the replay to the journal suffix.
+    StatusOr<std::unique_ptr<StreamingService>> recovered =
+        StreamingService::Open(options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_TRUE((*recovered)->recovery().snapshot_loaded);
+    EXPECT_EQ((*recovered)->recovery().replayed_records, 1u);
+    EXPECT_EQ((*recovered)->Fingerprint(), live_fingerprint);
+    (*recovered)->Abandon();
+  }
+  {
+    // Corrupt the snapshot: recovery falls back to the full journal.
+    std::FILE* file = std::fopen(options.snapshot_path.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    std::fputs("garbage\n", file);
+    std::fclose(file);
+    StatusOr<std::unique_ptr<StreamingService>> recovered =
+        StreamingService::Open(options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_FALSE((*recovered)->recovery().snapshot_loaded);
+    EXPECT_FALSE((*recovered)->recovery().snapshot_note.empty());
+    EXPECT_EQ((*recovered)->recovery().replayed_records, 3u);
+    EXPECT_EQ((*recovered)->Fingerprint(), live_fingerprint);
+  }
+  RemoveFiles(options);
+}
+
+TEST(ServiceTest, TornJournalAppendBreaksServiceAndRecoversOnRestart) {
+  ServiceOptions options;
+  options.journal_path = TempPath("service_torn.journal");
+  RemoveFiles(options);
+
+  StatusOr<std::unique_ptr<StreamingService>> service =
+      StreamingService::Open(options);
+  ASSERT_TRUE(service.ok());
+  Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+  const uint64_t committed_fingerprint = (*service)->Fingerprint();
+
+  // The next append tears mid-line.
+  ASSERT_TRUE(
+      (*service)->Submit(Join(1, 1000, {1, 1}, {{10, 0.9}})).ok());
+  {
+    failpoint::ScopedArm arm("serve.journal.append");
+    const StatusOr<ProcessResult> result = (*service)->ProcessNext();
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_TRUE((*service)->journal_broken());
+  // In-memory state ran ahead of the journal; the service refuses to go on.
+  ASSERT_TRUE((*service)->Submit(Join(2, 1000, {2, 2})).ok());
+  EXPECT_FALSE((*service)->ProcessNext().ok());
+  (*service)->Abandon();
+
+  // Restart: the torn tail is dropped + truncated, state returns to the
+  // last acknowledged mutation, and the journal accepts appends again.
+  StatusOr<std::unique_ptr<StreamingService>> recovered =
+      StreamingService::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE((*recovered)->recovery().truncated_tail);
+  EXPECT_EQ((*recovered)->last_seq(), 1u);
+  EXPECT_EQ((*recovered)->Fingerprint(), committed_fingerprint);
+  const ProcessResult retried =
+      Feed(recovered->get(), Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  EXPECT_EQ(retried.seq, 2u);
+  ASSERT_TRUE((*recovered)->Close().ok());
+
+  // The re-appended record reads back framed and contiguous.
+  const StatusOr<JournalReplay> replay = ReadJournal(options.journal_path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->truncated_tail);
+  ASSERT_EQ(replay->records.size(), 2u);
+  RemoveFiles(options);
+}
+
+TEST(ServiceTest, JournaledDrainMatchesLiveStateOnLongTrace) {
+  // The live-vs-recovered contract over a full generated trace: replay the
+  // journal cold (RecoverState, no service) and compare fingerprints.
+  gen::ArrivalTraceConfig config;
+  config.num_mutations = 200;
+  config.seed = 17;
+  const StatusOr<gen::ArrivalTrace> trace = GenerateArrivalTrace(config);
+  ASSERT_TRUE(trace.ok());
+
+  ServiceOptions options;
+  options.world = trace->world;
+  options.journal_path = TempPath("service_long.journal");
+  RemoveFiles(options);
+
+  StatusOr<std::unique_ptr<StreamingService>> service =
+      StreamingService::Open(options);
+  ASSERT_TRUE(service.ok());
+  for (const Mutation& m : trace->mutations) {
+    Feed(service->get(), m);
+  }
+  const uint64_t live_world = (*service)->world().Fingerprint();
+  const uint64_t live_plan = (*service)->plan_state().Fingerprint();
+  (*service)->Abandon();
+
+  const StatusOr<RecoveredState> replayed =
+      RecoverState(trace->world, options.journal_path, "");
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(replayed->world.Fingerprint(), live_world);
+  EXPECT_EQ(replayed->state.Fingerprint(), live_plan);
+  EXPECT_EQ(replayed->info.replayed_records, trace->mutations.size());
+  RemoveFiles(options);
+}
+
+}  // namespace
+}  // namespace usep::serve

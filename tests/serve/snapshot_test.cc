@@ -1,0 +1,107 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+
+namespace usep::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Snapshot MakeSnapshot() {
+  Snapshot snapshot;
+  snapshot.seq = 42;
+
+  Mutation post;
+  post.kind = MutationKind::kEventPost;
+  post.key = 10;
+  post.interval = TimeInterval{0, 100};
+  post.capacity = 2;
+  post.location = Point{0, 0};
+  EXPECT_TRUE(snapshot.world.Apply(post).ok());
+  Mutation join;
+  join.kind = MutationKind::kUserJoin;
+  join.key = 1;
+  join.budget = 500;
+  join.location = Point{1, 1};
+  join.utilities = {{10, 0.75}};
+  EXPECT_TRUE(snapshot.world.Apply(join).ok());
+  EXPECT_TRUE(snapshot.plan.ApplyOp(PlanOp{true, 10, 1}).ok());
+  return snapshot;
+}
+
+TEST(SnapshotTest, SerializeRoundTrips) {
+  const Snapshot snapshot = MakeSnapshot();
+  const StatusOr<Snapshot> parsed =
+      Snapshot::Deserialize(snapshot.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->world.Fingerprint(), snapshot.world.Fingerprint());
+  EXPECT_TRUE(parsed->plan == snapshot.plan);
+}
+
+TEST(SnapshotTest, CrcCatchesDamageAnywhere) {
+  const std::string good = MakeSnapshot().Serialize();
+  for (size_t pos = 0; pos < good.size(); pos += 7) {
+    std::string damaged = good;
+    damaged[pos] ^= 0x20;
+    if (damaged == good) continue;
+    EXPECT_FALSE(Snapshot::Deserialize(damaged).ok()) << "pos=" << pos;
+  }
+  EXPECT_FALSE(Snapshot::Deserialize("").ok());
+  EXPECT_FALSE(Snapshot::Deserialize(good.substr(0, good.size() - 4)).ok());
+}
+
+TEST(SnapshotTest, RejectsPlanReferencingDeadEntities) {
+  Snapshot snapshot = MakeSnapshot();
+  ASSERT_TRUE(snapshot.plan.ApplyOp(PlanOp{true, 99, 1}).ok());  // no event 99
+  const std::string text = snapshot.Serialize();
+  EXPECT_FALSE(Snapshot::Deserialize(text).ok());
+}
+
+TEST(SnapshotFileTest, WriteReadRoundTrips) {
+  const std::string path = TempPath("snapshot_roundtrip.snap");
+  std::remove(path.c_str());
+  const Snapshot snapshot = MakeSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(snapshot, path).ok());
+  const StatusOr<Snapshot> parsed = ReadSnapshotFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->world.Fingerprint(), snapshot.world.Fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsNotFound) {
+  const StatusOr<Snapshot> parsed =
+      ReadSnapshotFile(TempPath("no_such.snap"));
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotFileTest, CrashBeforeRenameKeepsPreviousSnapshot) {
+  const std::string path = TempPath("snapshot_atomic.snap");
+  std::remove(path.c_str());
+  const Snapshot first = MakeSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(first, path).ok());
+
+  Snapshot second = MakeSnapshot();
+  second.seq = 99;
+  {
+    failpoint::ScopedArm arm("serve.snapshot.write");
+    EXPECT_FALSE(WriteSnapshotFile(second, path).ok());
+  }
+  // The crash "between write and rename" must leave the old file intact.
+  const StatusOr<Snapshot> parsed = ReadSnapshotFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->seq, 42u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace usep::serve

@@ -1,0 +1,174 @@
+#include "serve/world.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+
+namespace usep::serve {
+namespace {
+
+Mutation Join(uint64_t key, Cost budget, Point location,
+              std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = key;
+  m.budget = budget;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Post(uint64_t key, TimeInterval interval, int capacity,
+              Point location, std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = key;
+  m.interval = interval;
+  m.capacity = capacity;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Leave(uint64_t key) {
+  Mutation m;
+  m.kind = MutationKind::kUserLeave;
+  m.key = key;
+  return m;
+}
+
+Mutation Cancel(uint64_t key) {
+  Mutation m;
+  m.kind = MutationKind::kEventCancel;
+  m.key = key;
+  return m;
+}
+
+Mutation Capacity(uint64_t key, int capacity) {
+  Mutation m;
+  m.kind = MutationKind::kCapacityChange;
+  m.key = key;
+  m.capacity = capacity;
+  return m;
+}
+
+// A small but non-trivial world: two events, three users, sparse interests.
+World MakeWorld() {
+  World world{WorldConfig{}};
+  EXPECT_TRUE(world.Apply(Post(10, {0, 100}, 2, {0, 0})).ok());
+  EXPECT_TRUE(world.Apply(Post(20, {200, 300}, 1, {50, 50})).ok());
+  EXPECT_TRUE(
+      world.Apply(Join(1, 1000, {1, 1}, {{10, 0.9}, {20, 0.5}})).ok());
+  EXPECT_TRUE(world.Apply(Join(2, 1000, {2, 2}, {{10, 0.4}})).ok());
+  EXPECT_TRUE(world.Apply(Join(3, 1000, {3, 3}, {{20, 0.7}})).ok());
+  return world;
+}
+
+TEST(WorldTest, AppliesAndTracksAliveSets) {
+  const World world = MakeWorld();
+  EXPECT_EQ(world.num_users(), 3);
+  EXPECT_EQ(world.num_events(), 2);
+  EXPECT_TRUE(world.HasUser(2));
+  EXPECT_FALSE(world.HasUser(99));
+  EXPECT_EQ(world.EventCapacity(10), 2);
+  EXPECT_EQ(world.EventCapacity(99), 0);
+  EXPECT_EQ(world.UserKeys(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(world.EventKeys(), (std::vector<uint64_t>{10, 20}));
+  EXPECT_EQ(world.UserIdOf(2), 1);
+  EXPECT_EQ(world.EventIdOf(20), 1);
+  EXPECT_EQ(world.UserIdOf(99), -1);
+}
+
+TEST(WorldTest, RejectionsLeaveWorldUntouched) {
+  World world = MakeWorld();
+  const uint64_t before = world.Fingerprint();
+  EXPECT_FALSE(world.Apply(Join(1, 10, {0, 0})).ok());     // duplicate user
+  EXPECT_FALSE(world.Apply(Post(10, {0, 1}, 1, {0, 0})).ok());  // dup event
+  EXPECT_FALSE(world.Apply(Leave(99)).ok());               // unknown user
+  EXPECT_FALSE(world.Apply(Cancel(99)).ok());              // unknown event
+  EXPECT_FALSE(world.Apply(Capacity(10, 0)).ok());         // capacity < 1
+  EXPECT_FALSE(
+      world.Apply(Join(5, -1, {0, 0})).ok());              // negative budget
+  EXPECT_FALSE(
+      world.Apply(Join(5, 10, {0, 0}, {{10, 1.5}})).ok()); // mu out of range
+  EXPECT_FALSE(
+      world.Apply(Join(5, 10, {0, 0}, {{77, 0.5}})).ok()); // unknown event ref
+  EXPECT_EQ(world.Fingerprint(), before);
+}
+
+TEST(WorldTest, DirtyFlagsSeparateStructureFromCapacity) {
+  World world = MakeWorld();
+  world.ClearDirty();
+  ASSERT_TRUE(world.Apply(Capacity(10, 5)).ok());
+  EXPECT_FALSE(world.structure_dirty());
+  EXPECT_TRUE(world.capacity_dirty());
+  world.ClearDirty();
+  ASSERT_TRUE(world.Apply(Leave(3)).ok());
+  EXPECT_TRUE(world.structure_dirty());
+}
+
+TEST(WorldTest, LeaveAndCancelPruneUtilities) {
+  World world = MakeWorld();
+  ASSERT_TRUE(world.Apply(Leave(1)).ok());
+  ASSERT_TRUE(world.Apply(Cancel(20)).ok());
+  // Serialization mentions neither the dead user nor the dead event.
+  const std::string text = world.Serialize();
+  EXPECT_EQ(text.find(" 20 "), std::string::npos) << text;
+  EXPECT_EQ(world.num_users(), 2);
+  EXPECT_EQ(world.num_events(), 1);
+}
+
+TEST(WorldTest, SerializeRoundTripsBitIdentically) {
+  const World world = MakeWorld();
+  const StatusOr<World> parsed = World::Deserialize(world.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Serialize(), world.Serialize());
+  EXPECT_EQ(parsed->Fingerprint(), world.Fingerprint());
+}
+
+TEST(WorldTest, FingerprintIsOrderIndependent) {
+  // Two mutation orders reaching the same alive set must agree bit-for-bit
+  // (the property that makes recovery comparisons meaningful).
+  World a{WorldConfig{}};
+  ASSERT_TRUE(a.Apply(Post(10, {0, 100}, 2, {0, 0})).ok());
+  ASSERT_TRUE(a.Apply(Join(1, 500, {1, 1}, {{10, 0.9}})).ok());
+  ASSERT_TRUE(a.Apply(Join(2, 600, {2, 2})).ok());
+  ASSERT_TRUE(a.Apply(Leave(2)).ok());
+
+  World b{WorldConfig{}};
+  ASSERT_TRUE(b.Apply(Post(10, {0, 100}, 2, {0, 0})).ok());
+  ASSERT_TRUE(b.Apply(Join(1, 500, {1, 1}, {{10, 0.9}})).ok());
+
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(WorldTest, MaterializeBuildsConsistentInstance) {
+  const World world = MakeWorld();
+  const StatusOr<Instance> instance = world.Materialize();
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance->num_users(), 3);
+  EXPECT_EQ(instance->num_events(), 2);
+  // Dense ids follow ascending key order: user key 1 -> id 0, event 10 -> 0.
+  EXPECT_DOUBLE_EQ(instance->utility(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(instance->utility(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(instance->utility(0, 1), 0.4);
+  EXPECT_EQ(instance->event(0).capacity, 2);
+}
+
+TEST(WorldTest, MaterializeFailsOnEmptySide) {
+  World world{WorldConfig{}};
+  EXPECT_FALSE(world.Materialize().ok());
+  ASSERT_TRUE(world.Apply(Join(1, 10, {0, 0})).ok());
+  EXPECT_FALSE(world.Materialize().ok());  // users but no events
+}
+
+TEST(WorldTest, DeserializeRejectsDamage) {
+  const std::string good = MakeWorld().Serialize();
+  EXPECT_FALSE(World::Deserialize("").ok());
+  EXPECT_FALSE(World::Deserialize("garbage\n").ok());
+  // Chop the trailing "end" terminator off.
+  EXPECT_FALSE(World::Deserialize(good.substr(0, good.size() / 2)).ok());
+}
+
+}  // namespace
+}  // namespace usep::serve
