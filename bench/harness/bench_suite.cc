@@ -81,7 +81,8 @@ std::vector<BenchScenario> BuildScenarioCatalog() {
   }
 
   // Exact needs a truly tiny instance; its scan is exponential in the
-  // number of conflict-free schedules.
+  // number of conflict-free schedules.  Kept under its historical name so
+  // bench_compare still matches it against pre-PR7 baselines.
   {
     GeneratorConfig tiny = micro;
     tiny.num_events = 6;
@@ -93,6 +94,43 @@ std::vector<BenchScenario> BuildScenarioCatalog() {
     scenario.kind = PlannerKind::kExact;
     scenario.quick = false;
     catalog.push_back(scenario);
+  }
+
+  // The certified-optimum envelope of the state-space Exact core: a |V| x
+  // |U| size ladder with real capacity contention (capacity_mean 2, so
+  // dominance merging is load-bearing, not trivial).  The legacy
+  // enumerator's practical ceiling was the v6.u30 micro row above (|V| x
+  // |U| = 180); the rungs here extend past 10x that product.  Rows report
+  // states / merges / certified / states_per_sec alongside the usual
+  // columns — the "largest instance certified within the time budget"
+  // read comes straight off the certified flags.
+  {
+    const struct {
+      int num_events;
+      int num_users;
+      double capacity_mean;
+      bool quick;
+    } ladder[] = {
+        {6, 30, 2.0, true},     // Legacy-reach reference point.
+        {5, 400, 2.0, true},    // 11x the legacy |V| x |U| envelope.
+        {6, 350, 1.0, true},    // Single-seat contention, 11.6x envelope.
+        {8, 80, 2.0, false},
+        {10, 200, 2.0, false},  // The state-count stress rung.
+    };
+    for (const auto& rung : ladder) {
+      GeneratorConfig config = micro;
+      config.num_events = rung.num_events;
+      config.num_users = rung.num_users;
+      config.capacity_mean = rung.capacity_mean;
+      BenchScenario scenario;
+      scenario.name = StrFormat("exact/v%d.u%d/Exact/t1", rung.num_events,
+                                rung.num_users);
+      scenario.family = "exact";
+      scenario.config = config;
+      scenario.kind = PlannerKind::kExact;
+      scenario.quick = rung.quick;
+      catalog.push_back(scenario);
+    }
   }
 
   // Figure 2 shape: the Table 7 bold defaults at bench scale.  These are
@@ -327,9 +365,16 @@ ScenarioResult RunScenario(const BenchScenario& scenario,
     result.cache_hits = run.stats.cache_hits;
     result.cache_misses = run.stats.cache_misses;
     result.cache_invalidations = run.stats.cache_invalidations;
+    result.states = run.stats.states;
+    result.merges = run.stats.merges;
+    result.certified = run.stats.certified_optimal;
   }
   result.wall_ms = ComputeRobustStats(std::move(wall_samples));
   result.cpu_ms = ComputeRobustStats(std::move(cpu_samples));
+  if (result.states > 0 && result.wall_ms.median > 0.0) {
+    result.states_per_sec =
+        1e3 * static_cast<double>(result.states) / result.wall_ms.median;
+  }
 
   if (options.profile) {
     // One extra traced trial, outside the measured set: span recording has
@@ -517,6 +562,10 @@ void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
     json.KvInt("cache_hits", result.cache_hits);
     json.KvInt("cache_misses", result.cache_misses);
     json.KvInt("cache_invalidations", result.cache_invalidations);
+    json.KvInt("states", result.states);
+    json.KvInt("merges", result.merges);
+    json.KvBool("certified", result.certified);
+    json.KvDouble("states_per_sec", result.states_per_sec);
     json.KvDouble("objective", result.objective);
     json.KvInt("assignments", result.assignments);
     json.KvBool("validated", result.validated);

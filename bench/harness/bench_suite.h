@@ -89,6 +89,15 @@ struct ScenarioResult {
   int64_t cache_misses = 0;
   int64_t cache_invalidations = 0;
 
+  // State-space Exact telemetry (planner "Exact"; zero elsewhere).
+  // `certified` is PlannerStats::certified_optimal — the row proves its
+  // objective is THE optimum; states_per_sec is stored states over the
+  // median wall time, the core's throughput figure of merit.
+  int64_t states = 0;
+  int64_t merges = 0;
+  bool certified = false;
+  double states_per_sec = 0.0;
+
   double objective = 0.0;  // Planning utility; exact-comparable.
   int64_t assignments = 0;
   bool validated = false;

@@ -234,6 +234,10 @@ int FigureBench::Finish() {
       run.heap_pushes = row.run.stats.heap_pushes;
       run.dp_cells = row.run.stats.dp_cells;
       run.guard_nodes = row.run.stats.guard_nodes;
+      run.states = row.run.stats.states;
+      run.merges = row.run.stats.merges;
+      run.certified_optimal = row.run.stats.certified_optimal;
+      run.exact_stop = row.run.stats.exact_stop;
       run.logical_peak_bytes = row.run.stats.logical_peak_bytes;
       run.fallback_rung = row.run.stats.fallback_rung;
       run.fallback_trace = row.run.stats.fallback_trace;
@@ -251,6 +255,10 @@ int FigureBench::Finish() {
       report.aggregate.heap_pushes = aggregate.heap_pushes;
       report.aggregate.dp_cells = aggregate.dp_cells;
       report.aggregate.guard_nodes = aggregate.guard_nodes;
+      report.aggregate.states = aggregate.states;
+      report.aggregate.merges = aggregate.merges;
+      report.aggregate.certified_optimal = aggregate.certified_optimal;
+      report.aggregate.exact_stop = aggregate.exact_stop;
       report.aggregate.logical_peak_bytes = aggregate.logical_peak_bytes;
       report.aggregate.fallback_rung = aggregate.fallback_rung;
       report.aggregate.fallback_trace = aggregate.fallback_trace;

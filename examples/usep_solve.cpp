@@ -211,6 +211,10 @@ int main(int argc, char** argv) {
     run.heap_pushes = result.stats.heap_pushes;
     run.dp_cells = result.stats.dp_cells;
     run.guard_nodes = result.stats.guard_nodes;
+    run.states = result.stats.states;
+    run.merges = result.stats.merges;
+    run.certified_optimal = result.stats.certified_optimal;
+    run.exact_stop = result.stats.exact_stop;
     run.logical_peak_bytes = result.stats.logical_peak_bytes;
     run.fallback_rung = result.stats.fallback_rung;
     run.fallback_trace = result.stats.fallback_trace;
@@ -281,6 +285,10 @@ int main(int argc, char** argv) {
       report.aggregate.heap_pushes = aggregate_stats.heap_pushes;
       report.aggregate.dp_cells = aggregate_stats.dp_cells;
       report.aggregate.guard_nodes = aggregate_stats.guard_nodes;
+      report.aggregate.states = aggregate_stats.states;
+      report.aggregate.merges = aggregate_stats.merges;
+      report.aggregate.certified_optimal = aggregate_stats.certified_optimal;
+      report.aggregate.exact_stop = aggregate_stats.exact_stop;
       report.aggregate.logical_peak_bytes = aggregate_stats.logical_peak_bytes;
       report.aggregate.fallback_rung = aggregate_stats.fallback_rung;
       report.aggregate.fallback_trace = aggregate_stats.fallback_trace;

@@ -3,95 +3,30 @@
 #include <algorithm>
 
 #include "algo/planner_obs.h"
+#include "algo/state_space.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace usep {
 namespace {
 
-// A feasible single-user schedule with its utility.
-struct CandidateSchedule {
-  std::vector<EventId> events;  // Time-ordered.
-  double utility = 0.0;
-};
+// ---------------------------------------------------------------------------
+// Legacy core (PR 1 era): per-user schedule enumeration + depth-first
+// branch-and-bound over users.  Kept verbatim behind
+// Options::use_legacy_exact for one PR as the differential cross-check
+// anchor (mirroring the MakeLegacyScanPlanner pattern): on every instance
+// this core certifies, the state-space core must produce the exact same
+// objective.  See tests/algo/differential_test.cc.
+// ---------------------------------------------------------------------------
 
-// Depth-first enumeration of every feasible schedule of user `u` (including
-// the empty one, emitted first).  Stops early — leaving a truncated but
-// individually-feasible schedule set — when the per-user schedule budget is
-// exhausted or the guard fires.
-class ScheduleEnumerator {
+class LegacyBranchAndBound {
  public:
-  ScheduleEnumerator(const Instance& instance, UserId u, int64_t max_schedules,
-                     PlanGuard* guard)
-      : instance_(instance),
-        u_(u),
-        budget_(instance.user(u).budget),
-        sorted_(instance.events_by_end_time()),
-        max_schedules_(max_schedules),
-        guard_(guard) {}
-
-  std::vector<CandidateSchedule> Enumerate() {
-    schedules_.push_back(CandidateSchedule{});  // The empty schedule.
-    Recurse(0, 0, 0.0);
-    return std::move(schedules_);
-  }
-
-  // True when enumeration hit the schedule budget (not a guard stop).
-  bool truncated() const { return truncated_; }
-
- private:
-  void Recurse(int next_rank, Cost t_so_far, double utility) {
-    if (truncated_ || guard_->stopped()) return;
-    for (int rank = next_rank; rank < instance_.num_events(); ++rank) {
-      const EventId v = sorted_[rank];
-      const double mu = instance_.utility(v, u_);
-      if (!(mu > 0.0)) continue;
-      Cost hop;
-      if (current_.empty()) {
-        hop = instance_.UserToEventCost(u_, v);
-      } else {
-        hop = instance_.TransitionCost(sorted_[current_.back()], v);
-      }
-      if (IsInfiniteCost(hop)) continue;
-      const Cost t = AddCost(t_so_far, hop);
-      if (AddCost(t, instance_.EventToUserCost(v, u_)) > budget_) continue;
-
-      if (guard_->ShouldStop()) return;
-      if (USEP_FAILPOINT("exact.schedule_budget") ||
-          static_cast<int64_t>(schedules_.size()) >= max_schedules_) {
-        truncated_ = true;
-        return;
-      }
-
-      current_.push_back(rank);
-      CandidateSchedule schedule;
-      schedule.events.reserve(current_.size());
-      for (const int r : current_) schedule.events.push_back(sorted_[r]);
-      schedule.utility = utility + mu;
-      schedules_.push_back(std::move(schedule));
-      Recurse(rank + 1, t, utility + mu);
-      current_.pop_back();
-      if (truncated_ || guard_->stopped()) return;
-    }
-  }
-
-  const Instance& instance_;
-  const UserId u_;
-  const Cost budget_;
-  const std::vector<EventId>& sorted_;
-  const int64_t max_schedules_;
-  PlanGuard* const guard_;
-  bool truncated_ = false;
-  std::vector<int> current_;  // Ranks on the DFS path.
-  std::vector<CandidateSchedule> schedules_;
-};
-
-class BranchAndBound {
- public:
-  BranchAndBound(const Instance& instance, const ExactPlanner::Options& options,
-                 const PlanContext& context)
+  LegacyBranchAndBound(const Instance& instance,
+                       const ExactPlanner::Options& options,
+                       const PlanContext& context)
       : instance_(instance), options_(options), context_(context) {
     // The smaller of the planner's own node budget and the context's wins.
     if (options_.max_nodes > 0 &&
@@ -105,10 +40,9 @@ class BranchAndBound {
     obs::TraceSpan plan_span(context_.trace, "plan/Exact", "planner");
     plan_span.AddArg("events", static_cast<int64_t>(instance_.num_events()));
     plan_span.AddArg("users", static_cast<int64_t>(instance_.num_users()));
+    plan_span.AddArg("core", "legacy-dfs");
     PlanGuard guard(context_);
     const int num_users = instance_.num_users();
-    // Set when enumeration was cut short by the schedule budget: the search
-    // still runs, but optimality is lost and the result must say so.
     bool schedules_truncated = false;
     bool schedules_injected = false;
 
@@ -118,34 +52,25 @@ class BranchAndBound {
     empty_index_.assign(num_users, 0);
     size_t schedule_bytes = 0;
     for (UserId u = 0; u < num_users; ++u) {
-      std::vector<CandidateSchedule> schedules;
+      ScheduleSet set;
       if (guard.stopped()) {
         // Out of time/budget: remaining users keep only the empty schedule
         // so the incumbent machinery below stays well-defined.
-        schedules.push_back(CandidateSchedule{});
+        set.options.push_back(ScheduleOption{});
       } else {
-        ScheduleEnumerator enumerator(instance_, u,
-                                      options_.max_schedules_per_user, &guard);
-        schedules = enumerator.Enumerate();
-        if (enumerator.truncated()) {
+        set = EnumerateSchedules(instance_, u, options_.max_schedules_per_user,
+                                 &guard);
+        if (set.truncated) {
           schedules_truncated = true;
-          schedules_injected = failpoint::IsArmed("exact.schedule_budget");
+          schedules_injected = schedules_injected || set.injected;
         }
       }
-      // Try high-utility schedules first so good incumbents appear early.
-      std::sort(schedules.begin(), schedules.end(),
-                [](const CandidateSchedule& a, const CandidateSchedule& b) {
-                  if (a.utility != b.utility) return a.utility > b.utility;
-                  return a.events < b.events;
-                });
-      for (size_t s = 0; s < schedules.size(); ++s) {
-        if (schedules[s].events.empty()) {
-          empty_index_[u] = static_cast<int>(s);
-        }
-        schedule_bytes += schedules[s].events.size() * sizeof(EventId) +
-                          sizeof(CandidateSchedule);
+      empty_index_[u] = set.empty_index;
+      for (const ScheduleOption& option : set.options) {
+        schedule_bytes +=
+            option.events.size() * sizeof(EventId) + sizeof(ScheduleOption);
       }
-      per_user_.push_back(std::move(schedules));
+      per_user_.push_back(std::move(set.options));
     }
     enumerate_span.AddArg("schedule_bytes",
                           static_cast<int64_t>(schedule_bytes));
@@ -179,7 +104,7 @@ class BranchAndBound {
                                     "planner");
     Planning planning(instance_);
     for (UserId u = 0; u < num_users; ++u) {
-      const CandidateSchedule& schedule = per_user_[u][best_chosen_[u]];
+      const ScheduleOption& schedule = per_user_[u][best_chosen_[u]];
       for (const EventId v : schedule.events) {
         const bool assigned = planning.TryAssign(v, u);
         USEP_CHECK(assigned) << "exact incumbent became infeasible";
@@ -197,6 +122,14 @@ class BranchAndBound {
     if (termination == Termination::kCompleted && schedules_truncated) {
       termination = schedules_injected ? Termination::kInjectedFault
                                        : Termination::kNodeBudget;
+    }
+    stats.certified_optimal = termination == Termination::kCompleted;
+    if (stats.certified_optimal) {
+      stats.exact_stop = "proven-optimal";
+    } else if (guard.stopped()) {
+      stats.exact_stop = "guard-stop";
+    } else {
+      stats.exact_stop = "schedule-budget";
     }
     PlannerResult result{std::move(planning), stats, termination};
     plan_span.AddArg("termination", TerminationName(termination));
@@ -221,7 +154,7 @@ class BranchAndBound {
     if (utility + suffix_best_[u] <= best_utility_) return;  // Bound.
 
     for (size_t s = 0; s < per_user_[u].size(); ++s) {
-      const CandidateSchedule& schedule = per_user_[u][s];
+      const ScheduleOption& schedule = per_user_[u][s];
       if (utility + schedule.utility + suffix_best_[u + 1] <= best_utility_) {
         // Schedules are utility-sorted; nothing below can improve either —
         // except the guaranteed-feasible empty schedule handled by the
@@ -249,7 +182,7 @@ class BranchAndBound {
   const Instance& instance_;
   const ExactPlanner::Options options_;
   PlanContext context_;
-  std::vector<std::vector<CandidateSchedule>> per_user_;
+  std::vector<std::vector<ScheduleOption>> per_user_;
   std::vector<int> empty_index_;  // Index of each user's empty schedule.
   std::vector<double> suffix_best_;
   std::vector<int> capacity_left_;
@@ -259,11 +192,168 @@ class BranchAndBound {
   int64_t nodes_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// State-space core: per-user schedule enumeration feeding the best-first
+// explored-set search of algo/state_space.h.  The certified-optimum oracle
+// for the differential and approximation suites — see docs/EXACT.md.
+// ---------------------------------------------------------------------------
+
+class StateSpaceExact {
+ public:
+  StateSpaceExact(const Instance& instance,
+                  const ExactPlanner::Options& options,
+                  const PlanContext& context)
+      : instance_(instance), options_(options), context_(context) {
+    if (options_.max_nodes > 0 &&
+        (context_.max_nodes == 0 || options_.max_nodes < context_.max_nodes)) {
+      context_.max_nodes = options_.max_nodes;
+    }
+  }
+
+  PlannerResult Solve() {
+    Stopwatch stopwatch;
+    obs::TraceSpan plan_span(context_.trace, "plan/Exact", "planner");
+    plan_span.AddArg("events", static_cast<int64_t>(instance_.num_events()));
+    plan_span.AddArg("users", static_cast<int64_t>(instance_.num_users()));
+    plan_span.AddArg("core", "state-space");
+    PlanGuard guard(context_);
+    const int num_users = instance_.num_users();
+
+    obs::TraceSpan enumerate_span(context_.trace, "exact/candidate-generation",
+                                  "planner");
+    std::vector<ScheduleSet> per_user;
+    per_user.reserve(num_users);
+    size_t schedule_bytes = 0;
+    int64_t num_schedules = 0;
+    bool schedules_injected = false;
+    for (UserId u = 0; u < num_users; ++u) {
+      ScheduleSet set;
+      if (guard.stopped()) {
+        set.options.push_back(ScheduleOption{});
+      } else {
+        set = EnumerateSchedules(instance_, u, options_.max_schedules_per_user,
+                                 &guard);
+        schedules_injected = schedules_injected || set.injected;
+      }
+      for (const ScheduleOption& option : set.options) {
+        schedule_bytes +=
+            option.events.size() * sizeof(EventId) + sizeof(ScheduleOption);
+      }
+      num_schedules += static_cast<int64_t>(set.options.size());
+      per_user.push_back(std::move(set));
+    }
+    enumerate_span.AddArg("schedule_bytes",
+                          static_cast<int64_t>(schedule_bytes));
+    enumerate_span.AddArg("schedules", num_schedules);
+    enumerate_span.End();
+
+    StateSpaceOptions search_options;
+    search_options.max_states = options_.max_states;
+    search_options.capacity_aware_bound = options_.capacity_aware_bound;
+    StateSpaceSearch search(instance_, std::move(per_user), search_options);
+
+    obs::TraceSpan search_span(context_.trace, "exact/state-space", "planner");
+    const SearchOutcome outcome = search.Run(&guard);
+    search_span.AddArg("expansions", outcome.counters.expansions);
+    search_span.AddArg("states", outcome.counters.states);
+    search_span.AddArg("merges", outcome.counters.merges);
+    search_span.AddArg("front_width", outcome.counters.max_front_width);
+    search_span.AddArg("stop", SearchStopName(outcome.stop));
+    search_span.End();
+
+    obs::TraceSpan materialize_span(context_.trace, "exact/materialize",
+                                    "planner");
+    Planning planning(instance_);
+    for (UserId u = 0; u < num_users; ++u) {
+      // per_user was moved into the search; read the choices back through
+      // the instance-agnostic outcome instead.
+      const ScheduleOption& schedule = search.OptionOf(u, outcome.chosen[u]);
+      for (const EventId v : schedule.events) {
+        const bool assigned = planning.TryAssign(v, u);
+        USEP_CHECK(assigned) << "exact incumbent became infeasible";
+      }
+    }
+    materialize_span.End();
+
+    PlannerStats stats;
+    stats.wall_seconds = stopwatch.ElapsedSeconds();
+    stats.iterations = outcome.counters.expansions;
+    stats.guard_nodes = guard.nodes();
+    stats.logical_peak_bytes = schedule_bytes + outcome.state_bytes;
+    stats.states = outcome.counters.states;
+    stats.merges = outcome.counters.merges;
+    stats.certified_optimal = outcome.certified_optimal;
+    stats.exact_stop = SearchStopName(outcome.stop);
+
+    Termination termination = guard.reason();
+    if (termination == Termination::kCompleted) {
+      switch (outcome.stop) {
+        case SearchStop::kProvenOptimal:
+          break;
+        case SearchStop::kScheduleBudget:
+          termination = schedules_injected ? Termination::kInjectedFault
+                                           : Termination::kNodeBudget;
+          break;
+        case SearchStop::kStateBudget:
+          termination = Termination::kNodeBudget;
+          break;
+        case SearchStop::kGuardStop:
+          // guard.reason() would have said so; unreachable, but keep the
+          // conservative mapping rather than crashing in release builds.
+          termination = Termination::kNodeBudget;
+          break;
+      }
+    }
+
+    RecordSearchMetrics(outcome);
+    PlannerResult result{std::move(planning), stats, termination};
+    plan_span.AddArg("termination", TerminationName(termination));
+    plan_span.AddArg("certified",
+                     static_cast<int64_t>(stats.certified_optimal ? 1 : 0));
+    RecordPlannerRun(context_, "Exact", result);
+    return result;
+  }
+
+ private:
+  void RecordSearchMetrics(const SearchOutcome& outcome) const {
+    obs::MetricsRegistry* metrics = context_.metrics;
+    if (metrics == nullptr) return;
+    metrics->GetCounter("usep.exact.expansions")
+        ->Increment(outcome.counters.expansions);
+    metrics->GetCounter("usep.exact.states")
+        ->Increment(outcome.counters.states);
+    metrics->GetCounter("usep.exact.merges")
+        ->Increment(outcome.counters.merges);
+    metrics->GetCounter("usep.exact.pruned")
+        ->Increment(outcome.counters.pruned);
+    metrics->GetCounter(outcome.certified_optimal
+                            ? "usep.exact.certified_runs"
+                            : "usep.exact.uncertified_runs")
+        ->Increment();
+    metrics->GetGauge("usep.exact.front_width")
+        ->Set(static_cast<double>(outcome.counters.max_front_width));
+    // Bound tightness: root bound over the achieved objective (>= 1 on a
+    // certified run; exactly 1 means the bound was sharp).  0 when the
+    // optimum is the empty planning.
+    metrics->GetGauge("usep.exact.bound_tightness")
+        ->Set(outcome.objective > 0.0
+                  ? outcome.counters.root_bound / outcome.objective
+                  : 0.0);
+  }
+
+  const Instance& instance_;
+  const ExactPlanner::Options options_;
+  PlanContext context_;
+};
+
 }  // namespace
 
 PlannerResult ExactPlanner::Plan(const Instance& instance,
                                  const PlanContext& context) const {
-  return BranchAndBound(instance, options_, context).Solve();
+  if (options_.use_legacy_exact) {
+    return LegacyBranchAndBound(instance, options_, context).Solve();
+  }
+  return StateSpaceExact(instance, options_, context).Solve();
 }
 
 }  // namespace usep

@@ -7,35 +7,57 @@
 
 namespace usep {
 
-// Exact USEP solver by branch-and-bound over users, for small instances.
+// Exact USEP solver: the certified-optimum oracle of the test and benchmark
+// suites.
 //
 // USEP is NP-hard (Theorem 1; Knapsack reduces to the single-user case), so
-// this planner is exponential and exists to (a) verify the empirical
-// approximation ratios of the other planners in tests and benchmarks, and
-// (b) solve toy instances in the examples.
+// this planner is worst-case exponential and exists to (a) verify the
+// empirical approximation ratios of the other planners, (b) anchor the
+// differential suite's "never beats Exact" property, and (c) solve small
+// instances in the examples.
 //
-// Method: per user, every feasible schedule (time-ordered, within budget,
-// only mu > 0 events) is enumerated; users are then processed in order,
-// trying schedules in decreasing utility under the remaining event
-// capacities.  The bound "current utility + sum of later users'
-// capacity-ignoring best schedules" prunes the search.
+// Method (docs/EXACT.md): per user, every feasible schedule (time-ordered,
+// within budget, only mu > 0 events) is enumerated; a best-first state-space
+// search (algo/state_space.h) then assigns users layer by layer.  States are
+// keyed on the canonical residual event capacities, so two partial plannings
+// leaving the same residual world merge — only the higher-Omega one is kept
+// (dominance), which is what lets instances far beyond the legacy
+// enumerator's reach still certify.  Expansion order is best-first under an
+// admissible capacity-filtered completion bound; the first time the best
+// open f-value no longer beats the incumbent, the incumbent is optimal.
 //
-// Exceeding either budget below — or any PlanContext limit — stops the
-// search cleanly: the planner returns its best incumbent (a valid planning;
-// the all-empty one at worst) with PlannerResult::termination reporting the
-// reason.  The result is then NOT guaranteed optimal; callers that need a
-// certificate must check termination == kCompleted.
+// Exceeding any budget below — or any PlanContext limit — stops the search
+// cleanly: the planner returns its best incumbent (a valid planning; the
+// all-empty one at worst) with PlannerResult::termination reporting the
+// reason.  Optimality is then NOT certified; callers that need a certificate
+// must check PlannerStats::certified_optimal (equivalently, termination ==
+// kCompleted), and PlannerStats::exact_stop says which ceiling was hit
+// ("schedule-budget" / "state-budget" / "guard-stop").
 class ExactPlanner : public Planner {
  public:
   struct Options {
     // Stops enumeration when a user has more feasible schedules than this —
     // a guard against accidentally feeding a large instance.  The search
     // then runs over the truncated schedule sets and the result reports
-    // Termination::kNodeBudget.
+    // Termination::kNodeBudget with exact_stop == "schedule-budget".
     int64_t max_schedules_per_user = 2'000'000;
     // Search-node budget; combined with PlanContext::max_nodes (the smaller
-    // of the two nonzero limits wins).
+    // of the two nonzero limits wins).  A node is one state expansion for
+    // the state-space core, one branch-and-bound node for the legacy core.
     int64_t max_nodes = 200'000'000;
+    // Stored-state ceiling of the state-space core (0 = unlimited): the
+    // memory-bounded operation mode.  Exceeding it keeps the best-so-far
+    // planning and reports exact_stop == "state-budget".
+    int64_t max_states = 2'000'000;
+    // Use the capacity-filtered admissible bound (tighter, slightly more
+    // work per state) instead of only the capacity-ignoring suffix bound.
+    // Identical results either way; ablation/debug knob.
+    bool capacity_aware_bound = true;
+    // Run the pre-PR7 depth-first branch-and-bound core instead of the
+    // state-space search.  Kept for one PR as the differential cross-check
+    // anchor (tests/algo/differential_test.cc): wherever the legacy core
+    // certifies, the state-space core must match its objective exactly.
+    bool use_legacy_exact = false;
   };
 
   ExactPlanner() = default;

@@ -1,0 +1,496 @@
+#include "algo/state_space.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+// DFS enumerator behind EnumerateSchedules; structured exactly like the
+// legacy Exact enumerator so the two solver cores see bit-identical
+// candidate sets (utilities are accumulated in the same order, so even the
+// floating-point sums match).
+class Enumerator {
+ public:
+  Enumerator(const Instance& instance, UserId u, int64_t max_schedules,
+             PlanGuard* guard)
+      : instance_(instance),
+        u_(u),
+        budget_(instance.user(u).budget),
+        sorted_(instance.events_by_end_time()),
+        max_schedules_(max_schedules),
+        guard_(guard) {}
+
+  ScheduleSet Enumerate() {
+    set_.options.push_back(ScheduleOption{});  // The empty schedule.
+    Recurse(0, 0, 0.0);
+    set_.injected = set_.truncated && failpoint::IsArmed("exact.schedule_budget");
+    std::sort(set_.options.begin(), set_.options.end(),
+              [](const ScheduleOption& a, const ScheduleOption& b) {
+                if (a.utility != b.utility) return a.utility > b.utility;
+                return a.events < b.events;
+              });
+    for (size_t s = 0; s < set_.options.size(); ++s) {
+      if (set_.options[s].events.empty()) {
+        set_.empty_index = static_cast<int>(s);
+      }
+    }
+    return std::move(set_);
+  }
+
+ private:
+  void Recurse(int next_rank, Cost t_so_far, double utility) {
+    if (set_.truncated || guard_->stopped()) return;
+    for (int rank = next_rank; rank < instance_.num_events(); ++rank) {
+      const EventId v = sorted_[rank];
+      const double mu = instance_.utility(v, u_);
+      if (!(mu > 0.0)) continue;
+      Cost hop;
+      if (current_.empty()) {
+        hop = instance_.UserToEventCost(u_, v);
+      } else {
+        hop = instance_.TransitionCost(sorted_[current_.back()], v);
+      }
+      if (IsInfiniteCost(hop)) continue;
+      const Cost t = AddCost(t_so_far, hop);
+      if (AddCost(t, instance_.EventToUserCost(v, u_)) > budget_) continue;
+
+      if (guard_->ShouldStop()) return;
+      if (USEP_FAILPOINT("exact.schedule_budget") ||
+          static_cast<int64_t>(set_.options.size()) >= max_schedules_) {
+        set_.truncated = true;
+        return;
+      }
+
+      current_.push_back(rank);
+      ScheduleOption option;
+      option.events.reserve(current_.size());
+      for (const int r : current_) option.events.push_back(sorted_[r]);
+      option.utility = utility + mu;
+      set_.options.push_back(std::move(option));
+      Recurse(rank + 1, t, utility + mu);
+      current_.pop_back();
+      if (set_.truncated || guard_->stopped()) return;
+    }
+  }
+
+  const Instance& instance_;
+  const UserId u_;
+  const Cost budget_;
+  const std::vector<EventId>& sorted_;
+  const int64_t max_schedules_;
+  PlanGuard* const guard_;
+  std::vector<int> current_;  // Ranks on the DFS path.
+  ScheduleSet set_;
+};
+
+}  // namespace
+
+ScheduleSet EnumerateSchedules(const Instance& instance, UserId u,
+                               int64_t max_schedules, PlanGuard* guard) {
+  return Enumerator(instance, u, max_schedules, guard).Enumerate();
+}
+
+const char* SearchStopName(SearchStop stop) {
+  switch (stop) {
+    case SearchStop::kProvenOptimal:
+      return "proven-optimal";
+    case SearchStop::kScheduleBudget:
+      return "schedule-budget";
+    case SearchStop::kStateBudget:
+      return "state-budget";
+    case SearchStop::kGuardStop:
+      return "guard-stop";
+  }
+  return "unknown";
+}
+
+StateSpaceSearch::StateSpaceSearch(const Instance& instance,
+                                   std::vector<ScheduleSet> per_user,
+                                   const StateSpaceOptions& options)
+    : instance_(instance),
+      per_user_(std::move(per_user)),
+      options_(options),
+      explored_(16, Hasher{this}, KeyEq{this}) {
+  USEP_CHECK(static_cast<int>(per_user_.size()) == instance_.num_users());
+  const int num_users = instance_.num_users();
+  const int num_events = instance_.num_events();
+
+  // Tracked events: only those some schedule can actually use.  Everything
+  // else has a constant residual and would only pad the state key.
+  std::vector<char> used(static_cast<size_t>(num_events), 0);
+  for (const ScheduleSet& set : per_user_) {
+    for (const ScheduleOption& option : set.options) {
+      for (const EventId v : option.events) used[static_cast<size_t>(v)] = 1;
+    }
+  }
+  tracked_slot_.assign(static_cast<size_t>(num_events), -1);
+  for (EventId v = 0; v < num_events; ++v) {
+    if (used[static_cast<size_t>(v)]) {
+      tracked_slot_[static_cast<size_t>(v)] =
+          static_cast<int32_t>(tracked_.size());
+      tracked_.push_back(v);
+    }
+  }
+  key_width_ = static_cast<int>(tracked_.size());
+
+  // Per option, its events as tracked slots (the expansion hot loop).
+  option_slots_.resize(per_user_.size());
+  for (size_t u = 0; u < per_user_.size(); ++u) {
+    option_slots_[u].resize(per_user_[u].options.size());
+    for (size_t s = 0; s < per_user_[u].options.size(); ++s) {
+      for (const EventId v : per_user_[u].options[s].events) {
+        option_slots_[u][s].push_back(tracked_slot_[static_cast<size_t>(v)]);
+      }
+    }
+  }
+
+  // demand_[depth][slot]: how many users >= depth could attend the event at
+  // all — the canonicalization clamp.  A user contributes 1 per event that
+  // appears in any of their options.
+  demand_.assign(static_cast<size_t>(num_users) + 1,
+                 std::vector<int32_t>(static_cast<size_t>(key_width_), 0));
+  for (int u = num_users - 1; u >= 0; --u) {
+    demand_[u] = demand_[u + 1];
+    std::vector<char> mine(static_cast<size_t>(key_width_), 0);
+    for (const std::vector<int32_t>& slots : option_slots_[u]) {
+      for (const int32_t slot : slots) mine[static_cast<size_t>(slot)] = 1;
+    }
+    for (int slot = 0; slot < key_width_; ++slot) {
+      demand_[u][static_cast<size_t>(slot)] +=
+          mine[static_cast<size_t>(slot)];
+    }
+  }
+
+  // Capacity-ignoring optimum of each user suffix: the cheap bound (the
+  // options are utility-sorted, so front() is each user's unconstrained
+  // best).
+  suffix_best_.assign(static_cast<size_t>(num_users) + 1, 0.0);
+  for (int u = num_users - 1; u >= 0; --u) {
+    const double best_here =
+        per_user_[u].options.empty() ? 0.0 : per_user_[u].options.front().utility;
+    suffix_best_[u] = suffix_best_[u + 1] + best_here;
+  }
+}
+
+void StateSpaceSearch::CanonicalizeResidual(
+    std::vector<int32_t>* residual, const std::vector<int32_t>& demand) {
+  USEP_CHECK(residual->size() == demand.size());
+  for (size_t i = 0; i < residual->size(); ++i) {
+    (*residual)[i] = std::min((*residual)[i], demand[i]);
+  }
+}
+
+double StateSpaceSearch::AdmissibleBound(
+    int depth, const std::vector<int32_t>& residual) const {
+  const int num_users = instance_.num_users();
+  if (depth >= num_users) return 0.0;
+  if (!options_.capacity_aware_bound) return suffix_best_[depth];
+  double bound = 0.0;
+  for (int u = depth; u < num_users; ++u) {
+    // First (= best) option whose events all still have a seat; the empty
+    // schedule always qualifies, so the loop always settles on something.
+    for (size_t s = 0; s < option_slots_[u].size(); ++s) {
+      bool fits = true;
+      for (const int32_t slot : option_slots_[u][s]) {
+        if (residual[static_cast<size_t>(slot)] <= 0) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        bound += per_user_[u].options[s].utility;
+        break;
+      }
+    }
+  }
+  return bound;
+}
+
+size_t StateSpaceSearch::HashKey(int64_t state) const {
+  // FNV-1a over the depth and the key words.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(DepthOf(state)));
+  const int32_t* key = KeyOf(state);
+  for (int i = 0; i < key_width_; ++i) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(key[i])));
+  }
+  return static_cast<size_t>(h);
+}
+
+bool StateSpaceSearch::KeysEqual(int64_t a, int64_t b) const {
+  if (DepthOf(a) != DepthOf(b)) return false;
+  const int32_t* ka = KeyOf(a);
+  const int32_t* kb = KeyOf(b);
+  for (int i = 0; i < key_width_; ++i) {
+    if (ka[i] != kb[i]) return false;
+  }
+  return true;
+}
+
+size_t StateSpaceSearch::CurrentBytes() const {
+  return key_arena_.capacity() * sizeof(int32_t) +
+         states_.capacity() * sizeof(State) +
+         open_.capacity() * sizeof(OpenEntry) +
+         explored_.size() * (sizeof(int64_t) + 2 * sizeof(void*));
+}
+
+void StateSpaceSearch::GreedyComplete(int64_t state) {
+  const int num_users = instance_.num_users();
+  const State& from = states_[static_cast<size_t>(state)];
+  std::vector<int32_t> residual(KeyOf(state), KeyOf(state) + key_width_);
+  std::vector<int> tail;
+  tail.reserve(static_cast<size_t>(num_users - from.depth));
+  double value = from.g;
+  for (int u = from.depth; u < num_users; ++u) {
+    int pick = per_user_[u].empty_index;
+    for (size_t s = 0; s < option_slots_[u].size(); ++s) {
+      bool fits = true;
+      for (const int32_t slot : option_slots_[u][s]) {
+        if (residual[static_cast<size_t>(slot)] <= 0) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        pick = static_cast<int>(s);
+        break;
+      }
+    }
+    for (const int32_t slot : option_slots_[u][static_cast<size_t>(pick)]) {
+      --residual[static_cast<size_t>(slot)];
+    }
+    value += per_user_[u].options[static_cast<size_t>(pick)].utility;
+    tail.push_back(pick);
+  }
+  if (value > best_goal_g_) {
+    best_goal_g_ = value;
+    best_goal_ = -1;
+    best_tail_ = std::move(tail);
+    best_tail_from_ = state;
+  }
+}
+
+void StateSpaceSearch::ReconstructChoices(int64_t goal,
+                                          const std::vector<int>& tail,
+                                          std::vector<int>* chosen) const {
+  int64_t at = goal;
+  while (at >= 0) {
+    const State& state = states_[static_cast<size_t>(at)];
+    if (state.parent < 0) break;
+    (*chosen)[static_cast<size_t>(state.depth) - 1] =
+        static_cast<int>(state.choice);
+    at = state.parent;
+  }
+  if (!tail.empty()) {
+    const int from_depth = states_[static_cast<size_t>(goal)].depth;
+    for (size_t i = 0; i < tail.size(); ++i) {
+      (*chosen)[static_cast<size_t>(from_depth) + i] = tail[i];
+    }
+  }
+}
+
+SearchOutcome StateSpaceSearch::Run(PlanGuard* guard) {
+  const int num_users = instance_.num_users();
+  SearchOutcome outcome;
+  outcome.chosen.resize(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    outcome.chosen[static_cast<size_t>(u)] = per_user_[u].empty_index;
+  }
+  bool schedules_truncated = false;
+  for (const ScheduleSet& set : per_user_) {
+    schedules_truncated = schedules_truncated || set.truncated;
+  }
+
+  // The incumbent starts as the always-feasible all-empty planning.
+  best_goal_g_ = 0.0;
+  best_goal_ = -1;
+  best_tail_from_ = -1;
+
+  SearchStop stop = SearchStop::kProvenOptimal;
+  if (num_users > 0 && !guard->stopped()) {
+    // Root state: full (canonical) residual capacities, depth 0.
+    key_arena_.assign(static_cast<size_t>(key_width_), 0);
+    for (int i = 0; i < key_width_; ++i) {
+      key_arena_[static_cast<size_t>(i)] = static_cast<int32_t>(std::min<int64_t>(
+          instance_.event(tracked_[static_cast<size_t>(i)]).capacity,
+          demand_[0][static_cast<size_t>(i)]));
+    }
+    scratch_depth_ = 0;
+    states_.push_back(State{});
+    explored_.insert(0);
+    key_arena_.resize(key_arena_.size() + static_cast<size_t>(key_width_));
+    outcome.counters.states = 1;
+
+    {
+      std::vector<int32_t> root_residual(KeyOf(0), KeyOf(0) + key_width_);
+      outcome.counters.root_bound = AdmissibleBound(0, root_residual);
+    }
+    open_.push_back(OpenEntry{outcome.counters.root_bound, 0.0, 0});
+
+    std::vector<int32_t> residual(static_cast<size_t>(key_width_));
+    bool state_budget_hit = false;
+    while (!open_.empty()) {
+      outcome.counters.max_front_width = std::max(
+          outcome.counters.max_front_width,
+          static_cast<int64_t>(open_.size()));
+      std::pop_heap(open_.begin(), open_.end(), OpenOrder{});
+      const OpenEntry top = open_.back();
+      open_.pop_back();
+      State& state = states_[static_cast<size_t>(top.state)];
+      if (top.g != state.g) continue;  // Stale: a better path merged in.
+      if (top.f <= best_goal_g_) {
+        // Best-first: nothing left in the open list can strictly beat the
+        // incumbent, so it is the optimum.
+        break;
+      }
+      if (USEP_FAILPOINT("exact.node_budget")) {
+        guard->ForceStop(Termination::kInjectedFault);
+      }
+      if (guard->ShouldStop()) {
+        stop = SearchStop::kGuardStop;
+        GreedyComplete(top.state);
+        break;
+      }
+
+      ++outcome.counters.expansions;
+      state.expanded = true;
+      const int depth = state.depth;
+      const double g = state.g;
+      residual.assign(KeyOf(top.state), KeyOf(top.state) + key_width_);
+      const std::vector<ScheduleOption>& options = per_user_[depth].options;
+      for (size_t s = 0; s < options.size(); ++s) {
+        const double child_g = g + options[s].utility;
+        if (child_g + suffix_best_[depth + 1] <= best_goal_g_) {
+          // Options are utility-sorted: nothing below can improve either.
+          break;
+        }
+        const std::vector<int32_t>& slots = option_slots_[depth][s];
+        bool fits = true;
+        for (const int32_t slot : slots) {
+          if (residual[static_cast<size_t>(slot)] <= 0) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) continue;
+
+        // Build the child's canonical key in the scratch slot.
+        int32_t* scratch =
+            key_arena_.data() + states_.size() * static_cast<size_t>(key_width_);
+        const std::vector<int32_t>& clamp = demand_[depth + 1];
+        for (int i = 0; i < key_width_; ++i) {
+          scratch[i] = std::min(residual[static_cast<size_t>(i)],
+                                clamp[static_cast<size_t>(i)]);
+        }
+        for (const int32_t slot : slots) {
+          scratch[slot] = std::min(residual[static_cast<size_t>(slot)] - 1,
+                                   clamp[static_cast<size_t>(slot)]);
+        }
+        scratch_depth_ = depth + 1;
+
+        const int64_t scratch_index = static_cast<int64_t>(states_.size());
+        const auto it = explored_.find(scratch_index);
+        if (it != explored_.end()) {
+          // Dominance merge: same residual state — keep the higher Omega
+          // and drop the other subtree.
+          ++outcome.counters.merges;
+          State& existing = states_[static_cast<size_t>(*it)];
+          if (child_g > existing.g) {
+            existing.g = child_g;
+            existing.parent = top.state;
+            existing.choice = static_cast<int32_t>(s);
+            if (depth + 1 == num_users) {
+              best_goal_g_ = child_g;
+              best_goal_ = *it;
+              best_tail_from_ = -1;
+            } else {
+              const std::vector<int32_t> child_residual(
+                  scratch, scratch + key_width_);
+              const double f =
+                  child_g + AdmissibleBound(depth + 1, child_residual);
+              if (f > best_goal_g_) {
+                // Consistency makes a post-expansion improvement
+                // impossible, but re-opening is cheap insurance.
+                existing.expanded = false;
+                open_.push_back(OpenEntry{f, child_g, *it});
+                std::push_heap(open_.begin(), open_.end(), OpenOrder{});
+              } else {
+                ++outcome.counters.pruned;
+              }
+            }
+          }
+          continue;
+        }
+
+        if (options_.max_states > 0 &&
+            static_cast<int64_t>(states_.size()) >= options_.max_states) {
+          state_budget_hit = true;
+          break;
+        }
+
+        State child;
+        child.g = child_g;
+        child.parent = top.state;
+        child.choice = static_cast<int32_t>(s);
+        child.depth = depth + 1;
+        states_.push_back(child);
+        explored_.insert(scratch_index);
+        key_arena_.resize(key_arena_.size() + static_cast<size_t>(key_width_));
+        ++outcome.counters.states;
+
+        if (depth + 1 == num_users) {
+          if (child_g > best_goal_g_) {
+            best_goal_g_ = child_g;
+            best_goal_ = scratch_index;
+            best_tail_from_ = -1;
+          }
+        } else {
+          const int32_t* child_key = KeyOf(scratch_index);
+          const std::vector<int32_t> child_residual(child_key,
+                                                    child_key + key_width_);
+          const double f = child_g + AdmissibleBound(depth + 1, child_residual);
+          if (f > best_goal_g_) {
+            open_.push_back(OpenEntry{f, child_g, scratch_index});
+            std::push_heap(open_.begin(), open_.end(), OpenOrder{});
+          } else {
+            ++outcome.counters.pruned;
+          }
+        }
+      }
+      if (state_budget_hit) {
+        stop = SearchStop::kStateBudget;
+        GreedyComplete(top.state);
+        break;
+      }
+    }
+  } else if (guard->stopped()) {
+    stop = SearchStop::kGuardStop;
+  }
+
+  if (stop == SearchStop::kProvenOptimal && schedules_truncated) {
+    // The search was exact over what it was given, but enumeration withheld
+    // schedules: the certificate does not extend to the instance.
+    stop = SearchStop::kScheduleBudget;
+  }
+
+  outcome.stop = stop;
+  outcome.certified_optimal = stop == SearchStop::kProvenOptimal;
+  outcome.objective = best_goal_g_;
+  outcome.state_bytes = CurrentBytes();
+  if (best_goal_ >= 0) {
+    ReconstructChoices(best_goal_, {}, &outcome.chosen);
+  } else if (best_tail_from_ >= 0) {
+    ReconstructChoices(best_tail_from_, best_tail_, &outcome.chosen);
+  }
+  return outcome;
+}
+
+}  // namespace usep

@@ -1,0 +1,235 @@
+#ifndef USEP_ALGO_STATE_SPACE_H_
+#define USEP_ALGO_STATE_SPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "algo/plan_context.h"
+#include "core/instance.h"
+
+namespace usep {
+
+// Best-first state-space search core of the Exact planner (docs/EXACT.md).
+//
+// The search is layered by user: a state at depth u is "users 0..u-1 have
+// committed to one feasible schedule each", identified purely by the
+// residual event capacities that commitment leaves behind.  Two partial
+// plannings with the same depth and the same canonical residual vector are
+// interchangeable for every completion, so only the higher-Omega one is kept
+// (dominance merging) — this is what collapses the legacy enumerator's
+// exponential per-user product into a space bounded by the number of
+// distinct residual vectors, and what extends the certified-optimum
+// envelope by orders of magnitude on capacity-contended instances.
+//
+// Expansion is best-first on f = g + h where g is the utility committed so
+// far and h is an admissible (never-underestimating is the *maximization*
+// reading: never OVERshot by reality) completion bound: per remaining user,
+// the best schedule that fits entirely inside events with residual capacity
+// left, falling back to the unconstrained per-user optimum (the classic
+// capacity-ignoring suffix bound, which is also used as a cheap pre-filter).
+// h is consistent — shrinking residuals can only shrink it — so the first
+// time a state is popped its g is optimal and no reopening occurs; the
+// defensive re-push on a late g-improvement is retained regardless.
+
+// A feasible single-user schedule with its utility: one action of the
+// layered search (layer u chooses one ScheduleOption for user u).
+struct ScheduleOption {
+  std::vector<EventId> events;  // Time-ordered.
+  double utility = 0.0;
+};
+
+// Every feasible schedule of one user, utility-descending (ties broken by
+// the event list) with the empty schedule always present.
+struct ScheduleSet {
+  std::vector<ScheduleOption> options;
+  int empty_index = 0;   // Position of the empty schedule in `options`.
+  bool truncated = false;  // Enumeration hit `max_schedules` and gave up.
+  bool injected = false;   // The truncation came from an armed failpoint.
+};
+
+// Depth-first enumeration of every feasible schedule of `u` (including the
+// empty one), stopping early — leaving a truncated but individually-feasible
+// set — when the schedule budget is exhausted, the guard fires, or the
+// "exact.schedule_budget" failpoint is armed.  Deterministic: events are
+// tried in end-time order and the result is sorted utility-descending.
+ScheduleSet EnumerateSchedules(const Instance& instance, UserId u,
+                               int64_t max_schedules, PlanGuard* guard);
+
+struct StateSpaceOptions {
+  // Stored-state ceiling (0 = unlimited).  When creating one more state
+  // would exceed it the search stops, keeps its best-so-far planning, and
+  // reports SearchStop::kStateBudget — the memory-bounded operation mode.
+  int64_t max_states = 0;
+
+  // Use the capacity-filtered per-user completion bound.  Disabling falls
+  // back to the unconstrained suffix bound everywhere (admissible but
+  // looser); results are identical, only the work changes (ablation knob).
+  bool capacity_aware_bound = true;
+};
+
+// Search telemetry, exported through PlannerStats and the usep.exact.*
+// metrics (docs/OBSERVABILITY.md).
+struct SearchCounters {
+  int64_t expansions = 0;       // States popped and expanded.
+  int64_t states = 0;           // Distinct states stored.
+  int64_t merges = 0;           // Dominance merges into an existing state.
+  int64_t pruned = 0;           // Children discarded by the incumbent bound.
+  int64_t max_front_width = 0;  // Peak open-list size.
+  double root_bound = 0.0;      // Admissible bound at the root state.
+};
+
+// Why the search ended.  Everything except kProvenOptimal means the
+// returned planning is best-so-far, not certified.
+enum class SearchStop {
+  kProvenOptimal = 0,
+  kScheduleBudget,  // A user's enumeration was truncated up front.
+  kStateBudget,     // StateSpaceOptions::max_states tripped.
+  kGuardStop,       // Deadline / cancellation / node / memory / failpoint.
+};
+
+// Stable lowercase name, e.g. "proven-optimal".
+const char* SearchStopName(SearchStop stop);
+
+struct SearchOutcome {
+  // Per user, the index of the chosen option in that user's ScheduleSet.
+  std::vector<int> chosen;
+  double objective = 0.0;
+  bool certified_optimal = false;
+  SearchStop stop = SearchStop::kProvenOptimal;
+  SearchCounters counters;
+  size_t state_bytes = 0;  // Working-set estimate (keys + states + queue).
+};
+
+class StateSpaceSearch {
+ public:
+  // `per_user` must hold one ScheduleSet per user of `instance` (options
+  // sorted utility-descending, as EnumerateSchedules produces).
+  StateSpaceSearch(const Instance& instance,
+                   std::vector<ScheduleSet> per_user,
+                   const StateSpaceOptions& options);
+
+  // Runs the search under `guard`.  Always returns a feasible choice vector
+  // (the all-empty planning at worst); certified_optimal is true only when
+  // the search exhausted or bounded away every alternative.
+  SearchOutcome Run(PlanGuard* guard);
+
+  // The option `index` of user `u` — how callers that moved their
+  // ScheduleSets into the search read the chosen schedules back.
+  const ScheduleOption& OptionOf(UserId u, int index) const {
+    return per_user_[u].options[static_cast<size_t>(index)];
+  }
+
+  // --- Internals exposed for tests/algo/state_space_test.cc --------------
+
+  // Canonicalizes a residual-capacity vector in place: each entry is
+  // clamped to the remaining demand (how many not-yet-planned users could
+  // still use the event).  Capacity beyond remaining demand can never bind,
+  // so states differing only in such surplus merge into one key.
+  static void CanonicalizeResidual(std::vector<int32_t>* residual,
+                                   const std::vector<int32_t>& demand);
+
+  // The admissible completion bound for users `depth`.. given `residual`
+  // capacities over tracked events (see tracked_events()).  Never below the
+  // utility of any feasible completion.
+  double AdmissibleBound(int depth, const std::vector<int32_t>& residual) const;
+
+  // Capacity-ignoring optimum of the user suffix starting at `depth` — the
+  // cheap upper envelope of AdmissibleBound.
+  double SuffixBound(int depth) const { return suffix_best_[depth]; }
+
+  // Events that appear in at least one non-empty schedule: the only ones a
+  // state key needs to track.
+  const std::vector<EventId>& tracked_events() const { return tracked_; }
+
+  // Remaining demand per tracked event for states at `depth`.
+  const std::vector<int32_t>& DemandAt(int depth) const {
+    return demand_[depth];
+  }
+
+ private:
+  struct State {
+    double g = 0.0;       // Best known committed utility reaching this state.
+    int64_t parent = -1;  // State index one layer up; -1 for the root.
+    int32_t choice = -1;  // Option index the parent's user committed to.
+    int32_t depth = 0;    // Users 0..depth-1 are committed.
+    bool expanded = false;
+  };
+
+  // Open-list entry; stale when `g` no longer matches the state's g.
+  struct OpenEntry {
+    double f = 0.0;
+    double g = 0.0;
+    int64_t state = 0;
+  };
+  struct OpenOrder {
+    // Max-f first; ties prefer deeper g (closer to a goal), then the
+    // earlier-created state — all deterministic.
+    bool operator()(const OpenEntry& a, const OpenEntry& b) const {
+      if (a.f != b.f) return a.f < b.f;
+      if (a.g != b.g) return a.g < b.g;
+      return a.state > b.state;
+    }
+  };
+
+  size_t HashKey(int64_t state) const;
+  bool KeysEqual(int64_t a, int64_t b) const;
+  struct Hasher {
+    const StateSpaceSearch* search;
+    size_t operator()(int64_t state) const { return search->HashKey(state); }
+  };
+  struct KeyEq {
+    const StateSpaceSearch* search;
+    bool operator()(int64_t a, int64_t b) const {
+      return search->KeysEqual(a, b);
+    }
+  };
+
+  // Key words of state `i` (or of the scratch slot for i == states_.size()).
+  const int32_t* KeyOf(int64_t state) const {
+    return key_arena_.data() + static_cast<size_t>(state) * key_width_;
+  }
+  int32_t DepthOf(int64_t state) const {
+    return state == static_cast<int64_t>(states_.size())
+               ? scratch_depth_
+               : states_[static_cast<size_t>(state)].depth;
+  }
+
+  // Greedily completes a partial state (first fitting option per remaining
+  // user) and, when that beats the incumbent, installs it as best-so-far.
+  void GreedyComplete(int64_t state);
+
+  void ReconstructChoices(int64_t goal, const std::vector<int>& tail,
+                          std::vector<int>* chosen) const;
+
+  size_t CurrentBytes() const;
+
+  const Instance& instance_;
+  const std::vector<ScheduleSet> per_user_;
+  const StateSpaceOptions options_;
+
+  std::vector<EventId> tracked_;       // Events any schedule touches.
+  std::vector<int32_t> tracked_slot_;  // [event] -> index in tracked_, or -1.
+  // Per option, the tracked-slot list of its events (flattened elsewhere is
+  // overkill at these sizes; per-user vectors keep it readable).
+  std::vector<std::vector<std::vector<int32_t>>> option_slots_;
+  std::vector<std::vector<int32_t>> demand_;  // [depth][slot].
+  std::vector<double> suffix_best_;           // [depth].
+
+  int key_width_ = 0;                 // Words per key: tracked_.size().
+  std::vector<int32_t> key_arena_;    // states_.size()+1 slots (last=scratch).
+  int32_t scratch_depth_ = 0;
+  std::vector<State> states_;
+  std::unordered_set<int64_t, Hasher, KeyEq> explored_;
+  std::vector<OpenEntry> open_;  // Binary heap under OpenOrder.
+
+  double best_goal_g_ = 0.0;
+  int64_t best_goal_ = -1;            // Goal state index, when one was found.
+  std::vector<int> best_tail_;        // Greedy-completion suffix choices.
+  int64_t best_tail_from_ = -1;       // State the tail completes (-1: unused).
+};
+
+}  // namespace usep
+
+#endif  // USEP_ALGO_STATE_SPACE_H_

@@ -16,6 +16,16 @@ void PlannerStats::MergeFrom(const PlannerStats& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_invalidations += other.cache_invalidations;
+  states += other.states;
+  merges += other.merges;
+  if (!other.exact_stop.empty()) {
+    // An aggregate is certified only when every folded EXACT run was
+    // (sides that ran no exact solve — empty exact_stop — don't weigh in).
+    certified_optimal =
+        other.certified_optimal && (exact_stop.empty() || certified_optimal);
+    if (!exact_stop.empty()) exact_stop += "; ";
+    exact_stop += other.exact_stop;
+  }
   if (!other.fallback_rung.empty()) {
     if (!fallback_rung.empty()) fallback_rung += "; ";
     fallback_rung += other.fallback_rung;
@@ -37,6 +47,12 @@ std::string PlannerStats::ToString() const {
                       (long long)cache_hits,
                       (long long)(cache_hits + cache_misses),
                       (long long)cache_invalidations);
+  }
+  if (!exact_stop.empty()) {
+    text += StrFormat(", exact=[%s%s, states=%lld, merges=%lld]",
+                      certified_optimal ? "certified, " : "",
+                      exact_stop.c_str(), (long long)states,
+                      (long long)merges);
   }
   if (!fallback_trace.empty()) {
     text += StrFormat(", fallback=[%s]", fallback_trace.c_str());

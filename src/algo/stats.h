@@ -27,6 +27,26 @@ struct PlannerStats {
   int64_t cache_misses = 0;
   int64_t cache_invalidations = 0;
 
+  // State-space Exact solver telemetry (algo/state_space.h; zero for every
+  // other planner).  `states` counts distinct stored residual states,
+  // `merges` counts dominance merges (a partial planning folded into an
+  // already-known residual state, keeping the higher Omega).
+  int64_t states = 0;
+  int64_t merges = 0;
+
+  // True when the producing planner PROVED its planning optimal — Exact
+  // with an uncut search.  The differential and approximation oracles key
+  // on this rather than on Termination, which cannot distinguish "the
+  // planner finished" from "the planner finished AND certifies optimality"
+  // for heuristics.
+  bool certified_optimal = false;
+
+  // Why the Exact solver stopped, disambiguating what Termination conflates
+  // (a schedule-enumeration budget, a state budget, and a guard node budget
+  // all surface as kNodeBudget): "proven-optimal", "schedule-budget",
+  // "state-budget" or "guard-stop".  Empty for every other planner.
+  std::string exact_stop;
+
   // Filled by FallbackPlanner only: which rung of the chain produced the
   // returned planning, and the full descent, e.g.
   // "Exact:node-budget -> DeDPO+RG:completed".

@@ -17,6 +17,10 @@ void WriteRun(JsonWriter* json, const PlannerRunReport& run) {
   json->KvInt("heap_pushes", run.heap_pushes);
   json->KvInt("dp_cells", run.dp_cells);
   json->KvInt("guard_nodes", run.guard_nodes);
+  json->KvInt("states", run.states);
+  json->KvInt("merges", run.merges);
+  json->KvBool("certified_optimal", run.certified_optimal);
+  json->KvString("exact_stop", run.exact_stop);
   json->KvUint("logical_peak_bytes", run.logical_peak_bytes);
   json->KvString("fallback_rung", run.fallback_rung);
   json->KvString("fallback_trace", run.fallback_trace);

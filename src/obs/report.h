@@ -35,6 +35,11 @@ struct PlannerRunReport {
   int64_t heap_pushes = 0;
   int64_t dp_cells = 0;
   int64_t guard_nodes = 0;
+  // Exact state-space core (zero/empty for every other planner).
+  int64_t states = 0;
+  int64_t merges = 0;
+  bool certified_optimal = false;
+  std::string exact_stop;
   uint64_t logical_peak_bytes = 0;
   std::string fallback_rung;
   std::string fallback_trace;

@@ -130,6 +130,43 @@ TEST_P(DifferentialTest, IndexedPlannersMatchLegacyScans) {
   }
 }
 
+// The state-space Exact core (PR7) against the legacy depth-first
+// enumerator it replaced: on every instance the legacy core certifies, the
+// new core must certify too and produce the exact same objective.  The
+// comparison refolds both objectives the way the search cores accumulate
+// (per-user left-folds summed in user order), so bit equality — not a
+// tolerance — is the assertion; both cores maximize over the identical set
+// of fold values, so even utility ties cannot make the bits differ.
+TEST_P(DifferentialTest, StateSpaceExactMatchesLegacyWhereLegacyCertifies) {
+  ExactPlanner::Options legacy_options;
+  legacy_options.use_legacy_exact = true;
+  for (const Regime& regime : kRegimes) {
+    const Instance instance = MakeRegimeInstance(regime, GetParam());
+    const std::string where =
+        std::string(regime.name) + " seed=" + std::to_string(GetParam());
+
+    const PlannerResult legacy = ExactPlanner(legacy_options).Plan(instance);
+    if (!legacy.stats.certified_optimal) continue;  // Legacy gave up: moot.
+
+    const PlannerResult fresh = ExactPlanner().Plan(instance);
+    ASSERT_TRUE(fresh.stats.certified_optimal) << where;
+    ASSERT_TRUE(testing::IsValidPlanning(instance, fresh.planning)) << where;
+
+    const auto refold = [&instance](const Planning& planning) {
+      double total = 0.0;
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        double schedule_utility = 0.0;
+        for (EventId v : planning.schedule(u).events()) {
+          schedule_utility += instance.utility(v, u);
+        }
+        total += schedule_utility;
+      }
+      return total;
+    };
+    EXPECT_EQ(refold(fresh.planning), refold(legacy.planning)) << where;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(0, 40));
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "algo/planner_registry.h"
 #include "core/instance_builder.h"
 #include "core/validation.h"
 #include "gen/synthetic_generator.h"
@@ -163,6 +166,123 @@ TEST(ExactGuardTest, GenerousBudgetsStillReachTheOptimum) {
   const PlannerResult result = ExactPlanner(options).Plan(instance);
   EXPECT_EQ(result.termination, Termination::kCompleted);
   EXPECT_NEAR(result.planning.total_utility(), 1.4, 1e-9);
+}
+
+// --- exact_stop disambiguation -------------------------------------------
+//
+// Termination alone conflates three different ceilings as kNodeBudget (the
+// schedule-enumeration budget, the stored-state budget, and the guard's
+// node budget).  PlannerStats::exact_stop tells them apart; these pin each
+// value, plus the certification flag that keys the oracle suites.
+
+TEST(ExactStopTest, UncutRunIsProvenOptimal) {
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_TRUE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "proven-optimal");
+  EXPECT_GT(result.stats.states, 0);
+}
+
+TEST(ExactStopTest, ScheduleBudgetTruncationIsNotAGuardStop) {
+  // Regression for the conflation bug: a truncated enumeration used to be
+  // indistinguishable from the guard's node budget tripping mid-search.
+  ExactPlanner::Options options;
+  options.max_schedules_per_user = 1;  // Only the empty schedule survives.
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_FALSE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "schedule-budget");
+}
+
+TEST(ExactStopTest, StateBudgetReportsItsOwnName) {
+  ExactPlanner::Options options;
+  options.max_states = 1;
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_FALSE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "state-budget");
+}
+
+TEST(ExactStopTest, GuardNodeBudgetReportsGuardStop) {
+  ExactPlanner::Options options;
+  options.max_nodes = 1;
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_FALSE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "guard-stop");
+}
+
+TEST(ExactStopTest, LegacyCoreReportsTheSameVocabulary) {
+  ExactPlanner::Options options;
+  options.use_legacy_exact = true;
+  const Instance instance = testing::MakeTable1Instance();
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_TRUE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "proven-optimal");
+}
+
+// --- state-space vs legacy parity ----------------------------------------
+
+// Folds a planning's objective the way both search cores do — one per-user
+// schedule utility at a time, each a left-fold over its events — so the
+// comparison below can demand bit equality.  Both cores maximize over the
+// identical set of fold values, so even utility ties cannot produce
+// different bits.
+double RefoldObjective(const Instance& instance, const Planning& planning) {
+  double total = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    double schedule_utility = 0.0;
+    for (EventId v : planning.schedule(u).events()) {
+      schedule_utility += instance.utility(v, u);
+    }
+    total += schedule_utility;
+  }
+  return total;
+}
+
+class ExactParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactParityTest, StateSpaceCoreMatchesLegacyBitForBit) {
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::SmallRandomConfig(GetParam()));
+  ASSERT_TRUE(instance.ok());
+
+  ExactPlanner::Options legacy_options;
+  legacy_options.use_legacy_exact = true;
+  const PlannerResult fresh = ExactPlanner().Plan(*instance);
+  const PlannerResult legacy = ExactPlanner(legacy_options).Plan(*instance);
+  ASSERT_TRUE(fresh.stats.certified_optimal);
+  ASSERT_TRUE(legacy.stats.certified_optimal);
+  EXPECT_EQ(RefoldObjective(*instance, fresh.planning),
+            RefoldObjective(*instance, legacy.planning))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactParityTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+TEST(ExactParityTest, ObjectiveIsInvariantAcrossThreadCounts) {
+  // Exact has no parallel inner loops, but the registry contract ("plannings
+  // are bit-identical at every thread count") must still hold through the
+  // MakePlanner(kind, parallel) path.
+  const Instance instance = testing::MakeTable1Instance();
+  double reference = -1.0;
+  for (int threads : {1, 2, 8}) {
+    ParallelConfig parallel;
+    parallel.num_threads = threads;
+    const std::unique_ptr<Planner> planner =
+        MakePlanner(PlannerKind::kExact, parallel);
+    const PlannerResult result = planner->Plan(instance);
+    EXPECT_TRUE(result.stats.certified_optimal);
+    const double objective = RefoldObjective(instance, result.planning);
+    if (reference < 0.0) reference = objective;
+    EXPECT_EQ(objective, reference) << threads << " threads";
+  }
 }
 
 }  // namespace

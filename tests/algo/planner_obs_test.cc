@@ -81,7 +81,7 @@ TEST(PlannerObsTest, PlannersEmitPhaseSpansWithNesting) {
   const obs::TraceEvent* exact = FindSpan(events, "plan/Exact");
   ASSERT_NE(exact, nullptr);
   for (const char* phase :
-       {"exact/candidate-generation", "exact/branch-and-bound",
+       {"exact/candidate-generation", "exact/state-space",
         "exact/materialize"}) {
     const obs::TraceEvent* sub = FindSpan(events, phase);
     ASSERT_NE(sub, nullptr) << phase;

@@ -1,0 +1,282 @@
+#include "algo/state_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algo/exact.h"
+#include "algo/plan_context.h"
+#include "common/failpoint.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+class StateSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// Enumerates every user's schedule set the way ExactPlanner does.
+std::vector<ScheduleSet> EnumerateAll(const Instance& instance,
+                                      PlanGuard* guard) {
+  std::vector<ScheduleSet> per_user;
+  per_user.reserve(instance.num_users());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    per_user.push_back(
+        EnumerateSchedules(instance, u, /*max_schedules=*/1 << 20, guard));
+  }
+  return per_user;
+}
+
+// Reference optimum from the legacy depth-first core.  Refolded the way
+// both search cores accumulate — one per-user schedule utility at a time,
+// each itself a left-fold over the schedule's events — so == comparisons
+// against SearchOutcome::objective are bit-safe (Planning::total_utility
+// folds per-event across users, a different FP grouping).
+double LegacyOptimum(const Instance& instance) {
+  ExactPlanner::Options options;
+  options.use_legacy_exact = true;
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kCompleted);
+  EXPECT_TRUE(result.stats.certified_optimal);
+  double total = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    double schedule_utility = 0.0;
+    for (EventId v : result.planning.schedule(u).events()) {
+      schedule_utility += instance.utility(v, u);
+    }
+    total += schedule_utility;
+  }
+  return total;
+}
+
+TEST_F(StateSpaceTest, EnumerationIsSortedAndContainsTheEmptySchedule) {
+  const Instance instance = testing::MakeTable1Instance();
+  PlanContext context;
+  PlanGuard guard(context);
+  const std::vector<ScheduleSet> per_user = EnumerateAll(instance, &guard);
+  ASSERT_EQ(per_user.size(), static_cast<size_t>(instance.num_users()));
+  for (const ScheduleSet& set : per_user) {
+    EXPECT_FALSE(set.truncated);
+    ASSERT_FALSE(set.options.empty());
+    ASSERT_GE(set.empty_index, 0);
+    ASSERT_LT(set.empty_index, static_cast<int>(set.options.size()));
+    EXPECT_TRUE(set.options[set.empty_index].events.empty());
+    EXPECT_EQ(set.options[set.empty_index].utility, 0.0);
+    for (size_t i = 1; i < set.options.size(); ++i) {
+      EXPECT_GE(set.options[i - 1].utility, set.options[i].utility);
+    }
+  }
+}
+
+TEST_F(StateSpaceTest, CanonicalizeResidualClampsToRemainingDemand) {
+  // Capacity beyond what the remaining users could ever consume is surplus:
+  // it must not distinguish state keys.
+  std::vector<int32_t> residual = {5, 2, 0, 7};
+  const std::vector<int32_t> demand = {3, 4, 1, 0};
+  StateSpaceSearch::CanonicalizeResidual(&residual, demand);
+  EXPECT_EQ(residual, (std::vector<int32_t>{3, 2, 0, 0}));
+}
+
+TEST_F(StateSpaceTest, DemandVanishesAtTheGoalLayer) {
+  // At depth == num_users no user remains, so every canonical goal key is
+  // all-zero — all goals merge into a single state.
+  const Instance instance = testing::MakeTable1Instance();
+  PlanContext context;
+  PlanGuard guard(context);
+  StateSpaceSearch search(instance, EnumerateAll(instance, &guard), {});
+  const std::vector<int32_t>& goal_demand =
+      search.DemandAt(instance.num_users());
+  for (int32_t d : goal_demand) EXPECT_EQ(d, 0);
+  // And demand is monotone non-increasing in depth, slot by slot.
+  for (int depth = 1; depth <= instance.num_users(); ++depth) {
+    const std::vector<int32_t>& prev = search.DemandAt(depth - 1);
+    const std::vector<int32_t>& cur = search.DemandAt(depth);
+    ASSERT_EQ(prev.size(), cur.size());
+    for (size_t i = 0; i < cur.size(); ++i) EXPECT_LE(cur[i], prev[i]);
+  }
+}
+
+TEST_F(StateSpaceTest, AdmissibleBoundNeverBelowTheOptimum) {
+  // On every small random instance the root bound (both flavors) must be an
+  // upper bound on the certified optimum, and the capacity-aware bound must
+  // never exceed the capacity-ignoring suffix bound.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const StatusOr<Instance> instance =
+        GenerateSyntheticInstance(testing::SmallRandomConfig(seed));
+    ASSERT_TRUE(instance.ok());
+    const double opt = LegacyOptimum(*instance);
+
+    PlanContext context;
+    PlanGuard guard(context);
+    StateSpaceSearch search(*instance, EnumerateAll(*instance, &guard), {});
+    std::vector<int32_t> residual(search.tracked_events().size());
+    for (size_t i = 0; i < residual.size(); ++i) {
+      residual[i] = instance->event(search.tracked_events()[i]).capacity;
+    }
+    StateSpaceSearch::CanonicalizeResidual(&residual, search.DemandAt(0));
+    const double bound = search.AdmissibleBound(0, residual);
+    EXPECT_GE(bound, opt - 1e-12) << "seed " << seed;
+    EXPECT_LE(bound, search.SuffixBound(0) + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST_F(StateSpaceTest, SearchMatchesTheLegacyObjectiveExactly) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const StatusOr<Instance> instance =
+        GenerateSyntheticInstance(testing::SmallRandomConfig(seed));
+    ASSERT_TRUE(instance.ok());
+    PlanContext context;
+    PlanGuard guard(context);
+    StateSpaceSearch search(*instance, EnumerateAll(*instance, &guard), {});
+    const SearchOutcome outcome = search.Run(&guard);
+    EXPECT_TRUE(outcome.certified_optimal);
+    EXPECT_EQ(outcome.stop, SearchStop::kProvenOptimal);
+    // Bit-identical, not approximately equal: both cores sum the same
+    // per-schedule utilities.
+    EXPECT_EQ(outcome.objective, LegacyOptimum(*instance)) << "seed " << seed;
+  }
+}
+
+TEST_F(StateSpaceTest, DominanceMergingFiresOnCapacityContendedInstances) {
+  // Many users competing for few event seats produce lots of identical
+  // residual vectors; the merge counter must show the collapse, and merging
+  // must not change the certified objective.
+  GeneratorConfig config = testing::SmallRandomConfig(7);
+  config.num_events = 3;
+  config.num_users = 8;
+  const StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+
+  PlanContext context;
+  PlanGuard guard(context);
+  StateSpaceSearch search(*instance, EnumerateAll(*instance, &guard), {});
+  const SearchOutcome outcome = search.Run(&guard);
+  EXPECT_TRUE(outcome.certified_optimal);
+  EXPECT_GT(outcome.counters.merges, 0);
+  EXPECT_GT(outcome.counters.states, 0);
+  EXPECT_GT(outcome.counters.expansions, 0);
+  EXPECT_GE(outcome.counters.root_bound, outcome.objective - 1e-12);
+  EXPECT_EQ(outcome.objective, LegacyOptimum(*instance));
+}
+
+TEST_F(StateSpaceTest, MergeKeepsTheHigherOmegaArrival) {
+  // Two users, one single-seat event both want: the search reaches the
+  // depth-2 residual state "seat taken" twice (u0 takes it / u1 takes it)
+  // and must keep the higher-utility arrival.  MakeTinyMatrixInstance pins
+  // exactly this shape (v0 capacity 1, disjoint events).
+  const Instance instance = testing::MakeTinyMatrixInstance();
+  PlanContext context;
+  PlanGuard guard(context);
+  StateSpaceSearch search(instance, EnumerateAll(instance, &guard), {});
+  const SearchOutcome outcome = search.Run(&guard);
+  EXPECT_TRUE(outcome.certified_optimal);
+  EXPECT_EQ(outcome.objective, LegacyOptimum(instance));
+}
+
+TEST_F(StateSpaceTest, StateBudgetStopKeepsAValidBestSoFar) {
+  const Instance instance = testing::MakeTable1Instance();
+  const double opt = LegacyOptimum(instance);
+
+  ExactPlanner::Options options;
+  options.max_states = 2;  // Far below what certification needs.
+  const PlannerResult result = ExactPlanner(options).Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kNodeBudget);
+  EXPECT_FALSE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "state-budget");
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
+  // Anytime contract: the best-so-far planning carries real utility and
+  // never beats the optimum.
+  EXPECT_GT(result.planning.total_utility(), 0.0);
+  EXPECT_LE(result.planning.total_utility(), opt + 1e-12);
+}
+
+TEST_F(StateSpaceTest, GuardStopKeepsAValidBestSoFar) {
+  const Instance instance = testing::MakeTable1Instance();
+  const double opt = LegacyOptimum(instance);
+
+  failpoint::ScopedArm arm("exact.node_budget");
+  const PlannerResult result = ExactPlanner().Plan(instance);
+  EXPECT_EQ(result.termination, Termination::kInjectedFault);
+  EXPECT_FALSE(result.stats.certified_optimal);
+  EXPECT_EQ(result.stats.exact_stop, "guard-stop");
+  EXPECT_TRUE(testing::IsValidPlanning(instance, result.planning));
+  EXPECT_GT(result.planning.total_utility(), 0.0);
+  EXPECT_LE(result.planning.total_utility(), opt + 1e-12);
+}
+
+TEST_F(StateSpaceTest, CapacityAwareBoundIsAnAblationOnlyKnob) {
+  // Disabling the capacity-filtered bound must never change the certified
+  // objective, only the amount of work.
+  for (uint64_t seed = 31; seed <= 40; ++seed) {
+    const StatusOr<Instance> instance =
+        GenerateSyntheticInstance(testing::SmallRandomConfig(seed));
+    ASSERT_TRUE(instance.ok());
+
+    ExactPlanner::Options loose;
+    loose.capacity_aware_bound = false;
+    const PlannerResult tight_result = ExactPlanner().Plan(*instance);
+    const PlannerResult loose_result = ExactPlanner(loose).Plan(*instance);
+    ASSERT_TRUE(tight_result.stats.certified_optimal);
+    ASSERT_TRUE(loose_result.stats.certified_optimal);
+    EXPECT_EQ(tight_result.planning.total_utility(),
+              loose_result.planning.total_utility())
+        << "seed " << seed;
+  }
+}
+
+TEST_F(StateSpaceTest, CertifiedObjectiveIsDeterministicAcrossReruns) {
+  // Same instance, repeated runs: identical chosen vector, identical
+  // objective bits, identical counters.  The search has no hidden
+  // iteration-order dependence (hash-set iteration is never observed).
+  const StatusOr<Instance> instance =
+      GenerateSyntheticInstance(testing::SmallRandomConfig(13));
+  ASSERT_TRUE(instance.ok());
+
+  SearchOutcome first;
+  for (int run = 0; run < 3; ++run) {
+    PlanContext context;
+    PlanGuard guard(context);
+    StateSpaceSearch search(*instance, EnumerateAll(*instance, &guard), {});
+    const SearchOutcome outcome = search.Run(&guard);
+    ASSERT_TRUE(outcome.certified_optimal);
+    if (run == 0) {
+      first = outcome;
+      continue;
+    }
+    EXPECT_EQ(outcome.objective, first.objective);
+    EXPECT_EQ(outcome.chosen, first.chosen);
+    EXPECT_EQ(outcome.counters.expansions, first.counters.expansions);
+    EXPECT_EQ(outcome.counters.states, first.counters.states);
+    EXPECT_EQ(outcome.counters.merges, first.counters.merges);
+  }
+}
+
+TEST_F(StateSpaceTest, SingleUserKnapsackReducesToTheBestSchedule) {
+  // Theorem 1's reduction shape: one user, so the state space is two layers
+  // and the answer is just that user's best feasible schedule.
+  const Instance instance = testing::MakeKnapsackInstance(
+      /*values=*/{0.6, 0.5, 0.4}, /*weights=*/{3, 2, 2},
+      /*capacity=*/4);
+  PlanContext context;
+  PlanGuard guard(context);
+  std::vector<ScheduleSet> per_user = EnumerateAll(instance, &guard);
+  double best = 0.0;
+  for (const ScheduleOption& option : per_user[0].options) {
+    best = std::max(best, option.utility);
+  }
+  StateSpaceSearch search(instance, std::move(per_user), {});
+  const SearchOutcome outcome = search.Run(&guard);
+  EXPECT_TRUE(outcome.certified_optimal);
+  EXPECT_EQ(outcome.objective, best);
+  EXPECT_EQ(outcome.objective, LegacyOptimum(instance));
+}
+
+}  // namespace
+}  // namespace usep
