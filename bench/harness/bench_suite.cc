@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "core/validation.h"
 #include "harness/bench_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -302,6 +303,26 @@ std::vector<BenchScenario> BuildScenarioCatalog() {
       scenario.quick = threads == 1;
       catalog.push_back(scenario);
     }
+
+    // SLO rows: burst submission into a tiny queue, so admission control
+    // and load shedding fire on a DETERMINISTIC depth pattern and the rows
+    // record the rolling-window p50/p99 plus time-in-rung.  The shed rung
+    // skips the improvement ladder, so the final omega differs from the
+    // stream rows but is still exactly reproducible.
+    for (const int threads : {1, 8}) {
+      BenchScenario scenario;
+      scenario.name = StrFormat("serve/slo.m%d.b8q8/t%d", trace.num_mutations,
+                                threads);
+      scenario.family = "serve";
+      scenario.serving = true;
+      scenario.serve_trace = trace;
+      scenario.serve_batch = 8;
+      scenario.serve_queue_capacity = 8;
+      scenario.serve_shed_fraction = 0.5;
+      scenario.threads = threads;
+      scenario.quick = threads == 1;
+      catalog.push_back(scenario);
+    }
   }
 
   return catalog;
@@ -407,10 +428,24 @@ ScenarioResult RunServingScenario(const BenchScenario& scenario,
   serve::ServiceOptions service_options;
   service_options.world = trace->world;
   service_options.ladder.local_search.parallel.num_threads = scenario.threads;
+  if (scenario.serve_queue_capacity > 0) {
+    service_options.queue_capacity = scenario.serve_queue_capacity;
+  }
+  service_options.shed_fraction = scenario.serve_shed_fraction;
+
+  // Serving rows measure the shipping configuration: the always-on flight
+  // ring is attached, so its per-event cost is inside the row's wall time
+  // (the <= 2% overhead budget tracked against the previous baseline).
+  obs::FlightRecorder flight;
+  service_options.flight = &flight;
 
   // One full replay per trial through a fresh ephemeral service; the trace
   // and its world rules are shared, everything else is rebuilt so trials
-  // are independent and identically distributed.
+  // are independent and identically distributed.  Bursts of serve_batch
+  // mutations are kept in flight before draining; queue-full rejections end
+  // the burst early (deterministic, depth-driven shedding).
+  const size_t batch =
+      static_cast<size_t>(scenario.serve_batch < 1 ? 1 : scenario.serve_batch);
   const auto replay = [&](obs::MetricsRegistry* metrics)
       -> StatusOr<std::unique_ptr<serve::StreamingService>> {
     serve::ServiceOptions trial_options = service_options;
@@ -418,11 +453,17 @@ ScenarioResult RunServingScenario(const BenchScenario& scenario,
     StatusOr<std::unique_ptr<serve::StreamingService>> service =
         serve::StreamingService::Open(trial_options);
     if (!service.ok()) return service.status();
-    for (const serve::Mutation& mutation : trace->mutations) {
-      Status submitted = (*service)->Submit(mutation);
-      if (!submitted.ok()) return submitted;
+    size_t submitted = 0;
+    size_t processed = 0;
+    while (processed < trace->mutations.size()) {
+      while (submitted < trace->mutations.size() &&
+             submitted - processed < batch) {
+        if (!(*service)->Submit(trace->mutations[submitted]).ok()) break;
+        ++submitted;
+      }
       const StatusOr<serve::ProcessResult> step = (*service)->ProcessNext();
       if (!step.ok()) return step.status();
+      ++processed;
     }
     return service;
   };
@@ -482,6 +523,17 @@ ScenarioResult RunServingScenario(const BenchScenario& scenario,
         "usep.serve.replan_ms", obs::HistogramOptions{1e-2, 2.0, 24});
     result.replan_p50_ms = replan->Quantile(0.5);
     result.replan_p99_ms = replan->Quantile(0.99);
+    // Rolling-window SLO telemetry (the bench traces finish well inside one
+    // window, so this covers the whole trial).
+    const serve::SloWindowStats window = (*service)->slo().Window();
+    result.slo_p50_ms = window.p50_ms;
+    result.slo_p99_ms = window.p99_ms;
+    result.shed =
+        static_cast<int64_t>(metrics.GetCounter("usep.serve.shed")->Value());
+    result.rung_changes = (*service)->slo().rung_changes();
+    for (int rung = 0; rung < 4; ++rung) {
+      result.time_in_rung_s[rung] = window.time_in_rung_s[rung];
+    }
   }
   result.wall_ms = ComputeRobustStats(std::move(wall_samples));
   result.cpu_ms = ComputeRobustStats(std::move(cpu_samples));
@@ -575,6 +627,16 @@ void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
       json.KvDouble("mutations_per_sec", result.mutations_per_sec);
       json.KvDouble("replan_p50_ms", result.replan_p50_ms);
       json.KvDouble("replan_p99_ms", result.replan_p99_ms);
+      json.KvDouble("slo_p50_ms", result.slo_p50_ms);
+      json.KvDouble("slo_p99_ms", result.slo_p99_ms);
+      json.KvInt("shed", result.shed);
+      json.KvInt("rung_changes", result.rung_changes);
+      json.Key("time_in_rung_s");
+      json.BeginArray();
+      for (int rung = 0; rung < 4; ++rung) {
+        json.Double(result.time_in_rung_s[rung]);
+      }
+      json.EndArray();
     }
     if (result.has_profile) {
       json.Key("profile");

@@ -49,6 +49,14 @@ struct BenchScenario {
   // is deterministic and the exact objective gate applies unchanged.
   bool serving = false;
   gen::ArrivalTraceConfig serve_trace;
+  // Burst submission for serving rows: keep up to serve_batch mutations in
+  // flight before draining.  With a small serve_queue_capacity this builds a
+  // DETERMINISTIC queue-depth pattern, so the serve/slo.* rows exercise load
+  // shedding without breaking the exact objective gate.  0 capacity = the
+  // service default (effectively unbounded for bench traces).
+  int serve_batch = 1;
+  int serve_queue_capacity = 0;
+  double serve_shed_fraction = 0.75;
 };
 
 // The full catalog: paper Fig 2/3/4 shapes plus micro workloads, every
@@ -112,6 +120,15 @@ struct ScenarioResult {
   double mutations_per_sec = 0.0;
   double replan_p50_ms = 0.0;
   double replan_p99_ms = 0.0;
+  // Rolling-window SLO telemetry of the last trial (SloTracker::Window()):
+  // windowed replan percentiles, shed work, rung moves, and wall seconds
+  // spent per degradation rung.  Serving rows always run with the flight
+  // recorder attached, so their wall_ms carries its (bounded) overhead.
+  double slo_p50_ms = 0.0;
+  double slo_p99_ms = 0.0;
+  int64_t shed = 0;
+  int64_t rung_changes = 0;
+  double time_in_rung_s[4] = {0.0, 0.0, 0.0, 0.0};
 
   bool has_profile = false;
   obs::Profile profile;

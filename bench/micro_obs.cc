@@ -13,6 +13,7 @@
 #include "algo/planner_registry.h"
 #include "common/logging.h"
 #include "gen/synthetic_generator.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -144,6 +145,60 @@ void BM_PlannerObs(benchmark::State& state) {
 }
 BENCHMARK(BM_PlannerObs<false>)->Arg(20)->Arg(50);
 BENCHMARK(BM_PlannerObs<true>)->Arg(20)->Arg(50);
+
+// Flight recorder: the compiled-in-but-disabled path is a null-pointer
+// check on the caller's side (what the serving loop and TraceRecorder::
+// Record do when no ring is attached) — it must cost nothing.
+void BM_FlightDisabledNullCheck(benchmark::State& state) {
+  obs::FlightRecorder* flight = nullptr;
+  benchmark::DoNotOptimize(flight);
+  uint64_t recorded = 0;
+  for (auto _ : state) {
+    if (flight != nullptr) {
+      flight->RecordInstant("bench/instant");
+      ++recorded;
+    }
+    benchmark::DoNotOptimize(recorded);
+  }
+}
+BENCHMARK(BM_FlightDisabledNullCheck);
+
+// The always-on cost per event: one relaxed fetch_add, two release stores,
+// and bounded char copies.  This is the number the <= 2% serving overhead
+// budget is built on.
+void BM_FlightRecordInstant(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  for (auto _ : state) {
+    flight.RecordInstant("bench/instant", "detail", 7);
+  }
+  benchmark::DoNotOptimize(flight.recorded());
+}
+BENCHMARK(BM_FlightRecordInstant);
+
+void BM_FlightRecordSpan(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  for (auto _ : state) {
+    flight.RecordSpan("bench/span", 12.5, "detail", 7);
+  }
+  benchmark::DoNotOptimize(flight.recorded());
+}
+BENCHMARK(BM_FlightRecordSpan);
+
+// A TraceRecorder span with the flight ring attached — the full forwarding
+// path planner phase spans take while serving.
+void BM_TraceSpanWithFlight(benchmark::State& state) {
+  obs::FlightRecorder flight;
+  for (auto _ : state) {
+    obs::TraceRecorder recorder;
+    recorder.AttachFlight(&flight);
+    {
+      obs::TraceSpan span(&recorder, "bench/span", "bench");
+      span.AddArg("k", static_cast<int64_t>(42));
+    }
+    benchmark::DoNotOptimize(recorder.size());
+  }
+}
+BENCHMARK(BM_TraceSpanWithFlight);
 
 // Post-hoc profile aggregation (usep_solve --profile, bench --profile):
 // runs after planning on the recorded span stream, so its cost bounds how

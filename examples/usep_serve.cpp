@@ -22,19 +22,24 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/crash_handler.h"
 #include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "gen/arrival_trace.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "serve/chaos.h"
 #include "serve/service.h"
 
@@ -97,6 +102,27 @@ int main(int argc, char** argv) {
       "report_out", "",
       "write a machine-readable JSON run report here (see "
       "docs/OBSERVABILITY.md)");
+  std::string* flight_dump = flags.AddString(
+      "flight_dump", "",
+      "flight-recorder dump path: installs crash/SIGQUIT handlers and dumps "
+      "the ring here on crashes, rung changes, and journal_broken "
+      "(Perfetto-loadable; see docs/SERVING.md)");
+  int64_t* flight_slots = flags.AddInt64(
+      "flight_slots", 512, "flight-recorder slots per ring (rounded to 2^k)");
+  bool* dump_flight = flags.AddBool(
+      "dump_flight", false,
+      "dump the flight ring to --flight_dump once at exit (on demand)");
+  std::string* metrics_out = flags.AddString(
+      "metrics_out", "",
+      "republish the metrics registry here as statsz JSON (+ Prometheus text "
+      "at PATH.prom) via atomic rename while serving");
+  double* metrics_every_ms = flags.AddDouble(
+      "metrics_every_ms", 1000.0,
+      "metrics republish cadence (0 = after every mutation)");
+  bool* statsz = flags.AddBool(
+      "statsz", false,
+      "do not serve: open (recovering from --journal/--snapshot), print a "
+      "statsz JSON snapshot to stdout, and exit");
   bool* verbose = flags.AddBool("verbose", false, "print per-mutation lines");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -153,7 +179,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     trace = std::move(*generated);
-  } else {
+  } else if (!*statsz) {
+    // --statsz alone is fine: it only opens (recovering) and prints, so it
+    // needs no mutation stream — just the default world config, the same
+    // one --verify_replay assumes.
     std::fprintf(stderr, "pass --trace or --gen_mutations\n%s",
                  flags.UsageString().c_str());
     return 2;
@@ -182,7 +211,22 @@ int main(int argc, char** argv) {
     schedule.push_back(event);
   }
 
+  // Live telemetry plumbing: the flight ring is always on (fixed memory,
+  // lock-free writes); the bounded trace recorder forwards planner spans
+  // into it.  Crash-signal handlers arm only when there is somewhere to
+  // dump (--flight_dump).
   obs::MetricsRegistry metrics;
+  obs::FlightRecorderOptions flight_options;
+  flight_options.slots_per_ring =
+      static_cast<int>(*flight_slots < 16 ? 16 : *flight_slots);
+  obs::FlightRecorder flight(flight_options);
+  obs::TraceRecorder trace_recorder;
+  trace_recorder.set_max_events(8192);
+  trace_recorder.AttachFlight(&flight);
+  if (!flight_dump->empty()) {
+    InstallFlightDumpHandlers(&flight, *flight_dump);
+  }
+
   serve::ServiceOptions options;
   options.world = trace.world;
   options.ladder.slo_ms = *slo_ms;
@@ -193,9 +237,30 @@ int main(int argc, char** argv) {
   options.queue_capacity = static_cast<int>(*queue_capacity);
   options.shed_fraction = *shed_fraction;
   options.metrics = &metrics;
+  options.trace = &trace_recorder;
+  options.flight = &flight;
+  options.flight_dump_path = *flight_dump;
+  options.metrics_out = *metrics_out;
+  options.metrics_every_ms = *metrics_every_ms;
 
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGTERM, HandleShutdownSignal);
+
+  if (*statsz) {
+    // Post-recovery inspection: open (replaying snapshot + journal),
+    // publish once so usep.serve.* reflects the recovered state, print the
+    // snapshot, and walk away without touching the files further.
+    StatusOr<std::unique_ptr<serve::StreamingService>> opened =
+        serve::StreamingService::Open(options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    (*opened)->PublishTelemetry();
+    obs::WriteStatszJson(metrics.Snapshot(), std::cout);
+    (*opened)->Abandon();
+    return 0;
+  }
 
   if (*chaos) {
     serve::ChaosOptions chaos_options;
@@ -217,9 +282,15 @@ int main(int argc, char** argv) {
                 result->faults, result->validations, result->slo_misses,
                 result->killed ? "yes" : "no",
                 result->journal_crashed ? "yes" : "no");
+    std::printf("telemetry: flight_dumps=%d rung_changes=%d recoveries=%lld\n",
+                result->flight_dumps, result->rung_changes,
+                (long long)result->recoveries);
     std::printf("fingerprint: %016llx\n",
                 (unsigned long long)result->final_fingerprint);
     std::printf("omega: %.3f\n", result->final_omega);
+    if (*dump_flight && !flight_dump->empty()) {
+      flight.DumpToFile(flight_dump->c_str(), "on_demand");
+    }
     return 0;
   }
 
@@ -324,8 +395,12 @@ int main(int argc, char** argv) {
                 static_cast<size_t>(committed + rejected),
                 trace.mutations.size());
   }
-  // Graceful shutdown: final snapshot + journal close.  After this, a
-  // restart resumes exactly where the stream stopped.
+  // Graceful shutdown: final snapshot + journal close (Close also publishes
+  // the final telemetry snapshot to --metrics_out).  After this, a restart
+  // resumes exactly where the stream stopped.
+  const serve::SloWindowStats window = service->slo().Window();
+  const int final_rung = static_cast<int>(service->slo().current_rung());
+  const long long rung_changes = (long long)service->slo().rung_changes();
   const Status closed = service->Close();
   if (!closed.ok()) {
     std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
@@ -344,6 +419,10 @@ int main(int argc, char** argv) {
       "usep.serve.replan_ms", obs::HistogramOptions{1e-2, 2.0, 24});
   std::printf("replan_ms: p50=%.2f p99=%.2f max=%.2f\n",
               replan->Quantile(0.5), replan->Quantile(0.99), max_process_ms);
+  std::printf("slo window: p50=%.2fms p99=%.2fms rate=%.0f/s shed=%.2f "
+              "rung=%d rung_changes=%lld\n",
+              window.p50_ms, window.p99_ms, window.mutations_per_sec,
+              window.shed_fraction, final_rung, rung_changes);
   std::printf("world: %d users, %d events; omega=%.3f assignments=%d\n",
               service->world().num_users(), service->world().num_events(),
               service->planning() != nullptr
@@ -374,6 +453,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", report_out->c_str());
+  }
+  if (*dump_flight && !flight_dump->empty()) {
+    if (flight.DumpToFile(flight_dump->c_str(), "on_demand")) {
+      std::printf("wrote %s\n", flight_dump->c_str());
+    } else {
+      std::fprintf(stderr, "flight dump to %s failed\n", flight_dump->c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -6,6 +6,8 @@ Usage:
     check_obs_json.py trace  <trace.json>  [--min-planner-phases=N]
     check_obs_json.py report <report.json>
     check_obs_json.py bench  <BENCH_tag.json>
+    check_obs_json.py flight <flight.json>
+    check_obs_json.py statsz <statsz.json>
 
 Exits non-zero (with a message on stderr) on the first violation.  Only the
 Python standard library is used, so CI can run it on a bare runner.
@@ -36,6 +38,23 @@ Bench checks (schema_version 1, see docs/BENCHMARKING.md):
     median/min/mad where mad >= 0 and min <= median, an exact-comparable
     objective, and validated == true
   * embedded profiles (when present) keep self_us <= total_us per phase
+
+Flight checks (FlightRecorder::DumpToFd, Perfetto-loadable; see
+docs/SERVING.md):
+  * top level: displayTimeUnit == "ms", a flight header with a non-empty
+    reason, recorded >= 0, capacity > 0, wrapped >= 0, and a traceEvents list
+  * every event has name/ph/pid/tid; ph is 'X' (numeric ts + dur >= 0) or
+    'i' (numeric ts, scope "t")
+  * the header counts are consistent: len(traceEvents) <= capacity and
+    len(traceEvents) <= recorded
+
+Statsz checks (WriteStatszJson; also what --metrics_out publishes):
+  * top level: schema_version == 1, kind == "statsz", counters/gauges
+    objects, histograms list
+  * counters are non-negative integers
+  * every histogram has count/sum/p50/p90/p99/upper_bounds/bucket_counts,
+    len(bucket_counts) == len(upper_bounds) + 1, sum(bucket_counts) == count
+    (the snapshot-coherence invariant), and p50 <= p90 <= p99
 """
 
 import json
@@ -255,6 +274,88 @@ def check_bench(path):
           % (len(scenarios), profiled, environment["tag"]))
 
 
+def check_flight(path):
+    doc = load(path)
+    check(isinstance(doc, dict), "flight top level must be an object")
+    check(doc.get("displayTimeUnit") == "ms", "displayTimeUnit must be 'ms'")
+    header = doc.get("flight")
+    check(isinstance(header, dict), "flight dump needs a 'flight' header")
+    check(isinstance(header.get("reason"), str) and header["reason"],
+          "flight.reason must be a non-empty string")
+    for key in ("recorded", "capacity", "wrapped"):
+        check(isinstance(header.get(key), int) and header[key] >= 0,
+              "flight.%s must be a non-negative int" % key)
+    check(header["capacity"] > 0, "flight.capacity must be positive")
+
+    events = doc.get("traceEvents")
+    check(isinstance(events, list), "traceEvents must be a list")
+    for event in events:
+        check(isinstance(event, dict), "event must be an object")
+        for key in ("name", "ph", "pid", "tid"):
+            check(key in event, "event missing %r: %r" % (key, event))
+        phase = event["ph"]
+        check(phase in ("X", "i"), "unexpected flight event phase %r" % phase)
+        check(isinstance(event.get("ts"), (int, float)),
+              "event needs numeric ts: %r" % event)
+        if phase == "X":
+            check(isinstance(event.get("dur"), (int, float)),
+                  "'X' event needs numeric dur: %r" % event)
+            check(event["dur"] >= 0, "negative dur: %r" % event)
+        else:
+            check(event.get("s") == "t",
+                  "'i' event needs thread scope s == 't': %r" % event)
+
+    check(len(events) <= header["capacity"],
+          "more events (%d) than ring capacity (%d)"
+          % (len(events), header["capacity"]))
+    check(len(events) <= header["recorded"],
+          "more events (%d) than ever recorded (%d)"
+          % (len(events), header["recorded"]))
+
+    print("check_obs_json: flight OK (%d events, reason %r, %d/%d recorded)"
+          % (len(events), header["reason"], len(events), header["recorded"]))
+
+
+def check_statsz(path):
+    doc = load(path)
+    check(isinstance(doc, dict), "statsz top level must be an object")
+    check(doc.get("schema_version") == 1,
+          "unknown schema_version %r" % doc.get("schema_version"))
+    check(doc.get("kind") == "statsz",
+          "kind must be 'statsz', got %r" % doc.get("kind"))
+    counters = doc.get("counters")
+    gauges = doc.get("gauges")
+    check(isinstance(counters, dict), "counters must be an object")
+    check(isinstance(gauges, dict), "gauges must be an object")
+    for name, value in counters.items():
+        check(isinstance(value, int) and value >= 0,
+              "counter %r must be a non-negative int, got %r" % (name, value))
+    for name, value in gauges.items():
+        check(isinstance(value, (int, float)),
+              "gauge %r must be numeric, got %r" % (name, value))
+
+    histograms = doc.get("histograms")
+    check(isinstance(histograms, list), "histograms must be a list")
+    for histogram in histograms:
+        name = histogram.get("name")
+        check(isinstance(name, str) and name,
+              "histogram needs a non-empty name: %r" % histogram)
+        for key in ("count", "sum", "p50", "p90", "p99", "upper_bounds",
+                    "bucket_counts"):
+            check(key in histogram, "histogram %r missing %r" % (name, key))
+        check(len(histogram["bucket_counts"])
+              == len(histogram["upper_bounds"]) + 1,
+              "histogram %r bucket/bound length mismatch" % name)
+        check(sum(histogram["bucket_counts"]) == histogram["count"],
+              "histogram %r bucket counts do not sum to count "
+              "(snapshot incoherent)" % name)
+        check(histogram["p50"] <= histogram["p90"] <= histogram["p99"],
+              "histogram %r quantiles not ordered" % name)
+
+    print("check_obs_json: statsz OK (%d counters, %d gauges, %d histograms)"
+          % (len(counters), len(gauges), len(histograms)))
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(__doc__)
@@ -272,9 +373,13 @@ def main(argv):
         check_report(path)
     elif kind == "bench":
         check_bench(path)
+    elif kind == "flight":
+        check_flight(path)
+    elif kind == "statsz":
+        check_statsz(path)
     else:
-        fail("first argument must be 'trace', 'report', or 'bench', "
-             "got %r" % kind)
+        fail("first argument must be 'trace', 'report', 'bench', 'flight', "
+             "or 'statsz', got %r" % kind)
     return 0
 
 

@@ -7,6 +7,7 @@
 #include "common/deadline.h"
 
 namespace usep::obs {
+class FlightRecorder;
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace usep::obs
@@ -57,6 +58,13 @@ struct PlanContext {
   // never-taken null check (see bench/micro_obs.cc for the measured cost).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+
+  // Always-on flight ring for serving deployments (obs/flight_recorder.h).
+  // Planners do not write to it directly: attaching it to `trace` (see
+  // TraceRecorder::AttachFlight) forwards every phase span into the ring,
+  // so planner code needed no changes.  It rides in the context so serving
+  // layers (the Replanner's rungs) can also stamp their own instants.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // The hot-loop companion of PlanContext.  Planners create one per Plan()

@@ -1,0 +1,84 @@
+#include "common/crash_handler.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <atomic>
+
+#include "obs/flight_recorder.h"
+
+namespace usep {
+namespace {
+
+// Handler state lives in plain globals the signal handler can read without
+// locks.  The path is copied into a fixed buffer at install time so the
+// handler never touches std::string.
+std::atomic<obs::FlightRecorder*> g_flight{nullptr};
+char g_dump_path[1024] = {0};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE};
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGILL:
+      return "SIGILL";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGQUIT:
+      return "SIGQUIT";
+  }
+  return "signal";
+}
+
+void FatalSignalHandler(int sig) {
+  DumpFlightNow(SignalName(sig));
+  // Die the way the signal intended: restore the default disposition and
+  // re-raise.  For hardware faults (SEGV/BUS/FPE) returning would re-fault
+  // anyway; for raised signals (ABRT) the re-raise delivers on return.
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void QuitSignalHandler(int sig) {
+  DumpFlightNow(SignalName(sig));
+  // Returning resumes the process — SIGQUIT is the live probe.
+}
+
+void SetHandler(int sig, void (*handler)(int)) {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  sigemptyset(&action.sa_mask);
+  action.sa_handler = handler;
+  ::sigaction(sig, &action, nullptr);
+}
+
+}  // namespace
+
+void InstallFlightDumpHandlers(obs::FlightRecorder* flight,
+                               const std::string& dump_path) {
+  if (flight == nullptr || dump_path.empty() ||
+      dump_path.size() + 1 >= sizeof(g_dump_path)) {
+    g_flight.store(nullptr, std::memory_order_release);
+    for (const int sig : kFatalSignals) std::signal(sig, SIG_DFL);
+    std::signal(SIGQUIT, SIG_DFL);
+    return;
+  }
+  std::memcpy(g_dump_path, dump_path.c_str(), dump_path.size() + 1);
+  g_flight.store(flight, std::memory_order_release);
+  for (const int sig : kFatalSignals) SetHandler(sig, FatalSignalHandler);
+  SetHandler(SIGQUIT, QuitSignalHandler);
+}
+
+bool DumpFlightNow(const char* reason) {
+  obs::FlightRecorder* flight = g_flight.load(std::memory_order_acquire);
+  if (flight == nullptr || g_dump_path[0] == '\0') return false;
+  return flight->DumpToFile(g_dump_path, reason);
+}
+
+}  // namespace usep

@@ -1,0 +1,37 @@
+#ifndef USEP_COMMON_CRASH_HANDLER_H_
+#define USEP_COMMON_CRASH_HANDLER_H_
+
+#include <string>
+
+namespace usep::obs {
+class FlightRecorder;
+}  // namespace usep::obs
+
+namespace usep {
+
+// Wires a FlightRecorder to process signals so the last seconds of serving
+// telemetry survive the process:
+//
+//   * fatal signals (SIGSEGV, SIGABRT, SIGBUS, SIGILL, SIGFPE): dump the
+//     flight ring to `dump_path` through the async-signal-safe path, then
+//     restore the default disposition and re-raise — the process still dies
+//     with the original signal (exit codes, core dumps and sanitizer
+//     reports are unaffected).
+//   * SIGQUIT: dump and CONTINUE — the operator's on-demand "what are you
+//     doing right now" probe (`kill -QUIT <pid>`).
+//
+// `flight` is borrowed and must outlive the handlers (in practice: install
+// from main() over a recorder with main's lifetime).  Calling again
+// replaces the config; installing with a null recorder uninstalls the
+// handlers (restores SIG_DFL).
+void InstallFlightDumpHandlers(obs::FlightRecorder* flight,
+                               const std::string& dump_path);
+
+// Dumps now using the installed config, tagging the dump with `reason`
+// (must point at storage valid for the call, e.g. a literal).  False when
+// no handler config is installed or the write failed.  Async-signal-safe.
+bool DumpFlightNow(const char* reason);
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_CRASH_HANDLER_H_

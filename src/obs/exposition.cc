@@ -1,0 +1,152 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace usep::obs {
+
+std::string PrometheusName(std::string_view name) {
+  std::string sanitized;
+  sanitized.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    sanitized.push_back(ok ? c : '_');
+  }
+  if (!sanitized.empty() && sanitized[0] >= '0' && sanitized[0] <= '9') {
+    sanitized.insert(sanitized.begin(), '_');
+  }
+  return sanitized;
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly; trailing "\n" per sample line.
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << counter.value << "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << Num(gauge.value) << "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = PrometheusName(histogram.name);
+    out << "# TYPE " << name << " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-bucket counts.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      out << name << "_bucket{le=\"" << Num(histogram.upper_bounds[i])
+          << "\"} " << cumulative << "\n";
+    }
+    cumulative += histogram.bucket_counts.empty()
+                      ? 0
+                      : histogram.bucket_counts.back();
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << name << "_sum " << Num(histogram.sum) << "\n";
+    out << name << "_count " << histogram.count << "\n";
+  }
+}
+
+void WriteStatszJson(const MetricsSnapshot& snapshot, std::ostream& out) {
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.KvInt("schema_version", 1);
+  json.KvString("kind", "statsz");
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& counter : snapshot.counters) {
+    json.Key(counter.name);
+    json.Int(counter.value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& gauge : snapshot.gauges) {
+    json.Key(gauge.name);
+    json.Double(gauge.value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginArray();
+  for (const auto& histogram : snapshot.histograms) {
+    json.BeginObject();
+    json.KvString("name", histogram.name);
+    json.KvInt("count", histogram.count);
+    json.KvDouble("sum", histogram.sum);
+    json.KvDouble("p50", HistogramQuantile(histogram, 0.5));
+    json.KvDouble("p90", HistogramQuantile(histogram, 0.9));
+    json.KvDouble("p99", HistogramQuantile(histogram, 0.99));
+    json.Key("upper_bounds");
+    json.BeginArray();
+    for (const double bound : histogram.upper_bounds) json.Double(bound);
+    json.EndArray();
+    json.Key("bucket_counts");
+    json.BeginArray();
+    for (const int64_t count : histogram.bucket_counts) json.Int(count);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out << '\n';
+}
+
+namespace {
+
+bool WriteAtomically(const std::string& path, const std::string& content,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open '" + tmp + "' for writing";
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write to '" + tmp + "' failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename '" + tmp + "' -> '" + path + "' failed";
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteMetricsFiles(const MetricsSnapshot& snapshot,
+                       const std::string& path, std::string* error) {
+  std::ostringstream statsz;
+  WriteStatszJson(snapshot, statsz);
+  if (!WriteAtomically(path, statsz.str(), error)) return false;
+  std::ostringstream prom;
+  WritePrometheusText(snapshot, prom);
+  return WriteAtomically(path + ".prom", prom.str(), error);
+}
+
+}  // namespace usep::obs

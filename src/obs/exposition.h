@@ -1,0 +1,43 @@
+#ifndef USEP_OBS_EXPOSITION_H_
+#define USEP_OBS_EXPOSITION_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace usep::obs {
+
+// Point-in-time exposition of a MetricsSnapshot in two formats:
+//
+//   * Prometheus text format (one `# TYPE` line per metric, histogram
+//     `_bucket{le="..."}` series with the mandatory `+Inf` bucket and
+//     `_sum`/`_count`), so any standard scraper/agent can ingest a dump.
+//   * "statsz" JSON (`{"schema_version":1,"kind":"statsz",...}`) carrying
+//     the same snapshot plus bucket-interpolated p50/p90/p99 per histogram
+//     — the machine-readable side, validated by
+//     `scripts/check_obs_json.py statsz`.
+//
+// `usep_serve --metrics_out=PATH` republishes both periodically through
+// WriteMetricsFiles, which publishes atomically (temp + rename, the same
+// idiom as serve/snapshot.cc) so a scraper never reads a torn file.
+
+// Prometheus metric-name sanitization: every byte outside [a-zA-Z0-9_:]
+// becomes '_' (so "usep.serve.replan_ms" -> "usep_serve_replan_ms"); a
+// leading digit gains a '_' prefix.  Exposed for tests.
+std::string PrometheusName(std::string_view name);
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out);
+
+void WriteStatszJson(const MetricsSnapshot& snapshot, std::ostream& out);
+
+// Writes the statsz JSON to `path` and the Prometheus text to
+// `path + ".prom"`, each via temp file + atomic rename.  False on I/O
+// failure with a human-readable message in *error (may be null).
+bool WriteMetricsFiles(const MetricsSnapshot& snapshot,
+                       const std::string& path, std::string* error);
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_EXPOSITION_H_

@@ -1,0 +1,344 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace usep::obs {
+
+// One fixed-width event slot.  The stamp is a per-claim seqlock: 0 = never
+// written, 2n+1 = claim n in progress, 2n+2 = claim n committed.  Payload
+// fields are plain (non-atomic) because the stamp protocol orders them.
+struct FlightRecorder::Slot {
+  std::atomic<uint64_t> stamp{0};
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  int64_t arg = 0;
+  int32_t tid = 0;
+  char kind = 'X';
+  char name[kNameBytes] = {0};
+  char detail[kDetailBytes] = {0};
+};
+
+struct FlightRecorder::Ring {
+  std::atomic<uint64_t> head{0};
+  std::unique_ptr<Slot[]> slots;
+};
+
+namespace {
+
+size_t RoundUpPow2(int value) {
+  size_t n = 1;
+  while (n < static_cast<size_t>(value > 0 ? value : 1)) n <<= 1;
+  return n;
+}
+
+void CopyBounded(char* dst, size_t dst_bytes, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  size_t i = 0;
+  for (; i + 1 < dst_bytes && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+// ---- Async-signal-safe JSON emission ---------------------------------------
+//
+// Everything below runs inside crash handlers: only write(2) plus manual
+// formatting into a stack buffer.  No stdio, no malloc, no locks.
+
+struct FdSink {
+  explicit FdSink(int fd) : fd(fd) {}
+  ~FdSink() { Flush(); }
+
+  int fd;
+  char buf[4096];
+  size_t len = 0;
+  bool ok = true;
+
+  void Flush() {
+    size_t done = 0;
+    while (ok && done < len) {
+      const ssize_t n = ::write(fd, buf + done, len - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+      }
+      done += static_cast<size_t>(n);
+    }
+    len = 0;
+  }
+
+  void Append(const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (len == sizeof(buf)) Flush();
+      if (!ok) return;
+      buf[len++] = data[i];
+    }
+  }
+
+  void Str(const char* s) { Append(s, std::strlen(s)); }
+
+  void U64(uint64_t value) {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value != 0);
+    while (n > 0) Append(&digits[--n], 1);
+  }
+
+  void I64(int64_t value) {
+    if (value < 0) {
+      Str("-");
+      // Negate via uint64 so INT64_MIN does not overflow.
+      U64(~static_cast<uint64_t>(value) + 1);
+    } else {
+      U64(static_cast<uint64_t>(value));
+    }
+  }
+
+  // Emits a quoted JSON string.  Signal-safe sanitization instead of real
+  // escaping: quotes/backslashes become apostrophes and control bytes
+  // become spaces, so the document stays parseable without \u machinery.
+  void QuotedSanitized(const char* s, size_t max_bytes) {
+    Str("\"");
+    for (size_t i = 0; i < max_bytes && s[i] != '\0'; ++i) {
+      char c = s[i];
+      if (c == '"' || c == '\\') c = '\'';
+      if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+      Append(&c, 1);
+    }
+    Str("\"");
+  }
+};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
+    : epoch_(std::chrono::steady_clock::now()),
+      num_rings_(RoundUpPow2(options.rings)),
+      slots_per_ring_(RoundUpPow2(options.slots_per_ring)),
+      rings_(std::make_unique<Ring[]>(num_rings_)) {
+  for (size_t r = 0; r < num_rings_; ++r) {
+    rings_[r].slots = std::make_unique<Slot[]>(slots_per_ring_);
+  }
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::Push(char kind, const char* name, double ts_us,
+                          double dur_us, const char* detail, int64_t arg) {
+  Ring& ring = rings_[static_cast<size_t>(CurrentThreadId()) &
+                      (num_rings_ - 1)];
+  const uint64_t claim = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[claim & (slots_per_ring_ - 1)];
+  slot.stamp.store(2 * claim + 1, std::memory_order_release);
+  slot.ts_us = ts_us > 0.0 ? static_cast<uint64_t>(ts_us) : 0;
+  slot.dur_us = dur_us > 0.0 ? static_cast<uint64_t>(dur_us) : 0;
+  slot.arg = arg;
+  slot.tid = CurrentThreadId();
+  slot.kind = kind;
+  CopyBounded(slot.name, kNameBytes, name);
+  CopyBounded(slot.detail, kDetailBytes, detail);
+  slot.stamp.store(2 * claim + 2, std::memory_order_release);
+}
+
+void FlightRecorder::RecordSpan(const char* name, double dur_us,
+                                const char* detail, int64_t arg) {
+  const double now = NowMicros();
+  Push('X', name, now - dur_us, dur_us, detail, arg);
+}
+
+void FlightRecorder::RecordInstant(const char* name, const char* detail,
+                                   int64_t arg) {
+  Push('i', name, NowMicros(), 0.0, detail, arg);
+}
+
+void FlightRecorder::RecordTraceEvent(const TraceEvent& event) {
+  if (event.phase != 'X') return;  // Metadata has no place on the timeline.
+  // Re-anchor to this recorder's epoch (the event's ts is relative to the
+  // TraceRecorder that produced it): the span just finished, so it started
+  // dur_us ago.
+  char detail[kDetailBytes];
+  size_t len = 0;
+  for (const auto& [key, value] : event.args) {
+    const auto append = [&](std::string_view text) {
+      for (char c : text) {
+        if (len + 1 >= kDetailBytes) return;
+        detail[len++] = c;
+      }
+    };
+    if (len != 0) append(" ");
+    append(key);
+    append("=");
+    append(value);
+    if (len + 1 >= kDetailBytes) break;
+  }
+  detail[len] = '\0';
+  const double now = NowMicros();
+  Push('X', event.name.c_str(), now - event.dur_us, event.dur_us,
+       len > 0 ? detail : nullptr, 0);
+}
+
+uint64_t FlightRecorder::recorded() const {
+  uint64_t total = 0;
+  for (size_t r = 0; r < num_rings_; ++r) {
+    total += rings_[r].head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool FlightRecorder::DumpToFd(int fd, const char* reason) const {
+  FdSink sink(fd);
+  uint64_t total = 0;
+  uint64_t wrapped = 0;
+  for (size_t r = 0; r < num_rings_; ++r) {
+    const uint64_t head = rings_[r].head.load(std::memory_order_acquire);
+    total += head;
+    if (head > slots_per_ring_) wrapped += head - slots_per_ring_;
+  }
+  sink.Str("{\"displayTimeUnit\":\"ms\",\"flight\":{\"reason\":");
+  sink.QuotedSanitized(reason != nullptr ? reason : "unknown", 128);
+  sink.Str(",\"recorded\":");
+  sink.U64(total);
+  sink.Str(",\"capacity\":");
+  sink.U64(capacity());
+  sink.Str(",\"wrapped\":");
+  sink.U64(wrapped);
+  sink.Str("},\"traceEvents\":[");
+  bool first = true;
+  for (size_t r = 0; r < num_rings_; ++r) {
+    const Ring& ring = rings_[r];
+    const uint64_t head = ring.head.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, slots_per_ring_);
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring.slots[i & (slots_per_ring_ - 1)];
+      const uint64_t expected = 2 * i + 2;
+      if (slot.stamp.load(std::memory_order_acquire) != expected) continue;
+      // Copy the payload, then re-check the stamp: a concurrent writer that
+      // lapped this slot mid-copy changes it, and the torn copy is skipped.
+      uint64_t ts_us = slot.ts_us;
+      uint64_t dur_us = slot.dur_us;
+      int64_t arg = slot.arg;
+      int32_t tid = slot.tid;
+      char kind = slot.kind;
+      char name[kNameBytes];
+      char detail[kDetailBytes];
+      std::memcpy(name, slot.name, kNameBytes);
+      std::memcpy(detail, slot.detail, kDetailBytes);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.stamp.load(std::memory_order_relaxed) != expected) continue;
+      name[kNameBytes - 1] = '\0';
+      detail[kDetailBytes - 1] = '\0';
+
+      if (!first) sink.Str(",");
+      first = false;
+      sink.Str("{\"name\":");
+      sink.QuotedSanitized(name, kNameBytes);
+      sink.Str(",\"cat\":\"flight\",\"ph\":\"");
+      sink.Append(&kind, 1);
+      sink.Str("\"");
+      if (kind == 'i') sink.Str(",\"s\":\"t\"");
+      sink.Str(",\"ts\":");
+      sink.U64(ts_us);
+      if (kind == 'X') {
+        sink.Str(",\"dur\":");
+        sink.U64(dur_us);
+      }
+      sink.Str(",\"pid\":1,\"tid\":");
+      sink.I64(tid);
+      sink.Str(",\"args\":{\"detail\":");
+      sink.QuotedSanitized(detail, kDetailBytes);
+      sink.Str(",\"arg\":");
+      sink.I64(arg);
+      sink.Str("}}");
+    }
+  }
+  sink.Str("]}\n");
+  sink.Flush();
+  return sink.ok;
+}
+
+bool FlightRecorder::DumpToFile(const char* path, const char* reason) const {
+  if (path == nullptr || path[0] == '\0') return false;
+  const size_t path_len = std::strlen(path);
+  char tmp[1024];
+  if (path_len + 5 >= sizeof(tmp)) return false;
+  std::memcpy(tmp, path, path_len);
+  std::memcpy(tmp + path_len, ".tmp", 5);
+  const int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool written = DumpToFd(fd, reason);
+  ::close(fd);
+  if (!written) {
+    ::unlink(tmp);
+    return false;
+  }
+  // rename(2) is async-signal-safe and atomic: scrapers see either the old
+  // dump or the complete new one, never a torn file.
+  if (::rename(tmp, path) != 0) {
+    ::unlink(tmp);
+    return false;
+  }
+  return true;
+}
+
+std::vector<TraceEvent> FlightRecorder::SnapshotEvents() const {
+  std::vector<TraceEvent> events;
+  for (size_t r = 0; r < num_rings_; ++r) {
+    const Ring& ring = rings_[r];
+    const uint64_t head = ring.head.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, slots_per_ring_);
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring.slots[i & (slots_per_ring_ - 1)];
+      const uint64_t expected = 2 * i + 2;
+      if (slot.stamp.load(std::memory_order_acquire) != expected) continue;
+      // Same torn-copy protocol as DumpToFd: copy, fence, re-check.
+      uint64_t ts_us = slot.ts_us;
+      uint64_t dur_us = slot.dur_us;
+      int64_t arg = slot.arg;
+      int32_t tid = slot.tid;
+      char kind = slot.kind;
+      char name[kNameBytes];
+      char detail[kDetailBytes];
+      std::memcpy(name, slot.name, kNameBytes);
+      std::memcpy(detail, slot.detail, kDetailBytes);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.stamp.load(std::memory_order_relaxed) != expected) continue;
+
+      TraceEvent event;
+      event.name.assign(name, strnlen(name, kNameBytes - 1));
+      event.categories = "flight";
+      event.phase = kind;
+      event.ts_us = static_cast<double>(ts_us);
+      event.dur_us = static_cast<double>(dur_us);
+      event.tid = tid;
+      const size_t detail_len = strnlen(detail, kDetailBytes - 1);
+      if (detail_len > 0) {
+        event.args.emplace_back(
+            "detail",
+            "\"" + JsonEscape(std::string_view(detail, detail_len)) + "\"");
+      }
+      if (arg != 0) event.args.emplace_back("arg", std::to_string(arg));
+      events.push_back(std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return events;
+}
+
+}  // namespace usep::obs

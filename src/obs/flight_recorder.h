@@ -1,0 +1,115 @@
+#ifndef USEP_OBS_FLIGHT_RECORDER_H_
+#define USEP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace usep::obs {
+
+// Always-on flight recorder: a fixed-capacity, lock-free, allocation-free
+// ring of the most recent spans and instants, cheap enough to leave running
+// in production (see bench/micro_obs.cc for the measured cost) and dumpable
+// as Perfetto-loadable JSON from the places where evidence is about to be
+// destroyed — crash signals, journal_broken, degradation-rung changes.
+//
+// Concurrency design:
+//   * Writers pick a ring by CurrentThreadId() modulo the ring count and
+//     claim a slot with one relaxed fetch_add — no locks, no allocation, no
+//     waiting.  Names/details are copied into fixed char arrays.
+//   * Every slot carries a seqlock stamp derived from its claim number:
+//     writers store 2n+1 (busy) before filling the payload and 2n+2
+//     (committed) after.  Readers re-load the stamp after copying the
+//     payload and skip the slot when it moved or is odd, so a dump taken
+//     WHILE other threads record — the crash-handler case — only ever emits
+//     fully-written events.
+//   * DumpToFd/DumpToFile are async-signal-safe: open/write/close plus
+//     manual integer formatting into a stack buffer.  No malloc, no stdio,
+//     no locks.  `reason` and the path must be signal-safe to read (static
+//     or pre-formatted — see common/crash_handler.h).
+//
+// The ring keeps the LAST `capacity()` events per ring; older ones are
+// overwritten in place ("wrapped" in the dump header counts them).
+struct FlightRecorderOptions {
+  // Independent writer rings (rounded up to a power of two).  More rings =
+  // less cross-thread slot contention; threads beyond the ring count share.
+  int rings = 8;
+  // Slots per ring (rounded up to a power of two).
+  int slots_per_ring = 512;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kNameBytes = 48;
+  static constexpr size_t kDetailBytes = 64;
+
+  explicit FlightRecorder(const FlightRecorderOptions& options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  // Microseconds since the recorder was created (its dump epoch).
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // A complete span that ended now and lasted `dur_us`.  `name` and
+  // `detail` are copied (truncated to the fixed slot width); `detail` may
+  // be null.  Lock-free, allocation-free, any thread.
+  void RecordSpan(const char* name, double dur_us,
+                  const char* detail = nullptr, int64_t arg = 0);
+
+  // A point-in-time instant event ('i' phase in the trace viewer).
+  void RecordInstant(const char* name, const char* detail = nullptr,
+                     int64_t arg = 0);
+
+  // Forwarding shim for TraceRecorder::AttachFlight: copies a finished
+  // trace span into the ring (metadata events are skipped; the timestamp is
+  // re-anchored to this recorder's epoch so one dump has one timeline).
+  void RecordTraceEvent(const TraceEvent& event);
+
+  // Total events ever recorded (monotonic; exceeds capacity() once rings
+  // wrap).
+  uint64_t recorded() const;
+  size_t capacity() const { return num_rings_ * slots_per_ring_; }
+
+  // --- Dumping -------------------------------------------------------------
+
+  // Writes the Perfetto/Chrome trace-event JSON envelope to `fd`:
+  //   {"displayTimeUnit":"ms","flight":{reason,recorded,capacity,wrapped},
+  //    "traceEvents":[...]}
+  // Async-signal-safe; false when a write failed.
+  bool DumpToFd(int fd, const char* reason) const;
+
+  // DumpToFd into `path` via a temp file + rename, so scrapers never see a
+  // half-written dump.  Async-signal-safe (open/write/close/rename only);
+  // `path` must be shorter than ~1000 bytes.
+  bool DumpToFile(const char* path, const char* reason) const;
+
+  // Ordinary (NOT signal-safe) snapshot of the live ring as TraceEvents,
+  // ts-sorted — for tests and in-process consumers.
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+ private:
+  struct Slot;
+  struct Ring;
+
+  void Push(char kind, const char* name, double ts_us, double dur_us,
+            const char* detail, int64_t arg);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  size_t num_rings_ = 0;       // Power of two.
+  size_t slots_per_ring_ = 0;  // Power of two.
+  std::unique_ptr<Ring[]> rings_;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_FLIGHT_RECORDER_H_

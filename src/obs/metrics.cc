@@ -152,7 +152,6 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     MetricsSnapshot::HistogramValue value;
     value.name = name;
-    value.count = histogram->Count();
     value.sum = histogram->Sum();
     const int n = histogram->num_buckets();
     value.upper_bounds.reserve(static_cast<size_t>(n));
@@ -162,6 +161,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       value.bucket_counts.push_back(histogram->BucketCount(i));
     }
     value.bucket_counts.push_back(histogram->BucketCount(n));
+    // Derive the count from the buckets just read instead of the live
+    // count_ atomic: Observe bumps bucket-then-count, so a snapshot racing
+    // concurrent writers could otherwise report count != sum(buckets).
+    // This way `sum(bucket_counts) == count` holds in every snapshot — the
+    // invariant scripts/check_obs_json.py enforces on reports and statsz.
+    value.count = 0;
+    for (const int64_t bucket_count : value.bucket_counts) {
+      value.count += bucket_count;
+    }
     snapshot.histograms.push_back(std::move(value));
   }
   return snapshot;  // std::map iteration is already name-sorted.

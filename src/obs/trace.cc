@@ -3,6 +3,7 @@
 #include <atomic>
 #include <fstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace usep::obs {
@@ -14,7 +15,14 @@ int CurrentThreadId() {
 }
 
 void TraceRecorder::Record(TraceEvent event) {
+  // The flight ring sees every event, including ones the cap drops below —
+  // it keeps "most recent" semantics while this recorder keeps "first N".
+  if (flight_ != nullptr) flight_->RecordTraceEvent(event);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   events_.push_back(std::move(event));
 }
 

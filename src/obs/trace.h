@@ -1,6 +1,7 @@
 #ifndef USEP_OBS_TRACE_H_
 #define USEP_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -41,11 +42,32 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> args;
 };
 
+class FlightRecorder;
+
 class TraceRecorder {
  public:
   TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Caps the retained event count for long-lived processes (0 = unbounded,
+  // the historical batch-run behavior).  Beyond the cap, events are still
+  // forwarded to an attached FlightRecorder but are NOT retained here;
+  // dropped_events() counts them (exported as `usep.obs.trace.dropped` by
+  // the serving loop).  Memory therefore stays flat over a multi-hour
+  // mutation stream — see trace_test.cc's regression.
+  void set_max_events(size_t max_events) { max_events_ = max_events; }
+  size_t max_events() const { return max_events_; }
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Forwards every subsequent Record() into `flight`'s lock-free ring (null
+  // detaches).  This is how planner phase spans reach the flight recorder
+  // without touching the planners: they keep writing to the PlanContext's
+  // TraceRecorder, and the serving layer attaches its FlightRecorder here.
+  void AttachFlight(FlightRecorder* flight) { flight_ = flight; }
+  FlightRecorder* flight() const { return flight_; }
 
   // Microseconds since the recorder was created.
   double NowMicros() const {
@@ -75,6 +97,9 @@ class TraceRecorder {
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  size_t max_events_ = 0;  // 0 = unbounded.
+  std::atomic<uint64_t> dropped_{0};
+  FlightRecorder* flight_ = nullptr;  // Borrowed; attach before recording.
 };
 
 // RAII span: records the enclosing scope as one complete ('X') event.

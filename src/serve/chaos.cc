@@ -1,11 +1,15 @@
 #include "serve/chaos.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/validation.h"
+#include "obs/metrics.h"
 
 namespace usep::serve {
 namespace {
@@ -54,6 +58,33 @@ Status CheckInvariants(const StreamingService& service) {
   return Status::Ok();
 }
 
+// A flight dump is "valid enough" for the harness when it is a complete
+// JSON object with the flight header and a traceEvents array; the CI
+// pipeline runs the full schema check (scripts/check_obs_json.py --kind
+// flight) on the same files.
+Status ValidateFlightDump(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Internal(StrFormat("%s: no flight dump at %s", what,
+                                      path.c_str()));
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == ' ')) {
+    content.pop_back();
+  }
+  if (content.empty() || content.front() != '{' || content.back() != '}' ||
+      content.find("\"flight\":{") == std::string::npos ||
+      content.find("\"reason\":\"") == std::string::npos ||
+      content.find("\"traceEvents\":[") == std::string::npos) {
+    return Status::Internal(StrFormat(
+        "%s: flight dump at %s is malformed (%zu bytes)", what, path.c_str(),
+        content.size()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
@@ -83,6 +114,44 @@ StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
   std::unique_ptr<StreamingService> service = std::move(*opened);
 
   ChaosResult result;
+  const bool flight_checks = service_options.flight != nullptr &&
+                             !service_options.flight_dump_path.empty();
+  // Validates the flight dump the service just wrote and counts it.  The
+  // kill paths delete the file before Abandon(), so a passing check proves
+  // the DYING process produced it, not a stale run.
+  const auto check_flight_dump = [&](const char* what) -> Status {
+    if (!flight_checks) return Status::Ok();
+    USEP_RETURN_IF_ERROR(
+        ValidateFlightDump(service_options.flight_dump_path, what));
+    ++result.flight_dumps;
+    return Status::Ok();
+  };
+  // Counts opens that found prior state on disk and cross-checks the
+  // registry's usep.serve.recoveries counter (the registry is shared across
+  // service incarnations, so the counter must track our tally exactly).
+  const auto account_recovery = [&](const StreamingService& s,
+                                    const char* what) -> Status {
+    const RecoveryInfo& info = s.recovery();
+    if (info.snapshot_loaded || info.replayed_records > 0) {
+      ++result.recoveries;
+    }
+    if (service_options.metrics != nullptr) {
+      const obs::Counter* counter =
+          service_options.metrics->FindCounter("usep.serve.recoveries");
+      const int64_t reported = counter != nullptr ? counter->Value() : 0;
+      if (reported != result.recoveries) {
+        return Status::Internal(StrFormat(
+            "%s: usep.serve.recoveries=%lld, harness counted %lld", what,
+            (long long)reported, (long long)result.recoveries));
+      }
+    }
+    return Status::Ok();
+  };
+  USEP_RETURN_IF_ERROR(account_recovery(*service, "initial open"));
+  // Rung moves already seen on the CURRENT service incarnation (each
+  // restart starts a fresh tracker at zero).
+  int64_t seen_rung_changes = 0;
+
   const double slo_ms = options.service.ladder.slo_ms;
   const double grace_ms =
       slo_ms > 0 ? std::max(slo_ms * options.grace_factor,
@@ -128,13 +197,20 @@ StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
         // land on the last committed state, then re-drive the tail of the
         // trace (the queue died with the process).
         result.journal_crashed = true;
+        if (flight_checks) {
+          std::remove(service_options.flight_dump_path.c_str());
+        }
         service->Abandon();
         service.reset();
+        USEP_RETURN_IF_ERROR(check_flight_dump("torn-write restart"));
         StatusOr<std::unique_ptr<StreamingService>> reopened =
             RestartAndVerify(service_options, last_committed_fingerprint,
                              "torn-write restart");
         if (!reopened.ok()) return reopened.status();
         service = std::move(*reopened);
+        USEP_RETURN_IF_ERROR(
+            account_recovery(*service, "torn-write restart"));
+        seen_rung_changes = 0;
         submitted = processed;
         continue;
       }
@@ -153,6 +229,14 @@ StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
         ++result.validations;
       }
       last_committed_fingerprint = service->Fingerprint();
+      const int64_t rung_changes = service->slo().rung_changes();
+      if (rung_changes > seen_rung_changes) {
+        result.rung_changes +=
+            static_cast<int>(rung_changes - seen_rung_changes);
+        seen_rung_changes = rung_changes;
+        // The service dumps the ring on every rung move; assert it landed.
+        USEP_RETURN_IF_ERROR(check_flight_dump("rung change"));
+      }
     }
     result.max_process_ms = std::max(result.max_process_ms, step->process_ms);
     if (grace_ms > 0 && !step->shed && step->process_ms > grace_ms) {
@@ -164,12 +248,18 @@ StatusOr<ChaosResult> RunChaos(const ChaosOptions& options) {
         result.committed >= options.kill_at) {
       // Simulated kill -9 + restart: no Close, no final snapshot.
       result.killed = true;
+      if (flight_checks) {
+        std::remove(service_options.flight_dump_path.c_str());
+      }
       service->Abandon();
       service.reset();
+      USEP_RETURN_IF_ERROR(check_flight_dump("kill restart"));
       StatusOr<std::unique_ptr<StreamingService>> reopened = RestartAndVerify(
           service_options, last_committed_fingerprint, "kill restart");
       if (!reopened.ok()) return reopened.status();
       service = std::move(*reopened);
+      USEP_RETURN_IF_ERROR(account_recovery(*service, "kill restart"));
+      seen_rung_changes = 0;
       submitted = processed;  // The queue died with the process.
     }
   }

@@ -64,6 +64,12 @@ struct ChaosResult {
   bool journal_crashed = false;  // A torn append forced a restart.
   uint64_t final_fingerprint = 0;
   double final_omega = 0.0;
+
+  // Telemetry assertions (populated when ChaosOptions::service carries a
+  // flight recorder + dump path / a metrics registry).
+  int flight_dumps = 0;    // Dumps found AND validated (kills, rung moves).
+  int rung_changes = 0;    // Degradation-rung moves observed.
+  int64_t recoveries = 0;  // Restarts that picked up prior on-disk state.
 };
 
 // Runs the chaos exercise.  Returns an error the moment ANY invariant
@@ -71,6 +77,12 @@ struct ChaosResult {
 // planning, a recovery fingerprint mismatch after kill/restart, or an
 // unexpected infrastructure failure.  A clean ChaosResult therefore IS the
 // assertion — tests just check a few counters on top.
+//
+// When the service options carry a FlightRecorder + flight_dump_path, the
+// harness additionally asserts that a well-formed flight dump exists after
+// every simulated kill/restart AND after every degradation-rung change, and
+// — with a metrics registry attached — that `usep.serve.recoveries` counts
+// exactly the restarts that found prior state on disk.
 StatusOr<ChaosResult> RunChaos(const ChaosOptions& options);
 
 }  // namespace usep::serve

@@ -7,6 +7,7 @@
 #include "algo/ratio_greedy.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -75,10 +76,12 @@ struct Replanner::Metrics {
 };
 
 Replanner::Replanner(const LadderOptions& options,
-                     obs::MetricsRegistry* metrics, obs::TraceRecorder* trace)
+                     obs::MetricsRegistry* metrics, obs::TraceRecorder* trace,
+                     obs::FlightRecorder* flight)
     : options_(options),
       metrics_(metrics),
       trace_(trace),
+      flight_(flight),
       m_(std::make_unique<Metrics>(metrics)) {}
 
 Replanner::~Replanner() = default;
@@ -214,6 +217,7 @@ bool Replanner::RunTier(RepairTier tier, const Mutation& mutation,
   context.deadline = slice;
   context.metrics = metrics_;
   context.trace = trace_;
+  context.flight = flight_;
   PlanGuard guard(context);
 
   if (USEP_FAILPOINT(failpoint_name)) {
@@ -224,6 +228,9 @@ bool Replanner::RunTier(RepairTier tier, const Mutation& mutation,
     *planning_ = backup;
     index_ = std::make_unique<CandidateIndex>(*instance_);
     *termination = Termination::kInjectedFault;
+    if (flight_ != nullptr) {
+      flight_->RecordInstant("serve/rung-fault", RepairTierName(tier));
+    }
     return false;
   }
 

@@ -14,6 +14,7 @@
 #include "serve/world.h"
 
 namespace usep::obs {
+class FlightRecorder;
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace usep::obs
@@ -102,7 +103,7 @@ struct RepairOutcome {
 class Replanner {
  public:
   Replanner(const LadderOptions& options, obs::MetricsRegistry* metrics,
-            obs::TraceRecorder* trace);
+            obs::TraceRecorder* trace, obs::FlightRecorder* flight = nullptr);
   ~Replanner();
 
   Replanner(const Replanner&) = delete;
@@ -151,6 +152,7 @@ class Replanner {
   LadderOptions options_;
   obs::MetricsRegistry* metrics_;  // Borrowed; may be null.
   obs::TraceRecorder* trace_;      // Borrowed; may be null.
+  obs::FlightRecorder* flight_;    // Borrowed; may be null.
   std::unique_ptr<Metrics> m_;     // Resolved metric pointers (null-safe).
 
   // Per-Repair scratch consumed by RunTier (set before the ladder runs).

@@ -6,7 +6,10 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace usep::serve {
 
@@ -16,8 +19,13 @@ struct StreamingService::Metrics {
   obs::Counter* submit_rejected = nullptr;
   obs::Counter* shed = nullptr;
   obs::Counter* snapshots = nullptr;
+  obs::Counter* recoveries = nullptr;
+  obs::Counter* recovery_replayed = nullptr;
+  obs::Counter* trace_dropped = nullptr;
+  obs::Counter* metrics_dump_failures = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* omega = nullptr;
+  obs::Gauge* last_seq = nullptr;
   obs::Histogram* replan_ms = nullptr;
 
   explicit Metrics(obs::MetricsRegistry* registry) {
@@ -27,8 +35,15 @@ struct StreamingService::Metrics {
     submit_rejected = registry->GetCounter("usep.serve.submit.rejected");
     shed = registry->GetCounter("usep.serve.shed");
     snapshots = registry->GetCounter("usep.serve.snapshots");
+    recoveries = registry->GetCounter("usep.serve.recoveries");
+    recovery_replayed =
+        registry->GetCounter("usep.serve.recovery.replayed_records");
+    trace_dropped = registry->GetCounter("usep.obs.trace.dropped");
+    metrics_dump_failures =
+        registry->GetCounter("usep.serve.metrics_dump_failures");
     queue_depth = registry->GetGauge("usep.serve.queue_depth");
     omega = registry->GetGauge("usep.serve.omega");
+    last_seq = registry->GetGauge("usep.serve.last_seq");
     // Replan latencies from ~10us up; p99 comes out of Quantile().
     obs::HistogramOptions options;
     options.first_bound = 1e-2;
@@ -42,8 +57,12 @@ StreamingService::StreamingService(const ServiceOptions& options)
     : options_(options),
       world_(options.world),
       replanner_(std::make_unique<Replanner>(options.ladder, options.metrics,
-                                             options.trace)),
-      m_(std::make_unique<Metrics>(options.metrics)) {}
+                                             options.trace, options.flight)),
+      m_(std::make_unique<Metrics>(options.metrics)) {
+  SloTrackerOptions slo_options = options_.slo_window;
+  if (slo_options.slo_ms <= 0.0) slo_options.slo_ms = options_.ladder.slo_ms;
+  slo_ = std::make_unique<SloTracker>(slo_options, options_.metrics);
+}
 
 StreamingService::~StreamingService() { (void)Close(); }
 
@@ -107,6 +126,24 @@ Status StreamingService::Recover() {
   state_ = std::move(recovered->state);
   next_seq_ = recovered->next_seq;
   recovery_ = recovered->info;
+  if (recovery_.snapshot_loaded || recovery_.replayed_records > 0) {
+    // The statsz counters a post-crash operator reads first: how many times
+    // this process picked up prior state, and how much journal it replayed.
+    if (m_->recoveries != nullptr) m_->recoveries->Increment();
+    if (m_->recovery_replayed != nullptr) {
+      m_->recovery_replayed->Increment(
+          static_cast<int64_t>(recovery_.replayed_records));
+    }
+    if (options_.flight != nullptr) {
+      options_.flight->RecordInstant(
+          "serve/recovered",
+          recovery_.snapshot_loaded ? "snapshot+journal" : "journal",
+          static_cast<int64_t>(recovery_.replayed_records));
+    }
+  }
+  if (m_->last_seq != nullptr) {
+    m_->last_seq->Set(static_cast<double>(last_seq()));
+  }
   // Prove the recovered state is a feasible planning before serving from
   // it; Reset fails loudly on anything inconsistent.
   return replanner_->Reset(world_, state_);
@@ -191,8 +228,14 @@ StatusOr<ProcessResult> StreamingService::ProcessNext() {
     const Status appended = journal_->Append(record);
     if (!appended.ok()) {
       // In-memory state is now ahead of the journal; serving on would
-      // acknowledge mutations a restart cannot reproduce.
+      // acknowledge mutations a restart cannot reproduce.  This process is
+      // about to be restarted by the operator — capture the evidence now.
       journal_broken_ = true;
+      if (options_.flight != nullptr) {
+        options_.flight->RecordInstant("serve/journal-broken",
+                                       appended.message().c_str());
+      }
+      DumpFlight("journal_broken");
       return appended;
     }
   }
@@ -203,6 +246,27 @@ StatusOr<ProcessResult> StreamingService::ProcessNext() {
   if (result.shed && m_->shed != nullptr) m_->shed->Increment();
   if (m_->replan_ms != nullptr) m_->replan_ms->Observe(result.process_ms);
   if (m_->omega != nullptr) m_->omega->Set(result.repair.omega);
+  if (m_->last_seq != nullptr) {
+    m_->last_seq->Set(static_cast<double>(result.seq));
+  }
+
+  if (options_.flight != nullptr) {
+    options_.flight->RecordInstant("serve/mutation",
+                                   RepairTierName(result.repair.tier),
+                                   static_cast<int64_t>(result.seq));
+  }
+  SloTracker::RungChange change;
+  if (slo_->Record(result.process_ms, result.repair.tier, result.shed,
+                   result.repair.faults > 0,
+                   result.repair.termination == Termination::kDeadline,
+                   queue_depth(), &change)) {
+    if (options_.flight != nullptr) {
+      options_.flight->RecordInstant("serve/rung-change", change.why,
+                                     static_cast<int64_t>(change.to));
+    }
+    DumpFlight("rung_change");
+  }
+  MaybePublishTelemetry();
 
   ++mutations_since_snapshot_;
   USEP_RETURN_IF_ERROR(MaybeSnapshot());
@@ -242,9 +306,45 @@ Status StreamingService::Flush() {
   return written;
 }
 
+void StreamingService::DumpFlight(const char* reason) {
+  if (options_.flight == nullptr || options_.flight_dump_path.empty()) return;
+  options_.flight->DumpToFile(options_.flight_dump_path.c_str(), reason);
+}
+
+void StreamingService::PublishTelemetry() {
+  slo_->Publish();
+  if (options_.trace != nullptr && m_->trace_dropped != nullptr) {
+    // The TraceRecorder's drop count, republished as a counter delta.
+    const uint64_t dropped = options_.trace->dropped_events();
+    m_->trace_dropped->Increment(
+        static_cast<int64_t>(dropped - published_trace_dropped_));
+    published_trace_dropped_ = dropped;
+  }
+  if (options_.metrics_out.empty() || options_.metrics == nullptr) return;
+  std::string error;
+  if (!obs::WriteMetricsFiles(options_.metrics->Snapshot(),
+                              options_.metrics_out, &error)) {
+    if (m_->metrics_dump_failures != nullptr) {
+      m_->metrics_dump_failures->Increment();
+    }
+  }
+}
+
+void StreamingService::MaybePublishTelemetry() {
+  if (options_.metrics == nullptr) return;
+  if (metrics_dumped_once_ &&
+      metrics_dump_timer_.ElapsedMillis() < options_.metrics_every_ms) {
+    return;
+  }
+  PublishTelemetry();
+  metrics_dumped_once_ = true;
+  metrics_dump_timer_.Restart();
+}
+
 Status StreamingService::Close() {
   if (closed_) return Status::Ok();
   closed_ = true;
+  if (options_.metrics != nullptr) PublishTelemetry();
   Status flushed = Status::Ok();
   if (!journal_broken_) flushed = Flush();
   Status journal_closed = Status::Ok();
@@ -257,6 +357,10 @@ Status StreamingService::Close() {
 }
 
 void StreamingService::Abandon() {
+  // This IS the dying-process moment the flight recorder exists for: the
+  // chaos harness calls Abandon to simulate kill -9, so the dump stands in
+  // for what the crash-signal path would have written.
+  DumpFlight("abandon");
   closed_ = true;
   journal_.reset();  // Releases the handle; committed records are flushed.
 }

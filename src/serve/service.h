@@ -8,11 +8,17 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "serve/journal.h"
 #include "serve/plan_state.h"
 #include "serve/replanner.h"
+#include "serve/slo_tracker.h"
 #include "serve/snapshot.h"
 #include "serve/world.h"
+
+namespace usep::obs {
+class FlightRecorder;
+}  // namespace usep::obs
 
 namespace usep::serve {
 
@@ -39,6 +45,25 @@ struct ServiceOptions {
 
   obs::MetricsRegistry* metrics = nullptr;  // Borrowed; may be null.
   obs::TraceRecorder* trace = nullptr;      // Borrowed; may be null.
+
+  // Live serving telemetry (all optional; see docs/OBSERVABILITY.md "Live
+  // telemetry" and docs/SERVING.md's runbook).
+  //
+  // The always-on flight ring.  The service stamps per-mutation instants
+  // into it and — when `trace` is set — planner phase spans arrive through
+  // TraceRecorder::AttachFlight (wired by the binary / bench harness).
+  obs::FlightRecorder* flight = nullptr;  // Borrowed; may be null.
+  // When non-empty (and `flight` is set), the ring is dumped here on every
+  // degradation-rung change, on journal_broken, and on Abandon() — the
+  // moments where the evidence is about to be lost.
+  std::string flight_dump_path;
+  // Rolling-window SLO tracking; slo_ms defaults to the ladder's.
+  SloTrackerOptions slo_window;
+  // When non-empty, the full metrics registry is republished here (statsz
+  // JSON + Prometheus text at PATH.prom, atomic rename) at most every
+  // `metrics_every_ms` (0 = after every processed mutation).
+  std::string metrics_out;
+  double metrics_every_ms = 1000.0;
 };
 
 // What Open() found on disk.
@@ -144,6 +169,15 @@ class StreamingService {
   uint64_t last_seq() const { return next_seq_ - 1; }
   bool journal_broken() const { return journal_broken_; }
 
+  // The rolling-window SLO tracker (always present; cheap when idle).
+  const SloTracker& slo() const { return *slo_; }
+
+  // Publishes the SLO window into the registry and — with metrics_out set —
+  // republishes the statsz/Prometheus files now, regardless of cadence.
+  // Telemetry failures are counted (usep.serve.metrics_dump_failures), not
+  // returned: exposition must never take the serving loop down.
+  void PublishTelemetry();
+
   // FNV-1a 64 over the canonical world + plan state serializations: equal
   // fingerprints mean bit-identical recoverable state.  This is the value
   // the chaos harness compares across kill + restart.
@@ -154,6 +188,11 @@ class StreamingService {
 
   Status Recover();
   Status MaybeSnapshot();
+  // Dumps the flight ring to options_.flight_dump_path (no-op when either
+  // half is missing); `reason` must be a static string.
+  void DumpFlight(const char* reason);
+  // PublishTelemetry, but rate-limited to options_.metrics_every_ms.
+  void MaybePublishTelemetry();
 
   ServiceOptions options_;
   RecoveryInfo recovery_;
@@ -162,10 +201,14 @@ class StreamingService {
   std::unique_ptr<Replanner> replanner_;
   std::unique_ptr<JournalWriter> journal_;
   std::deque<Mutation> queue_;
+  std::unique_ptr<SloTracker> slo_;
   uint64_t next_seq_ = 1;
   int mutations_since_snapshot_ = 0;
   bool journal_broken_ = false;
   bool closed_ = false;
+  Stopwatch metrics_dump_timer_;
+  bool metrics_dumped_once_ = false;
+  uint64_t published_trace_dropped_ = 0;
 
   struct Metrics;
   std::unique_ptr<Metrics> m_;

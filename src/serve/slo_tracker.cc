@@ -1,0 +1,261 @@
+#include "serve/slo_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace usep::serve {
+
+namespace {
+
+// Shared latency bucket layout: 0.01 ms * 2^i for 20 buckets (~10 us up to
+// ~5 s) plus overflow — replan latencies beyond that are a window p99 of
+// "seconds", which the overflow bucket reports faithfully enough.
+constexpr double kFirstBoundMs = 1e-2;
+constexpr int kLatencyBuckets = 20;
+
+enum ReasonIndex {
+  kReasonFault = 0,
+  kReasonDeadline,
+  kReasonShed,
+  kReasonLoad,
+  kReasonRecovered,
+};
+
+}  // namespace
+
+struct SloTracker::Bucket {
+  int64_t period = -1;  // floor(event time / bucket_span); -1 = never used.
+  int64_t committed = 0;
+  int64_t shed = 0;
+  int64_t misses = 0;
+  double time_in_rung_s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::vector<int64_t> latency;  // latency_bounds_.size() + 1 (overflow).
+
+  void Reset(int64_t new_period, size_t num_latency_slots) {
+    period = new_period;
+    committed = shed = misses = 0;
+    for (double& t : time_in_rung_s) t = 0.0;
+    latency.assign(num_latency_slots, 0);
+  }
+};
+
+struct SloTracker::Metrics {
+  obs::Gauge* p50 = nullptr;
+  obs::Gauge* p99 = nullptr;
+  obs::Gauge* mutations_per_sec = nullptr;
+  obs::Gauge* shed_fraction = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* rung = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* rung_changes = nullptr;
+  obs::Counter* reasons[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+  obs::Counter* time_in_rung_ms[4] = {nullptr, nullptr, nullptr, nullptr};
+
+  // Delta-publication state so counters stay monotonic across Publish calls.
+  int64_t published_misses = 0;
+  int64_t published_rung_changes = 0;
+  int64_t published_reasons[5] = {0, 0, 0, 0, 0};
+  int64_t published_time_in_rung_ms[4] = {0, 0, 0, 0};
+
+  explicit Metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    p50 = registry->GetGauge("usep.serve.slo.window.p50_ms");
+    p99 = registry->GetGauge("usep.serve.slo.window.p99_ms");
+    mutations_per_sec =
+        registry->GetGauge("usep.serve.slo.window.mutations_per_sec");
+    shed_fraction = registry->GetGauge("usep.serve.slo.window.shed_fraction");
+    queue_depth = registry->GetGauge("usep.serve.slo.queue_depth");
+    rung = registry->GetGauge("usep.serve.rung");
+    misses = registry->GetCounter("usep.serve.slo.misses");
+    rung_changes = registry->GetCounter("usep.serve.rung_changes");
+    static constexpr const char* kReasonNames[5] = {
+        "usep.serve.rung_change.fault", "usep.serve.rung_change.deadline",
+        "usep.serve.rung_change.shed", "usep.serve.rung_change.load",
+        "usep.serve.rung_change.recovered"};
+    for (int i = 0; i < 5; ++i) {
+      reasons[i] = registry->GetCounter(kReasonNames[i]);
+    }
+    for (int t = 0; t < 4; ++t) {
+      time_in_rung_ms[t] = registry->GetCounter(
+          std::string("usep.serve.time_in_rung_ms.") +
+          RepairTierName(static_cast<RepairTier>(t)));
+    }
+  }
+};
+
+SloTracker::SloTracker(const SloTrackerOptions& options,
+                       obs::MetricsRegistry* metrics)
+    : options_(options), epoch_(std::chrono::steady_clock::now()),
+      m_(std::make_unique<Metrics>(metrics)) {
+  if (options_.num_buckets < 2) options_.num_buckets = 2;
+  if (options_.window_seconds <= 0.0) options_.window_seconds = 60.0;
+  bucket_span_s_ = options_.window_seconds / options_.num_buckets;
+  latency_bounds_.reserve(kLatencyBuckets);
+  double bound = kFirstBoundMs;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    latency_bounds_.push_back(bound);
+    bound *= 2.0;
+  }
+  buckets_.resize(static_cast<size_t>(options_.num_buckets));
+  for (Bucket& bucket : buckets_) {
+    bucket.latency.assign(latency_bounds_.size() + 1, 0);
+  }
+}
+
+SloTracker::~SloTracker() = default;
+
+double SloTracker::Now() const {
+  if (manual_clock_) return manual_now_s_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SloTracker::UseManualClockForTest() { manual_clock_ = true; }
+
+void SloTracker::AdvanceClockForTest(double seconds) {
+  manual_now_s_ += seconds;
+}
+
+SloTracker::Bucket& SloTracker::BucketFor(double now) {
+  const int64_t period = static_cast<int64_t>(now / bucket_span_s_);
+  Bucket& bucket =
+      buckets_[static_cast<size_t>(period) % buckets_.size()];
+  if (bucket.period != period) {
+    bucket.Reset(period, latency_bounds_.size() + 1);
+  }
+  return bucket;
+}
+
+bool SloTracker::Record(double process_ms, RepairTier tier, bool shed,
+                        bool fault, bool deadline, int queue_depth,
+                        RungChange* change) {
+  const double now = Now();
+  Bucket& bucket = BucketFor(now);
+
+  // The wall time since the previous mutation was served AT the previous
+  // rung; attribute it there (bucket granularity — a gap spanning several
+  // buckets lands in the current one, which is as fine as the ring resolves
+  // anyway).
+  if (rung_seen_) {
+    double dt = now - last_event_s_;
+    if (dt < 0.0) dt = 0.0;
+    bucket.time_in_rung_s[static_cast<int>(rung_)] += dt;
+    total_time_in_rung_s_[static_cast<int>(rung_)] += dt;
+  }
+  last_event_s_ = now;
+  last_queue_depth_ = queue_depth;
+
+  ++bucket.committed;
+  if (shed) ++bucket.shed;
+  if (options_.slo_ms > 0.0 && process_ms > options_.slo_ms) {
+    ++bucket.misses;
+    ++total_misses_;
+  }
+  const auto it = std::lower_bound(latency_bounds_.begin(),
+                                   latency_bounds_.end(), process_ms);
+  ++bucket.latency[static_cast<size_t>(it - latency_bounds_.begin())];
+
+  if (!rung_seen_) {
+    rung_seen_ = true;
+    rung_ = tier;
+    return false;
+  }
+  if (tier == rung_) return false;
+
+  RungChange moved;
+  moved.from = rung_;
+  moved.to = tier;
+  int reason;
+  if (static_cast<int>(tier) < static_cast<int>(rung_)) {
+    moved.why = "recovered";
+    reason = kReasonRecovered;
+  } else if (fault) {
+    moved.why = "fault";
+    reason = kReasonFault;
+  } else if (shed) {
+    moved.why = "shed";
+    reason = kReasonShed;
+  } else if (deadline) {
+    moved.why = "deadline";
+    reason = kReasonDeadline;
+  } else {
+    moved.why = "load";
+    reason = kReasonLoad;
+  }
+  rung_ = tier;
+  ++rung_changes_;
+  ++rung_change_reason_[reason];
+  if (change != nullptr) *change = moved;
+  return true;
+}
+
+SloWindowStats SloTracker::Window() const {
+  SloWindowStats stats;
+  const double now = Now();
+  const int64_t current_period =
+      static_cast<int64_t>(now / bucket_span_s_);
+  const int64_t oldest_live =
+      current_period - static_cast<int64_t>(buckets_.size()) + 1;
+
+  std::vector<int64_t> merged(latency_bounds_.size() + 1, 0);
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.period < oldest_live || bucket.period > current_period) {
+      continue;  // Expired (or never used) — its slot awaits reuse.
+    }
+    stats.committed += bucket.committed;
+    stats.shed += bucket.shed;
+    stats.misses += bucket.misses;
+    for (int t = 0; t < 4; ++t) {
+      stats.time_in_rung_s[t] += bucket.time_in_rung_s[t];
+    }
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += bucket.latency[i];
+  }
+
+  stats.covered_seconds = std::min(now, options_.window_seconds);
+  const double rate_base = std::max(stats.covered_seconds, 1e-9);
+  stats.mutations_per_sec = static_cast<double>(stats.committed) / rate_base;
+  stats.shed_fraction =
+      stats.committed > 0
+          ? static_cast<double>(stats.shed) / static_cast<double>(stats.committed)
+          : 0.0;
+
+  obs::MetricsSnapshot::HistogramValue merged_histogram;
+  merged_histogram.upper_bounds = latency_bounds_;
+  merged_histogram.bucket_counts = std::move(merged);
+  stats.p50_ms = obs::HistogramQuantile(merged_histogram, 0.5);
+  stats.p99_ms = obs::HistogramQuantile(merged_histogram, 0.99);
+  return stats;
+}
+
+void SloTracker::Publish() {
+  if (m_->p50 == nullptr) return;  // No registry attached.
+  const SloWindowStats stats = Window();
+  m_->p50->Set(stats.p50_ms);
+  m_->p99->Set(stats.p99_ms);
+  m_->mutations_per_sec->Set(stats.mutations_per_sec);
+  m_->shed_fraction->Set(stats.shed_fraction);
+  m_->queue_depth->Set(static_cast<double>(last_queue_depth_));
+  m_->rung->Set(static_cast<double>(static_cast<int>(rung_)));
+
+  m_->misses->Increment(total_misses_ - m_->published_misses);
+  m_->published_misses = total_misses_;
+  m_->rung_changes->Increment(rung_changes_ - m_->published_rung_changes);
+  m_->published_rung_changes = rung_changes_;
+  for (int i = 0; i < 5; ++i) {
+    m_->reasons[i]->Increment(rung_change_reason_[i] -
+                              m_->published_reasons[i]);
+    m_->published_reasons[i] = rung_change_reason_[i];
+  }
+  for (int t = 0; t < 4; ++t) {
+    const int64_t total_ms =
+        static_cast<int64_t>(total_time_in_rung_s_[t] * 1e3);
+    m_->time_in_rung_ms[t]->Increment(total_ms -
+                                      m_->published_time_in_rung_ms[t]);
+    m_->published_time_in_rung_ms[t] = total_ms;
+  }
+}
+
+}  // namespace usep::serve

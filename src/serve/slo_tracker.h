@@ -1,0 +1,137 @@
+#ifndef USEP_SERVE_SLO_TRACKER_H_
+#define USEP_SERVE_SLO_TRACKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/replanner.h"
+
+namespace usep::obs {
+class MetricsRegistry;
+}  // namespace usep::obs
+
+namespace usep::serve {
+
+// Rolling-window serving SLO statistics: a ring of time buckets (e.g.
+// 12 x 5 s) each holding a small exponential latency histogram plus
+// counters, merged at read time into window p50/p99 replan latency,
+// mutations/sec, shed fraction, and time-in-rung per degradation rung.
+// Expired buckets are reused in place, so memory is fixed no matter how
+// long the service runs.
+//
+// The tracker also owns the service's rung-change telemetry: the "rung" is
+// the tier of the last committed repair, and every move is classified with
+// a why (fault / deadline / shed / load when descending, recovered when
+// climbing back up) and counted per reason.
+//
+// Single-writer by design, like StreamingService itself: Record() is called
+// from the serving loop only.  Publish() pushes the derived values into
+// `usep.serve.*` gauges/counters; the serving loop calls it at metrics-dump
+// cadence, NOT per mutation, keeping the per-mutation cost to a few array
+// writes (the <= 2% flight-recorder overhead budget covers both).
+struct SloTrackerOptions {
+  double window_seconds = 60.0;
+  int num_buckets = 12;
+  // Latency threshold for the window's miss counter (`usep.serve.slo.
+  // misses`); 0 disables miss counting.  StreamingService defaults it to
+  // the ladder's slo_ms.
+  double slo_ms = 0.0;
+};
+
+struct SloWindowStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mutations_per_sec = 0.0;
+  double shed_fraction = 0.0;  // shed / committed inside the window.
+  int64_t committed = 0;
+  int64_t shed = 0;
+  int64_t misses = 0;
+  // Wall seconds the window actually covers (< window_seconds early on).
+  double covered_seconds = 0.0;
+  // Serving time attributed to each rung inside the window, indexed by
+  // RepairTier.
+  double time_in_rung_s[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+class SloTracker {
+ public:
+  // Why the degradation rung moved; `why` is a static string.
+  struct RungChange {
+    RepairTier from = RepairTier::kIncremental;
+    RepairTier to = RepairTier::kIncremental;
+    const char* why = "";
+  };
+
+  SloTracker(const SloTrackerOptions& options, obs::MetricsRegistry* metrics);
+  ~SloTracker();
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // Accounts one committed mutation: latency into the current time bucket,
+  // elapsed wall time into the pre-mutation rung, shed/miss counters.
+  // Returns true — filling *change — when the mutation moved the rung:
+  // descending with faults -> "fault", under load shedding -> "shed", with
+  // a deadline-stopped repair -> "deadline", otherwise -> "load"; any climb
+  // back up -> "recovered".
+  bool Record(double process_ms, RepairTier tier, bool shed, bool fault,
+              bool deadline, int queue_depth, RungChange* change);
+
+  RepairTier current_rung() const { return rung_; }
+  int64_t rung_changes() const { return rung_changes_; }
+
+  // Merges the live (non-expired) buckets.
+  SloWindowStats Window() const;
+
+  // Publishes Window() into the metrics registry:
+  //   gauges   usep.serve.slo.window.{p50_ms,p99_ms,mutations_per_sec,
+  //            shed_fraction}, usep.serve.slo.queue_depth, usep.serve.rung
+  //   counters usep.serve.slo.misses, usep.serve.rung_changes,
+  //            usep.serve.rung_change.{fault,deadline,shed,load,recovered},
+  //            usep.serve.time_in_rung_ms.<rung>
+  // Counters are published as deltas since the previous Publish, so they
+  // stay monotonic.  No-op without a registry.
+  void Publish();
+
+  const SloTrackerOptions& options() const { return options_; }
+
+  // --- Deterministic testing ----------------------------------------------
+  // Freezes the wall clock; AdvanceClockForTest then steps it manually.
+  void UseManualClockForTest();
+  void AdvanceClockForTest(double seconds);
+
+ private:
+  struct Bucket;
+  struct Metrics;
+
+  double Now() const;  // Seconds since construction.
+  // Rotates the ring to the bucket covering `now`, resetting expired ones.
+  Bucket& BucketFor(double now);
+
+  SloTrackerOptions options_;
+  double bucket_span_s_ = 5.0;
+  std::vector<Bucket> buckets_;
+  std::vector<double> latency_bounds_;  // Shared exponential bucket bounds.
+
+  const std::chrono::steady_clock::time_point epoch_;
+  bool manual_clock_ = false;
+  double manual_now_s_ = 0.0;
+
+  RepairTier rung_ = RepairTier::kIncremental;
+  bool rung_seen_ = false;  // First Record initializes the rung silently.
+  int64_t rung_changes_ = 0;
+  int64_t rung_change_reason_[5] = {0, 0, 0, 0, 0};
+  double last_event_s_ = 0.0;
+  int last_queue_depth_ = 0;
+  int64_t total_misses_ = 0;
+
+  // Cumulative time per rung (beyond the window) for delta publication.
+  double total_time_in_rung_s_[4] = {0.0, 0.0, 0.0, 0.0};
+
+  std::unique_ptr<Metrics> m_;
+};
+
+}  // namespace usep::serve
+
+#endif  // USEP_SERVE_SLO_TRACKER_H_

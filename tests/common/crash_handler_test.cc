@@ -1,0 +1,125 @@
+#include "common/crash_handler.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+
+// The fork + fatal-signal exercise is meaningless under sanitizers: their
+// runtimes install their own signal machinery and dislike dying forked
+// children.  The SIGQUIT (live probe) path still runs everywhere.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define USEP_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define USEP_SANITIZED 1
+#endif
+#endif
+
+namespace usep {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CrashHandlerTest, DumpFlightNowIsANoOpWhenUninstalled) {
+  InstallFlightDumpHandlers(nullptr, "");  // Reset any previous install.
+  EXPECT_FALSE(DumpFlightNow("unit_test"));
+}
+
+TEST(CrashHandlerTest, DumpFlightNowWritesTheInstalledPath) {
+  const std::string path = TempPath("crash_on_demand.json");
+  std::remove(path.c_str());
+  obs::FlightRecorder flight;
+  flight.RecordInstant("test/event", "before-dump", 1);
+  InstallFlightDumpHandlers(&flight, path);
+  EXPECT_TRUE(DumpFlightNow("on_demand"));
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"reason\":\"on_demand\""), std::string::npos);
+  EXPECT_NE(dump.find("test/event"), std::string::npos);
+  InstallFlightDumpHandlers(nullptr, "");
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerTest, SigquitDumpsAndTheProcessContinues) {
+  const std::string path = TempPath("crash_sigquit.json");
+  std::remove(path.c_str());
+  obs::FlightRecorder flight;
+  flight.RecordInstant("test/pre-quit", nullptr, 7);
+  InstallFlightDumpHandlers(&flight, path);
+
+  // The live probe: SIGQUIT dumps the ring and RETURNS — the process keeps
+  // serving.  Reaching the assertions below is itself the liveness check.
+  ASSERT_EQ(::raise(SIGQUIT), 0);
+
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"reason\":\"SIGQUIT\""), std::string::npos);
+  EXPECT_NE(dump.find("test/pre-quit"), std::string::npos);
+
+  // Still installed: a second probe overwrites with fresher contents.
+  flight.RecordInstant("test/post-quit", nullptr, 8);
+  ASSERT_EQ(::raise(SIGQUIT), 0);
+  EXPECT_NE(ReadFile(path).find("test/post-quit"), std::string::npos);
+
+  InstallFlightDumpHandlers(nullptr, "");
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerTest, UninstallRestoresDefaultDispositionState) {
+  obs::FlightRecorder flight;
+  const std::string path = TempPath("crash_uninstall.json");
+  std::remove(path.c_str());
+  InstallFlightDumpHandlers(&flight, path);
+  InstallFlightDumpHandlers(nullptr, "");
+  EXPECT_FALSE(DumpFlightNow("after_uninstall"));
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+#if !defined(USEP_SANITIZED)
+TEST(CrashHandlerTest, FatalSignalDumpsFromTheDyingProcess) {
+  const std::string path = TempPath("crash_fatal.json");
+  std::remove(path.c_str());
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The dying process: record evidence, install, and abort.  The handler
+    // must write the dump, then the process dies by SIGABRT as intended.
+    obs::FlightRecorder flight;
+    flight.RecordInstant("test/last-words", "about-to-abort", 13);
+    InstallFlightDumpHandlers(&flight, path);
+    std::abort();
+    _exit(0);  // Unreachable.
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"reason\":\"SIGABRT\""), std::string::npos);
+  EXPECT_NE(dump.find("test/last-words"), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif  // !USEP_SANITIZED
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,125 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace usep::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(PrometheusNameTest, SanitizesToTheMetricCharset) {
+  EXPECT_EQ(PrometheusName("usep.serve.replan_ms"), "usep_serve_replan_ms");
+  EXPECT_EQ(PrometheusName("a:b"), "a:b");  // Colons are legal.
+  EXPECT_EQ(PrometheusName("weird name-with/chars"), "weird_name_with_chars");
+  // A leading digit is illegal; it gets prefixed.
+  EXPECT_EQ(PrometheusName("2fast"), "_2fast");
+  EXPECT_EQ(PrometheusName(""), "");
+}
+
+TEST(ExpositionTest, PrometheusTextCarriesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("usep.serve.mutations")->Increment(42);
+  registry.GetGauge("usep.serve.rung")->Set(2.0);
+  Histogram* histogram = registry.GetHistogram(
+      "usep.serve.replan_ms", HistogramOptions{1.0, 2.0, 3});
+  histogram->Observe(0.5);   // Bucket 0 (<= 1).
+  histogram->Observe(3.0);   // Bucket 2 (<= 4).
+  histogram->Observe(100.0); // Overflow.
+
+  std::ostringstream out;
+  WritePrometheusText(registry.Snapshot(), out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE usep_serve_mutations counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("usep_serve_mutations 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE usep_serve_rung gauge"), std::string::npos);
+  EXPECT_NE(text.find("usep_serve_rung 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE usep_serve_replan_ms histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1, 1, 2 finite, then everything at +Inf.
+  EXPECT_NE(text.find("usep_serve_replan_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("usep_serve_replan_ms_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("usep_serve_replan_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("usep_serve_replan_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("usep_serve_replan_ms_sum 103.5"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ExpositionTest, StatszJsonRoundTripsTheSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one")->Increment(7);
+  registry.GetGauge("g.one")->Set(-1.5);
+  Histogram* histogram =
+      registry.GetHistogram("h.one", HistogramOptions{1.0, 2.0, 2});
+  histogram->Observe(0.5);
+  histogram->Observe(1.5);
+
+  std::ostringstream out;
+  WriteStatszJson(registry.Snapshot(), out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"statsz\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":-1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"h.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // The three exposed quantiles are present and the bucket arrays align.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"upper_bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\":[1,1,0]"), std::string::npos);
+}
+
+TEST(ExpositionTest, WriteMetricsFilesPublishesBothFormatsAtomically) {
+  MetricsRegistry registry;
+  registry.GetCounter("usep.serve.mutations")->Increment(5);
+  const std::string path = ::testing::TempDir() + "/exposition_metrics.json";
+
+  std::string error;
+  ASSERT_TRUE(WriteMetricsFiles(registry.Snapshot(), path, &error)) << error;
+  const std::string json = ReadFile(path);
+  const std::string prom = ReadFile(path + ".prom");
+  EXPECT_NE(json.find("\"kind\":\"statsz\""), std::string::npos);
+  EXPECT_NE(prom.find("usep_serve_mutations 5"), std::string::npos);
+  // No temp files survive the rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  EXPECT_FALSE(std::ifstream(path + ".prom.tmp").good());
+
+  // Republishing overwrites in place (the periodic --metrics_out loop).
+  registry.GetCounter("usep.serve.mutations")->Increment(1);
+  ASSERT_TRUE(WriteMetricsFiles(registry.Snapshot(), path, &error)) << error;
+  EXPECT_NE(ReadFile(path + ".prom").find("usep_serve_mutations 6"),
+            std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove((path + ".prom").c_str());
+}
+
+TEST(ExpositionTest, WriteMetricsFilesReportsUnwritablePaths) {
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_FALSE(WriteMetricsFiles(registry.Snapshot(),
+                                 "/nonexistent-dir/metrics.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace usep::obs

@@ -1,0 +1,190 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace usep::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FlightRecorderTest, RecordsSpansAndInstants) {
+  FlightRecorder flight;
+  flight.RecordSpan("plan/ladder", 123.0, "tier=incremental", 7);
+  flight.RecordInstant("serve/mutation", "add_user", 42);
+  EXPECT_EQ(flight.recorded(), 2u);
+
+  const std::vector<TraceEvent> events = flight.SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // SnapshotEvents sorts by timestamp; the span's ts is re-anchored to its
+  // start, so it precedes the instant recorded "now" after it.
+  EXPECT_EQ(events[0].name, "plan/ladder");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 123.0);
+  EXPECT_EQ(events[1].name, "serve/mutation");
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorderOptions options;
+  options.rings = 3;        // -> 4
+  options.slots_per_ring = 100;  // -> 128
+  FlightRecorder flight(options);
+  EXPECT_EQ(flight.capacity(), 4u * 128u);
+}
+
+TEST(FlightRecorderTest, WrapKeepsTheMostRecentEvents) {
+  FlightRecorderOptions options;
+  options.rings = 1;
+  options.slots_per_ring = 16;
+  FlightRecorder flight(options);
+  for (int64_t i = 0; i < 100; ++i) {
+    flight.RecordInstant("event", nullptr, i);
+  }
+  EXPECT_EQ(flight.recorded(), 100u);
+
+  const std::vector<TraceEvent> events = flight.SnapshotEvents();
+  ASSERT_EQ(events.size(), 16u);
+  // The single-threaded writer wraps in order, so exactly args 84..99
+  // survive (stored as the pre-serialized "arg" value).
+  std::set<std::string> args;
+  for (const TraceEvent& event : events) {
+    ASSERT_EQ(event.args.size(), 1u);  // arg only; detail was null.
+    EXPECT_EQ(event.args[0].first, "arg");
+    args.insert(event.args[0].second);
+  }
+  EXPECT_TRUE(args.count("84") == 1 && args.count("99") == 1)
+      << "oldest surviving arg: " << *args.begin();
+  EXPECT_EQ(args.count("83"), 0u);
+}
+
+TEST(FlightRecorderTest, DumpToFileWritesTheJsonEnvelope) {
+  const std::string path = TempPath("flight_dump.json");
+  FlightRecorder flight;
+  flight.RecordSpan("plan/phase", 10.0, "detail", 1);
+  flight.RecordInstant("serve/rung-change", "regional", 2);
+  ASSERT_TRUE(flight.DumpToFile(path.c_str(), "unit_test"));
+
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(dump.find("\"flight\":{\"reason\":\"unit_test\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"recorded\":2"), std::string::npos);
+  EXPECT_NE(dump.find("\"wrapped\":0"), std::string::npos);
+  EXPECT_NE(dump.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"plan/phase\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\":\"i\""), std::string::npos);
+  // Balanced braces/brackets — the envelope is complete.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '{'),
+            std::count(dump.begin(), dump.end(), '}'));
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '['),
+            std::count(dump.begin(), dump.end(), ']'));
+  // No half-written temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpSanitizesQuotesAndControlBytes) {
+  const std::string path = TempPath("flight_sanitize.json");
+  FlightRecorder flight;
+  flight.RecordInstant("name\"with\\quotes", "line\nbreak\ttab", 0);
+  ASSERT_TRUE(flight.DumpToFile(path.c_str(), "unit_test"));
+
+  const std::string dump = ReadFile(path);
+  // Quotes and backslashes become apostrophes, control bytes spaces — the
+  // dump never needs JSON escape machinery in a signal handler.
+  EXPECT_NE(dump.find("name'with'quotes"), std::string::npos);
+  EXPECT_NE(dump.find("line break tab"), std::string::npos);
+  for (const char c : dump) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+        << "control byte in dump: " << static_cast<int>(c);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ForwardsTraceEventsWithJoinedArgs) {
+  FlightRecorder flight;
+  TraceEvent event;
+  event.name = "plan/local_search";
+  event.phase = 'X';
+  event.ts_us = 10.0;
+  event.dur_us = 250.0;
+  event.args.emplace_back("rounds", "3");
+  event.args.emplace_back("gain", "1.5");
+  flight.RecordTraceEvent(event);
+
+  TraceEvent metadata;
+  metadata.name = "thread_name";
+  metadata.phase = 'M';
+  flight.RecordTraceEvent(metadata);  // Metadata never enters the ring.
+
+  const std::vector<TraceEvent> events = flight.SnapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "plan/local_search");
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 250.0);
+  ASSERT_FALSE(events[0].args.empty());
+  EXPECT_NE(events[0].args[0].second.find("rounds=3"), std::string::npos);
+  EXPECT_NE(events[0].args[0].second.find("gain=1.5"), std::string::npos);
+}
+
+// Writers on many threads while a reader snapshots and dumps concurrently:
+// the seqlock protocol must only ever surface fully-committed slots, and
+// recorded() must count every write exactly once.
+TEST(FlightRecorderTest, ConcurrentWritersAndReadersStayCoherent) {
+  FlightRecorderOptions options;
+  options.rings = 4;
+  options.slots_per_ring = 64;
+  FlightRecorder flight(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&flight, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        flight.RecordInstant("hammer/event", "writer", t * kPerThread + i);
+      }
+    });
+  }
+
+  // Concurrent snapshots: every surfaced event must be fully formed.
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<TraceEvent> snapshot = flight.SnapshotEvents();
+    EXPECT_LE(snapshot.size(), flight.capacity());
+    for (const TraceEvent& event : snapshot) {
+      EXPECT_EQ(event.name, "hammer/event");
+      EXPECT_TRUE(event.phase == 'i' || event.phase == 'X');
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  EXPECT_EQ(flight.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const std::string path = TempPath("flight_hammer.json");
+  ASSERT_TRUE(flight.DumpToFile(path.c_str(), "hammer"));
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("\"traceEvents\":["), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace usep::obs

@@ -210,5 +210,46 @@ TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
             kThreads * kUpdates);
 }
 
+// The exposition-coherence contract: a Snapshot taken WHILE writers hammer
+// a histogram must still be internally consistent — its count equals the
+// sum of its bucket counts (and sits within the bounds the quantile code
+// assumes).  This is what --metrics_out scrapes mid-run, so tearing here
+// would surface as impossible statsz files.
+TEST(MetricsTest, SnapshotStaysCoherentUnderConcurrentObserves) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("hammer.coherent", HistogramOptions{0.5, 2.0, 12});
+  Counter* counter = registry.GetCounter("hammer.coherent.count");
+
+  constexpr int kThreads = 4;
+  constexpr int kUpdates = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, counter] {
+      for (int i = 0; i < kUpdates; ++i) {
+        histogram->Observe(static_cast<double>(i % 100));
+        counter->Increment();
+      }
+    });
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    ASSERT_EQ(snapshot.histograms.size(), 1u);
+    const MetricsSnapshot::HistogramValue& h = snapshot.histograms[0];
+    int64_t bucket_sum = 0;
+    for (const int64_t count : h.bucket_counts) bucket_sum += count;
+    EXPECT_EQ(bucket_sum, h.count) << "torn snapshot in round " << round;
+    EXPECT_GE(h.count, 0);
+    EXPECT_LE(h.count, static_cast<int64_t>(kThreads) * kUpdates);
+  }
+
+  for (std::thread& thread : threads) thread.join();
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.histograms[0].count,
+            static_cast<int64_t>(kThreads) * kUpdates);
+}
+
 }  // namespace
 }  // namespace usep::obs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
+
 namespace usep::obs {
 namespace {
 
@@ -132,6 +134,56 @@ TEST(TraceTest, WriteJsonEnvelopeShape) {
     }
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceTest, MaxEventsCapsMemoryAndCountsDrops) {
+  TraceRecorder recorder;
+  recorder.set_max_events(100);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span(&recorder, "capped", "test");
+  }
+  // Memory stays flat at the cap no matter how long the run: the buffer
+  // holds exactly max_events and everything beyond is counted, not stored.
+  EXPECT_EQ(recorder.size(), 100u);
+  EXPECT_EQ(recorder.Events().size(), 100u);
+  EXPECT_EQ(recorder.dropped_events(), 900u);
+}
+
+TEST(TraceTest, CapStaysFlatUnderConcurrentRecording) {
+  TraceRecorder recorder;
+  recorder.set_max_events(64);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(&recorder, "hammer", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.size(), 64u);
+  // Stored + dropped accounts for every span exactly once.
+  EXPECT_EQ(recorder.size() + recorder.dropped_events(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(TraceTest, AttachedFlightStillSeesDroppedEvents) {
+  FlightRecorder flight;
+  TraceRecorder recorder;
+  recorder.set_max_events(4);
+  recorder.AttachFlight(&flight);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&recorder, "forwarded", "test");
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 6u);
+  // The flight ring is independent of the recorder's cap: every span is
+  // forwarded, so the last-moments evidence survives even after the
+  // recorder stops storing.
+  EXPECT_EQ(flight.recorded(), 10u);
 }
 
 TEST(TraceTest, ConcurrentRecordingKeepsEveryEvent) {

@@ -1,0 +1,197 @@
+#include "serve/slo_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/replanner.h"
+
+namespace usep::serve {
+namespace {
+
+SloTrackerOptions SmallWindow() {
+  SloTrackerOptions options;
+  options.window_seconds = 60.0;
+  options.num_buckets = 12;  // 5 s buckets, the serving default.
+  return options;
+}
+
+// Record() with only the fields under test varying.
+bool Commit(SloTracker& tracker, double ms, RepairTier tier,
+            bool shed = false, bool fault = false, bool deadline = false,
+            SloTracker::RungChange* change = nullptr) {
+  return tracker.Record(ms, tier, shed, fault, deadline, /*queue_depth=*/0,
+                        change);
+}
+
+TEST(SloTrackerTest, FirstRecordInitializesTheRungSilently) {
+  SloTracker tracker(SmallWindow(), nullptr);
+  SloTracker::RungChange change;
+  EXPECT_FALSE(Commit(tracker, 1.0, RepairTier::kRegional, /*shed=*/false,
+                      /*fault=*/true, /*deadline=*/true, &change));
+  EXPECT_EQ(tracker.current_rung(), RepairTier::kRegional);
+  EXPECT_EQ(tracker.rung_changes(), 0);
+}
+
+TEST(SloTrackerTest, ClassifiesRungChangeReasonsByPriority) {
+  SloTracker tracker(SmallWindow(), nullptr);
+  Commit(tracker, 1.0, RepairTier::kIncremental);
+
+  SloTracker::RungChange change;
+  // Descending: fault wins over everything else.
+  ASSERT_TRUE(Commit(tracker, 1.0, RepairTier::kRegional, /*shed=*/true,
+                     /*fault=*/true, /*deadline=*/true, &change));
+  EXPECT_STREQ(change.why, "fault");
+  EXPECT_EQ(change.from, RepairTier::kIncremental);
+  EXPECT_EQ(change.to, RepairTier::kRegional);
+
+  // Then shed...
+  ASSERT_TRUE(Commit(tracker, 1.0, RepairTier::kAdmission, /*shed=*/true,
+                     /*fault=*/false, /*deadline=*/true, &change));
+  EXPECT_STREQ(change.why, "shed");
+
+  // ...then deadline...
+  ASSERT_TRUE(Commit(tracker, 1.0, RepairTier::kValidityOnly, /*shed=*/false,
+                     /*fault=*/false, /*deadline=*/true, &change));
+  EXPECT_STREQ(change.why, "deadline");
+
+  // ...and plain load when no cause is flagged.  Any climb is "recovered"
+  // regardless of flags.
+  ASSERT_TRUE(Commit(tracker, 1.0, RepairTier::kIncremental, /*shed=*/false,
+                     /*fault=*/true, /*deadline=*/true, &change));
+  EXPECT_STREQ(change.why, "recovered");
+  ASSERT_TRUE(Commit(tracker, 1.0, RepairTier::kRegional, /*shed=*/false,
+                     /*fault=*/false, /*deadline=*/false, &change));
+  EXPECT_STREQ(change.why, "load");
+
+  EXPECT_EQ(tracker.rung_changes(), 5);
+  // Staying on the same rung is not a change.
+  EXPECT_FALSE(Commit(tracker, 1.0, RepairTier::kRegional));
+  EXPECT_EQ(tracker.rung_changes(), 5);
+}
+
+TEST(SloTrackerTest, WindowMergesLiveBucketsIntoRatesAndQuantiles) {
+  SloTracker tracker(SmallWindow(), nullptr);
+  tracker.UseManualClockForTest();
+  tracker.AdvanceClockForTest(1.0);
+
+  for (int i = 0; i < 20; ++i) {
+    Commit(tracker, 1.0, RepairTier::kIncremental, /*shed=*/i < 5);
+  }
+  tracker.AdvanceClockForTest(9.0);  // t = 10 s, next time bucket.
+  Commit(tracker, 500.0, RepairTier::kIncremental);
+
+  const SloWindowStats stats = tracker.Window();
+  EXPECT_EQ(stats.committed, 21);
+  EXPECT_EQ(stats.shed, 5);
+  EXPECT_NEAR(stats.shed_fraction, 5.0 / 21.0, 1e-12);
+  EXPECT_NEAR(stats.covered_seconds, 10.0, 1e-9);
+  EXPECT_NEAR(stats.mutations_per_sec, 2.1, 1e-9);
+  // The bulk sits near 1 ms, the single 500 ms outlier drives the tail.
+  EXPECT_LE(stats.p50_ms, 2.0);
+  EXPECT_GE(stats.p99_ms, 100.0);
+  EXPECT_LE(stats.p50_ms, stats.p99_ms);
+}
+
+TEST(SloTrackerTest, ExpiredBucketsDropOutOfTheWindow) {
+  SloTracker tracker(SmallWindow(), nullptr);
+  tracker.UseManualClockForTest();
+  tracker.AdvanceClockForTest(1.0);
+  for (int i = 0; i < 10; ++i) {
+    Commit(tracker, 1.0, RepairTier::kIncremental, /*shed=*/true);
+  }
+  EXPECT_EQ(tracker.Window().committed, 10);
+  EXPECT_NEAR(tracker.Window().shed_fraction, 1.0, 1e-12);
+
+  // Two minutes later the whole first batch has aged out of the 60 s
+  // window and its ring slots were reused in place.
+  tracker.AdvanceClockForTest(120.0);
+  Commit(tracker, 2.0, RepairTier::kIncremental);
+  const SloWindowStats stats = tracker.Window();
+  EXPECT_EQ(stats.committed, 1);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_DOUBLE_EQ(stats.shed_fraction, 0.0);
+}
+
+TEST(SloTrackerTest, AttributesWallTimeToThePreMutationRung) {
+  SloTracker tracker(SmallWindow(), nullptr);
+  tracker.UseManualClockForTest();
+  tracker.AdvanceClockForTest(1.0);
+  Commit(tracker, 1.0, RepairTier::kIncremental);  // Rung initialized, t=1.
+
+  tracker.AdvanceClockForTest(5.0);  // t = 6: those 5 s ran at incremental.
+  Commit(tracker, 1.0, RepairTier::kRegional);
+
+  tracker.AdvanceClockForTest(3.0);  // t = 9: 3 s at regional.
+  Commit(tracker, 1.0, RepairTier::kRegional);
+
+  const SloWindowStats stats = tracker.Window();
+  EXPECT_NEAR(stats.time_in_rung_s[0], 5.0, 1e-9);
+  EXPECT_NEAR(stats.time_in_rung_s[1], 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.time_in_rung_s[2], 0.0);
+  EXPECT_DOUBLE_EQ(stats.time_in_rung_s[3], 0.0);
+}
+
+TEST(SloTrackerTest, CountsMissesAgainstTheConfiguredSlo) {
+  SloTrackerOptions options = SmallWindow();
+  options.slo_ms = 10.0;
+  SloTracker tracker(options, nullptr);
+  tracker.UseManualClockForTest();
+  tracker.AdvanceClockForTest(1.0);
+  Commit(tracker, 5.0, RepairTier::kIncremental);   // Within budget.
+  Commit(tracker, 10.0, RepairTier::kIncremental);  // Exactly at — not a miss.
+  Commit(tracker, 20.0, RepairTier::kIncremental);  // Miss.
+  EXPECT_EQ(tracker.Window().misses, 1);
+}
+
+TEST(SloTrackerTest, PublishDeltasKeepCountersMonotonic) {
+  obs::MetricsRegistry metrics;
+  SloTrackerOptions options = SmallWindow();
+  options.slo_ms = 10.0;
+  SloTracker tracker(options, &metrics);
+  tracker.UseManualClockForTest();
+  tracker.AdvanceClockForTest(1.0);
+
+  Commit(tracker, 1.0, RepairTier::kIncremental);
+  tracker.AdvanceClockForTest(2.0);
+  Commit(tracker, 50.0, RepairTier::kRegional, /*shed=*/false, /*fault=*/true);
+  tracker.Publish();
+
+  EXPECT_EQ(metrics.GetCounter("usep.serve.rung_changes")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.rung_change.fault")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.slo.misses")->Value(), 1);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("usep.serve.rung")->Value(), 1.0);
+  // Those first 2 s ran at the incremental rung.
+  EXPECT_EQ(
+      metrics.GetCounter("usep.serve.time_in_rung_ms.incremental")->Value(),
+      2000);
+
+  // Publishing again without new activity must not double-count anything.
+  tracker.Publish();
+  EXPECT_EQ(metrics.GetCounter("usep.serve.rung_changes")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.slo.misses")->Value(), 1);
+  EXPECT_EQ(
+      metrics.GetCounter("usep.serve.time_in_rung_ms.incremental")->Value(),
+      2000);
+
+  // New activity shows up as a delta on top of the running totals.
+  tracker.AdvanceClockForTest(4.0);
+  Commit(tracker, 1.0, RepairTier::kIncremental);  // Recovered.
+  tracker.Publish();
+  EXPECT_EQ(metrics.GetCounter("usep.serve.rung_changes")->Value(), 2);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.rung_change.recovered")->Value(),
+            1);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("usep.serve.rung")->Value(), 0.0);
+  EXPECT_EQ(
+      metrics.GetCounter("usep.serve.time_in_rung_ms.regional")->Value(),
+      4000);
+  // Window gauges track the merged stats.
+  const SloWindowStats stats = tracker.Window();
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge("usep.serve.slo.window.p99_ms")->Value(), stats.p99_ms);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge("usep.serve.slo.window.mutations_per_sec")->Value(),
+      stats.mutations_per_sec);
+}
+
+}  // namespace
+}  // namespace usep::serve

@@ -1,0 +1,234 @@
+// End-to-end checks of the live serving telemetry: the flight ring dumps at
+// the moments evidence is about to be lost (rung change, journal_broken,
+// abandon), recovery is reflected in `usep.serve.*`, and --metrics_out style
+// exposition never takes the serving loop down.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+
+namespace usep::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Mutation Join(uint64_t key, Cost budget, Point location,
+              std::vector<MutationUtility> utilities = {}) {
+  Mutation m;
+  m.kind = MutationKind::kUserJoin;
+  m.key = key;
+  m.budget = budget;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+Mutation Post(uint64_t key, TimeInterval interval, int capacity,
+              Point location) {
+  Mutation m;
+  m.kind = MutationKind::kEventPost;
+  m.key = key;
+  m.interval = interval;
+  m.capacity = capacity;
+  m.location = location;
+  return m;
+}
+
+ProcessResult Feed(StreamingService* service, const Mutation& m) {
+  EXPECT_TRUE(service->Submit(m).ok());
+  StatusOr<ProcessResult> result = service->ProcessNext();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : ProcessResult{};
+}
+
+TEST(ServeTelemetryTest, RungChangeDumpsTheFlightRing) {
+  obs::FlightRecorder flight;
+  ServiceOptions options;
+  options.flight = &flight;
+  options.flight_dump_path = TempPath("telemetry_rung.json");
+  // Tiny queue: any backlog beyond one mutation sheds, which runs the
+  // validity-only rung and moves the rung away from the initial tier.
+  options.queue_capacity = 4;
+  options.shed_fraction = 0.25;
+  std::remove(options.flight_dump_path.c_str());
+
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  StreamingService* service = opened->get();
+
+  // First mutation initializes the rung silently: no dump yet.  (An event
+  // with no users is unmaterializable, so it runs validity-only.)
+  Feed(service, Post(10, {0, 100}, 4, {0, 0}));
+  EXPECT_FALSE(std::ifstream(options.flight_dump_path).good());
+
+  // The first join materializes the world and runs the incremental rung:
+  // the climb from validity-only is a "recovered" rung change -> dump.
+  Feed(service, Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  ASSERT_EQ(service->slo().rung_changes(), 1);
+  ASSERT_TRUE(std::ifstream(options.flight_dump_path).good());
+  std::remove(options.flight_dump_path.c_str());
+
+  // Backlog -> shed -> back down to validity-only: the descent dumps again.
+  for (uint64_t key = 2; key <= 4; ++key) {
+    ASSERT_TRUE(service->Submit(Join(key, 1000, {1, 1}, {{10, 0.5}})).ok());
+  }
+  StatusOr<ProcessResult> shed = service->ProcessNext();
+  ASSERT_TRUE(shed.ok());
+  ASSERT_TRUE(shed->shed);
+  EXPECT_EQ(service->slo().rung_changes(), 2);
+
+  const std::string dump = ReadFile(options.flight_dump_path);
+  EXPECT_NE(dump.find("\"reason\":\"rung_change\""), std::string::npos);
+  EXPECT_NE(dump.find("serve/rung-change"), std::string::npos);
+  EXPECT_NE(dump.find("serve/mutation"), std::string::npos);
+  std::remove(options.flight_dump_path.c_str());
+}
+
+TEST(ServeTelemetryTest, JournalBreakDumpsBeforeTheErrorSurfaces) {
+  obs::FlightRecorder flight;
+  ServiceOptions options;
+  options.flight = &flight;
+  options.flight_dump_path = TempPath("telemetry_broken.json");
+  options.journal_path = TempPath("telemetry_broken.journal");
+  std::remove(options.flight_dump_path.c_str());
+  std::remove(options.journal_path.c_str());
+
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  StreamingService* service = opened->get();
+  Feed(service, Post(10, {0, 100}, 2, {0, 0}));
+
+  ASSERT_TRUE(service->Submit(Join(1, 1000, {1, 1}, {{10, 0.9}})).ok());
+  {
+    failpoint::ScopedArm arm("serve.journal.append");
+    EXPECT_FALSE(service->ProcessNext().ok());
+  }
+  EXPECT_TRUE(service->journal_broken());
+
+  // The dying moment was captured: the dump exists, names the reason, and
+  // holds the journal-broken instant recorded just before it.
+  const std::string dump = ReadFile(options.flight_dump_path);
+  EXPECT_NE(dump.find("\"reason\":\"journal_broken\""), std::string::npos);
+  EXPECT_NE(dump.find("serve/journal-broken"), std::string::npos);
+  service->Abandon();
+  std::remove(options.flight_dump_path.c_str());
+  std::remove(options.journal_path.c_str());
+}
+
+TEST(ServeTelemetryTest, RecoveryIsCountedAndAbandonDumps) {
+  obs::FlightRecorder flight;
+  ServiceOptions options;
+  options.flight = &flight;
+  options.flight_dump_path = TempPath("telemetry_abandon.json");
+  options.journal_path = TempPath("telemetry_recover.journal");
+  std::remove(options.flight_dump_path.c_str());
+  std::remove(options.journal_path.c_str());
+
+  {
+    StatusOr<std::unique_ptr<StreamingService>> service =
+        StreamingService::Open(options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    Feed(service->get(), Post(10, {0, 100}, 2, {0, 0}));
+    Feed(service->get(), Join(1, 1000, {1, 1}, {{10, 0.9}}));
+    (*service)->Abandon();  // Simulated kill: dumps with reason "abandon".
+  }
+  EXPECT_NE(ReadFile(options.flight_dump_path).find("\"reason\":\"abandon\""),
+            std::string::npos);
+
+  // Restart with a registry attached: recovery publishes its own story.
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  StatusOr<std::unique_ptr<StreamingService>> recovered =
+      StreamingService::Open(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->recovery().replayed_records, 2u);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.recoveries")->Value(), 1);
+  EXPECT_EQ(
+      metrics.GetCounter("usep.serve.recovery.replayed_records")->Value(), 2);
+  EXPECT_DOUBLE_EQ(metrics.GetGauge("usep.serve.last_seq")->Value(), 2.0);
+  // The recovery instant landed in the (fresh) flight ring too.
+  bool saw_recovery = false;
+  for (const obs::TraceEvent& event : flight.SnapshotEvents()) {
+    if (event.name == "serve/recovered") saw_recovery = true;
+  }
+  EXPECT_TRUE(saw_recovery);
+
+  ASSERT_TRUE((*recovered)->Close().ok());
+  std::remove(options.flight_dump_path.c_str());
+  std::remove(options.journal_path.c_str());
+}
+
+TEST(ServeTelemetryTest, MetricsOutRepublishesAfterEveryMutationAtZeroCadence) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.metrics_out = TempPath("telemetry_metrics.json");
+  options.metrics_every_ms = 0.0;  // Publish after every processed mutation.
+  std::remove(options.metrics_out.c_str());
+  std::remove((options.metrics_out + ".prom").c_str());
+
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Feed(opened->get(), Post(10, {0, 100}, 2, {0, 0}));
+
+  const std::string statsz = ReadFile(options.metrics_out);
+  EXPECT_NE(statsz.find("\"kind\":\"statsz\""), std::string::npos);
+  EXPECT_NE(statsz.find("usep.serve.mutations"), std::string::npos);
+  // The SLO window gauges ride along with every publication.
+  EXPECT_NE(statsz.find("usep.serve.slo.window.p99_ms"), std::string::npos);
+  const std::string prom = ReadFile(options.metrics_out + ".prom");
+  EXPECT_NE(prom.find("usep_serve_mutations 1"), std::string::npos);
+
+  // Explicit publication refreshes the files with the latest counters.
+  Feed(opened->get(), Join(1, 1000, {1, 1}, {{10, 0.9}}));
+  (*opened)->PublishTelemetry();
+  EXPECT_NE(ReadFile(options.metrics_out + ".prom")
+                .find("usep_serve_mutations 2"),
+            std::string::npos);
+  EXPECT_EQ(metrics.GetCounter("usep.serve.metrics_dump_failures")->Value(),
+            0);
+
+  (*opened)->Abandon();
+  std::remove(options.metrics_out.c_str());
+  std::remove((options.metrics_out + ".prom").c_str());
+}
+
+TEST(ServeTelemetryTest, ExpositionFailuresAreCountedNotFatal) {
+  obs::MetricsRegistry metrics;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  options.metrics_out = "/nonexistent-dir/telemetry_metrics.json";
+  options.metrics_every_ms = 0.0;
+
+  StatusOr<std::unique_ptr<StreamingService>> opened =
+      StreamingService::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // The serving loop keeps committing; only the failure counter moves.
+  const ProcessResult result = Feed(opened->get(), Post(10, {0, 100}, 2, {0, 0}));
+  EXPECT_EQ(result.seq, 1u);
+  EXPECT_GE(metrics.GetCounter("usep.serve.metrics_dump_failures")->Value(),
+            1);
+  (*opened)->Abandon();
+}
+
+}  // namespace
+}  // namespace usep::serve
