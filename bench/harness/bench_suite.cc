@@ -12,6 +12,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "serve/service.h"
 
@@ -24,6 +25,50 @@ double MedianOfSorted(const std::vector<double>& sorted) {
   return n % 2 == 1 ? sorted[n / 2]
                     : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
+
+// Whole-trial measurement bracket: snapshots the calling thread's perf
+// counters and the global memhook churn counters before a trial, and folds
+// the deltas into the result after.  Both sides degrade independently:
+// missing perf backend -> no perf fields, no linked memhook -> no alloc
+// fields.
+struct TrialCounters {
+  bool perf_armed = false;
+  obs::PerfCounterValues perf_before;
+  bool alloc_armed = false;
+  size_t bytes_before = 0;
+  size_t count_before = 0;
+
+  explicit TrialCounters(bool want_perf) {
+    if (want_perf) {
+      if (obs::PerfCounterGroup* group = obs::ThreadPerfCounters()) {
+        perf_armed = group->Read(&perf_before);
+      }
+    }
+    if (memhook::IsActive()) {
+      bytes_before = memhook::TotalAllocatedBytes();
+      count_before = memhook::TotalAllocations();
+      alloc_armed = true;
+    }
+  }
+
+  void Finish(ScenarioResult* result) const {
+    if (perf_armed) {
+      if (obs::PerfCounterGroup* group = obs::ThreadPerfCounters()) {
+        obs::PerfCounterValues after;
+        if (group->Read(&after)) {
+          result->perf = after.DeltaSince(perf_before);
+          result->has_perf = true;
+        }
+      }
+    }
+    if (alloc_armed) {
+      result->alloc_bytes_delta =
+          memhook::TotalAllocatedBytes() - bytes_before;
+      result->alloc_count_delta = memhook::TotalAllocations() - count_before;
+      result->has_alloc = true;
+    }
+  }
+};
 
 }  // namespace
 
@@ -357,11 +402,13 @@ ScenarioResult RunScenario(const BenchScenario& scenario,
   for (int i = 0; i < result.trials; ++i) {
     const size_t heap_before = memhook::CurrentBytes();
     memhook::ResetPeak();
+    const TrialCounters counters(options.perf);
     Stopwatch wall;
     CpuStopwatch cpu(CpuStopwatch::Kind::kProcess);
     const PlannerResult run = planner->Plan(instance, PlanContext());
     wall_samples.push_back(wall.ElapsedMillis());
     cpu_samples.push_back(cpu.ElapsedMillis());
+    counters.Finish(&result);
 
     uint64_t peak = run.stats.logical_peak_bytes;
     if (memhook::IsActive()) {
@@ -401,6 +448,8 @@ ScenarioResult RunScenario(const BenchScenario& scenario,
     // One extra traced trial, outside the measured set: span recording has
     // a (small) cost, so profiling must not contaminate the timings.
     obs::TraceRecorder recorder;
+    recorder.set_collect_perf(options.perf);
+    recorder.set_collect_alloc(true);  // No-op unless the memhook is linked.
     PlanContext context;
     context.trace = &recorder;
     planner->Plan(instance, context);
@@ -481,12 +530,14 @@ ScenarioResult RunServingScenario(const BenchScenario& scenario,
     obs::MetricsRegistry metrics;
     const size_t heap_before = memhook::CurrentBytes();
     memhook::ResetPeak();
+    const TrialCounters counters(options.perf);
     Stopwatch wall;
     CpuStopwatch cpu(CpuStopwatch::Kind::kProcess);
     const auto service = replay(&metrics);
     const double wall_ms = wall.ElapsedMillis();
     wall_samples.push_back(wall_ms);
     cpu_samples.push_back(cpu.ElapsedMillis());
+    counters.Finish(&result);
     USEP_CHECK(service.ok()) << service.status();
 
     if (memhook::IsActive()) {
@@ -637,6 +688,25 @@ void WriteBenchJson(std::ostream& out, const BenchEnvironment& environment,
         json.Double(result.time_in_rung_s[rung]);
       }
       json.EndArray();
+    }
+    if (result.has_perf) {
+      json.Key("perf");
+      json.BeginObject();
+      for (int c = 0; c < obs::kNumPerfCounters; ++c) {
+        const auto counter = static_cast<obs::PerfCounter>(c);
+        if (!result.perf.has(counter)) continue;
+        json.KvUint(obs::PerfCounterName(counter), result.perf.get(counter));
+      }
+      json.KvDouble("ipc", result.perf.Ipc());
+      json.KvDouble("cache_miss_rate", result.perf.CacheMissRate());
+      json.KvDouble("branch_miss_per_ki",
+                    result.perf.BranchMissesPerKiloInstruction());
+      json.KvDouble("scaling", result.perf.scaling);
+      json.EndObject();
+    }
+    if (result.has_alloc) {
+      json.KvUint("alloc_bytes_delta", result.alloc_bytes_delta);
+      json.KvUint("alloc_count_delta", result.alloc_count_delta);
     }
     if (result.has_profile) {
       json.Key("profile");

@@ -69,6 +69,10 @@ struct BenchRunOptions {
   int warmup = 1;
   int trials = 5;
   bool profile = false;  // Also run one traced trial and aggregate phases.
+  // Read hardware counters (perf_event_open) around each measured trial and
+  // per phase in the profile trial.  Silently a no-op when the syscall is
+  // unavailable (containers, CI) — rows then carry no "perf" object.
+  bool perf = false;
 };
 
 struct ScenarioResult {
@@ -129,6 +133,18 @@ struct ScenarioResult {
   int64_t shed = 0;
   int64_t rung_changes = 0;
   double time_in_rung_s[4] = {0.0, 0.0, 0.0, 0.0};
+
+  // Whole-trial hardware counters (BenchRunOptions::perf + available
+  // backend): the last trial's delta, measured on the CALLING thread only —
+  // pool workers' counts are not included (the t1 rows, where the planner
+  // runs inline, are the meaningful ones).
+  bool has_perf = false;
+  obs::PerfCounterValues perf;
+  // Whole-trial allocation churn (global memhook deltas, all threads) from
+  // the last trial; meaningful only when the counting allocator is linked.
+  bool has_alloc = false;
+  uint64_t alloc_bytes_delta = 0;
+  uint64_t alloc_count_delta = 0;
 
   bool has_profile = false;
   obs::Profile profile;

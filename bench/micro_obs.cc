@@ -15,7 +15,9 @@
 #include "gen/synthetic_generator.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace usep {
@@ -219,6 +221,90 @@ void BM_ProfileAggregation(benchmark::State& state) {
   state.counters["spans"] = static_cast<double>(recorder.size());
 }
 BENCHMARK(BM_ProfileAggregation)->Arg(100)->Arg(10000);
+
+// Hardware counters: the null path — spans requested counters but the
+// backend is unavailable (forced here, so the number is deterministic on
+// any host).  This is what every span pays on locked-down machines when
+// --perf is passed anyway: one relaxed load + one Supported() check,
+// sub-ns like BM_Flight*.
+void BM_PerfCountersUnavailableThreadLookup(benchmark::State& state) {
+  obs::PerfCounterGroup::ForceUnavailableForTest(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::ThreadPerfCounters());
+  }
+  obs::PerfCounterGroup::ForceUnavailableForTest(false);
+}
+BENCHMARK(BM_PerfCountersUnavailableThreadLookup);
+
+// A span on a recorder that did NOT opt into counters: the collect_perf
+// relaxed load must be invisible next to BM_TraceSpanEnabled.
+void BM_TraceSpanEnabledNoCounters(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::TraceRecorder recorder;
+    {
+      obs::TraceSpan span(&recorder, "bench/span", "bench");
+    }
+    benchmark::DoNotOptimize(recorder.size());
+  }
+}
+BENCHMARK(BM_TraceSpanEnabledNoCounters);
+
+// The live read cost — only meaningful where perf_event_open works; on
+// locked-down hosts the benchmark reports the null-read cost instead (the
+// same degradation the production path takes).
+void BM_PerfCountersGroupRead(benchmark::State& state) {
+  obs::PerfCounterGroup* group = obs::ThreadPerfCounters();
+  obs::PerfCounterValues values;
+  for (auto _ : state) {
+    if (group != nullptr) {
+      benchmark::DoNotOptimize(group->Read(&values));
+    } else {
+      benchmark::DoNotOptimize(values.Ipc());
+    }
+  }
+  state.counters["live"] = group != nullptr ? 1.0 : 0.0;
+}
+BENCHMARK(BM_PerfCountersGroupRead);
+
+// Derived-rate math on already-read values (what table rendering pays).
+void BM_PerfCountersDerivedRates(benchmark::State& state) {
+  obs::PerfCounterValues values;
+  values.valid = ~0u;
+  values.value[0] = 1000000;  // cycles
+  values.value[1] = 2500000;  // instructions
+  values.value[2] = 40000;    // cache references
+  values.value[3] = 9000;     // cache misses
+  values.value[4] = 1200;     // branch misses
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += values.Ipc() + values.CacheMissRate() +
+            values.BranchMissesPerKiloInstruction();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_PerfCountersDerivedRates);
+
+// Sampler when idle: the statistics reads the serving loop's telemetry
+// publisher performs each tick, against a never-started sampler.
+void BM_SamplerIdleStats(benchmark::State& state) {
+  obs::StackSampler& sampler = obs::StackSampler::Global();
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += sampler.SampleCount() + sampler.DroppedSamples();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_SamplerIdleStats);
+
+// Registration round-trip: what a short-lived ThreadPool worker adds to
+// its start/exit path whether or not sampling ever runs.
+void BM_SamplerRegisterUnregister(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::StackSampler::RegisterCurrentThread();
+    obs::StackSampler::UnregisterCurrentThread();
+  }
+}
+BENCHMARK(BM_SamplerRegisterUnregister);
 
 }  // namespace
 }  // namespace usep

@@ -29,6 +29,8 @@
 #include "gen/synthetic_generator.h"
 #include "harness/bench_suite.h"
 #include "harness/bench_util.h"
+#include "obs/perf_counters.h"
+#include "obs/sampler.h"
 
 namespace usep::bench {
 namespace {
@@ -59,6 +61,17 @@ int Main(int argc, char** argv) {
       "profile", false,
       "also run one traced trial per scenario and embed the per-phase "
       "profile (self/total time) in the JSON");
+  bool* perf = flags.AddBool(
+      "perf", false,
+      "read hardware counters (perf_event_open) per trial and — with "
+      "--profile — per phase; degrades to a no-op when the syscall is "
+      "unavailable");
+  std::string* sample_out = flags.AddString(
+      "sample_out", "",
+      "write a folded-stack (flamegraph.pl-compatible) profile of the whole "
+      "run to this path");
+  int64_t* sample_hz = flags.AddInt64(
+      "sample_hz", 97, "stack-sampler frequency (CPU-time Hz per thread)");
   std::string* scale = flags.AddString(
       "scale", "", "instance scale: 'small' or 'paper' (default: "
                    "USEP_BENCH_SCALE or small)");
@@ -106,6 +119,30 @@ int Main(int argc, char** argv) {
   options.warmup = static_cast<int>(*warmup);
   options.trials = static_cast<int>(*trials);
   options.profile = *profile;
+  options.perf = *perf;
+  if (*perf && !obs::PerfCounterGroup::Supported()) {
+    std::fprintf(stderr,
+                 "[usep_bench] --perf requested but hardware counters are "
+                 "unavailable (%s); rows will carry no counter fields\n",
+                 obs::PerfCounterGroup::UnavailableReason());
+  }
+
+  // The sampler covers the whole scenario loop (warmups, trials, profile
+  // trials): flamegraph weight is proportional to total CPU spent, which is
+  // what the vectorization roadmap wants to see.
+  if (!sample_out->empty()) {
+    obs::SamplerOptions sampler_options;
+    sampler_options.hz = static_cast<int>(*sample_hz);
+    std::string sampler_error;
+    if (!obs::StackSampler::Global().Start(sampler_options, &sampler_error)) {
+      // Still write the (empty) folded file below: downstream tooling gets
+      // a consistent artifact either way.
+      std::fprintf(stderr,
+                   "[usep_bench] --sample_out requested but sampling is "
+                   "unavailable (%s); the folded output will be empty\n",
+                   sampler_error.c_str());
+    }
+  }
 
   // Scenarios sharing an instance shape reuse the generated instance.
   std::map<std::string, Instance> instance_cache;
@@ -137,6 +174,25 @@ int Main(int argc, char** argv) {
                  result.deterministic ? "" : "  ** NON-DETERMINISTIC **");
     all_valid &= result.validated && result.deterministic;
     results.push_back(std::move(result));
+  }
+
+  if (!sample_out->empty()) {
+    obs::StackSampler& sampler = obs::StackSampler::Global();
+    sampler.Stop();
+    std::string sampler_error;
+    if (sampler.WriteFolded(*sample_out, &sampler_error)) {
+      std::fprintf(stderr,
+                   "[usep_bench] wrote %s (%llu samples, %llu dropped, "
+                   "%llu in-allocator)\n",
+                   sample_out->c_str(),
+                   static_cast<unsigned long long>(sampler.SampleCount()),
+                   static_cast<unsigned long long>(sampler.DroppedSamples()),
+                   static_cast<unsigned long long>(
+                       sampler.InAllocatorSamples()));
+    } else {
+      std::fprintf(stderr, "[usep_bench] folded-stack write failed: %s\n",
+                   sampler_error.c_str());
+    }
   }
 
   TablePrinter table({"scenario", "threads", "wall_ms", "mad", "cpu_ms",

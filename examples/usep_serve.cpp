@@ -39,6 +39,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "serve/chaos.h"
 #include "serve/service.h"
@@ -123,10 +124,29 @@ int main(int argc, char** argv) {
       "statsz", false,
       "do not serve: open (recovering from --journal/--snapshot), print a "
       "statsz JSON snapshot to stdout, and exit");
+  std::string* sample_out = flags.AddString(
+      "sample_out", "",
+      "write a folded-stack (flamegraph.pl-compatible) profile of the "
+      "serving run to this path at exit");
+  int64_t* sample_hz = flags.AddInt64(
+      "sample_hz", 97, "stack-sampler frequency (CPU-time Hz per thread)");
   bool* verbose = flags.AddBool("verbose", false, "print per-mutation lines");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     return parsed.code() == StatusCode::kFailedPrecondition ? 0 : 2;
+  }
+
+  if (!sample_out->empty()) {
+    usep::obs::SamplerOptions sampler_options;
+    sampler_options.hz = static_cast<int>(*sample_hz);
+    std::string sampler_error;
+    if (!usep::obs::StackSampler::Global().Start(sampler_options,
+                                                 &sampler_error)) {
+      std::fprintf(stderr,
+                   "--sample_out: sampling unavailable (%s); the folded "
+                   "output will be empty\n",
+                   sampler_error.c_str());
+    }
   }
 
   if (*verify_replay) {
@@ -460,6 +480,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "flight dump to %s failed\n", flight_dump->c_str());
       return 1;
+    }
+  }
+  if (!sample_out->empty()) {
+    obs::StackSampler& sampler = obs::StackSampler::Global();
+    sampler.Stop();
+    std::string error;
+    if (sampler.WriteFolded(*sample_out, &error)) {
+      std::printf("wrote %s (%llu samples)\n", sample_out->c_str(),
+                  static_cast<unsigned long long>(sampler.SampleCount()));
+    } else {
+      std::fprintf(stderr, "folded-stack write failed: %s\n", error.c_str());
     }
   }
   return 0;

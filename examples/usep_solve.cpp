@@ -28,8 +28,10 @@
 #include "io/instance_io.h"
 #include "io/planning_io.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace {
@@ -84,6 +86,17 @@ int main(int argc, char** argv) {
       "profile", false,
       "record trace spans and print a per-phase self/total time table "
       "(no --trace_out file needed)");
+  bool* perf = flags.AddBool(
+      "perf", false,
+      "with --profile: read hardware counters per phase, adding IPC / "
+      "LLC-miss / branch-miss columns to the table (no-op when "
+      "perf_event_open is unavailable)");
+  std::string* sample_out = flags.AddString(
+      "sample_out", "",
+      "write a folded-stack (flamegraph.pl-compatible) profile of the run "
+      "to this path");
+  int64_t* sample_hz = flags.AddInt64(
+      "sample_hz", 97, "stack-sampler frequency (CPU-time Hz per thread)");
   bool* verbose = flags.AddBool("verbose", false, "print per-user schedules");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -135,7 +148,32 @@ int main(int argc, char** argv) {
       trace_out->empty() && !*profile ? nullptr : &trace_recorder;
   obs::MetricsRegistry* const metrics =
       report_out->empty() ? nullptr : &metrics_registry;
-  if (trace != nullptr) trace->NameCurrentThread("main");
+  if (trace != nullptr) {
+    trace->NameCurrentThread("main");
+    if (*profile) {
+      // Per-phase counter and allocation attribution ride the span stream;
+      // both silently no-op when their backend is absent.
+      trace->set_collect_perf(*perf);
+      trace->set_collect_alloc(true);
+      if (*perf && !obs::PerfCounterGroup::Supported()) {
+        std::fprintf(stderr,
+                     "--perf: hardware counters unavailable (%s); the "
+                     "profile table will carry no counter columns\n",
+                     obs::PerfCounterGroup::UnavailableReason());
+      }
+    }
+  }
+  if (!sample_out->empty()) {
+    obs::SamplerOptions sampler_options;
+    sampler_options.hz = static_cast<int>(*sample_hz);
+    std::string sampler_error;
+    if (!obs::StackSampler::Global().Start(sampler_options, &sampler_error)) {
+      std::fprintf(stderr,
+                   "--sample_out: sampling unavailable (%s); the folded "
+                   "output will be empty\n",
+                   sampler_error.c_str());
+    }
+  }
   if (memhook::IsActive()) memhook::ResetPeak();
   CpuStopwatch process_cpu(CpuStopwatch::Kind::kProcess);
 
@@ -247,9 +285,23 @@ int main(int argc, char** argv) {
 
   if (*profile) {
     // "Where did the time go" without opening Perfetto: fold the span
-    // stream into per-phase self/total times (docs/BENCHMARKING.md).
+    // stream into per-phase self/total times (docs/BENCHMARKING.md), plus
+    // per-phase IPC / miss-rate / allocation columns when collected.
     std::printf("\n=== phase profile ===\n");
     obs::Profile::FromRecorder(trace_recorder).PrintTable(std::cout);
+  }
+  if (!sample_out->empty()) {
+    obs::StackSampler& sampler = obs::StackSampler::Global();
+    sampler.Stop();
+    std::string error;
+    if (sampler.WriteFolded(*sample_out, &error)) {
+      std::printf("wrote %s (%llu samples, %llu dropped)\n",
+                  sample_out->c_str(),
+                  static_cast<unsigned long long>(sampler.SampleCount()),
+                  static_cast<unsigned long long>(sampler.DroppedSamples()));
+    } else {
+      std::fprintf(stderr, "folded-stack write failed: %s\n", error.c_str());
+    }
   }
   if (trace != nullptr && !trace_out->empty()) {
     std::string error;

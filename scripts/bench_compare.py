@@ -33,6 +33,14 @@ compared EXACTLY: every planner in the suite is deterministic, so any
 difference is a correctness change, never noise — those fail even with
 --informational.
 
+When either baseline carries hardware-counter fields (usep_bench --perf
+"perf" objects, or memhook alloc_bytes_delta/alloc_count_delta), the report
+grows an extra "Hardware counters" section with IPC, LLC-miss-rate, and
+allocated-byte deltas.  Counter columns are ALWAYS informational: they
+explain a wall-time move (frontend stall vs cache thrash vs alloc churn)
+but never gate — virtualized PMUs and multiplexing make them too
+environment-dependent for a pass/fail wall.
+
 Exit codes: 0 ok, 1 regression (or objective mismatch), 2 usage error.
 Only the Python standard library is used.
 """
@@ -74,6 +82,35 @@ class Thresholds(object):
                    self.noise_mult * (base_wall["mad"] + new_wall["mad"]))
 
 
+def counter_columns(base_row, new_row):
+    """Extracts the informational counter columns for one scenario pair.
+
+    Returns None when neither row carries counter fields; otherwise a dict
+    of (base, new) pairs where a missing side is None.  Nothing here feeds
+    the regression gate.
+    """
+    def ipc(row):
+        perf = row.get("perf")
+        return perf.get("ipc") if isinstance(perf, dict) else None
+
+    def miss_rate(row):
+        perf = row.get("perf")
+        return perf.get("cache_miss_rate") if isinstance(perf, dict) else None
+
+    def alloc_mb(row):
+        bytes_delta = row.get("alloc_bytes_delta")
+        return bytes_delta / 1e6 if isinstance(bytes_delta, int) else None
+
+    columns = {
+        "ipc": (ipc(base_row), ipc(new_row)),
+        "llc_miss_rate": (miss_rate(base_row), miss_rate(new_row)),
+        "alloc_mb": (alloc_mb(base_row), alloc_mb(new_row)),
+    }
+    if all(base is None and new is None for base, new in columns.values()):
+        return None
+    return columns
+
+
 def compare(base_doc, new_doc, thresholds):
     """Returns (rows, regressions, mismatches, only_in_base, only_in_new).
 
@@ -108,6 +145,7 @@ def compare(base_doc, new_doc, thresholds):
                 and base_row.get("assignments") == new_row.get("assignments"),
             "base_objective": base_row["objective"],
             "new_objective": new_row["objective"],
+            "counters": counter_columns(base_row, new_row),
         }
         rows.append(row)
         if row["regressed"]:
@@ -156,6 +194,31 @@ def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
                      % (row["name"], row["base_ms"], row["new_ms"],
                         row["delta_ms"], 100.0 * (row["ratio"] - 1.0),
                         row["allowance_ms"], flag))
+    counter_rows = [row for row in rows if row.get("counters")]
+    if counter_rows:
+        def cell(value, fmt):
+            return fmt % value if value is not None else "-"
+
+        lines.append("")
+        lines.append("## Hardware counters (informational, never gating)")
+        lines.append("")
+        lines.append("| scenario | IPC base | IPC new | LLC-miss base | "
+                     "LLC-miss new | alloc MB base | alloc MB new |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in counter_rows:
+            columns = row["counters"]
+            ipc_base, ipc_new = columns["ipc"]
+            miss_base, miss_new = columns["llc_miss_rate"]
+            alloc_base, alloc_new = columns["alloc_mb"]
+            miss_base = 100.0 * miss_base if miss_base is not None else None
+            miss_new = 100.0 * miss_new if miss_new is not None else None
+            lines.append("| %s | %s | %s | %s | %s | %s | %s |"
+                         % (row["name"],
+                            cell(ipc_base, "%.2f"), cell(ipc_new, "%.2f"),
+                            cell(miss_base, "%.1f%%"),
+                            cell(miss_new, "%.1f%%"),
+                            cell(alloc_base, "%.2f"),
+                            cell(alloc_new, "%.2f")))
     if only_in_base or only_in_new:
         lines.append("")
         lines.append("## Unmatched scenarios")
@@ -261,6 +324,40 @@ def self_test():
     rows, _, _, only_in_base, only_in_new = compare(base, renamed, thresholds)
     expect("renames reported, not diffed",
            len(rows) == 2 and only_in_base and only_in_new)
+
+    # Counter fields are picked up when present, render as a markdown
+    # section, and NEVER gate — a counter-only change is not a regression.
+    rows, regressions, _, _, _ = compare(base, make_doc("plain"), thresholds)
+    expect("counter-free rows have no columns",
+           all(row["counters"] is None for row in rows))
+    report = render_markdown(base, make_doc("plain"), rows, [], [], [], [])
+    expect("counter-free report has no section",
+           "Hardware counters" not in report)
+
+    counted = make_doc("counted")
+    counted["scenarios"][0]["perf"] = {
+        "cycles": 2000000, "instructions": 5000000,
+        "cache_references": 40000, "cache_misses": 8000,
+        "ipc": 2.5, "cache_miss_rate": 0.2,
+        "branch_miss_per_ki": 1.3, "scaling": 1.0,
+    }
+    counted["scenarios"][1]["alloc_bytes_delta"] = 6500000
+    counted["scenarios"][1]["alloc_count_delta"] = 1200
+    rows, regressions, mismatches, _, _ = compare(base, counted, thresholds)
+    expect("counters never gate",
+           not regressions and not mismatches)
+    # compare() sorts by name: fig2 < fig4 < micro.  perf landed on the
+    # micro row, alloc on the fig2 row, fig4 stayed bare.
+    expect("perf columns extracted",
+           rows[2]["counters"]["ipc"] == (None, 2.5))
+    expect("alloc columns extracted",
+           rows[0]["counters"]["alloc_mb"] == (None, 6.5))
+    expect("bare rows stay column-free",
+           rows[1]["counters"] is None)
+    report = render_markdown(base, counted, rows, [], [], [], [])
+    expect("counter section rendered",
+           "Hardware counters" in report and "2.50" in report
+           and "6.50" in report)
 
     # --objectives-only: a 2x slowdown passes, an objective drift still
     # fails — exercised through run_compare so the flag's wiring is tested.

@@ -8,6 +8,7 @@ Usage:
     check_obs_json.py bench  <BENCH_tag.json>
     check_obs_json.py flight <flight.json>
     check_obs_json.py statsz <statsz.json>
+    check_obs_json.py folded <stacks.folded> [--require-samples]
 
 Exits non-zero (with a message on stderr) on the first violation.  Only the
 Python standard library is used, so CI can run it on a bare runner.
@@ -38,6 +39,19 @@ Bench checks (schema_version 1, see docs/BENCHMARKING.md):
     median/min/mad where mad >= 0 and min <= median, an exact-comparable
     objective, and validated == true
   * embedded profiles (when present) keep self_us <= total_us per phase
+  * optional hardware-counter fields ("perf" objects from --perf runs,
+    alloc_bytes_delta/alloc_count_delta from memhook-linked binaries) are
+    well-typed when present: counters are non-negative ints, scaling > 0,
+    cache-miss rates in [0, 1], and per-phase *_self never exceeds the total
+
+Folded checks (StackSampler::WriteFolded, flamegraph.pl input):
+  * every non-empty line is "frame;frame;...;frame <count>" with a positive
+    integer count and no empty frame in the stack
+  * stacks are unique (the writer folds duplicates) and root-first frames
+    are plain text (';' is scrubbed from symbol names at write time)
+  * an empty file is accepted by default — the sampler degrades to an empty
+    artifact when SIGPROF timers are unavailable; pass --require-samples
+    when the environment is known-good
 
 Flight checks (FlightRecorder::DumpToFd, Perfetto-loadable; see
 docs/SERVING.md):
@@ -213,6 +227,72 @@ def check_stats_object(owner, key, stats):
           "%s.%s.min exceeds the median" % (owner, key))
 
 
+# Counter keys PerfCounterName() can emit inside a "perf" object; the
+# derived-ratio keys differ between whole-trial rows and per-phase profiles.
+PERF_COUNTER_KEYS = ("cycles", "instructions", "cache_references",
+                     "cache_misses", "branch_misses", "task_clock_ns",
+                     "page_faults")
+
+
+def check_perf_object(owner, perf, self_suffix=False):
+    """Validate an optional hardware-counter object.
+
+    With self_suffix=True (per-phase profile entries) every present counter
+    key must be paired with "<key>_self" and self <= total.
+    """
+    check(isinstance(perf, dict), "%s.perf must be an object" % owner)
+    counters = 0
+    for key in PERF_COUNTER_KEYS:
+        if key not in perf:
+            continue
+        counters += 1
+        value = perf[key]
+        check(isinstance(value, int) and value >= 0,
+              "%s.perf.%s must be a non-negative int, got %r"
+              % (owner, key, value))
+        if self_suffix:
+            self_key = key + "_self"
+            self_value = perf.get(self_key)
+            check(isinstance(self_value, int) and self_value >= 0,
+                  "%s.perf missing non-negative int %r" % (owner, self_key))
+            check(self_value <= value,
+                  "%s.perf.%s (%d) exceeds %s (%d)"
+                  % (owner, self_key, self_value, key, value))
+    check(counters > 0, "%s.perf carries no counter fields" % owner)
+    ratio_keys = (("ipc_self", "cache_miss_rate_self",
+                   "branch_miss_per_ki_self") if self_suffix
+                  else ("ipc", "cache_miss_rate", "branch_miss_per_ki"))
+    for key in ratio_keys + ("scaling",):
+        value = perf.get(key)
+        check(isinstance(value, (int, float)),
+              "%s.perf missing numeric %r" % (owner, key))
+        check(value >= 0, "%s.perf.%s is negative" % (owner, key))
+    check(perf["scaling"] > 0,
+          "%s.perf.scaling must be positive (multiplexing ratio)" % owner)
+    rate_key = "cache_miss_rate_self" if self_suffix else "cache_miss_rate"
+    check(perf[rate_key] <= 1.0 + 1e-9,
+          "%s.perf.%s above 1.0" % (owner, rate_key))
+
+
+def check_alloc_fields(owner, row, pairs):
+    """Validate optional (total, self) allocation-attribution field pairs."""
+    for total_key, self_key in pairs:
+        if total_key not in row and (self_key is None or self_key not in row):
+            continue
+        total = row.get(total_key)
+        check(isinstance(total, int) and total >= 0,
+              "%s.%s must be a non-negative int, got %r"
+              % (owner, total_key, total))
+        if self_key is None:
+            continue
+        self_value = row.get(self_key)
+        check(isinstance(self_value, int) and self_value >= 0,
+              "%s missing non-negative int %r" % (owner, self_key))
+        check(self_value <= total,
+              "%s.%s (%d) exceeds %s (%d)"
+              % (owner, self_key, self_value, total_key, total))
+
+
 def check_bench(path):
     doc = load(path)
     check(isinstance(doc, dict), "bench top level must be an object")
@@ -235,6 +315,7 @@ def check_bench(path):
           "scenarios must be a non-empty list")
     names = set()
     profiled = 0
+    counted = 0
     for row in scenarios:
         name = row.get("name")
         check(isinstance(name, str) and name,
@@ -258,6 +339,12 @@ def check_bench(path):
               "scenario %r planning failed validation" % name)
         check(row.get("deterministic") is True,
               "scenario %r objective varied across trials" % name)
+        if "perf" in row:
+            counted += 1
+            check_perf_object("scenario %r" % name, row["perf"])
+        check_alloc_fields("scenario %r" % name, row,
+                           [("alloc_bytes_delta", None),
+                            ("alloc_count_delta", None)])
         if "profile" in row:
             profiled += 1
             check(isinstance(row["profile"], list),
@@ -269,9 +356,17 @@ def check_bench(path):
                 check(phase["self_us"] <= phase["total_us"] + 1e-6,
                       "scenario %r phase %r self > total"
                       % (name, phase["phase"]))
+                owner = "scenario %r phase %r" % (name, phase["phase"])
+                if "perf" in phase:
+                    check_perf_object(owner, phase["perf"], self_suffix=True)
+                check_alloc_fields(owner, phase,
+                                   [("alloc_bytes", "alloc_bytes_self"),
+                                    ("alloc_count", "alloc_count_self"),
+                                    ("freed_bytes", None)])
 
-    print("check_obs_json: bench OK (%d scenarios, %d profiled, tag %r)"
-          % (len(scenarios), profiled, environment["tag"]))
+    print("check_obs_json: bench OK (%d scenarios, %d profiled, "
+          "%d with counters, tag %r)"
+          % (len(scenarios), profiled, counted, environment["tag"]))
 
 
 def check_flight(path):
@@ -356,15 +451,50 @@ def check_statsz(path):
           % (len(counters), len(gauges), len(histograms)))
 
 
+def check_folded(path, require_samples):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail("%s: %s" % (path, error))
+    stacks = {}
+    total = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        stack, _, count_text = line.rpartition(" ")
+        check(stack, "%s:%d: no stack before the count: %r"
+              % (path, lineno, line))
+        check(count_text.isdigit() and int(count_text) > 0,
+              "%s:%d: count must be a positive integer: %r"
+              % (path, lineno, line))
+        frames = stack.split(";")
+        check(all(frame.strip() for frame in frames),
+              "%s:%d: empty frame in stack: %r" % (path, lineno, line))
+        check(stack not in stacks,
+              "%s:%d: duplicate stack (writer should fold): %r"
+              % (path, lineno, stack))
+        stacks[stack] = int(count_text)
+        total += int(count_text)
+    if require_samples:
+        check(stacks, "%s: no samples, but --require-samples was passed"
+              % path)
+    print("check_obs_json: folded OK (%d unique stacks, %d samples)"
+          % (len(stacks), total))
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(__doc__)
         return 2
     kind, path = argv[1], argv[2]
     min_planner_phases = 0
+    require_samples = False
     for arg in argv[3:]:
         if arg.startswith("--min-planner-phases="):
             min_planner_phases = int(arg.split("=", 1)[1])
+        elif arg == "--require-samples":
+            require_samples = True
         else:
             fail("unknown argument %r" % arg)
     if kind == "trace":
@@ -377,9 +507,11 @@ def main(argv):
         check_flight(path)
     elif kind == "statsz":
         check_statsz(path)
+    elif kind == "folded":
+        check_folded(path, require_samples)
     else:
         fail("first argument must be 'trace', 'report', 'bench', 'flight', "
-             "or 'statsz', got %r" % kind)
+             "'statsz', or 'folded', got %r" % kind)
     return 0
 
 

@@ -29,6 +29,11 @@ void ResetPeak();
 // Total number of allocations observed (never reset).
 size_t TotalAllocations();
 
+// Total bytes ever allocated (monotonic, never reset) — the cumulative
+// churn counter behind the bench harness's per-trial allocation deltas and
+// the serving loop's usep.mem.allocated_total metric.
+size_t TotalAllocatedBytes();
+
 namespace internal {
 // Called by the operator new/delete overrides in memhook.cc.  Not for
 // application use.

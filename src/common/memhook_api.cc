@@ -2,12 +2,15 @@
 
 #include <atomic>
 
+#include "obs/alloc_stats.h"
+
 namespace usep::memhook {
 namespace {
 
 std::atomic<size_t> g_current{0};
 std::atomic<size_t> g_peak{0};
 std::atomic<size_t> g_total_allocations{0};
+std::atomic<size_t> g_total_allocated_bytes{0};
 std::atomic<bool> g_active{false};
 
 }  // namespace
@@ -27,6 +30,10 @@ size_t TotalAllocations() {
   return g_total_allocations.load(std::memory_order_relaxed);
 }
 
+size_t TotalAllocatedBytes() {
+  return g_total_allocated_bytes.load(std::memory_order_relaxed);
+}
+
 namespace internal {
 
 // Thread-safety audit (exercised by MemhookHammerTest): every counter is a
@@ -44,16 +51,21 @@ namespace internal {
 // edges.
 void RecordAlloc(size_t bytes) {
   g_total_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_total_allocated_bytes.fetch_add(bytes, std::memory_order_relaxed);
   const size_t now =
       g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   size_t peak = g_peak.load(std::memory_order_relaxed);
   while (now > peak &&
          !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  // Per-thread mirror for span-level attribution (obs/trace.h); guarded
+  // against recursive entry inside alloc_stats itself.
+  obs::allocstats::RecordAlloc(bytes);
 }
 
 void RecordFree(size_t bytes) {
   g_current.fetch_sub(bytes, std::memory_order_relaxed);
+  obs::allocstats::RecordFree(bytes);
 }
 
 void MarkActive() { g_active.store(true, std::memory_order_relaxed); }

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace usep {
@@ -83,7 +84,12 @@ ThreadPool::ThreadPool(int num_threads, CancellationToken cancel,
       if (trace_ != nullptr) {
         trace_->NameCurrentThread("pool-worker-" + std::to_string(i));
       }
+      // Join the stack-sampler registry so --sample_out flamegraphs cover
+      // ParallelFor work; must unregister before exit (the per-thread
+      // SIGPROF timer must not outlive its target tid).
+      obs::StackSampler::RegisterCurrentThread();
       WorkerLoop();
+      obs::StackSampler::UnregisterCurrentThread();
     });
   }
 }

@@ -1,0 +1,68 @@
+#include "obs/alloc_stats.h"
+
+#include <atomic>
+
+namespace usep::obs::allocstats {
+namespace {
+
+// Trivially-constructible PODs: thread_local access from the allocation
+// path must not itself allocate or run dynamic initializers.
+struct ThreadStats {
+  uint64_t allocated_bytes = 0;
+  uint64_t allocations = 0;
+  uint64_t freed_bytes = 0;
+  uint32_t in_hook = 0;
+};
+thread_local ThreadStats tls_stats;
+
+std::atomic<bool> g_active{false};
+std::atomic<uint64_t> g_reentrant{0};
+
+}  // namespace
+
+void RecordAlloc(size_t bytes) {
+  ThreadStats& stats = tls_stats;
+  if (stats.in_hook != 0) {
+    // Recursive entry: bookkeeping allocated, or a signal handler allocated
+    // while this thread was inside malloc/free.  Dropping the update keeps
+    // the per-thread counters consistent; the global memhook counters (one
+    // relaxed fetch_add per field) are untouched by this guard and stay
+    // exact regardless.
+    g_reentrant.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stats.in_hook = 1;
+  stats.allocated_bytes += bytes;
+  stats.allocations += 1;
+  stats.in_hook = 0;
+  if (!g_active.load(std::memory_order_relaxed)) {
+    g_active.store(true, std::memory_order_relaxed);
+  }
+}
+
+void RecordFree(size_t bytes) {
+  ThreadStats& stats = tls_stats;
+  if (stats.in_hook != 0) {
+    g_reentrant.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stats.in_hook = 1;
+  stats.freed_bytes += bytes;
+  stats.in_hook = 0;
+}
+
+bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+uint64_t ThreadAllocatedBytes() { return tls_stats.allocated_bytes; }
+
+uint64_t ThreadAllocations() { return tls_stats.allocations; }
+
+uint64_t ThreadFreedBytes() { return tls_stats.freed_bytes; }
+
+bool InHook() { return tls_stats.in_hook != 0; }
+
+uint64_t ReentrantEntries() {
+  return g_reentrant.load(std::memory_order_relaxed);
+}
+
+}  // namespace usep::obs::allocstats

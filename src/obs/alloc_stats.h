@@ -1,0 +1,56 @@
+#ifndef USEP_OBS_ALLOC_STATS_H_
+#define USEP_OBS_ALLOC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usep::obs::allocstats {
+
+// Per-thread allocation accounting behind the span-level allocation
+// attribution of obs/trace.h.  The global memhook counters
+// (common/memhook.h) answer "how much heap does the process hold"; these
+// answer "how much did THIS thread allocate between two points" — which is
+// what a TraceSpan needs to attribute allocation churn to the phase it
+// wraps, even while other threads allocate concurrently.
+//
+// The module lives in usep_obs (below usep_common in the layering) so
+// trace.cc can read the counters without a dependency cycle; the counting
+// operator new/delete overrides reach it through
+// memhook::internal::RecordAlloc/RecordFree in common/memhook_api.cc.
+//
+// Reentrancy contract (exercised by MemhookHammerTest): RecordAlloc and
+// RecordFree set a thread-local in-hook flag for their duration.
+//   * A recursive entry — the hook's own bookkeeping allocating, or a
+//     signal handler allocating while the thread is inside malloc/free —
+//     is counted in ReentrantEntries() and otherwise ignored, so the
+//     per-thread counters can never be corrupted by nested updates.
+//   * The SIGPROF stack sampler (obs/sampler.h) checks InHook() from its
+//     handler: a sample that lands inside the allocator is tagged instead
+//     of touching any allocator state.  Everything here is async-signal
+//     readable: plain thread-local scalars and relaxed atomics.
+
+// Called by the memhook on every hooked allocation/free.  Must not
+// allocate.  No-ops (but counts) when re-entered on the same thread.
+void RecordAlloc(size_t bytes);
+void RecordFree(size_t bytes);
+
+// True once any allocation has ever been recorded — i.e. the counting
+// allocator is linked into this binary and live.  Span attribution checks
+// this so binaries without usep_memhook don't emit all-zero alloc fields.
+bool Active();
+
+// Monotonic totals for the CALLING thread.
+uint64_t ThreadAllocatedBytes();
+uint64_t ThreadAllocations();
+uint64_t ThreadFreedBytes();
+
+// True while the calling thread is inside RecordAlloc/RecordFree.
+// Async-signal-safe.
+bool InHook();
+
+// Process-wide count of suppressed recursive hook entries.
+uint64_t ReentrantEntries();
+
+}  // namespace usep::obs::allocstats
+
+#endif  // USEP_OBS_ALLOC_STATS_H_

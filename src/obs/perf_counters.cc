@@ -1,0 +1,305 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace usep::obs {
+
+namespace {
+
+std::atomic<bool> g_forced_unavailable{false};
+
+bool EnvDisabled() {
+  static const bool disabled = [] {
+    const char* env = std::getenv("USEP_PERF_DISABLE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return disabled;
+}
+
+}  // namespace
+
+const char* PerfCounterName(PerfCounter counter) {
+  switch (counter) {
+    case PerfCounter::kCycles:
+      return "cycles";
+    case PerfCounter::kInstructions:
+      return "instructions";
+    case PerfCounter::kCacheReferences:
+      return "cache_references";
+    case PerfCounter::kCacheMisses:
+      return "cache_misses";
+    case PerfCounter::kBranchMisses:
+      return "branch_misses";
+    case PerfCounter::kTaskClockNs:
+      return "task_clock_ns";
+    case PerfCounter::kPageFaults:
+      return "page_faults";
+  }
+  return "unknown";
+}
+
+double PerfCounterValues::Ipc() const {
+  if (!has(PerfCounter::kCycles) || !has(PerfCounter::kInstructions)) {
+    return 0.0;
+  }
+  const uint64_t cyc = cycles();
+  if (cyc == 0) return 0.0;
+  return static_cast<double>(instructions()) / static_cast<double>(cyc);
+}
+
+double PerfCounterValues::CacheMissRate() const {
+  if (!has(PerfCounter::kCacheReferences) || !has(PerfCounter::kCacheMisses)) {
+    return 0.0;
+  }
+  const uint64_t refs = cache_references();
+  if (refs == 0) return 0.0;
+  return static_cast<double>(cache_misses()) / static_cast<double>(refs);
+}
+
+double PerfCounterValues::BranchMissesPerKiloInstruction() const {
+  if (!has(PerfCounter::kBranchMisses) || !has(PerfCounter::kInstructions)) {
+    return 0.0;
+  }
+  const uint64_t ins = instructions();
+  if (ins == 0) return 0.0;
+  return static_cast<double>(branch_misses()) * 1000.0 /
+         static_cast<double>(ins);
+}
+
+PerfCounterValues PerfCounterValues::DeltaSince(
+    const PerfCounterValues& earlier) const {
+  PerfCounterValues delta;
+  delta.valid = valid & earlier.valid;
+  delta.scaling = scaling;
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    delta.value[i] = value[i] >= earlier.value[i]
+                         ? value[i] - earlier.value[i]
+                         : 0;
+  }
+  return delta;
+}
+
+void PerfCounterValues::Accumulate(const PerfCounterValues& other) {
+  valid |= other.valid;
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    const uint64_t sum = value[i] + other.value[i];
+    value[i] = sum >= value[i] ? sum : ~0ull;
+  }
+  // Keep the worst (largest) extrapolation factor seen across the spans we
+  // aggregate, so a heavily multiplexed contribution is not hidden.
+  if (other.scaling > scaling) scaling = other.scaling;
+}
+
+void PerfCounterValues::SubtractClamped(const PerfCounterValues& other) {
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    value[i] = value[i] >= other.value[i] ? value[i] - other.value[i] : 0;
+  }
+}
+
+namespace internal {
+
+uint64_t ApplyScaling(uint64_t raw, uint64_t time_enabled,
+                      uint64_t time_running) {
+  if (time_running == 0) return 0;
+  if (time_running >= time_enabled) return raw;
+  const double factor = static_cast<double>(time_enabled) /
+                        static_cast<double>(time_running);
+  return static_cast<uint64_t>(static_cast<double>(raw) * factor);
+}
+
+}  // namespace internal
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Declaration order == group order == read() slot order.
+constexpr EventSpec kEventSpecs[kNumPerfCounters] = {
+    // The software task-clock event leads the group: software events always
+    // schedule, so the group survives PMUs with no usable hardware slots
+    // (VMs) and the leader never blocks siblings from counting.
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},   // kTaskClockNs leader
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},  // kPageFaults
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},   // kCycles
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+constexpr PerfCounter kSpecCounter[kNumPerfCounters] = {
+    PerfCounter::kTaskClockNs,     PerfCounter::kPageFaults,
+    PerfCounter::kCycles,          PerfCounter::kInstructions,
+    PerfCounter::kCacheReferences, PerfCounter::kCacheMisses,
+    PerfCounter::kBranchMisses,
+};
+
+int PerfEventOpen(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = (group_fd == -1) ? 1 : 0;  // enable the whole group at once
+  attr.exclude_kernel = 1;                   // works at perf_event_paranoid<=2
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // per-thread only; inherit breaks PERF_FORMAT_GROUP reads
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0));
+}
+
+const char* g_unavailable_reason = "";
+
+bool ProbeSupported() {
+  if (EnvDisabled()) {
+    g_unavailable_reason = "disabled via USEP_PERF_DISABLE";
+    return false;
+  }
+  const int fd = PerfEventOpen(kEventSpecs[0], -1);
+  if (fd >= 0) {
+    close(fd);
+    return true;
+  }
+  switch (errno) {
+    case EPERM:
+    case EACCES:
+      g_unavailable_reason =
+          "perf_event_open denied (check /proc/sys/kernel/perf_event_paranoid"
+          " or container seccomp policy)";
+      break;
+    case ENOSYS:
+      g_unavailable_reason = "perf_event_open not implemented by this kernel";
+      break;
+    case ENOENT:
+      g_unavailable_reason = "perf events unsupported on this machine";
+      break;
+    default:
+      g_unavailable_reason = "perf_event_open failed";
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (int i = 0; i < kNumPerfCounters; ++i) fd_[i] = -1;
+  if (g_forced_unavailable.load(std::memory_order_relaxed) || !Supported()) {
+    return;
+  }
+  int slot = 0;
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    const int fd = PerfEventOpen(kEventSpecs[i], leader_fd_);
+    if (fd < 0) {
+      // A missing sibling (e.g. no LLC events in a VM) just leaves a hole in
+      // the valid mask; the leader failing means no group at all.
+      if (leader_fd_ == -1) return;
+      continue;
+    }
+    if (leader_fd_ == -1) leader_fd_ = fd;
+    fd_[static_cast<int>(kSpecCounter[i])] = fd;
+    valid_mask_ |= 1u << static_cast<int>(kSpecCounter[i]);
+    slot_to_counter_[slot++] = static_cast<int>(kSpecCounter[i]);
+    ++num_open_;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int i = 0; i < kNumPerfCounters; ++i) {
+    if (fd_[i] >= 0 && fd_[i] != leader_fd_) close(fd_[i]);
+  }
+  if (leader_fd_ >= 0) close(leader_fd_);
+}
+
+bool PerfCounterGroup::Read(PerfCounterValues* out) const {
+  *out = PerfCounterValues{};
+  if (num_open_ == 0) return false;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  uint64_t buf[3 + kNumPerfCounters];
+  const ssize_t want = static_cast<ssize_t>((3 + num_open_) * sizeof(uint64_t));
+  const ssize_t got = read(leader_fd_, buf, sizeof(buf));
+  if (got < want) return false;
+  const uint64_t nr = buf[0];
+  const uint64_t enabled = buf[1];
+  const uint64_t running = buf[2];
+  if (nr != static_cast<uint64_t>(num_open_)) return false;
+  for (int slot = 0; slot < num_open_; ++slot) {
+    const int counter = slot_to_counter_[slot];
+    out->value[counter] =
+        internal::ApplyScaling(buf[3 + slot], enabled, running);
+  }
+  out->valid = valid_mask_;
+  out->scaling = running > 0 ? static_cast<double>(enabled) /
+                                   static_cast<double>(running)
+                             : 0.0;
+  return true;
+}
+
+bool PerfCounterGroup::Supported() {
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) return false;
+  static const bool supported = ProbeSupported();
+  return supported;
+}
+
+const char* PerfCounterGroup::UnavailableReason() {
+  if (Supported()) return "";
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) {
+    return "forced unavailable for test";
+  }
+  return g_unavailable_reason;
+}
+
+void PerfCounterGroup::ForceUnavailableForTest(bool unavailable) {
+  g_forced_unavailable.store(unavailable, std::memory_order_relaxed);
+}
+
+#else  // !defined(__linux__): null backend
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (int i = 0; i < kNumPerfCounters; ++i) fd_[i] = -1;
+}
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+bool PerfCounterGroup::Read(PerfCounterValues* out) const {
+  *out = PerfCounterValues{};
+  return false;
+}
+
+bool PerfCounterGroup::Supported() { return false; }
+
+const char* PerfCounterGroup::UnavailableReason() {
+  return "perf_event_open requires Linux";
+}
+
+void PerfCounterGroup::ForceUnavailableForTest(bool unavailable) {
+  g_forced_unavailable.store(unavailable, std::memory_order_relaxed);
+}
+
+#endif  // defined(__linux__)
+
+PerfCounterGroup* ThreadPerfCounters() {
+  if (!PerfCounterGroup::Supported()) return nullptr;
+  thread_local PerfCounterGroup group;
+  return group.active() ? &group : nullptr;
+}
+
+}  // namespace usep::obs

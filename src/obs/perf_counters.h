@@ -1,0 +1,141 @@
+#ifndef USEP_OBS_PERF_COUNTERS_H_
+#define USEP_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace usep::obs {
+
+// Hardware performance counters via perf_event_open, packaged so the rest
+// of the codebase never sees the syscall: a PerfCounterGroup is an RAII
+// per-thread counter group (cycles, instructions, cache-references,
+// cache-misses, branch-misses, task-clock, page-faults) read in one
+// syscall, and PerfCounterValues carries the scaled readings plus the
+// derived rates (IPC, LLC-miss rate, branch-misses per kilo-instruction)
+// the profile tables print.
+//
+// Null backend: when the syscall is unavailable (non-Linux), unpermitted
+// (perf_event_paranoid, seccomp — the common container case), or disabled
+// via USEP_PERF_DISABLE=1 / ForceUnavailableForTest, Supported() is false,
+// ThreadPerfCounters() returns nullptr, and every caller degrades to "no
+// counter fields" — never an error.  UnavailableReason() says why, so
+// operators can tell a locked-down kernel from a missing PMU.
+//
+// Multiplexing: the kernel time-slices counter groups when more groups are
+// open than the PMU has slots.  Reads carry time_enabled/time_running; the
+// raw counts are extrapolated by enabled/running (the standard `perf stat`
+// scaling) and the factor is reported in PerfCounterValues::scaling so
+// downstream consumers can judge how much was measured vs. estimated.
+
+// Fixed counter set every group opens; indexes into PerfCounterValues.
+enum class PerfCounter {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kTaskClockNs,
+  kPageFaults,
+};
+inline constexpr int kNumPerfCounters = 7;
+
+// Stable lowercase name, e.g. "cycles", "cache_misses", "task_clock_ns".
+const char* PerfCounterName(PerfCounter counter);
+
+struct PerfCounterValues {
+  uint64_t value[kNumPerfCounters] = {};
+  // Bitmask of counters that were actually scheduled (a PMU may lack e.g.
+  // cache-miss events in a VM); absent counters read as zero.
+  uint32_t valid = 0;
+  // time_enabled / time_running of the group: 1.0 = counted the whole
+  // time, > 1.0 = multiplexed and extrapolated, 0.0 = never scheduled.
+  double scaling = 1.0;
+
+  bool has(PerfCounter counter) const {
+    return (valid & (1u << static_cast<int>(counter))) != 0;
+  }
+  uint64_t get(PerfCounter counter) const {
+    return value[static_cast<int>(counter)];
+  }
+
+  uint64_t cycles() const { return get(PerfCounter::kCycles); }
+  uint64_t instructions() const { return get(PerfCounter::kInstructions); }
+  uint64_t cache_references() const {
+    return get(PerfCounter::kCacheReferences);
+  }
+  uint64_t cache_misses() const { return get(PerfCounter::kCacheMisses); }
+  uint64_t branch_misses() const { return get(PerfCounter::kBranchMisses); }
+  uint64_t task_clock_ns() const { return get(PerfCounter::kTaskClockNs); }
+  uint64_t page_faults() const { return get(PerfCounter::kPageFaults); }
+
+  // Derived rates; 0.0 whenever a needed counter is absent or zero.
+  double Ipc() const;                 // instructions / cycles
+  double CacheMissRate() const;       // cache_misses / cache_references
+  double BranchMissesPerKiloInstruction() const;
+
+  // Per-counter saturating delta (this - earlier), for span enter/exit
+  // attribution.  valid is the intersection; scaling is taken from `this`
+  // (the later read, which covers the span's window).
+  PerfCounterValues DeltaSince(const PerfCounterValues& earlier) const;
+
+  // Per-counter saturating accumulate, for profile aggregation.
+  void Accumulate(const PerfCounterValues& other);
+  // Per-counter saturating subtract (parent self = total - children).
+  void SubtractClamped(const PerfCounterValues& other);
+};
+
+// One per-thread counter group.  Counts USER-SPACE events of the creating
+// thread only (exclude_kernel, so perf_event_paranoid=2 systems can open
+// it); Read() must be called on the creating thread.
+class PerfCounterGroup {
+ public:
+  // Opens the group for the calling thread.  active() is false when the
+  // backend is unavailable — the object is then inert and free to keep.
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool active() const { return num_open_ > 0; }
+  // Which counters actually opened (see PerfCounterValues::valid).
+  uint32_t valid_mask() const { return valid_mask_; }
+
+  // Reads current totals, scaled for multiplexing.  False on the null
+  // backend or a failed read; *out is zeroed then.
+  bool Read(PerfCounterValues* out) const;
+
+  // Process-wide availability probe (opens and closes one test group the
+  // first time; cached).  False on non-Linux, when the kernel refuses the
+  // syscall, or when disabled via USEP_PERF_DISABLE=1 / ForceUnavailable.
+  static bool Supported();
+  // Human-readable reason when Supported() is false ("" when supported).
+  static const char* UnavailableReason();
+  // Deterministically forces the null backend (tests, CI degradation
+  // checks).  Affects groups opened AFTER the call.
+  static void ForceUnavailableForTest(bool unavailable);
+
+ private:
+  int fd_[kNumPerfCounters];  // -1 per unopened member; fd_[leader] owns.
+  int leader_fd_ = -1;
+  int num_open_ = 0;
+  uint32_t valid_mask_ = 0;
+  // read() index -> counter index, in group declaration order.
+  int slot_to_counter_[kNumPerfCounters] = {};
+};
+
+// Lazily-opened counter group for the calling thread; nullptr when the
+// backend is unavailable.  The group lives until thread exit, so repeated
+// TraceSpans pay only the (one-syscall) reads, not the opens.
+PerfCounterGroup* ThreadPerfCounters();
+
+namespace internal {
+// perf-stat scaling: raw * enabled / running, 0 when running == 0.
+// Exposed so the multiplexing math is unit-testable without forcing the
+// kernel to actually multiplex.
+uint64_t ApplyScaling(uint64_t raw, uint64_t time_enabled,
+                      uint64_t time_running);
+}  // namespace internal
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_PERF_COUNTERS_H_

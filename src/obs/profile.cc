@@ -12,8 +12,10 @@ namespace {
 struct Span {
   double start = 0.0;
   double end = 0.0;
-  const std::string* name = nullptr;
+  const TraceEvent* event = nullptr;
 };
+
+uint64_t SubClamped(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
 
 }  // namespace
 
@@ -26,7 +28,7 @@ Profile Profile::FromEvents(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& event : events) {
     if (event.phase != 'X') continue;
     spans_by_tid[event.tid].push_back(
-        Span{event.ts_us, event.ts_us + event.dur_us, &event.name});
+        Span{event.ts_us, event.ts_us + event.dur_us, &event});
   }
 
   std::map<std::string, PhaseProfile> by_name;
@@ -44,16 +46,41 @@ Profile Profile::FromEvents(const std::vector<TraceEvent>& events) {
       while (!stack.empty() && stack.back().first->end <= span.start) {
         stack.pop_back();
       }
+      const TraceEvent& event = *span.event;
       const double duration = span.end - span.start;
-      PhaseProfile& phase = by_name[*span.name];
+      PhaseProfile& phase = by_name[event.name];
       phase.count += 1;
       phase.total_us += duration;
       phase.self_us += duration;
       phase.thread_total_us[tid] += duration;
+      if (event.has_perf) {
+        phase.has_perf = true;
+        phase.perf_total.Accumulate(event.perf);
+        phase.perf_self.Accumulate(event.perf);
+      }
+      if (event.has_alloc) {
+        phase.has_alloc = true;
+        phase.alloc_bytes_total += event.alloc_bytes;
+        phase.alloc_count_total += event.alloc_count;
+        phase.freed_bytes_total += event.freed_bytes;
+        phase.alloc_bytes_self += event.alloc_bytes;
+        phase.alloc_count_self += event.alloc_count;
+      }
       if (stack.empty()) {
         profile.root_total_us += duration;
       } else {
-        stack.back().second->self_us -= duration;
+        // Same subtraction as self time: the child's counters came out of
+        // the parent's span window on this thread, so they are not the
+        // parent's own work.
+        PhaseProfile* parent = stack.back().second;
+        parent->self_us -= duration;
+        if (event.has_perf) parent->perf_self.SubtractClamped(event.perf);
+        if (event.has_alloc) {
+          parent->alloc_bytes_self =
+              SubClamped(parent->alloc_bytes_self, event.alloc_bytes);
+          parent->alloc_count_self =
+              SubClamped(parent->alloc_count_self, event.alloc_count);
+        }
       }
       stack.emplace_back(&span, &phase);
       profile.num_spans += 1;
@@ -81,25 +108,76 @@ Profile Profile::FromRecorder(const TraceRecorder& recorder) {
   return FromEvents(recorder.Events());
 }
 
+bool Profile::AnyPerf() const {
+  for (const PhaseProfile& phase : phases) {
+    if (phase.has_perf) return true;
+  }
+  return false;
+}
+
+bool Profile::AnyAlloc() const {
+  for (const PhaseProfile& phase : phases) {
+    if (phase.has_alloc) return true;
+  }
+  return false;
+}
+
 void Profile::PrintTable(std::ostream& out) const {
+  const bool with_perf = AnyPerf();
+  const bool with_alloc = AnyAlloc();
   size_t name_width = 5;  // "phase"
   for (const PhaseProfile& phase : phases) {
     name_width = std::max(name_width, phase.name.size());
   }
-  char line[256];
-  std::snprintf(line, sizeof(line), "%-*s %8s %12s %12s %7s %8s\n",
+  char line[384];
+  char extra[128];
+  std::snprintf(line, sizeof(line), "%-*s %8s %12s %12s %7s %8s",
                 static_cast<int>(name_width), "phase", "count", "total_ms",
                 "self_ms", "self%", "threads");
   out << line;
+  if (with_perf) {
+    std::snprintf(extra, sizeof(extra), " %6s %7s %8s", "ipc", "llc-m%",
+                  "br-m/ki");
+    out << extra;
+  }
+  if (with_alloc) {
+    std::snprintf(extra, sizeof(extra), " %10s %10s", "alloc_mb", "allocs");
+    out << extra;
+  }
+  out << '\n';
   for (const PhaseProfile& phase : phases) {
     const double self_percent =
         root_total_us > 0.0 ? 100.0 * phase.self_us / root_total_us : 0.0;
-    std::snprintf(line, sizeof(line), "%-*s %8lld %12.3f %12.3f %6.1f%% %8zu\n",
+    std::snprintf(line, sizeof(line), "%-*s %8lld %12.3f %12.3f %6.1f%% %8zu",
                   static_cast<int>(name_width), phase.name.c_str(),
                   static_cast<long long>(phase.count), phase.total_us / 1e3,
                   phase.self_us / 1e3, self_percent,
                   phase.thread_total_us.size());
     out << line;
+    if (with_perf) {
+      // Rates from SELF counters: what this phase's own code did, with the
+      // callees subtracted out — the column an optimization decision reads.
+      if (phase.has_perf) {
+        std::snprintf(extra, sizeof(extra), " %6.2f %6.2f%% %8.2f",
+                      phase.perf_self.Ipc(),
+                      100.0 * phase.perf_self.CacheMissRate(),
+                      phase.perf_self.BranchMissesPerKiloInstruction());
+      } else {
+        std::snprintf(extra, sizeof(extra), " %6s %7s %8s", "-", "-", "-");
+      }
+      out << extra;
+    }
+    if (with_alloc) {
+      if (phase.has_alloc) {
+        std::snprintf(extra, sizeof(extra), " %10.3f %10llu",
+                      static_cast<double>(phase.alloc_bytes_self) / 1e6,
+                      static_cast<unsigned long long>(phase.alloc_count_self));
+      } else {
+        std::snprintf(extra, sizeof(extra), " %10s %10s", "-", "-");
+      }
+      out << extra;
+    }
+    out << '\n';
   }
   std::snprintf(line, sizeof(line),
                 "(%lld spans on %d threads; %.3f ms covered by root spans)\n",
@@ -122,6 +200,30 @@ void Profile::WriteJson(JsonWriter* json) const {
       json->KvDouble(std::to_string(tid), total_us);
     }
     json->EndObject();
+    if (phase.has_perf) {
+      json->Key("perf");
+      json->BeginObject();
+      for (int i = 0; i < kNumPerfCounters; ++i) {
+        const PerfCounter counter = static_cast<PerfCounter>(i);
+        if (!phase.perf_total.has(counter)) continue;
+        json->KvUint(PerfCounterName(counter), phase.perf_total.get(counter));
+        json->KvUint(std::string(PerfCounterName(counter)) + "_self",
+                     phase.perf_self.get(counter));
+      }
+      json->KvDouble("ipc_self", phase.perf_self.Ipc());
+      json->KvDouble("cache_miss_rate_self", phase.perf_self.CacheMissRate());
+      json->KvDouble("branch_miss_per_ki_self",
+                     phase.perf_self.BranchMissesPerKiloInstruction());
+      json->KvDouble("scaling", phase.perf_total.scaling);
+      json->EndObject();
+    }
+    if (phase.has_alloc) {
+      json->KvUint("alloc_bytes", phase.alloc_bytes_total);
+      json->KvUint("alloc_count", phase.alloc_count_total);
+      json->KvUint("freed_bytes", phase.freed_bytes_total);
+      json->KvUint("alloc_bytes_self", phase.alloc_bytes_self);
+      json->KvUint("alloc_count_self", phase.alloc_count_self);
+    }
     json->EndObject();
   }
   json->EndArray();

@@ -30,6 +30,25 @@ struct PhaseProfile {
   double total_us = 0.0;  // Summed span durations.
   double self_us = 0.0;   // total_us minus time covered by nested spans.
   std::map<int, double> thread_total_us;  // Per-tid share of total_us.
+
+  // Hardware-counter aggregates, present when at least one span of this
+  // phase carried counter deltas (TraceRecorder::set_collect_perf).  Self
+  // counters follow the same parent-minus-children subtraction as self_us,
+  // so per-phase IPC / miss rates describe the phase's OWN code, not its
+  // callees.
+  bool has_perf = false;
+  PerfCounterValues perf_total;
+  PerfCounterValues perf_self;
+
+  // Allocation aggregates (TraceRecorder::set_collect_alloc + linked
+  // counting allocator); bytes/count are this-thread deltas summed over
+  // spans, with the same self attribution.
+  bool has_alloc = false;
+  uint64_t alloc_bytes_total = 0;
+  uint64_t alloc_count_total = 0;
+  uint64_t freed_bytes_total = 0;
+  uint64_t alloc_bytes_self = 0;
+  uint64_t alloc_count_self = 0;
 };
 
 struct Profile {
@@ -46,9 +65,16 @@ struct Profile {
   static Profile FromEvents(const std::vector<TraceEvent>& events);
   static Profile FromRecorder(const TraceRecorder& recorder);
 
+  // True when any phase carries the corresponding counter aggregates
+  // (controls whether PrintTable grows the extra columns).
+  bool AnyPerf() const;
+  bool AnyAlloc() const;
+
   // Human-readable fixed-width table, self-time ordered:
   //   phase  count  total_ms  self_ms  self%  threads
-  // `self%` is the share of root_total_us.
+  // `self%` is the share of root_total_us.  When counter aggregates are
+  // present the table additionally grows `ipc  llc-m%  br-m/ki` (from
+  // self counters) and/or `alloc_mb  allocs` (self allocation) columns.
   void PrintTable(std::ostream& out) const;
 
   // Emits the profile as one JSON array value (callers position it with

@@ -1,0 +1,501 @@
+#include "obs/sampler.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "obs/alloc_stats.h"
+
+// The frame walk reads raw stack memory between the interrupted frame and
+// the thread's stack base.  Under ASan/TSan that memory is poisoned or
+// shadowed and the reads themselves would be flagged, so sanitized builds
+// compile the null backend and CI's sanitizer jobs exercise the
+// clean-degradation path instead.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define USEP_SAMPLER_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define USEP_SAMPLER_SANITIZED 1
+#endif
+#endif
+
+#if defined(__linux__) && !defined(USEP_SAMPLER_SANITIZED) && \
+    (defined(__x86_64__) || defined(__aarch64__))
+#define USEP_SAMPLER_SUPPORTED 1
+#endif
+
+#if defined(USEP_SAMPLER_SUPPORTED)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/types.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif  // USEP_SAMPLER_SUPPORTED
+
+namespace usep::obs {
+namespace {
+
+struct Sample {
+  uintptr_t frames[kSamplerMaxFrames];
+  int32_t num_frames = 0;
+  int32_t tid = 0;
+  uint8_t in_alloc = 0;
+  // Seqlock-lite: the handler release-stores 1 after filling the payload;
+  // readers acquire-load and skip uncommitted slots (a dump can race a
+  // straggling in-flight handler).
+  std::atomic<uint8_t> committed{0};
+};
+
+struct Collector {
+  std::unique_ptr<Sample[]> samples;
+  size_t capacity = 0;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> in_alloc{0};
+};
+
+// The SIGPROF handler's only anchor.  Set (release) before timers arm; once
+// set it stays valid until the next Start() swaps in a fresh collector
+// after all timers are gone.
+std::atomic<Collector*> g_collector{nullptr};
+
+#if defined(USEP_SAMPLER_SUPPORTED)
+
+struct ThreadEntry {
+  pid_t tid = 0;
+  pthread_t pthread{};
+  timer_t timer{};
+  bool armed = false;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadEntry*> entries;
+  bool running = false;
+  long period_ns = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // Leaked: outlives exiting threads.
+  return *r;
+}
+
+// Plain-scalar TLS the handler reads on its own thread; populated at
+// registration (normal context), so no signal-time initialization.
+struct TlsState {
+  uintptr_t stack_lo = 0;
+  uintptr_t stack_hi = 0;
+  int32_t tid = 0;
+  ThreadEntry* entry = nullptr;
+};
+thread_local TlsState tls_state;
+
+pid_t Gettid() { return static_cast<pid_t>(syscall(SYS_gettid)); }
+
+void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext_void) {
+  Collector* collector = g_collector.load(std::memory_order_acquire);
+  if (collector == nullptr) return;
+  const int saved_errno = errno;
+
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucontext_void);
+#if defined(__x86_64__)
+  uintptr_t pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  uintptr_t fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#else  // __aarch64__
+  uintptr_t pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+  uintptr_t fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+#endif
+
+  const uint64_t index =
+      collector->next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= collector->capacity) {
+    collector->dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+  Sample& sample = collector->samples[index];
+
+  // Frame-pointer walk, bounded by the thread's stack (captured at
+  // registration): each frame holds [saved-fp, return-address]; a chain
+  // that leaves the stack, misaligns, or stops growing upward ends the
+  // walk.  Leaf pc first, callers after — reversed to root-first at fold
+  // time.
+  const uintptr_t lo = tls_state.stack_lo;
+  const uintptr_t hi = tls_state.stack_hi;
+  int n = 0;
+  sample.frames[n++] = pc;
+  while (n < kSamplerMaxFrames) {
+    if (fp < lo || fp + 2 * sizeof(uintptr_t) > hi ||
+        (fp & (sizeof(uintptr_t) - 1)) != 0) {
+      break;
+    }
+    const uintptr_t* frame = reinterpret_cast<const uintptr_t*>(fp);
+    const uintptr_t next_fp = frame[0];
+    const uintptr_t ret = frame[1];
+    if (ret < 4096) break;  // Null / bogus return address.
+    sample.frames[n++] = ret;
+    if (next_fp <= fp) break;  // Frames must move toward the stack base.
+    fp = next_fp;
+  }
+  sample.num_frames = n;
+  sample.tid = tls_state.tid;
+  sample.in_alloc = allocstats::InHook() ? 1 : 0;
+  if (sample.in_alloc != 0) {
+    collector->in_alloc.fetch_add(1, std::memory_order_relaxed);
+  }
+  sample.committed.store(1, std::memory_order_release);
+  collector->committed.fetch_add(1, std::memory_order_relaxed);
+  errno = saved_errno;
+}
+
+// Arms a per-thread CPU-time timer delivering SIGPROF to exactly that
+// thread.  Registry mutex held.
+bool ArmLocked(Registry& reg, ThreadEntry* entry) {
+  if (entry->armed) return true;
+  clockid_t clock;
+  if (pthread_getcpuclockid(entry->pthread, &clock) != 0) return false;
+  struct sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = entry->tid;
+  if (timer_create(clock, &sev, &entry->timer) != 0) return false;
+  struct itimerspec spec;
+  spec.it_value.tv_sec = reg.period_ns / 1000000000L;
+  spec.it_value.tv_nsec = reg.period_ns % 1000000000L;
+  spec.it_interval = spec.it_value;
+  if (timer_settime(entry->timer, 0, &spec, nullptr) != 0) {
+    timer_delete(entry->timer);
+    return false;
+  }
+  entry->armed = true;
+  return true;
+}
+
+void DisarmLocked(ThreadEntry* entry) {
+  if (!entry->armed) return;
+  timer_delete(entry->timer);
+  entry->armed = false;
+}
+
+// --- Symbolization (dump time only; allocates freely) ---------------------
+
+std::string SymbolizeFrame(uintptr_t pc, bool leaf) {
+  // Non-leaf frames are return addresses: step back one byte so the lookup
+  // lands inside the call instruction's function, not the next symbol.
+  const uintptr_t addr = leaf ? pc : pc - 1;
+  Dl_info info;
+  std::string name;
+  if (dladdr(reinterpret_cast<void*>(addr), &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      int status = 1;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      name = (status == 0 && demangled != nullptr) ? demangled
+                                                   : info.dli_sname;
+      std::free(demangled);
+    } else if (info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      name = base != nullptr ? base + 1 : info.dli_fname;
+      char offset[32];
+      std::snprintf(offset, sizeof(offset), "+0x%llx",
+                    static_cast<unsigned long long>(
+                        addr - reinterpret_cast<uintptr_t>(info.dli_fbase)));
+      name += offset;
+    }
+  }
+  if (name.empty()) {
+    char raw[32];
+    std::snprintf(raw, sizeof(raw), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    name = raw;
+  }
+  // The folded format reserves ';' as the frame separator and the trailing
+  // space-separated field as the count; demangled C++ names can contain
+  // neither ';' nor a trailing digit-only token, but scrub ';' defensively.
+  for (char& c : name) {
+    if (c == ';' || c == '\n') c = ':';
+  }
+  return name;
+}
+
+#endif  // USEP_SAMPLER_SUPPORTED
+
+// Owned storage behind g_collector (swapped only while no timers exist).
+[[maybe_unused]] std::unique_ptr<Collector>& OwnedCollector() {
+  static std::unique_ptr<Collector> owned;
+  return owned;
+}
+
+}  // namespace
+
+StackSampler& StackSampler::Global() {
+  static StackSampler* sampler = new StackSampler;
+  return *sampler;
+}
+
+uint64_t StackSampler::SampleCount() const {
+  const Collector* c = g_collector.load(std::memory_order_acquire);
+  return c != nullptr ? c->committed.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t StackSampler::DroppedSamples() const {
+  const Collector* c = g_collector.load(std::memory_order_acquire);
+  return c != nullptr ? c->dropped.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t StackSampler::InAllocatorSamples() const {
+  const Collector* c = g_collector.load(std::memory_order_acquire);
+  return c != nullptr ? c->in_alloc.load(std::memory_order_relaxed) : 0;
+}
+
+#if defined(USEP_SAMPLER_SUPPORTED)
+
+bool StackSampler::Start(const SamplerOptions& options, std::string* error) {
+  RegisterCurrentThread();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.running) {
+    if (error != nullptr) *error = "sampler already running";
+    return false;
+  }
+
+  int hz = options.hz;
+  if (hz < 1) hz = 1;
+  if (hz > 10000) hz = 10000;
+  reg.period_ns = 1000000000L / hz;
+
+  size_t capacity = options.max_samples;
+  if (capacity < 16) capacity = 16;
+  auto collector = std::make_unique<Collector>();
+  collector->capacity = capacity;
+  collector->samples = std::make_unique<Sample[]>(capacity);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = SigprofHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    if (error != nullptr) *error = "sigaction(SIGPROF) failed";
+    return false;
+  }
+
+  // Publish the collector before any timer can fire.
+  OwnedCollector() = std::move(collector);
+  g_collector.store(OwnedCollector().get(), std::memory_order_release);
+
+  for (ThreadEntry* entry : reg.entries) ArmLocked(reg, entry);
+  reg.running = true;
+  return true;
+}
+
+void StackSampler::Stop() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.running) return;
+  for (ThreadEntry* entry : reg.entries) DisarmLocked(entry);
+  reg.running = false;
+  // g_collector stays published: a signal already queued when its timer was
+  // deleted may still deliver, and the handler must find valid storage.
+  // The collector is only replaced by the next Start(), long after any
+  // straggler has run.
+}
+
+bool StackSampler::running() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.running;
+}
+
+void StackSampler::RegisterCurrentThread() {
+  if (tls_state.entry != nullptr) return;
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* stack_addr = nullptr;
+  size_t stack_size = 0;
+  pthread_attr_getstack(&attr, &stack_addr, &stack_size);
+  pthread_attr_destroy(&attr);
+  if (stack_addr == nullptr || stack_size == 0) return;
+  tls_state.stack_lo = reinterpret_cast<uintptr_t>(stack_addr);
+  tls_state.stack_hi = tls_state.stack_lo + stack_size;
+  tls_state.tid = static_cast<int32_t>(Gettid());
+
+  auto* entry = new ThreadEntry;
+  entry->tid = Gettid();
+  entry->pthread = pthread_self();
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.entries.push_back(entry);
+  tls_state.entry = entry;
+  if (reg.running) ArmLocked(reg, entry);
+}
+
+void StackSampler::UnregisterCurrentThread() {
+  ThreadEntry* entry = tls_state.entry;
+  if (entry == nullptr) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  DisarmLocked(entry);
+  for (size_t i = 0; i < reg.entries.size(); ++i) {
+    if (reg.entries[i] == entry) {
+      reg.entries.erase(reg.entries.begin() + i);
+      break;
+    }
+  }
+  delete entry;
+  tls_state.entry = nullptr;
+}
+
+void StackSampler::WriteFoldedStream(std::ostream& out) const {
+  const Collector* collector = g_collector.load(std::memory_order_acquire);
+  if (collector == nullptr) return;
+  const uint64_t produced = collector->next.load(std::memory_order_relaxed);
+  const uint64_t used =
+      produced < collector->capacity ? produced : collector->capacity;
+
+  std::unordered_map<uintptr_t, std::string> symbol_cache;
+  std::unordered_map<uintptr_t, std::string> leaf_cache;
+  auto symbol = [&](uintptr_t pc, bool leaf) -> const std::string& {
+    auto& cache = leaf ? leaf_cache : symbol_cache;
+    auto it = cache.find(pc);
+    if (it == cache.end()) {
+      it = cache.emplace(pc, SymbolizeFrame(pc, leaf)).first;
+    }
+    return it->second;
+  };
+
+  // std::map so the folded lines come out deterministically sorted — easier
+  // to diff across runs and for tests to assert on.
+  std::map<std::string, uint64_t> folded;
+  std::string line;
+  for (uint64_t i = 0; i < used; ++i) {
+    const Sample& sample = collector->samples[i];
+    if (sample.committed.load(std::memory_order_acquire) == 0) continue;
+    line.clear();
+    if (sample.num_frames == 0) {
+      line = "[unknown]";
+    } else {
+      // Root-first: callers before callees, leaf last.
+      for (int f = sample.num_frames - 1; f >= 0; --f) {
+        if (!line.empty()) line += ';';
+        line += symbol(sample.frames[f], /*leaf=*/f == 0);
+      }
+    }
+    if (sample.in_alloc != 0) line += ";[allocator]";
+    folded[line] += 1;
+  }
+  for (const auto& [stack, count] : folded) {
+    out << stack << ' ' << count << '\n';
+  }
+}
+
+#else  // !USEP_SAMPLER_SUPPORTED: null backend
+
+bool StackSampler::Start(const SamplerOptions& /*options*/,
+                         std::string* error) {
+  if (error != nullptr) {
+#if defined(USEP_SAMPLER_SANITIZED)
+    *error = "stack sampler disabled under sanitizers";
+#else
+    *error = "stack sampler requires Linux with frame pointers";
+#endif
+  }
+  return false;
+}
+
+void StackSampler::Stop() {}
+
+bool StackSampler::running() const { return false; }
+
+void StackSampler::RegisterCurrentThread() {}
+
+void StackSampler::UnregisterCurrentThread() {}
+
+void StackSampler::WriteFoldedStream(std::ostream& /*out*/) const {}
+
+#endif  // USEP_SAMPLER_SUPPORTED
+
+void StackSampler::Reset() {
+  Collector* collector = g_collector.load(std::memory_order_acquire);
+  if (collector == nullptr) return;
+  const uint64_t produced = collector->next.load(std::memory_order_relaxed);
+  const uint64_t used =
+      produced < collector->capacity ? produced : collector->capacity;
+  for (uint64_t i = 0; i < used; ++i) {
+    collector->samples[i].committed.store(0, std::memory_order_relaxed);
+  }
+  collector->next.store(0, std::memory_order_relaxed);
+  collector->committed.store(0, std::memory_order_relaxed);
+  collector->dropped.store(0, std::memory_order_relaxed);
+  collector->in_alloc.store(0, std::memory_order_relaxed);
+}
+
+bool StackSampler::WriteFolded(const std::string& path,
+                               std::string* error) const {
+  std::ostringstream content;
+  WriteFoldedStream(content);
+  const std::string body = content.str();
+  // Flight-recorder-style publication: write the whole file next to the
+  // target, then rename into place, so a scraper never reads a torn dump.
+  const std::string tmp = path + ".tmp";
+#if defined(__linux__)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = "cannot open '" + tmp + "' for writing";
+    return false;
+  }
+  size_t offset = 0;
+  while (offset < body.size()) {
+    const ssize_t wrote =
+        ::write(fd, body.data() + offset, body.size() - offset);
+    if (wrote <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      if (error != nullptr) *error = "write to '" + tmp + "' failed";
+      return false;
+    }
+    offset += static_cast<size_t>(wrote);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    if (error != nullptr) *error = "rename to '" + path + "' failed";
+    return false;
+  }
+  return true;
+#else
+  (void)path;
+  if (error != nullptr) *error = "sampler output requires Linux";
+  return false;
+#endif
+}
+
+}  // namespace usep::obs

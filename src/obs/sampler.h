@@ -1,0 +1,100 @@
+#ifndef USEP_OBS_SAMPLER_H_
+#define USEP_OBS_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace usep::obs {
+
+// Timer-based sampling profiler: every registered thread gets a POSIX timer
+// on its CLOCK_THREAD_CPUTIME_ID that delivers SIGPROF to that thread; the
+// handler walks the frame-pointer chain from the interrupted context into a
+// preallocated lock-free sample buffer.  Samples are symbolized (dladdr +
+// demangle) at dump time and written in the folded-stack format
+// flamegraph.pl consumes, one line per distinct stack:
+//
+//   usep::algo::RatioGreedyPlanner::Plan;usep::algo::CandidateIndex::Probe 42
+//
+// Design constraints, in order:
+//   * The SIGPROF handler is async-signal-safe: it reads the ucontext,
+//     validates frame pointers against the thread's stack bounds (captured
+//     at registration), claims a slot with one atomic fetch_add, and writes
+//     plain scalars.  No allocation, no locks, no stdio.  A sample that
+//     lands while the thread is inside the counting allocator
+//     (allocstats::InHook()) is tagged instead of touching anything —
+//     the memhook-reentrancy contract of obs/alloc_stats.h.
+//   * Threads self-register: RegisterCurrentThread() captures stack bounds
+//     and joins the registry (ThreadPool workers do this automatically);
+//     Start() arms a timer per registered thread, and threads registering
+//     while the sampler runs are armed on entry.
+//   * Dumps go through the flight-recorder path: content assembled in
+//     memory, written to `<path>.tmp`, fsync'd, renamed — a scraper never
+//     sees a torn file.
+//   * CPU-time clocks mean idle threads produce no samples; sampling cost
+//     scales with work done, not wall time.
+//
+// Platform gates: requires Linux with frame pointers (the build compiles
+// with -fno-omit-frame-pointer).  Under ASan/TSan the frame walk would read
+// poisoned/instrumented stack memory, so Start() reports unavailable and
+// the null path is exercised instead.  Non-Linux likewise degrades to a
+// no-op with an explanatory error.
+
+inline constexpr int kSamplerMaxFrames = 64;
+
+struct SamplerOptions {
+  // Samples per second of CPU time, per thread.  Clamped to [1, 10000];
+  // 97 (prime, to dodge lockstep with periodic work) is the default.
+  int hz = 97;
+  // Preallocated sample capacity; sampling stops filling (and counts
+  // drops) beyond it.  ~520 bytes per slot.
+  size_t max_samples = 65536;
+};
+
+class StackSampler {
+ public:
+  // The process-wide sampler (the SIGPROF handler needs a global anchor).
+  static StackSampler& Global();
+
+  // Arms timers on every registered thread (registering the calling thread
+  // first).  False with *error set when sampling is unavailable here
+  // (non-Linux, sanitizer build) or already running.
+  bool Start(const SamplerOptions& options, std::string* error);
+
+  // Disarms all timers and waits out in-flight handlers; the collected
+  // samples remain available for WriteFolded.  Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  // Captures the calling thread's stack bounds and joins the registry; arms
+  // a timer immediately when the sampler is running.  Safe to call on an
+  // already-registered thread (no-op).  ThreadPool workers call this.
+  static void RegisterCurrentThread();
+  // Disarms and leaves the registry.  MUST be called before thread exit if
+  // the thread registered (a timer firing into a dead tid is an error).
+  static void UnregisterCurrentThread();
+
+  // Statistics over the current collection.
+  uint64_t SampleCount() const;       // Committed samples.
+  uint64_t DroppedSamples() const;    // Buffer-full drops.
+  uint64_t InAllocatorSamples() const;  // Tagged via allocstats::InHook.
+
+  // Symbolizes and folds the collected samples, then writes them to `path`
+  // via temp-file + rename.  Call after Stop().  False with *error on I/O
+  // failure; an empty collection writes an empty (but valid) file.
+  bool WriteFolded(const std::string& path, std::string* error) const;
+  // Same content to a stream (tests).
+  void WriteFoldedStream(std::ostream& out) const;
+
+  // Discards collected samples (keeps registration and options).
+  void Reset();
+
+ private:
+  StackSampler() = default;
+};
+
+}  // namespace usep::obs
+
+#endif  // USEP_OBS_SAMPLER_H_

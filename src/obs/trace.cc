@@ -3,8 +3,10 @@
 #include <atomic>
 #include <fstream>
 
+#include "obs/alloc_stats.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/perf_counters.h"
 
 namespace usep::obs {
 
@@ -62,12 +64,26 @@ void TraceRecorder::WriteJson(std::ostream& out) const {
     if (event.phase == 'X') json.KvDouble("dur", event.dur_us);
     json.KvInt("pid", 1);
     json.KvInt("tid", event.tid);
-    if (!event.args.empty()) {
+    if (!event.args.empty() || event.has_perf || event.has_alloc) {
       json.Key("args");
       json.BeginObject();
       for (const auto& [key, value] : event.args) {
         json.Key(key);
         json.Raw(value);
+      }
+      if (event.has_perf) {
+        for (int i = 0; i < kNumPerfCounters; ++i) {
+          const PerfCounter counter = static_cast<PerfCounter>(i);
+          if (!event.perf.has(counter)) continue;
+          json.KvInt(PerfCounterName(counter),
+                     static_cast<int64_t>(event.perf.get(counter)));
+        }
+        json.KvDouble("perf_scaling", event.perf.scaling);
+      }
+      if (event.has_alloc) {
+        json.KvInt("alloc_bytes", static_cast<int64_t>(event.alloc_bytes));
+        json.KvInt("alloc_count", static_cast<int64_t>(event.alloc_count));
+        json.KvInt("freed_bytes", static_cast<int64_t>(event.freed_bytes));
       }
       json.EndObject();
     }
@@ -109,6 +125,20 @@ void TraceSpan::AddArg(const char* key, double value) {
   args_.emplace_back(key, JsonNumber(value));
 }
 
+void TraceSpan::BeginCounters() {
+  if (recorder_->collect_perf()) {
+    if (PerfCounterGroup* group = ThreadPerfCounters()) {
+      perf_started_ = group->Read(&perf_start_);
+    }
+  }
+  if (recorder_->collect_alloc() && allocstats::Active()) {
+    alloc_bytes_start_ = allocstats::ThreadAllocatedBytes();
+    alloc_count_start_ = allocstats::ThreadAllocations();
+    freed_bytes_start_ = allocstats::ThreadFreedBytes();
+    alloc_started_ = true;
+  }
+}
+
 void TraceSpan::Finish() {
   TraceEvent event;
   event.name = name_;
@@ -118,6 +148,25 @@ void TraceSpan::Finish() {
   event.dur_us = recorder_->NowMicros() - start_us_;
   event.tid = CurrentThreadId();
   event.args = std::move(args_);
+  if (perf_started_) {
+    // Enter and exit read the same thread-local group, so the delta is this
+    // thread's user-space work over the span — nested spans subtract out in
+    // Profile::FromEvents exactly like wall time does.
+    if (PerfCounterGroup* group = ThreadPerfCounters()) {
+      PerfCounterValues end;
+      if (group->Read(&end)) {
+        event.perf = end.DeltaSince(perf_start_);
+        event.has_perf = true;
+      }
+    }
+  }
+  if (alloc_started_) {
+    event.alloc_bytes =
+        allocstats::ThreadAllocatedBytes() - alloc_bytes_start_;
+    event.alloc_count = allocstats::ThreadAllocations() - alloc_count_start_;
+    event.freed_bytes = allocstats::ThreadFreedBytes() - freed_bytes_start_;
+    event.has_alloc = true;
+  }
   recorder_->Record(std::move(event));
 }
 

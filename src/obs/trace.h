@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf_counters.h"
+
 namespace usep::obs {
 
 // Phase-level tracing in the Chrome trace-event format.  A TraceRecorder
@@ -40,6 +42,20 @@ struct TraceEvent {
   // Argument values are pre-serialized JSON (JsonEscape'd strings already
   // carry their quotes), so WriteJson can emit them verbatim.
   std::vector<std::pair<std::string, std::string>> args;
+
+  // Hardware-counter delta over the span (same-thread enter/exit reads of
+  // the thread's PerfCounterGroup); valid-mask 0 when counters were off or
+  // unavailable.  Profile::FromEvents aggregates these into per-phase
+  // IPC/miss-rate columns.
+  bool has_perf = false;
+  PerfCounterValues perf;
+  // Allocation delta over the span (same-thread reads of
+  // obs/alloc_stats.h); meaningful only when alloc attribution was on AND
+  // the counting allocator is linked (allocstats::Active()).
+  bool has_alloc = false;
+  uint64_t alloc_bytes = 0;   // Bytes allocated on this thread in the span.
+  uint64_t alloc_count = 0;   // Allocations on this thread in the span.
+  uint64_t freed_bytes = 0;   // Bytes freed on this thread in the span.
 };
 
 class FlightRecorder;
@@ -68,6 +84,24 @@ class TraceRecorder {
   // TraceRecorder, and the serving layer attaches its FlightRecorder here.
   void AttachFlight(FlightRecorder* flight) { flight_ = flight; }
   FlightRecorder* flight() const { return flight_; }
+
+  // Opt-in per-span hardware-counter deltas: each TraceSpan reads its own
+  // thread's PerfCounterGroup at enter and exit.  A no-op request when the
+  // perf backend is unavailable — spans simply carry no counter fields.
+  void set_collect_perf(bool on) {
+    collect_perf_.store(on, std::memory_order_relaxed);
+  }
+  bool collect_perf() const {
+    return collect_perf_.load(std::memory_order_relaxed);
+  }
+  // Opt-in per-span allocation deltas from obs/alloc_stats.h (effective
+  // only in binaries that link the counting allocator, usep_memhook).
+  void set_collect_alloc(bool on) {
+    collect_alloc_.store(on, std::memory_order_relaxed);
+  }
+  bool collect_alloc() const {
+    return collect_alloc_.load(std::memory_order_relaxed);
+  }
 
   // Microseconds since the recorder was created.
   double NowMicros() const {
@@ -100,6 +134,8 @@ class TraceRecorder {
   size_t max_events_ = 0;  // 0 = unbounded.
   std::atomic<uint64_t> dropped_{0};
   FlightRecorder* flight_ = nullptr;  // Borrowed; attach before recording.
+  std::atomic<bool> collect_perf_{false};
+  std::atomic<bool> collect_alloc_{false};
 };
 
 // RAII span: records the enclosing scope as one complete ('X') event.
@@ -110,7 +146,12 @@ class TraceSpan {
   TraceSpan(TraceRecorder* recorder, const char* name,
             const char* categories = "usep")
       : recorder_(recorder), name_(name), categories_(categories) {
-    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+    if (recorder_ != nullptr) {
+      start_us_ = recorder_->NowMicros();
+      if (recorder_->collect_perf() || recorder_->collect_alloc()) {
+        BeginCounters();
+      }
+    }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -133,12 +174,21 @@ class TraceSpan {
 
  private:
   void Finish();
+  // Snapshots the thread's perf-counter group and allocation counters at
+  // span entry (out of line: the enabled path may make a read() syscall).
+  void BeginCounters();
 
   TraceRecorder* recorder_;  // Nulled by End().
   const char* const name_;
   const char* const categories_;
   double start_us_ = 0.0;
   std::vector<std::pair<std::string, std::string>> args_;
+  bool perf_started_ = false;
+  bool alloc_started_ = false;
+  PerfCounterValues perf_start_;
+  uint64_t alloc_bytes_start_ = 0;
+  uint64_t alloc_count_start_ = 0;
+  uint64_t freed_bytes_start_ = 0;
 };
 
 }  // namespace usep::obs

@@ -4,11 +4,13 @@
 
 #include <utility>
 
+#include "common/memhook.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace usep::serve {
@@ -28,8 +30,36 @@ struct StreamingService::Metrics {
   obs::Gauge* last_seq = nullptr;
   obs::Histogram* replan_ms = nullptr;
 
+  // Process heap telemetry (global memhook; flat zeros in binaries without
+  // the counting allocator) and hardware-counter telemetry for the serving
+  // thread (absent when perf_event_open is unavailable), both refreshed at
+  // publication time.
+  obs::Gauge* mem_current = nullptr;
+  obs::Gauge* mem_peak = nullptr;
+  obs::Gauge* mem_allocated_total = nullptr;
+  obs::Gauge* mem_allocations = nullptr;
+  obs::Gauge* perf_cycles = nullptr;
+  obs::Gauge* perf_instructions = nullptr;
+  obs::Gauge* perf_cache_misses = nullptr;
+  obs::Gauge* perf_branch_misses = nullptr;
+  obs::Gauge* perf_ipc = nullptr;
+
   explicit Metrics(obs::MetricsRegistry* registry) {
     if (registry == nullptr) return;
+    if (memhook::IsActive()) {
+      mem_current = registry->GetGauge("usep.mem.current_bytes");
+      mem_peak = registry->GetGauge("usep.mem.peak_bytes");
+      mem_allocated_total =
+          registry->GetGauge("usep.mem.allocated_total_bytes");
+      mem_allocations = registry->GetGauge("usep.mem.allocations_total");
+    }
+    if (obs::PerfCounterGroup::Supported()) {
+      perf_cycles = registry->GetGauge("usep.perf.cycles");
+      perf_instructions = registry->GetGauge("usep.perf.instructions");
+      perf_cache_misses = registry->GetGauge("usep.perf.cache_misses");
+      perf_branch_misses = registry->GetGauge("usep.perf.branch_misses");
+      perf_ipc = registry->GetGauge("usep.perf.ipc");
+    }
     mutations = registry->GetCounter("usep.serve.mutations");
     rejected = registry->GetCounter("usep.serve.mutations.rejected");
     submit_rejected = registry->GetCounter("usep.serve.submit.rejected");
@@ -319,6 +349,31 @@ void StreamingService::PublishTelemetry() {
     m_->trace_dropped->Increment(
         static_cast<int64_t>(dropped - published_trace_dropped_));
     published_trace_dropped_ = dropped;
+  }
+  if (m_->mem_current != nullptr) {
+    m_->mem_current->Set(static_cast<double>(memhook::CurrentBytes()));
+    m_->mem_peak->Set(static_cast<double>(memhook::PeakBytes()));
+    m_->mem_allocated_total->Set(
+        static_cast<double>(memhook::TotalAllocatedBytes()));
+    m_->mem_allocations->Set(
+        static_cast<double>(memhook::TotalAllocations()));
+  }
+  if (m_->perf_ipc != nullptr) {
+    // Totals for the serving thread (mutations are processed on the thread
+    // that calls ProcessNext, which is also the publication thread).
+    if (obs::PerfCounterGroup* group = obs::ThreadPerfCounters()) {
+      obs::PerfCounterValues values;
+      if (group->Read(&values)) {
+        m_->perf_cycles->Set(static_cast<double>(values.cycles()));
+        m_->perf_instructions->Set(
+            static_cast<double>(values.instructions()));
+        m_->perf_cache_misses->Set(
+            static_cast<double>(values.cache_misses()));
+        m_->perf_branch_misses->Set(
+            static_cast<double>(values.branch_misses()));
+        m_->perf_ipc->Set(values.Ipc());
+      }
+    }
   }
   if (options_.metrics_out.empty() || options_.metrics == nullptr) return;
   std::string error;

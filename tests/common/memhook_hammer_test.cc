@@ -4,13 +4,16 @@
 // the sanitizer CI jobs, where the hook is deliberately inert so ASan/TSan
 // keep their own allocator interposition).
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/memhook.h"
 #include "common/thread_pool.h"
+#include "obs/alloc_stats.h"
 
 namespace usep {
 namespace {
@@ -90,6 +93,77 @@ TEST(MemhookHammerTest, MixedAllocFreeKeepsCurrentExact) {
     }
   });
   EXPECT_LE(memhook::CurrentBytes(), bytes_before + (1 << 20));
+}
+
+TEST(MemhookHammerTest, PerThreadAllocStatsCountOwnTrafficExactly) {
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "memhook inert (sanitizer build?)";
+  }
+
+  constexpr int kAllocations = 5000;
+  constexpr size_t kBlock = 96;
+
+  // The global counters see every thread; the obs::allocstats counters must
+  // attribute to the allocating thread only — that is the whole point of
+  // the span-level allocation attribution.
+  ThreadPool pool(4);
+  std::atomic<int> exact{0};
+  pool.ParallelFor(0, 8, 8, [&exact](int /*block*/, int64_t begin,
+                                     int64_t end) {
+    for (int64_t task = begin; task < end; ++task) {
+      const uint64_t bytes_before = obs::allocstats::ThreadAllocatedBytes();
+      const uint64_t count_before = obs::allocstats::ThreadAllocations();
+      const uint64_t freed_before = obs::allocstats::ThreadFreedBytes();
+      for (int i = 0; i < kAllocations; ++i) {
+        void* p = ::operator new(kBlock);
+        ::operator delete(p);
+      }
+      // This thread did exactly kAllocations of >= kBlock bytes; nothing
+      // another worker allocates can leak into these deltas.  (">=": the
+      // allocator may round sizes up, and the loop body itself is
+      // allocation-free.)
+      const uint64_t bytes = obs::allocstats::ThreadAllocatedBytes();
+      const uint64_t count = obs::allocstats::ThreadAllocations();
+      const uint64_t freed = obs::allocstats::ThreadFreedBytes();
+      if (count - count_before == kAllocations &&
+          bytes - bytes_before >= kAllocations * kBlock &&
+          freed - freed_before >= kAllocations * kBlock) {
+        exact.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(exact.load(), 8);
+  EXPECT_TRUE(obs::allocstats::Active());
+}
+
+TEST(MemhookHammerTest, ReentrancyGuardIsInertOutsideTheHook) {
+  if (!memhook::IsActive()) {
+    GTEST_SKIP() << "memhook inert (sanitizer build?)";
+  }
+
+  // InHook() is only ever true INSIDE RecordAlloc/RecordFree (where the
+  // SIGPROF sampler reads it); from normal code it must read false even
+  // right after heavy allocator traffic on this thread.
+  std::vector<char> churn(1 << 16);
+  churn[0] = 1;
+  EXPECT_FALSE(obs::allocstats::InHook());
+
+  // The suppressed-recursion counter is monotonic and, in a plain test
+  // binary (no allocating signal handlers), hammering the allocator from
+  // many threads must not produce ANY suppressed entries: the guard exists
+  // for reentrancy, not for plain concurrency.
+  const uint64_t reentrant_before = obs::allocstats::ReentrantEntries();
+  ThreadPool pool(8);
+  pool.ParallelFor(0, 32, 32, [](int /*block*/, int64_t begin, int64_t end) {
+    for (int64_t task = begin; task < end; ++task) {
+      for (int i = 0; i < 1000; ++i) {
+        void* p = ::operator new(static_cast<size_t>(32 + task));
+        ::operator delete(p);
+      }
+      EXPECT_FALSE(obs::allocstats::InHook());
+    }
+  });
+  EXPECT_EQ(obs::allocstats::ReentrantEntries(), reentrant_before);
 }
 
 }  // namespace

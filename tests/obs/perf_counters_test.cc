@@ -1,0 +1,195 @@
+// Tests the perf_event_open wrapper's two promises: the derived-rate and
+// multiplexing math is exact, and an unavailable backend (denied syscall,
+// USEP_PERF_DISABLE, ForceUnavailableForTest) degrades to a clean null —
+// inert groups, nullptr thread handles, an explanatory reason — never an
+// error.  The real-syscall path additionally runs when the host permits it,
+// so a developer machine exercises the live backend while locked-down CI
+// exercises the null one with the same binary.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+
+namespace usep::obs {
+namespace {
+
+// Restores the forced-unavailable override even when a test fails.
+class ForcedUnavailable {
+ public:
+  ForcedUnavailable() { PerfCounterGroup::ForceUnavailableForTest(true); }
+  ~ForcedUnavailable() { PerfCounterGroup::ForceUnavailableForTest(false); }
+};
+
+TEST(PerfCounterValuesTest, DerivedRatesRequireBothCounters) {
+  PerfCounterValues values;
+  values.value[static_cast<int>(PerfCounter::kCycles)] = 1000;
+  values.value[static_cast<int>(PerfCounter::kInstructions)] = 2500;
+  // Nothing is marked valid yet, so the ratios must refuse to divide.
+  EXPECT_EQ(values.Ipc(), 0.0);
+  EXPECT_EQ(values.CacheMissRate(), 0.0);
+  EXPECT_EQ(values.BranchMissesPerKiloInstruction(), 0.0);
+
+  values.valid = (1u << static_cast<int>(PerfCounter::kCycles)) |
+                 (1u << static_cast<int>(PerfCounter::kInstructions));
+  EXPECT_DOUBLE_EQ(values.Ipc(), 2.5);
+  // Cache counters still absent.
+  EXPECT_EQ(values.CacheMissRate(), 0.0);
+
+  values.valid |= (1u << static_cast<int>(PerfCounter::kCacheReferences)) |
+                  (1u << static_cast<int>(PerfCounter::kCacheMisses)) |
+                  (1u << static_cast<int>(PerfCounter::kBranchMisses));
+  values.value[static_cast<int>(PerfCounter::kCacheReferences)] = 400;
+  values.value[static_cast<int>(PerfCounter::kCacheMisses)] = 100;
+  values.value[static_cast<int>(PerfCounter::kBranchMisses)] = 5;
+  EXPECT_DOUBLE_EQ(values.CacheMissRate(), 0.25);
+  EXPECT_DOUBLE_EQ(values.BranchMissesPerKiloInstruction(), 2.0);
+}
+
+TEST(PerfCounterValuesTest, ZeroDenominatorsYieldZeroNotNan) {
+  PerfCounterValues values;
+  values.valid = ~0u;
+  EXPECT_EQ(values.Ipc(), 0.0);
+  EXPECT_EQ(values.CacheMissRate(), 0.0);
+  EXPECT_EQ(values.BranchMissesPerKiloInstruction(), 0.0);
+}
+
+TEST(PerfCounterValuesTest, DeltaSinceIntersectsValidityAndSaturates) {
+  PerfCounterValues start, end;
+  start.valid = (1u << static_cast<int>(PerfCounter::kCycles)) |
+                (1u << static_cast<int>(PerfCounter::kInstructions));
+  end.valid = (1u << static_cast<int>(PerfCounter::kCycles)) |
+              (1u << static_cast<int>(PerfCounter::kCacheMisses));
+  start.value[static_cast<int>(PerfCounter::kCycles)] = 100;
+  end.value[static_cast<int>(PerfCounter::kCycles)] = 350;
+  // A counter that went "backwards" (multiplexing estimate jitter) clamps
+  // to zero instead of wrapping to 2^64.
+  start.value[static_cast<int>(PerfCounter::kInstructions)] = 900;
+  end.value[static_cast<int>(PerfCounter::kInstructions)] = 800;
+  end.scaling = 1.5;
+
+  const PerfCounterValues delta = end.DeltaSince(start);
+  EXPECT_EQ(delta.valid, 1u << static_cast<int>(PerfCounter::kCycles));
+  EXPECT_EQ(delta.cycles(), 250u);
+  EXPECT_EQ(delta.get(PerfCounter::kInstructions), 0u);
+  EXPECT_DOUBLE_EQ(delta.scaling, 1.5);
+}
+
+TEST(PerfCounterValuesTest, AccumulateKeepsWorstScalingAndSaturates) {
+  PerfCounterValues total;
+  total.valid = 1u << static_cast<int>(PerfCounter::kCycles);
+  total.value[static_cast<int>(PerfCounter::kCycles)] = ~0ull - 5;
+  total.scaling = 1.2;
+
+  PerfCounterValues more;
+  more.valid = 1u << static_cast<int>(PerfCounter::kInstructions);
+  more.value[static_cast<int>(PerfCounter::kCycles)] = 100;
+  more.scaling = 1.0;
+
+  total.Accumulate(more);
+  EXPECT_EQ(total.value[static_cast<int>(PerfCounter::kCycles)], ~0ull);
+  EXPECT_TRUE(total.has(PerfCounter::kCycles));
+  EXPECT_TRUE(total.has(PerfCounter::kInstructions));
+  EXPECT_DOUBLE_EQ(total.scaling, 1.2);
+
+  total.SubtractClamped(more);
+  // ~0ull - 100, but the earlier saturation already capped the value; the
+  // subtraction itself must not wrap below zero either.
+  PerfCounterValues bigger;
+  bigger.value[static_cast<int>(PerfCounter::kCycles)] = ~0ull;
+  total.SubtractClamped(bigger);
+  EXPECT_EQ(total.cycles(), 0u);
+}
+
+TEST(ApplyScalingTest, MatchesPerfStatExtrapolation) {
+  // Fully scheduled: raw passes through.
+  EXPECT_EQ(internal::ApplyScaling(1000, 500, 500), 1000u);
+  // running > enabled (clock skew inside the kernel): still raw.
+  EXPECT_EQ(internal::ApplyScaling(1000, 500, 600), 1000u);
+  // Half-scheduled group: counts double.
+  EXPECT_EQ(internal::ApplyScaling(1000, 1000, 500), 2000u);
+  // 1/4 scheduled: quadruple.
+  EXPECT_EQ(internal::ApplyScaling(300, 4000, 1000), 1200u);
+  // Never scheduled: zero, not a division by zero.
+  EXPECT_EQ(internal::ApplyScaling(1000, 500, 0), 0u);
+}
+
+TEST(PerfCounterGroupTest, ForcedUnavailableIsACompleteNullBackend) {
+  const ForcedUnavailable guard;
+  EXPECT_FALSE(PerfCounterGroup::Supported());
+  EXPECT_STREQ(PerfCounterGroup::UnavailableReason(),
+               "forced unavailable for test");
+
+  const PerfCounterGroup group;
+  EXPECT_FALSE(group.active());
+  EXPECT_EQ(group.valid_mask(), 0u);
+  PerfCounterValues values;
+  values.valid = ~0u;  // Read must zero the output even on failure.
+  EXPECT_FALSE(group.Read(&values));
+  EXPECT_EQ(values.valid, 0u);
+
+  // ThreadPerfCounters caches per thread, so probe from a fresh thread to
+  // see the forced-null path.
+  const PerfCounterGroup* handle = &group;  // non-null sentinel
+  std::thread probe([&handle] { handle = ThreadPerfCounters(); });
+  probe.join();
+  EXPECT_EQ(handle, nullptr);
+}
+
+TEST(PerfCounterGroupTest, UnavailableReasonEmptyExactlyWhenSupported) {
+  if (PerfCounterGroup::Supported()) {
+    EXPECT_STREQ(PerfCounterGroup::UnavailableReason(), "");
+  } else {
+    EXPECT_STRNE(PerfCounterGroup::UnavailableReason(), "");
+  }
+}
+
+TEST(PerfCounterGroupTest, LiveBackendCountsForwardWhenHostPermits) {
+  if (!PerfCounterGroup::Supported()) {
+    GTEST_SKIP() << "perf unavailable: "
+                 << PerfCounterGroup::UnavailableReason();
+  }
+  PerfCounterGroup* group = ThreadPerfCounters();
+  ASSERT_NE(group, nullptr);
+  ASSERT_TRUE(group->active());
+
+  PerfCounterValues before;
+  ASSERT_TRUE(group->Read(&before));
+  // The task-clock leader always opens (software event), so at minimum
+  // that counter is valid and advances while we burn CPU.
+  ASSERT_TRUE(before.has(PerfCounter::kTaskClockNs));
+
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<uint64_t>(i);
+  PerfCounterValues after;
+  ASSERT_TRUE(group->Read(&after));
+  const PerfCounterValues delta = after.DeltaSince(before);
+  EXPECT_GT(delta.task_clock_ns(), 0u);
+  if (delta.has(PerfCounter::kInstructions)) {
+    EXPECT_GT(delta.instructions(), 0u);
+  }
+  EXPECT_GT(delta.scaling, 0.0);
+}
+
+TEST(TracePerfTest, SpansCarryNoCounterFieldsWhenBackendIsNull) {
+  const ForcedUnavailable guard;
+  TraceRecorder recorder;
+  recorder.set_collect_perf(true);
+  // The span's counter snapshot happens on a fresh thread so the forced
+  // null backend is what ThreadPerfCounters() sees (it caches per thread).
+  std::thread spanner([&recorder] {
+    const TraceSpan span(&recorder, "phase");
+    (void)span;
+  });
+  spanner.join();
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].has_perf);
+}
+
+}  // namespace
+}  // namespace usep::obs
