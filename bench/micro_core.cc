@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "algo/candidate_index.h"
 #include "algo/dp_single.h"
 #include "algo/greedy_single.h"
 #include "algo/planner_registry.h"
@@ -129,6 +130,105 @@ BENCHMARK(BM_Planner<PlannerKind::kRatioGreedy>)->Arg(20)->Arg(50);
 BENCHMARK(BM_Planner<PlannerKind::kDeDpo>)->Arg(20)->Arg(50);
 BENCHMARK(BM_Planner<PlannerKind::kDeGreedy>)->Arg(20)->Arg(50);
 BENCHMARK(BM_Planner<PlannerKind::kOnlineDp>)->Arg(20)->Arg(50);
+
+// Shared fixture for the champion-scan pair: a half-filled planning (so
+// schedules are non-empty and insertion checks do real feasibility work)
+// over |V| = range(0), |U| = 10 * |V|.
+struct ScanFixture {
+  static StatusOr<Instance> MakeInstance(int num_events) {
+    StatusOr<Instance> instance =
+        GenerateSyntheticInstance(MicroConfig(num_events, num_events * 10));
+    USEP_CHECK(instance.ok()) << instance.status();
+    return instance;
+  }
+
+  explicit ScanFixture(int num_events)
+      : instance_or(MakeInstance(num_events)), planning(*instance_or) {
+    const Instance& instance = *instance_or;
+    const int32_t* caps = instance.capacities_data();
+    for (UserId u = 0; u < instance.num_users(); u += 2) {
+      for (EventId v = 0; v < instance.num_events(); ++v) {
+        if (planning.assigned_count(v) * 2 >= caps[v]) continue;
+        if (instance.utility(v, u) > 0.0 && planning.TryAssign(v, u)) break;
+      }
+    }
+  }
+  const Instance& instance() const { return *instance_or; }
+
+  StatusOr<Instance> instance_or;  // Owns; planning points into it.
+  Planning planning;
+};
+
+// The pre-index inner loop of every greedy champion scan: walk the event's
+// statically-feasible users, CheckInsertion each (pointer-chasing the
+// schedule), keep the best ratio.  The baseline BM_ChampionScanSoA is
+// measured against.
+void BM_ChampionScanLegacy(benchmark::State& state) {
+  ScanFixture fixture(static_cast<int>(state.range(0)));
+  CandidateIndex index(fixture.instance());  // Reused for the same pair set.
+  EventId v = 0;
+  for (auto _ : state) {
+    const Span<UserId> users = index.UsersOf(v);
+    const double* mus = index.MuRow(v);
+    bool has_best = false;
+    RatioKey best_key;
+    UserId best_user = -1;
+    for (size_t i = 0; i < users.size(); ++i) {
+      const std::optional<Schedule::Insertion> insertion =
+          fixture.planning.CheckInsertion(v, users[i]);
+      if (!insertion.has_value()) continue;
+      const RatioKey key{mus[i], insertion->inc_cost};
+      if (!has_best || RatioBetter(key, best_key)) {
+        has_best = true;
+        best_key = key;
+        best_user = users[i];
+      }
+    }
+    benchmark::DoNotOptimize(best_user);
+    v = (v + 1) % fixture.instance().num_events();
+  }
+}
+BENCHMARK(BM_ChampionScanLegacy)->Arg(20)->Arg(50);
+
+// The same scan through the SoA mirrors: contiguous mu / epoch / memo
+// arrays, chunked kernels (AVX2 where the CPU has it), memoized insertion
+// answers served while schedule epochs hold still — the steady state of a
+// RatioGreedy round.
+void BM_ChampionScanSoA(benchmark::State& state) {
+  ScanFixture fixture(static_cast<int>(state.range(0)));
+  CandidateIndex index(fixture.instance());
+  std::vector<CandidateIndex::LiveEventRow> rows(
+      fixture.instance().num_events());
+  for (EventId v = 0; v < fixture.instance().num_events(); ++v) {
+    index.InitLiveEventRow(v, &rows[v]);
+  }
+  EventId v = 0;
+  for (auto _ : state) {
+    // droppable=false: nothing mutates, so rows keep every lane live.
+    benchmark::DoNotOptimize(index.BestUserForEvent(
+        fixture.planning, v, &rows[v], /*droppable=*/false));
+    v = (v + 1) % fixture.instance().num_events();
+  }
+}
+BENCHMARK(BM_ChampionScanSoA)->Arg(20)->Arg(50);
+
+// The batched per-row insertion probe behind TryAdds: one ProbeRow call
+// answers CheckInsertion for the whole candidate row out of the memo
+// arrays instead of |row| pointer-chasing walks.
+void BM_BatchedCheckInsertion(benchmark::State& state) {
+  ScanFixture fixture(static_cast<int>(state.range(0)));
+  CandidateIndex index(fixture.instance());
+  std::vector<int32_t> feasible_pos;
+  std::vector<Schedule::Insertion> insertions;
+  EventId v = 0;
+  for (auto _ : state) {
+    index.ProbeRow(fixture.planning, v, &feasible_pos, &insertions);
+    benchmark::DoNotOptimize(feasible_pos.data());
+    benchmark::DoNotOptimize(insertions.data());
+    v = (v + 1) % fixture.instance().num_events();
+  }
+}
+BENCHMARK(BM_BatchedCheckInsertion)->Arg(20)->Arg(50);
 
 void BM_MeasuredConflictRatio(benchmark::State& state) {
   const StatusOr<Instance> instance =

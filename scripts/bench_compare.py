@@ -19,6 +19,13 @@ Options:
     --noise-mult=K         Ignore deltas below K * (base MAD + new MAD)
                            (default 4.0).
     --markdown=PATH        Also write the report as markdown to PATH.
+    --assert-speedup=FAMILY:FACTOR
+                           Require the geometric-mean speedup (base median /
+                           new median) over every scenario whose name starts
+                           with FAMILY to be at least FACTOR (e.g.
+                           fig3:2.0).  Repeatable; ALL assertions must hold.
+                           Zero matching scenarios is itself a failure — a
+                           renamed family must not pass vacuously.
 
 A scenario regresses when the new wall-time median exceeds the base median
 by more than ALL THREE thresholds:
@@ -155,8 +162,36 @@ def compare(base_doc, new_doc, thresholds):
     return rows, regressions, mismatches, only_in_base, only_in_new
 
 
+def check_speedups(rows, assertions):
+    """Evaluates --assert-speedup clauses against the compared rows.
+
+    `assertions` is a list of (family_prefix, factor) pairs.  Returns one
+    result dict per clause: the matched scenario count, the geometric-mean
+    speedup (base median / new median, so >1 means the new build is
+    faster), and whether the clause held.  An empty match fails the clause:
+    a family rename silently matching nothing must not read as a pass.
+    """
+    import math
+
+    results = []
+    for family, factor in assertions:
+        matched = [row for row in rows if row["name"].startswith(family)]
+        speedups = [row["base_ms"] / row["new_ms"]
+                    for row in matched if row["new_ms"] > 0]
+        geomean = (math.exp(sum(math.log(s) for s in speedups)
+                            / len(speedups)) if speedups else 0.0)
+        results.append({
+            "family": family,
+            "factor": factor,
+            "matched": len(matched),
+            "geomean": geomean,
+            "ok": bool(speedups) and geomean >= factor,
+        })
+    return results
+
+
 def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
-                    only_in_base, only_in_new):
+                    only_in_base, only_in_new, speedup_results=None):
     base_env = base_doc.get("environment", {})
     new_env = new_doc.get("environment", {})
     lines = []
@@ -219,6 +254,18 @@ def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
                             cell(miss_new, "%.1f%%"),
                             cell(alloc_base, "%.2f"),
                             cell(alloc_new, "%.2f")))
+    if speedup_results:
+        lines.append("")
+        lines.append("## Speedup assertions")
+        lines.append("")
+        lines.append("| family | scenarios | geomean speedup | required | "
+                     "verdict |")
+        lines.append("|---|---|---|---|---|")
+        for result in speedup_results:
+            lines.append("| %s | %d | %.3fx | %.2fx | %s |"
+                         % (result["family"], result["matched"],
+                            result["geomean"], result["factor"],
+                            "ok" if result["ok"] else "FAIL"))
     if only_in_base or only_in_new:
         lines.append("")
         lines.append("## Unmatched scenarios")
@@ -232,15 +279,17 @@ def render_markdown(base_doc, new_doc, rows, regressions, mismatches,
 
 
 def run_compare(base_path, new_path, thresholds, informational,
-                markdown_path, objectives_only=False):
+                markdown_path, objectives_only=False, speedup_assertions=()):
     base_doc = load_bench(base_path)
     new_doc = load_bench(new_path)
     rows, regressions, mismatches, only_in_base, only_in_new = compare(
         base_doc, new_doc, thresholds)
     if objectives_only:
         regressions = []
+    speedup_results = check_speedups(rows, list(speedup_assertions))
     report = render_markdown(base_doc, new_doc, rows, regressions,
-                             mismatches, only_in_base, only_in_new)
+                             mismatches, only_in_base, only_in_new,
+                             speedup_results)
     print(report)
     if markdown_path:
         with open(markdown_path, "w", encoding="utf-8") as handle:
@@ -252,6 +301,15 @@ def run_compare(base_path, new_path, thresholds, informational,
     if mismatches:
         sys.stderr.write("bench_compare: FAIL: %d objective mismatch(es)\n"
                          % len(mismatches))
+        return 1
+    failed_speedups = [r for r in speedup_results if not r["ok"]]
+    if failed_speedups:
+        for result in failed_speedups:
+            sys.stderr.write(
+                "bench_compare: FAIL: speedup %s: geomean %.3fx < "
+                "required %.2fx over %d scenario(s)\n"
+                % (result["family"], result["geomean"], result["factor"],
+                   result["matched"]))
         return 1
     if objectives_only:
         sys.stderr.write("bench_compare: objectives exact-match on %d "
@@ -359,6 +417,25 @@ def self_test():
            "Hardware counters" in report and "2.50" in report
            and "6.50" in report)
 
+    # --assert-speedup: geomean over a name-prefix family, vacuous matches
+    # fail, and holding/failing clauses drive the exit code via run_compare.
+    rows, _, _, _, _ = compare(base, make_doc("fast", 0.5), thresholds)
+    results = check_speedups(rows, [("fig", 1.9), ("micro", 2.5)])
+    expect("2x speedup clears factor 1.9",
+           results[0]["ok"] and results[0]["matched"] == 2
+           and abs(results[0]["geomean"] - 2.0) < 1e-9)
+    expect("2x speedup misses factor 2.5", not results[1]["ok"])
+    results = check_speedups(rows, [("nonexistent", 1.0)])
+    expect("empty family never passes",
+           not results[0]["ok"] and results[0]["matched"] == 0)
+    rows, _, _, _, _ = compare(base, make_doc("same"), thresholds)
+    results = check_speedups(rows, [("fig", 1.0)])
+    expect("identical run is exactly 1.0x",
+           results[0]["ok"] and abs(results[0]["geomean"] - 1.0) < 1e-9)
+    report = render_markdown(base, make_doc("fast", 0.5), rows, [], [], [],
+                             [], check_speedups(rows, [("fig", 1.0)]))
+    expect("speedup section rendered", "Speedup assertions" in report)
+
     # --objectives-only: a 2x slowdown passes, an objective drift still
     # fails — exercised through run_compare so the flag's wiring is tested.
     import os
@@ -382,6 +459,21 @@ def self_test():
                run_compare(tmp_paths[0], tmp_paths[2], thresholds,
                            informational=False, markdown_path=None,
                            objectives_only=True) == 1)
+        fast_path = write_doc(make_doc("fast", 0.5))
+        tmp_paths.append(fast_path)
+        expect("assert-speedup pass exits 0",
+               run_compare(tmp_paths[0], fast_path, thresholds,
+                           informational=False, markdown_path=None,
+                           speedup_assertions=[("fig", 1.9)]) == 0)
+        expect("assert-speedup fail exits 1",
+               run_compare(tmp_paths[0], fast_path, thresholds,
+                           informational=False, markdown_path=None,
+                           speedup_assertions=[("fig", 2.5)]) == 1)
+        expect("assert-speedup composes with objectives-only",
+               run_compare(tmp_paths[0], fast_path, thresholds,
+                           informational=False, markdown_path=None,
+                           objectives_only=True,
+                           speedup_assertions=[("fig", 1.9)]) == 0)
     finally:
         for path in tmp_paths:
             os.unlink(path)
@@ -399,6 +491,7 @@ def main(argv):
     informational = False
     objectives_only = False
     markdown_path = None
+    speedup_assertions = []
     for arg in argv[1:]:
         if arg == "--self-test":
             return self_test()
@@ -414,6 +507,20 @@ def main(argv):
             thresholds.noise_mult = float(arg.split("=", 1)[1])
         elif arg.startswith("--markdown="):
             markdown_path = arg.split("=", 1)[1]
+        elif arg.startswith("--assert-speedup="):
+            clause = arg.split("=", 1)[1]
+            family, sep, factor_text = clause.partition(":")
+            if not sep or not family:
+                fail_usage("--assert-speedup wants FAMILY:FACTOR, got %r"
+                           % clause)
+            try:
+                factor = float(factor_text)
+            except ValueError:
+                fail_usage("--assert-speedup factor %r is not a number"
+                           % factor_text)
+            if factor <= 0:
+                fail_usage("--assert-speedup factor must be positive")
+            speedup_assertions.append((family, factor))
         elif arg.startswith("--"):
             fail_usage("unknown option %r" % arg)
         else:
@@ -422,7 +529,7 @@ def main(argv):
         fail_usage("expected exactly two BENCH json paths, got %d"
                    % len(paths))
     return run_compare(paths[0], paths[1], thresholds, informational,
-                       markdown_path, objectives_only)
+                       markdown_path, objectives_only, speedup_assertions)
 
 
 if __name__ == "__main__":

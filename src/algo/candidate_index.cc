@@ -1,76 +1,134 @@
 #include "algo/candidate_index.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "algo/scan_kernels.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace usep {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::quiet_NaN();
+
+// Pair ordinals and row offsets are 32-bit on purpose (half the index
+// traffic per scanned candidate); the narrowing is checked because a
+// pathological instance could exceed 2^31-1 statically feasible pairs.
+int32_t CheckedNarrow32(size_t value) {
+  USEP_CHECK(value <=
+             static_cast<size_t>(std::numeric_limits<int32_t>::max()))
+      << "candidate index exceeds 32-bit pair ordinals: " << value;
+  return static_cast<int32_t>(value);
+}
+
+}  // namespace
 
 CandidateIndex::CandidateIndex(const Instance& instance)
-    : instance_(&instance),
-      triangle_(instance.TriangleInequalityHolds()),
-      users_of_event_(instance.num_events()),
-      events_of_user_(instance.num_users()),
-      slots_(instance.num_events()) {
+    : instance_(&instance), triangle_(instance.TriangleInequalityHolds()) {
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
   // Failpoint: build without the Lemma 1 cut, as if the triangle-inequality
   // guarantee were lost mid-flight.  The index must stay CORRECT (pruning is
   // an optimization, not a soundness requirement), just bigger — the
   // robustness suite diffs planner results across the two builds.
   const bool prune = triangle_ && !USEP_FAILPOINT("candidate_index.build");
-  for (EventId v = 0; v < instance.num_events(); ++v) {
-    std::vector<UserId>& users = users_of_event_[v];
-    for (UserId u = 0; u < instance.num_users(); ++u) {
-      if (!(instance.utility(v, u) > 0.0)) continue;
+
+  row_start_.resize(static_cast<size_t>(num_events) + 1);
+  for (EventId v = 0; v < num_events; ++v) {
+    row_start_[v] = CheckedNarrow32(user_.size());
+    const double* mu_row = instance.utilities_row(v);
+    for (UserId u = 0; u < num_users; ++u) {
+      if (!(mu_row[u] > 0.0)) continue;
       // Lemma 1: only sound when the triangle inequality is guaranteed —
       // over arbitrary matrices a schedule containing v can undercut the
       // round trip, so the pair must stay scannable.
       if (prune && instance.RoundTripCost(u, v) > instance.user(u).budget) {
         continue;
       }
-      const int32_t pos = static_cast<int32_t>(users.size());
-      users.push_back(u);
-      events_of_user_[u].push_back(EventRef{v, pos});
+      user_.push_back(u);
+      mu_.push_back(mu_row[u]);
     }
-    users.shrink_to_fit();
-    slots_[v].resize(users.size());
-    num_pairs_ += static_cast<int64_t>(users.size());
   }
-  // EventsOf(u) lists are ascending by event id for free: the outer loop
-  // visits events in increasing order.
+  row_start_[num_events] = CheckedNarrow32(user_.size());
+  num_pairs_ = static_cast<int64_t>(user_.size());
+  user_.shrink_to_fit();
+  mu_.shrink_to_fit();
+
+  const size_t pairs = user_.size();
+  slot_epoch_.assign(pairs, 0);
+  slot_inc_.assign(pairs, 0);
+  slot_inc_d_.assign(pairs, 0.0);
+  slot_pos_.assign(pairs, 0);
+
+  // User-side CSR by counting sort over the event-side arena; events ascend
+  // per user for free because pairs were appended in (v asc, u asc) order.
+  urow_start_.assign(static_cast<size_t>(num_users) + 1, 0);
+  for (const int32_t u : user_) ++urow_start_[static_cast<size_t>(u) + 1];
+  for (int u = 0; u < num_users; ++u) urow_start_[u + 1] += urow_start_[u];
+  uref_.resize(pairs);
+  uflat_.resize(pairs);
+  umu_.resize(pairs);
+  std::vector<int32_t> cursor(urow_start_.begin(), urow_start_.end() - 1);
+  for (EventId v = 0; v < num_events; ++v) {
+    const int32_t begin = row_start_[v];
+    const int32_t end = row_start_[v + 1];
+    for (int32_t p = begin; p < end; ++p) {
+      const int32_t u = user_[p];
+      const int32_t at = cursor[u]++;
+      uref_[at] = EventRef{v, p - begin};
+      uflat_[at] = p;
+      umu_[at] = mu_[p];
+    }
+  }
 }
 
-std::optional<Schedule::Insertion> CandidateIndex::CachedCheckInsertionAt(
-    const Planning& planning, EventId v, int32_t pos) {
-  Slot& slot = slots_[v][static_cast<size_t>(pos)];
-  const UserId u = users_of_event_[v][static_cast<size_t>(pos)];
+std::optional<Schedule::Insertion> CandidateIndex::ProbeSlot(
+    const Planning& planning, EventId v, int32_t slot, UserId u,
+    int64_t* hits, int64_t* misses, int64_t* invalidations) {
   const uint64_t epoch = planning.schedule_epoch(u);
-  if (slot.epoch == epoch) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    if (!slot.feasible) return std::nullopt;
-    return Schedule::Insertion{slot.position, slot.inc_cost};
+  if (slot_epoch_[slot] == epoch) {
+    ++*hits;
+    if (std::isnan(slot_inc_d_[slot])) return std::nullopt;
+    return Schedule::Insertion{slot_pos_[slot], slot_inc_[slot]};
   }
-  if (slot.epoch != 0) invalidations_.fetch_add(1, std::memory_order_relaxed);
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (slot_epoch_[slot] != 0) ++*invalidations;
+  ++*misses;
   const std::optional<Schedule::Insertion> insertion =
       planning.CheckInsertion(v, u);
   // Failpoint: drop the memo write on a stale slot, leaving it stale.  The
   // epoch guard must keep every future read on this slot a recomputing miss
-  // rather than a wrong hit — the degraded-cache soundness check.
+  // rather than a wrong hit — the degraded-cache soundness check.  Callers
+  // consume the RETURNED insertion, never the (possibly unwritten) slot.
   if (USEP_FAILPOINT("candidate_index.invalidate")) return insertion;
-  slot.epoch = epoch;
-  slot.feasible = insertion.has_value();
+  slot_epoch_[slot] = epoch;
   if (insertion.has_value()) {
-    slot.position = insertion->position;
-    slot.inc_cost = insertion->inc_cost;
+    slot_pos_[slot] = insertion->position;
+    slot_inc_[slot] = insertion->inc_cost;
+    slot_inc_d_[slot] = static_cast<double>(insertion->inc_cost);
+  } else {
+    slot_inc_d_[slot] = kInfeasible;
   }
+  return insertion;
+}
+
+std::optional<Schedule::Insertion> CandidateIndex::CachedCheckInsertionAt(
+    const Planning& planning, EventId v, int32_t pos) {
+  const int32_t slot = row_start_[v] + pos;
+  int64_t hits = 0, misses = 0, invalidations = 0;
+  const std::optional<Schedule::Insertion> insertion =
+      ProbeSlot(planning, v, slot, user_[slot], &hits, &misses,
+                &invalidations);
+  AddStats(hits, misses, invalidations);
   return insertion;
 }
 
 std::optional<Schedule::Insertion> CandidateIndex::CachedCheckAssign(
     const Planning& planning, EventId v, UserId u) {
-  const std::vector<UserId>& users = users_of_event_[v];
-  const auto it = std::lower_bound(users.begin(), users.end(), u);
+  const Span<UserId> users = UsersOf(v);
+  const UserId* it = std::lower_bound(users.begin(), users.end(), u);
   if (it == users.end() || *it != u) {
     // Statically infeasible: CheckAssign can never succeed for this pair.
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -89,6 +147,381 @@ bool CandidateIndex::TryAssignCached(Planning* planning, EventId v, UserId u) {
   return true;
 }
 
+void CandidateIndex::InitLiveEventRow(EventId v, LiveEventRow* row) const {
+  const int32_t begin = row_start_[v];
+  const size_t n = RowSize(v);
+  row->pos.resize(n);
+  row->user.resize(n);
+  row->mu.resize(n);
+  for (size_t i = 0; i < n; ++i) row->pos[i] = static_cast<int32_t>(i);
+  std::copy_n(user_.data() + begin, n, row->user.data());
+  std::copy_n(mu_.data() + begin, n, row->mu.data());
+}
+
+void CandidateIndex::InitLiveUserRow(UserId u,
+                                     const std::vector<char>& event_mask,
+                                     LiveUserRow* row) const {
+  row->event.clear();
+  row->flat.clear();
+  row->mu.clear();
+  const int32_t begin = urow_start_[u];
+  const int32_t end = urow_start_[u + 1];
+  for (int32_t i = begin; i < end; ++i) {
+    const EventId v = uref_[i].event;
+    if (!event_mask.empty() && !event_mask[v]) continue;
+    row->event.push_back(v);
+    row->flat.push_back(uflat_[i]);
+    row->mu.push_back(umu_[i]);
+  }
+}
+
+std::optional<CandidateIndex::Champion> CandidateIndex::BestUserForEvent(
+    const Planning& planning, EventId v, LiveEventRow* row, bool droppable) {
+  const int n = static_cast<int>(row->pos.size());
+  int32_t* pos = row->pos.data();
+  int32_t* user = row->user.data();
+  double* mu = row->mu.data();
+  const int32_t base = row_start_[v];
+  const uint64_t* sched = planning.schedule_epochs_data();
+  const bool avx2 = ActiveSimdLevel() == SimdLevel::kAvx2;
+
+  std::optional<Champion> best;
+  double best_inc_d = 0.0;  // static_cast<double>(best->key.inc_cost)
+  int64_t hits = 0, misses = 0, invalidations = 0;
+  int out = 0;
+  for (int chunk_begin = 0; chunk_begin < n;
+       chunk_begin += scan::kChunkLanes) {
+    const int chunk = std::min(scan::kChunkLanes, n - chunk_begin);
+    scan::ChunkMasks masks;  // All-zero: every lane "unknown" -> scalar.
+    if (avx2 && chunk >= 4) {
+      masks = scan::EventChunkAvx2(
+          chunk, pos + chunk_begin, user + chunk_begin, mu + chunk_begin,
+          slot_epoch_.data() + base, slot_inc_d_.data() + base, sched,
+          best.has_value(), best.has_value() ? best->key.mu : 0.0,
+          best_inc_d);
+    }
+    // Loser bits were computed against the best AT CHUNK START.  They stay
+    // usable only while that best is still current: after an in-chunk
+    // update the skip would be merely transitive, and a 1-ulp product tie
+    // could then diverge from the scalar comparator.  Every skip below is
+    // therefore justified by the exact compare the scalar loop would have
+    // performed against the same best.
+    bool loser_valid = true;
+    for (int i = 0; i < chunk; ++i) {
+      const int lane = chunk_begin + i;
+      const uint64_t bit = uint64_t{1} << i;
+      const int32_t lane_pos = pos[lane];
+      const int32_t lane_user = user[lane];
+      const double lane_mu = mu[lane];
+      RatioKey key;
+      Schedule::Insertion key_insertion;
+      if (masks.fresh & bit) {
+        ++hits;
+        if (!(masks.feasible & bit)) {
+          if (!droppable) {
+            pos[out] = lane_pos;
+            user[out] = lane_user;
+            mu[out] = lane_mu;
+            ++out;
+          }
+          continue;
+        }
+        pos[out] = lane_pos;
+        user[out] = lane_user;
+        mu[out] = lane_mu;
+        ++out;
+        if (loser_valid && (masks.loser & bit)) continue;
+        key_insertion =
+            Schedule::Insertion{slot_pos_[base + lane_pos],
+                                slot_inc_[base + lane_pos]};
+        key = RatioKey{lane_mu, key_insertion.inc_cost};
+      } else {
+        const std::optional<Schedule::Insertion> insertion = ProbeSlot(
+            planning, v, base + lane_pos, lane_user, &hits, &misses,
+            &invalidations);
+        if (!insertion.has_value()) {
+          if (!droppable) {
+            pos[out] = lane_pos;
+            user[out] = lane_user;
+            mu[out] = lane_mu;
+            ++out;
+          }
+          continue;
+        }
+        pos[out] = lane_pos;
+        user[out] = lane_user;
+        mu[out] = lane_mu;
+        ++out;
+        key_insertion = *insertion;
+        key = RatioKey{lane_mu, key_insertion.inc_cost};
+      }
+      if (!best.has_value() || RatioBetter(key, best->key)) {
+        best = Champion{key, lane_user, key_insertion};
+        best_inc_d = static_cast<double>(key.inc_cost);
+        loser_valid = false;
+      }
+    }
+  }
+  row->pos.resize(out);
+  row->user.resize(out);
+  row->mu.resize(out);
+  AddStats(hits, misses, invalidations);
+  return best;
+}
+
+std::optional<CandidateIndex::Champion> CandidateIndex::BestEventForUser(
+    const Planning& planning, UserId u, LiveUserRow* row, bool droppable) {
+  const int n = static_cast<int>(row->event.size());
+  int32_t* event = row->event.data();
+  int32_t* flat = row->flat.data();
+  double* mu = row->mu.data();
+  const uint64_t user_epoch = planning.schedule_epoch(u);
+  const int* assigned = planning.assigned_counts_data();
+  const int32_t* caps = instance_->capacities_data();
+  const bool avx2 = ActiveSimdLevel() == SimdLevel::kAvx2;
+
+  std::optional<Champion> best;
+  double best_inc_d = 0.0;
+  int64_t hits = 0, misses = 0, invalidations = 0;
+  int out = 0;
+  for (int chunk_begin = 0; chunk_begin < n;
+       chunk_begin += scan::kChunkLanes) {
+    const int chunk = std::min(scan::kChunkLanes, n - chunk_begin);
+    scan::ChunkMasks masks;
+    // Lanes below `covered` have authoritative full/fresh bits; the tail
+    // (and the scalar dispatch) re-derives everything per lane.
+    int covered = 0;
+    if (avx2 && chunk >= 4) {
+      masks = scan::UserChunkAvx2(
+          chunk, event + chunk_begin, flat + chunk_begin, mu + chunk_begin,
+          slot_epoch_.data(), slot_inc_d_.data(), user_epoch, assigned, caps,
+          best.has_value(), best.has_value() ? best->key.mu : 0.0,
+          best_inc_d);
+      covered = chunk & ~3;
+    }
+    bool loser_valid = true;
+    for (int i = 0; i < chunk; ++i) {
+      const int lane = chunk_begin + i;
+      const uint64_t bit = uint64_t{1} << i;
+      const EventId lane_event = event[lane];
+      const int32_t lane_flat = flat[lane];
+      const double lane_mu = mu[lane];
+      // Full events drop unconditionally: these scans only run inside a
+      // monotone Augment, where fullness is permanent.
+      const bool full = i < covered ? (masks.full & bit) != 0
+                                    : planning.EventFull(lane_event);
+      if (full) continue;
+      RatioKey key;
+      Schedule::Insertion key_insertion;
+      if (masks.fresh & bit) {
+        ++hits;
+        if (!(masks.feasible & bit)) {
+          if (!droppable) {
+            event[out] = lane_event;
+            flat[out] = lane_flat;
+            mu[out] = lane_mu;
+            ++out;
+          }
+          continue;
+        }
+        event[out] = lane_event;
+        flat[out] = lane_flat;
+        mu[out] = lane_mu;
+        ++out;
+        if (loser_valid && (masks.loser & bit)) continue;
+        key_insertion =
+            Schedule::Insertion{slot_pos_[lane_flat], slot_inc_[lane_flat]};
+        key = RatioKey{lane_mu, key_insertion.inc_cost};
+      } else {
+        const std::optional<Schedule::Insertion> insertion = ProbeSlot(
+            planning, lane_event, lane_flat, u, &hits, &misses,
+            &invalidations);
+        if (!insertion.has_value()) {
+          if (!droppable) {
+            event[out] = lane_event;
+            flat[out] = lane_flat;
+            mu[out] = lane_mu;
+            ++out;
+          }
+          continue;
+        }
+        event[out] = lane_event;
+        flat[out] = lane_flat;
+        mu[out] = lane_mu;
+        ++out;
+        key_insertion = *insertion;
+        key = RatioKey{lane_mu, key_insertion.inc_cost};
+      }
+      if (!best.has_value() || RatioBetter(key, best->key)) {
+        best = Champion{key, lane_event, key_insertion};
+        best_inc_d = static_cast<double>(key.inc_cost);
+        loser_valid = false;
+      }
+    }
+  }
+  row->event.resize(out);
+  row->flat.resize(out);
+  row->mu.resize(out);
+  AddStats(hits, misses, invalidations);
+  return best;
+}
+
+void CandidateIndex::ProbeRow(const Planning& planning, EventId v,
+                              std::vector<int32_t>* feasible_pos,
+                              std::vector<Schedule::Insertion>* insertions) {
+  feasible_pos->clear();
+  insertions->clear();
+  const int32_t base = row_start_[v];
+  const int n = static_cast<int>(RowSize(v));
+  const uint64_t* sched = planning.schedule_epochs_data();
+  const bool avx2 = ActiveSimdLevel() == SimdLevel::kAvx2;
+  int64_t hits = 0, misses = 0, invalidations = 0;
+  for (int chunk_begin = 0; chunk_begin < n;
+       chunk_begin += scan::kChunkLanes) {
+    const int chunk = std::min(scan::kChunkLanes, n - chunk_begin);
+    scan::ChunkMasks masks;
+    if (avx2 && chunk >= 4) {
+      masks = scan::ProbeChunkAvx2(chunk, user_.data() + base + chunk_begin,
+                                   slot_epoch_.data() + base + chunk_begin,
+                                   slot_inc_d_.data() + base + chunk_begin,
+                                   sched);
+    }
+    for (int i = 0; i < chunk; ++i) {
+      const int32_t pos = static_cast<int32_t>(chunk_begin + i);
+      const uint64_t bit = uint64_t{1} << i;
+      const int32_t slot = base + pos;
+      if (masks.fresh & bit) {
+        ++hits;
+        if (!(masks.feasible & bit)) continue;
+        feasible_pos->push_back(pos);
+        insertions->push_back(
+            Schedule::Insertion{slot_pos_[slot], slot_inc_[slot]});
+        continue;
+      }
+      const std::optional<Schedule::Insertion> insertion = ProbeSlot(
+          planning, v, slot, user_[slot], &hits, &misses, &invalidations);
+      if (!insertion.has_value()) continue;
+      feasible_pos->push_back(pos);
+      insertions->push_back(*insertion);
+    }
+  }
+  AddStats(hits, misses, invalidations);
+}
+
+bool CandidateIndex::CheckCoherent(const Planning& planning) const {
+  const Instance& instance = *instance_;
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
+  // Mirror arrays against their sources of truth.
+  for (UserId u = 0; u < num_users; ++u) {
+    if (planning.schedule_epochs_data()[u] != planning.schedule(u).epoch()) {
+      USEP_LOG(Error) << "epoch mirror diverged for user " << u;
+      return false;
+    }
+  }
+  std::vector<int> attendance(num_events, 0);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (const EventId v : planning.schedule(u).events()) ++attendance[v];
+  }
+  for (EventId v = 0; v < num_events; ++v) {
+    if (instance.capacities_data()[v] != instance.event(v).capacity) {
+      USEP_LOG(Error) << "capacity mirror diverged for event " << v;
+      return false;
+    }
+    if (planning.assigned_counts_data()[v] != attendance[v]) {
+      USEP_LOG(Error) << "assigned-count mirror diverged for event " << v;
+      return false;
+    }
+  }
+  // Static CSR structure: ascending rows, utilities in sync, the two sides
+  // describing the same pair set.
+  if (row_start_.front() != 0 ||
+      row_start_.back() != CheckedNarrow32(user_.size()) ||
+      static_cast<int64_t>(user_.size()) != num_pairs_) {
+    USEP_LOG(Error) << "event-side CSR offsets corrupt";
+    return false;
+  }
+  for (EventId v = 0; v < num_events; ++v) {
+    const Span<UserId> users = UsersOf(v);
+    for (size_t i = 0; i < users.size(); ++i) {
+      if (i > 0 && users[i - 1] >= users[i]) {
+        USEP_LOG(Error) << "event row " << v << " not ascending";
+        return false;
+      }
+      if (mu_[row_start_[v] + i] != instance.utility(v, users[i])) {
+        USEP_LOG(Error) << "mu arena diverged at (" << v << ", " << users[i]
+                        << ")";
+        return false;
+      }
+    }
+  }
+  std::vector<int64_t> seen(num_users, 0);
+  for (UserId u = 0; u < num_users; ++u) {
+    const int32_t begin = urow_start_[u];
+    const int32_t end = urow_start_[u + 1];
+    for (int32_t i = begin; i < end; ++i) {
+      const EventRef ref = uref_[i];
+      const int32_t flat = row_start_[ref.event] + ref.pos;
+      if (i > begin && uref_[i - 1].event >= ref.event) {
+        USEP_LOG(Error) << "user row " << u << " not ascending";
+        return false;
+      }
+      if (flat != uflat_[i] || user_[flat] != u || umu_[i] != mu_[flat]) {
+        USEP_LOG(Error) << "user-side CSR diverged at user " << u << " lane "
+                        << (i - begin);
+        return false;
+      }
+      ++seen[u];
+    }
+  }
+  int64_t total = 0;
+  for (const int64_t count : seen) total += count;
+  if (total != num_pairs_) {
+    USEP_LOG(Error) << "user-side CSR pair count " << total << " != "
+                    << num_pairs_;
+    return false;
+  }
+  // Every FRESH memo slot must equal a from-scratch recompute, and the
+  // double mirror must be NaN or the exact cast of the memoized cost.
+  for (EventId v = 0; v < num_events; ++v) {
+    const int32_t begin = row_start_[v];
+    const int32_t end = row_start_[v + 1];
+    for (int32_t slot = begin; slot < end; ++slot) {
+      const UserId u = user_[slot];
+      const bool nan = std::isnan(slot_inc_d_[slot]);
+      if (!nan && slot_epoch_[slot] != 0 &&
+          slot_inc_d_[slot] != static_cast<double>(slot_inc_[slot])) {
+        USEP_LOG(Error) << "inc_d mirror diverged at slot " << slot;
+        return false;
+      }
+      if (slot_epoch_[slot] != planning.schedule(u).epoch()) continue;
+      const std::optional<Schedule::Insertion> truth =
+          planning.CheckInsertion(v, u);
+      if (truth.has_value() == nan) {
+        USEP_LOG(Error) << "fresh slot feasibility wrong at (" << v << ", "
+                        << u << ")";
+        return false;
+      }
+      if (truth.has_value() && (truth->position != slot_pos_[slot] ||
+                                truth->inc_cost != slot_inc_[slot])) {
+        USEP_LOG(Error) << "fresh slot memo wrong at (" << v << ", " << u
+                        << ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CandidateIndex::AddStats(int64_t hits, int64_t misses,
+                              int64_t invalidations) {
+  if (hits != 0) hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (misses != 0) misses_.fetch_add(misses, std::memory_order_relaxed);
+  if (invalidations != 0) {
+    invalidations_.fetch_add(invalidations, std::memory_order_relaxed);
+  }
+}
+
 void CandidateIndex::FlushStats(PlannerStats* stats) const {
   stats->cache_hits += hits();
   stats->cache_misses += misses();
@@ -96,17 +529,16 @@ void CandidateIndex::FlushStats(PlannerStats* stats) const {
 }
 
 size_t CandidateIndex::ApproxBytes() const {
-  size_t bytes = 0;
-  for (const std::vector<UserId>& users : users_of_event_) {
-    bytes += users.capacity() * sizeof(UserId);
-  }
-  for (const std::vector<EventRef>& events : events_of_user_) {
-    bytes += events.capacity() * sizeof(EventRef);
-  }
-  for (const std::vector<Slot>& slots : slots_) {
-    bytes += slots.capacity() * sizeof(Slot);
-  }
-  return bytes;
+  return row_start_.capacity() * sizeof(int32_t) +
+         user_.capacity() * sizeof(int32_t) + mu_.capacity() * sizeof(double) +
+         slot_epoch_.capacity() * sizeof(uint64_t) +
+         slot_inc_.capacity() * sizeof(Cost) +
+         slot_inc_d_.capacity() * sizeof(double) +
+         slot_pos_.capacity() * sizeof(int32_t) +
+         urow_start_.capacity() * sizeof(int32_t) +
+         uref_.capacity() * sizeof(EventRef) +
+         uflat_.capacity() * sizeof(int32_t) +
+         umu_.capacity() * sizeof(double);
 }
 
 }  // namespace usep

@@ -6,7 +6,9 @@
 #include <optional>
 #include <vector>
 
+#include "algo/ratio.h"
 #include "algo/stats.h"
+#include "common/span.h"
 #include "core/planning.h"
 
 namespace usep {
@@ -37,13 +39,31 @@ namespace usep {
 //     champion most schedules are unchanged, so most re-scans become pure
 //     cache hits instead of FindInsertion walks.
 //
-// Thread safety: the static lists are immutable after construction and
+// DATA-ORIENTED LAYOUT.  Both layers live in flat CSR arenas rather than
+// vector-of-vectors: one row_start_ offset table plus parallel per-pair
+// arrays (struct-of-arrays).  A champion scan streams over a handful of
+// contiguous arrays — candidate user ids, utilities, memo epochs, memoized
+// incremental costs — instead of pointer-chasing Slot structs, which is what
+// lets the batched scans below run 4 lanes at a time under AVX2
+// (algo/scan_kernels.h) with a bit-identical scalar fallback.  Pair ordinals
+// and row offsets are 32-bit (checked at build: the index refuses > 2^31-1
+// pairs), halving the bandwidth a scan pulls per candidate next to size_t
+// indices.  Feasibility needs no separate flag array: the memoized
+// double-precision cost mirror slot_inc_d_ stores NaN for infeasible pairs
+// and exactly static_cast<double>(inc_cost) — the same conversion
+// CompareRatio performs — for feasible ones, so one ordered compare answers
+// both "feasible?" and "how does the ratio compare?".
+//
+// Thread safety: the static arrays are immutable after construction and
 // safely shared by parallel champion scans (LocalSearch threads the index
 // through its Parallelizer blocks).  Cache slots are written without
 // synchronization, which is safe exactly when concurrent readers partition
 // the USER ranges of distinct slots — the repo's parallel scans block over
 // disjoint user ranges of one event's list, so no two threads ever touch
-// the same slot.  The hit/miss/invalidate counters are relaxed atomics.
+// the same slot.  The batched scans (BestUserForEvent, BestEventForUser,
+// ProbeRow) accumulate their cache telemetry in locals and flush once per
+// scan; they are single-caller paths, so the relaxed-atomic totals stay
+// exact.
 //
 // Lifetime: one index per planner run, built against one Planning's
 // instance; feed it queries for that planning only.
@@ -56,18 +76,64 @@ class CandidateIndex {
     int32_t pos = -1;
   };
 
+  // A champion-scan result: the winning candidate (user or event id,
+  // depending on scan direction), its ratio key, and the insertion the memo
+  // answered with — valid for the planning state the scan ran against, so
+  // callers assigning immediately need no re-probe.
+  struct Champion {
+    RatioKey key;
+    int32_t id = -1;
+    Schedule::Insertion insertion;
+  };
+
+  // Live (still-scannable) candidates of one event, as parallel arrays
+  // compacted in lockstep: lane i is position pos[i] of the event's static
+  // row, candidate user user[i], utility mu[i].  Owned by the caller so a
+  // planner run can keep per-event rows across elections; initialize with
+  // InitLiveEventRow and hand to BestUserForEvent, which drops dead lanes.
+  struct LiveEventRow {
+    std::vector<int32_t> pos;
+    std::vector<int32_t> user;
+    std::vector<double> mu;
+
+    size_t ApproxBytes() const {
+      return pos.capacity() * sizeof(int32_t) +
+             user.capacity() * sizeof(int32_t) +
+             mu.capacity() * sizeof(double);
+    }
+  };
+
+  // Live candidate events of one user: lane i targets event[i] through
+  // GLOBAL slot ordinal flat[i] (= row offset of event[i] + position), with
+  // utility mu[i].
+  struct LiveUserRow {
+    std::vector<int32_t> event;
+    std::vector<int32_t> flat;
+    std::vector<double> mu;
+
+    size_t ApproxBytes() const {
+      return event.capacity() * sizeof(int32_t) +
+             flat.capacity() * sizeof(int32_t) +
+             mu.capacity() * sizeof(double);
+    }
+  };
+
   explicit CandidateIndex(const Instance& instance);
 
   const Instance& instance() const { return *instance_; }
 
   // Users statically feasible for `v`, ascending.
-  const std::vector<UserId>& UsersOf(EventId v) const {
-    return users_of_event_[v];
+  Span<UserId> UsersOf(EventId v) const {
+    return Span<UserId>(user_.data() + row_start_[v], RowSize(v));
   }
   // Events statically feasible for `u`, ascending by event id.
-  const std::vector<EventRef>& EventsOf(UserId u) const {
-    return events_of_user_[u];
+  Span<EventRef> EventsOf(UserId u) const {
+    return Span<EventRef>(uref_.data() + urow_start_[u],
+                          static_cast<size_t>(urow_start_[u + 1]) -
+                              static_cast<size_t>(urow_start_[u]));
   }
+  // mu(v, UsersOf(v)[pos]) for every position of v's row, contiguous.
+  const double* MuRow(EventId v) const { return mu_.data() + row_start_[v]; }
   // Total statically feasible pairs (== sum of list sizes on either side).
   int64_t num_pairs() const { return num_pairs_; }
 
@@ -102,6 +168,57 @@ class CandidateIndex {
   // CachedCheckAssign + Planning::Assign; the index-aware TryAssign.
   bool TryAssignCached(Planning* planning, EventId v, UserId u);
 
+  // ---- Batched SoA scans -------------------------------------------------
+  //
+  // The hot-loop entry points.  Each reproduces one legacy per-lane scan
+  // bit-identically (same probes... same champion, same memo/statistics
+  // totals) but walks the flat arrays chunk-wise: under AVX2 dispatch a
+  // chunk kernel classifies lanes first and the scalar walk skips the
+  // provably-boring ones (fresh + feasible + strictly-worse-than-best);
+  // every ambiguous lane — stale, tied, or potentially-better — resolves
+  // through the exact scalar code.  See algo/scan_kernels.h for why the
+  // skips cannot change the elected champion.
+
+  // Fills `row` with every static candidate of `v` (all positions live).
+  void InitLiveEventRow(EventId v, LiveEventRow* row) const;
+
+  // Fills `row` with u's static candidate events whose id passes
+  // `event_mask` (empty mask: all events).
+  void InitLiveUserRow(UserId u, const std::vector<char>& event_mask,
+                       LiveUserRow* row) const;
+
+  // arg max over v's live candidates of ratio(v, u), ties by least inc_cost
+  // then smallest user id (first-strictly-better over the ascending row).
+  // Compacts `row`: infeasible lanes are dropped when `droppable`, kept
+  // otherwise.  The caller must have checked !planning.EventFull(v).
+  std::optional<Champion> BestUserForEvent(const Planning& planning, EventId v,
+                                           LiveEventRow* row, bool droppable);
+
+  // arg max over u's live candidate events of ratio(v, u).  Full events are
+  // always dropped from the row (callers only use this inside a monotone
+  // Augment, where fullness is permanent); insertion-infeasible lanes drop
+  // only when `droppable`.
+  std::optional<Champion> BestEventForUser(const Planning& planning, UserId u,
+                                           LiveUserRow* row, bool droppable);
+
+  // Probes every position of v's row and appends the feasible ones —
+  // position and memoized insertion, in ascending position order — to the
+  // output arrays (cleared first).  Batched twin of LocalSearch::TryAdds'
+  // per-position probe loop.
+  void ProbeRow(const Planning& planning, EventId v,
+                std::vector<int32_t>* feasible_pos,
+                std::vector<Schedule::Insertion>* insertions);
+
+  // ---- Introspection -----------------------------------------------------
+
+  // Exhaustively re-derives the flat arenas — static rows against the
+  // instance, every FRESH memo slot against a from-scratch
+  // Planning::CheckInsertion, the slot_inc_d_ mirror against slot_inc_, and
+  // the Planning/Instance epoch + capacity mirrors against their sources —
+  // and reports the first divergence.  O(pairs * schedule length): test-only
+  // (tests/algo/soa_coherence_test.cc).
+  bool CheckCoherent(const Planning& planning) const;
+
   // Cache telemetry, exposed as usep.planner.cache.{hit,miss,invalidate}
   // (see algo/planner_obs.h).  A hit answered from a live slot (or from
   // static pruning) costs no FindInsertion; a miss recomputes; an
@@ -120,20 +237,49 @@ class CandidateIndex {
   size_t ApproxBytes() const;
 
  private:
-  struct Slot {
-    uint64_t epoch = 0;  // 0: never computed.
-    Cost inc_cost = 0;
-    int32_t position = 0;
-    bool feasible = false;
-  };
+  size_t RowSize(EventId v) const {
+    return static_cast<size_t>(row_start_[v + 1]) -
+           static_cast<size_t>(row_start_[v]);
+  }
+
+  // The shared scalar resolution for one memo slot: epoch check, recompute
+  // on miss, memo write (unless the candidate_index.invalidate failpoint
+  // drops it), telemetry into the caller's local counters.  Returns the
+  // COMPUTED insertion, never re-reads the slot — correct even when the
+  // failpoint leaves the slot stale.
+  std::optional<Schedule::Insertion> ProbeSlot(const Planning& planning,
+                                               EventId v, int32_t slot,
+                                               UserId u, int64_t* hits,
+                                               int64_t* misses,
+                                               int64_t* invalidations);
+
+  void AddStats(int64_t hits, int64_t misses, int64_t invalidations);
 
   const Instance* instance_;  // Not owned; must outlive the index.
   bool triangle_ = false;
   int64_t num_pairs_ = 0;
-  std::vector<std::vector<UserId>> users_of_event_;
-  std::vector<std::vector<EventRef>> events_of_user_;
-  // slots_[v][pos] memoizes CheckInsertion(v, UsersOf(v)[pos]).
-  std::vector<std::vector<Slot>> slots_;
+
+  // Event-side CSR: pair ordinal p in [row_start_[v], row_start_[v+1])
+  // describes candidate user user_[p] with utility mu_[p]; its memo slot is
+  // the parallel slot_* entry.  slot_epoch_[p] == 0 means never computed
+  // (Schedule epochs start at 1).  slot_inc_d_[p] is NaN for a memoized
+  // infeasible answer, else exactly static_cast<double>(slot_inc_[p]).
+  std::vector<int32_t> row_start_;   // num_events + 1
+  std::vector<int32_t> user_;        // per pair
+  std::vector<double> mu_;           // per pair
+  std::vector<uint64_t> slot_epoch_; // per pair
+  std::vector<Cost> slot_inc_;       // per pair
+  std::vector<double> slot_inc_d_;   // per pair
+  std::vector<int32_t> slot_pos_;    // per pair
+
+  // User-side CSR over the same pairs: uref_ carries (event, pos) handles
+  // (the EventsOf API), uflat_ the matching global pair ordinal, umu_ the
+  // utility — so user-direction scans never touch the event-side offsets.
+  std::vector<int32_t> urow_start_;  // num_users + 1
+  std::vector<EventRef> uref_;       // per pair
+  std::vector<int32_t> uflat_;       // per pair
+  std::vector<double> umu_;          // per pair
+
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> invalidations_{0};

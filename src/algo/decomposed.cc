@@ -50,10 +50,17 @@ CopyChoice ChooseCopy(const Instance& instance, const SelectArray& select,
   return choice;
 }
 
-std::vector<UserCandidate> BuildCandidates(const Instance& instance,
-                                           const SelectArray& select, UserId u,
-                                           std::vector<int>* chosen_copy,
-                                           Parallelizer* parallel) {
+size_t CandidateScratch::ApproxBytes() const {
+  size_t bytes = candidates.capacity() * sizeof(UserCandidate);
+  for (const std::vector<UserCandidate>& block : per_block) {
+    bytes += block.capacity() * sizeof(UserCandidate);
+  }
+  return bytes;
+}
+
+void BuildCandidates(const Instance& instance, const SelectArray& select,
+                     UserId u, std::vector<int>* chosen_copy,
+                     Parallelizer* parallel, CandidateScratch* scratch) {
   // The scan over one event range; chosen_copy writes are per-event, so
   // blocks over disjoint ranges never touch the same slot.
   const auto scan = [&](EventId begin, EventId end,
@@ -66,29 +73,38 @@ std::vector<UserCandidate> BuildCandidates(const Instance& instance,
     }
   };
 
+  scratch->candidates.clear();
   if (parallel == nullptr || !parallel->parallel()) {
-    std::vector<UserCandidate> candidates;
-    candidates.reserve(instance.num_events());
-    scan(0, instance.num_events(), &candidates);
-    return candidates;
+    scan(0, instance.num_events(), &scratch->candidates);
+    return;
   }
 
   // Champion-copy scans are pure reads of `select`; block them over the
   // events and concatenate in block (= event) order, which reproduces the
-  // sequential output exactly.
-  std::vector<std::vector<UserCandidate>> per_block(
-      static_cast<size_t>(parallel->num_blocks()));
+  // sequential output exactly.  (An inline For — short range under the
+  // pool's min_parallel_range — fills block 0 with the whole range, which
+  // concatenates to the same thing.)
+  scratch->per_block.resize(static_cast<size_t>(parallel->num_blocks()));
+  for (std::vector<UserCandidate>& block : scratch->per_block) block.clear();
   parallel->For(0, instance.num_events(),
                 [&](int block, int64_t begin, int64_t end) {
                   scan(static_cast<EventId>(begin), static_cast<EventId>(end),
-                       &per_block[static_cast<size_t>(block)]);
+                       &scratch->per_block[static_cast<size_t>(block)]);
                 });
-  std::vector<UserCandidate> candidates;
-  candidates.reserve(instance.num_events());
-  for (std::vector<UserCandidate>& block : per_block) {
-    candidates.insert(candidates.end(), block.begin(), block.end());
+  for (const std::vector<UserCandidate>& block : scratch->per_block) {
+    scratch->candidates.insert(scratch->candidates.end(), block.begin(),
+                               block.end());
   }
-  return candidates;
+}
+
+std::vector<UserCandidate> BuildCandidates(const Instance& instance,
+                                           const SelectArray& select, UserId u,
+                                           std::vector<int>* chosen_copy,
+                                           Parallelizer* parallel) {
+  CandidateScratch scratch;
+  scratch.candidates.reserve(instance.num_events());
+  BuildCandidates(instance, select, u, chosen_copy, parallel, &scratch);
+  return std::move(scratch.candidates);
 }
 
 Planning AssemblePlanning(const Instance& instance,

@@ -61,6 +61,23 @@ std::vector<UserCandidate> BuildCandidates(const Instance& instance,
                                            std::vector<int>* chosen_copy,
                                            Parallelizer* parallel = nullptr);
 
+// Reusable working memory for the scratch overload below: the candidate
+// output plus the per-block gather vectors of the parallel path.  One
+// instance per planner run keeps the per-user loop allocation-free after
+// the first iteration.  Not thread-safe across concurrent calls.
+struct CandidateScratch {
+  std::vector<UserCandidate> candidates;
+  std::vector<std::vector<UserCandidate>> per_block;
+
+  size_t ApproxBytes() const;
+};
+
+// Identical output to the allocating overload, written into
+// scratch->candidates (cleared first; capacity persists across calls).
+void BuildCandidates(const Instance& instance, const SelectArray& select,
+                     UserId u, std::vector<int>* chosen_copy,
+                     Parallelizer* parallel, CandidateScratch* scratch);
+
 // Second step: turns the final select array into a Planning by assigning
 // each claimed copy to its last claimant.  Every assignment must succeed —
 // schedules are subsets of the feasible first-step schedules — and the

@@ -21,6 +21,9 @@ PlannerResult DeDpPlanner::Plan(const Instance& instance,
   PlanGuard guard(context);
   SingleUserOptions dp_options = options_.dp;
   dp_options.guard = &guard;
+  // Sequential per-user loop: one scratch serves every DpSingle call.
+  DpScratch dp_scratch;
+  dp_options.scratch = &dp_scratch;
 
   const int num_users = instance.num_users();
   const int num_events = instance.num_events();

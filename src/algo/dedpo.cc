@@ -21,6 +21,12 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
   PlanGuard guard(context);
   SingleUserOptions dp_options = options_.dp;
   dp_options.guard = &guard;
+  // The per-user loop below is sequential, so one scratch serves every
+  // DpSingle call — the frontier arenas and candidate buffers warm up once
+  // instead of reallocating |U| times.
+  DpScratch dp_scratch;
+  dp_options.scratch = &dp_scratch;
+  CandidateScratch candidate_scratch;
 
   // First step: one optimal schedule per user against the decomposed
   // utilities, tracked through the select array.
@@ -41,8 +47,10 @@ PlannerResult DeDpoPlanner::Plan(const Instance& instance,
       guard.ForceStop(Termination::kInjectedFault);
     }
     if (guard.ShouldStop()) break;
-    const std::vector<UserCandidate> candidates =
-        BuildCandidates(instance, select, u, &chosen_copy, &parallel);
+    BuildCandidates(instance, select, u, &chosen_copy, &parallel,
+                    &candidate_scratch);
+    const std::vector<UserCandidate>& candidates =
+        candidate_scratch.candidates;
     if (candidates.empty()) continue;
     const SingleResult single = DpSingle(instance, u, candidates, dp_options);
     stats.dp_cells += single.cells;

@@ -21,6 +21,9 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
   PlannerStats stats;
   PlanGuard guard(context);
 
+  // The per-user loop is sequential; one candidate scratch serves every
+  // BuildCandidates call so the buffers warm up once.
+  CandidateScratch candidate_scratch;
   SelectArray select = MakeSelectArray(instance);
   std::vector<int> chosen_copy(instance.num_events(), -1);
   size_t select_bytes = 0;
@@ -38,8 +41,10 @@ PlannerResult DeGreedyPlanner::Plan(const Instance& instance,
       guard.ForceStop(Termination::kInjectedFault);
     }
     if (guard.ShouldStop()) break;
-    const std::vector<UserCandidate> candidates =
-        BuildCandidates(instance, select, u, &chosen_copy, &parallel);
+    BuildCandidates(instance, select, u, &chosen_copy, &parallel,
+                    &candidate_scratch);
+    const std::vector<UserCandidate>& candidates =
+        candidate_scratch.candidates;
     if (candidates.empty()) continue;
     const SingleResult single = GreedySingle(instance, u, candidates, &guard);
     stats.heap_pushes += single.cells;

@@ -1,53 +1,89 @@
 #include "algo/dp_single.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
 
 namespace usep {
-namespace {
 
-// One reachable (T, Omega) state for "schedule ends at this rank with total
-// outbound travel cost T".
-struct Cell {
-  Cost t = 0;
-  double omega = 0.0;
-  int prev_rank = -1;  // -1: this event is the first in the schedule.
-  int prev_cell = -1;  // Index into the previous rank's frontier.
-};
-
-// Maps each sorted rank to its candidate index, or -1.
-std::vector<int> CandidateByRank(const Instance& instance,
-                                 const std::vector<UserCandidate>& candidates) {
-  std::vector<int> by_rank(instance.num_events(), -1);
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    const int rank = instance.SortedRank(candidates[c].event);
-    USEP_CHECK_EQ(by_rank[rank], -1) << "duplicate candidate event";
-    USEP_CHECK_GT(candidates[c].utility, 0.0);
-    by_rank[rank] = static_cast<int>(c);
-  }
-  return by_rank;
+size_t DpScratch::ApproxBytes() const {
+  return by_rank.capacity() * sizeof(int32_t) +
+         arena.capacity() * sizeof(DpCell) +
+         range_begin.capacity() * sizeof(int32_t) +
+         range_end.capacity() * sizeof(int32_t) +
+         build.capacity() * sizeof(DpCell) +
+         merge_buf.capacity() * sizeof(DpCell) +
+         run_begin.capacity() * sizeof(int32_t) +
+         run_next.capacity() * sizeof(int32_t);
 }
 
-// Keeps of `cells` only the Pareto frontier: T strictly increasing, Omega
-// strictly increasing.  Preserves, among ties, the earliest-generated cell
-// (stable sort) for deterministic reconstruction.
-void ParetoPrune(std::vector<Cell>* cells) {
-  std::stable_sort(cells->begin(), cells->end(),
-                   [](const Cell& a, const Cell& b) {
-                     if (a.t != b.t) return a.t < b.t;
-                     return a.omega > b.omega;
-                   });
-  std::vector<Cell> frontier;
-  frontier.reserve(cells->size());
-  double best_omega = 0.0;
-  for (const Cell& cell : *cells) {
-    if (frontier.empty() || cell.omega > best_omega) {
-      frontier.push_back(cell);
-      best_omega = cell.omega;
-    }
+namespace {
+
+// Maps each sorted rank to its candidate index (into `by_rank`), or -1.
+void CandidateByRank(const Instance& instance,
+                     const std::vector<UserCandidate>& candidates,
+                     std::vector<int32_t>* by_rank) {
+  by_rank->assign(instance.num_events(), -1);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const int rank = instance.SortedRank(candidates[c].event);
+    USEP_CHECK_EQ((*by_rank)[rank], -1) << "duplicate candidate event";
+    USEP_CHECK_GT(candidates[c].utility, 0.0);
+    (*by_rank)[rank] = static_cast<int32_t>(c);
   }
-  *cells = std::move(frontier);
+}
+
+// The frontier ordering: T ascending, Omega descending among equal T.
+inline bool CellBefore(const DpCell& a, const DpCell& b) {
+  if (a.t != b.t) return a.t < b.t;
+  return a.omega > b.omega;
+}
+
+// Sorts scratch->build under CellBefore by bottom-up stable merges of the
+// already-sorted runs recorded in scratch->run_begin.  Each source run has
+// strictly increasing T (a frontier's T values shifted by one constant hop,
+// or the single opener cell), so it is sorted under CellBefore; merging
+// adjacent runs pairwise, left run winning ties, reproduces exactly what
+// std::stable_sort over the concatenation would produce — but in
+// O(n log #runs) comparisons and zero allocations once the double buffer is
+// warm, where stable_sort pays O(n log n) plus a temporary buffer per call.
+void MergeRuns(DpScratch* s) {
+  std::vector<DpCell>& a = s->build;
+  std::vector<DpCell>& b = s->merge_buf;
+  std::vector<int32_t>& runs = s->run_begin;
+  std::vector<int32_t>& next = s->run_next;
+  while (runs.size() > 1) {
+    b.clear();
+    b.reserve(a.size());
+    next.clear();
+    size_t r = 0;
+    for (; r + 1 < runs.size(); r += 2) {
+      const int32_t lo = runs[r];
+      const int32_t mid = runs[r + 1];
+      const int32_t hi = r + 2 < runs.size() ? runs[r + 2]
+                                             : static_cast<int32_t>(a.size());
+      next.push_back(static_cast<int32_t>(b.size()));
+      int32_t x = lo;
+      int32_t y = mid;
+      while (x < mid && y < hi) {
+        // Strict right-before-left test: equal cells take the left one,
+        // which is what keeps the merge stable.
+        if (CellBefore(a[y], a[x])) {
+          b.push_back(a[y++]);
+        } else {
+          b.push_back(a[x++]);
+        }
+      }
+      while (x < mid) b.push_back(a[x++]);
+      while (y < hi) b.push_back(a[y++]);
+    }
+    if (r < runs.size()) {  // Odd trailing run passes through unchanged.
+      next.push_back(static_cast<int32_t>(b.size()));
+      b.insert(b.end(), a.begin() + runs[r], a.end());
+    }
+    std::swap(a, b);
+    std::swap(runs, next);
+  }
 }
 
 SingleResult DpSingleSparse(const Instance& instance, UserId u,
@@ -55,22 +91,27 @@ SingleResult DpSingleSparse(const Instance& instance, UserId u,
                             const SingleUserOptions& options) {
   SingleResult result;
   const Cost budget = instance.user(u).budget;
-  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  DpScratch local_scratch;
+  DpScratch& s =
+      options.scratch != nullptr ? *options.scratch : local_scratch;
   const std::vector<EventId>& sorted = instance.events_by_end_time();
   const int num_ranks = instance.num_events();
 
-  std::vector<std::vector<Cell>> frontiers(num_ranks);
+  CandidateByRank(instance, candidates, &s.by_rank);
+  s.arena.clear();
+  s.range_begin.assign(num_ranks, 0);
+  s.range_end.assign(num_ranks, 0);
+
   int best_rank = -1;
   int best_cell = -1;
   double best_omega = 0.0;
   Cost best_t = 0;
-  size_t live_cells = 0;
 
   for (int i = 0; i < num_ranks; ++i) {
-    if (by_rank[i] < 0) continue;
+    if (s.by_rank[i] < 0) continue;
     if (options.guard != nullptr && options.guard->ShouldStop()) break;
     const EventId vi = sorted[i];
-    const double utility = candidates[by_rank[i]].utility;
+    const double utility = candidates[s.by_rank[i]].utility;
     const Cost outbound = instance.UserToEventCost(u, vi);
     const Cost inbound = instance.EventToUserCost(vi, u);
 
@@ -79,30 +120,60 @@ SingleResult DpSingleSparse(const Instance& instance, UserId u,
     // below reject every cell anyway — see SingleUserOptions.)
     if (options.apply_lemma1 && AddCost(outbound, inbound) > budget) continue;
 
-    std::vector<Cell>& cells = frontiers[i];
+    s.build.clear();
+    s.run_begin.clear();
     // First line of Equation (4): v_i opens the schedule.
     if (AddCost(outbound, inbound) <= budget) {
-      cells.push_back(Cell{outbound, utility, -1, -1});
+      s.run_begin.push_back(0);
+      s.build.push_back(DpCell{outbound, utility, -1, -1});
     }
     // Second line: v_i extends a schedule ending at some chainable rank l.
     const int last = instance.LastChainableRank(i);
     for (int l = 0; l <= last; ++l) {
-      if (frontiers[l].empty()) continue;
+      const int32_t fb = s.range_begin[l];
+      const int32_t fe = s.range_end[l];
+      if (fb == fe) continue;
       const Cost hop = instance.TransitionCost(sorted[l], vi);
       if (IsInfiniteCost(hop)) continue;
-      for (int c = 0; c < static_cast<int>(frontiers[l].size()); ++c) {
-        const Cell& from = frontiers[l][c];
-        const Cost t = AddCost(from.t, hop);
-        if (AddCost(t, inbound) > budget) break;  // Cells sorted by t.
-        cells.push_back(Cell{t, from.omega + utility, l, c});
+      // Frontier T values strictly increase, so the affordable extensions
+      // are a prefix; find its end in O(log frontier) instead of walking to
+      // the first over-budget cell.
+      const DpCell* fbegin = s.arena.data() + fb;
+      const DpCell* fend = s.arena.data() + fe;
+      const DpCell* cut = std::partition_point(
+          fbegin, fend, [hop, inbound, budget](const DpCell& from) {
+            return AddCost(AddCost(from.t, hop), inbound) <= budget;
+          });
+      if (cut == fbegin) continue;
+      s.run_begin.push_back(static_cast<int32_t>(s.build.size()));
+      for (const DpCell* from = fbegin; from != cut; ++from) {
+        s.build.push_back(DpCell{AddCost(from->t, hop), from->omega + utility,
+                                 l, static_cast<int32_t>(from - fbegin)});
       }
     }
-    ParetoPrune(&cells);
-    result.cells += static_cast<int64_t>(cells.size());
-    live_cells += cells.size();
 
-    for (int c = 0; c < static_cast<int>(cells.size()); ++c) {
-      const Cell& cell = cells[c];
+    // Pareto prune: order by (T asc, Omega desc), then keep only strictly
+    // Omega-improving cells — T strictly increasing, Omega strictly
+    // increasing, earliest-generated cell among ties.  Survivors append to
+    // the arena as rank i's frontier view.
+    MergeRuns(&s);
+    const size_t range_begin = s.arena.size();
+    double frontier_omega = 0.0;
+    for (const DpCell& cell : s.build) {
+      if (s.arena.size() == range_begin || cell.omega > frontier_omega) {
+        s.arena.push_back(cell);
+        frontier_omega = cell.omega;
+      }
+    }
+    USEP_CHECK_LE(s.arena.size(), static_cast<size_t>(INT32_MAX));
+    s.range_begin[i] = static_cast<int32_t>(range_begin);
+    s.range_end[i] = static_cast<int32_t>(s.arena.size());
+    const int frontier_size =
+        static_cast<int>(s.arena.size() - range_begin);
+    result.cells += frontier_size;
+
+    for (int c = 0; c < frontier_size; ++c) {
+      const DpCell& cell = s.arena[range_begin + static_cast<size_t>(c)];
       if (cell.omega > best_omega ||
           (cell.omega == best_omega && best_rank >= 0 && cell.t < best_t)) {
         best_omega = cell.omega;
@@ -113,7 +184,7 @@ SingleResult DpSingleSparse(const Instance& instance, UserId u,
     }
   }
 
-  result.peak_bytes = live_cells * sizeof(Cell);
+  result.peak_bytes = s.arena.size() * sizeof(DpCell);
   if (best_rank < 0) return result;  // Empty schedule.
 
   // Reconstruct along the prev pointers; ranks come out in reverse order.
@@ -122,7 +193,9 @@ SingleResult DpSingleSparse(const Instance& instance, UserId u,
   int cell = best_cell;
   while (rank >= 0) {
     schedule.push_back(sorted[rank]);
-    const Cell& current = frontiers[rank][cell];
+    const DpCell& current =
+        s.arena[static_cast<size_t>(s.range_begin[rank]) +
+                static_cast<size_t>(cell)];
     const int prev_rank = current.prev_rank;
     cell = current.prev_cell;
     rank = prev_rank;
@@ -150,7 +223,8 @@ SingleResult DpSingleDense(const Instance& instance, UserId u,
     return DpSingleSparse(instance, u, candidates, options);
   }
 
-  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  std::vector<int32_t> by_rank;
+  CandidateByRank(instance, candidates, &by_rank);
   const std::vector<EventId>& sorted = instance.events_by_end_time();
   const int num_ranks = instance.num_events();
   const size_t width = static_cast<size_t>(budget) + 1;
@@ -249,7 +323,7 @@ struct BruteState {
   const Instance* instance;
   UserId u;
   const std::vector<UserCandidate>* candidates;
-  const std::vector<int>* by_rank;
+  const std::vector<int32_t>* by_rank;
   const std::vector<EventId>* sorted;
   Cost budget;
 
@@ -321,7 +395,8 @@ void BruteRecurse(BruteState* state, int next_rank, Cost t_so_far) {
 
 SingleResult BruteForceSingle(const Instance& instance, UserId u,
                               const std::vector<UserCandidate>& candidates) {
-  const std::vector<int> by_rank = CandidateByRank(instance, candidates);
+  std::vector<int32_t> by_rank;
+  CandidateByRank(instance, candidates, &by_rank);
   BruteState state;
   state.instance = &instance;
   state.u = u;

@@ -17,6 +17,36 @@ struct UserCandidate {
   double utility = 0.0;
 };
 
+// One reachable (T, Omega) state for "schedule ends at this rank with total
+// outbound travel cost T".  Frontier-local prev indices fit 32 bits: a rank's
+// frontier holds at most one cell per distinct reachable T <= budget, and
+// budgets beyond 2^31 distinct states would have exhausted memory long
+// before the narrowing could matter (checked all the same).
+struct DpCell {
+  Cost t = 0;
+  double omega = 0.0;
+  int32_t prev_rank = -1;  // -1: this event is the first in the schedule.
+  int32_t prev_cell = -1;  // Index into the previous rank's pruned frontier.
+};
+
+// Reusable working memory for DpSingleSparse.  One flat cell arena replaces
+// the per-rank vector-of-vectors: frontiers live contiguously, grouped by
+// rank and addressed through [range_begin, range_end) views, so a run of
+// |U| single-user solves allocates O(1) times instead of O(|U| * ranks).
+// Not thread-safe; share only across sequential calls.
+struct DpScratch {
+  std::vector<int32_t> by_rank;      // Sorted rank -> candidate index, or -1.
+  std::vector<DpCell> arena;         // Pruned frontiers, grouped by rank.
+  std::vector<int32_t> range_begin;  // Per rank: arena view [begin, end).
+  std::vector<int32_t> range_end;
+  std::vector<DpCell> build;      // Current rank's cells before pruning.
+  std::vector<DpCell> merge_buf;  // Double buffer for the run merges.
+  std::vector<int32_t> run_begin;  // Sorted-run boundaries inside `build`.
+  std::vector<int32_t> run_next;   // Boundaries after one merge pass.
+
+  size_t ApproxBytes() const;
+};
+
 struct SingleUserOptions {
   // Ablation: materialize the paper-literal dense Omega(i, T) table with one
   // column per budget unit instead of the sparse Pareto frontier.  Identical
@@ -33,6 +63,10 @@ struct SingleUserOptions {
   // still feasible, possibly suboptimal.  Shared with the calling planner so
   // node counts and deadline checks span the whole run.
   PlanGuard* guard = nullptr;
+  // Optional working memory reused across calls (not owned, not
+  // thread-safe).  Null means a call-local scratch: identical results,
+  // one arena allocation warm-up per call.
+  DpScratch* scratch = nullptr;
 };
 
 // The outcome of one single-user subproblem.

@@ -1,11 +1,15 @@
 #include "algo/local_search.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 
 #include "algo/candidate_index.h"
 #include "algo/planner_obs.h"
+#include "algo/scan_kernels.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
 
@@ -16,20 +20,25 @@ constexpr double kMinGain = 1e-12;
 
 // One pass of "add" moves; returns how many were applied.  With an index the
 // user loop shrinks to UsersOf(v) — the users skipped can never be assigned
-// to v, so the arrangements (and their order) are unchanged.
+// to v, so the arrangements (and their order) are unchanged.  The indexed
+// path probes each event's whole row in one batched ProbeRow sweep before
+// assigning: CheckInsertion(v, u) depends only on u's schedule, and the
+// assigns between probe and use all touch OTHER users' schedules (each user
+// appears once per row), so the up-front answers stay exact — same
+// assignments in the same order as the probe-as-you-go loop.
 int TryAdds(const Instance& instance, Planning* planning, PlanGuard* guard,
             CandidateIndex* index) {
   int applied = 0;
+  std::vector<int32_t> feasible_pos;
+  std::vector<Schedule::Insertion> insertions;
   for (EventId v = 0; v < instance.num_events(); ++v) {
     if (guard != nullptr && guard->ShouldStop()) break;
     if (planning->EventFull(v)) continue;
     if (index != nullptr) {
-      const std::vector<UserId>& users = index->UsersOf(v);
-      for (int32_t pos = 0; pos < static_cast<int32_t>(users.size()); ++pos) {
-        const std::optional<Schedule::Insertion> insertion =
-            index->CachedCheckInsertionAt(*planning, v, pos);
-        if (!insertion.has_value()) continue;
-        planning->Assign(v, users[pos], *insertion);
+      const Span<UserId> users = index->UsersOf(v);
+      index->ProbeRow(*planning, v, &feasible_pos, &insertions);
+      for (size_t i = 0; i < feasible_pos.size(); ++i) {
+        planning->Assign(v, users[feasible_pos[i]], insertions[i]);
         ++applied;
         if (planning->EventFull(v)) break;
       }
@@ -61,22 +70,42 @@ UserId FindBestRecipient(const Instance& instance, const Planning& planning,
     // Sweep UsersOf(v) instead of every user: the skipped users all have
     // mu == 0 (filtered by the threshold) or fail CheckAssign statically.
     // Blocks partition the list's POSITIONS, so no two threads ever touch
-    // the same cache slot (the index's thread-safety contract).
-    const std::vector<UserId>& users = index->UsersOf(v);
+    // the same cache slot (the index's thread-safety contract).  A
+    // vectorized mu > threshold prefilter over the contiguous utility row
+    // discards the bulk of each block before the per-lane body runs; the
+    // kernel evaluates the EXACT compare the scalar skip performs, so the
+    // surviving probe set (and hence every memo write and statistic) is
+    // unchanged.
+    const Span<UserId> users = index->UsersOf(v);
+    const double* mu_row = index->MuRow(v);
+    const double cutoff = threshold + kMinGain;
+    const bool avx2 = ActiveSimdLevel() == SimdLevel::kAvx2;
     parallel->For(
         0, static_cast<int64_t>(users.size()),
         [&](int block, int64_t begin, int64_t end) {
           Best best;
-          for (int64_t i = begin; i < end; ++i) {
-            const UserId to = users[static_cast<size_t>(i)];
-            if (to == exclude) continue;
-            const double mu = instance.utility(v, to);
-            if (mu <= threshold + kMinGain) continue;
-            if (best.user >= 0 && mu <= best.mu) continue;
-            if (index->CachedCheckAssignAt(planning, v,
-                                           static_cast<int32_t>(i))
-                    .has_value()) {
-              best = Best{to, mu};
+          for (int64_t chunk_begin = begin; chunk_begin < end;
+               chunk_begin += scan::kChunkLanes) {
+            const int chunk = static_cast<int>(
+                std::min<int64_t>(scan::kChunkLanes, end - chunk_begin));
+            uint64_t mask = avx2 ? scan::MuAboveChunkAvx2(
+                                       chunk, mu_row + chunk_begin, cutoff)
+                                 : ~uint64_t{0};
+            if (chunk < 64) mask &= (uint64_t{1} << chunk) - 1;
+            while (mask != 0) {
+              const int lane = __builtin_ctzll(mask);
+              mask &= mask - 1;
+              const int64_t i = chunk_begin + lane;
+              const UserId to = users[static_cast<size_t>(i)];
+              if (to == exclude) continue;
+              const double mu = mu_row[i];
+              if (mu <= cutoff) continue;
+              if (best.user >= 0 && mu <= best.mu) continue;
+              if (index->CachedCheckAssignAt(planning, v,
+                                             static_cast<int32_t>(i))
+                      .has_value()) {
+                best = Best{to, mu};
+              }
             }
           }
           per_block[static_cast<size_t>(block)] = best;

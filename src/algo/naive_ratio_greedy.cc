@@ -22,26 +22,24 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
   PlanGuard guard(context);
 
   std::optional<CandidateIndex> index;
-  // Working lists scanned each round, compacted as pairs die.  This planner
+  // Working rows scanned each round, compacted as pairs die.  This planner
   // only ever assigns, so a full event stays full and (when the index
   // guarantees permanence) an insertion-infeasible pair stays infeasible —
-  // both may drop for good.  Lists stay ascending, so each round's
-  // first-strictly-better scan picks the same pair as the legacy full
-  // rescan.
+  // both may drop for good.  Rows stay ascending, so each round's
+  // first-strictly-better batched scan (see CandidateIndex::BestUserForEvent)
+  // picks the same pair as the legacy full rescan.
   std::vector<EventId> live_events;
-  std::vector<std::vector<int32_t>> live_users;
+  std::vector<CandidateIndex::LiveEventRow> live_rows;
   if (options_.use_candidate_index) {
     obs::TraceSpan index_span(context.trace, "rg/index-build", "planner");
     index.emplace(instance);
     index_span.AddArg("pairs", index->num_pairs());
     index_span.End();
     live_events.reserve(instance.num_events());
-    live_users.resize(instance.num_events());
+    live_rows.resize(instance.num_events());
     for (EventId v = 0; v < instance.num_events(); ++v) {
       live_events.push_back(v);
-      std::vector<int32_t>& lst = live_users[v];
-      lst.resize(index->UsersOf(v).size());
-      for (size_t i = 0; i < lst.size(); ++i) lst[i] = static_cast<int32_t>(i);
+      index->InitLiveEventRow(v, &live_rows[v]);
     }
   }
   const bool droppable =
@@ -58,27 +56,18 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
       for (const EventId v : live_events) {
         if (planning.EventFull(v)) continue;
         live_events[live_out++] = v;
-        std::vector<int32_t>& lst = live_users[v];
-        const std::vector<UserId>& users = index->UsersOf(v);
-        size_t out = 0;
-        for (const int32_t pos : lst) {
-          const std::optional<Schedule::Insertion> insertion =
-              index->CachedCheckInsertionAt(planning, v, pos);
-          if (!insertion.has_value()) {
-            if (!droppable) lst[out++] = pos;
-            continue;
-          }
-          lst[out++] = pos;
-          const UserId u = users[pos];
-          const RatioKey key{instance.utility(v, u), insertion->inc_cost};
-          if (!best_key.has_value() || RatioBetter(key, *best_key)) {
-            best_key = key;
-            best_v = v;
-            best_u = u;
-            best_insertion = *insertion;
-          }
+        // Per-event champion, then first-strictly-better across events —
+        // the same global winner as the legacy flat (v, u) sweep because
+        // both sides keep ascending order.
+        const std::optional<CandidateIndex::Champion> champion =
+            index->BestUserForEvent(planning, v, &live_rows[v], droppable);
+        if (!champion.has_value()) continue;
+        if (!best_key.has_value() || RatioBetter(champion->key, *best_key)) {
+          best_key = champion->key;
+          best_v = v;
+          best_u = champion->id;
+          best_insertion = champion->insertion;
         }
-        lst.resize(out);
       }
       live_events.resize(live_out);
     } else {
@@ -108,9 +97,7 @@ PlannerResult NaiveRatioGreedyPlanner::Plan(const Instance& instance,
     index->FlushStats(&stats);
     size_t bytes = index->ApproxBytes();
     bytes += live_events.capacity() * sizeof(EventId);
-    for (const auto& lst : live_users) {
-      bytes += lst.capacity() * sizeof(int32_t);
-    }
+    for (const auto& row : live_rows) bytes += row.ApproxBytes();
     if (bytes > stats.logical_peak_bytes) stats.logical_peak_bytes = bytes;
   }
 

@@ -26,6 +26,9 @@ PlannerResult OnlinePlanner::Plan(const Instance& instance,
   PlanGuard guard(context);
   SingleUserOptions dp_options;
   dp_options.guard = &guard;
+  // Arrivals are processed one at a time: one scratch serves every solve.
+  DpScratch dp_scratch;
+  dp_options.scratch = &dp_scratch;
 
   std::vector<UserId> arrival_order(instance.num_users());
   std::iota(arrival_order.begin(), arrival_order.end(), 0);

@@ -22,6 +22,7 @@ Parallelizer::Parallelizer(const ParallelConfig& config,
   if (!config.sequential()) {
     pool_ = std::make_unique<ThreadPool>(config.num_threads, std::move(cancel),
                                          trace);
+    min_parallel_range_ = config.min_parallel_range;
   }
 }
 
@@ -31,7 +32,7 @@ int Parallelizer::num_blocks() const {
 
 void Parallelizer::For(int64_t begin, int64_t end,
                        const std::function<void(int, int64_t, int64_t)>& body) {
-  if (pool_ == nullptr) {
+  if (pool_ == nullptr || end - begin < min_parallel_range_) {
     if (begin < end) body(0, begin, end);
     return;
   }

@@ -22,6 +22,17 @@ namespace usep {
 struct ParallelConfig {
   int num_threads = 1;
 
+  // Ranges shorter than this run inline on the caller even when a pool
+  // exists: waking workers costs more than the work itself, and the per-user
+  // inner scans of the decomposed family are routinely tiny.  Deterministic —
+  // the decision depends only on the range length, never on load — and
+  // results are unchanged either way, because the inline path is exactly the
+  // single-block execution every parallelized loop already equals (see
+  // docs/PARALLELISM.md: order-preserving concatenation over static blocks).
+  // 0 forces the pool for every non-empty range (used by tests that must
+  // exercise worker threads).
+  int64_t min_parallel_range = 4096;
+
   bool sequential() const { return num_threads <= 1; }
 
   // As many threads as the hardware advertises (>= 1).
@@ -54,10 +65,11 @@ class Parallelizer {
   int num_blocks() const;
 
   // Runs body(block, begin, end) over [begin, end): inline when sequential
-  // (one block, index 0), else via ThreadPool::ParallelFor (static
-  // contiguous blocks, caller participates, deterministic exception
-  // propagation).  The block index lets callers gather per-block results
-  // positionally for order-preserving concatenation.
+  // or when the range is shorter than the config's min_parallel_range (one
+  // block, index 0), else via ThreadPool::ParallelFor (static contiguous
+  // blocks, caller participates, deterministic exception propagation).  The
+  // block index lets callers gather per-block results positionally for
+  // order-preserving concatenation.
   void For(int64_t begin, int64_t end,
            const std::function<void(int, int64_t, int64_t)>& body);
 
@@ -66,6 +78,7 @@ class Parallelizer {
 
  private:
   std::unique_ptr<ThreadPool> pool_;
+  int64_t min_parallel_range_ = 0;
 };
 
 // One unit of work for the batch solver: run `planner` on `instance`.

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <optional>
-#include <queue>
 
 #include "algo/candidate_index.h"
 #include "algo/planner_obs.h"
@@ -39,125 +39,167 @@ struct EntryWorse {
   }
 };
 
-struct Champion {
-  RatioKey key;
-  int id = -1;  // UserId or EventId depending on direction.
+// A bucketed lazy max-queue over HeapEntry, replacing the binary heap whose
+// sift-up/sift-down churn dominated the RatioGreedy profile.  Push is O(1):
+// an entry lands in the bucket named by the EXPONENT byte of its quantized
+// ratio — bits 63..52 of bit_cast<uint64_t>(mu / inc_cost), i.e. the IEEE
+// biased exponent (the sign bit is always 0: mu > 0, inc > 0).  Entries with
+// inc_cost <= 0 take the top bucket (2047): cross-product comparison makes
+// them beat every positive-inc entry outright (lhs = mu_a * inc_b > 0 >=
+// rhs = mu_b * inc_a), and finite positive quotients never reach biased
+// exponent 2047.
+//
+// Pop must return the exact EntryWorse-maximum among live entries.  Bucket
+// order respects the ratio order up to ONE bucket of slack: a strictly
+// better primary compare implies a strictly larger real ratio, and rounded
+// division is monotone, so bucket(better) >= bucket(worse); but a tie-break
+// win on fl-equal cross products can sit up to 1 ulp below in quotient
+// space, which straddles a power-of-two boundary at most one bucket down.
+// The maximum therefore lives in the TOP non-empty bucket or the bucket
+// immediately below it.
+//
+// Each bucket is kept heap-ordered under EntryWorse, so finding a bucket's
+// maximum is reading its front — paper-shaped instances concentrate their
+// ratios in a handful of exponents, so buckets hold O(n) entries and any
+// per-pop linear scan of one would send the whole loop quadratic.  Stale
+// entries (caller-supplied predicate) are drained lazily off the heap tops
+// as they surface; dead weight below the top costs log(bucket), not a
+// compaction sweep.
+class BucketQueue {
+ public:
+  static constexpr int kNumBuckets = 2048;
+
+  BucketQueue() : buckets_(kNumBuckets) {}
+
+  static int BucketOf(const RatioKey& key) {
+    if (key.inc_cost <= 0) return kNumBuckets - 1;
+    const double ratio = key.mu / static_cast<double>(key.inc_cost);
+    uint64_t bits;
+    std::memcpy(&bits, &ratio, sizeof(bits));
+    return static_cast<int>(bits >> 52);
+  }
+
+  void Push(const HeapEntry& entry) {
+    const int bucket = BucketOf(entry.key);
+    std::vector<HeapEntry>& heap = buckets_[bucket];
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), EntryWorse());
+    if (bucket > top_) top_ = bucket;
+    ++size_;
+  }
+
+  // Removes and returns the EntryWorse-maximum live entry; nullopt when no
+  // live entry remains.  `live` decides staleness.
+  template <typename LivePred>
+  std::optional<HeapEntry> PopBest(const LivePred& live) {
+    while (top_ >= 0) {
+      DrainStale(top_, live);
+      if (buckets_[top_].empty()) {
+        --top_;
+        continue;
+      }
+      int best_bucket = top_;
+      if (top_ >= 1) {
+        DrainStale(top_ - 1, live);
+        const std::vector<HeapEntry>& below = buckets_[top_ - 1];
+        if (!below.empty() &&
+            EntryWorse()(buckets_[top_].front(), below.front())) {
+          best_bucket = top_ - 1;
+        }
+      }
+      std::vector<HeapEntry>& from = buckets_[best_bucket];
+      std::pop_heap(from.begin(), from.end(), EntryWorse());
+      const HeapEntry best = from.back();
+      from.pop_back();
+      --size_;
+      return best;
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const { return size_ == 0; }
+
+  size_t ApproxBytes() const {
+    size_t bytes = buckets_.capacity() * sizeof(std::vector<HeapEntry>);
+    for (const std::vector<HeapEntry>& bucket : buckets_) {
+      bytes += bucket.capacity() * sizeof(HeapEntry);
+    }
+    return bytes;
+  }
+
+ private:
+  // Pops stale entries off the bucket's heap top until a live one (or
+  // nothing) is exposed — front() is then the bucket's live maximum.
+  template <typename LivePred>
+  void DrainStale(int bucket, const LivePred& live) {
+    std::vector<HeapEntry>& heap = buckets_[bucket];
+    while (!heap.empty() && !live(heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), EntryWorse());
+      heap.pop_back();
+      --size_;
+    }
+  }
+
+  std::vector<std::vector<HeapEntry>> buckets_;
+  int top_ = -1;
+  size_t size_ = 0;
 };
 
 // arg max_{u | {v} + S_u valid} ratio(v, u); ties by least inc_cost then
-// smallest user id.
-std::optional<Champion> BestUserForEvent(const Instance& instance,
-                                         const Planning& planning, EventId v) {
-  std::optional<Champion> best;
+// smallest user id.  The unindexed fallback scan.
+std::optional<CandidateIndex::Champion> BestUserForEvent(
+    const Instance& instance, const Planning& planning, EventId v) {
+  std::optional<CandidateIndex::Champion> best;
   for (UserId u = 0; u < instance.num_users(); ++u) {
     const std::optional<Schedule::Insertion> insertion =
         planning.CheckAssign(v, u);
     if (!insertion.has_value()) continue;
     const RatioKey key{instance.utility(v, u), insertion->inc_cost};
     if (!best.has_value() || RatioBetter(key, best->key)) {
-      best = Champion{key, u};
+      best = CandidateIndex::Champion{key, u, *insertion};
     }
   }
   return best;
 }
 
 // arg max_{v in candidates | {v} + S_u valid} ratio(v, u).
-std::optional<Champion> BestEventForUser(
+std::optional<CandidateIndex::Champion> BestEventForUser(
     const Instance& instance, const Planning& planning,
     const std::vector<EventId>& candidate_events, UserId u) {
-  std::optional<Champion> best;
+  std::optional<CandidateIndex::Champion> best;
   for (const EventId v : candidate_events) {
     const std::optional<Schedule::Insertion> insertion =
         planning.CheckAssign(v, u);
     if (!insertion.has_value()) continue;
     const RatioKey key{instance.utility(v, u), insertion->inc_cost};
     if (!best.has_value() || RatioBetter(key, best->key)) {
-      best = Champion{key, v};
+      best = CandidateIndex::Champion{key, v, *insertion};
     }
   }
   return best;
 }
 
-// Per-Augment working lists for the indexed elections.  `users[v]` holds the
-// still-live positions into index.UsersOf(v) (only for candidate events);
-// `events[u]` holds the still-live candidate events of user u.  Both stay
-// ascending by id, so the first-strictly-better election scan visits live
-// pairs in the same order as the legacy full-range scans and elects the
-// same champion — the bit-identical contract.  Scans compact the lists as
+// Per-Augment working rows for the indexed elections: one SoA LiveEventRow
+// per candidate event (still-live positions, users, utilities in lockstep)
+// and one SoA LiveUserRow per user (still-live candidate events).  Rows stay
+// ascending by id, so the index's first-strictly-better batched scans visit
+// live pairs in the same order as the legacy full-range scans and elect the
+// same champion — the bit-identical contract.  The scans compact the rows as
 // pairs die: events that filled up are dropped always (an Augment never
 // unassigns, so fullness is permanent here); insertion-infeasible pairs are
 // dropped only when the index guarantees the failure is permanent
 // (MonotoneInfeasibilityIsPermanent).
-struct LiveLists {
-  std::vector<std::vector<int32_t>> users;
-  std::vector<std::vector<CandidateIndex::EventRef>> events;
+struct LiveRows {
+  std::vector<CandidateIndex::LiveEventRow> events;
+  std::vector<CandidateIndex::LiveUserRow> users;
 
   size_t ApproxBytes() const {
     size_t bytes = 0;
-    for (const auto& lst : users) bytes += lst.capacity() * sizeof(int32_t);
-    for (const auto& lst : events) {
-      bytes += lst.capacity() * sizeof(CandidateIndex::EventRef);
-    }
+    for (const auto& row : events) bytes += row.ApproxBytes();
+    for (const auto& row : users) bytes += row.ApproxBytes();
     return bytes;
   }
 };
-
-// Indexed twin of BestUserForEvent: only statically feasible, still-live
-// users are probed, each through the epoch-guarded memo.  The caller has
-// already checked !EventFull(v), so plain CheckInsertion answers suffice.
-std::optional<Champion> BestUserForEventIndexed(const Instance& instance,
-                                                const Planning& planning,
-                                                CandidateIndex* index,
-                                                LiveLists* live, bool droppable,
-                                                EventId v) {
-  std::optional<Champion> best;
-  std::vector<int32_t>& lst = live->users[v];
-  const std::vector<UserId>& users = index->UsersOf(v);
-  size_t out = 0;
-  for (const int32_t pos : lst) {
-    const std::optional<Schedule::Insertion> insertion =
-        index->CachedCheckInsertionAt(planning, v, pos);
-    if (!insertion.has_value()) {
-      if (!droppable) lst[out++] = pos;
-      continue;
-    }
-    lst[out++] = pos;
-    const UserId u = users[pos];
-    const RatioKey key{instance.utility(v, u), insertion->inc_cost};
-    if (!best.has_value() || RatioBetter(key, best->key)) {
-      best = Champion{key, u};
-    }
-  }
-  lst.resize(out);
-  return best;
-}
-
-// Indexed twin of BestEventForUser over the live candidate events of `u`.
-std::optional<Champion> BestEventForUserIndexed(const Instance& instance,
-                                                const Planning& planning,
-                                                CandidateIndex* index,
-                                                LiveLists* live, bool droppable,
-                                                UserId u) {
-  std::optional<Champion> best;
-  std::vector<CandidateIndex::EventRef>& lst = live->events[u];
-  size_t out = 0;
-  for (const CandidateIndex::EventRef ref : lst) {
-    if (planning.EventFull(ref.event)) continue;  // Permanent within Augment.
-    const std::optional<Schedule::Insertion> insertion =
-        index->CachedCheckInsertionAt(planning, ref.event, ref.pos);
-    if (!insertion.has_value()) {
-      if (!droppable) lst[out++] = ref;
-      continue;
-    }
-    lst[out++] = ref;
-    const RatioKey key{instance.utility(ref.event, u), insertion->inc_cost};
-    if (!best.has_value() || RatioBetter(key, best->key)) {
-      best = Champion{key, ref.event};
-    }
-  }
-  lst.resize(out);
-  return best;
-}
 
 }  // namespace
 
@@ -172,32 +214,26 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   const bool indexed = index != nullptr;
   const bool droppable = indexed && index->MonotoneInfeasibilityIsPermanent();
 
-  // Indexed working state: live lists restricted to candidate_events, plus
-  // the reverse champion map driving the lines 15-18 incident update.
-  LiveLists live;
+  // Indexed working state: live SoA rows restricted to candidate_events,
+  // plus the reverse champion map driving the lines 15-18 incident update.
+  LiveRows live;
   std::vector<std::vector<EventId>> championed_by_user;
   if (indexed) {
-    live.users.resize(instance.num_events());
-    live.events.resize(num_users);
+    live.events.resize(instance.num_events());
+    live.users.resize(num_users);
     std::vector<char> is_candidate(instance.num_events(), 0);
     for (const EventId v : candidate_events) {
       is_candidate[v] = 1;
-      std::vector<int32_t>& lst = live.users[v];
-      lst.resize(index->UsersOf(v).size());
-      for (size_t i = 0; i < lst.size(); ++i) {
-        lst[i] = static_cast<int32_t>(i);
-      }
+      index->InitLiveEventRow(v, &live.events[v]);
     }
     for (UserId u = 0; u < num_users; ++u) {
-      for (const CandidateIndex::EventRef& ref : index->EventsOf(u)) {
-        if (is_candidate[ref.event]) live.events[u].push_back(ref);
-      }
+      index->InitLiveUserRow(u, is_candidate, &live.users[u]);
     }
     championed_by_user.resize(num_users);
   }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse> heap;
-  // Generation counters invalidate superseded heap entries lazily.
+  BucketQueue queue;
+  // Generation counters invalidate superseded queue entries lazily.
   std::vector<uint64_t> event_generation(instance.num_events(), 0);
   std::vector<uint64_t> user_generation(num_users, 0);
   // Current champion user of each event, for the lines 15-18 incident
@@ -208,26 +244,26 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
     ++event_generation[v];
     champion_user_of_event[v] = -1;
     if (planning->EventFull(v)) return;
-    const std::optional<Champion> best =
-        indexed ? BestUserForEventIndexed(instance, *planning, index, &live,
-                                          droppable, v)
+    const std::optional<CandidateIndex::Champion> best =
+        indexed ? index->BestUserForEvent(*planning, v, &live.events[v],
+                                          droppable)
                 : BestUserForEvent(instance, *planning, v);
     if (!best.has_value()) return;
     champion_user_of_event[v] = best->id;
     if (indexed) championed_by_user[best->id].push_back(v);
-    heap.push(HeapEntry{best->key, v, best->id, ChampionKind::kForEvent,
-                        event_generation[v]});
+    queue.Push(HeapEntry{best->key, v, best->id, ChampionKind::kForEvent,
+                         event_generation[v]});
     ++stats->heap_pushes;
   };
   const auto refresh_user_champion = [&](UserId u) {
     ++user_generation[u];
-    const std::optional<Champion> best =
-        indexed ? BestEventForUserIndexed(instance, *planning, index, &live,
-                                          droppable, u)
+    const std::optional<CandidateIndex::Champion> best =
+        indexed ? index->BestEventForUser(*planning, u, &live.users[u],
+                                          droppable)
                 : BestEventForUser(instance, *planning, candidate_events, u);
     if (!best.has_value()) return;
-    heap.push(HeapEntry{best->key, best->id, u, ChampionKind::kForUser,
-                        user_generation[u]});
+    queue.Push(HeapEntry{best->key, best->id, u, ChampionKind::kForUser,
+                         user_generation[u]});
     ++stats->heap_pushes;
   };
 
@@ -243,20 +279,22 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
   }
   init_span.End();
 
+  const auto entry_live = [&](const HeapEntry& entry) {
+    return entry.generation == (entry.kind == ChampionKind::kForEvent
+                                    ? event_generation[entry.v]
+                                    : user_generation[entry.u]);
+  };
+
   // Lines 9-20.
   obs::TraceSpan loop_span(trace, "rg/heap-loop", "planner");
-  while (!heap.empty()) {
+  while (true) {
     if (USEP_FAILPOINT("ratio_greedy.pop") && guard != nullptr) {
       guard->ForceStop(Termination::kInjectedFault);
     }
     if (guard != nullptr && guard->ShouldStop()) break;
-    const HeapEntry entry = heap.top();
-    heap.pop();
-    // Discard entries superseded by a champion re-election.
-    const uint64_t current = entry.kind == ChampionKind::kForEvent
-                                 ? event_generation[entry.v]
-                                 : user_generation[entry.u];
-    if (entry.generation != current) continue;
+    const std::optional<HeapEntry> popped = queue.PopBest(entry_live);
+    if (!popped.has_value()) break;
+    const HeapEntry entry = *popped;
 
     ++stats->iterations;
     const std::optional<Schedule::Insertion> insertion =
@@ -318,7 +356,8 @@ void RatioGreedyPlanner::Augment(const Instance& instance,
 
   size_t state_bytes =
       event_generation.size() * (sizeof(uint64_t) + sizeof(int)) +
-      user_generation.size() * sizeof(uint64_t);
+      user_generation.size() * sizeof(uint64_t) +
+      BucketQueue::kNumBuckets * sizeof(std::vector<HeapEntry>);
   if (indexed) {
     state_bytes += live.ApproxBytes() + index->ApproxBytes();
     for (const auto& lst : championed_by_user) {

@@ -1,0 +1,177 @@
+#include "algo/scan_kernels.h"
+
+#include "common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define USEP_SCAN_HAVE_X86 1
+#include <immintrin.h>
+#else
+#define USEP_SCAN_HAVE_X86 0
+#endif
+
+namespace usep {
+namespace scan {
+
+#if USEP_SCAN_HAVE_X86
+
+namespace {
+
+// 4 bits (one per 64-bit lane) from a vector compare result.
+__attribute__((target("avx2"))) inline uint64_t Mask4(__m256d m) {
+  return static_cast<uint64_t>(_mm256_movemask_pd(m));
+}
+
+__attribute__((target("avx2"))) inline uint64_t Mask4i(__m256i m) {
+  return static_cast<uint64_t>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
+}
+
+// 4 bits from a 128-bit vector of 4 int32 lanes.
+__attribute__((target("avx2"))) inline uint64_t Mask4e(__m128i m) {
+  return static_cast<uint64_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) ChunkMasks EventChunkAvx2(
+    int n, const int32_t* pos, const int32_t* user, const double* mu,
+    const uint64_t* slot_epoch_row, const double* slot_inc_d_row,
+    const uint64_t* sched_epochs, bool have_best, double best_mu,
+    double best_inc_d) {
+  ChunkMasks masks;
+  const __m256d vbest_mu = _mm256_set1_pd(best_mu);
+  const __m256d vbest_inc = _mm256_set1_pd(best_inc_d);
+  for (int lane = 0; lane + 4 <= n; lane += 4) {
+    const __m128i vpos =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pos + lane));
+    const __m128i vuser =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(user + lane));
+    const __m256i slot_ep = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(slot_epoch_row), vpos, 8);
+    const __m256i sched_ep = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(sched_epochs), vuser, 8);
+    masks.fresh |= Mask4i(_mm256_cmpeq_epi64(slot_ep, sched_ep)) << lane;
+
+    const __m256d inc_d = _mm256_i32gather_pd(slot_inc_d_row, vpos, 8);
+    masks.feasible |= Mask4(_mm256_cmp_pd(inc_d, inc_d, _CMP_ORD_Q)) << lane;
+
+    if (have_best) {
+      const __m256d vmu = _mm256_loadu_pd(mu + lane);
+      const __m256d lhs = _mm256_mul_pd(vmu, vbest_inc);
+      const __m256d rhs = _mm256_mul_pd(vbest_mu, inc_d);
+      masks.loser |= Mask4(_mm256_cmp_pd(lhs, rhs, _CMP_LT_OQ)) << lane;
+    }
+  }
+  return masks;
+}
+
+__attribute__((target("avx2"))) ChunkMasks UserChunkAvx2(
+    int n, const int32_t* event, const int32_t* flat, const double* mu,
+    const uint64_t* slot_epoch_all, const double* slot_inc_d_all,
+    uint64_t user_epoch, const int* assigned_counts,
+    const int32_t* capacities, bool have_best, double best_mu,
+    double best_inc_d) {
+  static_assert(sizeof(int) == sizeof(int32_t),
+                "assigned-count gather assumes 32-bit int");
+  ChunkMasks masks;
+  const __m256i vepoch = _mm256_set1_epi64x(static_cast<long long>(user_epoch));
+  const __m256d vbest_mu = _mm256_set1_pd(best_mu);
+  const __m256d vbest_inc = _mm256_set1_pd(best_inc_d);
+  for (int lane = 0; lane + 4 <= n; lane += 4) {
+    const __m128i vevent =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(event + lane));
+    const __m128i assigned =
+        _mm_i32gather_epi32(assigned_counts, vevent, 4);
+    const __m128i caps = _mm_i32gather_epi32(capacities, vevent, 4);
+    // full <=> !(assigned < cap).
+    const uint64_t not_full = Mask4e(_mm_cmpgt_epi32(caps, assigned));
+    masks.full |= (~not_full & 0xf) << lane;
+
+    const __m128i vflat =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(flat + lane));
+    const __m256i slot_ep = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(slot_epoch_all), vflat, 8);
+    masks.fresh |= Mask4i(_mm256_cmpeq_epi64(slot_ep, vepoch)) << lane;
+
+    const __m256d inc_d = _mm256_i32gather_pd(slot_inc_d_all, vflat, 8);
+    masks.feasible |= Mask4(_mm256_cmp_pd(inc_d, inc_d, _CMP_ORD_Q)) << lane;
+
+    if (have_best) {
+      const __m256d vmu = _mm256_loadu_pd(mu + lane);
+      const __m256d lhs = _mm256_mul_pd(vmu, vbest_inc);
+      const __m256d rhs = _mm256_mul_pd(vbest_mu, inc_d);
+      masks.loser |= Mask4(_mm256_cmp_pd(lhs, rhs, _CMP_LT_OQ)) << lane;
+    }
+  }
+  return masks;
+}
+
+__attribute__((target("avx2"))) ChunkMasks ProbeChunkAvx2(
+    int n, const int32_t* user_row, const uint64_t* slot_epoch,
+    const double* slot_inc_d, const uint64_t* sched_epochs) {
+  ChunkMasks masks;
+  for (int lane = 0; lane + 4 <= n; lane += 4) {
+    const __m128i vuser =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(user_row + lane));
+    const __m256i slot_ep = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(slot_epoch + lane));
+    const __m256i sched_ep = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(sched_epochs), vuser, 8);
+    masks.fresh |= Mask4i(_mm256_cmpeq_epi64(slot_ep, sched_ep)) << lane;
+
+    const __m256d inc_d = _mm256_loadu_pd(slot_inc_d + lane);
+    masks.feasible |= Mask4(_mm256_cmp_pd(inc_d, inc_d, _CMP_ORD_Q)) << lane;
+  }
+  return masks;
+}
+
+__attribute__((target("avx2"))) uint64_t MuAboveChunkAvx2(int n,
+                                                          const double* mu,
+                                                          double threshold) {
+  uint64_t mask = 0;
+  const __m256d vthr = _mm256_set1_pd(threshold);
+  int lane = 0;
+  for (; lane + 4 <= n; lane += 4) {
+    const __m256d vmu = _mm256_loadu_pd(mu + lane);
+    mask |= Mask4(_mm256_cmp_pd(vmu, vthr, _CMP_GT_OQ)) << lane;
+  }
+  // Tail lanes: conservatively "above" so the scalar body re-checks them.
+  for (; lane < n; ++lane) mask |= uint64_t{1} << lane;
+  return mask;
+}
+
+#else  // !USEP_SCAN_HAVE_X86
+
+// Non-x86 builds never report SimdLevel::kAvx2, so these are unreachable;
+// they exist to keep the link happy.
+ChunkMasks EventChunkAvx2(int, const int32_t*, const int32_t*, const double*,
+                          const uint64_t*, const double*, const uint64_t*,
+                          bool, double, double) {
+  USEP_CHECK(false) << "AVX2 kernel called on non-x86 build";
+  return {};
+}
+
+ChunkMasks UserChunkAvx2(int, const int32_t*, const int32_t*, const double*,
+                         const uint64_t*, const double*, uint64_t, const int*,
+                         const int32_t*, bool, double, double) {
+  USEP_CHECK(false) << "AVX2 kernel called on non-x86 build";
+  return {};
+}
+
+ChunkMasks ProbeChunkAvx2(int, const int32_t*, const uint64_t*, const double*,
+                          const uint64_t*) {
+  USEP_CHECK(false) << "AVX2 kernel called on non-x86 build";
+  return {};
+}
+
+uint64_t MuAboveChunkAvx2(int n, const double* mu, double threshold) {
+  uint64_t mask = 0;
+  for (int lane = 0; lane < n; ++lane) {
+    if (mu[lane] > threshold) mask |= uint64_t{1} << lane;
+  }
+  return mask;
+}
+
+#endif  // USEP_SCAN_HAVE_X86
+
+}  // namespace scan
+}  // namespace usep

@@ -1,0 +1,95 @@
+#ifndef USEP_ALGO_SCAN_KERNELS_H_
+#define USEP_ALGO_SCAN_KERNELS_H_
+
+#include <cstdint>
+
+namespace usep {
+namespace scan {
+
+// AVX2 chunk kernels for the CandidateIndex batched scans (see
+// candidate_index.h and docs/PERFORMANCE.md "Data-oriented layout").
+//
+// Contract: a kernel classifies up to kChunkLanes lanes of a flat candidate
+// row into bitmasks that let the caller's scalar walk SKIP work, never
+// CHANGE it.  Every set bit is an exact statement about memory the kernel
+// read (epochs, memoized costs, fullness); every cleared bit merely means
+// "unknown — resolve this lane through the shared scalar code".  The lanes a
+// kernel does not cover (the < 4 tail, or the whole chunk on non-AVX2
+// dispatch) therefore default to all-zeros masks, and the walk degenerates
+// to exactly the legacy per-lane loop.  This is what keeps scalar and AVX2
+// plannings bit-identical (tests/common/simd_test.cc).
+//
+// The `loser` mask reproduces CompareRatio's primary cross-product compare
+// (algo/ratio.h) with the same IEEE double operations the scalar code
+// performs: lhs = mu[lane] * best_inc_d and rhs = best_mu * inc_d[lane],
+// each a single independent multiply (no FMA contraction is possible — the
+// products are compared, never accumulated), then an ordered < compare.  A
+// set bit means the lane loses the primary compare STRICTLY, so no
+// tie-break can rescue it and the walk may skip the lane outright.  An
+// equal-products lane keeps its bit clear and goes through the exact
+// scalar comparator.  best_inc_d must be static_cast<double>(best.inc_cost)
+// — the identical conversion CompareRatio performs.
+//
+// Infeasible memo slots hold NaN in the slot_inc_d array (feasible slots
+// hold exactly static_cast<double>(inc_cost), always finite).  Feasibility
+// is thus one ordered self-compare, and NaN lanes can never sneak into the
+// loser mask because ordered compares reject them.
+//
+// All kernels are compiled with __attribute__((target("avx2"))) in
+// scan_kernels.cc; call them only when ActiveSimdLevel() == SimdLevel::kAvx2
+// (common/simd.h).
+
+inline constexpr int kChunkLanes = 64;
+
+struct ChunkMasks {
+  uint64_t fresh = 0;     // memo slot epoch == owning user's schedule epoch
+  uint64_t feasible = 0;  // fresh slot memoizes a feasible insertion
+  uint64_t loser = 0;     // fresh + feasible but strictly worse than best
+  uint64_t full = 0;      // user-direction only: lane's event is at capacity
+};
+
+// Event-direction champion scan (one event's live candidate users).
+// Lane i describes live position pos[i] of the event's row: mu[i] is the
+// pair utility, user[i] the candidate user.  slot_epoch_row / slot_inc_d_row
+// point at the START of the event's slot row (indexed by pos[i]);
+// sched_epochs is the planning-wide per-user epoch mirror (indexed by
+// user[i]).  When have_best is false the loser mask stays zero.
+ChunkMasks EventChunkAvx2(int n, const int32_t* pos, const int32_t* user,
+                          const double* mu, const uint64_t* slot_epoch_row,
+                          const double* slot_inc_d_row,
+                          const uint64_t* sched_epochs, bool have_best,
+                          double best_mu, double best_inc_d);
+
+// User-direction champion scan (one user's live candidate events).
+// Lane i describes the pair at GLOBAL slot index flat[i] targeting event
+// event[i].  All lanes share the scanning user's schedule epoch
+// (user_epoch); fullness comes from the planning/instance mirrors
+// assigned_counts / capacities (indexed by event[i]).  A full lane's other
+// bits are meaningless — the walk must drop it before looking at them.
+ChunkMasks UserChunkAvx2(int n, const int32_t* event, const int32_t* flat,
+                         const double* mu, const uint64_t* slot_epoch_all,
+                         const double* slot_inc_d_all, uint64_t user_epoch,
+                         const int* assigned_counts, const int32_t* capacities,
+                         bool have_best, double best_mu, double best_inc_d);
+
+// Whole-row batched insertion probe (LocalSearch TryAdds).  Lane i is
+// position lane_base + i of one event's FULL candidate row, so the slot
+// arrays are read contiguously (no gather): slot_epoch / slot_inc_d point at
+// &row[lane_base].  user_row points at &users_of_event[lane_base] for the
+// per-user epoch gather.  Only fresh/feasible are produced.
+ChunkMasks ProbeChunkAvx2(int n, const int32_t* user_row,
+                          const uint64_t* slot_epoch,
+                          const double* slot_inc_d,
+                          const uint64_t* sched_epochs);
+
+// mu-threshold prefilter (LocalSearch FindBestRecipient): bit i set iff
+// mu[i] > threshold, the exact negation of the scalar skip
+// `mu <= threshold` (mu is finite by construction).  Covers n <= kChunkLanes
+// lanes; tail lanes beyond the 4-wide groups are conservatively SET (the
+// scalar body re-checks them).
+uint64_t MuAboveChunkAvx2(int n, const double* mu, double threshold);
+
+}  // namespace scan
+}  // namespace usep
+
+#endif  // USEP_ALGO_SCAN_KERNELS_H_

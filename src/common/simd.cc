@@ -1,0 +1,62 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace usep {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ForcedScalarByEnv() {
+  const char* value = std::getenv("USEP_FORCE_SCALAR");
+  if (value == nullptr || value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+// -1: auto-detect lazily; otherwise a forced SimdLevel.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+SimdLevel DetectSimdLevel() {
+  if (ForcedScalarByEnv()) return SimdLevel::kScalar;
+  return CpuHasAvx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  // Benign race: concurrent first calls all compute the same answer.
+  static const SimdLevel detected = DetectSimdLevel();
+  return detected;
+}
+
+void ForceSimdLevel(SimdLevel level) {
+  USEP_CHECK(level != SimdLevel::kAvx2 || CpuHasAvx2())
+      << "cannot force AVX2 on a CPU without it";
+  g_forced.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void ResetSimdLevel() { g_forced.store(-1, std::memory_order_release); }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace usep

@@ -1,0 +1,39 @@
+#ifndef USEP_COMMON_SIMD_H_
+#define USEP_COMMON_SIMD_H_
+
+namespace usep {
+
+// Runtime SIMD dispatch for the data-oriented hot paths (see
+// algo/scan_kernels.h and docs/PERFORMANCE.md "Data-oriented layout").
+//
+// The binary is compiled without -mavx2 so it runs on any x86-64; the AVX2
+// kernels live in functions tagged with __attribute__((target("avx2"))) and
+// are only ever called when ActiveSimdLevel() reports kAvx2.  Both paths are
+// REQUIRED to produce bit-identical results — the vector lanes perform the
+// exact same IEEE double multiplies/compares as the scalar loop, and every
+// ambiguous lane is resolved by the shared scalar code — so the dispatch
+// level is a pure throughput knob.  tests/common/simd_test.cc pins the
+// contract by diffing whole plannings across levels.
+enum class SimdLevel {
+  kScalar = 0,  // Portable fallback; always available.
+  kAvx2 = 1,    // AVX2 gathers + 4-wide double compares.
+};
+
+// The level the process should dispatch on: kAvx2 when the CPU supports it,
+// unless the USEP_FORCE_SCALAR environment variable is set to a non-empty,
+// non-"0" value.  Detected once and cached; ForceSimdLevel overrides.
+SimdLevel ActiveSimdLevel();
+
+// What the hardware (and environment override) would select, uncached.
+SimdLevel DetectSimdLevel();
+
+// Test hooks: pin ActiveSimdLevel() to `level` / return to auto-detection.
+// ForceSimdLevel(kAvx2) on a CPU without AVX2 is an error (checked).
+void ForceSimdLevel(SimdLevel level);
+void ResetSimdLevel();
+
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_SIMD_H_

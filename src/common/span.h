@@ -1,0 +1,35 @@
+#ifndef USEP_COMMON_SPAN_H_
+#define USEP_COMMON_SPAN_H_
+
+#include <cstddef>
+
+namespace usep {
+
+// A minimal read-only view over a contiguous array — what the flat CSR
+// structures hand out instead of per-row std::vectors.  Deliberately tiny
+// (pointer + length, trivially copyable); the standard std::span is C++20
+// but this one compiles everywhere the repo does and keeps the API surface
+// explicit about const-ness.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace usep
+
+#endif  // USEP_COMMON_SPAN_H_

@@ -29,6 +29,9 @@ Instance::Instance(std::vector<Event> events, std::vector<User> users,
       conflict_policy_(conflict_policy) {
   const size_t num_events = events_.size();
 
+  capacities_.reserve(num_events);
+  for (const Event& event : events_) capacities_.push_back(event.capacity);
+
   // Event-event travel costs.
   event_costs_.resize(num_events * num_events);
   for (size_t from = 0; from < num_events; ++from) {
@@ -93,6 +96,7 @@ void Instance::set_event_capacity(EventId v, int capacity) {
   USEP_CHECK_LT(v, num_events());
   USEP_CHECK_GE(capacity, 1);
   events_[v].capacity = capacity;
+  capacities_[v] = capacity;
 }
 
 double Instance::MeasuredConflictRatio() const {

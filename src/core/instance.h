@@ -52,6 +52,11 @@ class Instance {
   double utility(EventId v, UserId u) const {
     return utilities_[static_cast<size_t>(v) * users_.size() + u];
   }
+  // Event v's utility row (num_users() doubles, indexed by user id) — the
+  // contiguous layout batched candidate scans stream over.
+  const double* utilities_row(EventId v) const {
+    return utilities_.data() + static_cast<size_t>(v) * users_.size();
+  }
 
   ConflictPolicy conflict_policy() const { return conflict_policy_; }
   const CostModel& cost_model() const { return *cost_model_; }
@@ -134,6 +139,12 @@ class Instance {
   // counts, not capacities, and reads the event's capacity live).
   void set_event_capacity(EventId v, int capacity);
 
+  // Flat per-event capacities, mirrored from events_[v].capacity (updated by
+  // set_event_capacity).  Paired with Planning::assigned_counts_data() so
+  // fullness tests in batched scans read two flat arrays instead of striding
+  // across Event objects.
+  const int32_t* capacities_data() const { return capacities_.data(); }
+
   // --- Misc ----------------------------------------------------------------
 
   // Approximate size of the input data in bytes (events + users + utilities
@@ -157,6 +168,7 @@ class Instance {
   std::shared_ptr<const CostModel> cost_model_;
   ConflictPolicy conflict_policy_;
 
+  std::vector<int32_t> capacities_;   // [v]: events_[v].capacity
   std::vector<Cost> event_costs_;     // [from * num_events + to]
   std::vector<uint64_t> can_follow_;  // bitset [from * num_events + to]
   std::vector<EventId> sorted_by_end_;

@@ -11,6 +11,10 @@ Planning::Planning(const Instance& instance)
   for (UserId u = 0; u < instance.num_users(); ++u) {
     schedules_.emplace_back(u);
   }
+  schedule_epochs_.reserve(schedules_.size());
+  for (const Schedule& schedule : schedules_) {
+    schedule_epochs_.push_back(schedule.epoch());
+  }
   words_per_user_ = (static_cast<size_t>(instance.num_events()) + 63) / 64;
   member_bits_.assign(static_cast<size_t>(instance.num_users()) *
                           words_per_user_,
@@ -46,6 +50,7 @@ std::optional<Schedule::Insertion> Planning::CheckInsertion(EventId v,
 void Planning::Assign(EventId v, UserId u,
                       const Schedule::Insertion& insertion) {
   schedules_[u].Insert(insertion, v);
+  schedule_epochs_[u] = schedules_[u].epoch();
   const size_t bit = static_cast<size_t>(u) * words_per_user_ * 64 + v;
   member_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
   ++assigned_counts_[v];
@@ -68,6 +73,7 @@ bool Planning::Unassign(EventId v, UserId u) {
   }
   const bool removed = schedules_[u].Remove(*instance_, v);
   USEP_DCHECK(removed) << "bitset said assigned but the schedule disagreed";
+  schedule_epochs_[u] = schedules_[u].epoch();
   const size_t bit = static_cast<size_t>(u) * words_per_user_ * 64 + v;
   member_bits_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
   --assigned_counts_[v];

@@ -35,11 +35,21 @@ class Planning {
   }
 
   // S_u's mutation epoch (see Schedule::epoch): the invalidation key for
-  // memoized CheckInsertion answers.
-  uint64_t schedule_epoch(UserId u) const { return schedules_[u].epoch(); }
+  // memoized CheckInsertion answers.  Served from a flat mirror maintained
+  // alongside the schedules so batched scans can load many epochs from one
+  // contiguous array (SIMD gathers included) instead of striding across
+  // Schedule objects.
+  uint64_t schedule_epoch(UserId u) const { return schedule_epochs_[u]; }
+  // The mirror itself, one entry per user.
+  const uint64_t* schedule_epochs_data() const {
+    return schedule_epochs_.data();
+  }
 
   // Number of users currently assigned to `v`.
   int assigned_count(EventId v) const { return assigned_counts_[v]; }
+  // Flat per-event assignment counts, paired with
+  // Instance::capacities_data() for branch-free fullness tests in scans.
+  const int* assigned_counts_data() const { return assigned_counts_.data(); }
   // Remaining seats at `v`.
   int remaining_capacity(EventId v) const;
   bool EventFull(EventId v) const { return remaining_capacity(v) == 0; }
@@ -78,6 +88,10 @@ class Planning {
   const Instance* instance_;  // Not owned; must outlive the planning.
   std::vector<Schedule> schedules_;
   std::vector<int> assigned_counts_;
+  // [u]: schedules_[u].epoch(), kept exactly in sync by Assign/Unassign
+  // (asserted in debug builds; tests/algo/soa_coherence_test.cc rebuilds it
+  // from scratch and diffs after every mutation path).
+  std::vector<uint64_t> schedule_epochs_;
   // [u * words_per_user_ + w]: bit v of user u's row is IsAssigned(v, u).
   std::vector<uint64_t> member_bits_;
   size_t words_per_user_ = 0;

@@ -127,6 +127,10 @@ class Replanner {
   // Null until the first materializable world.
   const Planning* planning() const { return planning_.get(); }
   const Instance* instance() const { return instance_.get(); }
+  // The live memo index (null alongside planning()).  Read-only; exposed so
+  // the SoA coherence property test can audit the flat mirrors across the
+  // capacity fast path (tests/algo/soa_coherence_test.cc).
+  const CandidateIndex* index() const { return index_.get(); }
 
   const LadderOptions& options() const { return options_; }
 

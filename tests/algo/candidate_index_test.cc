@@ -58,7 +58,7 @@ void ExpectStaticListsConsistent(const Instance& instance,
   // Both sides ascending, mutually consistent, and num_pairs totals them.
   int64_t total = 0;
   for (EventId v = 0; v < instance.num_events(); ++v) {
-    const std::vector<UserId>& users = index.UsersOf(v);
+    const Span<UserId> users = index.UsersOf(v);
     total += static_cast<int64_t>(users.size());
     for (size_t i = 0; i + 1 < users.size(); ++i) {
       EXPECT_LT(users[i], users[i + 1]) << "UsersOf(" << v << ") not ascending";
@@ -69,7 +69,7 @@ void ExpectStaticListsConsistent(const Instance& instance,
   }
   EXPECT_EQ(index.num_pairs(), total);
   for (UserId u = 0; u < instance.num_users(); ++u) {
-    const std::vector<CandidateIndex::EventRef>& events = index.EventsOf(u);
+    const Span<CandidateIndex::EventRef> events = index.EventsOf(u);
     for (size_t i = 0; i + 1 < events.size(); ++i) {
       EXPECT_LT(events[i].event, events[i + 1].event)
           << "EventsOf(" << u << ") not ascending";
@@ -232,7 +232,7 @@ TEST(CandidateIndexFailpointTest, DroppedMemoWritesNeverProduceWrongHits) {
     *static_pairs = 0;
     *queryable = 0;
     for (EventId v = 0; v < instance->num_events(); ++v) {
-      const std::vector<UserId>& users = index.UsersOf(v);
+      const Span<UserId> users = index.UsersOf(v);
       for (UserId u = 0; u < instance->num_users(); ++u) {
         if (!std::binary_search(users.begin(), users.end(), u)) {
           ++*static_pairs;

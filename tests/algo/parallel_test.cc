@@ -45,6 +45,9 @@ PlannerResult PlanWithThreads(PlannerKind kind, const Instance& instance,
                               const PlanContext& context = PlanContext()) {
   ParallelConfig config;
   config.num_threads = num_threads;
+  // Medium instances sit below the default inline cutoff; force the pool so
+  // this suite keeps proving the worker-thread paths bit-identical.
+  config.min_parallel_range = 0;
   return MakePlanner(kind, config)->Plan(instance, context);
 }
 

@@ -1,0 +1,270 @@
+// Property test for the CandidateIndex SoA mirrors: after ANY interleaving
+// of planning mutations — assigns (which bump schedule epochs and splice
+// schedules), unassigns (Schedule::RemoveAt splices), capacity patches
+// (Instance::set_event_capacity), and batched scans (which write memo
+// slots and compact live rows) — CheckCoherent must prove the flat arenas
+// equal a from-scratch rebuild: CSR structure against the instance, every
+// fresh memo slot against a recomputed Planning::CheckInsertion, the
+// slot_inc_d_ NaN/exact-cast mirror against slot_inc_, and the
+// Planning/Instance epoch + capacity + assigned-count mirrors against their
+// sources.  Runs on metric (triangle) instances, on matrix-cost instances
+// WITHOUT the triangle guarantee (static pruning off, droppability off),
+// and across the serve Replanner's capacity fast path, where one index
+// survives an Instance patched in place.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/candidate_index.h"
+#include "common/rng.h"
+#include "core/instance_builder.h"
+#include "core/validation.h"
+#include "gen/synthetic_generator.h"
+#include "geo/cost_model.h"
+#include "serve/plan_state.h"
+#include "serve/replanner.h"
+#include "serve/world.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Random interleaving of every mutation path the index must mirror, with a
+// full coherence audit after each step.  `instance` is mutable because
+// capacity patches go through Instance::set_event_capacity, exactly like
+// the Replanner's fast path.
+void RunCoherenceDrill(Instance* instance, uint64_t seed,
+                       const std::string& where) {
+  const int num_events = instance->num_events();
+  const int num_users = instance->num_users();
+  Planning planning(*instance);
+  CandidateIndex index(*instance);
+  ASSERT_TRUE(index.CheckCoherent(planning)) << where << " (fresh)";
+
+  std::vector<CandidateIndex::LiveEventRow> rows(num_events);
+  for (EventId v = 0; v < num_events; ++v) index.InitLiveEventRow(v, &rows[v]);
+  std::vector<int32_t> feasible_pos;
+  std::vector<Schedule::Insertion> insertions;
+
+  Rng rng(seed);
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.UniformInt(0, 4)) {
+      case 0: {  // Champion scan + assign: memo writes + row compaction.
+        const EventId v =
+            static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+        if (planning.EventFull(v)) break;
+        // droppable=false: unassigns below can heal infeasibility, so lanes
+        // must survive compaction (the non-monotone contract).
+        const std::optional<CandidateIndex::Champion> champion =
+            index.BestUserForEvent(planning, v, &rows[v], /*droppable=*/false);
+        if (champion.has_value()) {
+          planning.Assign(v, champion->id, champion->insertion);
+        }
+        break;
+      }
+      case 1: {  // Cached point assign on an arbitrary pair.
+        const EventId v =
+            static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+        const UserId u = static_cast<UserId>(rng.UniformInt(0, num_users - 1));
+        index.TryAssignCached(&planning, v, u);
+        break;
+      }
+      case 2: {  // Unassign: Schedule::RemoveAt splice + epoch bump.
+        const UserId u = static_cast<UserId>(rng.UniformInt(0, num_users - 1));
+        const std::vector<EventId>& events = planning.schedule(u).events();
+        if (events.empty()) break;
+        const EventId v = events[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(events.size()) - 1))];
+        planning.Unassign(v, u);
+        break;
+      }
+      case 3: {  // Capacity patch, never below current attendance (the
+                 // Replanner evicts first; a bare patch must not invalidate
+                 // the planning this drill keeps validating).
+        const EventId v =
+            static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+        const int floor = std::max(1, planning.assigned_count(v));
+        const int cap = static_cast<int>(rng.UniformInt(floor, floor + 4));
+        instance->set_event_capacity(v, cap);
+        break;
+      }
+      case 4: {  // Batched whole-row probe (TryAdds path).
+        const EventId v =
+            static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+        index.ProbeRow(planning, v, &feasible_pos, &insertions);
+        break;
+      }
+    }
+    ASSERT_TRUE(index.CheckCoherent(planning)) << where << " step " << step;
+  }
+  // Bonus sanity: the drill's own moves kept the planning valid.  Only
+  // claimable under the triangle guarantee — without it, an Unassign splice
+  // joins two neighbors by a direct hop that may cost MORE than the detour
+  // it replaced, so the surviving schedule can legitimately bust its budget.
+  // The index must stay coherent either way (asserted above); validity of
+  // arbitrary unassign sequences is not its contract.
+  if (instance->TriangleInequalityHolds()) {
+    ASSERT_TRUE(ValidatePlanning(*instance, planning).ok()) << where;
+  }
+}
+
+class SoaCoherenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoaCoherenceTest, MetricInstancesStayCoherent) {
+  GeneratorConfig config = testing::SmallRandomConfig(GetParam());
+  StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  ASSERT_TRUE(instance->TriangleInequalityHolds());
+  RunCoherenceDrill(&*instance, GetParam() * 7 + 1,
+                    "metric seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(SoaCoherenceTest, MediumMetricInstancesStayCoherent) {
+  GeneratorConfig config = testing::MediumRandomConfig(GetParam());
+  StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  RunCoherenceDrill(&*instance, GetParam() * 13 + 5,
+                    "medium seed=" + std::to_string(GetParam()));
+}
+
+// A randomized explicit cost matrix deliberately violates the triangle
+// inequality, so the index builds with static pruning off and
+// MonotoneInfeasibilityIsPermanent() false — the conservative layout whose
+// mirrors must ALSO track every mutation exactly.
+TEST_P(SoaCoherenceTest, NoTriangleMatrixInstancesStayCoherent) {
+  Rng rng(GetParam() * 31 + 17);
+  const int num_events = 6;
+  const int num_users = 8;
+  InstanceBuilder builder;
+  for (int v = 0; v < num_events; ++v) {
+    const TimePoint start = static_cast<TimePoint>(rng.UniformInt(0, 80));
+    const TimePoint length = static_cast<TimePoint>(rng.UniformInt(5, 30));
+    builder.AddEvent({start, start + length},
+                     static_cast<int>(rng.UniformInt(1, 3)));
+  }
+  for (int u = 0; u < num_users; ++u) {
+    builder.AddUser(static_cast<Cost>(rng.UniformInt(20, 120)));
+  }
+  for (int v = 0; v < num_events; ++v) {
+    for (int u = 0; u < num_users; ++u) {
+      // ~1/3 zero utilities so the static mu > 0 cut has something to do.
+      const double mu = rng.UniformInt(0, 2) == 0
+                            ? 0.0
+                            : rng.UniformDouble(0.05, 1.0);
+      builder.SetUtility(v, u, mu);
+    }
+  }
+  auto model = std::make_shared<MatrixCostModel>(num_events, num_users);
+  for (int a = 0; a < num_events; ++a) {
+    for (int b = 0; b < num_events; ++b) {
+      if (a != b) {
+        model->SetEventToEvent(a, b, static_cast<Cost>(rng.UniformInt(0, 40)));
+      }
+    }
+  }
+  for (int u = 0; u < num_users; ++u) {
+    for (int v = 0; v < num_events; ++v) {
+      model->SetUserToEvent(u, v, static_cast<Cost>(rng.UniformInt(0, 40)));
+      model->SetEventToUser(v, u, static_cast<Cost>(rng.UniformInt(0, 40)));
+    }
+  }
+  builder.SetCostModel(std::move(model));
+  StatusOr<Instance> instance = std::move(builder).Build();
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  ASSERT_FALSE(instance->TriangleInequalityHolds());
+  RunCoherenceDrill(&*instance, GetParam() * 3 + 2,
+                    "no-triangle seed=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoaCoherenceTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// ---- The serve Replanner's capacity fast path -----------------------------
+
+namespace sv = ::usep::serve;
+
+sv::Mutation Join(uint64_t key, Cost budget, Point location,
+                  std::vector<sv::MutationUtility> utilities = {}) {
+  sv::Mutation m;
+  m.kind = sv::MutationKind::kUserJoin;
+  m.key = key;
+  m.budget = budget;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+sv::Mutation Post(uint64_t key, TimeInterval interval, int capacity,
+                  Point location,
+                  std::vector<sv::MutationUtility> utilities = {}) {
+  sv::Mutation m;
+  m.kind = sv::MutationKind::kEventPost;
+  m.key = key;
+  m.interval = interval;
+  m.capacity = capacity;
+  m.location = location;
+  m.utilities = std::move(utilities);
+  return m;
+}
+
+sv::Mutation Capacity(uint64_t key, int capacity) {
+  sv::Mutation m;
+  m.kind = sv::MutationKind::kCapacityChange;
+  m.key = key;
+  m.capacity = capacity;
+  return m;
+}
+
+// Applies the mutation service-style, then audits the surviving (or
+// rebuilt) index against the live planning.
+void StepAndAudit(sv::World* world, sv::Replanner* replanner,
+                  sv::PlanState* state, const sv::Mutation& m) {
+  ASSERT_TRUE(world->Apply(m).ok()) << m.ToLine();
+  const StatusOr<sv::RepairOutcome> outcome =
+      replanner->Repair(*world, m, state, /*shed=*/false);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  world->ClearDirty();
+  if (replanner->index() != nullptr && replanner->planning() != nullptr) {
+    EXPECT_TRUE(replanner->index()->CheckCoherent(*replanner->planning()))
+        << "after " << m.ToLine();
+  }
+}
+
+TEST(SoaCoherenceReplannerTest, CapacityFastPathKeepsMirrorsCoherent) {
+  sv::World world{sv::WorldConfig{}};
+  sv::PlanState state;
+  sv::Replanner replanner(sv::LadderOptions{}, nullptr, nullptr);
+
+  StepAndAudit(&world, &replanner, &state, Post(10, {0, 100}, 3, {0, 0}));
+  StepAndAudit(&world, &replanner, &state, Post(11, {120, 200}, 2, {5, 5}));
+  StepAndAudit(&world, &replanner, &state,
+               Join(1, 1000, {1, 1}, {{10, 0.9}, {11, 0.4}}));
+  StepAndAudit(&world, &replanner, &state,
+               Join(2, 1000, {2, 2}, {{10, 0.8}, {11, 0.7}}));
+  StepAndAudit(&world, &replanner, &state,
+               Join(3, 1000, {3, 3}, {{10, 0.3}, {11, 0.6}}));
+  ASSERT_NE(replanner.index(), nullptr);
+  const CandidateIndex* index_before = replanner.index();
+
+  // Grow: the fast path patches the instance in place and the SAME index
+  // object keeps serving — its capacity mirror must read the new value.
+  StepAndAudit(&world, &replanner, &state, Capacity(10, 5));
+  EXPECT_EQ(replanner.index(), index_before) << "grow should reuse the index";
+
+  // Shrink with evictions: schedules splice, epochs bump, counts drop —
+  // every mirror must follow.
+  StepAndAudit(&world, &replanner, &state, Capacity(10, 1));
+  EXPECT_EQ(replanner.index(), index_before)
+      << "shrink should reuse the index";
+
+  // And a structural rebuild afterwards stays coherent too.
+  StepAndAudit(&world, &replanner, &state,
+               Join(4, 800, {4, 4}, {{10, 0.5}, {11, 0.9}}));
+}
+
+}  // namespace
+}  // namespace usep

@@ -1,0 +1,171 @@
+// The SIMD dispatch contract (common/simd.h) and the promise it rests on:
+// the AVX2 chunk kernels in algo/scan_kernels.{h,cc} are a pure throughput
+// knob.  Dispatch level must NEVER change a planning — the kernels perform
+// the exact IEEE arithmetic of the scalar champion walk and only let it
+// skip provably boring lanes — so this suite diffs whole plannings (and the
+// cache telemetry, which pins the probe sequence, not just the outcome)
+// between forced-scalar and forced-AVX2 runs across the differential
+// suite's generator regimes.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/planner_registry.h"
+#include "gen/synthetic_generator.h"
+#include "testing/test_instances.h"
+
+namespace usep {
+namespace {
+
+// Pins ActiveSimdLevel for a scope; always returns to auto-detection so a
+// failing assertion cannot leak a forced level into later tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) { ForceSimdLevel(level); }
+  ~ScopedSimdLevel() { ResetSimdLevel(); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+};
+
+TEST(SimdDispatchTest, NamesAreStable) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, ForceAndResetRoundTrip) {
+  const SimdLevel baseline = ActiveSimdLevel();
+  {
+    ScopedSimdLevel forced(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdLevel(), baseline);
+}
+
+TEST(SimdDispatchTest, EnvOverrideForcesScalar) {
+  // DetectSimdLevel re-reads the environment on every call (ActiveSimdLevel
+  // caches its first answer — the CI scalar leg sets the variable before
+  // the process starts).  The leg also runs THIS test, so the incoming
+  // value is saved, cleared to measure the true hardware level, and
+  // restored on exit.
+  const char* incoming = std::getenv("USEP_FORCE_SCALAR");
+  const std::string saved = incoming != nullptr ? incoming : "";
+  unsetenv("USEP_FORCE_SCALAR");
+  const SimdLevel hardware = DetectSimdLevel();
+  setenv("USEP_FORCE_SCALAR", "1", /*overwrite=*/1);
+  EXPECT_EQ(DetectSimdLevel(), SimdLevel::kScalar);
+  setenv("USEP_FORCE_SCALAR", "0", /*overwrite=*/1);  // "0" = not forced.
+  EXPECT_EQ(DetectSimdLevel(), hardware);
+  setenv("USEP_FORCE_SCALAR", "", /*overwrite=*/1);  // Empty = not forced.
+  EXPECT_EQ(DetectSimdLevel(), hardware);
+  unsetenv("USEP_FORCE_SCALAR");
+  EXPECT_EQ(DetectSimdLevel(), hardware);
+  if (incoming != nullptr) {
+    setenv("USEP_FORCE_SCALAR", saved.c_str(), /*overwrite=*/1);
+  }
+}
+
+TEST(SimdDispatchTest, ForcingAvx2RequiresHardwareSupport) {
+  if (DetectSimdLevel() != SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this CPU — the guard path is the CHECK "
+                    "inside ForceSimdLevel, untestable without dying";
+  }
+  ScopedSimdLevel forced(SimdLevel::kAvx2);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kAvx2);
+}
+
+// ---- Bit-identical plannings across dispatch levels -----------------------
+
+// Every planner family that reaches the chunk kernels: the champion scans
+// (RatioGreedy, NaiveRatioGreedy, the +RG augmentations) and the batched
+// probe / mu-prefilter paths (LocalSearch decorations).
+std::vector<PlannerKind> KernelKinds() {
+  return {PlannerKind::kRatioGreedy, PlannerKind::kNaiveRatioGreedy,
+          PlannerKind::kDeDpoRg,     PlannerKind::kDeGreedyRg,
+          PlannerKind::kDeDpoRgLs,   PlannerKind::kDeGreedyRgLs};
+}
+
+// The differential suite's generator corners (see differential_test.cc),
+// plus a wide-row configuration whose candidate lists cross the 64-lane
+// chunk boundary so multi-chunk kernel calls and tail lanes both run.
+struct Regime {
+  const char* name;
+  int num_users;  // 0: keep the config's default.
+  double capacity_mean;
+  double budget_factor;
+  double conflict_ratio;
+  const char* utility_distribution;
+};
+
+constexpr Regime kRegimes[] = {
+    {"baseline", 0, 2.0, 2.0, 0.3, "uniform"},
+    {"tight-capacity", 0, 1.0, 2.0, 0.3, "uniform"},
+    {"tight-budget", 0, 3.0, 0.5, 0.25, "normal"},
+    {"conflict-heavy", 0, 2.0, 2.0, 0.85, "uniform"},
+    {"zero-utility-dense", 0, 2.0, 2.0, 0.3, "power:4"},
+    {"wide-rows", 200, 4.0, 2.0, 0.3, "uniform"},
+};
+
+Instance MakeRegimeInstance(const Regime& regime, uint64_t seed) {
+  GeneratorConfig config = regime.num_users > 0
+                               ? testing::MediumRandomConfig(seed)
+                               : testing::SmallRandomConfig(seed);
+  if (regime.num_users > 0) config.num_users = regime.num_users;
+  config.capacity_mean = regime.capacity_mean;
+  config.budget_factor = regime.budget_factor;
+  config.conflict_ratio = regime.conflict_ratio;
+  config.utility_distribution = regime.utility_distribution;
+  StatusOr<Instance> instance = GenerateSyntheticInstance(config);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  return *std::move(instance);
+}
+
+class SimdIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimdIdentityTest, ScalarAndAvx2PlanningsAreBitIdentical) {
+  if (DetectSimdLevel() != SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this CPU; the scalar path is the only path";
+  }
+  for (const Regime& regime : kRegimes) {
+    const Instance instance = MakeRegimeInstance(regime, GetParam());
+    const std::string where =
+        std::string(regime.name) + " seed=" + std::to_string(GetParam());
+    for (const PlannerKind kind : KernelKinds()) {
+      const std::unique_ptr<Planner> planner = MakePlanner(kind);
+      const PlannerResult scalar = [&] {
+        ScopedSimdLevel forced(SimdLevel::kScalar);
+        return planner->Plan(instance);
+      }();
+      const PlannerResult avx2 = [&] {
+        ScopedSimdLevel forced(SimdLevel::kAvx2);
+        return planner->Plan(instance);
+      }();
+      EXPECT_EQ(avx2.planning.ToString(), scalar.planning.ToString())
+          << PlannerKindName(kind) << " planning diverged on " << where;
+      EXPECT_EQ(avx2.planning.total_utility(), scalar.planning.total_utility())
+          << PlannerKindName(kind) << " on " << where;
+      // Not just the same answer — the same work: kernels may only skip
+      // probes the scalar walk also skips, so the memo telemetry matches
+      // count for count.
+      EXPECT_EQ(avx2.stats.iterations, scalar.stats.iterations)
+          << PlannerKindName(kind) << " on " << where;
+      EXPECT_EQ(avx2.stats.cache_hits, scalar.stats.cache_hits)
+          << PlannerKindName(kind) << " on " << where;
+      EXPECT_EQ(avx2.stats.cache_misses, scalar.stats.cache_misses)
+          << PlannerKindName(kind) << " on " << where;
+      EXPECT_EQ(avx2.stats.cache_invalidations, scalar.stats.cache_invalidations)
+          << PlannerKindName(kind) << " on " << where;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdIdentityTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace usep
